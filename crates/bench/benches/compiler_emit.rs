@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks of the compiler: full-network compilation
+//! (plans + images + instruction emission) and the offline Winograd
+//! weight transform path, for both the float and quantized pipelines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybriddnn::model::zoo;
+use hybriddnn::{AcceleratorConfig, Compiler, MappingStrategy, QuantSpec, TileConfig};
+use hybriddnn_bench::bind_zeros;
+use std::hint::black_box;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut net = zoo::vgg_tiny();
+    bind_zeros(&mut net);
+    let cfg = AcceleratorConfig::new(4, 4, TileConfig::F2x2);
+    let wino = MappingStrategy::all_winograd(&net);
+    let spat = MappingStrategy::all_spatial(&net);
+
+    let mut g = c.benchmark_group("compile_vgg_tiny");
+    g.sample_size(20);
+    g.bench_function("spatial_f32", |b| {
+        b.iter(|| {
+            black_box(
+                Compiler::new(cfg)
+                    .compile(&net, &spat)
+                    .expect("compiles")
+                    .instruction_count(),
+            )
+        })
+    });
+    g.bench_function("winograd_f32", |b| {
+        b.iter(|| {
+            black_box(
+                Compiler::new(cfg)
+                    .compile(&net, &wino)
+                    .expect("compiles")
+                    .instruction_count(),
+            )
+        })
+    });
+    g.bench_function("winograd_12bit", |b| {
+        b.iter(|| {
+            black_box(
+                Compiler::new(cfg)
+                    .with_quant(QuantSpec::paper_12bit())
+                    .compile(&net, &wino)
+                    .expect("compiles")
+                    .instruction_count(),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

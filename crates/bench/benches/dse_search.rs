@@ -1,0 +1,39 @@
+//! Criterion microbenchmarks of the DSE engine: candidate enumeration,
+//! single-candidate evaluation, and the full 3-step exploration. The
+//! paper's complexity analysis (§5.3) puts Step 2 at O(N·L) — the whole
+//! search should be milliseconds even for VGG16.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybriddnn::model::zoo;
+use hybriddnn::{DseEngine, FpgaSpec, Profile};
+use std::hint::black_box;
+
+fn bench_dse(c: &mut Criterion) {
+    let engine = DseEngine::new(FpgaSpec::vu9p(), Profile::vu9p());
+    let net = zoo::vgg16();
+
+    c.bench_function("dse_enumerate_vu9p", |b| {
+        b.iter(|| black_box(engine.enumerate_candidates().len()))
+    });
+
+    let (design, _) = engine
+        .enumerate_candidates()
+        .into_iter()
+        .find(|(d, _)| d.accel.pi == 4 && d.accel.po == 4 && d.accel.pt() == 6)
+        .expect("paper design is a candidate");
+    c.bench_function("dse_evaluate_vgg16_one_candidate", |b| {
+        b.iter(|| black_box(engine.evaluate(&design, &net).expect("feasible").1))
+    });
+
+    c.bench_function("dse_explore_vgg16_vu9p", |b| {
+        b.iter(|| black_box(engine.explore(&net).expect("feasible").total_cycles))
+    });
+
+    let pynq = DseEngine::new(FpgaSpec::pynq_z1(), Profile::pynq_z1());
+    c.bench_function("dse_explore_vgg16_pynq", |b| {
+        b.iter(|| black_box(pynq.explore(&net).expect("feasible").total_cycles))
+    });
+}
+
+criterion_group!(benches, bench_dse);
+criterion_main!(benches);

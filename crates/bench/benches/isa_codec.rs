@@ -1,0 +1,96 @@
+//! Criterion microbenchmarks of 128-bit instruction encode/decode and
+//! whole-program round-trips (the compiler emits tens of thousands of
+//! instructions for VGG16; the codec must be cheap).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use hybriddnn::model::zoo;
+use hybriddnn::{AcceleratorConfig, Compiler, Instruction, MappingStrategy, Program, TileConfig};
+use hybriddnn_bench::bind_zeros;
+use hybriddnn_isa::{CompInst, LoadInst, SaveInst};
+use std::hint::black_box;
+
+fn sample_instructions() -> Vec<Instruction> {
+    vec![
+        Instruction::Load(LoadInst {
+            rows: 6,
+            row_len: 904,
+            row_stride: 904,
+            dram_base: 123_456,
+            buff_base: 73_728,
+            ..LoadInst::default()
+        }),
+        Instruction::Comp(CompInst {
+            out_w: 224,
+            out_rows: 4,
+            ic_vecs: 16,
+            oc_vecs: 16,
+            kernel_h: 3,
+            kernel_w: 3,
+            wino: true,
+            relu: true,
+            ..CompInst::default()
+        }),
+        Instruction::Save(SaveInst {
+            rows: 4,
+            out_w: 224,
+            oc_vecs: 16,
+            dst_w: 226,
+            dst_cv: 16,
+            pool: 2,
+            ..SaveInst::default()
+        }),
+    ]
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let insts = sample_instructions();
+    let words: Vec<u128> = insts.iter().map(|i| i.encode().expect("valid")).collect();
+
+    let mut g = c.benchmark_group("isa_codec");
+    g.throughput(Throughput::Elements(insts.len() as u64));
+    g.bench_function("encode", |b| {
+        b.iter(|| {
+            for i in &insts {
+                black_box(i.encode().expect("valid"));
+            }
+        })
+    });
+    g.bench_function("decode", |b| {
+        b.iter(|| {
+            for &w in &words {
+                black_box(Instruction::decode(w).expect("valid"));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_program_roundtrip(c: &mut Criterion) {
+    // A real compiled program (vgg_tiny's largest stage).
+    let mut net = zoo::vgg_tiny();
+    bind_zeros(&mut net);
+    let compiled = Compiler::new(AcceleratorConfig::new(4, 4, TileConfig::F2x2))
+        .compile(&net, &MappingStrategy::all_winograd(&net))
+        .expect("compiles");
+    let program = compiled
+        .layers()
+        .iter()
+        .map(|l| l.program())
+        .max_by_key(|p| p.len())
+        .expect("has stages")
+        .clone();
+    let words = program.encode().expect("valid");
+
+    let mut g = c.benchmark_group("program_roundtrip");
+    g.throughput(Throughput::Elements(program.len() as u64));
+    g.bench_function(format!("encode_{}_insts", program.len()), |b| {
+        b.iter(|| black_box(program.encode().expect("valid")))
+    });
+    g.bench_function(format!("decode_{}_insts", program.len()), |b| {
+        b.iter(|| black_box(Program::decode(&words).expect("valid")))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_codec, bench_program_roundtrip);
+criterion_main!(benches);

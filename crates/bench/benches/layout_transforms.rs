@@ -1,0 +1,72 @@
+//! Criterion microbenchmarks of the Figure 5 data-layout machinery:
+//! address generation for both DDR layouts and host-side tensor
+//! staging through a region.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use hybriddnn::model::{synth, Shape};
+use hybriddnn::{ConvMode, ExternalMemory};
+use hybriddnn_compiler::FmapRegion;
+use std::hint::black_box;
+
+fn region(layout: ConvMode) -> FmapRegion {
+    FmapRegion {
+        base: 0,
+        channels: 64,
+        h: 56,
+        w: 56,
+        pad_h: 1,
+        pad_w: 1,
+        layout,
+        pi: 4,
+    }
+}
+
+fn bench_address_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("region_addressing");
+    let r_spat = region(ConvMode::Spatial);
+    let r_wino = region(ConvMode::Winograd);
+    let n = (r_spat.channels * r_spat.h * r_spat.w) as u64;
+    g.throughput(Throughput::Elements(n));
+    for (name, r) in [("spat", &r_spat), ("wino", &r_wino)] {
+        g.bench_with_input(BenchmarkId::new("full_tensor", name), r, |b, r| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for ch in 0..r.channels {
+                    for y in 0..r.h {
+                        for x in 0..r.w {
+                            acc = acc.wrapping_add(r.addr(ch, y, x));
+                        }
+                    }
+                }
+                black_box(acc)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_tensor_staging(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tensor_staging");
+    g.sample_size(20);
+    let t = synth::tensor(Shape::new(64, 56, 56), 3);
+    for layout in [ConvMode::Spatial, ConvMode::Winograd] {
+        let r = region(layout);
+        g.bench_function(format!("store_{layout}"), |b| {
+            b.iter(|| {
+                let mut mem = ExternalMemory::with_capacity_words(r.words() as usize);
+                for ch in 0..r.channels {
+                    for y in 0..r.h {
+                        for x in 0..r.w {
+                            mem.host_store(r.addr(ch, y, x), t.at(ch, y, x));
+                        }
+                    }
+                }
+                black_box(mem.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_address_generation, bench_tensor_staging);
+criterion_main!(benches);

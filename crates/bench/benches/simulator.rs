@@ -1,0 +1,49 @@
+//! Criterion microbenchmarks of the accelerator simulator itself: how
+//! fast the host can run timing-only and functional simulations (the
+//! harness sweeps hundreds of layers, so simulator throughput matters).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hybriddnn::model::{synth, zoo};
+use hybriddnn::{AcceleratorConfig, Compiler, MappingStrategy, SimMode, Simulator, TileConfig};
+use hybriddnn_bench::bind_zeros;
+use std::hint::black_box;
+
+fn bench_timing_only(c: &mut Criterion) {
+    let mut net = zoo::vgg_tiny();
+    bind_zeros(&mut net);
+    let cfg = AcceleratorConfig::new(4, 4, TileConfig::F2x2);
+    let compiled = Compiler::new(cfg)
+        .compile(&net, &MappingStrategy::all_winograd(&net))
+        .expect("compiles");
+    let input = hybriddnn::Tensor::zeros(net.input_shape());
+
+    c.bench_function("sim_timing_vgg_tiny", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&compiled, SimMode::TimingOnly, 16.0);
+            black_box(sim.run(&compiled, &input).expect("simulates").total_cycles)
+        })
+    });
+}
+
+fn bench_functional(c: &mut Criterion) {
+    let mut net = zoo::tiny_cnn();
+    synth::bind_random(&mut net, 5).expect("binds");
+    let cfg = AcceleratorConfig::new(4, 4, TileConfig::F2x2);
+    let compiled = Compiler::new(cfg)
+        .compile(&net, &MappingStrategy::all_winograd(&net))
+        .expect("compiles");
+    let input = synth::tensor(net.input_shape(), 9);
+
+    let mut g = c.benchmark_group("sim_functional");
+    g.sample_size(10);
+    g.bench_function("tiny_cnn", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(&compiled, SimMode::Functional, 16.0);
+            black_box(sim.run(&compiled, &input).expect("simulates").total_cycles)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_timing_only, bench_functional);
+criterion_main!(benches);

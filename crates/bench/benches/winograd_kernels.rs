@@ -1,0 +1,80 @@
+//! Criterion microbenchmarks of the Winograd algorithm kernels: tile
+//! transforms, the offline weight transform, and full-tensor convolution
+//! against the direct spatial reference (the §4.2.1 multiplication
+//! reduction, observed as host-side wall-clock).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hybriddnn::model::{reference, synth, Conv2d, Shape, WeightShape};
+use hybriddnn::TileConfig;
+use hybriddnn_winograd::{conv, gemm, transform};
+use std::hint::black_box;
+
+fn bench_tile_transforms(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tile_transforms");
+    for cfg in TileConfig::ALL {
+        let pt = cfg.pt();
+        let d: Vec<f64> = (0..pt * pt).map(|i| i as f64 * 0.37).collect();
+        let k: Vec<f64> = (0..9).map(|i| i as f64 * 0.11).collect();
+        g.bench_with_input(BenchmarkId::new("input", cfg), &d, |b, d| {
+            b.iter(|| transform::transform_input_tile(cfg, black_box(d)))
+        });
+        g.bench_with_input(BenchmarkId::new("kernel", cfg), &k, |b, k| {
+            b.iter(|| transform::transform_kernel(cfg, black_box(k)))
+        });
+        let y: Vec<f64> = (0..pt * pt).map(|i| i as f64).collect();
+        g.bench_with_input(BenchmarkId::new("output", cfg), &y, |b, y| {
+            b.iter(|| transform::transform_output_tile(cfg, black_box(y)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_weight_transform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("offline_weight_transform");
+    g.sample_size(20);
+    let shape = WeightShape::new(64, 64, 3, 3);
+    let mut rng = synth::SplitMix64::new(1);
+    let weights: Vec<f32> = (0..shape.len()).map(|_| rng.next_unit()).collect();
+    for cfg in TileConfig::ALL {
+        g.bench_with_input(BenchmarkId::new("64x64x3x3", cfg), &weights, |b, w| {
+            b.iter(|| gemm::TransformedWeights::new(cfg, shape, black_box(w)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_full_convolution(c: &mut Criterion) {
+    let mut g = c.benchmark_group("conv_32x32x16");
+    g.sample_size(10);
+    let convolution = Conv2d::same(16, 16, 3);
+    let input = synth::tensor(Shape::new(16, 32, 32), 7);
+    let mut rng = synth::SplitMix64::new(2);
+    let weights: Vec<f32> = (0..convolution.weight_shape().len())
+        .map(|_| rng.next_unit() * 0.2)
+        .collect();
+    let bias: Vec<f32> = (0..16).map(|_| rng.next_unit() * 0.1).collect();
+
+    g.bench_function("spatial_reference", |b| {
+        b.iter(|| {
+            reference::conv2d(black_box(&input), &convolution, &weights, &bias)
+                .expect("valid geometry")
+        })
+    });
+    for cfg in TileConfig::ALL {
+        g.bench_function(format!("winograd_{cfg}"), |b| {
+            b.iter(|| {
+                conv::winograd_conv2d(black_box(&input), &convolution, &weights, &bias, cfg)
+                    .expect("valid geometry")
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tile_transforms,
+    bench_weight_transform,
+    bench_full_convolution
+);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Developer probe: per-layer estimated-vs-simulated cycles with module
+//! busy breakdowns for VGG16 on the VU9P — the tool that drove the
+//! estimator refinements recorded in EXPERIMENTS.md.
+
+use hybriddnn::flow::Framework;
+use hybriddnn::model::{zoo, LayerKind, Network};
+use hybriddnn::{FpgaSpec, Profile, SimMode};
+
+fn bind_zeros(net: &mut Network) {
+    for i in 0..net.layers().len() {
+        let (w, b) = match net.layers()[i].kind() {
+            LayerKind::Conv(c) => (c.weight_shape().len(), c.out_channels),
+            LayerKind::Fc(fc) => (fc.weight_shape().len(), fc.out_features),
+            _ => continue,
+        };
+        net.bind(i, vec![0.0; w], vec![0.0; b]).unwrap();
+    }
+}
+
+fn main() {
+    let mut net = zoo::vgg16();
+    bind_zeros(&mut net);
+    let d = Framework::new(FpgaSpec::vu9p(), Profile::vu9p())
+        .build(&net)
+        .unwrap();
+    let run = d
+        .run(
+            &hybriddnn::Tensor::zeros(net.input_shape()),
+            SimMode::TimingOnly,
+        )
+        .unwrap();
+    println!(
+        "{:<10} {:>10} {:>10} {:>7} {:>9} {:>9} {:>9} {:>9} {:>6}",
+        "layer", "est", "sim", "err%", "b.li", "b.lw", "b.comp", "b.save", "#inst"
+    );
+    for (c, s) in d.dse.per_layer.iter().zip(&run.stage_stats) {
+        println!(
+            "{:<10} {:>10.0} {:>10.0} {:>6.1}% {:>9.0} {:>9.0} {:>9.0} {:>9.0} {:>6}",
+            c.name,
+            c.estimate.cycles,
+            s.cycles,
+            (c.estimate.cycles - s.cycles).abs() / s.cycles * 100.0,
+            s.busy.load_inp,
+            s.busy.load_wgt,
+            s.busy.comp,
+            s.busy.save,
+            s.instructions
+        );
+    }
+    let est: f64 = d.dse.per_layer.iter().map(|c| c.estimate.cycles).sum();
+    println!("total est {est:.0} sim {:.0}", run.total_cycles);
+}

@@ -1,0 +1,34 @@
+//! Pipeline-debug probe: instruction timeline of a conv5-style layer.
+
+use hybriddnn::model::{zoo, LayerKind};
+use hybriddnn::{AcceleratorConfig, Compiler, ConvMode, Dataflow, MappingStrategy, TileConfig};
+use hybriddnn_fpga::ExternalMemory;
+use hybriddnn_sim::Accelerator;
+
+fn main() {
+    let mut net = zoo::single_conv(14, 512, 512, 3);
+    for i in 0..net.layers().len() {
+        let LayerKind::Conv(c) = net.layers()[i].kind() else {
+            continue;
+        };
+        let (w, b) = (c.weight_shape().len(), c.out_channels);
+        net.bind(i, vec![0.0; w], vec![0.0; b]).unwrap();
+    }
+    let cfg = AcceleratorConfig::new(4, 4, TileConfig::F4x4);
+    let strategy = MappingStrategy::new(vec![(ConvMode::Winograd, Dataflow::WeightStationary)]);
+    let compiled = Compiler::new(cfg).compile(&net, &strategy).unwrap();
+    let prog = compiled.layers()[0].program();
+    let mut accel = Accelerator::new(cfg, 64.0, None, false);
+    let mut mem = ExternalMemory::new();
+    let mut trace = Vec::new();
+    let stats = accel
+        .run_stage_traced(prog, &mut mem, Some(&mut trace))
+        .unwrap();
+    println!(
+        "makespan {:.0}  busy li {:.0} lw {:.0} comp {:.0} sv {:.0}",
+        stats.cycles, stats.busy.load_inp, stats.busy.load_wgt, stats.busy.comp, stats.busy.save
+    );
+    for (i, (inst, (s, f))) in prog.instructions().iter().zip(&trace).enumerate().take(40) {
+        println!("{i:4} [{s:9.0} {f:9.0}] {inst}");
+    }
+}

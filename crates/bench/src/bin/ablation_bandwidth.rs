@@ -1,0 +1,72 @@
+//! **Ablation A3** — memory-bandwidth sweep (the §6.2 "IoT scenario"):
+//! as available bandwidth shrinks, Winograd mode turns weight-load bound
+//! and Spatial overtakes it; the DSE's per-layer mode split flips
+//! accordingly. Only a *hybrid* accelerator can follow that crossover.
+//!
+//! ```text
+//! cargo run --release -p hybriddnn-bench --bin ablation_bandwidth
+//! ```
+
+use hybriddnn::model::zoo;
+use hybriddnn::{
+    AcceleratorConfig, Compiler, ConvMode, Dataflow, DseEngine, FpgaSpec, MappingStrategy, Profile,
+    SimMode, Simulator, TileConfig,
+};
+use hybriddnn_bench::bind_zeros;
+
+fn simulate(cfg: AcceleratorConfig, mode: ConvMode, bw: f64) -> f64 {
+    let mut net = zoo::single_conv(14, 512, 512, 3);
+    bind_zeros(&mut net);
+    let strategy = MappingStrategy::new(vec![(mode, Dataflow::WeightStationary)]);
+    let compiled = Compiler::new(cfg)
+        .compile(&net, &strategy)
+        .expect("feasible");
+    let mut sim = Simulator::new(&compiled, SimMode::TimingOnly, bw);
+    sim.run(&compiled, &hybriddnn::Tensor::zeros(net.input_shape()))
+        .expect("simulates")
+        .total_cycles
+}
+
+fn main() {
+    let cfg = AcceleratorConfig::new(4, 4, TileConfig::F4x4);
+    println!("== A3: bandwidth sweep on a conv5-style layer (14x14x512, 3x3) ==\n");
+    println!(
+        "{:>10} {:>12} {:>12} {:>8}",
+        "BW (w/cyc)", "spat cycles", "wino cycles", "winner"
+    );
+    for bw in [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0] {
+        let spat = simulate(cfg, ConvMode::Spatial, bw);
+        let wino = simulate(cfg, ConvMode::Winograd, bw);
+        println!(
+            "{bw:>10} {spat:>12.0} {wino:>12.0} {:>8}",
+            if wino < spat { "wino" } else { "spat" }
+        );
+    }
+
+    println!("\n== DSE mode split on VGG16 vs device bandwidth (VU9P logic) ==\n");
+    println!(
+        "{:>10} {:>8} {:>8} {:>24}",
+        "BW (w/cyc)", "wino", "spat", "est. throughput (GOPS)"
+    );
+    for bw in [2.0, 6.0, 12.0, 24.0, 48.0, 96.0, 192.0, 384.0] {
+        let device = FpgaSpec::vu9p().with_ddr_words_per_cycle(bw);
+        let engine = DseEngine::new(device, Profile::vu9p());
+        let result = engine.explore(&zoo::vgg16()).expect("feasible");
+        let wino = result
+            .per_layer
+            .iter()
+            .filter(|c| c.mode == ConvMode::Winograd)
+            .count();
+        println!(
+            "{bw:>10} {wino:>8} {:>8} {:>24.1}",
+            result.per_layer.len() - wino,
+            result.throughput_gops(167.0)
+        );
+    }
+    println!(
+        "\nExpected shape (paper §6.2): with sufficient bandwidth every CONV \
+         layer runs Winograd; as bandwidth falls, Winograd's 4x-compressed \
+         compute time cannot hide its weight traffic and the DSE flips \
+         layers to Spatial — the core argument for the hybrid PE."
+    );
+}

@@ -1,0 +1,86 @@
+//! **Ablation A2** — `PT = 4` vs `PT = 6` (the §5.1 tile-size choice):
+//! resource cost and simulated performance of `F(2×2,3×3)` against
+//! `F(4×4,3×3)` at equal parallel factors, plus the DSE's view of which
+//! wins per device.
+//!
+//! ```text
+//! cargo run --release -p hybriddnn-bench --bin ablation_tile
+//! ```
+
+use hybriddnn::model::zoo;
+use hybriddnn::{
+    AcceleratorConfig, Compiler, ConvMode, Dataflow, DseEngine, FpgaSpec, MappingStrategy, Profile,
+    SimMode, Simulator, TileConfig,
+};
+use hybriddnn_bench::bind_zeros;
+use hybriddnn_estimator::resource;
+
+fn main() {
+    println!("== A2: tile configuration F(2x2,3x3) vs F(4x4,3x3) ==\n");
+
+    // Resource cost at PI=PO=4 (Eq. 3-5, VU9P profile).
+    println!("resources per instance (PI=PO=4):");
+    for tile in TileConfig::ALL {
+        let cfg = AcceleratorConfig::new(4, 4, tile);
+        let r = resource::instance_resources(&cfg, &Profile::vu9p(), 36);
+        println!(
+            "  {tile}: {r}  ({} MACs/cycle, {:.2}x effective on 3x3)",
+            cfg.macs_per_cycle(),
+            tile.reduction_factor()
+        );
+    }
+
+    // Simulated per-layer performance at equal PI/PO, generous bandwidth.
+    let bw = 64.0;
+    println!("\nsimulated cycles (Winograd WS, C=K, BW {bw}):");
+    println!(
+        "{:<16} {:>12} {:>12} {:>8}",
+        "layer", "PT=4", "PT=6", "PT6/PT4"
+    );
+    for (feature, ch) in [(56, 64), (28, 128), (14, 256), (16, 256), (8, 512)] {
+        let mut cycles = [0.0f64; 2];
+        for (i, tile) in TileConfig::ALL.into_iter().enumerate() {
+            let cfg = AcceleratorConfig::new(4, 4, tile);
+            let mut net = zoo::single_conv(feature, ch, ch, 3);
+            bind_zeros(&mut net);
+            let strategy =
+                MappingStrategy::new(vec![(ConvMode::Winograd, Dataflow::WeightStationary)]);
+            let compiled = Compiler::new(cfg)
+                .compile(&net, &strategy)
+                .expect("feasible");
+            let mut sim = Simulator::new(&compiled, SimMode::TimingOnly, bw);
+            cycles[i] = sim
+                .run(&compiled, &hybriddnn::Tensor::zeros(net.input_shape()))
+                .expect("simulates")
+                .total_cycles;
+        }
+        println!(
+            "{:<16} {:>12.0} {:>12.0} {:>8.2}",
+            format!("{feature}x{feature}x{ch}"),
+            cycles[0],
+            cycles[1],
+            cycles[1] / cycles[0]
+        );
+    }
+    println!(
+        "\n(PT=6 packs 2.25x the MACs at equal PI/PO and reduces 4x vs \
+         2.25x on 3x3 kernels, but pays more on 14x14-style maps that \
+         don't tile evenly by m=4 — and costs more DSP/BRAM.)"
+    );
+
+    // What the DSE concludes per device.
+    println!("\nDSE verdict on VGG16:");
+    for (device, profile) in [
+        (FpgaSpec::vu9p(), Profile::vu9p()),
+        (FpgaSpec::pynq_z1(), Profile::pynq_z1()),
+    ] {
+        let result = DseEngine::new(device.clone(), profile)
+            .explore(&zoo::vgg16())
+            .expect("feasible");
+        println!(
+            "  {:<8} -> {} (paper: PT=6 on VU9P, PT=4 on PYNQ-Z1)",
+            device.name(),
+            result.design
+        );
+    }
+}

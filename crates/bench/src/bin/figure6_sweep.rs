@@ -1,0 +1,151 @@
+//! Regenerates **Figure 6** (performance of VU9P and PYNQ-Z1 across 60
+//! and 40 CONV layers): per-layer GOPS for Winograd and Spatial modes,
+//! both *estimated* (analytical model) and *real* (cycle-level
+//! simulation), sweeping kernel size (1×1/3×3/5×5/7×7), feature-map size
+//! and channel count exactly as the figure's x-axis does.
+//!
+//! ```text
+//! cargo run --release -p hybriddnn-bench --bin figure6_sweep
+//! ```
+
+use hybriddnn::model::zoo;
+use hybriddnn::{
+    AcceleratorConfig, Compiler, ConvMode, Dataflow, FpgaSpec, LayerWorkload, MappingStrategy,
+    SimMode, Simulator, TileConfig,
+};
+use hybriddnn_bench::bind_zeros;
+use hybriddnn_estimator::latency;
+
+/// One sweep point: feature size and channel count (in = out channels,
+/// mirroring the figure's "Feature Size" / "Channel Size" series).
+fn sweep_points(count_per_kernel: usize) -> Vec<(usize, usize)> {
+    // Feature sizes fall as channels rise, like VGG's pyramid.
+    let all = [
+        (224, 16),
+        (224, 32),
+        (112, 32),
+        (112, 64),
+        (56, 64),
+        (56, 128),
+        (56, 256),
+        (28, 128),
+        (28, 256),
+        (28, 512),
+        (14, 256),
+        (14, 512),
+        (14, 1024),
+        (7, 512),
+        (7, 1024),
+    ];
+    all.iter().copied().take(count_per_kernel).collect()
+}
+
+#[derive(Default)]
+struct SeriesStats {
+    wino_beats_spat: usize,
+    memory_bound_wino: usize,
+    total: usize,
+    worst_est_err: f64,
+}
+
+fn run_device(name: &str, cfg: AcceleratorConfig, bw: f64, freq: f64, layers_per_kernel: usize) {
+    println!("\n== Figure 6: {name} ({cfg}, BW {bw} words/cycle) ==");
+    println!(
+        "{:<18} {:>9} {:>9} {:>9} {:>9} {:>8} {:>8}",
+        "layer", "spatEst", "spatReal", "winoEst", "winoReal", "estErr%", "bound"
+    );
+    let mut stats = SeriesStats::default();
+    for kernel in [1usize, 3, 5, 7] {
+        for (feature, channels) in sweep_points(layers_per_kernel) {
+            // Keep the biggest shapes off the tiny kernels' budget: the
+            // figure's layers are bounded by on-chip feasibility.
+            let mut net = zoo::single_conv(feature, channels, channels, kernel);
+            bind_zeros(&mut net);
+            let wl = LayerWorkload::conv(
+                channels, channels, kernel, kernel, feature, feature, feature, feature, 1,
+            );
+            let mut gops = [0.0f64; 4];
+            let mut bound = String::new();
+            let mut worst = 0.0f64;
+            for (mi, mode) in [ConvMode::Spatial, ConvMode::Winograd]
+                .into_iter()
+                .enumerate()
+            {
+                if !hybriddnn_estimator::Partition::fits(&cfg, mode, &wl) {
+                    // Transformed weights exceed the weight buffer: the
+                    // hybrid design would run this layer Spatial (exactly
+                    // why the PE supports both modes).
+                    bound = "infeasible".to_string();
+                    continue;
+                }
+                let est = latency::layer_latency(&cfg, mode, Dataflow::WeightStationary, &wl, bw);
+                let strategy = MappingStrategy::new(vec![(mode, Dataflow::WeightStationary)]);
+                let compiled = Compiler::new(cfg)
+                    .compile(&net, &strategy)
+                    .expect("sweep layers are feasible");
+                let mut sim = Simulator::new(&compiled, SimMode::TimingOnly, bw);
+                let run = sim
+                    .run(&compiled, &hybriddnn::Tensor::zeros(net.input_shape()))
+                    .expect("timing simulation succeeds");
+                gops[2 * mi] = est.gops(&wl, freq);
+                gops[2 * mi + 1] = run.gops(freq);
+                let err = (est.cycles - run.total_cycles).abs() / run.total_cycles * 100.0;
+                worst = worst.max(err);
+                if mode == ConvMode::Winograd {
+                    bound = est.bound.to_string();
+                    if est.bound == hybriddnn_estimator::Bottleneck::LoadWeight {
+                        stats.memory_bound_wino += 1;
+                    }
+                }
+            }
+            stats.total += 1;
+            if gops[3] > gops[1] && gops[3] > 0.0 {
+                stats.wino_beats_spat += 1;
+            }
+            stats.worst_est_err = stats.worst_est_err.max(worst);
+            println!(
+                "{:<18} {:>9.1} {:>9.1} {:>9.1} {:>9.1} {:>7.1}% {:>8}",
+                format!("{kernel}x{kernel} {feature}x{feature}x{channels}"),
+                gops[0],
+                gops[1],
+                gops[2],
+                gops[3],
+                worst,
+                bound
+            );
+        }
+    }
+    println!(
+        "\n{name}: Winograd wins {}/{} layers; {} Winograd layers are \
+         weight-load bound (the figure's performance dips); worst \
+         estimate-vs-real error {:.1}%",
+        stats.wino_beats_spat, stats.total, stats.memory_bound_wino, stats.worst_est_err
+    );
+}
+
+fn main() {
+    // VU9P: 60 layers (15 shapes × 4 kernel sizes) per the paper.
+    let vu9p = FpgaSpec::vu9p();
+    run_device(
+        "VU9P",
+        AcceleratorConfig::new(4, 4, TileConfig::F4x4),
+        vu9p.instance_bandwidth(6),
+        vu9p.freq_mhz(),
+        15,
+    );
+    // PYNQ-Z1: 40 layers (10 shapes × 4 kernel sizes).
+    let pynq = FpgaSpec::pynq_z1();
+    run_device(
+        "PYNQ-Z1",
+        AcceleratorConfig::new(4, 4, TileConfig::F2x2),
+        pynq.instance_bandwidth(1),
+        pynq.freq_mhz(),
+        10,
+    );
+    println!(
+        "\nExpected shape (paper §6.2): Spatial mode is stable and close to \
+         its peak; Winograd fluctuates — fastest on 3x3, hurt by the \
+         PT²/m² tile waste on 1x1 and by decomposition weight traffic on \
+         5x5/7x7, dropping wherever it turns memory-bound."
+    );
+}

@@ -1,0 +1,48 @@
+//! Regenerates the **§6.2 model-accuracy claim**: the analytical latency
+//! model (Eq. 12–15) against the cycle-level implementation, per layer
+//! and in aggregate, for both boards. The paper reports 4.27 % (VU9P)
+//! and 4.03 % (PYNQ-Z1).
+//!
+//! ```text
+//! cargo run --release -p hybriddnn-bench --bin model_accuracy
+//! ```
+
+use hybriddnn::flow::Framework;
+use hybriddnn::model::zoo;
+use hybriddnn::report::AccuracyReport;
+use hybriddnn::{FpgaSpec, Profile};
+use hybriddnn_bench::bind_zeros;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut net = zoo::vgg16();
+    bind_zeros(&mut net);
+
+    for (device, profile, paper) in [
+        (FpgaSpec::vu9p(), Profile::vu9p(), 4.27),
+        (FpgaSpec::pynq_z1(), Profile::pynq_z1(), 4.03),
+    ] {
+        let deployment = Framework::new(device.clone(), profile).build(&net)?;
+        let report = AccuracyReport::measure(&deployment)?;
+        println!("== {} (paper error: {paper}%) ==", device.name());
+        println!(
+            "{:<10} {:>12} {:>12} {:>8}",
+            "layer", "estimated", "simulated", "err%"
+        );
+        for l in &report.per_layer {
+            println!(
+                "{:<10} {:>12.0} {:>12.0} {:>7.2}%",
+                l.name,
+                l.estimated,
+                l.simulated,
+                l.error_pct()
+            );
+        }
+        println!(
+            "total error {:.2}%   mean per-layer {:.2}%   worst layer {:.2}%\n",
+            report.total_error_pct(),
+            report.mean_error_pct(),
+            report.max_error_pct()
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,72 @@
+//! Regenerates **Table 3** (resource utilization of VU9P and PYNQ-Z1)
+//! plus the §6.1 hybrid-overhead claim (+26.4 % LUTs, no extra PE DSPs).
+//!
+//! ```text
+//! cargo run --release -p hybriddnn-bench --bin table3_resources
+//! ```
+
+use hybriddnn::model::zoo;
+use hybriddnn::{DseEngine, FpgaSpec, Profile, Resources};
+use hybriddnn_estimator::resource;
+
+fn row(name: &str, used: Resources, total: Resources, paper: (f64, f64, f64)) {
+    let (l, d, b) = used.utilization(&total);
+    println!(
+        "{name:<9} {:>7} ({:>5.1}%) {:>6} ({:>5.1}%) {:>6} ({:>5.1}%)",
+        used.lut,
+        l * 100.0,
+        used.dsp,
+        d * 100.0,
+        used.bram18,
+        b * 100.0
+    );
+    println!(
+        "{:<9} {:>7} ({:>5.1}%) {:>6} ({:>5.1}%) {:>6} ({:>5.1}%)   [paper]",
+        "", "-", paper.0, "-", paper.1, "-", paper.2
+    );
+}
+
+fn main() {
+    println!("== Table 3: resource utilization (modeled via Eq. 3-5) ==\n");
+    println!(
+        "{:<9} {:>16} {:>15} {:>15}",
+        "device", "LUTs", "DSPs", "18Kb BRAMs"
+    );
+
+    let net = zoo::vgg16();
+    for (device, profile, paper) in [
+        (FpgaSpec::vu9p(), Profile::vu9p(), (59.8, 75.5, 73.4)),
+        (
+            FpgaSpec::pynq_z1(),
+            Profile::pynq_z1(),
+            (69.61, 100.0, 98.93),
+        ),
+    ] {
+        let engine = DseEngine::new(device.clone(), profile);
+        let result = engine.explore(&net).expect("vgg16 is feasible");
+        row(
+            device.name(),
+            result.total_resources,
+            device.total_resources(),
+            paper,
+        );
+        println!("{:<9} design: {}\n", "", result.design);
+    }
+
+    println!("== §6.1: overhead of hybrid (Winograd-capable) support ==\n");
+    let cfg = hybriddnn::AcceleratorConfig::new(4, 4, hybriddnn::TileConfig::F4x4);
+    let hybrid = resource::instance_resources(&cfg, &Profile::vu9p(), 36);
+    let spatial_only = resource::instance_resources(&cfg, &Profile::vu9p().spatial_only(), 36);
+    let lut_overhead = hybrid.lut as f64 / spatial_only.lut as f64 - 1.0;
+    println!("hybrid instance      : {hybrid}");
+    println!("spatial-only instance: {spatial_only}");
+    println!(
+        "LUT overhead of hybrid support: {:.1}%  (paper: 26.4%)",
+        lut_overhead * 100.0
+    );
+    println!(
+        "extra PE DSPs: 0 — both PEs are the same {}-MAC array \
+         (paper: \"no extra DSPs\")",
+        cfg.macs_per_cycle()
+    );
+}

@@ -1,0 +1,90 @@
+//! Regenerates the **§6.1 VGG16 case study**: the DSE decisions for both
+//! boards (configurations, per-layer CONV modes) and the headline
+//! performance, with a functional (data-moving) validation pass on a
+//! scaled-down VGG so the run stays minutes-scale.
+//!
+//! ```text
+//! cargo run --release -p hybriddnn-bench --bin vgg16_case_study [--full]
+//! ```
+//!
+//! With `--full`, additionally runs the *complete* VGG16 functionally
+//! (≈15 G MACs on the simulated PE — expect a few minutes) and checks
+//! the output against the golden CPU reference.
+
+use hybriddnn::flow::Framework;
+use hybriddnn::model::{reference, synth, zoo};
+use hybriddnn::{ConvMode, FpgaSpec, Profile, SimMode};
+use hybriddnn_bench::bind_zeros;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let full = std::env::args().any(|a| a == "--full");
+
+    println!("== §6.1 case study: VGG16 ==");
+    let mut net = zoo::vgg16();
+    bind_zeros(&mut net);
+
+    for (device, profile, paper_gops) in [
+        (FpgaSpec::vu9p(), Profile::vu9p(), 3375.7),
+        (FpgaSpec::pynq_z1(), Profile::pynq_z1(), 83.3),
+    ] {
+        let framework = Framework::new(device.clone(), profile);
+        let deployment = framework.build(&net)?;
+        let dse = &deployment.dse;
+        let wino = dse
+            .per_layer
+            .iter()
+            .filter(|c| c.mode == ConvMode::Winograd)
+            .count();
+        let run = deployment.run(
+            &hybriddnn::Tensor::zeros(net.input_shape()),
+            SimMode::TimingOnly,
+        )?;
+        println!("\n{}:", device.name());
+        println!("  design        : {}", dse.design);
+        println!("  CONV modes    : {wino}/13 Winograd (paper: 13/13; FC layers run Spatial)");
+        println!(
+            "  latency       : {:.2} ms/image/instance",
+            deployment.latency_ms(&run)
+        );
+        println!(
+            "  throughput    : {:.1} GOPS (paper: {paper_gops})",
+            deployment.throughput_gops(&run)
+        );
+        let report = hybriddnn::report::AccuracyReport::measure(&deployment)?;
+        println!(
+            "  model accuracy: {:.2}% total error (paper: 4.27% VU9P / 4.03% PYNQ)",
+            report.total_error_pct()
+        );
+    }
+
+    // Functional validation: the same flow moving real data end to end.
+    println!("\n== functional validation ==");
+    let mut small = zoo::vgg_tiny();
+    synth::bind_random(&mut small, 2024)?;
+    let deployment = Framework::new(FpgaSpec::pynq_z1(), Profile::pynq_z1()).build(&small)?;
+    let input = synth::tensor(small.input_shape(), 1);
+    let run = deployment.run(&input, SimMode::Functional)?;
+    let golden = reference::run_network(&small, &input)?;
+    println!(
+        "vgg_tiny on the simulated accelerator: max |err| vs CPU reference = {:.2e}",
+        run.output.max_abs_diff(&golden)
+    );
+
+    if full {
+        println!("\n== full VGG16 functional run (this takes a while) ==");
+        let mut big = zoo::vgg16();
+        synth::bind_random(&mut big, 3030)?;
+        let deployment = Framework::new(FpgaSpec::vu9p(), Profile::vu9p()).build(&big)?;
+        let input = synth::tensor(big.input_shape(), 4);
+        let run = deployment.run(&input, SimMode::Functional)?;
+        let golden = reference::run_network(&big, &input)?;
+        println!(
+            "VGG16 functional: max |err| vs CPU reference = {:.2e}, {:.1} GOPS",
+            run.output.max_abs_diff(&golden),
+            deployment.throughput_gops(&run)
+        );
+    } else {
+        println!("\n(pass --full for the complete functional VGG16 run)");
+    }
+    Ok(())
+}

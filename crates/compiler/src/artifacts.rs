@@ -1,0 +1,199 @@
+//! The "Inst. & Data Files" of Figure 1: serializing a compiled network
+//! to on-disk artifacts the runtime ships to the board, and loading them
+//! back.
+//!
+//! Format (all little-endian):
+//!
+//! * `<stage>.inst` — the stage's raw 128-bit instruction words;
+//! * `data.bin` — concatenated weight/bias images as `f32` words;
+//! * `manifest.txt` — line-oriented index: one `stage NAME INST_FILE`
+//!   line per stage and one `segment BASE OFFSET LEN` line per data
+//!   segment (word offsets into `data.bin`).
+
+use crate::{CompileError, CompiledNetwork};
+use hybriddnn_fpga::ExternalMemory;
+use hybriddnn_isa::Program;
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Writes the instruction and data files for a compiled network.
+///
+/// # Errors
+/// Returns [`CompileError::Isa`] if an instruction fails to encode, or
+/// an [`std::io::Error`] (wrapped in `Infeasible` with the path) on I/O
+/// failure.
+pub fn write_artifacts(compiled: &CompiledNetwork, dir: &Path) -> Result<(), CompileError> {
+    let io_err = |e: std::io::Error| CompileError::Infeasible {
+        layer: dir.display().to_string(),
+        detail: format!("artifact I/O failed: {e}"),
+    };
+    std::fs::create_dir_all(dir).map_err(io_err)?;
+    let mut manifest = String::new();
+
+    for layer in compiled.layers() {
+        let words = layer.program().encode()?;
+        let file = format!("{}.inst", layer.name());
+        let mut f = std::fs::File::create(dir.join(&file)).map_err(io_err)?;
+        for w in words {
+            f.write_all(&w.to_le_bytes()).map_err(io_err)?;
+        }
+        manifest.push_str(&format!("stage {} {}\n", layer.name(), file));
+    }
+
+    let mut data = std::fs::File::create(dir.join("data.bin")).map_err(io_err)?;
+    let mut offset = 0u64;
+    for (base, words) in compiled.data_segments() {
+        manifest.push_str(&format!("segment {base} {offset} {}\n", words.len()));
+        for w in words {
+            data.write_all(&w.to_le_bytes()).map_err(io_err)?;
+        }
+        offset += words.len() as u64;
+    }
+    std::fs::write(dir.join("manifest.txt"), manifest).map_err(io_err)?;
+    Ok(())
+}
+
+/// The loaded form of the on-disk artifacts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Artifacts {
+    /// `(stage name, program)` in execution order.
+    pub stages: Vec<(String, Program)>,
+    /// `(dram base, words)` data segments.
+    pub segments: Vec<(u64, Vec<f32>)>,
+}
+
+impl Artifacts {
+    /// Stages all data segments into an external memory (what the
+    /// runtime's one-time DMA setup does on the board).
+    pub fn stage_data(&self, mem: &mut ExternalMemory) {
+        for (base, words) in &self.segments {
+            mem.host_write(*base, words);
+        }
+    }
+}
+
+/// Loads artifacts previously written by [`write_artifacts`].
+///
+/// # Errors
+/// Returns [`CompileError::Infeasible`] describing any missing or
+/// malformed file, or [`CompileError::Isa`] for undecodable words.
+pub fn read_artifacts(dir: &Path) -> Result<Artifacts, CompileError> {
+    let bad = |detail: String| CompileError::Infeasible {
+        layer: dir.display().to_string(),
+        detail,
+    };
+    let manifest = std::fs::read_to_string(dir.join("manifest.txt"))
+        .map_err(|e| bad(format!("manifest: {e}")))?;
+    let data_bytes =
+        std::fs::read(dir.join("data.bin")).map_err(|e| bad(format!("data.bin: {e}")))?;
+    let data_words: Vec<f32> = data_bytes
+        .chunks_exact(4)
+        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+        .collect();
+
+    let mut stages = Vec::new();
+    let mut segments = Vec::new();
+    for (n, line) in manifest.lines().enumerate() {
+        let mut it = line.split_whitespace();
+        match it.next() {
+            Some("stage") => {
+                let name = it
+                    .next()
+                    .ok_or_else(|| bad(format!("line {n}: stage name")))?;
+                let file = it
+                    .next()
+                    .ok_or_else(|| bad(format!("line {n}: stage file")))?;
+                let mut f =
+                    std::fs::File::open(dir.join(file)).map_err(|e| bad(format!("{file}: {e}")))?;
+                let mut bytes = Vec::new();
+                f.read_to_end(&mut bytes)
+                    .map_err(|e| bad(format!("{file}: {e}")))?;
+                if bytes.len() % 16 != 0 {
+                    return Err(bad(format!("{file}: not a whole number of 128-bit words")));
+                }
+                let words: Vec<u128> = bytes
+                    .chunks_exact(16)
+                    .map(|c| u128::from_le_bytes(c.try_into().expect("16-byte chunk")))
+                    .collect();
+                stages.push((name.to_string(), Program::decode(&words)?));
+            }
+            Some("segment") => {
+                let parse = |s: Option<&str>| -> Result<u64, CompileError> {
+                    s.and_then(|v| v.parse().ok())
+                        .ok_or_else(|| bad(format!("line {n}: bad segment")))
+                };
+                let base = parse(it.next())?;
+                let off = parse(it.next())? as usize;
+                let len = parse(it.next())? as usize;
+                if off + len > data_words.len() {
+                    return Err(bad(format!("line {n}: segment beyond data.bin")));
+                }
+                segments.push((base, data_words[off..off + len].to_vec()));
+            }
+            Some(other) => return Err(bad(format!("line {n}: unknown entry `{other}`"))),
+            None => {}
+        }
+    }
+    Ok(Artifacts { stages, segments })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Compiler, MappingStrategy};
+    use hybriddnn_estimator::AcceleratorConfig;
+    use hybriddnn_model::{synth, zoo};
+    use hybriddnn_winograd::TileConfig;
+
+    fn compiled() -> CompiledNetwork {
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 1).unwrap();
+        Compiler::new(AcceleratorConfig::new(4, 4, TileConfig::F2x2))
+            .compile(&net, &MappingStrategy::all_winograd(&net))
+            .unwrap()
+    }
+
+    #[test]
+    fn artifacts_roundtrip() {
+        let c = compiled();
+        let dir = std::env::temp_dir().join(format!("hybriddnn_artifacts_{}", std::process::id()));
+        write_artifacts(&c, &dir).unwrap();
+        let loaded = read_artifacts(&dir).unwrap();
+        assert_eq!(loaded.stages.len(), c.layers().len());
+        for ((name, prog), layer) in loaded.stages.iter().zip(c.layers()) {
+            assert_eq!(name, layer.name());
+            assert_eq!(prog, layer.program());
+        }
+        // Staging the loaded segments reproduces the compiler's DRAM image.
+        let mut from_compiled = ExternalMemory::new();
+        c.stage_data(&mut from_compiled);
+        let mut from_files = ExternalMemory::new();
+        loaded.stage_data(&mut from_files);
+        assert_eq!(
+            from_files.host_read(0, from_compiled.len()),
+            from_compiled.host_read(0, from_compiled.len())
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_manifest_is_reported() {
+        let dir = std::env::temp_dir().join("hybriddnn_artifacts_missing");
+        std::fs::remove_dir_all(&dir).ok();
+        let err = read_artifacts(&dir).unwrap_err();
+        assert!(err.to_string().contains("manifest"));
+    }
+
+    #[test]
+    fn truncated_inst_file_is_reported() {
+        let c = compiled();
+        let dir = std::env::temp_dir().join(format!("hybriddnn_artifacts_t{}", std::process::id()));
+        write_artifacts(&c, &dir).unwrap();
+        let stage_file = dir.join(format!("{}.inst", c.layers()[0].name()));
+        let bytes = std::fs::read(&stage_file).unwrap();
+        std::fs::write(&stage_file, &bytes[..bytes.len() - 3]).unwrap();
+        let err = read_artifacts(&dir).unwrap_err();
+        assert!(err.to_string().contains("128-bit"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,102 @@
+use hybriddnn_isa::IsaError;
+use hybriddnn_model::ModelError;
+use hybriddnn_winograd::WinogradError;
+use std::fmt;
+
+/// Errors produced while compiling a network for the accelerator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// A layer cannot be mapped onto the configured accelerator (e.g. a
+    /// single minimal work unit exceeds an on-chip buffer).
+    Infeasible {
+        /// Layer name.
+        layer: String,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The network shape is unsupported by the lowering (e.g. a pooling
+    /// layer with no preceding convolution to fuse into).
+    Unsupported {
+        /// Layer name.
+        layer: String,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The network is missing bound parameters.
+    MissingWeights {
+        /// Layer name.
+        layer: String,
+    },
+    /// An instruction field overflowed while emitting code.
+    Isa(IsaError),
+    /// An underlying model error.
+    Model(ModelError),
+    /// An underlying Winograd transform error.
+    Winograd(WinogradError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Infeasible { layer, detail } => {
+                write!(f, "layer `{layer}` cannot be mapped: {detail}")
+            }
+            CompileError::Unsupported { layer, detail } => {
+                write!(f, "layer `{layer}` is unsupported: {detail}")
+            }
+            CompileError::MissingWeights { layer } => {
+                write!(f, "layer `{layer}` has no bound parameters")
+            }
+            CompileError::Isa(e) => write!(f, "{e}"),
+            CompileError::Model(e) => write!(f, "{e}"),
+            CompileError::Winograd(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::Isa(e) => Some(e),
+            CompileError::Model(e) => Some(e),
+            CompileError::Winograd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<IsaError> for CompileError {
+    fn from(e: IsaError) -> Self {
+        CompileError::Isa(e)
+    }
+}
+
+impl From<ModelError> for CompileError {
+    fn from(e: ModelError) -> Self {
+        CompileError::Model(e)
+    }
+}
+
+impl From<WinogradError> for CompileError {
+    fn from(e: WinogradError) -> Self {
+        CompileError::Winograd(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: CompileError = ModelError::EmptyNetwork.into();
+        assert!(e.to_string().contains("no layers"));
+        let e: CompileError = IsaError::InvalidOpcode { opcode: 7 }.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e = CompileError::MissingWeights {
+            layer: "conv1".into(),
+        };
+        assert!(e.to_string().contains("conv1"));
+    }
+}

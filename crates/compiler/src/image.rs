@@ -1,0 +1,363 @@
+//! Offline data preparation: DRAM weight and bias images in the exact
+//! order the accelerator's buffers consume them.
+//!
+//! Three image families (§4.2.3 "Regarding DNN parameters for Winograd,
+//! we perform an offline transformation from pretrained DNN models"):
+//!
+//! * **Spatial CONV** — per weight group, `[k_local][c][r][s]` (the
+//!   natural `KCRS` order, padded to whole `PO` vectors with zero
+//!   channels so partial groups compute harmlessly).
+//! * **Winograd CONV** — per group, the offline-transformed
+//!   `[(br·BS+bs)·PT² + e][k_local][c]` layout of
+//!   [`hybriddnn_winograd::gemm::TransformedWeights`], re-quantized to
+//!   the weight format when fixed-point is enabled (the hardware stores
+//!   transformed weights at weight precision).
+//! * **FC** — per group, `[chunk][k_local][c_local]` with the weight
+//!   columns *permuted to the feature-map storage order* of the producing
+//!   region (the flattened input arrives in `(y, x, cv, lane)` order, not
+//!   `CHW`), and chunks zero-padded to uniform width.
+
+use crate::{layout::FmapRegion, plan::LayerPlan, CompileError};
+use hybriddnn_estimator::{AcceleratorConfig, ConvMode};
+use hybriddnn_model::{quant::QFormat, WeightShape};
+use hybriddnn_winograd::gemm::TransformedWeights;
+
+/// A stage's DRAM data: the weight image, per-group word offsets into it,
+/// the bias image, and per-group bias offsets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerImages {
+    /// Weight image words.
+    pub weights: Vec<f32>,
+    /// Word offset of each weight group within the image.
+    pub weight_group_offsets: Vec<u64>,
+    /// Bias image words (empty when the layer has no bias).
+    pub bias: Vec<f32>,
+    /// Word offset of each bias group.
+    pub bias_group_offsets: Vec<u64>,
+}
+
+impl LayerImages {
+    /// Words in the weight image of group `gk`.
+    pub fn weight_group_words(&self, gk: usize) -> u64 {
+        let next = self
+            .weight_group_offsets
+            .get(gk + 1)
+            .copied()
+            .unwrap_or(self.weights.len() as u64);
+        next - self.weight_group_offsets[gk]
+    }
+}
+
+/// Builds the weight/bias DRAM images for one stage.
+///
+/// `fc_src` must be the producing feature-map region for FC layers (it
+/// defines the flatten order); ignored for CONV layers.
+///
+/// # Errors
+/// Returns [`CompileError::MissingWeights`] via the caller; this function
+/// itself only fails on internal inconsistencies (which panic).
+///
+/// # Panics
+/// Panics if `weights`/`bias` lengths disagree with the plan's geometry.
+pub fn build_images(
+    cfg: &AcceleratorConfig,
+    plan: &LayerPlan,
+    weights: &[f32],
+    bias: &[f32],
+    weight_fmt: Option<QFormat>,
+    fc_src: Option<&FmapRegion>,
+) -> Result<LayerImages, CompileError> {
+    let wl = &plan.wl;
+    let po = cfg.po;
+    let mut image = Vec::new();
+    let mut offsets = Vec::with_capacity(plan.gk);
+
+    if plan.is_fc() {
+        let src = fc_src.expect("FC stage requires its source region");
+        let permuted = permute_fc_weights(wl.k, wl.c, src, weights);
+        let chunk_words = plan.c_chunk_vecs * plan.pi;
+        let store = plan.c_store;
+        for gk in 0..plan.gk {
+            offsets.push(image.len() as u64);
+            let k0 = gk * plan.k_per_group;
+            let kg = plan.group_k(gk);
+            let kg_padded = kg.div_ceil(po) * po;
+            for chunk in 0..plan.c_chunks {
+                let f0 = chunk * chunk_words;
+                for k in 0..kg_padded {
+                    for f in 0..chunk_words {
+                        let v = if k < kg && f0 + f < store {
+                            permuted[(k0 + k) * store + f0 + f]
+                        } else {
+                            0.0
+                        };
+                        image.push(quantized(v, weight_fmt));
+                    }
+                }
+            }
+        }
+    } else {
+        // Channel lanes are padded to whole PI vectors (zero weights), so
+        // the PE iterates ic_vecs·PI lanes uniformly.
+        let c_lanes = plan.cv_store() * plan.pi;
+        assert_eq!(weights.len(), wl.k * wl.c * wl.r * wl.s);
+        let per_k = wl.c * wl.r * wl.s;
+        let per_k_padded = c_lanes * wl.r * wl.s;
+        match plan.mode {
+            ConvMode::Spatial => {
+                for gk in 0..plan.gk {
+                    offsets.push(image.len() as u64);
+                    let k0 = gk * plan.k_per_group;
+                    let kg = plan.group_k(gk);
+                    let kg_padded = kg.div_ceil(po) * po;
+                    for k in 0..kg_padded {
+                        if k < kg {
+                            // [c][r][s] with c padded to c_lanes.
+                            let src = &weights[(k0 + k) * per_k..(k0 + k + 1) * per_k];
+                            image.extend(src.iter().map(|&v| quantized(v, weight_fmt)));
+                            image.extend(std::iter::repeat_n(
+                                0.0f32,
+                                (c_lanes - wl.c) * wl.r * wl.s,
+                            ));
+                        } else {
+                            image.extend(std::iter::repeat_n(0.0f32, per_k_padded));
+                        }
+                    }
+                }
+            }
+            ConvMode::Winograd => {
+                for gk in 0..plan.gk {
+                    offsets.push(image.len() as u64);
+                    let k0 = gk * plan.k_per_group;
+                    let kg = plan.group_k(gk);
+                    let kg_padded = kg.div_ceil(po) * po;
+                    // Zero-pad both the K slice (whole PO vectors) and the
+                    // channel dim (whole PI vectors) before transforming.
+                    let mut slice = vec![0.0f32; kg_padded * per_k_padded];
+                    for k in 0..kg {
+                        for c in 0..wl.c {
+                            let src = &weights[((k0 + k) * wl.c + c) * wl.r * wl.s
+                                ..((k0 + k) * wl.c + c + 1) * wl.r * wl.s];
+                            slice[(k * c_lanes + c) * wl.r * wl.s
+                                ..(k * c_lanes + c + 1) * wl.r * wl.s]
+                                .copy_from_slice(src);
+                        }
+                    }
+                    let shape = WeightShape::new(kg_padded, c_lanes, wl.r, wl.s);
+                    let mut u = TransformedWeights::new(cfg.tile, shape, &slice);
+                    if let Some(fmt) = weight_fmt {
+                        u.quantize(fmt);
+                    }
+                    image.extend(u.as_slice().iter().map(|&v| v as f32));
+                }
+            }
+        }
+    }
+
+    // Bias image: per-group padded slices.
+    let mut bias_image = Vec::new();
+    let mut bias_offsets = Vec::with_capacity(plan.gk);
+    if plan.bias {
+        assert_eq!(bias.len(), wl.k);
+        for gk in 0..plan.gk {
+            bias_offsets.push(bias_image.len() as u64);
+            let k0 = gk * plan.k_per_group;
+            let kg = plan.group_k(gk);
+            let kg_padded = kg.div_ceil(po) * po;
+            for k in 0..kg_padded {
+                let v = if k < kg { bias[k0 + k] } else { 0.0 };
+                bias_image.push(quantized(v, weight_fmt));
+            }
+        }
+    } else {
+        bias_offsets.resize(plan.gk, 0);
+    }
+
+    Ok(LayerImages {
+        weights: image,
+        weight_group_offsets: offsets,
+        bias: bias_image,
+        bias_group_offsets: bias_offsets,
+    })
+}
+
+/// Permutes FC weights from the model's `CHW`-flatten column order to the
+/// feature-map store order `(y, x, cv, lane)` of the producing region,
+/// zero-padding dead lanes. Output is `K × c_store` row-major.
+fn permute_fc_weights(k: usize, in_features: usize, src: &FmapRegion, weights: &[f32]) -> Vec<f32> {
+    assert_eq!(weights.len(), k * in_features);
+    let (h, w, cv, pi) = (src.h, src.w, src.cv(), src.pi);
+    let store = h * w * cv * pi;
+    assert_eq!(
+        in_features,
+        src.channels * h * w,
+        "FC fan-in mismatch with source region"
+    );
+    let mut out = vec![0.0f32; k * store];
+    for row in 0..k {
+        for f in 0..store {
+            // Decompose the store index following the SPAT layout
+            // (y, x, cv, lane).
+            let lane = f % pi;
+            let rest = f / pi;
+            let cvi = rest % cv;
+            let rest = rest / cv;
+            let x = rest % w;
+            let y = rest / w;
+            let c = cvi * pi + lane;
+            if c < src.channels {
+                let chw = (c * h + y) * w + x;
+                out[row * store + f] = weights[row * in_features + chw];
+            }
+        }
+    }
+    out
+}
+
+fn quantized(v: f32, fmt: Option<QFormat>) -> f32 {
+    match fmt {
+        Some(f) => f.quantize(v as f64),
+        None => v,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybriddnn_estimator::{Dataflow, LayerWorkload};
+    use hybriddnn_winograd::TileConfig;
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::new(4, 4, TileConfig::F2x2)
+    }
+
+    fn conv_plan(mode: ConvMode, k: usize, c: usize) -> LayerPlan {
+        let wl = LayerWorkload::conv(k, c, 3, 3, 8, 8, 8, 8, 1);
+        LayerPlan::compute(
+            &cfg(),
+            "t",
+            mode,
+            Dataflow::WeightStationary,
+            wl,
+            0,
+            c,
+            true,
+            true,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn spatial_image_is_kcrs_padded() {
+        let plan = conv_plan(ConvMode::Spatial, 6, 2);
+        let weights: Vec<f32> = (0..6 * 2 * 9).map(|i| i as f32).collect();
+        let bias: Vec<f32> = (0..6).map(|i| i as f32).collect();
+        let img = build_images(&cfg(), &plan, &weights, &bias, None, None).unwrap();
+        // K: 6 pads to 8 (PO=4); C: 2 pads to 4 lanes (PI=4):
+        // image = 8 k-rows of 4·9 = 36 words.
+        assert_eq!(plan.gk, 1);
+        assert_eq!(img.weights.len(), 8 * 36);
+        for k in 0..6 {
+            assert_eq!(
+                &img.weights[k * 36..k * 36 + 18],
+                &weights[k * 18..(k + 1) * 18]
+            );
+            assert!(img.weights[k * 36 + 18..(k + 1) * 36]
+                .iter()
+                .all(|&v| v == 0.0));
+        }
+        assert!(img.weights[6 * 36..].iter().all(|&v| v == 0.0));
+        assert_eq!(img.bias.len(), 8);
+        assert_eq!(&img.bias[..6], &bias[..]);
+    }
+
+    #[test]
+    fn winograd_image_matches_transformed_weights() {
+        let plan = conv_plan(ConvMode::Winograd, 4, 2);
+        let weights: Vec<f32> = (0..4 * 2 * 9).map(|i| (i as f32) * 0.01).collect();
+        let img = build_images(&cfg(), &plan, &weights, &[0.0; 4], None, None).unwrap();
+        // Channel dim pads 2 → 4 lanes; compare against a transform of the
+        // zero-padded kernel set.
+        let mut padded = vec![0.0f32; 4 * 4 * 9];
+        for k in 0..4 {
+            for c in 0..2 {
+                padded[(k * 4 + c) * 9..(k * 4 + c + 1) * 9]
+                    .copy_from_slice(&weights[(k * 2 + c) * 9..(k * 2 + c + 1) * 9]);
+            }
+        }
+        let u = TransformedWeights::new(TileConfig::F2x2, WeightShape::new(4, 4, 3, 3), &padded);
+        assert_eq!(img.weights.len(), u.as_slice().len());
+        for (a, b) in img.weights.iter().zip(u.as_slice()) {
+            assert!((*a as f64 - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn winograd_quantized_image_is_on_grid() {
+        let plan = conv_plan(ConvMode::Winograd, 4, 2);
+        let weights: Vec<f32> = (0..4 * 2 * 9).map(|i| (i as f32) * 0.013 - 0.3).collect();
+        let fmt = QFormat::FEATURE12;
+        let img = build_images(&cfg(), &plan, &weights, &[0.0; 4], Some(fmt), None).unwrap();
+        for &v in &img.weights {
+            assert!(fmt.contains(v as f64), "{v}");
+        }
+    }
+
+    #[test]
+    fn group_offsets_partition_the_image() {
+        // Force multiple groups with a big K.
+        let c = 64;
+        let k = 512;
+        let plan = conv_plan(ConvMode::Winograd, k, c);
+        assert!(
+            plan.gk > 1,
+            "expected multiple weight groups, gk={}",
+            plan.gk
+        );
+        let weights = vec![0.5f32; k * c * 9];
+        let img = build_images(&cfg(), &plan, &weights, &vec![0.0; k], None, None).unwrap();
+        assert_eq!(img.weight_group_offsets.len(), plan.gk);
+        assert_eq!(img.weight_group_offsets[0], 0);
+        let per_group = img.weight_group_words(0);
+        assert_eq!(img.weight_group_offsets[1], per_group);
+        let total: u64 = (0..plan.gk).map(|g| img.weight_group_words(g)).sum();
+        assert_eq!(total, img.weights.len() as u64);
+    }
+
+    #[test]
+    fn fc_permutation_matches_store_order() {
+        // Source region 2 channels, 2x2 fmap, PI=4 → store width 1·4·2·2=16.
+        let src = FmapRegion {
+            base: 0,
+            channels: 2,
+            h: 2,
+            w: 2,
+            pad_h: 0,
+            pad_w: 0,
+            layout: ConvMode::Spatial,
+            pi: 4,
+        };
+        let in_features = 8; // 2·2·2
+        let k = 1;
+        // weight[chw] = chw index value for traceability.
+        let weights: Vec<f32> = (0..in_features).map(|i| i as f32 + 1.0).collect();
+        let permuted = permute_fc_weights(k, in_features, &src, &weights);
+        assert_eq!(permuted.len(), 16);
+        // store f: (y,x,cv,lane); c = lane (cv=0 only since CV=1? channels=2,pi=4→cv=1)
+        // f = ((y*2+x)*1 + 0)*4 + lane.
+        for y in 0..2 {
+            for x in 0..2 {
+                for lane in 0..4 {
+                    let f = (y * 2 + x) * 4 + lane;
+                    let expect = if lane < 2 {
+                        let chw = (lane * 2 + y) * 2 + x;
+                        weights[chw]
+                    } else {
+                        0.0
+                    };
+                    assert_eq!(permuted[f], expect, "y{y} x{x} lane{lane}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Feature-map data layouts (paper Figure 5) and the DRAM region table.
+//!
+//! Each activation tensor lives in external memory in one of two layouts,
+//! chosen to match the CONV mode of the layer that will *consume* it
+//! ("the required data reordering is offloaded to the SAVE module, which
+//! ensures proper data layouts for different CONV modes chosen by the
+//! successive layer", §4.3).
+//!
+//! Elements are vectors of `PI` channels. With padded width `W'` and
+//! channel-vector count `CV`:
+//!
+//! * **SPAT layout** — channel-vector innermost, so the load manager can
+//!   broadcast one pixel's channels directly:
+//!   `addr = ((y·W' + x)·CV + cv)·PI + lane`
+//! * **WINO layout** — column innermost per channel-vector, so the load
+//!   manager can stream `PT` consecutive columns of one channel vector
+//!   for the tile transform:
+//!   `addr = ((y·CV + cv)·W' + x)·PI + lane`
+//!
+//! Both layouts are y-major, which keeps every `LOAD` a single strided
+//! rectangular block copy and lets `SAVE` implement all four transforms
+//! (WINO/SPAT → WINO/SPAT) with pure address arithmetic.
+//!
+//! Regions carry the consumer's zero halo: a region for a `C × H × W`
+//! tensor feeding a convolution with padding `(ph, pw)` allocates
+//! `(H + 2ph) × (W + 2pw)` and the producer only ever writes the
+//! interior, so the halo stays zero and loads never need bounds checks.
+
+use hybriddnn_estimator::ConvMode;
+
+/// A feature-map region in external memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FmapRegion {
+    /// Base word address (start of the padded region).
+    pub base: u64,
+    /// Channels (`C`).
+    pub channels: usize,
+    /// Unpadded height.
+    pub h: usize,
+    /// Unpadded width.
+    pub w: usize,
+    /// Vertical halo (consumer's padding).
+    pub pad_h: usize,
+    /// Horizontal halo.
+    pub pad_w: usize,
+    /// Storage layout (the consumer's CONV mode).
+    pub layout: ConvMode,
+    /// Channel-vector width `PI`.
+    pub pi: usize,
+}
+
+impl FmapRegion {
+    /// Padded height `H'`.
+    pub fn padded_h(&self) -> usize {
+        self.h + 2 * self.pad_h
+    }
+
+    /// Padded width `W'`.
+    pub fn padded_w(&self) -> usize {
+        self.w + 2 * self.pad_w
+    }
+
+    /// Channel-vector count `CV = ⌈C / PI⌉`.
+    pub fn cv(&self) -> usize {
+        self.channels.div_ceil(self.pi)
+    }
+
+    /// Total allocated words (`H' · W' · CV · PI`).
+    pub fn words(&self) -> u64 {
+        (self.padded_h() * self.padded_w() * self.cv() * self.pi) as u64
+    }
+
+    /// Word address of element `(c, py, px)` in *padded* coordinates.
+    ///
+    /// # Panics
+    /// Panics in debug builds if the coordinates exceed the padded extent.
+    #[inline]
+    pub fn addr_padded(&self, c: usize, py: usize, px: usize) -> u64 {
+        debug_assert!(c < self.channels && py < self.padded_h() && px < self.padded_w());
+        let cv = c / self.pi;
+        let lane = c % self.pi;
+        let vec_index = match self.layout {
+            ConvMode::Spatial => (py * self.padded_w() + px) * self.cv() + cv,
+            ConvMode::Winograd => (py * self.cv() + cv) * self.padded_w() + px,
+        };
+        self.base + (vec_index * self.pi + lane) as u64
+    }
+
+    /// Word address of element `(c, y, x)` in *interior* coordinates
+    /// (`(0, 0)` is the first real pixel, inside the halo).
+    #[inline]
+    pub fn addr(&self, c: usize, y: usize, x: usize) -> u64 {
+        self.addr_padded(c, y + self.pad_h, x + self.pad_w)
+    }
+
+    /// Interior base address — the `DRAM_BASE` a SAVE instruction uses,
+    /// with the halo offset folded in (both layouts are linear in `y` and
+    /// `x`, so the fold is exact).
+    pub fn interior_base(&self) -> u64 {
+        // addr(0, 0, 0) with cv = lane = 0.
+        self.addr(0, 0, 0)
+    }
+}
+
+/// The compiler's DRAM allocation table: one region per activation tensor
+/// plus per-layer weight and bias image locations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MemoryMap {
+    regions: Vec<FmapRegion>,
+    next_free: u64,
+}
+
+impl MemoryMap {
+    /// Creates an empty memory map.
+    pub fn new() -> Self {
+        MemoryMap::default()
+    }
+
+    /// Allocates a feature-map region, returning its index.
+    #[allow(clippy::too_many_arguments)]
+    pub fn alloc_region(
+        &mut self,
+        channels: usize,
+        h: usize,
+        w: usize,
+        pad_h: usize,
+        pad_w: usize,
+        layout: ConvMode,
+        pi: usize,
+    ) -> usize {
+        let region = FmapRegion {
+            base: self.next_free,
+            channels,
+            h,
+            w,
+            pad_h,
+            pad_w,
+            layout,
+            pi,
+        };
+        self.next_free += region.words();
+        self.regions.push(region);
+        self.regions.len() - 1
+    }
+
+    /// Allocates a raw span of `words`, returning its base address
+    /// (used for weight and bias images).
+    pub fn alloc_raw(&mut self, words: u64) -> u64 {
+        let base = self.next_free;
+        self.next_free += words;
+        base
+    }
+
+    /// The region table.
+    pub fn regions(&self) -> &[FmapRegion] {
+        &self.regions
+    }
+
+    /// Region by index.
+    ///
+    /// # Panics
+    /// Panics if `idx` is out of range.
+    pub fn region(&self, idx: usize) -> &FmapRegion {
+        &self.regions[idx]
+    }
+
+    /// Total allocated words.
+    pub fn total_words(&self) -> u64 {
+        self.next_free
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(layout: ConvMode) -> FmapRegion {
+        FmapRegion {
+            base: 100,
+            channels: 6,
+            h: 4,
+            w: 5,
+            pad_h: 1,
+            pad_w: 1,
+            layout,
+            pi: 4,
+        }
+    }
+
+    #[test]
+    fn geometry() {
+        let r = region(ConvMode::Spatial);
+        assert_eq!(r.padded_h(), 6);
+        assert_eq!(r.padded_w(), 7);
+        assert_eq!(r.cv(), 2);
+        assert_eq!(r.words(), (6 * 7 * 2 * 4) as u64);
+    }
+
+    #[test]
+    fn spat_layout_is_channel_innermost() {
+        let r = region(ConvMode::Spatial);
+        // Consecutive channels within a vector are adjacent words.
+        assert_eq!(r.addr_padded(1, 0, 0), r.addr_padded(0, 0, 0) + 1);
+        // Next channel vector of the same pixel is PI words away.
+        assert_eq!(r.addr_padded(4, 0, 0), r.addr_padded(0, 0, 0) + 4);
+        // Next pixel is CV*PI words away.
+        assert_eq!(r.addr_padded(0, 0, 1), r.addr_padded(0, 0, 0) + 8);
+        // Next row is W'*CV*PI words away.
+        assert_eq!(r.addr_padded(0, 1, 0), r.addr_padded(0, 0, 0) + 7 * 8);
+    }
+
+    #[test]
+    fn wino_layout_is_column_innermost() {
+        let r = region(ConvMode::Winograd);
+        // Next column of the same channel vector is PI words away.
+        assert_eq!(r.addr_padded(0, 0, 1), r.addr_padded(0, 0, 0) + 4);
+        // Next channel vector is W'*PI words away.
+        assert_eq!(r.addr_padded(4, 0, 0), r.addr_padded(0, 0, 0) + 7 * 4);
+        // Next row is CV*W'*PI words away.
+        assert_eq!(r.addr_padded(0, 1, 0), r.addr_padded(0, 0, 0) + 2 * 7 * 4);
+    }
+
+    #[test]
+    fn layouts_are_bijections_over_the_region() {
+        for layout in [ConvMode::Spatial, ConvMode::Winograd] {
+            let r = region(layout);
+            let mut seen = std::collections::HashSet::new();
+            for c in 0..r.channels {
+                for y in 0..r.padded_h() {
+                    for x in 0..r.padded_w() {
+                        let a = r.addr_padded(c, y, x);
+                        assert!(a >= r.base && a < r.base + r.words());
+                        assert!(seen.insert(a), "duplicate address {a}");
+                    }
+                }
+            }
+            // All words covered except the unused lanes of the last
+            // partial channel vector (6 channels in vectors of 4 → 2
+            // unused lanes per pixel).
+            let expect = r.channels * r.padded_h() * r.padded_w();
+            assert_eq!(seen.len(), expect);
+        }
+    }
+
+    #[test]
+    fn interior_base_offsets_halo() {
+        let r = region(ConvMode::Spatial);
+        assert_eq!(r.addr(0, 0, 0), r.interior_base());
+        assert_eq!(r.addr_padded(0, 1, 1), r.interior_base());
+        let rw = region(ConvMode::Winograd);
+        assert_eq!(rw.addr_padded(0, 1, 1), rw.interior_base());
+    }
+
+    #[test]
+    fn interior_addresses_are_linear_in_y_and_x() {
+        // SAVE folds the unit's (y0, x0) into DRAM_BASE; verify linearity.
+        for layout in [ConvMode::Spatial, ConvMode::Winograd] {
+            let r = region(layout);
+            let dy = r.addr(0, 1, 0) - r.addr(0, 0, 0);
+            let dx = r.addr(0, 0, 1) - r.addr(0, 0, 0);
+            for y in 0..r.h {
+                for x in 0..r.w {
+                    assert_eq!(
+                        r.addr(0, y, x),
+                        r.addr(0, 0, 0) + y as u64 * dy + x as u64 * dx
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn memory_map_allocates_disjoint_regions() {
+        let mut map = MemoryMap::new();
+        let a = map.alloc_region(3, 8, 8, 1, 1, ConvMode::Spatial, 4);
+        let b = map.alloc_region(16, 8, 8, 0, 0, ConvMode::Winograd, 4);
+        let ra = *map.region(a);
+        let rb = *map.region(b);
+        assert_eq!(rb.base, ra.base + ra.words());
+        let raw = map.alloc_raw(100);
+        assert_eq!(raw, rb.base + rb.words());
+        assert_eq!(map.total_words(), raw + 100);
+        assert_eq!(map.regions().len(), 2);
+    }
+}

@@ -1,0 +1,54 @@
+//! The HybridDNN compiler: lowers a DNN model plus a mapping strategy to
+//! executable accelerator instructions and DRAM data images
+//! ("Inst. & Data Files", Figure 1 Step 3).
+//!
+//! The compiler owns all the data-organization machinery of §4.2.3–§4.3:
+//!
+//! * [`layout`] — the WINO/SPAT feature-map layouts of Figure 5 and the
+//!   DRAM region table (activation regions carry the *consumer's* zero
+//!   halo, so loads are pure rectangular block copies).
+//! * [`plan`] — per-layer execution plans: CONV mode, dataflow, fused
+//!   pooling, the §4.2.4 partition into row groups × width blocks ×
+//!   weight groups (the `IW_BLK` / `OC_BLK` / `OW_BLK` numbers of the
+//!   SAVE instruction), and FC channel chunking.
+//! * [`image`] — offline data preparation: Winograd weight transform
+//!   (`G g Gᵀ`, re-quantized like the hardware stores it), weight/bias
+//!   DRAM images in exact buffer load order, FC weight permutation to the
+//!   feature-map storage order.
+//! * [`lower`] — instruction emission for both IS and WS dataflows with
+//!   ping-pong buffer assignment and handshake-token dependency flags.
+//!
+//! # Example
+//!
+//! ```
+//! use hybriddnn_compiler::{Compiler, MappingStrategy};
+//! use hybriddnn_estimator::AcceleratorConfig;
+//! use hybriddnn_model::{synth, zoo};
+//! use hybriddnn_winograd::TileConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut net = zoo::tiny_cnn();
+//! synth::bind_random(&mut net, 1)?;
+//! let cfg = AcceleratorConfig::new(4, 4, TileConfig::F2x2);
+//! let compiled = Compiler::new(cfg).compile(&net, &MappingStrategy::all_winograd(&net))?;
+//! assert_eq!(compiled.layers().len(), 2); // conv(+pool fused) and fc
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifacts;
+mod compile;
+mod error;
+pub mod image;
+pub mod layout;
+pub mod lower;
+pub mod plan;
+
+pub use artifacts::{read_artifacts, write_artifacts, Artifacts};
+pub use compile::{CompiledLayer, CompiledNetwork, Compiler, QuantSpec};
+pub use error::CompileError;
+pub use layout::{FmapRegion, MemoryMap};
+pub use plan::{LayerPlan, MappingStrategy};

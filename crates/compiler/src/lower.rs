@@ -1,0 +1,755 @@
+//! Instruction emission: turns a [`LayerPlan`] plus region/image addresses
+//! into the accelerator's instruction stream, realizing the IS/WS loop
+//! orders of §4.2.4–4.2.5 with ping-pong buffers and handshake-token
+//! dependency flags (§4.1).
+
+use crate::{layout::FmapRegion, plan::LayerPlan, CompileError};
+use hybriddnn_estimator::{AcceleratorConfig, ConvMode, Dataflow};
+use hybriddnn_isa::{
+    BufferHalf, CompInst, Instruction, LoadInst, LoadKind, PadSpec, Program, SaveInst,
+};
+
+/// Everything the lowering needs to know about one stage.
+#[derive(Debug)]
+pub struct StageContext<'a> {
+    /// The accelerator configuration.
+    pub cfg: &'a AcceleratorConfig,
+    /// The stage plan.
+    pub plan: &'a LayerPlan,
+    /// Source feature-map region (layout matches `plan.mode`).
+    pub input: &'a FmapRegion,
+    /// Destination feature-map region (layout the next stage expects).
+    pub output: &'a FmapRegion,
+    /// DRAM base of the stage's weight image.
+    pub wgt_dram_base: u64,
+    /// Word offset of each weight group within the image.
+    pub wgt_group_offsets: &'a [u64],
+    /// Words of each weight group.
+    pub wgt_group_words: &'a [u64],
+    /// DRAM base of the stage's bias image.
+    pub bias_dram_base: u64,
+    /// Word offset of each bias group.
+    pub bias_group_offsets: &'a [u64],
+}
+
+/// Lowers one stage to its instruction stream.
+///
+/// # Errors
+/// Returns [`CompileError::Isa`] if a field overflows (the plan should
+/// have prevented this) or [`CompileError::Infeasible`] for block shapes
+/// the load splitter cannot express.
+pub fn lower_stage(ctx: &StageContext<'_>) -> Result<Program, CompileError> {
+    let mut e = Emitter::new(ctx);
+    let plan = ctx.plan;
+    match plan.dataflow {
+        Dataflow::WeightStationary => {
+            for gk in 0..plan.gk {
+                e.load_bias_and_weights(gk)?;
+                let units = unit_list(plan);
+                let last_unit = units.len() - 1;
+                for (ui, &(g, wb)) in units.iter().enumerate() {
+                    e.process_unit(g, wb, gk, ui == 0, ui == last_unit)?;
+                }
+                e.wgt_half = e.wgt_half.other();
+            }
+        }
+        Dataflow::InputStationary => {
+            debug_assert_eq!(plan.c_chunks, 1, "IS requires unchunked channels");
+            for &(g, wb) in &unit_list(plan) {
+                e.load_input(g, wb, 0)?;
+                for gk in 0..plan.gk {
+                    e.load_bias_and_weights(gk)?;
+                    e.comp_and_save(g, wb, gk, true, true, gk == 0, gk + 1 == plan.gk)?;
+                    e.wgt_half = e.wgt_half.other();
+                }
+                e.inp_half = e.inp_half.other();
+            }
+        }
+    }
+    Ok(e.prog)
+}
+
+/// The (row group, width block) unit traversal order.
+fn unit_list(plan: &LayerPlan) -> Vec<(usize, usize)> {
+    let mut units = Vec::with_capacity(plan.row_groups * plan.width_blocks);
+    for g in 0..plan.row_groups {
+        for wb in 0..plan.width_blocks {
+            units.push((g, wb));
+        }
+    }
+    units
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Half {
+    Ping,
+    Pong,
+}
+
+impl Half {
+    fn other(self) -> Half {
+        match self {
+            Half::Ping => Half::Pong,
+            Half::Pong => Half::Ping,
+        }
+    }
+
+    fn id(self) -> BufferHalf {
+        match self {
+            Half::Ping => BufferHalf::Ping,
+            Half::Pong => BufferHalf::Pong,
+        }
+    }
+
+    fn base(self, half_words: usize) -> u32 {
+        match self {
+            Half::Ping => 0,
+            Half::Pong => half_words as u32,
+        }
+    }
+}
+
+struct Emitter<'a> {
+    ctx: &'a StageContext<'a>,
+    prog: Program,
+    inp_half: Half,
+    wgt_half: Half,
+    out_half: Half,
+}
+
+impl<'a> Emitter<'a> {
+    fn new(ctx: &'a StageContext<'a>) -> Self {
+        Emitter {
+            ctx,
+            prog: Program::new(),
+            inp_half: Half::Ping,
+            wgt_half: Half::Ping,
+            out_half: Half::Ping,
+        }
+    }
+
+    /// WS inner body: all chunks/blocks of one (g, wb, gk) unit.
+    fn process_unit(
+        &mut self,
+        g: usize,
+        wb: usize,
+        gk: usize,
+        first_unit: bool,
+        last_unit: bool,
+    ) -> Result<(), CompileError> {
+        let plan = self.ctx.plan;
+        for chunk in 0..plan.c_chunks {
+            self.load_input(g, wb, chunk)?;
+            let first = chunk == 0;
+            let last = chunk + 1 == plan.c_chunks;
+            self.comp_blocks(
+                g,
+                wb,
+                gk,
+                chunk,
+                first,
+                last,
+                first_unit && first,
+                last_unit && last,
+            )?;
+            self.inp_half = self.inp_half.other();
+        }
+        self.save(g, wb, gk)?;
+        Ok(())
+    }
+
+    /// IS inner body: one loaded input reused against one weight group.
+    #[allow(clippy::too_many_arguments)]
+    fn comp_and_save(
+        &mut self,
+        g: usize,
+        wb: usize,
+        gk: usize,
+        _first_unit: bool,
+        _last_unit: bool,
+        first_gk: bool,
+        last_gk: bool,
+    ) -> Result<(), CompileError> {
+        // In IS the input token is consumed by the first weight group and
+        // freed by the last; weight tokens cycle per group.
+        self.comp_blocks_is(g, wb, gk, first_gk, last_gk)?;
+        self.save(g, wb, gk)?;
+        Ok(())
+    }
+
+    fn load_bias_and_weights(&mut self, gk: usize) -> Result<(), CompileError> {
+        let ctx = self.ctx;
+        let plan = ctx.plan;
+        if plan.bias {
+            let kg_padded = plan.group_k(gk).div_ceil(ctx.cfg.po) * ctx.cfg.po;
+            // Bias shares the LOAD_WGT module and its half alternation; it
+            // precedes the weight block so the weight-ready token also
+            // implies the bias is in place.
+            self.emit_block_load(
+                LoadKind::Bias,
+                self.wgt_half.base(bias_half_words(ctx.cfg)),
+                ctx.bias_dram_base + ctx.bias_group_offsets[gk],
+                1,
+                kg_padded as u32,
+                0,
+                false,
+                false,
+            )?;
+        }
+        let words = ctx.wgt_group_words[gk];
+        let (rows, row_len) = weight_block_shape(plan, ctx.cfg, gk, words)?;
+        self.emit_block_load(
+            LoadKind::Weight,
+            self.wgt_half.base(ctx.cfg.weight_buffer_words()),
+            ctx.wgt_dram_base + ctx.wgt_group_offsets[gk],
+            rows,
+            row_len,
+            row_len,
+            true,
+            true,
+        )?;
+        Ok(())
+    }
+
+    fn load_input(&mut self, g: usize, wb: usize, chunk: usize) -> Result<(), CompileError> {
+        let ctx = self.ctx;
+        let plan = ctx.plan;
+        let r = ctx.input;
+        let pi = plan.pi;
+        let buff = self.inp_half.base(ctx.cfg.input_buffer_words());
+        if plan.is_fc() {
+            let off = (chunk * plan.c_chunk_vecs * pi) as u64;
+            let len = (plan.chunk_vecs(chunk) * pi) as u32;
+            return self.emit_block_load(
+                LoadKind::Input,
+                buff,
+                r.base + off,
+                1,
+                len,
+                0,
+                true,
+                true,
+            );
+        }
+        let rows_out = plan.group_rows(g);
+        let cols_out = plan.block_cols(wb);
+        let rows_l = (rows_out - 1) * plan.wl.stride + plan.wl.r;
+        let cols_l = (cols_out - 1) * plan.wl.stride + plan.wl.s;
+        let py0 = g * plan.rows_per_group * plan.wl.stride;
+        let px0 = wb * plan.width_block * plan.wl.stride;
+        let cv = r.cv();
+        let wp = r.padded_w();
+        let (dram, rows, row_len, stride) = match r.layout {
+            ConvMode::Spatial => (
+                r.base + ((py0 * wp + px0) * cv * pi) as u64,
+                rows_l as u32,
+                (cols_l * cv * pi) as u32,
+                (wp * cv * pi) as u32,
+            ),
+            ConvMode::Winograd => (
+                r.base + ((py0 * cv * wp + px0) * pi) as u64,
+                (rows_l * cv) as u32,
+                (cols_l * pi) as u32,
+                (wp * pi) as u32,
+            ),
+        };
+        self.emit_block_load(
+            LoadKind::Input,
+            buff,
+            dram,
+            rows,
+            row_len,
+            stride,
+            true,
+            true,
+        )
+    }
+
+    /// Emits the decomposition-block COMP sequence for one chunk of one
+    /// unit (WS path).
+    #[allow(clippy::too_many_arguments)]
+    fn comp_blocks(
+        &mut self,
+        g: usize,
+        wb: usize,
+        gk: usize,
+        chunk: usize,
+        first_chunk: bool,
+        last_chunk: bool,
+        wait_wgt: bool,
+        free_wgt: bool,
+    ) -> Result<(), CompileError> {
+        let plan = self.ctx.plan;
+        let blocks = blocks_of(plan);
+        let nb = blocks.len();
+        for (bi, &(br, bs)) in blocks.iter().enumerate() {
+            let comp = self.make_comp(
+                g,
+                wb,
+                gk,
+                chunk,
+                (br, bs),
+                CompFlags {
+                    wait_inp: bi == 0,
+                    free_inp: bi + 1 == nb,
+                    wait_wgt: wait_wgt && bi == 0,
+                    free_wgt: free_wgt && bi + 1 == nb,
+                    acc_init: first_chunk && bi == 0,
+                    acc_final: last_chunk && bi + 1 == nb,
+                },
+            );
+            self.prog.push(Instruction::Comp(comp));
+        }
+        Ok(())
+    }
+
+    /// IS variant: input token consumed on the first weight group only.
+    fn comp_blocks_is(
+        &mut self,
+        g: usize,
+        wb: usize,
+        gk: usize,
+        first_gk: bool,
+        last_gk: bool,
+    ) -> Result<(), CompileError> {
+        let plan = self.ctx.plan;
+        let blocks = blocks_of(plan);
+        let nb = blocks.len();
+        for (bi, &(br, bs)) in blocks.iter().enumerate() {
+            let comp = self.make_comp(
+                g,
+                wb,
+                gk,
+                0,
+                (br, bs),
+                CompFlags {
+                    wait_inp: first_gk && bi == 0,
+                    free_inp: last_gk && bi + 1 == nb,
+                    wait_wgt: bi == 0,
+                    free_wgt: bi + 1 == nb,
+                    acc_init: bi == 0,
+                    acc_final: bi + 1 == nb,
+                },
+            );
+            self.prog.push(Instruction::Comp(comp));
+        }
+        Ok(())
+    }
+
+    fn make_comp(
+        &self,
+        g: usize,
+        wb: usize,
+        gk: usize,
+        chunk: usize,
+        (br, bs): (usize, usize),
+        flags: CompFlags,
+    ) -> CompInst {
+        let ctx = self.ctx;
+        let plan = ctx.plan;
+        let cfg = ctx.cfg;
+        let kg_padded = plan.group_k(gk).div_ceil(cfg.po) * cfg.po;
+        let blocks_s = plan.wl.s.div_ceil(3);
+        let wgt_block_off = match (plan.mode, plan.is_fc()) {
+            (_, true) => chunk * kg_padded * plan.c_chunk_vecs * plan.pi,
+            (ConvMode::Spatial, false) => 0,
+            (ConvMode::Winograd, false) => {
+                let pt2 = cfg.pt() * cfg.pt();
+                (br * blocks_s + bs) * pt2 * kg_padded * plan.cv_store() * plan.pi
+            }
+        };
+        let ic_vecs = if plan.is_fc() {
+            plan.chunk_vecs(chunk) as u32
+        } else {
+            plan.cv_store() as u32
+        };
+        CompInst {
+            wait_inp: flags.wait_inp,
+            free_inp: flags.free_inp,
+            wait_wgt: flags.wait_wgt,
+            free_wgt: flags.free_wgt,
+            buf_id: self.out_half.id(),
+            inp_base: self.inp_half.base(cfg.input_buffer_words()),
+            wgt_base: self.wgt_half.base(cfg.weight_buffer_words()) + wgt_block_off as u32,
+            out_base: self.out_half.base(cfg.output_buffer_words()),
+            out_w: plan.block_cols(wb) as u32,
+            out_rows: plan.group_rows(g) as u8,
+            ic_vecs,
+            oc_vecs: (kg_padded / cfg.po) as u32,
+            kernel_h: plan.wl.r.min(7) as u8,
+            kernel_w: plan.wl.s.min(7) as u8,
+            stride: plan.wl.stride as u8,
+            relu: plan.relu,
+            quan_shift: plan.quan_shift,
+            wino: plan.mode == ConvMode::Winograd,
+            wino_offset: (br as u8, bs as u8),
+            acc_init: flags.acc_init,
+            acc_final: flags.acc_final,
+            bias_en: plan.bias && flags.acc_init,
+        }
+    }
+
+    fn save(&mut self, g: usize, wb: usize, gk: usize) -> Result<(), CompileError> {
+        let ctx = self.ctx;
+        let plan = ctx.plan;
+        let cfg = ctx.cfg;
+        let out = ctx.output;
+        let pool = plan.pool.max(1);
+        let kg_padded = plan.group_k(gk).div_ceil(cfg.po) * cfg.po;
+        let y0 = g * plan.rows_per_group / pool;
+        let x0 = wb * plan.width_block / pool;
+        let inst = SaveInst {
+            wait_data: true,
+            signal_free: true,
+            buf_id: self.out_half.id(),
+            buff_base: self.out_half.base(cfg.output_buffer_words()),
+            dram_base: out.addr(0, y0, x0),
+            rows: plan.group_rows(g) as u8,
+            out_w: plan.block_cols(wb) as u32,
+            oc_vecs: (kg_padded / cfg.po) as u32,
+            k_base: (gk * plan.k_per_group) as u32,
+            y_base: (g * plan.rows_per_group) as u32,
+            dst_w: out.padded_w() as u32,
+            dst_cv: out.cv() as u32,
+            src_wino: plan.mode == ConvMode::Winograd,
+            dst_wino: out.layout == ConvMode::Winograd,
+            pool: plan.pool as u8,
+        };
+        self.prog.push(Instruction::Save(inst));
+        self.out_half = self.out_half.other();
+        Ok(())
+    }
+
+    /// Emits a block load, splitting rows to honor the 10-bit ROWS field.
+    #[allow(clippy::too_many_arguments)]
+    fn emit_block_load(
+        &mut self,
+        kind: LoadKind,
+        buff_base: u32,
+        dram_base: u64,
+        rows: u32,
+        row_len: u32,
+        row_stride: u32,
+        wait_free: bool,
+        signal_ready: bool,
+    ) -> Result<(), CompileError> {
+        if row_len > 131_071 {
+            return Err(CompileError::Infeasible {
+                layer: "<lower>".to_string(),
+                detail: format!("load row of {row_len} words exceeds the ROW_LEN field"),
+            });
+        }
+        let plan = self.ctx.plan;
+        let region_pads = self.ctx.input;
+        let pads = if matches!(kind, LoadKind::Input) {
+            PadSpec {
+                top: region_pads.pad_h.min(3) as u8,
+                bottom: region_pads.pad_h.min(3) as u8,
+                left: region_pads.pad_w.min(3) as u8,
+                right: region_pads.pad_w.min(3) as u8,
+            }
+        } else {
+            PadSpec::default()
+        };
+        let half = match kind {
+            LoadKind::Input => self.inp_half,
+            _ => self.wgt_half,
+        };
+        let mut r0: u32 = 0;
+        while r0 < rows {
+            let n = (rows - r0).min(1023);
+            let inst = LoadInst {
+                kind,
+                wait_free: wait_free && r0 == 0,
+                signal_ready: signal_ready && r0 + n == rows,
+                buf_id: half.id(),
+                buff_base: buff_base + r0 * row_len,
+                dram_base: dram_base + (r0 as u64) * (row_stride as u64),
+                rows: n,
+                row_len,
+                row_stride,
+                pads,
+                wino: plan.mode == ConvMode::Winograd,
+                wino_offset: (0, 0),
+            };
+            self.prog.push(Instruction::Load(inst));
+            r0 += n;
+        }
+        Ok(())
+    }
+}
+
+struct CompFlags {
+    wait_inp: bool,
+    free_inp: bool,
+    wait_wgt: bool,
+    free_wgt: bool,
+    acc_init: bool,
+    acc_final: bool,
+}
+
+/// Decomposition blocks in traversal order.
+fn blocks_of(plan: &LayerPlan) -> Vec<(usize, usize)> {
+    match plan.mode {
+        ConvMode::Spatial => vec![(0, 0)],
+        ConvMode::Winograd => {
+            let br = plan.wl.r.div_ceil(3);
+            let bs = plan.wl.s.div_ceil(3);
+            let mut v = Vec::with_capacity(br * bs);
+            for i in 0..br {
+                for j in 0..bs {
+                    v.push((i, j));
+                }
+            }
+            v
+        }
+    }
+}
+
+/// Bias buffer half size in words (one half per ping-pong side, sized for
+/// the largest weight group's padded K).
+pub fn bias_half_words(cfg: &AcceleratorConfig) -> usize {
+    // 4096 covers the largest FC head of the evaluated models; the bias
+    // buffer is tiny next to the data buffers.
+    let _ = cfg;
+    4096
+}
+
+/// Factorization of a weight-group image into a (rows × row_len) block.
+fn weight_block_shape(
+    plan: &LayerPlan,
+    cfg: &AcceleratorConfig,
+    gk: usize,
+    words: u64,
+) -> Result<(u32, u32), CompileError> {
+    let kg_padded = plan.group_k(gk).div_ceil(cfg.po) * cfg.po;
+    let (rows, row_len) = if plan.is_fc() {
+        let chunk_words = plan.c_chunk_vecs * plan.pi;
+        ((plan.c_chunks * kg_padded) as u32, chunk_words as u32)
+    } else {
+        let c_lanes = plan.cv_store() * plan.pi;
+        match plan.mode {
+            ConvMode::Spatial => (kg_padded as u32, (c_lanes * plan.wl.r * plan.wl.s) as u32),
+            ConvMode::Winograd => {
+                let pt2 = cfg.pt() * cfg.pt();
+                (
+                    (plan.wl.wino_blocks() * pt2) as u32,
+                    (kg_padded * c_lanes) as u32,
+                )
+            }
+        }
+    };
+    debug_assert_eq!(
+        rows as u64 * row_len as u64,
+        words,
+        "weight image factorization"
+    );
+    Ok((rows, row_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybriddnn_estimator::LayerWorkload;
+    use hybriddnn_isa::Opcode;
+    use hybriddnn_winograd::TileConfig;
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::new(4, 4, TileConfig::F2x2)
+    }
+
+    fn make_ctx<'a>(
+        cfg: &'a AcceleratorConfig,
+        plan: &'a LayerPlan,
+        input: &'a FmapRegion,
+        output: &'a FmapRegion,
+        offs: &'a [u64],
+        words: &'a [u64],
+        boffs: &'a [u64],
+    ) -> StageContext<'a> {
+        StageContext {
+            cfg,
+            plan,
+            input,
+            output,
+            wgt_dram_base: 1_000_000,
+            wgt_group_offsets: offs,
+            wgt_group_words: words,
+            bias_dram_base: 2_000_000,
+            bias_group_offsets: boffs,
+        }
+    }
+
+    fn simple_regions(mode: ConvMode) -> (FmapRegion, FmapRegion) {
+        let input = FmapRegion {
+            base: 0,
+            channels: 8,
+            h: 8,
+            w: 8,
+            pad_h: 1,
+            pad_w: 1,
+            layout: mode,
+            pi: 4,
+        };
+        let output = FmapRegion {
+            base: 10_000,
+            channels: 8,
+            h: 8,
+            w: 8,
+            pad_h: 0,
+            pad_w: 0,
+            layout: ConvMode::Spatial,
+            pi: 4,
+        };
+        (input, output)
+    }
+
+    fn plan_for(mode: ConvMode, dataflow: Dataflow) -> LayerPlan {
+        let wl = LayerWorkload::conv(8, 8, 3, 3, 8, 8, 8, 8, 1);
+        LayerPlan::compute(&cfg(), "t", mode, dataflow, wl, 0, 8, true, true).unwrap()
+    }
+
+    #[test]
+    fn ws_emits_expected_instruction_counts() {
+        let cfg = cfg();
+        let plan = plan_for(ConvMode::Winograd, Dataflow::WeightStationary);
+        let (input, output) = simple_regions(ConvMode::Winograd);
+        let ctx = make_ctx(&cfg, &plan, &input, &output, &[0], &[8 * 8 * 16], &[0]);
+        let prog = lower_stage(&ctx).unwrap();
+        let (li, lw, lb, comp, save) = prog.histogram();
+        // 1 weight group: 1 LOAD_WGT + 1 LOAD_BIAS; units = row_groups ×
+        // width_blocks; one LOAD_INP + COMP + SAVE each.
+        let units = plan.row_groups * plan.width_blocks;
+        assert_eq!(lw, 1);
+        assert_eq!(lb, 1);
+        assert_eq!(li, units);
+        assert_eq!(comp, units); // 3x3 kernel → single decomposition block
+        assert_eq!(save, units);
+    }
+
+    #[test]
+    fn is_reloads_weights_per_unit() {
+        let cfg = cfg();
+        let plan = plan_for(ConvMode::Spatial, Dataflow::InputStationary);
+        let (input, output) = simple_regions(ConvMode::Spatial);
+        let ctx = make_ctx(&cfg, &plan, &input, &output, &[0], &[8 * 8 * 9], &[0]);
+        let prog = lower_stage(&ctx).unwrap();
+        let (li, lw, _, comp, save) = prog.histogram();
+        let units = plan.row_groups * plan.width_blocks;
+        assert_eq!(li, units);
+        assert_eq!(lw, units * plan.gk);
+        assert_eq!(comp, units * plan.gk);
+        assert_eq!(save, units * plan.gk);
+    }
+
+    #[test]
+    fn token_flags_pair_up() {
+        // Every wait must have a matching signal: count token balance.
+        let cfg = cfg();
+        for (mode, df) in [
+            (ConvMode::Winograd, Dataflow::WeightStationary),
+            (ConvMode::Spatial, Dataflow::WeightStationary),
+            (ConvMode::Spatial, Dataflow::InputStationary),
+        ] {
+            let plan = plan_for(mode, df);
+            let (input, output) = simple_regions(mode);
+            let words = match mode {
+                ConvMode::Spatial => 8 * 8 * 9,
+                ConvMode::Winograd => 8 * 8 * 16,
+            };
+            let words_arr = [words];
+            let ctx = make_ctx(&cfg, &plan, &input, &output, &[0], &words_arr, &[0]);
+            let prog = lower_stage(&ctx).unwrap();
+            let mut inp_ready = 0i64;
+            let mut wgt_ready = 0i64;
+            let mut out_ready = 0i64;
+            for inst in prog.instructions() {
+                match inst {
+                    Instruction::Load(l) if l.kind == LoadKind::Input && l.signal_ready => {
+                        inp_ready += 1;
+                    }
+                    Instruction::Load(l) if l.kind == LoadKind::Weight && l.signal_ready => {
+                        wgt_ready += 1;
+                    }
+                    Instruction::Comp(c) => {
+                        if c.wait_inp {
+                            inp_ready -= 1;
+                        }
+                        if c.wait_wgt {
+                            wgt_ready -= 1;
+                        }
+                        assert!(inp_ready >= 0, "COMP waits for unposted input token");
+                        assert!(wgt_ready >= 0, "COMP waits for unposted weight token");
+                        if c.acc_final {
+                            out_ready += 1;
+                        }
+                    }
+                    Instruction::Save(s) => {
+                        if s.wait_data {
+                            out_ready -= 1;
+                        }
+                        assert!(out_ready >= 0, "SAVE waits for unposted output token");
+                    }
+                    _ => {}
+                }
+            }
+            assert_eq!(inp_ready, 0, "unconsumed input tokens ({mode}, {df})");
+            assert_eq!(wgt_ready, 0, "unconsumed weight tokens");
+            assert_eq!(out_ready, 0, "unconsumed output tokens");
+        }
+    }
+
+    #[test]
+    fn ping_pong_alternates_loads() {
+        let cfg = cfg();
+        let plan = plan_for(ConvMode::Winograd, Dataflow::WeightStationary);
+        let (input, output) = simple_regions(ConvMode::Winograd);
+        let ctx = make_ctx(&cfg, &plan, &input, &output, &[0], &[8 * 8 * 16], &[0]);
+        let prog = lower_stage(&ctx).unwrap();
+        let mut prev: Option<BufferHalf> = None;
+        for inst in prog.instructions() {
+            if let Instruction::Load(l) = inst {
+                if l.kind == LoadKind::Input {
+                    if let Some(p) = prev {
+                        assert_ne!(p, l.buf_id, "input loads must alternate halves");
+                    }
+                    prev = Some(l.buf_id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_instruction_encodes() {
+        let cfg = cfg();
+        for (mode, df) in [
+            (ConvMode::Winograd, Dataflow::WeightStationary),
+            (ConvMode::Spatial, Dataflow::InputStationary),
+        ] {
+            let plan = plan_for(mode, df);
+            let (input, output) = simple_regions(mode);
+            let words = match mode {
+                ConvMode::Spatial => 8 * 8 * 9,
+                ConvMode::Winograd => 8 * 8 * 16,
+            };
+            let words_arr = [words];
+            let ctx = make_ctx(&cfg, &plan, &input, &output, &[0], &words_arr, &[0]);
+            let prog = lower_stage(&ctx).unwrap();
+            let encoded = prog.encode().unwrap();
+            assert_eq!(Program::decode(&encoded).unwrap(), prog);
+        }
+    }
+
+    #[test]
+    fn first_opcode_order_is_bias_weight_for_ws() {
+        let cfg = cfg();
+        let plan = plan_for(ConvMode::Spatial, Dataflow::WeightStationary);
+        let (input, output) = simple_regions(ConvMode::Spatial);
+        let ctx = make_ctx(&cfg, &plan, &input, &output, &[0], &[8 * 8 * 9], &[0]);
+        let prog = lower_stage(&ctx).unwrap();
+        let ops: Vec<Opcode> = prog.instructions().iter().map(|i| i.opcode()).collect();
+        assert_eq!(ops[0], Opcode::LoadBias);
+        assert_eq!(ops[1], Opcode::LoadWgt);
+        assert_eq!(ops[2], Opcode::LoadInp);
+    }
+}

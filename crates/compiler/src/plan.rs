@@ -1,0 +1,331 @@
+//! Per-layer execution plans: the §4.2.4 partitioning plus the practical
+//! blocking the instruction set expresses (width blocks — the SAVE
+//! instruction's `IW_BLK`/`OW_BLK` numbers — and FC channel chunking).
+
+use crate::CompileError;
+use hybriddnn_estimator::{AcceleratorConfig, ConvMode, Dataflow, LayerWorkload};
+use hybriddnn_model::{LayerKind, Network};
+
+/// The complete lowering plan for one compute stage (a CONV or FC layer,
+/// with an optionally fused max-pool).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LayerPlan {
+    /// CONV mode.
+    pub mode: ConvMode,
+    /// Dataflow strategy.
+    pub dataflow: Dataflow,
+    /// The layer's geometry.
+    pub wl: LayerWorkload,
+    /// Fused max-pool window (0/1 = none).
+    pub pool: usize,
+    /// Output rows per row group (`m`-aligned for Winograd, pool-aligned
+    /// always).
+    pub rows_per_group: usize,
+    /// Number of row groups.
+    pub row_groups: usize,
+    /// Output columns per width block (last block may be smaller).
+    pub width_block: usize,
+    /// Number of width blocks.
+    pub width_blocks: usize,
+    /// Output channels per weight group (multiple of `PO`).
+    pub k_per_group: usize,
+    /// Number of weight groups (`GK`).
+    pub gk: usize,
+    /// Input-channel vectors per chunk (= all of them unless this is an
+    /// FC layer too wide for the input buffer).
+    pub c_chunk_vecs: usize,
+    /// Number of input-channel chunks.
+    pub c_chunks: usize,
+    /// Flattened input store width for FC layers (`H·W·CV·PI` of the
+    /// producing region); equals `c` for CONV layers.
+    pub c_store: usize,
+    /// Fused ReLU.
+    pub relu: bool,
+    /// Whether a bias vector is added.
+    pub bias: bool,
+    /// Requantization shift (`QUAN_PARAM`).
+    pub quan_shift: i8,
+    /// Channel-vector width `PI` of the accelerator this plan targets.
+    pub pi: usize,
+    /// The Winograd tile configuration of the target accelerator.
+    pub tile: hybriddnn_winograd::TileConfig,
+}
+
+impl LayerPlan {
+    /// Builds a plan for one stage.
+    ///
+    /// # Errors
+    /// Returns [`CompileError::Infeasible`] when no legal blocking fits
+    /// the on-chip buffers, or when a dimension exceeds an ISA field.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compute(
+        cfg: &AcceleratorConfig,
+        name: &str,
+        mode: ConvMode,
+        dataflow: Dataflow,
+        wl: LayerWorkload,
+        pool: usize,
+        c_store: usize,
+        relu: bool,
+        bias: bool,
+    ) -> Result<LayerPlan, CompileError> {
+        let infeasible = |detail: String| CompileError::Infeasible {
+            layer: name.to_string(),
+            detail,
+        };
+        let mode = if wl.supports_winograd() {
+            mode
+        } else {
+            ConvMode::Spatial
+        };
+        let pool = if pool <= 1 { 0 } else { pool };
+        let pi = cfg.pi;
+        let is_fc = wl.out_h == 1 && wl.out_w == 1;
+        // FC layers always run Spatial (a 1×1 Winograd tile wastes
+        // PT²/m² of the PE) and Weight-Stationary ordering (channel
+        // chunks must stay innermost so the accumulator survives).
+        let (mode, dataflow) = if is_fc {
+            (ConvMode::Spatial, Dataflow::WeightStationary)
+        } else {
+            (mode, dataflow)
+        };
+
+        // Row grouping: m rows for Winograd, 1 for Spatial, aligned up to
+        // the pooling window so SAVE sees whole vertical pool windows.
+        let base_rows = match mode {
+            ConvMode::Spatial => 1,
+            ConvMode::Winograd => cfg.m(),
+        };
+        let rows_per_group = if pool > 0 {
+            lcm(base_rows, pool)
+        } else {
+            base_rows
+        };
+        if rows_per_group > 15 {
+            return Err(infeasible(format!(
+                "row group of {rows_per_group} exceeds the 4-bit OUT_ROWS field"
+            )));
+        }
+        if pool > 0 && (!wl.out_h.is_multiple_of(pool) || !wl.out_w.is_multiple_of(pool)) {
+            return Err(infeasible(format!(
+                "output {}x{} not divisible by fused pool {pool}",
+                wl.out_h, wl.out_w
+            )));
+        }
+        let row_groups = wl.out_h.div_ceil(rows_per_group);
+
+        // Input-channel chunking (FC layers only; CONV keeps C whole).
+        let cv_store = c_store.div_ceil(pi);
+        let (c_chunk_vecs, c_chunks) = if is_fc {
+            let cap_vecs = cfg.input_buffer_words() / pi;
+            let chunk = cv_store.min(cap_vecs).min(1024);
+            if chunk == 0 {
+                return Err(infeasible(
+                    "input buffer cannot hold one channel vector".into(),
+                ));
+            }
+            (chunk, cv_store.div_ceil(chunk))
+        } else {
+            if cv_store > 1024 {
+                return Err(infeasible(format!(
+                    "{cv_store} input-channel vectors exceed the IC_VECS field"
+                )));
+            }
+            (cv_store, 1)
+        };
+
+        // Weight grouping + width blocking: shared with the estimator's
+        // partitioning (one source of truth for the §4.2.4 blocking).
+        let align = lcm(
+            if mode == ConvMode::Winograd {
+                cfg.m()
+            } else {
+                1
+            },
+            pool.max(1),
+        );
+        let (width_block, width_blocks, k_per_group, gk) = if is_fc {
+            // FC: weight group bounded by the chunk-padded image width.
+            let words_per_k = c_chunks * c_chunk_vecs * pi;
+            let wcap = cfg.weight_buffer_words();
+            let k_fit = (wcap / words_per_k) / cfg.po * cfg.po;
+            if k_fit == 0 {
+                return Err(infeasible(format!(
+                    "one output channel needs {words_per_k} weight words; buffer holds {wcap}"
+                )));
+            }
+            let kpg = k_fit.min(wl.k.next_multiple_of(cfg.po)).min(511 * cfg.po);
+            (1, 1, kpg, wl.k.div_ceil(kpg))
+        } else {
+            let p =
+                hybriddnn_estimator::Partition::compute_with(cfg, mode, &wl, rows_per_group, align)
+                    .ok_or_else(|| {
+                        infeasible("no legal blocking fits the on-chip buffers".to_string())
+                    })?;
+            (p.width_block, p.width_blocks, p.k_per_group, p.gk)
+        };
+
+        Ok(LayerPlan {
+            mode,
+            dataflow,
+            wl,
+            pool,
+            rows_per_group,
+            row_groups,
+            width_block,
+            width_blocks,
+            k_per_group,
+            gk,
+            c_chunk_vecs,
+            c_chunks,
+            c_store,
+            relu,
+            bias,
+            quan_shift: 0,
+            pi,
+            tile: cfg.tile,
+        })
+    }
+
+    /// Whether this stage is an FC layer (1×1 output geometry).
+    pub fn is_fc(&self) -> bool {
+        self.wl.out_h == 1 && self.wl.out_w == 1
+    }
+
+    /// Output rows of row group `g` (the last group may be short).
+    pub fn group_rows(&self, g: usize) -> usize {
+        let start = g * self.rows_per_group;
+        self.rows_per_group.min(self.wl.out_h - start)
+    }
+
+    /// Output columns of width block `b` (the last block may be short).
+    pub fn block_cols(&self, b: usize) -> usize {
+        let start = b * self.width_block;
+        self.width_block.min(self.wl.out_w - start)
+    }
+
+    /// Output channels of weight group `gk` (the last may be short).
+    pub fn group_k(&self, gk: usize) -> usize {
+        let start = gk * self.k_per_group;
+        self.k_per_group.min(self.wl.k - start)
+    }
+
+    /// Input-channel vector count over the store width (`⌈c_store/PI⌉`).
+    pub fn cv_store(&self) -> usize {
+        self.c_store.div_ceil(self.pi)
+    }
+
+    /// Input-channel vectors of chunk `c` (the last may be short).
+    pub fn chunk_vecs(&self, c: usize) -> usize {
+        let start = c * self.c_chunk_vecs;
+        self.c_chunk_vecs.min(self.cv_store() - start)
+    }
+
+    /// Total COMP work units (`row_groups × width_blocks × GK ×
+    /// decomposition blocks × chunks`).
+    pub fn comp_units(&self) -> usize {
+        self.row_groups
+            * self.width_blocks
+            * self.gk
+            * self.wl.wino_blocks_for(self.mode)
+            * self.c_chunks
+    }
+}
+
+/// Extension trait hook: block count respecting the mode.
+trait WinoBlocksFor {
+    fn wino_blocks_for(&self, mode: ConvMode) -> usize;
+}
+
+impl WinoBlocksFor for LayerWorkload {
+    fn wino_blocks_for(&self, mode: ConvMode) -> usize {
+        match mode {
+            ConvMode::Spatial => 1,
+            ConvMode::Winograd => self.wino_blocks(),
+        }
+    }
+}
+
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: usize, b: usize) -> usize {
+    a / gcd(a, b) * b
+}
+
+/// The per-layer software choices — the DSE's "SW parameters"
+/// (`{mode_l}`, `{dataflow_l}` of Table 2), indexed by *compute* layer
+/// order (pooling layers are fused and carry no choice).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MappingStrategy {
+    choices: Vec<(ConvMode, Dataflow)>,
+}
+
+impl MappingStrategy {
+    /// Builds a strategy from explicit per-compute-layer choices.
+    pub fn new(choices: Vec<(ConvMode, Dataflow)>) -> Self {
+        MappingStrategy { choices }
+    }
+
+    /// Winograd + WS everywhere (strided layers fall back to Spatial
+    /// during planning).
+    pub fn all_winograd(net: &Network) -> Self {
+        Self::uniform(net, ConvMode::Winograd, Dataflow::WeightStationary)
+    }
+
+    /// Spatial + WS everywhere — the "conventional architecture" baseline
+    /// of §6.1.
+    pub fn all_spatial(net: &Network) -> Self {
+        Self::uniform(net, ConvMode::Spatial, Dataflow::WeightStationary)
+    }
+
+    /// A uniform strategy.
+    pub fn uniform(net: &Network, mode: ConvMode, dataflow: Dataflow) -> Self {
+        let n = net.layers().iter().filter(|l| l.is_compute()).count();
+        MappingStrategy {
+            choices: vec![(mode, dataflow); n],
+        }
+    }
+
+    /// The per-compute-layer choices.
+    pub fn choices(&self) -> &[(ConvMode, Dataflow)] {
+        &self.choices
+    }
+
+    /// The choice for compute layer `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn choice(&self, i: usize) -> (ConvMode, Dataflow) {
+        self.choices[i]
+    }
+
+    /// Validates the strategy against a network.
+    ///
+    /// # Errors
+    /// Returns [`CompileError::Unsupported`] if the choice count differs
+    /// from the network's compute-layer count.
+    pub fn check(&self, net: &Network) -> Result<(), CompileError> {
+        let n = net.layers().iter().filter(|l| l.is_compute()).count();
+        if self.choices.len() != n {
+            return Err(CompileError::Unsupported {
+                layer: "<strategy>".to_string(),
+                detail: format!("{} choices for {n} compute layers", self.choices.len()),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Helper: count compute layers (CONV + FC) of a network.
+pub fn compute_layer_count(net: &Network) -> usize {
+    net.layers()
+        .iter()
+        .filter(|l| matches!(l.kind(), LayerKind::Conv(_) | LayerKind::Fc(_)))
+        .count()
+}

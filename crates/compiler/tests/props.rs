@@ -1,0 +1,208 @@
+//! Property-based tests of the compiler: every program it emits for a
+//! random layer/strategy/configuration respects the machine's physical
+//! limits — buffer capacities, encodable fields, and balanced token
+//! protocols — and its memory map never aliases.
+
+use hybriddnn_compiler::{Compiler, MappingStrategy};
+use hybriddnn_estimator::{AcceleratorConfig, ConvMode, Dataflow};
+use hybriddnn_isa::{Instruction, LoadKind};
+use hybriddnn_model::{synth, NetworkBuilder, Shape};
+use hybriddnn_winograd::TileConfig;
+use proptest::prelude::*;
+
+fn cfg_strategy() -> impl Strategy<Value = AcceleratorConfig> {
+    (
+        prop_oneof![Just(TileConfig::F2x2), Just(TileConfig::F4x4)],
+        prop_oneof![
+            Just((2usize, 2usize)),
+            Just((4, 4)),
+            Just((4, 2)),
+            Just((8, 4))
+        ],
+    )
+        .prop_map(|(tile, (pi, po))| AcceleratorConfig::new(pi, po, tile))
+}
+
+#[derive(Debug, Clone)]
+struct NetSpec {
+    in_c: usize,
+    hw: usize,
+    out_c: usize,
+    kernel: usize,
+    stride: usize,
+    pool: bool,
+    fc: bool,
+    mode: ConvMode,
+    dataflow: Dataflow,
+}
+
+fn net_strategy() -> impl Strategy<Value = NetSpec> {
+    (
+        1usize..8,
+        prop_oneof![Just(8usize), Just(12), Just(16), Just(20)],
+        1usize..10,
+        prop_oneof![Just(1usize), Just(3), Just(5), Just(7)],
+        prop_oneof![Just(1usize), Just(2)],
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(in_c, hw, out_c, kernel, stride, pool, fc, wino, is)| NetSpec {
+                in_c,
+                hw,
+                out_c,
+                kernel,
+                stride,
+                pool,
+                fc,
+                mode: if wino {
+                    ConvMode::Winograd
+                } else {
+                    ConvMode::Spatial
+                },
+                dataflow: if is {
+                    Dataflow::InputStationary
+                } else {
+                    Dataflow::WeightStationary
+                },
+            },
+        )
+}
+
+fn build(spec: &NetSpec, cfg: AcceleratorConfig) -> Option<hybriddnn_compiler::CompiledNetwork> {
+    let conv = hybriddnn_model::Conv2d {
+        in_channels: spec.in_c,
+        out_channels: spec.out_c,
+        kernel_h: spec.kernel,
+        kernel_w: spec.kernel,
+        stride: spec.stride,
+        padding: hybriddnn_model::Padding::same(spec.kernel / 2),
+        activation: hybriddnn_model::Activation::Relu,
+        bias: true,
+    };
+    let mut b = NetworkBuilder::new(Shape::new(spec.in_c, spec.hw, spec.hw)).conv_cfg("c", conv);
+    // Pooling needs an even post-conv map.
+    let post = (spec.hw + 2 * (spec.kernel / 2) - spec.kernel) / spec.stride + 1;
+    let pooled = spec.pool && post.is_multiple_of(2);
+    if pooled {
+        b = b.max_pool("p", 2);
+    }
+    if spec.fc {
+        b = b.fc("f", 5);
+    }
+    let mut net = b.build().ok()?;
+    synth::bind_random(&mut net, 99).ok()?;
+    let n = net.layers().iter().filter(|l| l.is_compute()).count();
+    let strategy = MappingStrategy::new(vec![(spec.mode, spec.dataflow); n]);
+    Compiler::new(cfg).compile(&net, &strategy).ok()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every emitted LOAD lands inside its buffer; every COMP/SAVE base
+    /// is within the double-buffered capacity; everything encodes.
+    #[test]
+    fn programs_respect_buffer_capacities(spec in net_strategy(), cfg in cfg_strategy()) {
+        let Some(compiled) = build(&spec, cfg) else { return Ok(()); };
+        let icap = 2 * cfg.input_buffer_words();
+        let wcap = 2 * cfg.weight_buffer_words();
+        let ocap = 2 * cfg.output_buffer_words();
+        for layer in compiled.layers() {
+            prop_assert!(layer.program().encode().is_ok());
+            for inst in layer.program().instructions() {
+                match inst {
+                    Instruction::Load(l) => {
+                        let end = l.buff_base as usize + l.words() as usize;
+                        match l.kind {
+                            LoadKind::Input => prop_assert!(end <= icap, "inp load {end}/{icap}"),
+                            LoadKind::Weight => prop_assert!(end <= wcap, "wgt load {end}/{wcap}"),
+                            LoadKind::Bias => prop_assert!(end <= 8192),
+                        }
+                    }
+                    Instruction::Comp(c) => {
+                        prop_assert!((c.inp_base as usize) < icap);
+                        prop_assert!((c.wgt_base as usize) < wcap);
+                        let out_end = c.out_base as usize
+                            + c.oc_vecs as usize * cfg.po
+                            * c.out_rows as usize * c.out_w as usize;
+                        prop_assert!(out_end <= ocap, "comp out {out_end}/{ocap}");
+                    }
+                    Instruction::Save(s) => {
+                        let end = s.buff_base as usize
+                            + s.oc_vecs as usize * cfg.po
+                            * s.rows as usize * s.out_w as usize;
+                        prop_assert!(end <= ocap, "save {end}/{ocap}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Token protocol balance: ready/free tokens pair exactly, and no
+    /// consumer ever waits before its producer has been enqueued.
+    #[test]
+    fn token_protocol_is_balanced(spec in net_strategy(), cfg in cfg_strategy()) {
+        let Some(compiled) = build(&spec, cfg) else { return Ok(()); };
+        for layer in compiled.layers() {
+            let mut inp = 0i64;
+            let mut wgt = 0i64;
+            let mut out = 0i64;
+            let mut inp_free = 2i64;
+            let mut wgt_free = 2i64;
+            for inst in layer.program().instructions() {
+                match inst {
+                    Instruction::Load(l) => match l.kind {
+                        LoadKind::Input => {
+                            if l.wait_free { inp_free -= 1; }
+                            prop_assert!(inp_free >= 0, "input slot underflow");
+                            if l.signal_ready { inp += 1; }
+                        }
+                        LoadKind::Weight => {
+                            if l.wait_free { wgt_free -= 1; }
+                            prop_assert!(wgt_free >= 0, "weight slot underflow");
+                            if l.signal_ready { wgt += 1; }
+                        }
+                        LoadKind::Bias => {}
+                    },
+                    Instruction::Comp(c) => {
+                        if c.wait_inp { inp -= 1; }
+                        if c.wait_wgt { wgt -= 1; }
+                        prop_assert!(inp >= 0 && wgt >= 0, "COMP waits on missing token");
+                        if c.free_inp { inp_free += 1; }
+                        if c.free_wgt { wgt_free += 1; }
+                        if c.acc_final { out += 1; }
+                    }
+                    Instruction::Save(s) => {
+                        if s.wait_data { out -= 1; }
+                        prop_assert!(out >= 0, "SAVE waits on missing token");
+                    }
+                }
+            }
+            prop_assert_eq!(inp, 0, "dangling input tokens");
+            prop_assert_eq!(wgt, 0, "dangling weight tokens");
+            prop_assert_eq!(out, 0, "dangling output tokens");
+        }
+    }
+
+    /// The memory map's regions and data segments never alias.
+    #[test]
+    fn memory_map_never_aliases(spec in net_strategy(), cfg in cfg_strategy()) {
+        let Some(compiled) = build(&spec, cfg) else { return Ok(()); };
+        let mut spans: Vec<(u64, u64)> = compiled
+            .memory_map()
+            .regions()
+            .iter()
+            .map(|r| (r.base, r.base + r.words()))
+            .collect();
+        for (base, words) in compiled.data_segments() {
+            spans.push((*base, base + words.len() as u64));
+        }
+        spans.sort();
+        for pair in spans.windows(2) {
+            prop_assert!(pair[0].1 <= pair[1].0, "overlap: {pair:?}");
+        }
+    }
+}

@@ -1,0 +1,260 @@
+//! The `hybriddnn` command-line tool: the end-to-end design flow of
+//! Figure 1 from text files.
+//!
+//! ```text
+//! hybriddnn <MODEL.hdnn> <DEVICE.fpga> [--quant] [--functional]
+//!           [--disasm] [--hls] [--emit DIR] [--seed N]
+//! ```
+//!
+//! * `MODEL.hdnn` — model description (see `hybriddnn::parser`).
+//! * `DEVICE.fpga` — device spec, or one of the built-ins `vu9p` / `pynq-z1`.
+//! * `--quant` — compile at the paper's 12-bit deployment precision.
+//! * `--functional` — move real data (synthetic weights/input) and
+//!   validate against the golden CPU reference.
+//! * `--disasm` — dump the disassembled instruction stream per stage.
+//! * `--hls` — print the HLS template configuration header (Step 3).
+//! * `--emit DIR` — write the instruction & data artifacts to `DIR`.
+//! * `--batch N` — additionally simulate an `N`-image batch across the
+//!   design's `NI` instances and report device throughput.
+//! * `--seed N` — PRNG seed for the synthetic parameters (default 42).
+
+use hybriddnn::flow::Framework;
+use hybriddnn::model::{reference, synth};
+use hybriddnn::report::AccuracyReport;
+use hybriddnn::{parser, FpgaSpec, Profile, QuantSpec, SimMode};
+use std::process::ExitCode;
+
+struct Args {
+    model_path: String,
+    device: String,
+    quant: bool,
+    functional: bool,
+    disasm: bool,
+    hls: bool,
+    emit: Option<String>,
+    batch: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut positional = Vec::new();
+    let mut quant = false;
+    let mut functional = false;
+    let mut disasm = false;
+    let mut hls = false;
+    let mut emit = None;
+    let mut batch = 0usize;
+    let mut seed = 42u64;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quant" => quant = true,
+            "--functional" => functional = true,
+            "--disasm" => disasm = true,
+            "--hls" => hls = true,
+            "--emit" => {
+                emit = Some(it.next().ok_or("--emit requires a directory")?);
+            }
+            "--batch" => {
+                let v = it.next().ok_or("--batch requires a count")?;
+                batch = v.parse().map_err(|_| format!("bad batch size `{v}`"))?;
+            }
+            "--seed" => {
+                let v = it.next().ok_or("--seed requires a value")?;
+                seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        return Err("expected exactly two arguments: MODEL.hdnn DEVICE.fpga".to_string());
+    }
+    Ok(Args {
+        model_path: positional[0].clone(),
+        device: positional[1].clone(),
+        quant,
+        functional,
+        disasm,
+        hls,
+        emit,
+        batch,
+        seed,
+    })
+}
+
+fn device_for(spec: &str) -> Result<(FpgaSpec, Profile), String> {
+    match spec {
+        "vu9p" => Ok((FpgaSpec::vu9p(), Profile::vu9p())),
+        "pynq-z1" | "pynq" => Ok((FpgaSpec::pynq_z1(), Profile::pynq_z1())),
+        path => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            let spec = parser::parse_fpga(&text).map_err(|e| format!("{path}: {e}"))?;
+            // Custom devices default to the VU9P-fitted profile.
+            Ok((spec, Profile::vu9p()))
+        }
+    }
+}
+
+fn run(args: Args) -> Result<(), String> {
+    // Step 1: parse.
+    let text = std::fs::read_to_string(&args.model_path)
+        .map_err(|e| format!("cannot read `{}`: {e}", args.model_path))?;
+    let mut net = parser::parse_model(&text).map_err(|e| format!("{}: {e}", args.model_path))?;
+    let (device, profile) = device_for(&args.device)?;
+    synth::bind_random(&mut net, args.seed).map_err(|e| e.to_string())?;
+    println!(
+        "model : {} ({} layers, {:.3} GOP/inference)",
+        args.model_path,
+        net.layers().len(),
+        net.total_ops() as f64 / 1e9
+    );
+    println!("device: {device}");
+
+    // Steps 2-3: DSE + compile.
+    let mut framework = Framework::new(device.clone(), profile);
+    if args.quant {
+        framework = framework.with_quant(QuantSpec::paper_12bit());
+    }
+    let deployment = framework.build(&net).map_err(|e| e.to_string())?;
+    println!(
+        "\ndesign: {} ({} candidates explored)",
+        deployment.dse.design, deployment.dse.candidates
+    );
+    let (l, d, b) = deployment
+        .dse
+        .total_resources
+        .utilization(&device.total_resources());
+    println!(
+        "usage : {} ({:.1}% LUT, {:.1}% DSP, {:.1}% BRAM)",
+        deployment.dse.total_resources,
+        l * 100.0,
+        d * 100.0,
+        b * 100.0
+    );
+    println!("\nper-layer mapping:");
+    for c in &deployment.dse.per_layer {
+        println!(
+            "  {:<12} {} {}  ~{:>10.0} cycles ({}-bound)",
+            c.name, c.mode, c.dataflow, c.estimate.cycles, c.estimate.bound
+        );
+    }
+    println!(
+        "\ncompiled {} instructions over {} stages, {} DRAM words",
+        deployment.compiled.instruction_count(),
+        deployment.compiled.layers().len(),
+        deployment.compiled.memory_map().total_words()
+    );
+    if args.disasm {
+        for layer in deployment.compiled.layers() {
+            println!("\n;; stage {}", layer.name());
+            print!("{}", layer.program().disassemble());
+        }
+    }
+    if args.hls {
+        println!("\n// ---- HLS template configuration ----");
+        print!(
+            "{}",
+            hybriddnn::hls::template_header(
+                &deployment.dse.design,
+                &device,
+                deployment.compiled.quant()
+            )
+        );
+    }
+    if let Some(dir) = &args.emit {
+        hybriddnn_compiler::write_artifacts(&deployment.compiled, std::path::Path::new(dir))
+            .map_err(|e| e.to_string())?;
+        println!("artifacts written to {dir}/ (manifest.txt, *.inst, data.bin)");
+    }
+
+    // Step 4: run.
+    let input = synth::tensor(net.input_shape(), args.seed ^ 0xF00D);
+    let mode = if args.functional {
+        SimMode::Functional
+    } else {
+        SimMode::TimingOnly
+    };
+    let run = deployment.run(&input, mode).map_err(|e| e.to_string())?;
+    println!(
+        "\nsimulated: {:.3} ms/image/instance, {:.1} GOPS device throughput",
+        deployment.latency_ms(&run),
+        deployment.throughput_gops(&run)
+    );
+    println!(
+        "power    : {:.2} W (modeled) -> {:.1} GOPS/W",
+        deployment.power().total_w(),
+        deployment.energy_efficiency(&run)
+    );
+    if args.functional {
+        if args.quant {
+            let golden = hybriddnn::report::golden_quantized(&net, &deployment.compiled, &input);
+            let exact = run.output == golden;
+            println!(
+                "validation: {} the fixed-point golden reference",
+                if exact {
+                    "bit-exact against"
+                } else {
+                    "MISMATCH against"
+                }
+            );
+            if !exact {
+                return Err("quantized output mismatch".to_string());
+            }
+        } else {
+            let golden = reference::run_network(&net, &input).map_err(|e| e.to_string())?;
+            println!(
+                "validation: max |err| vs CPU reference = {:.2e}",
+                run.output.max_abs_diff(&golden)
+            );
+        }
+    }
+    if args.batch > 1 {
+        let inputs: Vec<_> = (0..args.batch)
+            .map(|i| synth::tensor(net.input_shape(), args.seed.wrapping_add(i as u64)))
+            .collect();
+        let result = deployment
+            .run_batch(&inputs, SimMode::TimingOnly)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "batch({}) : {:.1} GOPS device, {:.1} images/s across {} instance(s)",
+            args.batch,
+            result.throughput_gops(device.freq_mhz()),
+            result.images_per_second(device.freq_mhz()),
+            deployment.dse.design.ni
+        );
+    }
+    let report = AccuracyReport::measure(&deployment).map_err(|e| e.to_string())?;
+    println!(
+        "model accuracy: {:.2}% (estimator vs cycle-level simulation)",
+        report.total_error_pct()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match parse_args() {
+        Ok(args) => match run(args) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!(
+                "usage: hybriddnn <MODEL.hdnn> <DEVICE.fpga|vu9p|pynq-z1> \
+                 [--quant] [--functional] [--disasm] [--hls] [--emit DIR] \
+                 [--batch N] [--seed N]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}

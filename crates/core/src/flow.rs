@@ -1,0 +1,309 @@
+//! The end-to-end design flow (Figure 1): parse → DSE → compile → run.
+
+use hybriddnn_compiler::{CompileError, CompiledNetwork, Compiler, MappingStrategy, QuantSpec};
+use hybriddnn_dse::{DseEngine, DseError, DseResult};
+use hybriddnn_estimator::Profile;
+use hybriddnn_fpga::{EnergyModel, FpgaSpec, PowerBreakdown};
+use hybriddnn_model::{Network, Tensor};
+use hybriddnn_sim::{RunResult, SimError, SimMode, Simulator};
+use std::fmt;
+
+/// Errors of the end-to-end flow.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// Design space exploration failed.
+    Dse(DseError),
+    /// Compilation failed.
+    Compile(CompileError),
+    /// Simulation failed.
+    Sim(SimError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Dse(e) => write!(f, "dse: {e}"),
+            FlowError::Compile(e) => write!(f, "compile: {e}"),
+            FlowError::Sim(e) => write!(f, "sim: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FlowError::Dse(e) => Some(e),
+            FlowError::Compile(e) => Some(e),
+            FlowError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<DseError> for FlowError {
+    fn from(e: DseError) -> Self {
+        FlowError::Dse(e)
+    }
+}
+
+impl From<CompileError> for FlowError {
+    fn from(e: CompileError) -> Self {
+        FlowError::Compile(e)
+    }
+}
+
+impl From<SimError> for FlowError {
+    fn from(e: SimError) -> Self {
+        FlowError::Sim(e)
+    }
+}
+
+/// The HybridDNN framework: a target device, its resource profile, and a
+/// numeric precision, ready to build deployments.
+#[derive(Debug, Clone)]
+pub struct Framework {
+    device: FpgaSpec,
+    profile: Profile,
+    quant: QuantSpec,
+}
+
+impl Framework {
+    /// Creates a framework for a device (full-precision data by default).
+    pub fn new(device: FpgaSpec, profile: Profile) -> Self {
+        Framework {
+            device,
+            profile,
+            quant: QuantSpec::float32(),
+        }
+    }
+
+    /// Sets the deployment precision (e.g. [`QuantSpec::paper_12bit`]).
+    pub fn with_quant(mut self, quant: QuantSpec) -> Self {
+        self.quant = quant;
+        self
+    }
+
+    /// The target device.
+    pub fn device(&self) -> &FpgaSpec {
+        &self.device
+    }
+
+    /// Runs Steps 2–3 of the design flow: explore the design space, then
+    /// compile the network under the winning mapping strategy.
+    ///
+    /// # Errors
+    /// Propagates DSE and compilation failures.
+    pub fn build(&self, net: &Network) -> Result<Deployment, FlowError> {
+        let dse = DseEngine::new(self.device.clone(), self.profile).explore(net)?;
+        self.build_with(net, dse)
+    }
+
+    /// Compiles a network under a pre-computed DSE result (useful for
+    /// forcing configurations in experiments).
+    ///
+    /// # Errors
+    /// Propagates compilation failures.
+    pub fn build_with(&self, net: &Network, dse: DseResult) -> Result<Deployment, FlowError> {
+        let strategy = MappingStrategy::new(dse.strategy_choices());
+        let compiled = Compiler::new(dse.design.accel)
+            .with_quant(self.quant)
+            .compile(net, &strategy)?;
+        Ok(Deployment {
+            device: self.device.clone(),
+            dse,
+            compiled,
+        })
+    }
+}
+
+/// A built deployment: the DSE decision plus the compiled artifacts,
+/// bound to the target device (the paper's "Inst. & Data Files" +
+/// "FPGA Bitstream" stand-in).
+#[derive(Debug, Clone)]
+pub struct Deployment {
+    /// The target device.
+    pub device: FpgaSpec,
+    /// The design space exploration result.
+    pub dse: DseResult,
+    /// The compiled network.
+    pub compiled: CompiledNetwork,
+}
+
+impl Deployment {
+    /// Creates a simulator session for this deployment (one accelerator
+    /// instance with its bandwidth share).
+    pub fn simulator(&self, mode: SimMode) -> Simulator {
+        let bw = self.device.instance_bandwidth(self.dse.design.ni);
+        Simulator::new(&self.compiled, mode, bw)
+    }
+
+    /// Runs one inference on a fresh simulator session.
+    ///
+    /// # Errors
+    /// Propagates simulator failures.
+    pub fn run(&self, input: &Tensor, mode: SimMode) -> Result<RunResult, FlowError> {
+        Ok(self.simulator(mode).run(&self.compiled, input)?)
+    }
+
+    /// Per-image latency of a run in milliseconds.
+    pub fn latency_ms(&self, run: &RunResult) -> f64 {
+        run.latency_ms(self.device.freq_mhz())
+    }
+
+    /// Device throughput in GOPS: `NI` batch-parallel instances, each
+    /// delivering the measured per-image rate.
+    pub fn throughput_gops(&self, run: &RunResult) -> f64 {
+        run.gops(self.device.freq_mhz()) * self.dse.design.ni as f64
+    }
+
+    /// Modeled board power (Table 4's W column; modeled, not measured).
+    pub fn power(&self) -> PowerBreakdown {
+        EnergyModel::calibrated().power(&self.dse.total_resources, self.device.freq_mhz())
+    }
+
+    /// Modeled energy efficiency in GOPS/W for a run.
+    pub fn energy_efficiency(&self, run: &RunResult) -> f64 {
+        self.throughput_gops(run) / self.power().total_w()
+    }
+
+    /// DSP efficiency in GOPS per DSP slice (Table 4's GOPS/DSP column).
+    pub fn dsp_efficiency(&self, run: &RunResult) -> f64 {
+        self.throughput_gops(run) / self.dse.total_resources.dsp as f64
+    }
+
+    /// Runs a batch of images across the deployment's `NI` batch-parallel
+    /// instances (each instance processes every `NI`-th image on its own
+    /// simulator session) and reports the batch results plus the device
+    /// makespan in cycles — the steady-state throughput picture behind
+    /// Table 4's GOPS.
+    ///
+    /// # Errors
+    /// Propagates the first simulator failure.
+    pub fn run_batch(&self, inputs: &[Tensor], mode: SimMode) -> Result<BatchResult, FlowError> {
+        let ni = self.dse.design.ni;
+        let mut runs: Vec<Option<RunResult>> = (0..inputs.len()).map(|_| None).collect();
+        let mut instance_cycles = vec![0.0f64; ni];
+        for (instance, cycles) in instance_cycles.iter_mut().enumerate() {
+            let mut sim = self.simulator(mode);
+            for (i, input) in inputs.iter().enumerate() {
+                if i % ni != instance {
+                    continue;
+                }
+                let run = sim.run(&self.compiled, input)?;
+                *cycles += run.total_cycles;
+                runs[i] = Some(run);
+            }
+        }
+        let makespan_cycles = instance_cycles.iter().copied().fold(0.0, f64::max);
+        Ok(BatchResult {
+            runs: runs
+                .into_iter()
+                .map(|r| r.expect("every image assigned"))
+                .collect(),
+            makespan_cycles,
+        })
+    }
+}
+
+/// The result of a batched run across all instances.
+#[derive(Debug, Clone)]
+pub struct BatchResult {
+    /// Per-image results, in input order.
+    pub runs: Vec<RunResult>,
+    /// Device makespan in cycles (the slowest instance's total).
+    pub makespan_cycles: f64,
+}
+
+impl BatchResult {
+    /// Aggregate device throughput in GOPS at `freq_mhz`.
+    pub fn throughput_gops(&self, freq_mhz: f64) -> f64 {
+        let ops: u64 = self
+            .runs
+            .iter()
+            .flat_map(|r| r.stage_stats.iter().map(|s| s.ops))
+            .sum();
+        if self.makespan_cycles == 0.0 {
+            return 0.0;
+        }
+        ops as f64 / (self.makespan_cycles / (freq_mhz * 1e6)) / 1e9
+    }
+
+    /// Images per second at `freq_mhz`.
+    pub fn images_per_second(&self, freq_mhz: f64) -> f64 {
+        self.runs.len() as f64 / (self.makespan_cycles / (freq_mhz * 1e6))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybriddnn_estimator::ConvMode;
+    use hybriddnn_model::{reference, synth, zoo};
+
+    fn pynq_framework() -> Framework {
+        Framework::new(FpgaSpec::pynq_z1(), Profile::pynq_z1())
+    }
+
+    #[test]
+    fn end_to_end_tiny_cnn() {
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 1).unwrap();
+        let deployment = pynq_framework().build(&net).unwrap();
+        let input = synth::tensor(net.input_shape(), 2);
+        let run = deployment.run(&input, SimMode::Functional).unwrap();
+        let golden = reference::run_network(&net, &input).unwrap();
+        assert!(run.output.max_abs_diff(&golden) < 1e-2);
+        assert!(deployment.latency_ms(&run) > 0.0);
+        assert!(deployment.throughput_gops(&run) > 0.0);
+        assert!(deployment.power().total_w() > 0.0);
+        assert!(deployment.energy_efficiency(&run) > 0.0);
+        assert!(deployment.dsp_efficiency(&run) > 0.0);
+    }
+
+    #[test]
+    fn batched_run_scales_with_instances() {
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 3).unwrap();
+        let deployment = pynq_framework().build(&net).unwrap();
+        let inputs: Vec<_> = (0..4)
+            .map(|i| synth::tensor(net.input_shape(), i))
+            .collect();
+        let batch = deployment.run_batch(&inputs, SimMode::Functional).unwrap();
+        assert_eq!(batch.runs.len(), 4);
+        // Each image's output matches its own reference.
+        for (run, input) in batch.runs.iter().zip(&inputs) {
+            let golden = reference::run_network(&net, input).unwrap();
+            assert!(run.output.max_abs_diff(&golden) < 1e-2);
+        }
+        // NI=1 on this deployment: makespan = sum of per-image cycles.
+        let sum: f64 = batch.runs.iter().map(|r| r.total_cycles).sum();
+        assert!((batch.makespan_cycles - sum).abs() < 1e-9);
+        assert!(batch.throughput_gops(100.0) > 0.0);
+        assert!(batch.images_per_second(100.0) > 0.0);
+    }
+
+    #[test]
+    fn build_with_forces_configuration() {
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 2).unwrap();
+        let fw = pynq_framework();
+        let mut dse = DseEngine::new(fw.device().clone(), Profile::pynq_z1())
+            .explore(&net)
+            .unwrap();
+        // Force everything spatial.
+        for c in &mut dse.per_layer {
+            c.mode = ConvMode::Spatial;
+        }
+        let deployment = fw.build_with(&net, dse).unwrap();
+        for l in deployment.compiled.layers() {
+            assert_eq!(l.plan().mode, ConvMode::Spatial);
+        }
+    }
+
+    #[test]
+    fn flow_error_displays() {
+        let e = FlowError::Dse(DseError::EmptyNetwork);
+        assert!(e.to_string().contains("dse"));
+        assert!(std::error::Error::source(&e).is_some());
+    }
+}

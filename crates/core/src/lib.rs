@@ -1,0 +1,71 @@
+//! # HybridDNN
+//!
+//! A framework for building high-performance hybrid Spatial/Winograd DNN
+//! accelerators — a from-scratch Rust reproduction of *HybridDNN: A
+//! Framework for High-Performance Hybrid DNN Accelerator Design and
+//! Implementation* (Ye et al., DAC 2020), with the FPGA implementation
+//! replaced by a functionally-exact, cycle-approximate simulator
+//! (see `DESIGN.md`).
+//!
+//! The end-to-end design flow of the paper's Figure 1:
+//!
+//! 1. **Parse** ([`parser`]) — ingest a DNN model description and an FPGA
+//!    specification.
+//! 2. **Explore** ([`hybriddnn_dse`]) — pick `PI / PO / PT / NI` and the
+//!    per-layer CONV mode + dataflow.
+//! 3. **Compile** ([`hybriddnn_compiler`]) — emit the 128-bit instruction
+//!    streams and DRAM data images.
+//! 4. **Run** ([`hybriddnn_sim`]) — execute on the simulated accelerator
+//!    through the light-weight [`flow::Deployment`] runtime.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hybriddnn::flow::Framework;
+//! use hybriddnn::{FpgaSpec, Profile, SimMode};
+//! use hybriddnn::model::{synth, zoo};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A small CNN with deterministic synthetic weights.
+//! let mut net = zoo::tiny_cnn();
+//! synth::bind_random(&mut net, 42)?;
+//!
+//! // Target the embedded board from the paper's evaluation.
+//! let framework = Framework::new(FpgaSpec::pynq_z1(), Profile::pynq_z1());
+//! let deployment = framework.build(&net)?;
+//!
+//! // Run one inference on the simulated accelerator.
+//! let input = synth::tensor(net.input_shape(), 7);
+//! let run = deployment.run(&input, SimMode::Functional)?;
+//! println!("latency: {:.3} ms, {:.1} GOPS",
+//!          deployment.latency_ms(&run), deployment.throughput_gops(&run));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flow;
+pub mod hls;
+pub mod parser;
+pub mod report;
+
+/// The DNN model IR (re-export of `hybriddnn-model`).
+pub mod model {
+    pub use hybriddnn_model::*;
+}
+
+pub use flow::{BatchResult, Deployment, Framework};
+pub use hybriddnn_compiler::{CompileError, CompiledNetwork, Compiler, MappingStrategy, QuantSpec};
+pub use hybriddnn_dse::{DseEngine, DseError, DseResult};
+pub use hybriddnn_estimator::{
+    AcceleratorConfig, ConvMode, Dataflow, DesignPoint, LayerWorkload, Profile,
+};
+pub use hybriddnn_fpga::{EnergyModel, ExternalMemory, FpgaSpec, Resources};
+pub use hybriddnn_isa::{Instruction, Program};
+pub use hybriddnn_model::{Network, NetworkBuilder, Shape, Tensor};
+pub use hybriddnn_sim::{RunResult, SimError, SimMode, Simulator};
+pub use hybriddnn_winograd::TileConfig;
+pub use parser::ParseError;
+pub use report::AccuracyReport;

@@ -1,0 +1,442 @@
+//! The HybridDNN parser (Figure 1, Step 1): line-oriented text formats
+//! for DNN models and FPGA specifications.
+//!
+//! # Model format (`.hdnn`)
+//!
+//! ```text
+//! # comments start with '#'
+//! input 3 224 224
+//! conv conv1_1 64 3x3 stride 1 pad 1 relu
+//! maxpool pool1 2
+//! fc fc6 4096 relu
+//! ```
+//!
+//! `conv NAME OUT_CHANNELS RxS [stride N] [pad N] [relu] [nobias]`
+//! infers its input channel count from the running shape.
+//!
+//! # FPGA specification format (`.fpga`)
+//!
+//! ```text
+//! name VU9P
+//! dies 3
+//! die_lut 394080
+//! die_dsp 2280
+//! die_bram18 1440
+//! bram_width 36
+//! freq_mhz 167
+//! bw_words 384
+//! max_instances 6
+//! ```
+
+use hybriddnn_fpga::{FpgaSpec, Resources};
+use hybriddnn_model::{
+    Activation, Conv2d, Layer, LayerKind, MaxPool2d, ModelError, Network, Padding, Shape,
+};
+use std::fmt;
+
+/// Errors produced while parsing model or FPGA specification text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseError {
+    /// A line could not be understood.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Human-readable description.
+        detail: String,
+    },
+    /// A required directive is missing.
+    Missing {
+        /// The missing directive.
+        directive: &'static str,
+    },
+    /// The parsed model is structurally invalid.
+    Model(ModelError),
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Syntax { line, detail } => write!(f, "line {line}: {detail}"),
+            ParseError::Missing { directive } => write!(f, "missing `{directive}` directive"),
+            ParseError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ParseError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for ParseError {
+    fn from(e: ModelError) -> Self {
+        ParseError::Model(e)
+    }
+}
+
+/// Parses a model description.
+///
+/// # Errors
+/// Returns [`ParseError::Syntax`] for malformed lines,
+/// [`ParseError::Missing`] if no `input` directive precedes the layers,
+/// and [`ParseError::Model`] if the resulting network is inconsistent.
+pub fn parse_model(text: &str) -> Result<Network, ParseError> {
+    let mut input: Option<Shape> = None;
+    let mut shape: Option<Shape> = None;
+    let mut layers: Vec<Layer> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let stripped = raw.split('#').next().unwrap_or("").trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        let tokens: Vec<&str> = stripped.split_whitespace().collect();
+        let syntax = |detail: String| ParseError::Syntax { line, detail };
+        match tokens[0] {
+            "input" => {
+                if tokens.len() != 4 {
+                    return Err(syntax("expected `input C H W`".to_string()));
+                }
+                let c = parse_num(tokens[1], line)?;
+                let h = parse_num(tokens[2], line)?;
+                let w = parse_num(tokens[3], line)?;
+                let s = Shape::new(c, h, w);
+                input = Some(s);
+                shape = Some(s);
+            }
+            "conv" => {
+                let cur = shape.ok_or(ParseError::Missing { directive: "input" })?;
+                if tokens.len() < 4 {
+                    return Err(syntax(
+                        "expected `conv NAME OUT_CH RxS [stride N] [pad N] [relu] [nobias]`"
+                            .to_string(),
+                    ));
+                }
+                let name = tokens[1];
+                let out_ch = parse_num(tokens[2], line)?;
+                let (kh, kw) = parse_kernel(tokens[3], line)?;
+                let mut stride = 1;
+                let mut pad = kh / 2;
+                let mut relu = false;
+                let mut bias = true;
+                let mut t = 4;
+                while t < tokens.len() {
+                    match tokens[t] {
+                        "stride" => {
+                            stride = parse_num(tokens.get(t + 1).copied().unwrap_or(""), line)?;
+                            t += 2;
+                        }
+                        "pad" => {
+                            pad = parse_num(tokens.get(t + 1).copied().unwrap_or(""), line)?;
+                            t += 2;
+                        }
+                        "relu" => {
+                            relu = true;
+                            t += 1;
+                        }
+                        "nobias" => {
+                            bias = false;
+                            t += 1;
+                        }
+                        other => return Err(syntax(format!("unknown conv option `{other}`"))),
+                    }
+                }
+                let conv = Conv2d {
+                    in_channels: cur.c,
+                    out_channels: out_ch,
+                    kernel_h: kh,
+                    kernel_w: kw,
+                    stride,
+                    padding: Padding::same(pad),
+                    activation: if relu {
+                        Activation::Relu
+                    } else {
+                        Activation::None
+                    },
+                    bias,
+                };
+                let layer = Layer::new(name, LayerKind::Conv(conv));
+                shape = Some(layer.infer_shape(cur)?);
+                layers.push(layer);
+            }
+            "maxpool" => {
+                let cur = shape.ok_or(ParseError::Missing { directive: "input" })?;
+                if tokens.len() != 3 {
+                    return Err(syntax("expected `maxpool NAME SIZE`".to_string()));
+                }
+                let layer = Layer::new(
+                    tokens[1],
+                    LayerKind::MaxPool(MaxPool2d::new(parse_num(tokens[2], line)?)),
+                );
+                shape = Some(layer.infer_shape(cur)?);
+                layers.push(layer);
+            }
+            "fc" => {
+                let cur = shape.ok_or(ParseError::Missing { directive: "input" })?;
+                if tokens.len() < 3 {
+                    return Err(syntax("expected `fc NAME OUT [relu] [nobias]`".to_string()));
+                }
+                let out = parse_num(tokens[2], line)?;
+                let mut fc = hybriddnn_model::FullyConnected::new(cur.len(), out);
+                // Like `conv`, activation is opt-in in the text format.
+                fc.activation = Activation::None;
+                for opt in &tokens[3..] {
+                    match *opt {
+                        "relu" => fc.activation = Activation::Relu,
+                        "norelu" => fc.activation = Activation::None,
+                        "nobias" => fc.bias = false,
+                        other => return Err(syntax(format!("unknown fc option `{other}`"))),
+                    }
+                }
+                let layer = Layer::new(tokens[1], LayerKind::Fc(fc));
+                shape = Some(layer.infer_shape(cur)?);
+                layers.push(layer);
+            }
+            other => return Err(syntax(format!("unknown directive `{other}`"))),
+        }
+    }
+    let input = input.ok_or(ParseError::Missing { directive: "input" })?;
+    Ok(Network::new(input, layers)?)
+}
+
+/// Parses an FPGA specification.
+///
+/// # Errors
+/// Returns [`ParseError::Syntax`] for malformed lines and
+/// [`ParseError::Missing`] for absent directives.
+pub fn parse_fpga(text: &str) -> Result<FpgaSpec, ParseError> {
+    let mut name: Option<String> = None;
+    let mut dies = 1usize;
+    let mut lut: Option<u64> = None;
+    let mut dsp: Option<u64> = None;
+    let mut bram: Option<u64> = None;
+    let mut bram_width = 36u32;
+    let mut freq: Option<f64> = None;
+    let mut bw: Option<f64> = None;
+    let mut max_instances: Option<usize> = None;
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let stripped = raw.split('#').next().unwrap_or("").trim();
+        if stripped.is_empty() {
+            continue;
+        }
+        let mut it = stripped.split_whitespace();
+        let key = it.next().expect("non-empty line");
+        let value = it.next().unwrap_or("");
+        let syntax = |detail: String| ParseError::Syntax { line, detail };
+        match key {
+            "name" => name = Some(value.to_string()),
+            "dies" => dies = parse_num(value, line)?,
+            "die_lut" => lut = Some(parse_num::<u64>(value, line)?),
+            "die_dsp" => dsp = Some(parse_num::<u64>(value, line)?),
+            "die_bram18" => bram = Some(parse_num::<u64>(value, line)?),
+            "bram_width" => bram_width = parse_num(value, line)?,
+            "freq_mhz" => {
+                freq = Some(
+                    value
+                        .parse()
+                        .map_err(|_| syntax(format!("bad number `{value}`")))?,
+                )
+            }
+            "bw_words" => {
+                bw = Some(
+                    value
+                        .parse()
+                        .map_err(|_| syntax(format!("bad number `{value}`")))?,
+                )
+            }
+            "max_instances" => max_instances = Some(parse_num(value, line)?),
+            other => return Err(syntax(format!("unknown key `{other}`"))),
+        }
+    }
+    let name = name.ok_or(ParseError::Missing { directive: "name" })?;
+    let lut = lut.ok_or(ParseError::Missing {
+        directive: "die_lut",
+    })?;
+    let dsp = dsp.ok_or(ParseError::Missing {
+        directive: "die_dsp",
+    })?;
+    let bram = bram.ok_or(ParseError::Missing {
+        directive: "die_bram18",
+    })?;
+    let freq = freq.ok_or(ParseError::Missing {
+        directive: "freq_mhz",
+    })?;
+    let bw = bw.ok_or(ParseError::Missing {
+        directive: "bw_words",
+    })?;
+    let max_instances = max_instances.unwrap_or(dies * 2);
+    Ok(FpgaSpec::new(
+        name,
+        dies,
+        Resources::new(lut, dsp, bram),
+        bram_width,
+        freq,
+        bw,
+        max_instances,
+    ))
+}
+
+/// Renders a network back into the model text format (round-trip aid).
+pub fn model_to_text(net: &Network) -> String {
+    let mut out = String::new();
+    let s = net.input_shape();
+    out.push_str(&format!("input {} {} {}\n", s.c, s.h, s.w));
+    for layer in net.layers() {
+        match layer.kind() {
+            LayerKind::Conv(c) => {
+                out.push_str(&format!(
+                    "conv {} {} {}x{} stride {} pad {}{}{}\n",
+                    layer.name(),
+                    c.out_channels,
+                    c.kernel_h,
+                    c.kernel_w,
+                    c.stride,
+                    c.padding.h,
+                    if c.activation == Activation::Relu {
+                        " relu"
+                    } else {
+                        ""
+                    },
+                    if c.bias { "" } else { " nobias" },
+                ));
+            }
+            LayerKind::MaxPool(p) => {
+                out.push_str(&format!("maxpool {} {}\n", layer.name(), p.size));
+            }
+            LayerKind::Fc(fc) => {
+                out.push_str(&format!(
+                    "fc {} {}{}{}\n",
+                    layer.name(),
+                    fc.out_features,
+                    if fc.activation == Activation::Relu {
+                        " relu"
+                    } else {
+                        ""
+                    },
+                    if fc.bias { "" } else { " nobias" },
+                ));
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, line: usize) -> Result<T, ParseError> {
+    s.parse().map_err(|_| ParseError::Syntax {
+        line,
+        detail: format!("bad number `{s}`"),
+    })
+}
+
+fn parse_kernel(s: &str, line: usize) -> Result<(usize, usize), ParseError> {
+    let mut parts = s.split('x');
+    let a = parts.next().unwrap_or("");
+    let b = parts.next().unwrap_or(a);
+    if parts.next().is_some() {
+        return Err(ParseError::Syntax {
+            line,
+            detail: format!("bad kernel `{s}`"),
+        });
+    }
+    Ok((parse_num(a, line)?, parse_num(b, line)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybriddnn_model::zoo;
+
+    const SMALL: &str = "
+# a tiny model
+input 3 16 16
+conv c1 8 3x3 stride 1 pad 1 relu
+maxpool p1 2
+fc out 10 relu
+";
+
+    #[test]
+    fn parses_small_model() {
+        let net = parse_model(SMALL).unwrap();
+        assert_eq!(net.input_shape(), Shape::new(3, 16, 16));
+        assert_eq!(net.output_shape(), Shape::new(10, 1, 1));
+        assert_eq!(net.layers().len(), 3);
+    }
+
+    #[test]
+    fn conv_defaults_same_padding() {
+        let net = parse_model("input 1 8 8\nconv c 4 5x5\n").unwrap();
+        assert_eq!(net.output_shape(), Shape::new(4, 8, 8));
+    }
+
+    #[test]
+    fn conv_options_parse() {
+        let net = parse_model("input 1 8 8\nconv c 4 3x3 stride 2 pad 1 nobias\n").unwrap();
+        let LayerKind::Conv(c) = net.layers()[0].kind() else {
+            panic!()
+        };
+        assert_eq!(c.stride, 2);
+        assert!(!c.bias);
+        assert_eq!(c.activation, Activation::None);
+    }
+
+    #[test]
+    fn missing_input_is_reported() {
+        let err = parse_model("conv c 4 3x3\n").unwrap_err();
+        assert_eq!(err, ParseError::Missing { directive: "input" });
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_numbers() {
+        let err = parse_model("input 3 8 8\nconv c 4 3y3\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 2, .. }));
+        let err = parse_model("input 3 8 8\nwibble\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 2, .. }));
+        let err = parse_model("input 3 8 8\nconv c 4 3x3 frobnicate\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn model_round_trips_through_text() {
+        let net = zoo::vgg16();
+        let text = model_to_text(&net);
+        let parsed = parse_model(&text).unwrap();
+        assert_eq!(parsed, net);
+    }
+
+    #[test]
+    fn parses_fpga_spec() {
+        let spec = parse_fpga(
+            "name VU9P\ndies 3\ndie_lut 394080\ndie_dsp 2280\ndie_bram18 1440\n\
+             bram_width 36\nfreq_mhz 167\nbw_words 384\nmax_instances 6\n",
+        )
+        .unwrap();
+        assert_eq!(spec.name(), "VU9P");
+        assert_eq!(spec.dies(), 3);
+        assert_eq!(spec.total_resources(), FpgaSpec::vu9p().total_resources());
+        assert_eq!(spec.max_instances(), 6);
+    }
+
+    #[test]
+    fn fpga_spec_missing_keys_reported() {
+        let err = parse_fpga("name X\n").unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::Missing {
+                directive: "die_lut"
+            }
+        );
+    }
+
+    #[test]
+    fn fpga_spec_unknown_key_reported() {
+        let err = parse_fpga("name X\nvoltage 12\n").unwrap_err();
+        assert!(matches!(err, ParseError::Syntax { line: 2, .. }));
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests of the Step-1 parser: model text round-trips,
+//! and arbitrary junk never panics — it errors with a line number.
+
+use hybriddnn::model::{Conv2d, Layer, LayerKind, MaxPool2d, Network, Padding, Shape};
+use hybriddnn::parser::{model_to_text, parse_fpga, parse_model, ParseError};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum LayerSpec {
+    Conv {
+        out: usize,
+        kernel: usize,
+        stride: usize,
+        relu: bool,
+        bias: bool,
+    },
+    Pool,
+    Fc {
+        out: usize,
+        relu: bool,
+    },
+}
+
+fn layers_strategy() -> impl Strategy<Value = Vec<LayerSpec>> {
+    prop::collection::vec(
+        prop_oneof![
+            (
+                1usize..20,
+                prop_oneof![Just(1usize), Just(3), Just(5)],
+                1usize..3,
+                any::<bool>(),
+                any::<bool>()
+            )
+                .prop_map(|(out, kernel, stride, relu, bias)| LayerSpec::Conv {
+                    out,
+                    kernel,
+                    stride,
+                    relu,
+                    bias
+                }),
+            Just(LayerSpec::Pool),
+            (1usize..20, any::<bool>()).prop_map(|(out, relu)| LayerSpec::Fc { out, relu }),
+        ],
+        1..6,
+    )
+}
+
+/// Builds a network from specs, skipping layers that would be
+/// geometrically inconsistent at that point in the chain.
+fn build_network(specs: &[LayerSpec]) -> Option<Network> {
+    let input = Shape::new(3, 32, 32);
+    let mut shape = input;
+    let mut layers = Vec::new();
+    let mut seen_fc = false;
+    for (i, spec) in specs.iter().enumerate() {
+        let layer = match spec {
+            LayerSpec::Conv {
+                out,
+                kernel,
+                stride,
+                relu,
+                bias,
+            } => {
+                if seen_fc {
+                    continue;
+                }
+                Layer::new(
+                    format!("c{i}"),
+                    LayerKind::Conv(Conv2d {
+                        in_channels: shape.c,
+                        out_channels: *out,
+                        kernel_h: *kernel,
+                        kernel_w: *kernel,
+                        stride: *stride,
+                        padding: Padding::same(kernel / 2),
+                        activation: if *relu {
+                            hybriddnn::model::Activation::Relu
+                        } else {
+                            hybriddnn::model::Activation::None
+                        },
+                        bias: *bias,
+                    }),
+                )
+            }
+            LayerSpec::Pool => {
+                if seen_fc || !shape.h.is_multiple_of(2) || !shape.w.is_multiple_of(2) || shape.h < 2 {
+                    continue;
+                }
+                Layer::new(format!("p{i}"), LayerKind::MaxPool(MaxPool2d::new(2)))
+            }
+            LayerSpec::Fc { out, relu } => {
+                seen_fc = true;
+                let mut fc = hybriddnn::model::FullyConnected::new(shape.len(), *out);
+                fc.activation = if *relu {
+                    hybriddnn::model::Activation::Relu
+                } else {
+                    hybriddnn::model::Activation::None
+                };
+                Layer::new(format!("f{i}"), LayerKind::Fc(fc))
+            }
+        };
+        shape = layer.infer_shape(shape).ok()?;
+        layers.push(layer);
+    }
+    if layers.is_empty() {
+        return None;
+    }
+    Network::new(input, layers).ok()
+}
+
+proptest! {
+    /// Any network expressible in the format survives
+    /// render → parse → render.
+    #[test]
+    fn model_text_roundtrips(specs in layers_strategy()) {
+        let Some(net) = build_network(&specs) else { return Ok(()); };
+        let text = model_to_text(&net);
+        let parsed = parse_model(&text).expect("rendered text parses");
+        prop_assert_eq!(&parsed, &net);
+        prop_assert_eq!(model_to_text(&parsed), text);
+    }
+
+    /// The parser never panics on junk; syntax errors carry the right
+    /// 1-based line number.
+    #[test]
+    fn junk_never_panics(lines in prop::collection::vec("[ -~]{0,30}", 0..10)) {
+        let text = lines.join("\n");
+        match parse_model(&text) {
+            Ok(_) => {}
+            Err(ParseError::Syntax { line, .. }) => {
+                prop_assert!(line >= 1 && line <= lines.len().max(1));
+            }
+            Err(_) => {}
+        }
+        let _ = parse_fpga(&text); // must also not panic
+    }
+
+    /// FPGA specs round-trip through the parser's own vocabulary.
+    #[test]
+    fn fpga_spec_roundtrips(
+        dies in 1usize..5,
+        lut in 1_000u64..1_000_000,
+        dsp in 10u64..10_000,
+        bram in 10u64..5_000,
+        mhz in 1u32..500,
+        bw in 1u32..1_000,
+        ports in 1usize..10,
+    ) {
+        let text = format!(
+            "name X\ndies {dies}\ndie_lut {lut}\ndie_dsp {dsp}\ndie_bram18 {bram}\n\
+             bram_width 36\nfreq_mhz {mhz}\nbw_words {bw}\nmax_instances {ports}\n"
+        );
+        let spec = parse_fpga(&text).expect("well-formed spec parses");
+        prop_assert_eq!(spec.dies(), dies);
+        prop_assert_eq!(spec.die_resources(), hybriddnn::Resources::new(lut, dsp, bram));
+        prop_assert_eq!(spec.freq_mhz(), mhz as f64);
+        prop_assert_eq!(spec.ddr_words_per_cycle(), bw as f64);
+        prop_assert_eq!(spec.max_instances(), ports);
+    }
+}

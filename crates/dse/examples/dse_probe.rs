@@ -1,0 +1,27 @@
+//! Developer probe: rank every DSE hardware candidate for VGG16 on the
+//! VU9P by device throughput. Useful when tuning profiles or tie-breaks.
+//!
+//! ```text
+//! cargo run --release -p hybriddnn-dse --example dse_probe
+//! ```
+
+use hybriddnn_dse::DseEngine;
+use hybriddnn_estimator::Profile;
+use hybriddnn_fpga::FpgaSpec;
+use hybriddnn_model::zoo;
+
+fn main() {
+    let engine = DseEngine::new(FpgaSpec::vu9p(), Profile::vu9p());
+    let net = zoo::vgg16();
+    let mut rows: Vec<(f64, String)> = vec![];
+    for (dp, inst) in engine.enumerate_candidates() {
+        if let Some((_, total)) = engine.evaluate(&dp, &net) {
+            let score = total / dp.ni as f64;
+            rows.push((score, format!("{dp} score {score:.0} inst {inst}")));
+        }
+    }
+    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    for (_, r) in rows.iter().take(12) {
+        println!("{r}");
+    }
+}

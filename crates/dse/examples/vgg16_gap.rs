@@ -1,0 +1,25 @@
+//! Developer probe: per-layer DSE verdicts (mode, dataflow, bound,
+//! partition) for VGG16 on the VU9P.
+
+use hybriddnn_dse::DseEngine;
+use hybriddnn_estimator::Profile;
+use hybriddnn_fpga::FpgaSpec;
+use hybriddnn_model::zoo;
+
+fn main() {
+    let engine = DseEngine::new(FpgaSpec::vu9p(), Profile::vu9p());
+    let net = zoo::vgg16();
+    let result = engine.explore(&net).unwrap();
+    for c in &result.per_layer {
+        println!(
+            "{:<10} {} {} est {:>10.0} bound {} gk {} rg {}",
+            c.name,
+            c.mode,
+            c.dataflow,
+            c.estimate.cycles,
+            c.estimate.bound,
+            c.estimate.partition.gk,
+            c.estimate.partition.row_groups
+        );
+    }
+}

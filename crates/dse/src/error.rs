@@ -1,0 +1,43 @@
+use std::fmt;
+
+/// Errors produced by design space exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DseError {
+    /// No hardware candidate satisfies the resource constraints and can
+    /// execute every layer of the network.
+    NoFeasibleDesign {
+        /// How many hardware candidates were considered.
+        candidates: usize,
+    },
+    /// The network has no compute layers.
+    EmptyNetwork,
+}
+
+impl fmt::Display for DseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DseError::NoFeasibleDesign { candidates } => {
+                write!(
+                    f,
+                    "no feasible design among {candidates} hardware candidates"
+                )
+            }
+            DseError::EmptyNetwork => write!(f, "network has no compute layers"),
+        }
+    }
+}
+
+impl std::error::Error for DseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(DseError::NoFeasibleDesign { candidates: 7 }
+            .to_string()
+            .contains('7'));
+    }
+}

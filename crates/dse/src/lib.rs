@@ -1,0 +1,50 @@
+//! Design space exploration for HybridDNN accelerators (paper §5.3).
+//!
+//! The optimization problem of Table 2:
+//!
+//! * **HW parameters** — `PI, PO, PT, NI`;
+//! * **SW parameters** — per-layer CONV mode (Spatial/Winograd) and
+//!   dataflow (IS/WS);
+//! * **constraints** — `PI ≥ PO ≥ 1`, `PT ∈ {4, 6}`, and the resource
+//!   models Eq. 3–5 within the device budget (per die: an accelerator
+//!   instance must not straddle SLRs);
+//! * **objective** — minimize `Σ T_l` (per-image latency; instances are
+//!   batch-parallel, so device throughput scales by `NI`).
+//!
+//! The 3-step algorithm:
+//!
+//! 1. enumerate hardware candidates — for each legal `PT`, grow `PI`/`PO`
+//!    until resources are exhausted, then replicate instances per die;
+//! 2. pick the best (mode, dataflow) per layer from Eq. 12–15;
+//! 3. select the candidate with the highest device throughput
+//!    (ties: larger `NI` — better timing closure on multi-die parts —
+//!    then fewer DSPs).
+//!
+//! # Example
+//!
+//! ```
+//! use hybriddnn_dse::DseEngine;
+//! use hybriddnn_estimator::Profile;
+//! use hybriddnn_fpga::FpgaSpec;
+//! use hybriddnn_model::zoo;
+//!
+//! # fn main() -> Result<(), hybriddnn_dse::DseError> {
+//! let engine = DseEngine::new(FpgaSpec::vu9p(), Profile::vu9p());
+//! let result = engine.explore(&zoo::vgg16())?;
+//! // The paper's §6.1 configuration: PI = PO = 4, PT = 6, 6 instances.
+//! assert_eq!(result.design.accel.pi, 4);
+//! assert_eq!(result.design.accel.po, 4);
+//! assert_eq!(result.design.accel.pt(), 6);
+//! assert_eq!(result.design.ni, 6);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod error;
+
+pub use engine::{DseEngine, DseResult, LayerChoice};
+pub use error::DseError;

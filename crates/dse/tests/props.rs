@@ -1,0 +1,112 @@
+//! Property-based tests of the DSE engine: whatever device it is given,
+//! every result it returns is feasible, consistent, and optimal within
+//! its own candidate set and tie-break rules.
+
+use hybriddnn_dse::DseEngine;
+use hybriddnn_estimator::{ConvMode, Profile};
+use hybriddnn_fpga::{FpgaSpec, Resources};
+use hybriddnn_model::{zoo, NetworkBuilder, Shape};
+use proptest::prelude::*;
+
+fn device_strategy() -> impl Strategy<Value = FpgaSpec> {
+    (
+        1usize..4,          // dies
+        60_000u64..500_000, // die LUTs
+        300u64..2500,       // die DSPs
+        200u64..1500,       // die BRAMs
+        50.0f64..300.0,     // MHz
+        4.0f64..512.0,      // BW
+        1usize..8,          // max instances
+    )
+        .prop_map(|(dies, lut, dsp, bram, mhz, bw, ports)| {
+            FpgaSpec::new(
+                "prop",
+                dies,
+                Resources::new(lut, dsp, bram),
+                36,
+                mhz,
+                bw,
+                ports,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Whatever the device, a feasible result fits the device, respects
+    /// the die budget, honours PI≥PO and PT∈{4,6}, and beats (or ties)
+    /// every other candidate under the engine's own scoring.
+    #[test]
+    fn explore_results_are_feasible_and_optimal(device in device_strategy()) {
+        let engine = DseEngine::new(device, Profile::vu9p());
+        let net = zoo::vgg_tiny();
+        let Ok(result) = engine.explore(&net) else { return Ok(()); };
+
+        // Structural constraints (Table 2).
+        prop_assert!(result.design.accel.pi >= result.design.accel.po);
+        prop_assert!([4, 6].contains(&result.design.accel.pt()));
+        prop_assert!(result.design.ni <= engine.device().max_instances());
+        prop_assert!(result
+            .total_resources
+            .fits_within(&engine.device().total_resources()));
+        let per_die = result.design.ni.div_ceil(engine.device().dies());
+        prop_assert!((result.instance_resources * per_die as u64)
+            .fits_within(&engine.device().die_resources()));
+
+        // Per-layer choices cover exactly the compute layers.
+        let compute = net.layers().iter().filter(|l| l.is_compute()).count();
+        prop_assert_eq!(result.per_layer.len(), compute);
+        prop_assert!(result.total_cycles > 0.0);
+
+        // No other candidate scores more than 1% better.
+        let winner_score = result.total_cycles / result.design.ni as f64;
+        for (dp, _) in engine.enumerate_candidates() {
+            if let Some((_, cycles)) = engine.evaluate(&dp, &net) {
+                let score = cycles / dp.ni as f64;
+                prop_assert!(
+                    score >= winner_score * 0.99 - 1e-6,
+                    "{dp} scores {score} < winner {winner_score}"
+                );
+            }
+        }
+    }
+
+    /// Strided layers never get Winograd mode.
+    #[test]
+    fn strided_layers_stay_spatial(device in device_strategy(), stride in 2usize..4) {
+        let conv = hybriddnn_model::Conv2d {
+            in_channels: 4,
+            out_channels: 8,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride,
+            padding: hybriddnn_model::Padding::same(1),
+            activation: hybriddnn_model::Activation::Relu,
+            bias: true,
+        };
+        let net = NetworkBuilder::new(Shape::new(4, 24, 24))
+            .conv_cfg("s", conv)
+            .build()
+            .expect("consistent");
+        let engine = DseEngine::new(device, Profile::vu9p());
+        let Ok(result) = engine.explore(&net) else { return Ok(()); };
+        prop_assert_eq!(result.per_layer[0].mode, ConvMode::Spatial);
+    }
+
+    /// More bandwidth never increases the estimated total latency for
+    /// the same network.
+    #[test]
+    fn more_bandwidth_never_hurts(device in device_strategy(), ratio in 1.0f64..8.0) {
+        let engine = DseEngine::new(device.clone(), Profile::vu9p());
+        let net = zoo::vgg_tiny();
+        let Ok(slow) = engine.explore(&net) else { return Ok(()); };
+        let fast_dev = device.with_ddr_words_per_cycle(device.ddr_words_per_cycle() * ratio);
+        let fast = DseEngine::new(fast_dev, Profile::vu9p())
+            .explore(&net)
+            .expect("bigger budget stays feasible");
+        let slow_score = slow.total_cycles / slow.design.ni as f64;
+        let fast_score = fast.total_cycles / fast.design.ni as f64;
+        prop_assert!(fast_score <= slow_score * 1.0 + 1e-6);
+    }
+}

@@ -1,0 +1,272 @@
+use hybriddnn_winograd::TileConfig;
+use std::fmt;
+
+/// The CONV execution mode of a layer — the first runtime design choice
+/// of §4.2.5, carried per-layer in the `WINO_FLAG` instruction field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConvMode {
+    /// Conventional (direct) convolution.
+    Spatial,
+    /// Winograd fast convolution.
+    Winograd,
+}
+
+impl fmt::Display for ConvMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ConvMode::Spatial => "spat",
+            ConvMode::Winograd => "wino",
+        })
+    }
+}
+
+/// The dataflow strategy of a layer — the second runtime design choice of
+/// §4.2.5, realized purely by instruction ordering (§4.2.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataflow {
+    /// Input Stationary: load one input row-group, stream all `GK` weight
+    /// groups against it. Prefers larger feature maps.
+    InputStationary,
+    /// Weight Stationary: keep one weight group on chip, stream all input
+    /// row-groups against it.
+    WeightStationary,
+}
+
+impl fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Dataflow::InputStationary => "is",
+            Dataflow::WeightStationary => "ws",
+        })
+    }
+}
+
+/// Hardware parameters of one accelerator instance: the parallel factors
+/// `(PI, PO, PT)` of §4.2.2 plus buffer depths and datapath width.
+///
+/// The PE is a `PT × PT` array of GEMM cores, each a `PI × PO` broadcast
+/// MAC array. `PI` and `PO` scale to the FPGA's resources; `PT` is the
+/// Winograd input-tile edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AcceleratorConfig {
+    /// Input-channel parallelism (`PI`). Must satisfy `PI ≥ PO ≥ 1`.
+    pub pi: usize,
+    /// Output-channel parallelism (`PO`).
+    pub po: usize,
+    /// Winograd tile configuration (`PT = tile.pt() ∈ {4, 6}`).
+    pub tile: TileConfig,
+    /// Datapath storage width in bits (`DATA_WIDTH` of Eq. 3–5).
+    pub data_width_bits: u32,
+    /// Words of depth per buffer partition, per ping-pong half.
+    pub buffer_depth_words: usize,
+}
+
+impl AcceleratorConfig {
+    /// Default storage width: 16-bit words (12-bit activations / 8-bit
+    /// weights stored in 16-bit containers, Table 4 footnote).
+    pub const DEFAULT_DATA_WIDTH: u32 = 16;
+    /// Default per-partition buffer depth (one 18Kb BRAM of 16-bit words
+    /// split across ping/pong halves).
+    pub const DEFAULT_BUFFER_DEPTH: usize = 512;
+
+    /// Creates a configuration with default width and buffer depth.
+    ///
+    /// # Panics
+    /// Panics unless `PI ≥ PO ≥ 1` (the paper's DSE constraint, Table 2).
+    pub fn new(pi: usize, po: usize, tile: TileConfig) -> Self {
+        assert!(po >= 1 && pi >= po, "constraint PI >= PO >= 1 violated");
+        AcceleratorConfig {
+            pi,
+            po,
+            tile,
+            data_width_bits: Self::DEFAULT_DATA_WIDTH,
+            buffer_depth_words: Self::DEFAULT_BUFFER_DEPTH,
+        }
+    }
+
+    /// The input-tile edge `PT`.
+    pub fn pt(&self) -> usize {
+        self.tile.pt()
+    }
+
+    /// The output-tile edge `m`.
+    pub fn m(&self) -> usize {
+        self.tile.m()
+    }
+
+    /// MAC throughput per cycle: `PI · PO · PT²` (all GEMM cores).
+    pub fn macs_per_cycle(&self) -> usize {
+        self.pi * self.po * self.pt() * self.pt()
+    }
+
+    /// Input-buffer capacity in words, per ping-pong half
+    /// (`PI · PT²` partitions — Table 1 — times the partition depth).
+    pub fn input_buffer_words(&self) -> usize {
+        self.pi * self.pt() * self.pt() * self.buffer_depth_words
+    }
+
+    /// Weight-buffer capacity in words, per ping-pong half.
+    pub fn weight_buffer_words(&self) -> usize {
+        self.pi * self.po * self.pt() * self.pt() * self.buffer_depth_words
+    }
+
+    /// Output-buffer capacity in words, per ping-pong half.
+    pub fn output_buffer_words(&self) -> usize {
+        self.po * self.m() * self.m() * self.buffer_depth_words
+    }
+
+    /// The on-chip buffer partition factors of the paper's **Table 1**
+    /// for `mode`, as `(in_buffer, weight_buffer, out_buffer)` where each
+    /// entry lists `(channel_partition, spatial_partition)`:
+    ///
+    /// * Winograd mode: in `PI × PT²`, weight `(PI·PO) × PT²`, out `PO × m²`.
+    /// * Spatial mode: in `(PI·PT) × 1`... the table's bracketed factors —
+    ///   all spatial parallelism folds into the channel broadcast, so the
+    ///   per-dimension partitions collapse to 1.
+    pub fn partition_factors(
+        &self,
+        mode: ConvMode,
+    ) -> ((usize, usize), (usize, usize), (usize, usize)) {
+        let pt2 = self.pt() * self.pt();
+        let m2 = self.m() * self.m();
+        match mode {
+            ConvMode::Winograd => ((self.pi, pt2), (self.pi * self.po, pt2), (self.po, m2)),
+            ConvMode::Spatial => (
+                (self.pi * self.pt(), 1),
+                (self.pi * self.po * self.pt(), 1),
+                (self.po * self.pt(), 1),
+            ),
+        }
+    }
+
+    /// Whether both ping-pong halves of every buffer are addressable by
+    /// the instruction set's buffer-base fields (20 bits for the input
+    /// and weight buffers, 18 bits for the output buffer). Configurations
+    /// beyond this cannot be programmed and are excluded by the DSE.
+    pub fn fits_isa_addressing(&self) -> bool {
+        2 * self.weight_buffer_words() <= 1 << 20
+            && 2 * self.input_buffer_words() <= 1 << 20
+            && 2 * self.output_buffer_words() <= 1 << 18
+    }
+
+    /// Peak arithmetic throughput in GOPS at `freq_mhz` (2 ops per MAC) in
+    /// Spatial mode. Winograd mode's *effective* peak is higher by the
+    /// tile's reduction factor.
+    pub fn peak_gops(&self, freq_mhz: f64) -> f64 {
+        2.0 * self.macs_per_cycle() as f64 * freq_mhz / 1000.0
+    }
+}
+
+impl fmt::Display for AcceleratorConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PI={} PO={} PT={}", self.pi, self.po, self.pt())
+    }
+}
+
+/// A complete design point: one instance configuration replicated `NI`
+/// times across the device (Table 2's hardware parameters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignPoint {
+    /// Per-instance configuration.
+    pub accel: AcceleratorConfig,
+    /// Number of accelerator instances (`NI`).
+    pub ni: usize,
+}
+
+impl DesignPoint {
+    /// Creates a design point.
+    ///
+    /// # Panics
+    /// Panics if `ni == 0`.
+    pub fn new(accel: AcceleratorConfig, ni: usize) -> Self {
+        assert!(ni >= 1, "at least one instance required");
+        DesignPoint { accel, ni }
+    }
+
+    /// Aggregate peak GOPS across instances.
+    pub fn peak_gops(&self, freq_mhz: f64) -> f64 {
+        self.accel.peak_gops(freq_mhz) * self.ni as f64
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} x NI={}", self.accel, self.ni)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_have_expected_throughput() {
+        // VU9P: PI=PO=4, PT=6 → 576 MACs/cycle/instance.
+        let cfg = AcceleratorConfig::new(4, 4, TileConfig::F4x4);
+        assert_eq!(cfg.macs_per_cycle(), 576);
+        // PYNQ: PI=PO=4, PT=4 → 256 MACs/cycle.
+        let cfg = AcceleratorConfig::new(4, 4, TileConfig::F2x2);
+        assert_eq!(cfg.macs_per_cycle(), 256);
+    }
+
+    #[test]
+    fn peak_gops_scale() {
+        let cfg = AcceleratorConfig::new(4, 4, TileConfig::F4x4);
+        // 576 MACs * 2 ops * 167 MHz = 192.4 GOPS per instance;
+        // 6 instances = 1154 GOPS spatial peak. (Winograd's effective
+        // throughput is 4x this, explaining the 3375.7 GOPS headline.)
+        let one = cfg.peak_gops(167.0);
+        assert!((one - 192.38).abs() < 0.1, "{one}");
+        let dp = DesignPoint::new(cfg, 6);
+        assert!((dp.peak_gops(167.0) - 6.0 * one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn buffer_capacities_follow_partitions() {
+        let cfg = AcceleratorConfig::new(4, 4, TileConfig::F4x4);
+        assert_eq!(cfg.input_buffer_words(), 4 * 36 * 512);
+        assert_eq!(cfg.weight_buffer_words(), 16 * 36 * 512);
+        assert_eq!(cfg.output_buffer_words(), 4 * 16 * 512);
+    }
+
+    #[test]
+    fn table1_partition_factors() {
+        // Table 1 at PI=PO=4, PT=6, m=4 (the VU9P design):
+        // Winograd: in 4(x36), wgt 16(x36), out 4(x16);
+        // Spatial factors in brackets: PI·PT, PI·PO·PT, PO·PT.
+        let cfg = AcceleratorConfig::new(4, 4, TileConfig::F4x4);
+        assert_eq!(
+            cfg.partition_factors(crate::ConvMode::Winograd),
+            ((4, 36), (16, 36), (4, 16))
+        );
+        assert_eq!(
+            cfg.partition_factors(crate::ConvMode::Spatial),
+            ((24, 1), (96, 1), (24, 1))
+        );
+    }
+
+    #[test]
+    fn isa_addressing_bounds_buffers() {
+        assert!(AcceleratorConfig::new(4, 4, TileConfig::F4x4).fits_isa_addressing());
+        // PI=16, PO=8, PT=4: 2^21-word weight buffer — unaddressable.
+        assert!(!AcceleratorConfig::new(16, 8, TileConfig::F2x2).fits_isa_addressing());
+    }
+
+    #[test]
+    #[should_panic(expected = "PI >= PO")]
+    fn pi_ge_po_enforced() {
+        let _ = AcceleratorConfig::new(2, 4, TileConfig::F2x2);
+    }
+
+    #[test]
+    fn display_formats() {
+        let cfg = AcceleratorConfig::new(8, 4, TileConfig::F2x2);
+        assert_eq!(cfg.to_string(), "PI=8 PO=4 PT=4");
+        assert_eq!(
+            DesignPoint::new(cfg, 3).to_string(),
+            "PI=8 PO=4 PT=4 x NI=3"
+        );
+        assert_eq!(ConvMode::Winograd.to_string(), "wino");
+        assert_eq!(Dataflow::InputStationary.to_string(), "is");
+    }
+}

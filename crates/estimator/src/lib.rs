@@ -1,0 +1,57 @@
+//! Analytical resource-utilization and latency models for HybridDNN
+//! accelerators (paper §5.1–5.2, Eq. 3–15).
+//!
+//! The estimator is the heart of the DSE engine: it predicts, without
+//! running anything,
+//!
+//! * how many LUTs / DSPs / BRAMs an accelerator instance with parallel
+//!   factors `(PI, PO, PT)` consumes ([`resource`], Eq. 3–5, with the
+//!   profiling constants α, β, γ, δ in a [`Profile`]), and
+//! * how many cycles a CONV/FC layer takes for each of the four
+//!   mode × dataflow combinations ([`latency`], Eq. 6–15).
+//!
+//! It also owns the configuration vocabulary shared by the compiler,
+//! simulator, and DSE: [`AcceleratorConfig`], [`ConvMode`], [`Dataflow`],
+//! and the operation partitioning of §4.2.4 ([`workload::Partition`]).
+//!
+//! The paper reports the analytical model within 4.27 % (VU9P) and 4.03 %
+//! (PYNQ-Z1) of the implemented accelerator; this reproduction measures
+//! the same error against its cycle-level simulator (see
+//! `tests/estimator_vs_sim.rs` and EXPERIMENTS.md).
+//!
+//! # Example
+//!
+//! ```
+//! use hybriddnn_estimator::{AcceleratorConfig, ConvMode, Dataflow, LayerWorkload, Profile};
+//! use hybriddnn_fpga::FpgaSpec;
+//! use hybriddnn_winograd::TileConfig;
+//!
+//! let cfg = AcceleratorConfig::new(4, 4, TileConfig::F4x4);
+//! let device = FpgaSpec::vu9p();
+//!
+//! // Resource check (Eq. 3-5): one instance must fit in one die.
+//! let used = hybriddnn_estimator::resource::instance_resources(
+//!     &cfg, &Profile::vu9p(), device.bram_width_bits());
+//! assert!(used.fits_within(&device.die_resources()));
+//!
+//! // Latency (Eq. 7/14) for a VGG-style 3x3 layer.
+//! let wl = LayerWorkload::conv(512, 512, 3, 3, 14, 14, 14, 14, 1);
+//! let est = hybriddnn_estimator::latency::layer_latency(
+//!     &cfg, ConvMode::Winograd, Dataflow::WeightStationary, &wl,
+//!     device.ddr_words_per_cycle());
+//! assert!(est.cycles > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod latency;
+mod profile;
+pub mod resource;
+pub mod workload;
+
+pub use config::{AcceleratorConfig, ConvMode, Dataflow, DesignPoint};
+pub use latency::{Bottleneck, LatencyEstimate};
+pub use profile::Profile;
+pub use workload::{LayerWorkload, Partition};

@@ -1,0 +1,106 @@
+/// Profiling constants of the resource models (Eq. 3–5): "α, β, γ, and δ
+/// can be pre-defined through profiling" (§5.1).
+///
+/// Two shipped presets are fitted so the paper's reported utilization
+/// (Table 3) is reproduced by the model; a custom profile can be built for
+/// other toolchains/devices.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Profile {
+    /// Correction term related to quantization strategies (Eq. 3/4):
+    /// scales the `PO · m²` inverse-transform/accumulation multiplier
+    /// count.
+    pub alpha: f64,
+    /// DSPs used for address generation — an FPGA-independent constant
+    /// (Eq. 3).
+    pub beta: f64,
+    /// LUTs per MAC unit (Eq. 5).
+    pub gamma: f64,
+    /// LUT correction for the Winograd transform logic, scaled by `m²`
+    /// (Eq. 5). Setting `delta = 0` models a Spatial-only accelerator —
+    /// the baseline of the §6.1 overhead comparison.
+    pub delta: f64,
+    /// Multiplications packed per DSP slice (1.0, or 2.0 where the
+    /// synthesis packs two narrow multiplies per slice, as on the
+    /// PYNQ-Z1 design whose 220 DSPs exactly fit PI=PO=4, PT=4).
+    pub dsp_packing: f64,
+    /// Fixed BRAM overhead per instance (instruction queue, handshake
+    /// FIFOs, line buffers).
+    pub bram_fixed: u64,
+}
+
+impl Profile {
+    /// Profile fitted to the paper's VU9P implementation (Vivado HLS on
+    /// UltraScale+): reproduces Table 3's per-instance 860 DSPs and the
+    /// +26.4 % hybrid LUT overhead.
+    pub fn vu9p() -> Self {
+        Profile {
+            alpha: 4.0,
+            beta: 24.0,
+            gamma: 161.7,
+            delta: 0.0165,
+            dsp_packing: 1.0,
+            bram_fixed: 80,
+        }
+    }
+
+    /// Profile fitted to the paper's PYNQ-Z1 implementation (Zynq-7000,
+    /// DSP48E1 with two 8-bit multiplies packed per slice): PI=PO=4,
+    /// PT=4 costs exactly 220 DSPs, matching Table 3's 100 % utilization.
+    pub fn pynq_z1() -> Self {
+        Profile {
+            alpha: 4.0,
+            beta: 24.0,
+            gamma: 135.7,
+            delta: 0.0165,
+            dsp_packing: 2.0,
+            bram_fixed: 80,
+        }
+    }
+
+    /// A copy of this profile describing a Spatial-only (non-hybrid)
+    /// accelerator: no Winograd transform logic (`delta = 0`) and no
+    /// inverse-transform multipliers (`alpha = 0`). Used to measure the
+    /// overhead of hybrid support (§6.1: +26.4 % LUTs, no extra DSPs —
+    /// the paper counts the PE-sharing win by comparing against this).
+    pub fn spatial_only(&self) -> Profile {
+        Profile {
+            alpha: 0.0,
+            delta: 0.0,
+            ..*self
+        }
+    }
+}
+
+impl Default for Profile {
+    /// The VU9P profile.
+    fn default() -> Self {
+        Profile::vu9p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_where_expected() {
+        let v = Profile::vu9p();
+        let p = Profile::pynq_z1();
+        assert_eq!(v.alpha, p.alpha);
+        assert_eq!(v.beta, p.beta);
+        assert_ne!(v.dsp_packing, p.dsp_packing);
+    }
+
+    #[test]
+    fn spatial_only_strips_winograd_terms() {
+        let s = Profile::vu9p().spatial_only();
+        assert_eq!(s.alpha, 0.0);
+        assert_eq!(s.delta, 0.0);
+        assert_eq!(s.gamma, Profile::vu9p().gamma);
+    }
+
+    #[test]
+    fn default_is_vu9p() {
+        assert_eq!(Profile::default(), Profile::vu9p());
+    }
+}

@@ -1,0 +1,451 @@
+//! Layer workloads and the CONV operation partitioning of §4.2.4.
+
+use crate::{AcceleratorConfig, ConvMode};
+use hybriddnn_model::{Layer, LayerKind, Shape};
+
+/// The geometry of one CONV/FC layer as the estimator and compiler see it.
+///
+/// FC layers are expressed as 1×1 convolutions over 1×1 feature maps
+/// (§5.3 treats CONV and FC uniformly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LayerWorkload {
+    /// Output channels (`K`).
+    pub k: usize,
+    /// Input channels (`C`).
+    pub c: usize,
+    /// Kernel height (`R`).
+    pub r: usize,
+    /// Kernel width (`S`).
+    pub s: usize,
+    /// Input feature-map height (unpadded).
+    pub in_h: usize,
+    /// Input feature-map width (unpadded).
+    pub in_w: usize,
+    /// Output feature-map height.
+    pub out_h: usize,
+    /// Output feature-map width.
+    pub out_w: usize,
+    /// Stride.
+    pub stride: usize,
+}
+
+impl LayerWorkload {
+    /// Creates a CONV workload from explicit geometry.
+    #[allow(clippy::too_many_arguments)]
+    pub fn conv(
+        k: usize,
+        c: usize,
+        r: usize,
+        s: usize,
+        in_h: usize,
+        in_w: usize,
+        out_h: usize,
+        out_w: usize,
+        stride: usize,
+    ) -> Self {
+        LayerWorkload {
+            k,
+            c,
+            r,
+            s,
+            in_h,
+            in_w,
+            out_h,
+            out_w,
+            stride,
+        }
+    }
+
+    /// Creates an FC workload (`K × C`, 1×1 geometry).
+    pub fn fc(out_features: usize, in_features: usize) -> Self {
+        LayerWorkload {
+            k: out_features,
+            c: in_features,
+            r: 1,
+            s: 1,
+            in_h: 1,
+            in_w: 1,
+            out_h: 1,
+            out_w: 1,
+            stride: 1,
+        }
+    }
+
+    /// Extracts a workload from a network layer, or `None` for layers
+    /// that do not run on the COMP module (pooling).
+    pub fn from_layer(layer: &Layer, input: Shape, output: Shape) -> Option<Self> {
+        match layer.kind() {
+            LayerKind::Conv(c) => Some(LayerWorkload {
+                k: c.out_channels,
+                c: c.in_channels,
+                r: c.kernel_h,
+                s: c.kernel_w,
+                in_h: input.h,
+                in_w: input.w,
+                out_h: output.h,
+                out_w: output.w,
+                stride: c.stride,
+            }),
+            LayerKind::Fc(fc) => Some(LayerWorkload::fc(fc.out_features, fc.in_features)),
+            _ => None,
+        }
+    }
+
+    /// Kernel-decomposition block count `⌈R/r⌉ · ⌈S/r⌉` for Winograd mode
+    /// with 3×3 base kernels.
+    pub fn wino_blocks(&self) -> usize {
+        self.r.div_ceil(3) * self.s.div_ceil(3)
+    }
+
+    /// MAC count of the layer (spatial).
+    pub fn macs(&self) -> u64 {
+        (self.k * self.c * self.r * self.s) as u64 * (self.out_h * self.out_w) as u64
+    }
+
+    /// Arithmetic operations (2 per MAC), the GOPS numerator.
+    pub fn ops(&self) -> u64 {
+        2 * self.macs()
+    }
+
+    /// Whether this layer can run in Winograd mode (stride 1; the §4.2.5
+    /// decomposition covers all kernel sizes).
+    pub fn supports_winograd(&self) -> bool {
+        self.stride == 1
+    }
+}
+
+/// The operation partitioning of a layer (§4.2.4): feature maps split
+/// into row groups along `H` and width blocks along `W` (the SAVE
+/// instruction's `IW_BLK`/`OW_BLK` numbers), weights into `GK` groups
+/// along `K`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Partition {
+    /// Output rows per row group: 1 for Spatial, `m` for Winograd.
+    pub rows_per_group: usize,
+    /// Number of row groups (`H` or `H/m`, rounded up).
+    pub row_groups: usize,
+    /// Output channels per weight group (a multiple of `PO`).
+    pub k_per_group: usize,
+    /// Number of weight groups (`GK`).
+    pub gk: usize,
+    /// Output columns per width block (balanced; last may be smaller).
+    pub width_block: usize,
+    /// Number of width blocks.
+    pub width_blocks: usize,
+}
+
+impl Partition {
+    /// Whether `wl` can execute on `cfg` in `mode` at all: the weight
+    /// buffer must hold at least one `PO`-wide weight group.
+    pub fn fits(cfg: &AcceleratorConfig, mode: ConvMode, wl: &LayerWorkload) -> bool {
+        let words_per_k = match mode {
+            ConvMode::Spatial => wl.c * wl.r * wl.s,
+            ConvMode::Winograd => wl.c * wl.wino_blocks() * cfg.pt() * cfg.pt(),
+        };
+        cfg.weight_buffer_words() / words_per_k >= cfg.po
+            && (mode == ConvMode::Spatial || wl.supports_winograd())
+    }
+
+    /// Computes the partition for `wl` on `cfg` in `mode`.
+    ///
+    /// The weight-group size is the largest multiple of `PO` whose
+    /// weights fit the on-chip weight buffer (per ping-pong half); the
+    /// input row-group is checked against the input buffer.
+    ///
+    /// # Panics
+    /// Panics if even a single `PO`-wide weight group cannot fit the
+    /// weight buffer — the configuration cannot execute the layer and
+    /// the DSE must not have produced it.
+    pub fn compute(cfg: &AcceleratorConfig, mode: ConvMode, wl: &LayerWorkload) -> Partition {
+        let rows_per_group = match mode {
+            ConvMode::Spatial => 1,
+            ConvMode::Winograd => cfg.m(),
+        };
+        let align = match mode {
+            ConvMode::Spatial => 1,
+            ConvMode::Winograd => cfg.m(),
+        };
+        Self::compute_with(cfg, mode, wl, rows_per_group, align)
+            .expect("weight buffer too small for one PO-wide group")
+    }
+
+    /// Like [`Partition::compute`], with explicit row grouping and width
+    /// alignment (the compiler passes pool-adjusted values). Returns
+    /// `None` when even a single `PO`-wide weight group cannot fit.
+    pub fn compute_with(
+        cfg: &AcceleratorConfig,
+        mode: ConvMode,
+        wl: &LayerWorkload,
+        rows_per_group: usize,
+        align: usize,
+    ) -> Option<Partition> {
+        let row_groups = wl.out_h.div_ceil(rows_per_group);
+        let pi = cfg.pi;
+        let cv = wl.c.div_ceil(pi);
+        // Channel lanes padded to PI vectors (matches the weight images).
+        let words_per_k = match mode {
+            ConvMode::Spatial => cv * pi * wl.r * wl.s,
+            ConvMode::Winograd => cv * pi * wl.wino_blocks() * cfg.pt() * cfg.pt(),
+        };
+        let capacity = cfg.weight_buffer_words();
+        let mut k_per_group = (capacity / words_per_k) / cfg.po * cfg.po;
+        if k_per_group == 0 {
+            return None;
+        }
+        k_per_group = k_per_group
+            .min(wl.k.next_multiple_of(cfg.po))
+            .min(511 * cfg.po);
+
+        // Width blocking: the widest blocks the input and output buffers
+        // allow, balanced so all blocks pipeline evenly; shrink the
+        // weight group if no block fits. FC-style 1×1 geometry trivially
+        // blocks to 1.
+        let fc_like = wl.out_h == 1 && wl.out_w == 1;
+        let (width_block, width_blocks, k_per_group) = if fc_like {
+            (1, 1, k_per_group)
+        } else {
+            let rows_loaded = (rows_per_group - 1) * wl.stride + wl.r;
+            let icap = cfg.input_buffer_words();
+            let ocap = cfg.output_buffer_words();
+            let mut kg = k_per_group;
+            loop {
+                let max_cols = icap / (rows_loaded * cv * pi);
+                let wb_in = if max_cols >= wl.s {
+                    (max_cols - wl.s) / wl.stride + 1
+                } else {
+                    0
+                };
+                let kg_vecs = kg.div_ceil(cfg.po);
+                let wb_out = ocap / (kg_vecs * cfg.po * rows_per_group);
+                let wb_max = wb_in.min(wb_out).min(1023);
+                if wb_max >= wl.out_w {
+                    // The whole row fits: one block, no alignment needed
+                    // (tiles clip at the real feature-map edge).
+                    break (wl.out_w, 1, kg);
+                }
+                let wb_aligned = (wb_max / align) * align;
+                if wb_aligned >= align {
+                    // Balance block sizes so big/small alternation does
+                    // not break ping-pong overlap.
+                    let n = wl.out_w.div_ceil(wb_aligned);
+                    let wb = (wl.out_w.div_ceil(n * align)) * align;
+                    break (wb, wl.out_w.div_ceil(wb), kg);
+                }
+                if kg <= cfg.po {
+                    return None;
+                }
+                kg = (kg / 2).next_multiple_of(cfg.po);
+            }
+        };
+        let gk = wl.k.div_ceil(k_per_group);
+        Some(Partition {
+            rows_per_group,
+            row_groups,
+            k_per_group,
+            gk,
+            width_block,
+            width_blocks,
+        })
+    }
+
+    /// Output rows of row group `g` (the last group may be short).
+    pub fn group_rows(&self, wl: &LayerWorkload, g: usize) -> usize {
+        self.rows_per_group.min(wl.out_h - g * self.rows_per_group)
+    }
+
+    /// Output columns of width block `b` (the last block may be short).
+    pub fn block_cols(&self, wl: &LayerWorkload, b: usize) -> usize {
+        self.width_block.min(wl.out_w - b * self.width_block)
+    }
+
+    /// Output channels of weight group `gk` (the last may be short).
+    pub fn group_k(&self, wl: &LayerWorkload, gk: usize) -> usize {
+        self.k_per_group.min(wl.k - gk * self.k_per_group)
+    }
+
+    /// Exact words LOAD_INP transfers for one full pass over the input
+    /// feature map (row/column halos included) — what Eq. 10 idealizes as
+    /// `C·H·W`.
+    pub fn input_pass_words(&self, cfg: &AcceleratorConfig, wl: &LayerWorkload) -> u64 {
+        let lanes = wl.c.div_ceil(cfg.pi) * cfg.pi;
+        if wl.out_h == 1 && wl.out_w == 1 {
+            return lanes as u64;
+        }
+        let mut words = 0u64;
+        for g in 0..self.row_groups {
+            let rows_l = (self.group_rows(wl, g) - 1) * wl.stride + wl.r;
+            for b in 0..self.width_blocks {
+                let cols_l = (self.block_cols(wl, b) - 1) * wl.stride + wl.s;
+                words += (rows_l * cols_l * lanes) as u64;
+            }
+        }
+        words
+    }
+
+    /// Exact words LOAD_WGT transfers for one full pass over the weights
+    /// (channel-lane and `PO`-vector padding included) — what Eq. 8/9
+    /// idealize as `K·C·R·S` / `K·C·⌈R/r⌉⌈S/r⌉·PT²`.
+    pub fn weight_pass_words(
+        &self,
+        cfg: &AcceleratorConfig,
+        mode: ConvMode,
+        wl: &LayerWorkload,
+    ) -> u64 {
+        let cv = wl.c.div_ceil(cfg.pi);
+        let lanes = if wl.out_h == 1 && wl.out_w == 1 {
+            // FC layers chunk the flattened input through the input
+            // buffer; the weight image pads every chunk to uniform width.
+            let chunk = cv.min(cfg.input_buffer_words() / cfg.pi).clamp(1, 1024);
+            cv.div_ceil(chunk) * chunk * cfg.pi
+        } else {
+            cv * cfg.pi
+        };
+        let per_k = match mode {
+            ConvMode::Spatial => lanes * wl.r * wl.s,
+            ConvMode::Winograd => lanes * wl.wino_blocks() * cfg.pt() * cfg.pt(),
+        } as u64;
+        (0..self.gk)
+            .map(|g| (self.group_k(wl, g).div_ceil(cfg.po) * cfg.po) as u64 * per_k)
+            .sum()
+    }
+
+    /// Exact words SAVE transfers for the full output (`PO`-padded
+    /// channel lanes) — Eq. 11's `K·H·W` with padding.
+    pub fn save_pass_words(&self, cfg: &AcceleratorConfig, wl: &LayerWorkload) -> u64 {
+        (0..self.gk)
+            .map(|g| {
+                (self.group_k(wl, g).div_ceil(cfg.po) * cfg.po) as u64
+                    * (wl.out_h * wl.out_w) as u64
+            })
+            .sum()
+    }
+
+    /// Total number of COMP work units
+    /// (`row_groups × width_blocks × GK`), the `H × GK` / `(H/m) × GK`
+    /// counts of §4.2.4.
+    pub fn units(&self) -> usize {
+        self.row_groups * self.width_blocks * self.gk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybriddnn_model::zoo;
+    use hybriddnn_winograd::TileConfig;
+
+    fn cfg6() -> AcceleratorConfig {
+        AcceleratorConfig::new(4, 4, TileConfig::F4x4)
+    }
+
+    #[test]
+    fn workload_from_vgg16_layers() {
+        let net = zoo::vgg16();
+        let wl = LayerWorkload::from_layer(
+            &net.layers()[0],
+            net.layer_input_shape(0),
+            net.layer_output_shape(0),
+        )
+        .unwrap();
+        assert_eq!((wl.k, wl.c, wl.r, wl.s), (64, 3, 3, 3));
+        assert_eq!((wl.out_h, wl.out_w), (224, 224));
+        // conv1_1 MACs: 64·3·9·224² = 86 704 128.
+        assert_eq!(wl.ops(), 173_408_256);
+    }
+
+    #[test]
+    fn pooling_has_no_workload() {
+        let net = zoo::vgg16();
+        let pool_idx = net
+            .layers()
+            .iter()
+            .position(|l| l.name() == "pool1")
+            .unwrap();
+        assert!(LayerWorkload::from_layer(
+            &net.layers()[pool_idx],
+            net.layer_input_shape(pool_idx),
+            net.layer_output_shape(pool_idx),
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn fc_is_1x1_geometry() {
+        let wl = LayerWorkload::fc(4096, 25088);
+        assert_eq!(wl.macs(), 4096 * 25088);
+        assert_eq!(wl.out_h, 1);
+    }
+
+    #[test]
+    fn wino_blocks_decompose_large_kernels() {
+        assert_eq!(
+            LayerWorkload::conv(1, 1, 3, 3, 8, 8, 8, 8, 1).wino_blocks(),
+            1
+        );
+        assert_eq!(
+            LayerWorkload::conv(1, 1, 5, 5, 8, 8, 8, 8, 1).wino_blocks(),
+            4
+        );
+        assert_eq!(
+            LayerWorkload::conv(1, 1, 7, 7, 8, 8, 8, 8, 1).wino_blocks(),
+            9
+        );
+        assert_eq!(
+            LayerWorkload::conv(1, 1, 1, 1, 8, 8, 8, 8, 1).wino_blocks(),
+            1
+        );
+    }
+
+    #[test]
+    fn stride_blocks_winograd() {
+        assert!(LayerWorkload::conv(1, 1, 3, 3, 8, 8, 8, 8, 1).supports_winograd());
+        assert!(!LayerWorkload::conv(1, 1, 3, 3, 8, 8, 4, 4, 2).supports_winograd());
+    }
+
+    #[test]
+    fn partition_row_groups_follow_mode() {
+        let wl = LayerWorkload::conv(64, 64, 3, 3, 224, 224, 224, 224, 1);
+        let spat = Partition::compute(&cfg6(), ConvMode::Spatial, &wl);
+        assert_eq!(spat.rows_per_group, 1);
+        assert_eq!(spat.row_groups, 224);
+        let wino = Partition::compute(&cfg6(), ConvMode::Winograd, &wl);
+        assert_eq!(wino.rows_per_group, 4);
+        assert_eq!(wino.row_groups, 56);
+    }
+
+    #[test]
+    fn partition_splits_large_weight_tensors() {
+        // conv5-style: 512×512×9 spatial words = 2.36 M; buffer holds
+        // 294 912 → k_per_group = 64, GK = 8.
+        let wl = LayerWorkload::conv(512, 512, 3, 3, 14, 14, 14, 14, 1);
+        let p = Partition::compute(&cfg6(), ConvMode::Spatial, &wl);
+        assert_eq!(p.k_per_group, 64);
+        assert_eq!(p.gk, 8);
+        assert_eq!(p.units(), 14 * 8);
+        // Winograd inflates weights by PT²/9 per block → fewer K per group.
+        let pw = Partition::compute(&cfg6(), ConvMode::Winograd, &wl);
+        assert!(pw.k_per_group < p.k_per_group);
+        assert!(pw.k_per_group * pw.gk >= 512);
+    }
+
+    #[test]
+    fn partition_small_layer_single_group() {
+        let wl = LayerWorkload::conv(8, 8, 3, 3, 16, 16, 16, 16, 1);
+        let p = Partition::compute(&cfg6(), ConvMode::Spatial, &wl);
+        assert_eq!(p.gk, 1);
+        assert_eq!(p.k_per_group, 8);
+    }
+
+    #[test]
+    fn partition_k_group_is_po_multiple() {
+        let cfg = cfg6();
+        for k in [8usize, 60, 64, 512, 1000] {
+            let wl = LayerWorkload::conv(k, 128, 3, 3, 28, 28, 28, 28, 1);
+            for mode in [ConvMode::Spatial, ConvMode::Winograd] {
+                let p = Partition::compute(&cfg, mode, &wl);
+                assert_eq!(p.k_per_group % cfg.po, 0, "k={k} {mode}");
+                assert!(p.k_per_group * p.gk >= k);
+            }
+        }
+    }
+}

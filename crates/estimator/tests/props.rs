@@ -1,0 +1,127 @@
+//! Property-based tests on the analytical models: partition coverage
+//! invariants, latency monotonicity, and resource-model monotonicity.
+
+use hybriddnn_estimator::{
+    latency, resource, AcceleratorConfig, ConvMode, Dataflow, LayerWorkload, Partition, Profile,
+};
+use hybriddnn_winograd::TileConfig;
+use proptest::prelude::*;
+
+fn cfg_strategy() -> impl Strategy<Value = AcceleratorConfig> {
+    (
+        prop_oneof![Just(TileConfig::F2x2), Just(TileConfig::F4x4)],
+        prop_oneof![Just(1usize), Just(2), Just(4), Just(8)],
+        prop_oneof![Just(1usize), Just(2), Just(4)],
+    )
+        .prop_filter_map("PI >= PO", |(tile, pi, po)| {
+            (pi >= po).then(|| AcceleratorConfig::new(pi, po, tile))
+        })
+}
+
+fn wl_strategy() -> impl Strategy<Value = LayerWorkload> {
+    (
+        1usize..=256,                                // k
+        1usize..=128,                                // c
+        prop_oneof![Just(1usize), Just(3), Just(5)], // kernel
+        4usize..=64,                                 // h=w
+    )
+        .prop_map(|(k, c, r, hw)| LayerWorkload::conv(k, c, r, r, hw, hw, hw, hw, 1))
+}
+
+proptest! {
+    /// The partition covers the whole layer exactly: groups × sizes add
+    /// back to K, H, and W.
+    #[test]
+    fn partition_covers_layer(cfg in cfg_strategy(), wl in wl_strategy(), wino in any::<bool>()) {
+        let mode = if wino { ConvMode::Winograd } else { ConvMode::Spatial };
+        prop_assume!(Partition::fits(&cfg, mode, &wl));
+        let p = Partition::compute(&cfg, mode, &wl);
+        let k_total: usize = (0..p.gk).map(|g| p.group_k(&wl, g)).sum();
+        prop_assert_eq!(k_total, wl.k);
+        let rows_total: usize = (0..p.row_groups).map(|g| p.group_rows(&wl, g)).sum();
+        prop_assert_eq!(rows_total, wl.out_h);
+        let cols_total: usize = (0..p.width_blocks).map(|b| p.block_cols(&wl, b)).sum();
+        prop_assert_eq!(cols_total, wl.out_w);
+        // Every weight group is PO-aligned except possibly the last.
+        for g in 0..p.gk.saturating_sub(1) {
+            prop_assert_eq!(p.group_k(&wl, g) % cfg.po, 0);
+        }
+    }
+
+    /// Pass traffic is at least the ideal volume (halos only ever add).
+    #[test]
+    fn pass_words_dominate_ideal(cfg in cfg_strategy(), wl in wl_strategy(), wino in any::<bool>()) {
+        let mode = if wino { ConvMode::Winograd } else { ConvMode::Spatial };
+        prop_assume!(Partition::fits(&cfg, mode, &wl));
+        let p = Partition::compute(&cfg, mode, &wl);
+        prop_assert!(p.input_pass_words(&cfg, &wl) >= (wl.c * wl.in_h * wl.in_w) as u64);
+        let ideal_w = match mode {
+            ConvMode::Spatial => wl.k * wl.c * wl.r * wl.s,
+            ConvMode::Winograd => wl.k * wl.c * wl.wino_blocks() * cfg.pt() * cfg.pt(),
+        } as u64;
+        prop_assert!(p.weight_pass_words(&cfg, mode, &wl) >= ideal_w);
+        prop_assert!(p.save_pass_words(&cfg, &wl) >= (wl.k * wl.out_h * wl.out_w) as u64);
+    }
+
+    /// Latency never improves when bandwidth shrinks.
+    #[test]
+    fn latency_monotone_in_bandwidth(
+        cfg in cfg_strategy(),
+        wl in wl_strategy(),
+        wino in any::<bool>(),
+        ws in any::<bool>(),
+        bw_lo in 1.0f64..16.0,
+        ratio in 1.0f64..16.0,
+    ) {
+        let mode = if wino { ConvMode::Winograd } else { ConvMode::Spatial };
+        prop_assume!(Partition::fits(&cfg, mode, &wl));
+        let df = if ws { Dataflow::WeightStationary } else { Dataflow::InputStationary };
+        let slow = latency::layer_latency(&cfg, mode, df, &wl, bw_lo);
+        let fast = latency::layer_latency(&cfg, mode, df, &wl, bw_lo * ratio);
+        prop_assert!(fast.cycles <= slow.cycles * (1.0 + 1e-12));
+    }
+
+    /// Compute time never exceeds the overall latency estimate.
+    #[test]
+    fn compute_bounds_latency(
+        cfg in cfg_strategy(),
+        wl in wl_strategy(),
+        wino in any::<bool>(),
+        bw in 1.0f64..64.0,
+    ) {
+        let mode = if wino { ConvMode::Winograd } else { ConvMode::Spatial };
+        prop_assume!(Partition::fits(&cfg, mode, &wl));
+        let est = latency::layer_latency(&cfg, mode, Dataflow::WeightStationary, &wl, bw);
+        prop_assert!(est.cycles >= latency::compute_cycles(&cfg, mode, &wl));
+    }
+
+    /// best_choice really is the minimum over the four combinations.
+    #[test]
+    fn best_choice_is_minimal(cfg in cfg_strategy(), wl in wl_strategy(), bw in 1.0f64..64.0) {
+        prop_assume!(Partition::fits(&cfg, ConvMode::Spatial, &wl));
+        let (_, _, best) = latency::best_choice(&cfg, &wl, bw);
+        for mode in [ConvMode::Spatial, ConvMode::Winograd] {
+            if !Partition::fits(&cfg, mode, &wl) { continue; }
+            for df in [Dataflow::InputStationary, Dataflow::WeightStationary] {
+                let est = latency::layer_latency(&cfg, mode, df, &wl, bw);
+                prop_assert!(best.cycles <= est.cycles + 1e-9);
+            }
+        }
+    }
+
+    /// Resources grow monotonically in PI and PO (Eq. 3-5).
+    #[test]
+    fn resources_monotone(
+        tile in prop_oneof![Just(TileConfig::F2x2), Just(TileConfig::F4x4)],
+        pi_log in 1u32..4,
+        po_log in 0u32..3,
+    ) {
+        prop_assume!(pi_log >= po_log);
+        let small = AcceleratorConfig::new(1 << (pi_log - 1), 1 << po_log.min(pi_log - 1), tile);
+        let big = AcceleratorConfig::new(1 << pi_log, 1 << po_log, tile);
+        let p = Profile::vu9p();
+        let rs = resource::instance_resources(&small, &p, 36);
+        let rb = resource::instance_resources(&big, &p, 36);
+        prop_assert!(rs.lut <= rb.lut && rs.dsp <= rb.dsp && rs.bram18 <= rb.bram18);
+    }
+}

@@ -1,0 +1,41 @@
+//! FPGA device substrate for the HybridDNN framework.
+//!
+//! The paper targets a cloud FPGA (Xilinx VU9P on a Semptian NSA.241) and
+//! an embedded FPGA (Xilinx PYNQ-Z1). Since this reproduction has no
+//! silicon, the device is modeled by the quantities the framework actually
+//! consumes:
+//!
+//! * [`Resources`] — LUT / DSP / 18Kb-BRAM vectors with arithmetic and
+//!   utilization accounting (the units of Table 3 and Eq. 3–5).
+//! * [`FpgaSpec`] — a named device: per-die resource pools (VU9P has three
+//!   dies; accelerator instances must fit within a die to avoid the
+//!   cross-die timing violations the paper motivates with), BRAM word
+//!   width, achievable clock, and DDR bandwidth.
+//! * [`ExternalMemory`] — a word-addressable external DRAM with traffic
+//!   counters, shared by the simulator's LOAD/SAVE modules.
+//! * [`EnergyModel`] — an analytical power model used to regenerate the
+//!   GOPS/W column of Table 4 (documented as modeled, not measured).
+//!
+//! # Example
+//!
+//! ```
+//! use hybriddnn_fpga::{FpgaSpec, Resources};
+//!
+//! let vu9p = FpgaSpec::vu9p();
+//! assert_eq!(vu9p.dies(), 3);
+//! let need = Resources::new(100_000, 800, 500);
+//! assert!(need.fits_within(&vu9p.die_resources()));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod device;
+mod energy;
+mod memory;
+mod resources;
+
+pub use device::FpgaSpec;
+pub use energy::{EnergyModel, PowerBreakdown};
+pub use memory::{ExternalMemory, MemoryClient, MemoryTraffic};
+pub use resources::Resources;

@@ -1,0 +1,228 @@
+//! External (DDR) memory: word-addressable storage with traffic counters.
+//!
+//! The accelerator's LOAD_INP / LOAD_WGT / SAVE modules address external
+//! memory through `DRAM_BASE` instruction fields; the simulator charges
+//! bandwidth for every word moved (paper Eq. 8–11 model loading as
+//! `min(BW, consumer rate)`).
+
+/// Cumulative read/write word counts, split by requester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoryTraffic {
+    /// Words read by LOAD_INP.
+    pub input_reads: u64,
+    /// Words read by LOAD_WGT (weights and bias).
+    pub weight_reads: u64,
+    /// Words written by SAVE.
+    pub output_writes: u64,
+}
+
+impl MemoryTraffic {
+    /// Total words moved in either direction.
+    pub fn total(&self) -> u64 {
+        self.input_reads + self.weight_reads + self.output_writes
+    }
+}
+
+/// Which functional module issued a memory transaction (for traffic
+/// accounting).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryClient {
+    /// The LOAD_INP module.
+    LoadInput,
+    /// The LOAD_WGT module.
+    LoadWeight,
+    /// The SAVE module.
+    Save,
+}
+
+/// A flat, word-addressable external memory holding `f32` data words.
+///
+/// Addresses are word indices (the 128-bit instruction encodes word
+/// addresses in its `DRAM_BASE` field). Reads outside the allocated range
+/// return zero — matching a freshly initialized DRAM — while writes grow
+/// the backing store on demand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExternalMemory {
+    words: Vec<f32>,
+    traffic: MemoryTraffic,
+}
+
+impl ExternalMemory {
+    /// Creates an empty memory.
+    pub fn new() -> Self {
+        ExternalMemory {
+            words: Vec::new(),
+            traffic: MemoryTraffic::default(),
+        }
+    }
+
+    /// Creates a memory pre-sized to `words` zeroed words.
+    pub fn with_capacity_words(words: usize) -> Self {
+        ExternalMemory {
+            words: vec![0.0; words],
+            traffic: MemoryTraffic::default(),
+        }
+    }
+
+    /// Number of allocated words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Whether no words are allocated.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Reads one word (zero if unallocated), charging `client`'s counter.
+    pub fn read(&mut self, addr: u64, client: MemoryClient) -> f32 {
+        self.charge(client, 1, false);
+        self.words.get(addr as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Reads a burst of `len` words starting at `addr`.
+    pub fn read_burst(&mut self, addr: u64, len: usize, client: MemoryClient) -> Vec<f32> {
+        self.charge(client, len as u64, false);
+        (0..len)
+            .map(|i| self.words.get(addr as usize + i).copied().unwrap_or(0.0))
+            .collect()
+    }
+
+    /// Writes one word, growing the store if needed.
+    pub fn write(&mut self, addr: u64, value: f32, client: MemoryClient) {
+        self.charge(client, 1, true);
+        let idx = addr as usize;
+        if idx >= self.words.len() {
+            self.words.resize(idx + 1, 0.0);
+        }
+        self.words[idx] = value;
+    }
+
+    /// Writes a burst of words starting at `addr`.
+    pub fn write_burst(&mut self, addr: u64, values: &[f32], client: MemoryClient) {
+        self.charge(client, values.len() as u64, true);
+        let start = addr as usize;
+        if start + values.len() > self.words.len() {
+            self.words.resize(start + values.len(), 0.0);
+        }
+        self.words[start..start + values.len()].copy_from_slice(values);
+    }
+
+    /// Host-side store (DMA from the host CPU): does *not* count as
+    /// accelerator traffic.
+    pub fn host_write(&mut self, addr: u64, values: &[f32]) {
+        let start = addr as usize;
+        if start + values.len() > self.words.len() {
+            self.words.resize(start + values.len(), 0.0);
+        }
+        self.words[start..start + values.len()].copy_from_slice(values);
+    }
+
+    /// Host-side store of a single word (DMA from the host CPU); does not
+    /// count as accelerator traffic.
+    pub fn host_store(&mut self, addr: u64, value: f32) {
+        let idx = addr as usize;
+        if idx >= self.words.len() {
+            self.words.resize(idx + 1, 0.0);
+        }
+        self.words[idx] = value;
+    }
+
+    /// Host-side load of a single word; does not count as traffic.
+    pub fn host_load(&self, addr: u64) -> f32 {
+        self.words.get(addr as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Host-side load: does not count as accelerator traffic.
+    pub fn host_read(&self, addr: u64, len: usize) -> Vec<f32> {
+        (0..len)
+            .map(|i| self.words.get(addr as usize + i).copied().unwrap_or(0.0))
+            .collect()
+    }
+
+    /// Traffic counters accumulated so far.
+    pub fn traffic(&self) -> MemoryTraffic {
+        self.traffic
+    }
+
+    /// Resets traffic counters (e.g. between layers).
+    pub fn reset_traffic(&mut self) {
+        self.traffic = MemoryTraffic::default();
+    }
+
+    fn charge(&mut self, client: MemoryClient, words: u64, write: bool) {
+        match (client, write) {
+            (MemoryClient::LoadInput, false) => self.traffic.input_reads += words,
+            (MemoryClient::LoadWeight, false) => self.traffic.weight_reads += words,
+            (MemoryClient::Save, true) => self.traffic.output_writes += words,
+            // Unusual pairings (e.g. SAVE reading for pooling re-fetch)
+            // are charged to the nearest counter.
+            (MemoryClient::Save, false) => self.traffic.output_writes += words,
+            (_, true) => self.traffic.output_writes += words,
+        }
+    }
+}
+
+impl Default for ExternalMemory {
+    fn default() -> Self {
+        ExternalMemory::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_unallocated_is_zero() {
+        let mut mem = ExternalMemory::new();
+        assert_eq!(mem.read(1000, MemoryClient::LoadInput), 0.0);
+    }
+
+    #[test]
+    fn write_then_read_roundtrips() {
+        let mut mem = ExternalMemory::new();
+        mem.write(5, 2.5, MemoryClient::Save);
+        assert_eq!(mem.read(5, MemoryClient::LoadInput), 2.5);
+        assert_eq!(mem.len(), 6);
+    }
+
+    #[test]
+    fn bursts_roundtrip() {
+        let mut mem = ExternalMemory::new();
+        mem.write_burst(10, &[1.0, 2.0, 3.0], MemoryClient::Save);
+        assert_eq!(
+            mem.read_burst(9, 5, MemoryClient::LoadWeight),
+            vec![0.0, 1.0, 2.0, 3.0, 0.0]
+        );
+    }
+
+    #[test]
+    fn traffic_is_attributed_per_client() {
+        let mut mem = ExternalMemory::new();
+        mem.write_burst(0, &[0.0; 4], MemoryClient::Save);
+        let _ = mem.read_burst(0, 3, MemoryClient::LoadInput);
+        let _ = mem.read(0, MemoryClient::LoadWeight);
+        let t = mem.traffic();
+        assert_eq!(t.output_writes, 4);
+        assert_eq!(t.input_reads, 3);
+        assert_eq!(t.weight_reads, 1);
+        assert_eq!(t.total(), 8);
+    }
+
+    #[test]
+    fn host_io_is_untracked() {
+        let mut mem = ExternalMemory::new();
+        mem.host_write(0, &[1.0, 2.0]);
+        assert_eq!(mem.host_read(0, 2), vec![1.0, 2.0]);
+        assert_eq!(mem.traffic().total(), 0);
+    }
+
+    #[test]
+    fn reset_traffic_clears_counters() {
+        let mut mem = ExternalMemory::new();
+        mem.write(0, 1.0, MemoryClient::Save);
+        mem.reset_traffic();
+        assert_eq!(mem.traffic().total(), 0);
+    }
+}

@@ -1,0 +1,169 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// An FPGA resource vector: LUTs, DSP slices, and 18Kb BRAM blocks —
+/// the three budgets of the paper's DSE constraints (Table 2) and the
+/// columns of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Resources {
+    /// Look-up tables.
+    pub lut: u64,
+    /// DSP slices (each one multiplier-accumulator at the modeled widths).
+    pub dsp: u64,
+    /// 18Kb block-RAM units.
+    pub bram18: u64,
+}
+
+impl Resources {
+    /// Creates a resource vector.
+    pub const fn new(lut: u64, dsp: u64, bram18: u64) -> Self {
+        Resources { lut, dsp, bram18 }
+    }
+
+    /// The zero vector.
+    pub const fn zero() -> Self {
+        Resources::new(0, 0, 0)
+    }
+
+    /// Whether every component of `self` fits within `budget`.
+    pub fn fits_within(&self, budget: &Resources) -> bool {
+        self.lut <= budget.lut && self.dsp <= budget.dsp && self.bram18 <= budget.bram18
+    }
+
+    /// Component-wise utilization fractions of `self` against `total`
+    /// `(lut, dsp, bram)`; components with a zero budget report 0.
+    pub fn utilization(&self, total: &Resources) -> (f64, f64, f64) {
+        let frac = |used: u64, avail: u64| {
+            if avail == 0 {
+                0.0
+            } else {
+                used as f64 / avail as f64
+            }
+        };
+        (
+            frac(self.lut, total.lut),
+            frac(self.dsp, total.dsp),
+            frac(self.bram18, total.bram18),
+        )
+    }
+
+    /// The largest utilization fraction across the three components.
+    pub fn max_utilization(&self, total: &Resources) -> f64 {
+        let (l, d, b) = self.utilization(total);
+        l.max(d).max(b)
+    }
+
+    /// Saturating component-wise subtraction.
+    pub fn saturating_sub(&self, other: &Resources) -> Resources {
+        Resources::new(
+            self.lut.saturating_sub(other.lut),
+            self.dsp.saturating_sub(other.dsp),
+            self.bram18.saturating_sub(other.bram18),
+        )
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources::new(
+            self.lut + rhs.lut,
+            self.dsp + rhs.dsp,
+            self.bram18 + rhs.bram18,
+        )
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Resources {
+    type Output = Resources;
+    /// Component-wise subtraction.
+    ///
+    /// # Panics
+    /// Panics on underflow (use [`Resources::saturating_sub`] otherwise).
+    fn sub(self, rhs: Resources) -> Resources {
+        Resources::new(
+            self.lut - rhs.lut,
+            self.dsp - rhs.dsp,
+            self.bram18 - rhs.bram18,
+        )
+    }
+}
+
+impl Mul<u64> for Resources {
+    type Output = Resources;
+    fn mul(self, n: u64) -> Resources {
+        Resources::new(self.lut * n, self.dsp * n, self.bram18 * n)
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUT, {} DSP, {} BRAM18",
+            self.lut, self.dsp, self.bram18
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Resources::new(10, 2, 3);
+        let b = Resources::new(5, 1, 1);
+        assert_eq!(a + b, Resources::new(15, 3, 4));
+        assert_eq!(a - b, Resources::new(5, 1, 2));
+        assert_eq!(a * 3, Resources::new(30, 6, 9));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, Resources::new(15, 3, 4));
+    }
+
+    #[test]
+    fn fits_within_is_componentwise() {
+        let budget = Resources::new(100, 10, 10);
+        assert!(Resources::new(100, 10, 10).fits_within(&budget));
+        assert!(!Resources::new(101, 1, 1).fits_within(&budget));
+        assert!(!Resources::new(1, 11, 1).fits_within(&budget));
+        assert!(!Resources::new(1, 1, 11).fits_within(&budget));
+    }
+
+    #[test]
+    fn utilization_fractions() {
+        let total = Resources::new(200, 100, 50);
+        let used = Resources::new(100, 75, 50);
+        let (l, d, b) = used.utilization(&total);
+        assert_eq!((l, d, b), (0.5, 0.75, 1.0));
+        assert_eq!(used.max_utilization(&total), 1.0);
+    }
+
+    #[test]
+    fn utilization_zero_budget_is_zero() {
+        let (l, d, b) = Resources::new(1, 1, 1).utilization(&Resources::zero());
+        assert_eq!((l, d, b), (0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn saturating_sub_clamps() {
+        let a = Resources::new(1, 1, 1);
+        let b = Resources::new(5, 0, 2);
+        assert_eq!(a.saturating_sub(&b), Resources::new(0, 1, 0));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(
+            Resources::new(1, 2, 3).to_string(),
+            "1 LUT, 2 DSP, 3 BRAM18"
+        );
+    }
+}

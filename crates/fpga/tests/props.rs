@@ -1,0 +1,87 @@
+//! Property-based tests of the FPGA substrate: resource-vector algebra,
+//! memory round trips, and energy-model laws.
+
+use hybriddnn_fpga::{EnergyModel, ExternalMemory, FpgaSpec, MemoryClient, Resources};
+use proptest::prelude::*;
+
+fn res_strategy() -> impl Strategy<Value = Resources> {
+    (0u64..1 << 20, 0u64..1 << 13, 0u64..1 << 12).prop_map(|(l, d, b)| Resources::new(l, d, b))
+}
+
+proptest! {
+    /// Addition is commutative/associative and respects fits_within.
+    #[test]
+    fn resource_algebra(a in res_strategy(), b in res_strategy(), c in res_strategy()) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert_eq!((a + b) + c, a + (b + c));
+        prop_assert!(a.fits_within(&(a + b)));
+        prop_assert_eq!(a * 2, a + a);
+        prop_assert_eq!((a + b).saturating_sub(&b), a);
+    }
+
+    /// fits_within is a partial order consistent with utilization ≤ 1.
+    #[test]
+    fn fits_iff_utilization_at_most_one(used in res_strategy(), total in res_strategy()) {
+        prop_assume!(total.lut > 0 && total.dsp > 0 && total.bram18 > 0);
+        let fits = used.fits_within(&total);
+        let max = used.max_utilization(&total);
+        prop_assert_eq!(fits, max <= 1.0, "fits {} max {}", fits, max);
+    }
+
+    /// Memory: the last write to an address wins; reads elsewhere are
+    /// unaffected.
+    #[test]
+    fn memory_last_write_wins(
+        writes in prop::collection::vec((0u64..256, -100.0f32..100.0), 1..50),
+        probe in 0u64..256,
+    ) {
+        let mut mem = ExternalMemory::new();
+        let mut model = std::collections::HashMap::new();
+        for (addr, v) in &writes {
+            mem.write(*addr, *v, MemoryClient::Save);
+            model.insert(*addr, *v);
+        }
+        let expect = model.get(&probe).copied().unwrap_or(0.0);
+        prop_assert_eq!(mem.host_load(probe), expect);
+    }
+
+    /// Traffic counters equal the exact word counts of the operations.
+    #[test]
+    fn traffic_counts_are_exact(
+        reads in prop::collection::vec(0u64..64, 0..20),
+        burst in 0usize..40,
+    ) {
+        let mut mem = ExternalMemory::with_capacity_words(64);
+        for &a in &reads {
+            let _ = mem.read(a, MemoryClient::LoadInput);
+        }
+        let _ = mem.read_burst(0, burst, MemoryClient::LoadWeight);
+        let t = mem.traffic();
+        prop_assert_eq!(t.input_reads, reads.len() as u64);
+        prop_assert_eq!(t.weight_reads, burst as u64);
+        prop_assert_eq!(t.total(), reads.len() as u64 + burst as u64);
+    }
+
+    /// Power is monotone in resources and affine in frequency.
+    #[test]
+    fn power_laws(a in res_strategy(), b in res_strategy(), f in 10.0f64..500.0) {
+        let m = EnergyModel::calibrated();
+        let pa = m.power(&a, f).total_w();
+        let pab = m.power(&(a + b), f).total_w();
+        prop_assert!(pab >= pa - 1e-12);
+        // doubling frequency doubles the dynamic part exactly
+        let p1 = m.power(&a, f);
+        let p2 = m.power(&a, 2.0 * f);
+        let dyn1 = p1.total_w() - p1.static_w;
+        let dyn2 = p2.total_w() - p2.static_w;
+        prop_assert!((dyn2 - 2.0 * dyn1).abs() < 1e-9);
+    }
+
+    /// Instance bandwidth partitions the device budget exactly.
+    #[test]
+    fn bandwidth_partitions(ni in 1usize..16) {
+        let d = FpgaSpec::vu9p();
+        let share = d.instance_bandwidth(ni);
+        prop_assert!((share * ni as f64 - d.ddr_words_per_cycle()).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,90 @@
+//! Bitfield packing helpers over `u128` instruction words.
+//!
+//! Fields are addressed as `[hi:lo]` inclusive bit ranges, MSB-first like
+//! hardware instruction-format diagrams (bit 127 is the left edge of
+//! Figure 2).
+
+use crate::IsaError;
+
+/// Writes `value` into bits `[hi:lo]` of `word`.
+///
+/// Returns [`IsaError::FieldOverflow`] if `value` does not fit in
+/// `hi - lo + 1` bits.
+pub(crate) fn set_bits(
+    word: &mut u128,
+    field: &'static str,
+    hi: u32,
+    lo: u32,
+    value: u128,
+) -> Result<(), IsaError> {
+    debug_assert!(hi >= lo && hi < 128);
+    let width = hi - lo + 1;
+    let max = if width == 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    };
+    if value > max {
+        return Err(IsaError::FieldOverflow {
+            field,
+            value: value as u64,
+            bits: width,
+        });
+    }
+    let mask = max << lo;
+    *word = (*word & !mask) | (value << lo);
+    Ok(())
+}
+
+/// Reads bits `[hi:lo]` of `word`.
+pub(crate) fn get_bits(word: u128, hi: u32, lo: u32) -> u128 {
+    debug_assert!(hi >= lo && hi < 128);
+    let width = hi - lo + 1;
+    let max = if width == 128 {
+        u128::MAX
+    } else {
+        (1u128 << width) - 1
+    };
+    (word >> lo) & max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut w = 0u128;
+        set_bits(&mut w, "a", 127, 124, 0xB).unwrap();
+        set_bits(&mut w, "b", 17, 3, 0x5A5A >> 1).unwrap();
+        assert_eq!(get_bits(w, 127, 124), 0xB);
+        assert_eq!(get_bits(w, 17, 3), 0x5A5A >> 1);
+    }
+
+    #[test]
+    fn overflow_is_detected() {
+        let mut w = 0u128;
+        let err = set_bits(&mut w, "f", 3, 0, 16).unwrap_err();
+        assert!(matches!(err, IsaError::FieldOverflow { field: "f", .. }));
+        assert!(set_bits(&mut w, "f", 3, 0, 15).is_ok());
+    }
+
+    #[test]
+    fn neighbouring_fields_do_not_clobber() {
+        let mut w = 0u128;
+        set_bits(&mut w, "lo", 3, 0, 0xF).unwrap();
+        set_bits(&mut w, "hi", 7, 4, 0x0).unwrap();
+        assert_eq!(get_bits(w, 3, 0), 0xF);
+        set_bits(&mut w, "hi", 7, 4, 0xF).unwrap();
+        assert_eq!(get_bits(w, 3, 0), 0xF);
+        assert_eq!(get_bits(w, 7, 4), 0xF);
+    }
+
+    #[test]
+    fn overwrite_clears_previous_value() {
+        let mut w = 0u128;
+        set_bits(&mut w, "f", 11, 4, 0xFF).unwrap();
+        set_bits(&mut w, "f", 11, 4, 0x01).unwrap();
+        assert_eq!(get_bits(w, 11, 4), 0x01);
+    }
+}

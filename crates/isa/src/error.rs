@@ -1,0 +1,66 @@
+use std::fmt;
+
+/// Errors produced when encoding or decoding instructions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IsaError {
+    /// A field value does not fit in its allotted bit width.
+    FieldOverflow {
+        /// Field name (as in Figure 2 / the instruction struct).
+        field: &'static str,
+        /// The offending value.
+        value: u64,
+        /// The field's width in bits.
+        bits: u32,
+    },
+    /// The opcode of a decoded word is not one of the five instructions.
+    InvalidOpcode {
+        /// The raw 4-bit opcode value.
+        opcode: u8,
+    },
+    /// A decoded field carries a semantically invalid value (e.g. a zero
+    /// dimension).
+    InvalidField {
+        /// Field name.
+        field: &'static str,
+        /// Human-readable description.
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for IsaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IsaError::FieldOverflow { field, value, bits } => {
+                write!(
+                    f,
+                    "value {value} does not fit in {bits}-bit field `{field}`"
+                )
+            }
+            IsaError::InvalidOpcode { opcode } => write!(f, "invalid opcode {opcode:#x}"),
+            IsaError::InvalidField { field, detail } => {
+                write!(f, "invalid field `{field}`: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IsaError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = IsaError::FieldOverflow {
+            field: "OUT_W",
+            value: 5000,
+            bits: 10,
+        };
+        assert!(e.to_string().contains("OUT_W"));
+        assert!(IsaError::InvalidOpcode { opcode: 9 }
+            .to_string()
+            .contains("0x9"));
+    }
+}

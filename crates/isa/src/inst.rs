@@ -1,0 +1,801 @@
+//! Instruction definitions, encoding, and decoding.
+//!
+//! # Bit layouts
+//!
+//! All instructions share a 9-bit header: `OPCODE [127:124]`,
+//! `DEPT_FLAG [123:120]`, `BUFF_ID [119]`. The remaining 119 bits are laid
+//! out per instruction; see the field tables on each struct.
+
+use crate::bits::{get_bits, set_bits};
+use crate::IsaError;
+use std::fmt;
+
+/// The five opcodes of Figure 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Load input feature-map block into the input buffer.
+    LoadInp = 0,
+    /// Load a weight group into the weight buffer.
+    LoadWgt = 1,
+    /// Load a bias group into the bias buffer.
+    LoadBias = 2,
+    /// Execute one (row-group × weight-group) computation unit.
+    Comp = 3,
+    /// Store an output group back to external memory.
+    Save = 4,
+}
+
+impl Opcode {
+    /// Decodes a raw 4-bit opcode.
+    pub fn from_bits(v: u8) -> Result<Opcode, IsaError> {
+        match v {
+            0 => Ok(Opcode::LoadInp),
+            1 => Ok(Opcode::LoadWgt),
+            2 => Ok(Opcode::LoadBias),
+            3 => Ok(Opcode::Comp),
+            4 => Ok(Opcode::Save),
+            _ => Err(IsaError::InvalidOpcode { opcode: v }),
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Opcode::LoadInp => "LOAD_INP",
+            Opcode::LoadWgt => "LOAD_WGT",
+            Opcode::LoadBias => "LOAD_BIAS",
+            Opcode::Comp => "COMP",
+            Opcode::Save => "SAVE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which kind of load a [`LoadInst`] performs (selects the destination
+/// buffer and the issuing module).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LoadKind {
+    /// Input feature maps → input buffer (LOAD_INP module).
+    #[default]
+    Input,
+    /// Weights → weight buffer (LOAD_WGT module).
+    Weight,
+    /// Bias values → bias buffer (LOAD_WGT module).
+    Bias,
+}
+
+/// Ping-pong buffer half (`BUFF_ID`). Double buffering overlaps data
+/// access with computation (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BufferHalf {
+    /// First half.
+    #[default]
+    Ping,
+    /// Second half.
+    Pong,
+}
+
+impl BufferHalf {
+    fn bit(self) -> u128 {
+        match self {
+            BufferHalf::Ping => 0,
+            BufferHalf::Pong => 1,
+        }
+    }
+
+    fn from_bit(b: u128) -> BufferHalf {
+        if b == 0 {
+            BufferHalf::Ping
+        } else {
+            BufferHalf::Pong
+        }
+    }
+}
+
+/// Zero-padding annotation carried by `LOAD_INP` (`PADS_SIZE`): recorded
+/// for disassembly/verification; the compiler has already folded the halo
+/// into the DRAM block geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PadSpec {
+    /// Rows of zeros above. 2 bits.
+    pub top: u8,
+    /// Rows of zeros below. 2 bits.
+    pub bottom: u8,
+    /// Columns of zeros to the left. 2 bits.
+    pub left: u8,
+    /// Columns of zeros to the right. 2 bits.
+    pub right: u8,
+}
+
+/// `LOAD_INP` / `LOAD_WGT` / `LOAD_BIAS` — a strided rectangular block
+/// copy from external memory into an on-chip buffer.
+///
+/// | field        | bits        | meaning                                   |
+/// |--------------|-------------|-------------------------------------------|
+/// | `BUFF_BASE`  | `[118:99]`  | destination word offset in the buffer     |
+/// | `DRAM_BASE`  | `[98:67]`   | source word address                       |
+/// | `ROWS`       | `[66:57]`   | number of block rows                      |
+/// | `ROW_LEN`    | `[56:40]`   | words per block row                       |
+/// | `ROW_STRIDE` | `[39:23]`   | DRAM words between consecutive block rows |
+/// | `PADS_SIZE`  | `[22:15]`   | [`PadSpec`], 2 bits per side              |
+/// | `WINO_FLAG`  | `[14]`      | CONV mode of the consuming layer          |
+/// | `WINO_OFFSET`| `[13:6]`    | kernel-decomposition block `(br, bs)`     |
+///
+/// The destination buffer receives `rows × row_len` words contiguously.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct LoadInst {
+    /// Which buffer this load targets.
+    pub kind: LoadKind,
+    /// Wait for a buffer-free token from the consumer before overwriting
+    /// (prevents data pollution, §4.1).
+    pub wait_free: bool,
+    /// Emit a data-ready token to the consumer when done.
+    pub signal_ready: bool,
+    /// Ping-pong half.
+    pub buf_id: BufferHalf,
+    /// Destination word offset within the buffer (20 bits).
+    pub buff_base: u32,
+    /// Source DRAM word address (32 bits).
+    pub dram_base: u64,
+    /// Number of block rows (10 bits).
+    pub rows: u32,
+    /// Words per block row (17 bits).
+    pub row_len: u32,
+    /// DRAM stride between block rows in words (17 bits).
+    pub row_stride: u32,
+    /// Padding annotation.
+    pub pads: PadSpec,
+    /// Winograd-mode flag of the consuming computation.
+    pub wino: bool,
+    /// Kernel-decomposition block `(br, bs)` (4 bits each).
+    pub wino_offset: (u8, u8),
+}
+
+impl LoadInst {
+    /// Total words this load transfers.
+    pub fn words(&self) -> u64 {
+        self.rows as u64 * self.row_len as u64
+    }
+}
+
+/// `COMP` — execute one partition unit: `out_rows × out_w` outputs for
+/// `oc_vecs` output-channel vectors, reducing over `ic_vecs`
+/// input-channel vectors (§4.2.4: one `(row-group, weight-group)` pair).
+///
+/// | field        | bits        | meaning                                    |
+/// |--------------|-------------|--------------------------------------------|
+/// | `INP_BASE`   | `[118:99]`  | input-buffer word base                     |
+/// | `WGT_BASE`   | `[98:79]`   | weight-buffer word base                    |
+/// | `OUT_BASE`   | `[78:59]`   | output/accumulator-buffer word base        |
+/// | `OUT_W`      | `[58:49]`   | output columns                             |
+/// | `OUT_ROWS`   | `[48:45]`   | output rows in this unit (1, pool, or m)   |
+/// | `IC_VECS`    | `[44:35]`   | input-channel vectors (`C / PI`), minus 1  |
+/// | `OC_VECS`    | `[34:25]`   | output-channel vectors minus 1 (`Kg / PO`) |
+/// | `KERNEL_H/W` | `[24:22]`/`[21:19]` | kernel geometry (RSRV liberty)     |
+/// | `STRIDE`     | `[18:17]`   | stride − 1                                 |
+/// | `RELU_FLAG`  | `[16]`      | fuse ReLU at `acc_final`                   |
+/// | `QUAN_PARAM` | `[15:10]`   | requantization shift, biased by 32         |
+/// | `WINO_FLAG`  | `[9]`       | Winograd vs Spatial mode                   |
+/// | `WINO_OFFSET`| `[8:5]`     | decomposition block `(br, bs)`, 2 bits each|
+/// | `ACC_INIT`   | `[4]`       | clear accumulator before this unit         |
+/// | `ACC_FINAL`  | `[3]`       | flush accumulator to the output buffer     |
+/// | `BIAS_EN`    | `[2]`       | add bias at `acc_init`                     |
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CompInst {
+    /// Pop a data-ready token from LOAD_INP before starting.
+    pub wait_inp: bool,
+    /// Return a buffer-free token to LOAD_INP when done.
+    pub free_inp: bool,
+    /// Pop a data-ready token from LOAD_WGT before starting.
+    pub wait_wgt: bool,
+    /// Return a buffer-free token to LOAD_WGT when done.
+    pub free_wgt: bool,
+    /// Ping-pong half (informational; bases already select the half).
+    pub buf_id: BufferHalf,
+    /// Input-buffer word base (20 bits).
+    pub inp_base: u32,
+    /// Weight-buffer word base (20 bits).
+    pub wgt_base: u32,
+    /// Output-buffer word base (18 bits).
+    pub out_base: u32,
+    /// Output columns (12 bits).
+    pub out_w: u32,
+    /// Output rows in this unit (4 bits).
+    pub out_rows: u8,
+    /// Input-channel vectors `C / PI` (10 bits).
+    pub ic_vecs: u32,
+    /// Output-channel vectors in this weight group (10 bits).
+    pub oc_vecs: u32,
+    /// Kernel height (3 bits, 1..=7).
+    pub kernel_h: u8,
+    /// Kernel width (3 bits, 1..=7).
+    pub kernel_w: u8,
+    /// Stride (stored as stride − 1; 1..=4).
+    pub stride: u8,
+    /// Fused ReLU flag.
+    pub relu: bool,
+    /// Requantization shift (`QUAN_PARAM`, in `-32..=31`); 0 means no
+    /// extra scaling.
+    pub quan_shift: i8,
+    /// Winograd (`true`) or Spatial (`false`) mode.
+    pub wino: bool,
+    /// Kernel-decomposition block `(br, bs)` (4 bits each).
+    pub wino_offset: (u8, u8),
+    /// Clear the accumulator before this unit.
+    pub acc_init: bool,
+    /// Flush (activation + requantization) to the output buffer after.
+    pub acc_final: bool,
+    /// Add the bias vector when initializing the accumulator.
+    pub bias_en: bool,
+}
+
+impl Default for CompInst {
+    fn default() -> Self {
+        CompInst {
+            wait_inp: false,
+            free_inp: false,
+            wait_wgt: false,
+            free_wgt: false,
+            buf_id: BufferHalf::Ping,
+            inp_base: 0,
+            wgt_base: 0,
+            out_base: 0,
+            out_w: 1,
+            out_rows: 1,
+            ic_vecs: 1,
+            oc_vecs: 1,
+            kernel_h: 1,
+            kernel_w: 1,
+            stride: 1,
+            relu: false,
+            quan_shift: 0,
+            wino: false,
+            wino_offset: (0, 0),
+            acc_init: true,
+            acc_final: true,
+            bias_en: false,
+        }
+    }
+}
+
+/// `SAVE` — store one output group to external memory, applying one of
+/// the four layout transforms of Figure 5 and (optionally) fused
+/// max-pooling (`POOL_SIZE`).
+///
+/// | field       | bits        | meaning                                     |
+/// |-------------|-------------|---------------------------------------------|
+/// | `BUFF_BASE` | `[118:101]` | source word offset in the output buffer     |
+/// | `DRAM_BASE` | `[100:71]`  | base of the destination feature-map region  |
+/// | `ROWS`      | `[70:65]`   | output rows in this unit (pre-pooling)      |
+/// | `OUT_W`     | `[64:55]`   | output columns (pre-pooling)                |
+/// | `OC_BLK`    | `[54:46]`   | output-channel vectors in this group        |
+/// | `K_BASE`    | `[45:34]`   | first output channel of this group          |
+/// | `Y_BASE`    | `[33:24]`   | first output row of this unit (pre-pooling) |
+/// | `DST_W`     | `[23:14]`   | destination padded width                    |
+/// | `DST_CV`    | `[13:4]`    | destination channel-vector count minus 1    |
+/// | `SRC_WINO`  | `[3]`       | layout the data was computed in             |
+/// | `DST_WINO`  | `[2]`       | layout the next layer expects               |
+/// | `POOL_SIZE` | `[1:0]`     | max-pool window (0/1 = none)                |
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SaveInst {
+    /// Pop a data-ready token from COMP before storing.
+    pub wait_data: bool,
+    /// Return a buffer-free token to COMP when done.
+    pub signal_free: bool,
+    /// Ping-pong half.
+    pub buf_id: BufferHalf,
+    /// Source word offset in the output buffer (18 bits).
+    pub buff_base: u32,
+    /// Destination feature-map region base in DRAM words (30 bits),
+    /// already offset to the interior of any halo.
+    pub dram_base: u64,
+    /// Output rows in this unit before pooling (6 bits).
+    pub rows: u8,
+    /// Output columns before pooling (10 bits).
+    pub out_w: u32,
+    /// Output-channel vectors in this group (9 bits).
+    pub oc_vecs: u32,
+    /// Global index of the first output channel in this group (12 bits).
+    pub k_base: u32,
+    /// Global index of the first output row in this unit (10 bits).
+    pub y_base: u32,
+    /// Destination padded feature-map width (10 bits).
+    pub dst_w: u32,
+    /// Destination channel-vector count `⌈K_total / PI⌉` (10 bits).
+    pub dst_cv: u32,
+    /// Source data layout: Winograd (`true`) or Spatial (`false`).
+    pub src_wino: bool,
+    /// Destination layout the successive layer expects.
+    pub dst_wino: bool,
+    /// Fused max-pool window; 0 or 1 disables pooling (2 bits).
+    pub pool: u8,
+}
+
+impl Default for SaveInst {
+    fn default() -> Self {
+        SaveInst {
+            wait_data: false,
+            signal_free: false,
+            buf_id: BufferHalf::Ping,
+            buff_base: 0,
+            dram_base: 0,
+            rows: 1,
+            out_w: 1,
+            oc_vecs: 1,
+            k_base: 0,
+            y_base: 0,
+            dst_w: 1,
+            dst_cv: 1,
+            src_wino: false,
+            dst_wino: false,
+            pool: 0,
+        }
+    }
+}
+
+/// One decoded 128-bit accelerator instruction.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Instruction {
+    /// A load into an on-chip buffer (covers `LOAD_INP`, `LOAD_WGT`,
+    /// `LOAD_BIAS`, distinguished by [`LoadInst::kind`]).
+    Load(LoadInst),
+    /// A computation unit.
+    Comp(CompInst),
+    /// A store with layout transform.
+    Save(SaveInst),
+}
+
+impl Instruction {
+    /// The instruction's opcode.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Instruction::Load(l) => match l.kind {
+                LoadKind::Input => Opcode::LoadInp,
+                LoadKind::Weight => Opcode::LoadWgt,
+                LoadKind::Bias => Opcode::LoadBias,
+            },
+            Instruction::Comp(_) => Opcode::Comp,
+            Instruction::Save(_) => Opcode::Save,
+        }
+    }
+
+    /// Encodes to a 128-bit instruction word.
+    ///
+    /// # Errors
+    /// Returns [`IsaError::FieldOverflow`] if any field exceeds its width,
+    /// or [`IsaError::InvalidField`] for semantically invalid values
+    /// (zero dimensions, stride outside `1..=4`, kernel outside `1..=7`).
+    pub fn encode(&self) -> Result<u128, IsaError> {
+        let mut w = 0u128;
+        set_bits(&mut w, "OPCODE", 127, 124, self.opcode() as u8 as u128)?;
+        match self {
+            Instruction::Load(l) => {
+                if l.rows == 0 || l.row_len == 0 {
+                    return Err(IsaError::InvalidField {
+                        field: "ROWS/ROW_LEN",
+                        detail: "load block must be non-empty",
+                    });
+                }
+                let dept = (l.wait_free as u128) << 3 | (l.signal_ready as u128) << 2;
+                set_bits(&mut w, "DEPT_FLAG", 123, 120, dept)?;
+                set_bits(&mut w, "BUFF_ID", 119, 119, l.buf_id.bit())?;
+                set_bits(&mut w, "BUFF_BASE", 118, 99, l.buff_base as u128)?;
+                set_bits(&mut w, "DRAM_BASE", 98, 67, l.dram_base as u128)?;
+                set_bits(&mut w, "ROWS", 66, 57, l.rows as u128)?;
+                set_bits(&mut w, "ROW_LEN", 56, 40, l.row_len as u128)?;
+                set_bits(&mut w, "ROW_STRIDE", 39, 23, l.row_stride as u128)?;
+                set_bits(&mut w, "PADS_TOP", 22, 21, l.pads.top as u128)?;
+                set_bits(&mut w, "PADS_BOTTOM", 20, 19, l.pads.bottom as u128)?;
+                set_bits(&mut w, "PADS_LEFT", 18, 17, l.pads.left as u128)?;
+                set_bits(&mut w, "PADS_RIGHT", 16, 15, l.pads.right as u128)?;
+                set_bits(&mut w, "WINO_FLAG", 14, 14, l.wino as u128)?;
+                set_bits(&mut w, "WINO_OFF_R", 13, 10, l.wino_offset.0 as u128)?;
+                set_bits(&mut w, "WINO_OFF_S", 9, 6, l.wino_offset.1 as u128)?;
+            }
+            Instruction::Comp(c) => {
+                if c.out_w == 0 || c.out_rows == 0 || c.ic_vecs == 0 || c.oc_vecs == 0 {
+                    return Err(IsaError::InvalidField {
+                        field: "OUT_W/OUT_ROWS/IC/OC",
+                        detail: "computation unit must be non-empty",
+                    });
+                }
+                if !(1..=4).contains(&c.stride) {
+                    return Err(IsaError::InvalidField {
+                        field: "STRIDE_SIZE",
+                        detail: "stride must be in 1..=4",
+                    });
+                }
+                if !(1..=7).contains(&c.kernel_h) || !(1..=7).contains(&c.kernel_w) {
+                    return Err(IsaError::InvalidField {
+                        field: "KERNEL",
+                        detail: "kernel edges must be in 1..=7",
+                    });
+                }
+                if !(-32..=31).contains(&c.quan_shift) {
+                    return Err(IsaError::InvalidField {
+                        field: "QUAN_PARAM",
+                        detail: "requantization shift must be in -32..=31",
+                    });
+                }
+                if c.wino_offset.0 > 3 || c.wino_offset.1 > 3 {
+                    return Err(IsaError::InvalidField {
+                        field: "WINO_OFFSET",
+                        detail: "decomposition block indices must be in 0..=3",
+                    });
+                }
+                let dept = (c.wait_inp as u128) << 3
+                    | (c.free_inp as u128) << 2
+                    | (c.wait_wgt as u128) << 1
+                    | (c.free_wgt as u128);
+                set_bits(&mut w, "DEPT_FLAG", 123, 120, dept)?;
+                set_bits(&mut w, "BUFF_ID", 119, 119, c.buf_id.bit())?;
+                set_bits(&mut w, "INP_BASE", 118, 99, c.inp_base as u128)?;
+                set_bits(&mut w, "WGT_BASE", 98, 79, c.wgt_base as u128)?;
+                set_bits(&mut w, "OUT_BASE", 78, 59, c.out_base as u128)?;
+                set_bits(&mut w, "OUT_W", 58, 49, c.out_w as u128)?;
+                set_bits(&mut w, "OUT_ROWS", 48, 45, c.out_rows as u128)?;
+                set_bits(&mut w, "IC_VECS", 44, 35, (c.ic_vecs - 1) as u128)?;
+                set_bits(&mut w, "OC_VECS", 34, 25, (c.oc_vecs - 1) as u128)?;
+                set_bits(&mut w, "KERNEL_H", 24, 22, c.kernel_h as u128)?;
+                set_bits(&mut w, "KERNEL_W", 21, 19, c.kernel_w as u128)?;
+                set_bits(&mut w, "STRIDE_SIZE", 18, 17, (c.stride - 1) as u128)?;
+                set_bits(&mut w, "RELU_FLAG", 16, 16, c.relu as u128)?;
+                set_bits(
+                    &mut w,
+                    "QUAN_PARAM",
+                    15,
+                    10,
+                    (c.quan_shift as i16 + 32) as u128,
+                )?;
+                set_bits(&mut w, "WINO_FLAG", 9, 9, c.wino as u128)?;
+                set_bits(&mut w, "WINO_OFF_R", 8, 7, c.wino_offset.0 as u128)?;
+                set_bits(&mut w, "WINO_OFF_S", 6, 5, c.wino_offset.1 as u128)?;
+                set_bits(&mut w, "ACC_INIT", 4, 4, c.acc_init as u128)?;
+                set_bits(&mut w, "ACC_FINAL", 3, 3, c.acc_final as u128)?;
+                set_bits(&mut w, "BIAS_EN", 2, 2, c.bias_en as u128)?;
+            }
+            Instruction::Save(s) => {
+                if s.rows == 0 || s.out_w == 0 || s.oc_vecs == 0 || s.dst_w == 0 || s.dst_cv == 0 {
+                    return Err(IsaError::InvalidField {
+                        field: "ROWS/OUT_W/OC/DST",
+                        detail: "save unit must be non-empty",
+                    });
+                }
+                let dept = (s.wait_data as u128) << 3 | (s.signal_free as u128) << 2;
+                set_bits(&mut w, "DEPT_FLAG", 123, 120, dept)?;
+                set_bits(&mut w, "BUFF_ID", 119, 119, s.buf_id.bit())?;
+                set_bits(&mut w, "BUFF_BASE", 118, 101, s.buff_base as u128)?;
+                set_bits(&mut w, "DRAM_BASE", 100, 71, s.dram_base as u128)?;
+                set_bits(&mut w, "ROWS", 70, 65, s.rows as u128)?;
+                set_bits(&mut w, "OUT_W", 64, 55, s.out_w as u128)?;
+                set_bits(&mut w, "OC_BLK", 54, 46, s.oc_vecs as u128)?;
+                set_bits(&mut w, "K_BASE", 45, 34, s.k_base as u128)?;
+                set_bits(&mut w, "Y_BASE", 33, 24, s.y_base as u128)?;
+                set_bits(&mut w, "DST_W", 23, 14, s.dst_w as u128)?;
+                set_bits(&mut w, "DST_CV", 13, 4, (s.dst_cv - 1) as u128)?;
+                set_bits(&mut w, "SRC_WINO", 3, 3, s.src_wino as u128)?;
+                set_bits(&mut w, "DST_WINO", 2, 2, s.dst_wino as u128)?;
+                set_bits(&mut w, "POOL_SIZE", 1, 0, s.pool as u128)?;
+            }
+        }
+        Ok(w)
+    }
+
+    /// Decodes a 128-bit instruction word.
+    ///
+    /// # Errors
+    /// Returns [`IsaError::InvalidOpcode`] for unknown opcodes.
+    pub fn decode(w: u128) -> Result<Instruction, IsaError> {
+        let opcode = Opcode::from_bits(get_bits(w, 127, 124) as u8)?;
+        let dept = get_bits(w, 123, 120);
+        let buf_id = BufferHalf::from_bit(get_bits(w, 119, 119));
+        match opcode {
+            Opcode::LoadInp | Opcode::LoadWgt | Opcode::LoadBias => {
+                Ok(Instruction::Load(LoadInst {
+                    kind: match opcode {
+                        Opcode::LoadInp => LoadKind::Input,
+                        Opcode::LoadWgt => LoadKind::Weight,
+                        _ => LoadKind::Bias,
+                    },
+                    wait_free: dept & 0b1000 != 0,
+                    signal_ready: dept & 0b0100 != 0,
+                    buf_id,
+                    buff_base: get_bits(w, 118, 99) as u32,
+                    dram_base: get_bits(w, 98, 67) as u64,
+                    rows: get_bits(w, 66, 57) as u32,
+                    row_len: get_bits(w, 56, 40) as u32,
+                    row_stride: get_bits(w, 39, 23) as u32,
+                    pads: PadSpec {
+                        top: get_bits(w, 22, 21) as u8,
+                        bottom: get_bits(w, 20, 19) as u8,
+                        left: get_bits(w, 18, 17) as u8,
+                        right: get_bits(w, 16, 15) as u8,
+                    },
+                    wino: get_bits(w, 14, 14) != 0,
+                    wino_offset: (get_bits(w, 13, 10) as u8, get_bits(w, 9, 6) as u8),
+                }))
+            }
+            Opcode::Comp => Ok(Instruction::Comp(CompInst {
+                wait_inp: dept & 0b1000 != 0,
+                free_inp: dept & 0b0100 != 0,
+                wait_wgt: dept & 0b0010 != 0,
+                free_wgt: dept & 0b0001 != 0,
+                buf_id,
+                inp_base: get_bits(w, 118, 99) as u32,
+                wgt_base: get_bits(w, 98, 79) as u32,
+                out_base: get_bits(w, 78, 59) as u32,
+                out_w: get_bits(w, 58, 49) as u32,
+                out_rows: get_bits(w, 48, 45) as u8,
+                ic_vecs: get_bits(w, 44, 35) as u32 + 1,
+                oc_vecs: get_bits(w, 34, 25) as u32 + 1,
+                kernel_h: get_bits(w, 24, 22) as u8,
+                kernel_w: get_bits(w, 21, 19) as u8,
+                stride: get_bits(w, 18, 17) as u8 + 1,
+                relu: get_bits(w, 16, 16) != 0,
+                quan_shift: (get_bits(w, 15, 10) as i16 - 32) as i8,
+                wino: get_bits(w, 9, 9) != 0,
+                wino_offset: (get_bits(w, 8, 7) as u8, get_bits(w, 6, 5) as u8),
+                acc_init: get_bits(w, 4, 4) != 0,
+                acc_final: get_bits(w, 3, 3) != 0,
+                bias_en: get_bits(w, 2, 2) != 0,
+            })),
+            Opcode::Save => Ok(Instruction::Save(SaveInst {
+                wait_data: dept & 0b1000 != 0,
+                signal_free: dept & 0b0100 != 0,
+                buf_id,
+                buff_base: get_bits(w, 118, 101) as u32,
+                dram_base: get_bits(w, 100, 71) as u64,
+                rows: get_bits(w, 70, 65) as u8,
+                out_w: get_bits(w, 64, 55) as u32,
+                oc_vecs: get_bits(w, 54, 46) as u32,
+                k_base: get_bits(w, 45, 34) as u32,
+                y_base: get_bits(w, 33, 24) as u32,
+                dst_w: get_bits(w, 23, 14) as u32,
+                dst_cv: get_bits(w, 13, 4) as u32 + 1,
+                src_wino: get_bits(w, 3, 3) != 0,
+                dst_wino: get_bits(w, 2, 2) != 0,
+                pool: get_bits(w, 1, 0) as u8,
+            })),
+        }
+    }
+}
+
+impl fmt::Display for Instruction {
+    /// One-line disassembly.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instruction::Load(l) => write!(
+                f,
+                "{op} buf[{base}] <- dram[{dram}] {rows}x{len} stride {st}{wino}",
+                op = self.opcode(),
+                base = l.buff_base,
+                dram = l.dram_base,
+                rows = l.rows,
+                len = l.row_len,
+                st = l.row_stride,
+                wino = if l.wino { " wino" } else { "" },
+            ),
+            Instruction::Comp(c) => write!(
+                f,
+                "COMP {mode} out[{ob}] {rows}x{w} ic {ic} oc {oc} k{kh}x{kw}/{s}{relu}{init}{fin}",
+                mode = if c.wino { "wino" } else { "spat" },
+                ob = c.out_base,
+                rows = c.out_rows,
+                w = c.out_w,
+                ic = c.ic_vecs,
+                oc = c.oc_vecs,
+                kh = c.kernel_h,
+                kw = c.kernel_w,
+                s = c.stride,
+                relu = if c.relu { " relu" } else { "" },
+                init = if c.acc_init { " init" } else { "" },
+                fin = if c.acc_final { " final" } else { "" },
+            ),
+            Instruction::Save(s) => write!(
+                f,
+                "SAVE dram[{dram}] <- buf[{base}] {rows}x{w} k@{kb} y@{yb} {src}->{dst}{pool}",
+                dram = s.dram_base,
+                base = s.buff_base,
+                rows = s.rows,
+                w = s.out_w,
+                kb = s.k_base,
+                yb = s.y_base,
+                src = if s.src_wino { "WINO" } else { "SPAT" },
+                dst = if s.dst_wino { "WINO" } else { "SPAT" },
+                pool = if s.pool >= 2 {
+                    format!(" pool{}", s.pool)
+                } else {
+                    String::new()
+                },
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_load() -> LoadInst {
+        LoadInst {
+            kind: LoadKind::Input,
+            wait_free: true,
+            signal_ready: true,
+            buf_id: BufferHalf::Pong,
+            buff_base: 0xF_FFFF,
+            dram_base: 0xDEAD_BEEF,
+            rows: 6,
+            row_len: 115_712,
+            row_stride: 115_712,
+            pads: PadSpec {
+                top: 1,
+                bottom: 0,
+                left: 1,
+                right: 1,
+            },
+            wino: true,
+            wino_offset: (1, 2),
+        }
+    }
+
+    #[test]
+    fn load_roundtrip() {
+        let inst = Instruction::Load(sample_load());
+        let w = inst.encode().unwrap();
+        assert_eq!(Instruction::decode(w).unwrap(), inst);
+    }
+
+    #[test]
+    fn comp_roundtrip() {
+        let inst = Instruction::Comp(CompInst {
+            wait_inp: true,
+            free_inp: false,
+            wait_wgt: true,
+            free_wgt: true,
+            inp_base: 1234,
+            wgt_base: 99_000,
+            out_base: 7,
+            out_w: 224,
+            out_rows: 4,
+            ic_vecs: 128,
+            oc_vecs: 16,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 2,
+            relu: true,
+            quan_shift: -8,
+            wino: false,
+            wino_offset: (0, 0),
+            acc_init: true,
+            acc_final: false,
+            bias_en: true,
+            ..CompInst::default()
+        });
+        let w = inst.encode().unwrap();
+        assert_eq!(Instruction::decode(w).unwrap(), inst);
+    }
+
+    #[test]
+    fn save_roundtrip() {
+        let inst = Instruction::Save(SaveInst {
+            wait_data: true,
+            signal_free: true,
+            buf_id: BufferHalf::Ping,
+            buff_base: 42,
+            dram_base: 0x3FFF_FFFF,
+            rows: 4,
+            out_w: 224,
+            oc_vecs: 16,
+            k_base: 4080,
+            y_base: 220,
+            dst_w: 226,
+            dst_cv: 128,
+            src_wino: true,
+            dst_wino: false,
+            pool: 2,
+        });
+        let w = inst.encode().unwrap();
+        assert_eq!(Instruction::decode(w).unwrap(), inst);
+    }
+
+    #[test]
+    fn bias_load_keeps_opcode() {
+        let mut l = sample_load();
+        l.kind = LoadKind::Bias;
+        let inst = Instruction::Load(l);
+        assert_eq!(inst.opcode(), Opcode::LoadBias);
+        let w = inst.encode().unwrap();
+        assert_eq!(Instruction::decode(w).unwrap().opcode(), Opcode::LoadBias);
+    }
+
+    #[test]
+    fn field_overflow_rejected() {
+        let mut l = sample_load();
+        l.buff_base = 1 << 20;
+        assert!(matches!(
+            Instruction::Load(l).encode(),
+            Err(IsaError::FieldOverflow {
+                field: "BUFF_BASE",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn zero_dimensions_rejected() {
+        let c = CompInst {
+            out_w: 0,
+            ..CompInst::default()
+        };
+        assert!(matches!(
+            Instruction::Comp(c).encode(),
+            Err(IsaError::InvalidField { .. })
+        ));
+        let s = SaveInst {
+            rows: 0,
+            ..SaveInst::default()
+        };
+        assert!(Instruction::Save(s).encode().is_err());
+    }
+
+    #[test]
+    fn illegal_stride_and_kernel_rejected() {
+        let mut c = CompInst {
+            stride: 5,
+            ..CompInst::default()
+        };
+        assert!(Instruction::Comp(c.clone()).encode().is_err());
+        c.stride = 1;
+        c.kernel_h = 8;
+        assert!(Instruction::Comp(c.clone()).encode().is_err());
+        c.kernel_h = 3;
+        c.kernel_w = 0;
+        assert!(Instruction::Comp(c).encode().is_err());
+    }
+
+    #[test]
+    fn invalid_opcode_rejected() {
+        let w = 0xFu128 << 124;
+        assert_eq!(
+            Instruction::decode(w).unwrap_err(),
+            IsaError::InvalidOpcode { opcode: 0xF }
+        );
+    }
+
+    #[test]
+    fn quan_shift_covers_signed_range() {
+        for shift in [-32i8, -1, 0, 1, 31] {
+            let inst = Instruction::Comp(CompInst {
+                quan_shift: shift,
+                ..CompInst::default()
+            });
+            let w = inst.encode().unwrap();
+            let Instruction::Comp(c) = Instruction::decode(w).unwrap() else {
+                panic!("wrong variant");
+            };
+            assert_eq!(c.quan_shift, shift);
+        }
+    }
+
+    #[test]
+    fn disassembly_mentions_key_fields() {
+        let s = Instruction::Load(sample_load()).to_string();
+        assert!(s.contains("LOAD_INP"));
+        assert!(s.contains("wino"));
+        let c = Instruction::Comp(CompInst::default()).to_string();
+        assert!(c.contains("COMP spat"));
+        let sv = Instruction::Save(SaveInst {
+            pool: 2,
+            ..SaveInst::default()
+        })
+        .to_string();
+        assert!(sv.contains("pool2"));
+    }
+
+    #[test]
+    fn load_words_multiplies_block() {
+        assert_eq!(sample_load().words(), 6 * 115_712);
+    }
+}

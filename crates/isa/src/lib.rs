@@ -1,0 +1,62 @@
+//! The customized 128-bit instruction set of the HybridDNN accelerator
+//! (paper Figure 2).
+//!
+//! Five instructions drive the accelerator's five functional modules:
+//!
+//! | instruction | module     | purpose                                        |
+//! |-------------|------------|------------------------------------------------|
+//! | `LOAD_INP`  | LOAD_INP   | DRAM → input buffer (rectangular block)        |
+//! | `LOAD_WGT`  | LOAD_WGT   | DRAM → weight buffer                           |
+//! | `LOAD_BIAS` | LOAD_WGT   | DRAM → bias buffer                             |
+//! | `COMP`      | COMP       | one (row-group × weight-group) partition unit  |
+//! | `SAVE`      | SAVE       | output buffer → DRAM with layout transform     |
+//!
+//! Every instruction is 128 bits and carries a `WINO_FLAG` selecting the
+//! CONV mode plus `BUFF_BASE`/`DRAM_BASE` fields that give the compiler
+//! full control of data movement, enabling both Input-Stationary and
+//! Weight-Stationary dataflows (§4.1).
+//!
+//! The paper specifies the field *names* but not their widths; this crate
+//! freezes a concrete layout (documented per instruction type) chosen so
+//! that VGG16-scale workloads encode losslessly. Two liberties are taken
+//! and documented: `COMP` carries the kernel geometry (the paper's RSRV
+//! space), and loads are expressed as `rows × row_len` strided block
+//! copies, which subsumes both feature-map layouts of Figure 5.
+//!
+//! # Example
+//!
+//! ```
+//! use hybriddnn_isa::{CompInst, Instruction};
+//!
+//! # fn main() -> Result<(), hybriddnn_isa::IsaError> {
+//! let comp = CompInst {
+//!     out_w: 224,
+//!     out_rows: 4,
+//!     ic_vecs: 16,
+//!     oc_vecs: 16,
+//!     kernel_h: 3,
+//!     kernel_w: 3,
+//!     wino: true,
+//!     relu: true,
+//!     acc_init: true,
+//!     acc_final: true,
+//!     bias_en: true,
+//!     ..CompInst::default()
+//! };
+//! let word = Instruction::Comp(comp.clone()).encode()?;
+//! assert_eq!(Instruction::decode(word)?, Instruction::Comp(comp));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bits;
+mod error;
+mod inst;
+mod program;
+
+pub use error::IsaError;
+pub use inst::{BufferHalf, CompInst, Instruction, LoadInst, LoadKind, Opcode, PadSpec, SaveInst};
+pub use program::Program;

@@ -1,0 +1,160 @@
+use crate::{Instruction, IsaError, Opcode};
+use std::fmt;
+
+/// An ordered instruction stream for the accelerator, as produced by the
+/// HybridDNN compiler ("Inst. & Data Files" in Figure 1).
+///
+/// Instructions are dispatched in order by the CTRL module to their
+/// functional modules, which then run concurrently subject to the
+/// handshake-token dependencies encoded in each instruction's `DEPT_FLAG`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    instructions: Vec<Instruction>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    pub fn new() -> Self {
+        Program {
+            instructions: Vec::new(),
+        }
+    }
+
+    /// Appends an instruction.
+    pub fn push(&mut self, inst: Instruction) {
+        self.instructions.push(inst);
+    }
+
+    /// The instructions in dispatch order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// Whether the program is empty.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Number of instructions per opcode:
+    /// `(load_inp, load_wgt, load_bias, comp, save)`.
+    pub fn histogram(&self) -> (usize, usize, usize, usize, usize) {
+        let mut h = (0, 0, 0, 0, 0);
+        for i in &self.instructions {
+            match i.opcode() {
+                Opcode::LoadInp => h.0 += 1,
+                Opcode::LoadWgt => h.1 += 1,
+                Opcode::LoadBias => h.2 += 1,
+                Opcode::Comp => h.3 += 1,
+                Opcode::Save => h.4 += 1,
+            }
+        }
+        h
+    }
+
+    /// Encodes the whole program into 128-bit words.
+    ///
+    /// # Errors
+    /// Returns the first encoding error with its instruction index folded
+    /// into the message via the field name.
+    pub fn encode(&self) -> Result<Vec<u128>, IsaError> {
+        self.instructions.iter().map(Instruction::encode).collect()
+    }
+
+    /// Decodes a program from raw words.
+    ///
+    /// # Errors
+    /// Returns the first decoding error.
+    pub fn decode(words: &[u128]) -> Result<Program, IsaError> {
+        let instructions = words
+            .iter()
+            .map(|&w| Instruction::decode(w))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(Program { instructions })
+    }
+
+    /// Disassembles the program, one instruction per line.
+    pub fn disassemble(&self) -> String {
+        self.to_string()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, inst) in self.instructions.iter().enumerate() {
+            writeln!(f, "{i:6}: {inst}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Instruction> for Program {
+    fn from_iter<T: IntoIterator<Item = Instruction>>(iter: T) -> Self {
+        Program {
+            instructions: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<Instruction> for Program {
+    fn extend<T: IntoIterator<Item = Instruction>>(&mut self, iter: T) {
+        self.instructions.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompInst, LoadInst, LoadKind, SaveInst};
+
+    fn sample() -> Program {
+        let mut p = Program::new();
+        p.push(Instruction::Load(LoadInst {
+            kind: LoadKind::Input,
+            rows: 1,
+            row_len: 8,
+            ..LoadInst::default()
+        }));
+        p.push(Instruction::Load(LoadInst {
+            kind: LoadKind::Weight,
+            rows: 1,
+            row_len: 9,
+            ..LoadInst::default()
+        }));
+        p.push(Instruction::Comp(CompInst::default()));
+        p.push(Instruction::Save(SaveInst::default()));
+        p
+    }
+
+    #[test]
+    fn roundtrip_program() {
+        let p = sample();
+        let words = p.encode().unwrap();
+        assert_eq!(words.len(), 4);
+        assert_eq!(Program::decode(&words).unwrap(), p);
+    }
+
+    #[test]
+    fn histogram_counts_opcodes() {
+        assert_eq!(sample().histogram(), (1, 1, 0, 1, 1));
+    }
+
+    #[test]
+    fn disassembly_numbers_lines() {
+        let text = sample().disassemble();
+        assert_eq!(text.lines().count(), 4);
+        assert!(text.contains("LOAD_WGT"));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let p: Program = sample().instructions().to_vec().into_iter().collect();
+        assert_eq!(p.len(), 4);
+        assert!(!p.is_empty());
+        assert!(Program::new().is_empty());
+    }
+}

@@ -1,0 +1,187 @@
+//! Property-based tests: every well-formed instruction survives the
+//! 128-bit encode/decode round trip, and every malformed field is
+//! rejected at encode time (never silently truncated).
+
+use hybriddnn_isa::{BufferHalf, CompInst, Instruction, LoadInst, LoadKind, PadSpec, SaveInst};
+use proptest::prelude::*;
+
+fn load_strategy() -> impl Strategy<Value = LoadInst> {
+    (
+        prop_oneof![
+            Just(LoadKind::Input),
+            Just(LoadKind::Weight),
+            Just(LoadKind::Bias)
+        ],
+        any::<bool>(),
+        any::<bool>(),
+        prop_oneof![Just(BufferHalf::Ping), Just(BufferHalf::Pong)],
+        0u32..1 << 20,
+        0u64..1 << 32,
+        1u32..1 << 10,
+        1u32..1 << 17,
+        0u32..1 << 17,
+        (0u8..4, 0u8..4, 0u8..4, 0u8..4),
+        any::<bool>(),
+        (0u8..16, 0u8..16),
+    )
+        .prop_map(
+            |(
+                kind,
+                wait_free,
+                signal_ready,
+                buf_id,
+                buff_base,
+                dram_base,
+                rows,
+                row_len,
+                row_stride,
+                pads,
+                wino,
+                wino_offset,
+            )| {
+                LoadInst {
+                    kind,
+                    wait_free,
+                    signal_ready,
+                    buf_id,
+                    buff_base,
+                    dram_base,
+                    rows,
+                    row_len,
+                    row_stride,
+                    pads: PadSpec {
+                        top: pads.0,
+                        bottom: pads.1,
+                        left: pads.2,
+                        right: pads.3,
+                    },
+                    wino,
+                    wino_offset,
+                }
+            },
+        )
+}
+
+fn comp_strategy() -> impl Strategy<Value = CompInst> {
+    (
+        (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()),
+        (0u32..1 << 20, 0u32..1 << 20, 0u32..1 << 20),
+        (1u32..1 << 10, 1u8..16),
+        (1u32..=1024, 1u32..=1024),
+        (1u8..=7, 1u8..=7, 1u8..=4),
+        (any::<bool>(), -32i8..=31),
+        (any::<bool>(), 0u8..4, 0u8..4),
+        (any::<bool>(), any::<bool>(), any::<bool>()),
+    )
+        .prop_map(
+            |(
+                (wait_inp, free_inp, wait_wgt, free_wgt),
+                (inp_base, wgt_base, out_base),
+                (out_w, out_rows),
+                (ic_vecs, oc_vecs),
+                (kernel_h, kernel_w, stride),
+                (relu, quan_shift),
+                (wino, br, bs),
+                (acc_init, acc_final, bias_en),
+            )| CompInst {
+                wait_inp,
+                free_inp,
+                wait_wgt,
+                free_wgt,
+                buf_id: BufferHalf::Ping,
+                inp_base,
+                wgt_base,
+                out_base,
+                out_w,
+                out_rows,
+                ic_vecs,
+                oc_vecs,
+                kernel_h,
+                kernel_w,
+                stride,
+                relu,
+                quan_shift,
+                wino,
+                wino_offset: (br, bs),
+                acc_init,
+                acc_final,
+                bias_en,
+            },
+        )
+}
+
+fn save_strategy() -> impl Strategy<Value = SaveInst> {
+    (
+        (any::<bool>(), any::<bool>()),
+        (0u32..1 << 18, 0u64..1 << 30),
+        (1u8..64, 1u32..1 << 10, 1u32..1 << 9),
+        (0u32..1 << 12, 0u32..1 << 10),
+        (1u32..1 << 10, 1u32..=1024),
+        (any::<bool>(), any::<bool>(), 0u8..4),
+    )
+        .prop_map(
+            |(
+                (wait_data, signal_free),
+                (buff_base, dram_base),
+                (rows, out_w, oc_vecs),
+                (k_base, y_base),
+                (dst_w, dst_cv),
+                (src_wino, dst_wino, pool),
+            )| SaveInst {
+                wait_data,
+                signal_free,
+                buf_id: BufferHalf::Ping,
+                buff_base,
+                dram_base,
+                rows,
+                out_w,
+                oc_vecs,
+                k_base,
+                y_base,
+                dst_w,
+                dst_cv,
+                src_wino,
+                dst_wino,
+                pool,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn load_roundtrips(inst in load_strategy()) {
+        let i = Instruction::Load(inst);
+        let word = i.encode().expect("well-formed by construction");
+        prop_assert_eq!(Instruction::decode(word).expect("decodes"), i);
+    }
+
+    #[test]
+    fn comp_roundtrips(inst in comp_strategy()) {
+        let i = Instruction::Comp(inst);
+        let word = i.encode().expect("well-formed by construction");
+        prop_assert_eq!(Instruction::decode(word).expect("decodes"), i);
+    }
+
+    #[test]
+    fn save_roundtrips(inst in save_strategy()) {
+        let i = Instruction::Save(inst);
+        let word = i.encode().expect("well-formed by construction");
+        prop_assert_eq!(Instruction::decode(word).expect("decodes"), i);
+    }
+
+    /// Field overflow is always an error, never truncation: a buff_base
+    /// beyond 20 bits must refuse to encode.
+    #[test]
+    fn oversized_fields_are_rejected(mut inst in load_strategy(), extra in 1u32..1000) {
+        inst.buff_base = (1 << 20) - 1 + extra;
+        prop_assert!(Instruction::Load(inst).encode().is_err());
+    }
+
+    /// Decoding preserves the opcode of the encoded kind.
+    #[test]
+    fn opcode_is_stable(inst in load_strategy()) {
+        let i = Instruction::Load(inst);
+        let word = i.encode().expect("valid");
+        prop_assert_eq!(Instruction::decode(word).expect("decodes").opcode(), i.opcode());
+    }
+}

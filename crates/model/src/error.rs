@@ -1,0 +1,84 @@
+use std::fmt;
+
+/// Errors produced while constructing or evaluating DNN models.
+///
+/// Every fallible public function in this crate returns `Result<_, ModelError>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A tensor was created with a shape whose element count does not match
+    /// the supplied data length.
+    ShapeDataMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually supplied.
+        actual: usize,
+    },
+    /// A layer received an input whose shape is incompatible with the layer
+    /// configuration (wrong channel count or too-small spatial extent).
+    ShapeMismatch {
+        /// Name of the offending layer.
+        layer: String,
+        /// Human-readable description of the incompatibility.
+        detail: String,
+    },
+    /// A layer parameter is structurally invalid (e.g. zero channels,
+    /// zero-sized kernel, zero stride).
+    InvalidLayer {
+        /// Name of the offending layer.
+        layer: String,
+        /// Human-readable description of the invalid parameter.
+        detail: String,
+    },
+    /// A network was built with no layers.
+    EmptyNetwork,
+    /// Weights bound to a layer have the wrong shape.
+    WeightMismatch {
+        /// Name of the offending layer.
+        layer: String,
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ShapeDataMismatch { expected, actual } => write!(
+                f,
+                "tensor shape expects {expected} elements but {actual} were supplied"
+            ),
+            ModelError::ShapeMismatch { layer, detail } => {
+                write!(f, "layer `{layer}` input shape mismatch: {detail}")
+            }
+            ModelError::InvalidLayer { layer, detail } => {
+                write!(f, "layer `{layer}` is invalid: {detail}")
+            }
+            ModelError::EmptyNetwork => write!(f, "network contains no layers"),
+            ModelError::WeightMismatch { layer, detail } => {
+                write!(f, "layer `{layer}` weight mismatch: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_unpunctuated() {
+        let e = ModelError::EmptyNetwork;
+        let s = e.to_string();
+        assert!(s.starts_with("network"));
+        assert!(!s.ends_with('.'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

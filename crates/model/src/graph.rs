@@ -1,0 +1,368 @@
+use crate::{Layer, LayerKind, ModelError, Shape, Tensor};
+
+/// Weights and bias bound to one compute layer of a [`Network`].
+///
+/// Weight data is stored flat in `KCRS` order (matching
+/// [`crate::WeightShape::index`]); the bias has length `K`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerBinding {
+    /// Flat `KCRS` weight data.
+    pub weights: Vec<f32>,
+    /// Per-output-channel bias (empty when the layer has no bias).
+    pub bias: Vec<f32>,
+}
+
+/// A sequential DNN: an input shape, a list of layers, and (optionally)
+/// bound parameters.
+///
+/// The paper targets feed-forward CNNs (VGG16 in the evaluation); a
+/// sequential graph with shape inference covers the workload faithfully.
+///
+/// # Example
+/// ```
+/// use hybriddnn_model::{NetworkBuilder, Shape};
+///
+/// # fn main() -> Result<(), hybriddnn_model::ModelError> {
+/// let net = NetworkBuilder::new(Shape::new(3, 32, 32))
+///     .conv("conv1", 3, 16, 3)
+///     .max_pool("pool1", 2)
+///     .fc("fc1", 10)
+///     .build()?;
+/// assert_eq!(net.output_shape(), Shape::new(10, 1, 1));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Network {
+    input_shape: Shape,
+    layers: Vec<Layer>,
+    /// Per-layer input shapes (same length as `layers`).
+    input_shapes: Vec<Shape>,
+    /// Per-layer output shapes (same length as `layers`).
+    output_shapes: Vec<Shape>,
+    /// Parameter bindings, indexed like `layers` (`None` for pooling).
+    bindings: Vec<Option<LayerBinding>>,
+}
+
+impl Network {
+    /// Builds a network from layers, running shape inference.
+    ///
+    /// # Errors
+    /// Returns an error if the network is empty, a layer is structurally
+    /// invalid, or consecutive shapes are incompatible.
+    pub fn new(input_shape: Shape, layers: Vec<Layer>) -> Result<Self, ModelError> {
+        if layers.is_empty() {
+            return Err(ModelError::EmptyNetwork);
+        }
+        let mut input_shapes = Vec::with_capacity(layers.len());
+        let mut output_shapes = Vec::with_capacity(layers.len());
+        let mut shape = input_shape;
+        for layer in &layers {
+            layer.validate()?;
+            input_shapes.push(shape);
+            shape = layer.infer_shape(shape)?;
+            output_shapes.push(shape);
+        }
+        let bindings = vec![None; layers.len()];
+        Ok(Network {
+            input_shape,
+            layers,
+            input_shapes,
+            output_shapes,
+            bindings,
+        })
+    }
+
+    /// The network's input shape.
+    pub fn input_shape(&self) -> Shape {
+        self.input_shape
+    }
+
+    /// The final output shape.
+    pub fn output_shape(&self) -> Shape {
+        *self.output_shapes.last().expect("network is non-empty")
+    }
+
+    /// The layers in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Input shape of layer `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn layer_input_shape(&self, i: usize) -> Shape {
+        self.input_shapes[i]
+    }
+
+    /// Output shape of layer `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn layer_output_shape(&self, i: usize) -> Shape {
+        self.output_shapes[i]
+    }
+
+    /// Parameter binding of layer `i`, if any.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn binding(&self, i: usize) -> Option<&LayerBinding> {
+        self.bindings[i].as_ref()
+    }
+
+    /// Binds weights and bias to compute layer `i`.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::WeightMismatch`] if the layer is not a compute
+    /// layer, or the data lengths do not match the layer's weight shape.
+    pub fn bind(&mut self, i: usize, weights: Vec<f32>, bias: Vec<f32>) -> Result<(), ModelError> {
+        let layer = &self.layers[i];
+        let mismatch = |detail: String| ModelError::WeightMismatch {
+            layer: layer.name().to_string(),
+            detail,
+        };
+        let (wlen, blen) = match layer.kind() {
+            LayerKind::Conv(c) => (
+                c.weight_shape().len(),
+                if c.bias { c.out_channels } else { 0 },
+            ),
+            LayerKind::Fc(fc) => (
+                fc.weight_shape().len(),
+                if fc.bias { fc.out_features } else { 0 },
+            ),
+            LayerKind::MaxPool(_) => {
+                return Err(mismatch("pooling layers take no parameters".to_string()))
+            }
+        };
+        if weights.len() != wlen {
+            return Err(mismatch(format!(
+                "expected {wlen} weights, got {}",
+                weights.len()
+            )));
+        }
+        if bias.len() != blen {
+            return Err(mismatch(format!(
+                "expected {blen} bias values, got {}",
+                bias.len()
+            )));
+        }
+        self.bindings[i] = Some(LayerBinding { weights, bias });
+        Ok(())
+    }
+
+    /// Whether every compute layer has parameters bound.
+    pub fn is_fully_bound(&self) -> bool {
+        self.layers
+            .iter()
+            .zip(&self.bindings)
+            .all(|(l, b)| !l.is_compute() || b.is_some())
+    }
+
+    /// Total arithmetic operations for one inference (2 per MAC).
+    pub fn total_ops(&self) -> u64 {
+        self.layers
+            .iter()
+            .zip(&self.input_shapes)
+            .map(|(l, &s)| l.ops(s))
+            .sum()
+    }
+
+    /// Total parameter count (weights + biases) across compute layers.
+    pub fn total_params(&self) -> u64 {
+        self.layers
+            .iter()
+            .map(|l| match l.kind() {
+                LayerKind::Conv(c) => {
+                    (c.weight_shape().len() + if c.bias { c.out_channels } else { 0 }) as u64
+                }
+                LayerKind::Fc(fc) => {
+                    (fc.weight_shape().len() + if fc.bias { fc.out_features } else { 0 }) as u64
+                }
+                LayerKind::MaxPool(_) => 0,
+            })
+            .sum()
+    }
+
+    /// Validates that `input` matches this network's input shape.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::ShapeMismatch`] on mismatch.
+    pub fn check_input(&self, input: &Tensor) -> Result<(), ModelError> {
+        if input.shape() != self.input_shape {
+            return Err(ModelError::ShapeMismatch {
+                layer: "<input>".to_string(),
+                detail: format!(
+                    "network expects {}, got {}",
+                    self.input_shape,
+                    input.shape()
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Network`].
+///
+/// The `fc` method infers its input feature count from the running shape,
+/// so builders read like the architecture table of a paper.
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    input_shape: Shape,
+    shape: Shape,
+    layers: Vec<Layer>,
+}
+
+impl NetworkBuilder {
+    /// Starts a builder for a network with the given input shape.
+    pub fn new(input_shape: Shape) -> Self {
+        NetworkBuilder {
+            input_shape,
+            shape: input_shape,
+            layers: Vec::new(),
+        }
+    }
+
+    fn push(mut self, layer: Layer) -> Self {
+        // Track the running shape optimistically; Network::new re-validates.
+        if let Ok(s) = layer.infer_shape(self.shape) {
+            self.shape = s;
+        }
+        self.layers.push(layer);
+        self
+    }
+
+    /// Appends a square same-padded stride-1 convolution with ReLU.
+    pub fn conv(self, name: &str, in_ch: usize, out_ch: usize, kernel: usize) -> Self {
+        self.push(Layer::new(
+            name,
+            LayerKind::Conv(crate::Conv2d::same(in_ch, out_ch, kernel)),
+        ))
+    }
+
+    /// Appends an arbitrary convolution.
+    pub fn conv_cfg(self, name: &str, conv: crate::Conv2d) -> Self {
+        self.push(Layer::new(name, LayerKind::Conv(conv)))
+    }
+
+    /// Appends a max-pool with window = stride = `size`.
+    pub fn max_pool(self, name: &str, size: usize) -> Self {
+        self.push(Layer::new(
+            name,
+            LayerKind::MaxPool(crate::MaxPool2d::new(size)),
+        ))
+    }
+
+    /// Appends a fully-connected layer; input features inferred from the
+    /// running shape.
+    pub fn fc(self, name: &str, out_features: usize) -> Self {
+        let in_features = self.shape.len();
+        self.push(Layer::new(
+            name,
+            LayerKind::Fc(crate::FullyConnected::new(in_features, out_features)),
+        ))
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Errors
+    /// Propagates any validation error from [`Network::new`].
+    pub fn build(self) -> Result<Network, ModelError> {
+        Network::new(self.input_shape, self.layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Conv2d;
+
+    fn small() -> Network {
+        NetworkBuilder::new(Shape::new(3, 8, 8))
+            .conv("c1", 3, 4, 3)
+            .max_pool("p1", 2)
+            .fc("fc", 5)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn shape_inference_chains() {
+        let net = small();
+        assert_eq!(net.layer_input_shape(0), Shape::new(3, 8, 8));
+        assert_eq!(net.layer_output_shape(0), Shape::new(4, 8, 8));
+        assert_eq!(net.layer_output_shape(1), Shape::new(4, 4, 4));
+        assert_eq!(net.output_shape(), Shape::new(5, 1, 1));
+    }
+
+    #[test]
+    fn empty_network_is_rejected() {
+        assert_eq!(
+            Network::new(Shape::new(1, 1, 1), vec![]).unwrap_err(),
+            ModelError::EmptyNetwork
+        );
+    }
+
+    #[test]
+    fn incompatible_chain_is_rejected() {
+        let r = NetworkBuilder::new(Shape::new(3, 8, 8))
+            .conv("c1", 5, 4, 3) // wrong in_channels
+            .build();
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn binding_validates_lengths() {
+        let mut net = small();
+        // c1: 4x3x3x3 weights = 108, bias 4.
+        assert!(net.bind(0, vec![0.0; 108], vec![0.0; 4]).is_ok());
+        assert!(net.bind(0, vec![0.0; 100], vec![0.0; 4]).is_err());
+        assert!(net.bind(0, vec![0.0; 108], vec![0.0; 3]).is_err());
+        // pooling takes no parameters
+        assert!(net.bind(1, vec![], vec![]).is_err());
+    }
+
+    #[test]
+    fn fully_bound_tracks_compute_layers_only() {
+        let mut net = small();
+        assert!(!net.is_fully_bound());
+        net.bind(0, vec![0.0; 108], vec![0.0; 4]).unwrap();
+        net.bind(2, vec![0.0; 64 * 5], vec![0.0; 5]).unwrap();
+        assert!(net.is_fully_bound());
+    }
+
+    #[test]
+    fn total_ops_sums_layers() {
+        let net = NetworkBuilder::new(Shape::new(1, 4, 4))
+            .conv_cfg(
+                "c",
+                Conv2d {
+                    padding: crate::Padding::same(0),
+                    bias: false,
+                    ..Conv2d::same(1, 1, 1)
+                },
+            )
+            .build()
+            .unwrap();
+        // 1x1 conv over 4x4, 1 channel: 16 MACs = 32 ops.
+        assert_eq!(net.total_ops(), 32);
+    }
+
+    #[test]
+    fn total_params_counts_weights_and_bias() {
+        let net = small();
+        // c1: 108 + 4, fc: 4*4*4*5 + 5 = 320 + 5.
+        assert_eq!(net.total_params(), 108 + 4 + 320 + 5);
+    }
+
+    #[test]
+    fn check_input_validates_shape() {
+        let net = small();
+        assert!(net.check_input(&Tensor::zeros(Shape::new(3, 8, 8))).is_ok());
+        assert!(net
+            .check_input(&Tensor::zeros(Shape::new(3, 9, 8)))
+            .is_err());
+    }
+}

@@ -1,0 +1,424 @@
+use crate::{ModelError, Shape, WeightShape};
+use std::fmt;
+
+/// Zero-padding applied symmetrically around a feature map.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Padding {
+    /// Rows of zeros added above and below.
+    pub h: usize,
+    /// Columns of zeros added left and right.
+    pub w: usize,
+}
+
+impl Padding {
+    /// Symmetric padding of `p` in both dimensions.
+    pub const fn same(p: usize) -> Self {
+        Padding { h: p, w: p }
+    }
+}
+
+/// Per-layer activation function fused into the accelerator's COMP stage
+/// (the `RELU_FLAG` instruction field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Activation {
+    /// Identity (no activation).
+    #[default]
+    None,
+    /// Rectified linear unit, `max(x, 0)`.
+    Relu,
+}
+
+/// A 2-D convolution layer.
+///
+/// All of VGG16's feature extraction is built from these. Kernel sizes
+/// larger than 3×3 are supported by the accelerator through the kernel
+/// decomposition of §4.2.5.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Conv2d {
+    /// Input channels (`C`).
+    pub in_channels: usize,
+    /// Output channels (`K`).
+    pub out_channels: usize,
+    /// Kernel height (`R`).
+    pub kernel_h: usize,
+    /// Kernel width (`S`).
+    pub kernel_w: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding.
+    pub padding: Padding,
+    /// Fused activation.
+    pub activation: Activation,
+    /// Whether a bias vector of length `K` is added.
+    pub bias: bool,
+}
+
+impl Conv2d {
+    /// A square-kernel convolution with stride 1 and "same" padding
+    /// (the VGG16 style `3x3/1/1` block).
+    pub fn same(in_channels: usize, out_channels: usize, kernel: usize) -> Self {
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride: 1,
+            padding: Padding::same(kernel / 2),
+            activation: Activation::Relu,
+            bias: true,
+        }
+    }
+
+    /// Shape of this layer's weight tensor.
+    pub fn weight_shape(&self) -> WeightShape {
+        WeightShape::new(
+            self.out_channels,
+            self.in_channels,
+            self.kernel_h,
+            self.kernel_w,
+        )
+    }
+
+    /// Output shape given an input shape.
+    fn output_shape(&self, input: Shape) -> Shape {
+        let h = (input.h + 2 * self.padding.h - self.kernel_h) / self.stride + 1;
+        let w = (input.w + 2 * self.padding.w - self.kernel_w) / self.stride + 1;
+        Shape::new(self.out_channels, h, w)
+    }
+}
+
+/// A fully-connected layer, mapped onto the accelerator's COMP path as a
+/// 1×1 convolution over a 1×1 feature map (§5.3 treats "CONV or FC layers"
+/// uniformly).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FullyConnected {
+    /// Input features (flattened length of the incoming tensor).
+    pub in_features: usize,
+    /// Output features.
+    pub out_features: usize,
+    /// Fused activation.
+    pub activation: Activation,
+    /// Whether a bias vector is added.
+    pub bias: bool,
+}
+
+impl FullyConnected {
+    /// Creates an FC layer with ReLU and bias (the VGG16 style).
+    pub fn new(in_features: usize, out_features: usize) -> Self {
+        FullyConnected {
+            in_features,
+            out_features,
+            activation: Activation::Relu,
+            bias: true,
+        }
+    }
+
+    /// Shape of this layer's weight tensor viewed as a 1×1 convolution.
+    pub fn weight_shape(&self) -> WeightShape {
+        WeightShape::new(self.out_features, self.in_features, 1, 1)
+    }
+}
+
+/// A max-pooling layer, fused into the accelerator's SAVE stage
+/// (the `POOL_SIZE` instruction field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MaxPool2d {
+    /// Square window size (also used as the stride; VGG16 uses 2×2/2).
+    pub size: usize,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool with window = stride = `size`.
+    pub const fn new(size: usize) -> Self {
+        MaxPool2d { size }
+    }
+
+    fn output_shape(&self, input: Shape) -> Shape {
+        Shape::new(input.c, input.h / self.size, input.w / self.size)
+    }
+}
+
+/// The kind of computation a [`Layer`] performs.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum LayerKind {
+    /// 2-D convolution.
+    Conv(Conv2d),
+    /// Fully-connected / inner product.
+    Fc(FullyConnected),
+    /// Max pooling.
+    MaxPool(MaxPool2d),
+}
+
+/// A named layer in a [`crate::Network`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Layer {
+    name: String,
+    kind: LayerKind,
+}
+
+impl Layer {
+    /// Creates a named layer.
+    pub fn new(name: impl Into<String>, kind: LayerKind) -> Self {
+        Layer {
+            name: name.into(),
+            kind,
+        }
+    }
+
+    /// The layer's name (unique within its network).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layer's computation kind.
+    pub fn kind(&self) -> &LayerKind {
+        &self.kind
+    }
+
+    /// Whether this layer runs on the accelerator's COMP module
+    /// (convolutions and FC layers do; pooling rides along in SAVE).
+    pub fn is_compute(&self) -> bool {
+        matches!(self.kind, LayerKind::Conv(_) | LayerKind::Fc(_))
+    }
+
+    /// Validates the layer's structural parameters.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::InvalidLayer`] for zero-sized channels,
+    /// kernels, strides or pool windows.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        let invalid = |detail: &str| ModelError::InvalidLayer {
+            layer: self.name.clone(),
+            detail: detail.to_string(),
+        };
+        match &self.kind {
+            LayerKind::Conv(c) => {
+                if c.in_channels == 0 || c.out_channels == 0 {
+                    return Err(invalid("channel counts must be nonzero"));
+                }
+                if c.kernel_h == 0 || c.kernel_w == 0 {
+                    return Err(invalid("kernel must be nonzero"));
+                }
+                if c.stride == 0 {
+                    return Err(invalid("stride must be nonzero"));
+                }
+            }
+            LayerKind::Fc(fc) => {
+                if fc.in_features == 0 || fc.out_features == 0 {
+                    return Err(invalid("feature counts must be nonzero"));
+                }
+            }
+            LayerKind::MaxPool(p) => {
+                if p.size == 0 {
+                    return Err(invalid("pool size must be nonzero"));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the output shape for `input`, checking compatibility.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::ShapeMismatch`] if the input does not fit this
+    /// layer (wrong channel count, too small after padding, or not evenly
+    /// divisible by a pooling window).
+    pub fn infer_shape(&self, input: Shape) -> Result<Shape, ModelError> {
+        let mismatch = |detail: String| ModelError::ShapeMismatch {
+            layer: self.name.clone(),
+            detail,
+        };
+        match &self.kind {
+            LayerKind::Conv(c) => {
+                if input.c != c.in_channels {
+                    return Err(mismatch(format!(
+                        "expects {} input channels, got {}",
+                        c.in_channels, input.c
+                    )));
+                }
+                if input.h + 2 * c.padding.h < c.kernel_h || input.w + 2 * c.padding.w < c.kernel_w
+                {
+                    return Err(mismatch(format!(
+                        "padded input {}x{} smaller than kernel {}x{}",
+                        input.h + 2 * c.padding.h,
+                        input.w + 2 * c.padding.w,
+                        c.kernel_h,
+                        c.kernel_w
+                    )));
+                }
+                Ok(c.output_shape(input))
+            }
+            LayerKind::Fc(fc) => {
+                if input.len() != fc.in_features {
+                    return Err(mismatch(format!(
+                        "expects {} input features, got {} ({input})",
+                        fc.in_features,
+                        input.len()
+                    )));
+                }
+                Ok(Shape::new(fc.out_features, 1, 1))
+            }
+            LayerKind::MaxPool(p) => {
+                if !input.h.is_multiple_of(p.size) || !input.w.is_multiple_of(p.size) {
+                    return Err(mismatch(format!(
+                        "feature map {}x{} not divisible by pool size {}",
+                        input.h, input.w, p.size
+                    )));
+                }
+                Ok(p.output_shape(input))
+            }
+        }
+    }
+
+    /// Number of arithmetic operations (multiplies + adds, the GOPS
+    /// convention: 2 ops per MAC) this layer performs on `input`.
+    ///
+    /// Pooling layers count zero, matching the paper's CONV/FC accounting.
+    pub fn ops(&self, input: Shape) -> u64 {
+        match &self.kind {
+            LayerKind::Conv(c) => {
+                let out = c.output_shape(input);
+                2 * (c.out_channels * c.in_channels * c.kernel_h * c.kernel_w) as u64
+                    * (out.h * out.w) as u64
+            }
+            LayerKind::Fc(fc) => 2 * (fc.in_features * fc.out_features) as u64,
+            LayerKind::MaxPool(_) => 0,
+        }
+    }
+}
+
+impl fmt::Display for Layer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            LayerKind::Conv(c) => write!(
+                f,
+                "{}: conv {}x{} {}→{} stride {} pad {}x{}",
+                self.name,
+                c.kernel_h,
+                c.kernel_w,
+                c.in_channels,
+                c.out_channels,
+                c.stride,
+                c.padding.h,
+                c.padding.w
+            ),
+            LayerKind::Fc(fc) => {
+                write!(
+                    f,
+                    "{}: fc {}→{}",
+                    self.name, fc.in_features, fc.out_features
+                )
+            }
+            LayerKind::MaxPool(p) => write!(f, "{}: maxpool {}x{}", self.name, p.size, p.size),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_same_preserves_spatial_size() {
+        let conv = Conv2d::same(3, 64, 3);
+        let layer = Layer::new("c1", LayerKind::Conv(conv));
+        let out = layer.infer_shape(Shape::new(3, 224, 224)).unwrap();
+        assert_eq!(out, Shape::new(64, 224, 224));
+    }
+
+    #[test]
+    fn conv_stride_two_halves() {
+        let mut conv = Conv2d::same(16, 32, 3);
+        conv.stride = 2;
+        let layer = Layer::new("c", LayerKind::Conv(conv));
+        let out = layer.infer_shape(Shape::new(16, 32, 32)).unwrap();
+        assert_eq!(out, Shape::new(32, 16, 16));
+    }
+
+    #[test]
+    fn conv_rejects_wrong_channels() {
+        let layer = Layer::new("c", LayerKind::Conv(Conv2d::same(3, 8, 3)));
+        let err = layer.infer_shape(Shape::new(4, 8, 8)).unwrap_err();
+        assert!(matches!(err, ModelError::ShapeMismatch { .. }));
+    }
+
+    #[test]
+    fn conv_rejects_kernel_larger_than_padded_input() {
+        let mut conv = Conv2d::same(1, 1, 7);
+        conv.padding = Padding::same(0);
+        let layer = Layer::new("c", LayerKind::Conv(conv));
+        assert!(layer.infer_shape(Shape::new(1, 4, 4)).is_err());
+    }
+
+    #[test]
+    fn fc_flattens_input() {
+        let layer = Layer::new("fc", LayerKind::Fc(FullyConnected::new(512 * 7 * 7, 4096)));
+        let out = layer.infer_shape(Shape::new(512, 7, 7)).unwrap();
+        assert_eq!(out, Shape::new(4096, 1, 1));
+    }
+
+    #[test]
+    fn fc_rejects_wrong_feature_count() {
+        let layer = Layer::new("fc", LayerKind::Fc(FullyConnected::new(100, 10)));
+        assert!(layer.infer_shape(Shape::new(2, 7, 7)).is_err());
+    }
+
+    #[test]
+    fn maxpool_requires_divisibility() {
+        let layer = Layer::new("p", LayerKind::MaxPool(MaxPool2d::new(2)));
+        assert_eq!(
+            layer.infer_shape(Shape::new(8, 10, 10)).unwrap(),
+            Shape::new(8, 5, 5)
+        );
+        assert!(layer.infer_shape(Shape::new(8, 9, 10)).is_err());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_layers() {
+        let bad = Layer::new(
+            "z",
+            LayerKind::Conv(Conv2d {
+                in_channels: 0,
+                out_channels: 4,
+                kernel_h: 3,
+                kernel_w: 3,
+                stride: 1,
+                padding: Padding::same(1),
+                activation: Activation::None,
+                bias: false,
+            }),
+        );
+        assert!(bad.validate().is_err());
+        let bad_stride = Layer::new(
+            "s",
+            LayerKind::Conv(Conv2d {
+                stride: 0,
+                ..Conv2d::same(1, 1, 3)
+            }),
+        );
+        assert!(bad_stride.validate().is_err());
+        assert!(Layer::new("p", LayerKind::MaxPool(MaxPool2d::new(0)))
+            .validate()
+            .is_err());
+    }
+
+    #[test]
+    fn ops_counts_two_per_mac() {
+        // 1 output pixel, 1x1 kernel, 1 channel: exactly one MAC = 2 ops.
+        let mut conv = Conv2d::same(1, 1, 1);
+        conv.padding = Padding::same(0);
+        let layer = Layer::new("c", LayerKind::Conv(conv));
+        assert_eq!(layer.ops(Shape::new(1, 1, 1)), 2);
+
+        // VGG16 conv1_1: 2 * 64*3*3*3 * 224*224 = 173 408 256.
+        let layer = Layer::new("c", LayerKind::Conv(Conv2d::same(3, 64, 3)));
+        assert_eq!(layer.ops(Shape::new(3, 224, 224)), 173_408_256);
+    }
+
+    #[test]
+    fn pooling_counts_zero_ops() {
+        let layer = Layer::new("p", LayerKind::MaxPool(MaxPool2d::new(2)));
+        assert_eq!(layer.ops(Shape::new(64, 112, 112)), 0);
+    }
+}

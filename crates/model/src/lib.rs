@@ -1,0 +1,59 @@
+//! DNN model intermediate representation for the HybridDNN framework.
+//!
+//! This crate provides everything the rest of the workspace needs to talk
+//! about neural networks *as workloads*:
+//!
+//! * [`Tensor`] — a dense NCHW tensor (activations are `N=1` in this
+//!   inference-oriented reproduction; weights use the `K,C,R,S` axes).
+//! * [`Layer`] / [`Network`] — a sequential layer graph with shape
+//!   inference and operation counting (the paper reports GOPS, so exact
+//!   multiply-accumulate counts matter).
+//! * [`mod@reference`] — golden CPU implementations of every operator
+//!   (spatial convolution, fully-connected, max-pooling, ReLU) used to
+//!   validate the accelerator simulator bit-for-bit on the quantized path.
+//! * [`quant`] — the fixed-point model of the paper's 12-bit datapath
+//!   (8-bit weights, 12-bit activations; Table 4 footnote).
+//! * [`zoo`] — model builders, most importantly VGG16 (the paper's case
+//!   study) plus small synthetic networks used by the test-suite.
+//! * [`synth`] — deterministic synthetic weight/activation generation
+//!   (substitute for pretrained ImageNet weights; see DESIGN.md §2).
+//!
+//! # Example
+//!
+//! ```
+//! use hybriddnn_model::{zoo, synth, reference};
+//!
+//! # fn main() -> Result<(), hybriddnn_model::ModelError> {
+//! let net = zoo::vgg16();
+//! let compute = net.layers().iter().filter(|l| l.is_compute()).count();
+//! assert_eq!(compute, 16); // 13 CONV + 3 FC
+//! let giga_ops = net.total_ops() as f64 / 1e9;
+//! assert!(giga_ops > 30.0); // VGG16 is ~30.9 GOP per image
+//!
+//! // Run a tiny network on the golden CPU reference.
+//! let mut small = zoo::tiny_cnn();
+//! synth::bind_random(&mut small, 1)?;
+//! let input = synth::tensor(small.input_shape(), 7);
+//! let output = reference::run_network(&small, &input)?;
+//! assert_eq!(output.shape().c, 10);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod graph;
+mod layer;
+mod tensor;
+
+pub mod quant;
+pub mod reference;
+pub mod synth;
+pub mod zoo;
+
+pub use error::ModelError;
+pub use graph::{LayerBinding, Network, NetworkBuilder};
+pub use layer::{Activation, Conv2d, FullyConnected, Layer, LayerKind, MaxPool2d, Padding};
+pub use tensor::{Shape, Tensor, WeightShape};

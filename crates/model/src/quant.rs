@@ -1,0 +1,197 @@
+//! Fixed-point quantization model of the paper's 12-bit datapath.
+//!
+//! Table 4's footnote: *"DNN parameters are quantized to 8-bit; input
+//! feature maps are set to 12-bit in PE due to the Winograd matrix
+//! transformation"*. This module models that scheme with symmetric
+//! power-of-two scaling: a [`QFormat`] is `(bits, frac)` where values are
+//! integers `q ∈ [-2^(bits-1), 2^(bits-1)-1]` representing `q / 2^frac`.
+//!
+//! All quantized values are carried as `f32` constrained to the grid, and
+//! all accumulation downstream happens in `f64`. Because an 8-bit × 12-bit
+//! product has ≤ 20 significant bits and VGG16's largest reduction
+//! (`C·R·S = 512·3·3`) adds ≤ 13 more, every intermediate fits exactly in
+//! `f64`'s 53-bit mantissa — so the quantized simulator path is bit-exact
+//! regardless of summation order, which the test-suite relies on.
+
+use crate::Tensor;
+
+/// A symmetric fixed-point format: `bits` total (two's complement), with
+/// `frac` fractional bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct QFormat {
+    /// Total bit width, including sign. Must be in `1..=24`.
+    pub bits: u32,
+    /// Number of fractional bits (scale = `2^-frac`). May exceed `bits`.
+    pub frac: i32,
+}
+
+impl QFormat {
+    /// The paper's weight format: 8-bit parameters.
+    pub const WEIGHT8: QFormat = QFormat { bits: 8, frac: 6 };
+    /// The paper's PE feature-map format: 12-bit activations.
+    pub const FEATURE12: QFormat = QFormat { bits: 12, frac: 8 };
+    /// A 16-bit format matching the baselines in Table 4.
+    pub const FEATURE16: QFormat = QFormat { bits: 16, frac: 10 };
+
+    /// Creates a format.
+    ///
+    /// # Panics
+    /// Panics if `bits` is 0 or greater than 24 (the exactness argument in
+    /// the module docs requires narrow operands).
+    pub fn new(bits: u32, frac: i32) -> Self {
+        assert!((1..=24).contains(&bits), "QFormat bits must be in 1..=24");
+        QFormat { bits, frac }
+    }
+
+    /// Smallest representable step, `2^-frac`.
+    pub fn step(&self) -> f64 {
+        2f64.powi(-self.frac)
+    }
+
+    /// Largest representable value.
+    pub fn max_value(&self) -> f64 {
+        ((1i64 << (self.bits - 1)) - 1) as f64 * self.step()
+    }
+
+    /// Smallest (most negative) representable value.
+    pub fn min_value(&self) -> f64 {
+        -((1i64 << (self.bits - 1)) as f64) * self.step()
+    }
+
+    /// Quantizes `v`: round-to-nearest-even onto the grid, then saturate.
+    pub fn quantize(&self, v: f64) -> f32 {
+        let scaled = v / self.step();
+        let q = round_ties_even(scaled);
+        let lo = -(1i64 << (self.bits - 1)) as f64;
+        let hi = ((1i64 << (self.bits - 1)) - 1) as f64;
+        (q.clamp(lo, hi) * self.step()) as f32
+    }
+
+    /// Whether `v` already lies exactly on this format's grid.
+    pub fn contains(&self, v: f64) -> bool {
+        let scaled = v / self.step();
+        scaled == scaled.trunc()
+            && scaled >= -(1i64 << (self.bits - 1)) as f64
+            && scaled <= ((1i64 << (self.bits - 1)) - 1) as f64
+    }
+
+    /// Quantizes every element of a tensor in place.
+    pub fn quantize_tensor(&self, t: &mut Tensor) {
+        for v in t.as_mut_slice() {
+            *v = self.quantize(*v as f64);
+        }
+    }
+
+    /// Quantizes every element of a slice in place.
+    pub fn quantize_slice(&self, s: &mut [f32]) {
+        for v in s {
+            *v = self.quantize(*v as f64);
+        }
+    }
+}
+
+/// Round-to-nearest, ties to even — matching hardware convergent rounding.
+fn round_ties_even(x: f64) -> f64 {
+    let r = x.round();
+    if (x - x.trunc()).abs() == 0.5 {
+        // `f64::round` rounds half away from zero; fix up ties.
+        let down = x.floor();
+        let up = x.ceil();
+        if (down / 2.0).fract() == 0.0 {
+            down
+        } else {
+            up
+        }
+    } else {
+        r
+    }
+}
+
+/// Requantization parameter carried in the COMP instruction's `QUAN_PARAM`
+/// field: after accumulation, results are scaled by `2^-shift` and clamped
+/// to the activation format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Requant {
+    /// Right-shift applied to the raw accumulator (in fractional-bit space).
+    pub shift: i32,
+}
+
+impl Requant {
+    /// Applies requantization of an `f64` accumulator into `fmt`.
+    pub fn apply(&self, acc: f64, fmt: QFormat) -> f32 {
+        fmt.quantize(acc * 2f64.powi(-self.shift))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Shape;
+
+    #[test]
+    fn step_and_range() {
+        let f = QFormat::new(8, 6);
+        assert_eq!(f.step(), 1.0 / 64.0);
+        assert_eq!(f.max_value(), 127.0 / 64.0);
+        assert_eq!(f.min_value(), -2.0);
+    }
+
+    #[test]
+    fn quantize_rounds_and_saturates() {
+        let f = QFormat::new(8, 0); // plain i8
+        assert_eq!(f.quantize(3.2), 3.0);
+        assert_eq!(f.quantize(-3.7), -4.0);
+        assert_eq!(f.quantize(1000.0), 127.0);
+        assert_eq!(f.quantize(-1000.0), -128.0);
+    }
+
+    #[test]
+    fn ties_round_to_even() {
+        let f = QFormat::new(8, 0);
+        assert_eq!(f.quantize(2.5), 2.0);
+        assert_eq!(f.quantize(3.5), 4.0);
+        assert_eq!(f.quantize(-2.5), -2.0);
+        assert_eq!(f.quantize(-3.5), -4.0);
+    }
+
+    #[test]
+    fn quantize_is_idempotent() {
+        let f = QFormat::FEATURE12;
+        for v in [-1.7, 0.013, 3.99, -2.0e3, 7.5] {
+            let q1 = f.quantize(v);
+            let q2 = f.quantize(q1 as f64);
+            assert_eq!(q1, q2);
+        }
+    }
+
+    #[test]
+    fn contains_accepts_grid_points_only() {
+        let f = QFormat::new(8, 2);
+        assert!(f.contains(0.25));
+        assert!(f.contains(-32.0));
+        assert!(!f.contains(0.3));
+        assert!(!f.contains(100.0)); // out of range
+    }
+
+    #[test]
+    fn quantize_tensor_constrains_all_elements() {
+        let mut t = Tensor::from_vec(Shape::new(1, 1, 4), vec![0.33, -1.26, 9.0, -9.0]).unwrap();
+        let f = QFormat::new(4, 1); // range [-4, 3.5], step 0.5
+        f.quantize_tensor(&mut t);
+        assert_eq!(t.as_slice(), &[0.5, -1.5, 3.5, -4.0]);
+    }
+
+    #[test]
+    fn requant_shifts_then_quantizes() {
+        let rq = Requant { shift: 2 };
+        let f = QFormat::new(8, 0);
+        assert_eq!(rq.apply(10.0, f), 2.0); // 10/4 = 2.5 → ties-even → 2
+        assert_eq!(rq.apply(12.0, f), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "QFormat bits")]
+    fn new_rejects_wide_formats() {
+        let _ = QFormat::new(32, 0);
+    }
+}

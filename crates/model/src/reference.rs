@@ -1,0 +1,458 @@
+//! Golden CPU reference implementations of every operator.
+//!
+//! These are deliberately simple loop nests — the point is obviousness, not
+//! speed. The accelerator simulator in `hybriddnn-sim` is validated against
+//! these functions: exactly (quantized grid + `f64` accumulation, see
+//! [`crate::quant`]) or within tight tolerance (`f32` data).
+
+use crate::{
+    Activation, Conv2d, FullyConnected, LayerKind, MaxPool2d, ModelError, Network, Shape, Tensor,
+};
+
+/// Spatial (direct) 2-D convolution with zero padding, stride, optional
+/// bias and fused activation.
+///
+/// `weights` is flat `KCRS`; `bias` is either empty or length `K`.
+///
+/// # Errors
+/// Returns [`ModelError::WeightMismatch`] if parameter lengths are wrong,
+/// or [`ModelError::ShapeMismatch`] if the input channel count differs.
+pub fn conv2d(
+    input: &Tensor,
+    conv: &Conv2d,
+    weights: &[f32],
+    bias: &[f32],
+) -> Result<Tensor, ModelError> {
+    let ws = conv.weight_shape();
+    if weights.len() != ws.len() {
+        return Err(ModelError::WeightMismatch {
+            layer: "<conv2d>".to_string(),
+            detail: format!("expected {} weights, got {}", ws.len(), weights.len()),
+        });
+    }
+    if !bias.is_empty() && bias.len() != conv.out_channels {
+        return Err(ModelError::WeightMismatch {
+            layer: "<conv2d>".to_string(),
+            detail: format!(
+                "expected {} bias values, got {}",
+                conv.out_channels,
+                bias.len()
+            ),
+        });
+    }
+    let ishape = input.shape();
+    if ishape.c != conv.in_channels {
+        return Err(ModelError::ShapeMismatch {
+            layer: "<conv2d>".to_string(),
+            detail: format!("expected {} channels, got {}", conv.in_channels, ishape.c),
+        });
+    }
+    let oh = (ishape.h + 2 * conv.padding.h - conv.kernel_h) / conv.stride + 1;
+    let ow = (ishape.w + 2 * conv.padding.w - conv.kernel_w) / conv.stride + 1;
+    let mut out = Tensor::zeros(Shape::new(conv.out_channels, oh, ow));
+    for k in 0..conv.out_channels {
+        let b = bias.get(k).copied().unwrap_or(0.0) as f64;
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = b;
+                for c in 0..conv.in_channels {
+                    for r in 0..conv.kernel_h {
+                        for s in 0..conv.kernel_w {
+                            let iy = (oy * conv.stride + r) as isize - conv.padding.h as isize;
+                            let ix = (ox * conv.stride + s) as isize - conv.padding.w as isize;
+                            let x = input.at_padded(c, iy, ix) as f64;
+                            let w = weights[ws.index(k, c, r, s)] as f64;
+                            acc += x * w;
+                        }
+                    }
+                }
+                out.set(k, oy, ox, apply_activation(acc, conv.activation));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Fully-connected layer over a flattened input.
+///
+/// `weights` is `out_features × in_features` row-major (equivalently `KC11`
+/// in the KCRS view).
+///
+/// # Errors
+/// Returns [`ModelError::WeightMismatch`] or [`ModelError::ShapeMismatch`]
+/// analogous to [`conv2d`].
+pub fn fully_connected(
+    input: &Tensor,
+    fc: &FullyConnected,
+    weights: &[f32],
+    bias: &[f32],
+) -> Result<Tensor, ModelError> {
+    if weights.len() != fc.in_features * fc.out_features {
+        return Err(ModelError::WeightMismatch {
+            layer: "<fc>".to_string(),
+            detail: format!(
+                "expected {} weights, got {}",
+                fc.in_features * fc.out_features,
+                weights.len()
+            ),
+        });
+    }
+    if !bias.is_empty() && bias.len() != fc.out_features {
+        return Err(ModelError::WeightMismatch {
+            layer: "<fc>".to_string(),
+            detail: format!(
+                "expected {} bias values, got {}",
+                fc.out_features,
+                bias.len()
+            ),
+        });
+    }
+    if input.shape().len() != fc.in_features {
+        return Err(ModelError::ShapeMismatch {
+            layer: "<fc>".to_string(),
+            detail: format!(
+                "expected {} features, got {}",
+                fc.in_features,
+                input.shape().len()
+            ),
+        });
+    }
+    let x = input.as_slice();
+    let mut out = Tensor::zeros(Shape::new(fc.out_features, 1, 1));
+    for k in 0..fc.out_features {
+        let mut acc = bias.get(k).copied().unwrap_or(0.0) as f64;
+        let row = &weights[k * fc.in_features..(k + 1) * fc.in_features];
+        for (xi, wi) in x.iter().zip(row) {
+            acc += (*xi as f64) * (*wi as f64);
+        }
+        out.set(k, 0, 0, apply_activation(acc, fc.activation));
+    }
+    Ok(out)
+}
+
+/// Max pooling with window = stride = `pool.size`.
+///
+/// # Errors
+/// Returns [`ModelError::ShapeMismatch`] if the feature map is not evenly
+/// divisible by the window.
+pub fn max_pool(input: &Tensor, pool: &MaxPool2d) -> Result<Tensor, ModelError> {
+    let s = input.shape();
+    if !s.h.is_multiple_of(pool.size) || !s.w.is_multiple_of(pool.size) {
+        return Err(ModelError::ShapeMismatch {
+            layer: "<maxpool>".to_string(),
+            detail: format!("{}x{} not divisible by {}", s.h, s.w, pool.size),
+        });
+    }
+    let mut out = Tensor::zeros(Shape::new(s.c, s.h / pool.size, s.w / pool.size));
+    for c in 0..s.c {
+        for oy in 0..s.h / pool.size {
+            for ox in 0..s.w / pool.size {
+                let mut m = f32::NEG_INFINITY;
+                for dy in 0..pool.size {
+                    for dx in 0..pool.size {
+                        m = m.max(input.at(c, oy * pool.size + dy, ox * pool.size + dx));
+                    }
+                }
+                out.set(c, oy, ox, m);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Element-wise ReLU.
+pub fn relu(input: &Tensor) -> Tensor {
+    let mut out = input.clone();
+    for v in out.as_mut_slice() {
+        *v = v.max(0.0);
+    }
+    out
+}
+
+fn apply_activation(acc: f64, act: Activation) -> f32 {
+    match act {
+        Activation::None => acc as f32,
+        Activation::Relu => acc.max(0.0) as f32,
+    }
+}
+
+/// Runs one layer of a network (using its binding) on `input`.
+///
+/// # Errors
+/// Returns [`ModelError::WeightMismatch`] if a compute layer has no bound
+/// parameters, or any shape/weight error from the underlying operator.
+///
+/// # Panics
+/// Panics if `i` is out of range.
+pub fn run_layer(net: &Network, i: usize, input: &Tensor) -> Result<Tensor, ModelError> {
+    let layer = &net.layers()[i];
+    match layer.kind() {
+        LayerKind::Conv(c) => {
+            let b = net.binding(i).ok_or_else(|| ModelError::WeightMismatch {
+                layer: layer.name().to_string(),
+                detail: "no parameters bound".to_string(),
+            })?;
+            conv2d(input, c, &b.weights, &b.bias)
+        }
+        LayerKind::Fc(fc) => {
+            let b = net.binding(i).ok_or_else(|| ModelError::WeightMismatch {
+                layer: layer.name().to_string(),
+                detail: "no parameters bound".to_string(),
+            })?;
+            fully_connected(input, fc, &b.weights, &b.bias)
+        }
+        LayerKind::MaxPool(p) => max_pool(input, p),
+    }
+}
+
+/// Runs the whole network on `input`, returning the final activation.
+///
+/// # Errors
+/// Propagates any error from [`run_layer`] plus an input-shape check.
+pub fn run_network(net: &Network, input: &Tensor) -> Result<Tensor, ModelError> {
+    net.check_input(input)?;
+    let mut act = input.clone();
+    for i in 0..net.layers().len() {
+        act = run_layer(net, i, &act)?;
+    }
+    Ok(act)
+}
+
+/// Runs the network, returning every intermediate activation (index `i` is
+/// the *output* of layer `i`). Useful for layer-by-layer simulator checks.
+///
+/// # Errors
+/// Propagates any error from [`run_layer`] plus an input-shape check.
+pub fn run_network_trace(net: &Network, input: &Tensor) -> Result<Vec<Tensor>, ModelError> {
+    net.check_input(input)?;
+    let mut acts = Vec::with_capacity(net.layers().len());
+    let mut act = input.clone();
+    for i in 0..net.layers().len() {
+        act = run_layer(net, i, &act)?;
+        acts.push(act.clone());
+    }
+    Ok(acts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{NetworkBuilder, Padding};
+
+    fn id_conv() -> Conv2d {
+        Conv2d {
+            in_channels: 1,
+            out_channels: 1,
+            kernel_h: 1,
+            kernel_w: 1,
+            stride: 1,
+            padding: Padding::same(0),
+            activation: Activation::None,
+            bias: false,
+        }
+    }
+
+    #[test]
+    fn identity_conv_passes_through() {
+        let input = Tensor::from_vec(Shape::new(1, 2, 2), vec![1.0, -2.0, 3.0, -4.0]).unwrap();
+        let out = conv2d(&input, &id_conv(), &[1.0], &[]).unwrap();
+        assert_eq!(out.as_slice(), input.as_slice());
+    }
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let input = Tensor::from_vec(Shape::new(1, 2, 2), vec![1.0, -2.0, 3.0, -4.0]).unwrap();
+        let mut conv = id_conv();
+        conv.activation = Activation::Relu;
+        let out = conv2d(&input, &conv, &[1.0], &[]).unwrap();
+        assert_eq!(out.as_slice(), &[1.0, 0.0, 3.0, 0.0]);
+    }
+
+    #[test]
+    fn conv_3x3_hand_computed() {
+        // 3x3 input, 3x3 kernel of all ones, no padding: single output =
+        // sum of inputs.
+        let input =
+            Tensor::from_vec(Shape::new(1, 3, 3), (1..=9).map(|v| v as f32).collect()).unwrap();
+        let conv = Conv2d {
+            in_channels: 1,
+            out_channels: 1,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: Padding::same(0),
+            activation: Activation::None,
+            bias: false,
+        };
+        let out = conv2d(&input, &conv, &[1.0; 9], &[]).unwrap();
+        assert_eq!(out.shape(), Shape::new(1, 1, 1));
+        assert_eq!(out.at(0, 0, 0), 45.0);
+    }
+
+    #[test]
+    fn conv_padding_sees_zero_halo() {
+        // Same-padded all-ones kernel at the corner sums only the 2x2
+        // in-bounds quadrant.
+        let input = Tensor::from_vec(Shape::new(1, 2, 2), vec![1.0; 4]).unwrap();
+        let conv = Conv2d {
+            padding: Padding::same(1),
+            bias: false,
+            activation: Activation::None,
+            ..Conv2d::same(1, 1, 3)
+        };
+        let out = conv2d(&input, &conv, &[1.0; 9], &[]).unwrap();
+        assert_eq!(out.shape(), Shape::new(1, 2, 2));
+        assert_eq!(out.at(0, 0, 0), 4.0);
+    }
+
+    #[test]
+    fn conv_stride_subsamples() {
+        let input =
+            Tensor::from_vec(Shape::new(1, 4, 4), (0..16).map(|v| v as f32).collect()).unwrap();
+        let conv = Conv2d {
+            in_channels: 1,
+            out_channels: 1,
+            kernel_h: 1,
+            kernel_w: 1,
+            stride: 2,
+            padding: Padding::same(0),
+            activation: Activation::None,
+            bias: false,
+        };
+        let out = conv2d(&input, &conv, &[1.0], &[]).unwrap();
+        assert_eq!(out.as_slice(), &[0.0, 2.0, 8.0, 10.0]);
+    }
+
+    #[test]
+    fn conv_bias_offsets_every_output() {
+        let input = Tensor::zeros(Shape::new(1, 2, 2));
+        let mut conv = id_conv();
+        conv.bias = true;
+        let out = conv2d(&input, &conv, &[1.0], &[0.5]).unwrap();
+        assert_eq!(out.as_slice(), &[0.5; 4]);
+    }
+
+    #[test]
+    fn conv_multi_channel_sums_channels() {
+        // 2 input channels, each all-ones 1x1 kernel: output = sum over c.
+        let input = Tensor::from_vec(Shape::new(2, 1, 1), vec![3.0, 4.0]).unwrap();
+        let conv = Conv2d {
+            in_channels: 2,
+            out_channels: 1,
+            kernel_h: 1,
+            kernel_w: 1,
+            stride: 1,
+            padding: Padding::same(0),
+            activation: Activation::None,
+            bias: false,
+        };
+        let out = conv2d(&input, &conv, &[1.0, 1.0], &[]).unwrap();
+        assert_eq!(out.at(0, 0, 0), 7.0);
+    }
+
+    #[test]
+    fn conv_rejects_bad_parameters() {
+        let input = Tensor::zeros(Shape::new(1, 2, 2));
+        assert!(conv2d(&input, &id_conv(), &[1.0, 2.0], &[]).is_err());
+        let mut conv = id_conv();
+        conv.bias = true;
+        assert!(conv2d(&input, &conv, &[1.0], &[1.0, 2.0]).is_err());
+        let mut conv = id_conv();
+        conv.in_channels = 2;
+        assert!(conv2d(&input, &conv, &[1.0, 1.0], &[]).is_err());
+    }
+
+    #[test]
+    fn fc_matches_matrix_vector_product() {
+        let input = Tensor::from_vec(Shape::new(3, 1, 1), vec![1.0, 2.0, 3.0]).unwrap();
+        let fc = FullyConnected {
+            in_features: 3,
+            out_features: 2,
+            activation: Activation::None,
+            bias: true,
+        };
+        let w = vec![1.0, 0.0, 0.0, /* row0 */ 1.0, 1.0, 1.0 /* row1 */];
+        let out = fully_connected(&input, &fc, &w, &[10.0, -1.0]).unwrap();
+        assert_eq!(out.as_slice(), &[11.0, 5.0]);
+    }
+
+    #[test]
+    fn fc_relu_applies() {
+        let input = Tensor::from_vec(Shape::new(1, 1, 1), vec![1.0]).unwrap();
+        let fc = FullyConnected::new(1, 1);
+        let out = fully_connected(&input, &fc, &[-2.0], &[0.0]).unwrap();
+        assert_eq!(out.as_slice(), &[0.0]);
+    }
+
+    #[test]
+    fn max_pool_takes_window_max() {
+        let input = Tensor::from_vec(
+            Shape::new(1, 2, 4),
+            vec![1.0, 5.0, 2.0, 0.0, 3.0, -1.0, 4.0, 9.0],
+        )
+        .unwrap();
+        let out = max_pool(&input, &MaxPool2d::new(2)).unwrap();
+        assert_eq!(out.as_slice(), &[5.0, 9.0]);
+    }
+
+    #[test]
+    fn max_pool_handles_negative_regions() {
+        let input = Tensor::from_vec(Shape::new(1, 2, 2), vec![-5.0, -3.0, -9.0, -4.0]).unwrap();
+        let out = max_pool(&input, &MaxPool2d::new(2)).unwrap();
+        assert_eq!(out.as_slice(), &[-3.0]);
+    }
+
+    #[test]
+    fn run_network_chains_layers() {
+        let mut net = NetworkBuilder::new(Shape::new(1, 4, 4))
+            .conv_cfg(
+                "c",
+                Conv2d {
+                    activation: Activation::None,
+                    bias: false,
+                    ..id_conv()
+                },
+            )
+            .max_pool("p", 2)
+            .build()
+            .unwrap();
+        net.bind(0, vec![2.0], vec![]).unwrap();
+        let input =
+            Tensor::from_vec(Shape::new(1, 4, 4), (0..16).map(|v| v as f32).collect()).unwrap();
+        let out = run_network(&net, &input).unwrap();
+        // conv doubles, pool takes max of each 2x2 block.
+        assert_eq!(out.as_slice(), &[10.0, 14.0, 26.0, 30.0]);
+    }
+
+    #[test]
+    fn run_network_requires_bindings() {
+        let net = NetworkBuilder::new(Shape::new(1, 4, 4))
+            .conv("c", 1, 1, 3)
+            .build()
+            .unwrap();
+        let input = Tensor::zeros(Shape::new(1, 4, 4));
+        assert!(run_network(&net, &input).is_err());
+    }
+
+    #[test]
+    fn trace_returns_every_activation() {
+        let mut net = NetworkBuilder::new(Shape::new(1, 4, 4))
+            .conv_cfg(
+                "c",
+                Conv2d {
+                    bias: false,
+                    activation: Activation::None,
+                    ..id_conv()
+                },
+            )
+            .max_pool("p", 2)
+            .build()
+            .unwrap();
+        net.bind(0, vec![1.0], vec![]).unwrap();
+        let input = Tensor::zeros(Shape::new(1, 4, 4));
+        let trace = run_network_trace(&net, &input).unwrap();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace[0].shape(), Shape::new(1, 4, 4));
+        assert_eq!(trace[1].shape(), Shape::new(1, 2, 2));
+    }
+}

@@ -1,0 +1,177 @@
+//! Deterministic synthetic data generation.
+//!
+//! The paper evaluates with pretrained VGG16 weights; throughput and
+//! resource results are data-independent, so this reproduction substitutes
+//! seeded pseudo-random parameters (DESIGN.md §2). A tiny SplitMix64
+//! generator is embedded here so library results are reproducible across
+//! platforms without pulling `rand` into non-dev dependencies.
+
+use crate::{quant::QFormat, LayerKind, ModelError, Network, Shape, Tensor};
+
+/// A small, fast, deterministic PRNG (SplitMix64).
+///
+/// Not cryptographic; used only to fabricate reproducible test data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[-1, 1)`.
+    pub fn next_unit(&mut self) -> f32 {
+        // 24 mantissa bits → exact dyadic rationals.
+        let bits = (self.next_u64() >> 40) as u32; // 24 random bits
+        (bits as f32) / (1 << 23) as f32 - 1.0
+    }
+}
+
+/// A deterministic tensor with values in `[-1, 1)`.
+pub fn tensor(shape: Shape, seed: u64) -> Tensor {
+    let mut rng = SplitMix64::new(seed);
+    let data = (0..shape.len()).map(|_| rng.next_unit()).collect();
+    Tensor::from_vec(shape, data).expect("generated data matches shape")
+}
+
+/// A deterministic tensor quantized onto `fmt`'s grid.
+pub fn quantized_tensor(shape: Shape, seed: u64, fmt: QFormat) -> Tensor {
+    let mut t = tensor(shape, seed);
+    fmt.quantize_tensor(&mut t);
+    t
+}
+
+/// Binds deterministic parameters to every compute layer of `net`.
+///
+/// Weights are scaled by `1/sqrt(fan_in)` (He-style) so activations stay
+/// in a sane numeric range through deep networks.
+///
+/// # Errors
+/// Propagates binding errors (cannot occur for shapes generated here, but
+/// the signature stays honest).
+pub fn bind_random(net: &mut Network, seed: u64) -> Result<(), ModelError> {
+    bind_random_with(net, seed, None)
+}
+
+/// Like [`bind_random`], but additionally quantizes parameters onto `fmt`.
+///
+/// # Errors
+/// Propagates binding errors.
+pub fn bind_random_quantized(net: &mut Network, seed: u64, fmt: QFormat) -> Result<(), ModelError> {
+    bind_random_with(net, seed, Some(fmt))
+}
+
+fn bind_random_with(net: &mut Network, seed: u64, fmt: Option<QFormat>) -> Result<(), ModelError> {
+    let mut rng = SplitMix64::new(seed);
+    for i in 0..net.layers().len() {
+        let (wlen, blen, fan_in) = match net.layers()[i].kind() {
+            LayerKind::Conv(c) => (
+                c.weight_shape().len(),
+                if c.bias { c.out_channels } else { 0 },
+                c.in_channels * c.kernel_h * c.kernel_w,
+            ),
+            LayerKind::Fc(fc) => (
+                fc.weight_shape().len(),
+                if fc.bias { fc.out_features } else { 0 },
+                fc.in_features,
+            ),
+            LayerKind::MaxPool(_) => continue,
+        };
+        let scale = 1.0 / (fan_in as f32).sqrt();
+        let mut weights: Vec<f32> = (0..wlen).map(|_| rng.next_unit() * scale).collect();
+        let mut bias: Vec<f32> = (0..blen).map(|_| rng.next_unit() * 0.1).collect();
+        if let Some(f) = fmt {
+            f.quantize_slice(&mut weights);
+            f.quantize_slice(&mut bias);
+        }
+        net.bind(i, weights, bias)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetworkBuilder;
+
+    #[test]
+    fn splitmix_is_deterministic() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn unit_values_in_range() {
+        let mut rng = SplitMix64::new(7);
+        for _ in 0..10_000 {
+            let v = rng.next_unit();
+            assert!((-1.0..1.0).contains(&v), "{v} out of range");
+        }
+    }
+
+    #[test]
+    fn tensor_generation_is_reproducible() {
+        let a = tensor(Shape::new(2, 3, 3), 5);
+        let b = tensor(Shape::new(2, 3, 3), 5);
+        assert_eq!(a, b);
+        let c = tensor(Shape::new(2, 3, 3), 6);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn quantized_tensor_lies_on_grid() {
+        let fmt = QFormat::FEATURE12;
+        let t = quantized_tensor(Shape::new(1, 8, 8), 3, fmt);
+        for &v in t.as_slice() {
+            assert!(fmt.contains(v as f64), "{v} not on grid");
+        }
+    }
+
+    #[test]
+    fn bind_random_fills_every_compute_layer() {
+        let mut net = NetworkBuilder::new(Shape::new(3, 8, 8))
+            .conv("c1", 3, 4, 3)
+            .max_pool("p", 2)
+            .fc("fc", 10)
+            .build()
+            .unwrap();
+        bind_random(&mut net, 11).unwrap();
+        assert!(net.is_fully_bound());
+        assert!(net.binding(1).is_none());
+    }
+
+    #[test]
+    fn bind_random_quantized_respects_format() {
+        let fmt = QFormat::WEIGHT8;
+        let mut net = NetworkBuilder::new(Shape::new(1, 4, 4))
+            .conv("c1", 1, 2, 3)
+            .build()
+            .unwrap();
+        bind_random_quantized(&mut net, 9, fmt).unwrap();
+        for &w in &net.binding(0).unwrap().weights {
+            assert!(fmt.contains(w as f64));
+        }
+    }
+}

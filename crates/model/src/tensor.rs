@@ -1,0 +1,269 @@
+use crate::ModelError;
+use std::fmt;
+
+/// Shape of an activation tensor in `C × H × W` layout (single-image
+/// inference, so there is no batch axis).
+///
+/// The field names follow the paper's notation: a convolutional layer has a
+/// 3-dim input feature `D` of size `H × W` with `C` channels (§4.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Shape {
+    /// Number of channels (`C`).
+    pub c: usize,
+    /// Feature-map height (`H`).
+    pub h: usize,
+    /// Feature-map width (`W`).
+    pub w: usize,
+}
+
+impl Shape {
+    /// Creates a new shape.
+    ///
+    /// # Example
+    /// ```
+    /// use hybriddnn_model::Shape;
+    /// let s = Shape::new(3, 224, 224);
+    /// assert_eq!(s.len(), 3 * 224 * 224);
+    /// ```
+    pub const fn new(c: usize, h: usize, w: usize) -> Self {
+        Shape { c, h, w }
+    }
+
+    /// Total number of elements.
+    pub const fn len(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    /// Whether the shape contains no elements.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear index of `(c, y, x)` in CHW order.
+    ///
+    /// # Panics
+    /// Panics in debug builds if any coordinate is out of bounds.
+    #[inline]
+    pub fn index(&self, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(c < self.c && y < self.h && x < self.w);
+        (c * self.h + y) * self.w + x
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.c, self.h, self.w)
+    }
+}
+
+/// Shape of a convolution weight tensor in `K × C × R × S` layout.
+///
+/// `K` output channels, `C` input channels, `R × S` kernel window — the
+/// paper's 4-dim kernel `G` (§4.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WeightShape {
+    /// Output channels (`K`).
+    pub k: usize,
+    /// Input channels (`C`).
+    pub c: usize,
+    /// Kernel height (`R`).
+    pub r: usize,
+    /// Kernel width (`S`).
+    pub s: usize,
+}
+
+impl WeightShape {
+    /// Creates a new weight shape.
+    pub const fn new(k: usize, c: usize, r: usize, s: usize) -> Self {
+        WeightShape { k, c, r, s }
+    }
+
+    /// Total number of weight elements.
+    pub const fn len(&self) -> usize {
+        self.k * self.c * self.r * self.s
+    }
+
+    /// Whether the shape contains no elements.
+    pub const fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Linear index of `(k, c, r, s)` in KCRS order.
+    #[inline]
+    pub fn index(&self, k: usize, c: usize, r: usize, s: usize) -> usize {
+        debug_assert!(k < self.k && c < self.c && r < self.r && s < self.s);
+        ((k * self.c + c) * self.r + r) * self.s + s
+    }
+}
+
+impl fmt::Display for WeightShape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}x{}", self.k, self.c, self.r, self.s)
+    }
+}
+
+/// A dense activation tensor in CHW layout.
+///
+/// Element values are `f32`. The fixed-point datapath of the paper is
+/// modeled by constraining values to a quantization grid (see
+/// [`crate::quant`]) while accumulating in `f64`, which keeps integer-grid
+/// arithmetic exact (products of 8-bit × 12-bit values summed over any VGG16
+/// reduction fit well inside `f64`'s 53-bit mantissa).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from raw CHW data.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::ShapeDataMismatch`] if `data.len() != shape.len()`.
+    pub fn from_vec(shape: Shape, data: Vec<f32>) -> Result<Self, ModelError> {
+        if data.len() != shape.len() {
+            return Err(ModelError::ShapeDataMismatch {
+                expected: shape.len(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// Creates a zero-filled tensor.
+    pub fn zeros(shape: Shape) -> Self {
+        Tensor {
+            shape,
+            data: vec![0.0; shape.len()],
+        }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> Shape {
+        self.shape
+    }
+
+    /// Borrow the underlying CHW data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the underlying CHW data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consume the tensor, returning the underlying data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at `(c, y, x)`.
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of bounds.
+    #[inline]
+    pub fn at(&self, c: usize, y: usize, x: usize) -> f32 {
+        self.data[self.shape.index(c, y, x)]
+    }
+
+    /// Sets the element at `(c, y, x)`.
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of bounds.
+    #[inline]
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: f32) {
+        let i = self.shape.index(c, y, x);
+        self.data[i] = v;
+    }
+
+    /// Element at `(c, y, x)` treating out-of-bounds spatial coordinates as
+    /// zero padding (channel must be in range).
+    ///
+    /// `y`/`x` are signed so callers can probe the padded halo directly.
+    #[inline]
+    pub fn at_padded(&self, c: usize, y: isize, x: isize) -> f32 {
+        if y < 0 || x < 0 || y as usize >= self.shape.h || x as usize >= self.shape.w {
+            0.0
+        } else {
+            self.at(c, y as usize, x as usize)
+        }
+    }
+
+    /// Maximum absolute difference against another tensor.
+    ///
+    /// # Panics
+    /// Panics if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "tensor shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_indexing_is_chw() {
+        let s = Shape::new(2, 3, 4);
+        assert_eq!(s.index(0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 3), 3);
+        assert_eq!(s.index(0, 1, 0), 4);
+        assert_eq!(s.index(1, 0, 0), 12);
+        assert_eq!(s.index(1, 2, 3), 23);
+        assert_eq!(s.len(), 24);
+    }
+
+    #[test]
+    fn weight_shape_indexing_is_kcrs() {
+        let s = WeightShape::new(2, 3, 3, 3);
+        assert_eq!(s.index(0, 0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 0, 2), 2);
+        assert_eq!(s.index(0, 0, 1, 0), 3);
+        assert_eq!(s.index(0, 1, 0, 0), 9);
+        assert_eq!(s.index(1, 0, 0, 0), 27);
+        assert_eq!(s.len(), 54);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        let s = Shape::new(1, 2, 2);
+        assert!(Tensor::from_vec(s, vec![0.0; 4]).is_ok());
+        let err = Tensor::from_vec(s, vec![0.0; 5]).unwrap_err();
+        assert_eq!(
+            err,
+            ModelError::ShapeDataMismatch {
+                expected: 4,
+                actual: 5
+            }
+        );
+    }
+
+    #[test]
+    fn padded_access_returns_zero_outside() {
+        let mut t = Tensor::zeros(Shape::new(1, 2, 2));
+        t.set(0, 0, 0, 5.0);
+        assert_eq!(t.at_padded(0, 0, 0), 5.0);
+        assert_eq!(t.at_padded(0, -1, 0), 0.0);
+        assert_eq!(t.at_padded(0, 0, 2), 0.0);
+        assert_eq!(t.at_padded(0, 2, -3), 0.0);
+    }
+
+    #[test]
+    fn max_abs_diff_measures_worst_element() {
+        let a = Tensor::from_vec(Shape::new(1, 1, 3), vec![1.0, 2.0, 3.0]).unwrap();
+        let b = Tensor::from_vec(Shape::new(1, 1, 3), vec![1.0, 2.5, 2.0]).unwrap();
+        assert_eq!(a.max_abs_diff(&b), 1.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Shape::new(3, 224, 224).to_string(), "3x224x224");
+        assert_eq!(WeightShape::new(64, 3, 3, 3).to_string(), "64x3x3x3");
+    }
+}

@@ -1,0 +1,190 @@
+//! Model builders for the networks used in the paper's evaluation and in
+//! this repository's test-suite.
+
+use crate::{Conv2d, Network, NetworkBuilder, Padding, Shape};
+
+/// VGG16 for 224×224×3 inputs: 13 CONV layers (all 3×3/1/1 + ReLU, with
+/// five 2×2 max-pools) followed by 3 FC layers — the paper's case-study
+/// workload (§6.1).
+///
+/// # Panics
+/// Never panics; the architecture is statically consistent.
+pub fn vgg16() -> Network {
+    NetworkBuilder::new(Shape::new(3, 224, 224))
+        .conv("conv1_1", 3, 64, 3)
+        .conv("conv1_2", 64, 64, 3)
+        .max_pool("pool1", 2)
+        .conv("conv2_1", 64, 128, 3)
+        .conv("conv2_2", 128, 128, 3)
+        .max_pool("pool2", 2)
+        .conv("conv3_1", 128, 256, 3)
+        .conv("conv3_2", 256, 256, 3)
+        .conv("conv3_3", 256, 256, 3)
+        .max_pool("pool3", 2)
+        .conv("conv4_1", 256, 512, 3)
+        .conv("conv4_2", 512, 512, 3)
+        .conv("conv4_3", 512, 512, 3)
+        .max_pool("pool4", 2)
+        .conv("conv5_1", 512, 512, 3)
+        .conv("conv5_2", 512, 512, 3)
+        .conv("conv5_3", 512, 512, 3)
+        .max_pool("pool5", 2)
+        .fc("fc6", 4096)
+        .fc("fc7", 4096)
+        .fc("fc8", 1000)
+        .build()
+        .expect("VGG16 architecture is consistent")
+}
+
+/// A scaled-down VGG-style network over 32×32 inputs, small enough for
+/// exhaustive end-to-end simulation in tests while exercising the same
+/// layer mix (3×3 CONV stacks, pooling, FC head).
+pub fn vgg_tiny() -> Network {
+    NetworkBuilder::new(Shape::new(3, 32, 32))
+        .conv("conv1_1", 3, 16, 3)
+        .conv("conv1_2", 16, 16, 3)
+        .max_pool("pool1", 2)
+        .conv("conv2_1", 16, 32, 3)
+        .conv("conv2_2", 32, 32, 3)
+        .max_pool("pool2", 2)
+        .conv("conv3_1", 32, 64, 3)
+        .max_pool("pool3", 2)
+        .fc("fc1", 64)
+        .fc("fc2", 10)
+        .build()
+        .expect("vgg_tiny architecture is consistent")
+}
+
+/// A minimal CNN for quick tests: one CONV, one pool, one FC.
+pub fn tiny_cnn() -> Network {
+    NetworkBuilder::new(Shape::new(3, 16, 16))
+        .conv("conv1", 3, 8, 3)
+        .max_pool("pool1", 2)
+        .fc("fc1", 10)
+        .build()
+        .expect("tiny_cnn architecture is consistent")
+}
+
+/// A network with a ResNet-style stem (7×7 stride-2 convolution) over a
+/// VGG-style body — exercises the kernel-decomposition and
+/// strided-fallback paths inside a full pipeline.
+pub fn stem_cnn() -> Network {
+    let stem = Conv2d {
+        in_channels: 3,
+        out_channels: 16,
+        kernel_h: 7,
+        kernel_w: 7,
+        stride: 2,
+        padding: Padding::same(3),
+        activation: crate::Activation::Relu,
+        bias: true,
+    };
+    NetworkBuilder::new(Shape::new(3, 48, 48))
+        .conv_cfg("stem", stem)
+        .conv("conv2", 16, 24, 5)
+        .max_pool("pool1", 2)
+        .conv("conv3", 24, 32, 3)
+        .max_pool("pool2", 2)
+        .fc("head", 10)
+        .build()
+        .expect("stem_cnn architecture is consistent")
+}
+
+/// A single convolution layer as a standalone network — the building block
+/// of the Figure 6 layer sweep (60 layers on VU9P, 40 on PYNQ-Z1, varying
+/// feature size, channels, and kernel size).
+///
+/// # Panics
+/// Panics if the configuration is inconsistent (e.g. kernel larger than
+/// the padded feature map); sweep generators only produce valid combos.
+pub fn single_conv(feature: usize, channels: usize, out_channels: usize, kernel: usize) -> Network {
+    let conv = Conv2d {
+        in_channels: channels,
+        out_channels,
+        kernel_h: kernel,
+        kernel_w: kernel,
+        stride: 1,
+        padding: Padding::same(kernel / 2),
+        activation: crate::Activation::Relu,
+        bias: true,
+    };
+    NetworkBuilder::new(Shape::new(channels, feature, feature))
+        .conv_cfg("conv", conv)
+        .build()
+        .expect("single_conv configuration is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LayerKind;
+
+    #[test]
+    fn vgg16_has_13_conv_and_3_fc() {
+        let net = vgg16();
+        let convs = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind(), LayerKind::Conv(_)))
+            .count();
+        let fcs = net
+            .layers()
+            .iter()
+            .filter(|l| matches!(l.kind(), LayerKind::Fc(_)))
+            .count();
+        assert_eq!(convs, 13);
+        assert_eq!(fcs, 3);
+        assert_eq!(net.output_shape(), Shape::new(1000, 1, 1));
+    }
+
+    #[test]
+    fn vgg16_op_count_matches_literature() {
+        // VGG16 is commonly quoted at ~30.9 GOP (2 ops/MAC) for 224x224.
+        let gop = vgg16().total_ops() as f64 / 1e9;
+        assert!((30.0..31.5).contains(&gop), "got {gop} GOP");
+    }
+
+    #[test]
+    fn vgg16_param_count_matches_literature() {
+        // ~138M parameters.
+        let m = vgg16().total_params() as f64 / 1e6;
+        assert!((130.0..145.0).contains(&m), "got {m}M params");
+    }
+
+    #[test]
+    fn vgg16_final_conv_shape_is_512x7x7() {
+        let net = vgg16();
+        // pool5 is layer index 17 (0-based) in the layer list.
+        let pool5_idx = net
+            .layers()
+            .iter()
+            .position(|l| l.name() == "pool5")
+            .unwrap();
+        assert_eq!(net.layer_output_shape(pool5_idx), Shape::new(512, 7, 7));
+    }
+
+    #[test]
+    fn small_networks_build() {
+        assert_eq!(vgg_tiny().output_shape(), Shape::new(10, 1, 1));
+        assert_eq!(tiny_cnn().output_shape(), Shape::new(10, 1, 1));
+    }
+
+    #[test]
+    fn stem_cnn_halves_then_pools() {
+        let net = stem_cnn();
+        assert_eq!(net.layer_output_shape(0), Shape::new(16, 24, 24));
+        assert_eq!(net.output_shape(), Shape::new(10, 1, 1));
+        // The stem is strided (Winograd-ineligible); conv2 decomposes.
+        let LayerKind::Conv(stem) = net.layers()[0].kind() else {
+            panic!()
+        };
+        assert_eq!((stem.kernel_h, stem.stride), (7, 2));
+    }
+
+    #[test]
+    fn single_conv_parameterizes_sweeps() {
+        let net = single_conv(56, 128, 256, 5);
+        assert_eq!(net.input_shape(), Shape::new(128, 56, 56));
+        assert_eq!(net.output_shape(), Shape::new(256, 56, 56));
+    }
+}

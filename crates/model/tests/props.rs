@@ -1,0 +1,150 @@
+//! Property-based tests on the model substrate: quantization laws,
+//! tensor/shape invariants, network shape inference, and reference
+//! operator identities.
+
+use hybriddnn_model::{
+    quant::QFormat, reference, synth, Activation, Conv2d, MaxPool2d, NetworkBuilder, Padding,
+    Shape, Tensor,
+};
+use proptest::prelude::*;
+
+fn fmt_strategy() -> impl Strategy<Value = QFormat> {
+    (2u32..=16, -4i32..=12).prop_map(|(bits, frac)| QFormat::new(bits, frac))
+}
+
+proptest! {
+    /// Quantization is idempotent and always lands in range.
+    #[test]
+    fn quantize_idempotent_and_bounded(fmt in fmt_strategy(), v in -1e4f64..1e4) {
+        let q1 = fmt.quantize(v);
+        let q2 = fmt.quantize(q1 as f64);
+        prop_assert_eq!(q1, q2);
+        prop_assert!((q1 as f64) <= fmt.max_value() + 1e-12);
+        prop_assert!((q1 as f64) >= fmt.min_value() - 1e-12);
+        prop_assert!(fmt.contains(q1 as f64));
+    }
+
+    /// Quantization is monotone: v1 <= v2 → q(v1) <= q(v2).
+    #[test]
+    fn quantize_monotone(fmt in fmt_strategy(), a in -100.0f64..100.0, b in -100.0f64..100.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(fmt.quantize(lo) <= fmt.quantize(hi));
+    }
+
+    /// Quantization error is bounded by half a step inside the range.
+    #[test]
+    fn quantize_error_bound(fmt in fmt_strategy(), v in -1.0f64..1.0) {
+        let v = v * fmt.max_value().min(1e6);
+        let q = fmt.quantize(v) as f64;
+        if v <= fmt.max_value() && v >= fmt.min_value() {
+            prop_assert!((q - v).abs() <= fmt.step() / 2.0 + 1e-12, "{v} -> {q}");
+        }
+    }
+
+    /// Shape indexing is a bijection onto 0..len.
+    #[test]
+    fn shape_index_bijection(c in 1usize..5, h in 1usize..7, w in 1usize..7) {
+        let s = Shape::new(c, h, w);
+        let mut seen = vec![false; s.len()];
+        for ci in 0..c {
+            for y in 0..h {
+                for x in 0..w {
+                    let i = s.index(ci, y, x);
+                    prop_assert!(!seen[i]);
+                    seen[i] = true;
+                }
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    /// ReLU output is non-negative and fixes non-negative inputs.
+    #[test]
+    fn relu_properties(seed in 0u64..1000) {
+        let t = synth::tensor(Shape::new(2, 4, 4), seed);
+        let r = reference::relu(&t);
+        for (&a, &b) in t.as_slice().iter().zip(r.as_slice()) {
+            prop_assert!(b >= 0.0);
+            if a >= 0.0 { prop_assert_eq!(a, b); }
+        }
+        // Idempotent.
+        prop_assert_eq!(reference::relu(&r), r);
+    }
+
+    /// Convolution is linear in the input (bias off, activation off).
+    #[test]
+    fn conv_is_linear_in_input(seed in 0u64..500, scale in -2.0f32..2.0) {
+        let conv = Conv2d {
+            in_channels: 2,
+            out_channels: 3,
+            kernel_h: 3,
+            kernel_w: 3,
+            stride: 1,
+            padding: Padding::same(1),
+            activation: Activation::None,
+            bias: false,
+        };
+        let mut rng = synth::SplitMix64::new(seed);
+        let weights: Vec<f32> = (0..conv.weight_shape().len()).map(|_| rng.next_unit()).collect();
+        let x = synth::tensor(Shape::new(2, 6, 6), seed + 1);
+        let mut sx = x.clone();
+        for v in sx.as_mut_slice() { *v *= scale; }
+        let y = reference::conv2d(&x, &conv, &weights, &[]).expect("valid");
+        let sy = reference::conv2d(&sx, &conv, &weights, &[]).expect("valid");
+        for (&a, &b) in y.as_slice().iter().zip(sy.as_slice()) {
+            prop_assert!((a * scale - b).abs() < 1e-3, "{a}*{scale} vs {b}");
+        }
+    }
+
+    /// Max-pool of a constant tensor is that constant; pooling never
+    /// produces a value absent from its window's input.
+    #[test]
+    fn max_pool_selects_existing_values(seed in 0u64..500, size in 1usize..4) {
+        let h = size * 3;
+        let t = synth::tensor(Shape::new(2, h, h), seed);
+        let p = reference::max_pool(&t, &MaxPool2d::new(size)).expect("divides");
+        let inputs: std::collections::BTreeSet<u32> =
+            t.as_slice().iter().map(|v| v.to_bits()).collect();
+        for &v in p.as_slice() {
+            prop_assert!(inputs.contains(&v.to_bits()));
+        }
+    }
+
+    /// Shape inference composes: the builder's running shape equals the
+    /// validated network's layer shapes.
+    #[test]
+    fn network_shapes_consistent(
+        c in 1usize..5,
+        hw in prop_oneof![Just(8usize), Just(12), Just(16)],
+        k1 in 1usize..8,
+        k2 in 1usize..8,
+        out in 1usize..10,
+    ) {
+        let net = NetworkBuilder::new(Shape::new(c, hw, hw))
+            .conv("a", c, k1, 3)
+            .conv("b", k1, k2, 3)
+            .max_pool("p", 2)
+            .fc("f", out)
+            .build()
+            .expect("consistent chain");
+        prop_assert_eq!(net.layer_output_shape(0), Shape::new(k1, hw, hw));
+        prop_assert_eq!(net.layer_output_shape(1), Shape::new(k2, hw, hw));
+        prop_assert_eq!(net.layer_output_shape(2), Shape::new(k2, hw / 2, hw / 2));
+        prop_assert_eq!(net.output_shape(), Shape::new(out, 1, 1));
+        // ops are additive over layers
+        let total: u64 = (0..net.layers().len())
+            .map(|i| net.layers()[i].ops(net.layer_input_shape(i)))
+            .sum();
+        prop_assert_eq!(total, net.total_ops());
+    }
+
+    /// Tensor round-trip through from_vec/into_vec preserves data.
+    #[test]
+    fn tensor_vec_roundtrip(c in 1usize..4, h in 1usize..6, w in 1usize..6, seed in 0u64..100) {
+        let s = Shape::new(c, h, w);
+        let t = synth::tensor(s, seed);
+        let data = t.clone().into_vec();
+        let back = Tensor::from_vec(s, data).expect("same length");
+        prop_assert_eq!(t, back);
+    }
+}

@@ -1,0 +1,72 @@
+use std::fmt;
+
+/// Errors produced while simulating the accelerator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An instruction waited on a handshake token that no earlier
+    /// instruction posted — the program would deadlock the hardware.
+    Deadlock {
+        /// Index of the blocking instruction within its stage program.
+        instruction: usize,
+        /// Which FIFO ran dry.
+        fifo: &'static str,
+    },
+    /// A buffer access fell outside the configured on-chip capacity.
+    BufferOverrun {
+        /// Which buffer was overrun.
+        buffer: &'static str,
+        /// The offending word index.
+        index: usize,
+        /// The buffer's capacity in words.
+        capacity: usize,
+    },
+    /// The input tensor does not match the compiled network.
+    InputMismatch {
+        /// Human-readable description.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { instruction, fifo } => {
+                write!(
+                    f,
+                    "instruction {instruction} deadlocks on empty `{fifo}` fifo"
+                )
+            }
+            SimError::BufferOverrun {
+                buffer,
+                index,
+                capacity,
+            } => {
+                write!(f, "{buffer} buffer overrun: word {index} of {capacity}")
+            }
+            SimError::InputMismatch { detail } => write!(f, "input mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = SimError::Deadlock {
+            instruction: 3,
+            fifo: "inp_ready",
+        };
+        assert!(e.to_string().contains("inp_ready"));
+        let e = SimError::BufferOverrun {
+            buffer: "weight",
+            index: 10,
+            capacity: 4,
+        };
+        assert!(e.to_string().contains("weight"));
+    }
+}

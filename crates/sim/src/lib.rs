@@ -1,0 +1,64 @@
+//! Cycle-approximate, functionally-exact simulator of the HybridDNN
+//! accelerator.
+//!
+//! This crate is the reproduction's substitute for the paper's HLS-generated
+//! FPGA implementation (DESIGN.md §2). It executes the *actual instruction
+//! streams* the compiler emits through the *actual module structure* of
+//! Figure 3:
+//!
+//! * a CTRL dispatcher feeding per-module instruction queues,
+//! * LOAD_INP / LOAD_WGT / COMP / SAVE modules running concurrently,
+//! * handshake-FIFO tokens (§4.1) gating producer/consumer pairs,
+//! * ping-pong on-chip buffers,
+//! * a hybrid Spatial/Winograd PE executing the GEMM formulation of Eq. 2,
+//! * the four SAVE-side layout transforms of Figure 5, and
+//! * per-module DDR channels with finite bandwidth (Eq. 8–11's `BW`).
+//!
+//! Two execution modes:
+//!
+//! * [`SimMode::Functional`] — moves real data and produces real outputs,
+//!   bit-comparable against the golden CPU reference on the quantized
+//!   path; used by the validation suite.
+//! * [`SimMode::TimingOnly`] — runs only the cycle model (no data, no
+//!   DRAM allocation); used by the benchmark harness so VGG16-scale
+//!   sweeps are cheap.
+//!
+//! # Example
+//!
+//! ```
+//! use hybriddnn_compiler::{Compiler, MappingStrategy};
+//! use hybriddnn_estimator::AcceleratorConfig;
+//! use hybriddnn_model::{reference, synth, zoo};
+//! use hybriddnn_sim::{SimMode, Simulator};
+//! use hybriddnn_winograd::TileConfig;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut net = zoo::tiny_cnn();
+//! hybriddnn_model::synth::bind_random(&mut net, 1)?;
+//! let cfg = AcceleratorConfig::new(4, 4, TileConfig::F2x2);
+//! let compiled = Compiler::new(cfg).compile(&net, &MappingStrategy::all_winograd(&net))?;
+//!
+//! let mut sim = Simulator::new(&compiled, SimMode::Functional, 16.0);
+//! let input = synth::tensor(net.input_shape(), 2);
+//! let run = sim.run(&compiled, &input)?;
+//!
+//! let golden = reference::run_network(&net, &input)?;
+//! assert!(run.output.max_abs_diff(&golden) < 1e-2);
+//! assert!(run.total_cycles > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod machine;
+mod pe;
+mod runner;
+mod stats;
+
+pub use error::SimError;
+pub use machine::Accelerator;
+pub use runner::{RunResult, SimMode, Simulator, StageTraces};
+pub use stats::{ModuleBusy, StageStats};

@@ -1,0 +1,493 @@
+//! The accelerator machine: CTRL dispatch, per-module timelines, handshake
+//! tokens, and the cycle model.
+//!
+//! Timing follows the concurrency structure of §4.1: the four functional
+//! modules run in parallel; an instruction starts when (1) its module is
+//! free, (2) CTRL has dispatched it, and (3) every handshake token it
+//! waits on has been posted. Each LOAD/SAVE owns a dedicated DDR channel
+//! of `bw` words/cycle (the multi-channel boards the paper targets), so
+//! Eq. 8–11's `min(BW, port)` rates emerge naturally.
+
+use crate::pe::{exec_comp, exec_load, exec_save, Buffers};
+use crate::stats::{ModuleBusy, StageStats};
+use crate::SimError;
+use hybriddnn_estimator::AcceleratorConfig;
+use hybriddnn_fpga::ExternalMemory;
+use hybriddnn_isa::{Instruction, LoadKind, Program};
+use hybriddnn_model::quant::QFormat;
+use std::collections::VecDeque;
+
+/// Words per bias-buffer half (see `hybriddnn-compiler`'s lowering).
+pub const BIAS_HALF_WORDS: usize = 4096;
+
+/// CTRL dispatch rate: one instruction per cycle (the 4-stage instruction
+/// pipeline of §3 Step 4 keeps the decoder ahead of the modules).
+const DISPATCH_CYCLES: f64 = 1.0;
+/// Fixed per-transfer overhead of a DMA descriptor (address setup, burst
+/// alignment).
+const LOAD_OVERHEAD: f64 = 30.0;
+/// PE pipeline fill/drain per COMP unit.
+const COMP_OVERHEAD: f64 = 40.0;
+/// SAVE path setup per store unit.
+const SAVE_OVERHEAD: f64 = 30.0;
+
+/// One accelerator instance: buffers, token FIFOs, module timelines.
+#[derive(Debug)]
+pub struct Accelerator {
+    cfg: AcceleratorConfig,
+    bw: f64,
+    act_fmt: Option<QFormat>,
+    functional: bool,
+    bufs: Buffers,
+}
+
+impl Accelerator {
+    /// Creates an accelerator instance.
+    ///
+    /// `bw` is the per-channel DDR bandwidth in words/cycle; `act_fmt`
+    /// enables fixed-point requantization at COMP flush; `functional`
+    /// selects whether data actually moves.
+    pub fn new(
+        cfg: AcceleratorConfig,
+        bw: f64,
+        act_fmt: Option<QFormat>,
+        functional: bool,
+    ) -> Self {
+        let bufs = Buffers::new(&cfg);
+        Accelerator {
+            cfg,
+            bw,
+            act_fmt,
+            functional,
+            bufs,
+        }
+    }
+
+    /// The configuration this instance models.
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.cfg
+    }
+
+    /// Executes one stage program to completion, returning its measured
+    /// statistics. Token FIFOs and timelines reset per stage (the host
+    /// runtime synchronizes between layers).
+    ///
+    /// # Errors
+    /// Returns [`SimError::Deadlock`] if an instruction waits on a token
+    /// that is never posted, or [`SimError::BufferOverrun`] on an
+    /// out-of-range buffer access in functional mode.
+    pub fn run_stage(
+        &mut self,
+        program: &Program,
+        mem: &mut ExternalMemory,
+    ) -> Result<StageStats, SimError> {
+        self.run_stage_traced(program, mem, None)
+    }
+
+    /// Like [`Accelerator::run_stage`], optionally recording each
+    /// instruction's `(start, finish)` cycle pair for pipeline debugging.
+    ///
+    /// # Errors
+    /// Same as [`Accelerator::run_stage`].
+    pub fn run_stage_traced(
+        &mut self,
+        program: &Program,
+        mem: &mut ExternalMemory,
+        mut trace: Option<&mut Vec<(f64, f64)>>,
+    ) -> Result<StageStats, SimError> {
+        let mut t = Timing::new();
+        mem.reset_traffic();
+        for (i, inst) in program.instructions().iter().enumerate() {
+            let dispatch = (i + 1) as f64 * DISPATCH_CYCLES;
+            match inst {
+                Instruction::Load(l) => {
+                    let (module, port): (Module, f64) = match l.kind {
+                        LoadKind::Input => (Module::LoadInp, (self.cfg.pi * self.cfg.pt()) as f64),
+                        _ => (
+                            Module::LoadWgt,
+                            (self.cfg.pi * self.cfg.po * self.cfg.pt()) as f64,
+                        ),
+                    };
+                    let mut start = t.module_free(module).max(dispatch);
+                    if l.wait_free {
+                        let fifo = match l.kind {
+                            LoadKind::Input => Fifo::InpFree,
+                            _ => Fifo::WgtFree,
+                        };
+                        start = start.max(t.pop(fifo, i)?);
+                    }
+                    let words = l.words() as f64;
+                    let dur = LOAD_OVERHEAD + words / self.bw.min(port);
+                    let finish = start + dur;
+                    t.advance(module, start, finish);
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.push((start, finish));
+                    }
+                    if l.signal_ready {
+                        let fifo = match l.kind {
+                            LoadKind::Input => Fifo::InpReady,
+                            _ => Fifo::WgtReady,
+                        };
+                        t.push(fifo, finish);
+                    }
+                    if self.functional {
+                        exec_load(&mut self.bufs, mem, l)?;
+                    }
+                }
+                Instruction::Comp(c) => {
+                    let mut start = t.module_free(Module::Comp).max(dispatch);
+                    if c.wait_inp {
+                        start = start.max(t.pop(Fifo::InpReady, i)?);
+                    }
+                    if c.wait_wgt {
+                        start = start.max(t.pop(Fifo::WgtReady, i)?);
+                    }
+                    if c.acc_final {
+                        // Need a free output slot before flushing.
+                        start = start.max(t.pop(Fifo::OutFree, i)?);
+                    }
+                    let dur = COMP_OVERHEAD + self.comp_cycles(c);
+                    let finish = start + dur;
+                    t.advance(Module::Comp, start, finish);
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.push((start, finish));
+                    }
+                    if c.free_inp {
+                        t.push(Fifo::InpFree, finish);
+                    }
+                    if c.free_wgt {
+                        t.push(Fifo::WgtFree, finish);
+                    }
+                    if c.acc_final {
+                        t.push(Fifo::OutReady, finish);
+                    }
+                    if self.functional {
+                        exec_comp(&mut self.bufs, &self.cfg, c, self.act_fmt)?;
+                    }
+                }
+                Instruction::Save(s) => {
+                    let mut start = t.module_free(Module::Save).max(dispatch);
+                    if s.wait_data {
+                        start = start.max(t.pop(Fifo::OutReady, i)?);
+                    }
+                    let pool = (s.pool as usize).max(1);
+                    let words = (s.oc_vecs as usize * self.cfg.po)
+                        * (s.rows as usize / pool)
+                        * (s.out_w as usize / pool);
+                    let port = (self.cfg.po * self.cfg.pt()) as f64;
+                    let dur = SAVE_OVERHEAD + words as f64 / self.bw.min(port);
+                    let finish = start + dur;
+                    t.advance(Module::Save, start, finish);
+                    if let Some(tr) = trace.as_deref_mut() {
+                        tr.push((start, finish));
+                    }
+                    if s.signal_free {
+                        t.push(Fifo::OutFree, finish);
+                    }
+                    if self.functional {
+                        exec_save(&self.bufs, mem, &self.cfg, s)?;
+                    }
+                }
+            }
+        }
+        Ok(StageStats {
+            name: String::new(),
+            cycles: t.makespan(),
+            busy: t.busy,
+            traffic: mem.traffic(),
+            instructions: program.len(),
+            ops: 0,
+        })
+    }
+
+    /// PE cycles for one COMP unit.
+    ///
+    /// Spatial mode: the merged broadcast array computes `PT²` output
+    /// positions × `PI` channels × `PO` outputs per cycle (Eq. 6).
+    /// Winograd mode: each GEMM core computes one GEMV per cycle — one
+    /// `(tile, ic-vector, oc-vector)` triple (Eq. 7).
+    fn comp_cycles(&self, c: &hybriddnn_isa::CompInst) -> f64 {
+        let positions = c.out_rows as usize * c.out_w as usize;
+        if c.wino {
+            let m = self.cfg.m();
+            let tiles = (c.out_rows as usize).div_ceil(m) * (c.out_w as usize).div_ceil(m);
+            (tiles * c.ic_vecs as usize * c.oc_vecs as usize) as f64
+        } else {
+            // The merged broadcast array flattens output positions ×
+            // kernel positions × input-channel vectors across its PT²
+            // lanes (the save manager's adder tree sums across GEMM-core
+            // rows, §4.2.3), so narrow units — FC layers especially —
+            // don't strand lanes.
+            let pt2 = self.cfg.pt() * self.cfg.pt();
+            let work = positions * c.kernel_h as usize * c.kernel_w as usize * c.ic_vecs as usize;
+            (work.div_ceil(pt2) * c.oc_vecs as usize) as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Module {
+    LoadInp,
+    LoadWgt,
+    Comp,
+    Save,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Fifo {
+    InpReady,
+    InpFree,
+    WgtReady,
+    WgtFree,
+    OutReady,
+    OutFree,
+}
+
+impl Fifo {
+    fn name(self) -> &'static str {
+        match self {
+            Fifo::InpReady => "inp_ready",
+            Fifo::InpFree => "inp_free",
+            Fifo::WgtReady => "wgt_ready",
+            Fifo::WgtFree => "wgt_free",
+            Fifo::OutReady => "out_ready",
+            Fifo::OutFree => "out_free",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Timing {
+    free: [f64; 4],
+    busy: ModuleBusy,
+    fifos: [VecDeque<f64>; 6],
+    makespan: f64,
+}
+
+impl Timing {
+    fn new() -> Self {
+        let mut fifos: [VecDeque<f64>; 6] = Default::default();
+        // Ping-pong: two free slots per buffer at reset.
+        for f in [Fifo::InpFree, Fifo::WgtFree, Fifo::OutFree] {
+            fifos[f as usize].push_back(0.0);
+            fifos[f as usize].push_back(0.0);
+        }
+        Timing {
+            free: [0.0; 4],
+            busy: ModuleBusy::default(),
+            fifos,
+            makespan: 0.0,
+        }
+    }
+
+    fn module_free(&self, m: Module) -> f64 {
+        self.free[m as usize]
+    }
+
+    fn advance(&mut self, m: Module, start: f64, finish: f64) {
+        let dur = finish - start;
+        match m {
+            Module::LoadInp => self.busy.load_inp += dur,
+            Module::LoadWgt => self.busy.load_wgt += dur,
+            Module::Comp => self.busy.comp += dur,
+            Module::Save => self.busy.save += dur,
+        }
+        self.free[m as usize] = finish;
+        self.makespan = self.makespan.max(finish);
+    }
+
+    fn pop(&mut self, f: Fifo, inst: usize) -> Result<f64, SimError> {
+        self.fifos[f as usize]
+            .pop_front()
+            .ok_or(SimError::Deadlock {
+                instruction: inst,
+                fifo: f.name(),
+            })
+    }
+
+    fn push(&mut self, f: Fifo, time: f64) {
+        self.fifos[f as usize].push_back(time);
+    }
+
+    fn makespan(&self) -> f64 {
+        self.makespan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybriddnn_isa::{CompInst, LoadInst, SaveInst};
+    use hybriddnn_winograd::TileConfig;
+
+    fn accel() -> Accelerator {
+        Accelerator::new(
+            AcceleratorConfig::new(4, 4, TileConfig::F2x2),
+            16.0,
+            None,
+            false,
+        )
+    }
+
+    fn load(kind: LoadKind, words: u32, wait: bool, signal: bool) -> Instruction {
+        Instruction::Load(LoadInst {
+            kind,
+            rows: 1,
+            row_len: words,
+            wait_free: wait,
+            signal_ready: signal,
+            ..LoadInst::default()
+        })
+    }
+
+    fn minimal_program() -> Program {
+        let mut p = Program::new();
+        p.push(load(LoadKind::Weight, 16, true, true));
+        p.push(load(LoadKind::Input, 16, true, true));
+        p.push(Instruction::Comp(CompInst {
+            wait_inp: true,
+            free_inp: true,
+            wait_wgt: true,
+            free_wgt: true,
+            ..CompInst::default()
+        }));
+        p.push(Instruction::Save(SaveInst {
+            wait_data: true,
+            signal_free: true,
+            dst_w: 1,
+            dst_cv: 1,
+            ..SaveInst::default()
+        }));
+        p
+    }
+
+    #[test]
+    fn minimal_program_completes() {
+        let mut a = accel();
+        let mut mem = ExternalMemory::new();
+        let stats = a.run_stage(&minimal_program(), &mut mem).unwrap();
+        assert!(stats.cycles > 0.0);
+        assert_eq!(stats.instructions, 4);
+        // SAVE must finish last.
+        assert!(stats.cycles >= stats.busy.save);
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        let mut a = accel();
+        let mut mem = ExternalMemory::new();
+        let mut p = Program::new();
+        // COMP waits for input that nobody loads.
+        p.push(Instruction::Comp(CompInst {
+            wait_inp: true,
+            ..CompInst::default()
+        }));
+        let err = a.run_stage(&p, &mut mem).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Deadlock {
+                instruction: 0,
+                fifo: "inp_ready"
+            }
+        );
+    }
+
+    #[test]
+    fn third_load_waits_for_free_token() {
+        let mut a = accel();
+        let mut mem = ExternalMemory::new();
+        let mut p = Program::new();
+        // Two loads fill both ping-pong slots; the third must block until
+        // a COMP frees one.
+        p.push(load(LoadKind::Input, 160, true, true));
+        p.push(load(LoadKind::Input, 160, true, true));
+        p.push(load(LoadKind::Input, 160, true, true));
+        // Without any COMP freeing slots this deadlocks.
+        let err = a.run_stage(&p, &mut mem).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Deadlock {
+                instruction: 2,
+                fifo: "inp_free"
+            }
+        );
+    }
+
+    #[test]
+    fn loads_and_compute_overlap() {
+        // With ping-pong, two independent (load, comp) rounds should take
+        // less than twice the serial time of one round.
+        let mut a = accel();
+        let mut mem = ExternalMemory::new();
+        let big = 16_000u32;
+        let mut serial = Program::new();
+        serial.push(load(LoadKind::Input, big, true, true));
+        serial.push(Instruction::Comp(CompInst {
+            wait_inp: true,
+            free_inp: true,
+            ic_vecs: 64,
+            oc_vecs: 64,
+            out_w: 16,
+            kernel_h: 3,
+            kernel_w: 3,
+            ..CompInst::default()
+        }));
+        let one = a.run_stage(&serial, &mut mem).unwrap().cycles;
+
+        let mut pipelined = Program::new();
+        for _ in 0..2 {
+            pipelined.push(load(LoadKind::Input, big, true, true));
+            pipelined.push(Instruction::Comp(CompInst {
+                wait_inp: true,
+                free_inp: true,
+                ic_vecs: 64,
+                oc_vecs: 64,
+                out_w: 16,
+                kernel_h: 3,
+                kernel_w: 3,
+                ..CompInst::default()
+            }));
+        }
+        let two = a.run_stage(&pipelined, &mut mem).unwrap().cycles;
+        assert!(two < 2.0 * one, "no overlap: {two} vs 2x{one}");
+    }
+
+    #[test]
+    fn load_rate_is_bandwidth_capped() {
+        let mut mem = ExternalMemory::new();
+        let mut p = Program::new();
+        p.push(load(LoadKind::Input, 1600, false, false));
+        // PYNQ-like bandwidth 16 words/cycle, port PI*PT = 16 → 100 cycles.
+        let mut a = accel();
+        let stats = a.run_stage(&p, &mut mem).unwrap();
+        assert!((stats.busy.load_inp - (30.0 + 100.0)).abs() < 1.0);
+        // Slower memory doubles it.
+        let mut slow = Accelerator::new(
+            AcceleratorConfig::new(4, 4, TileConfig::F2x2),
+            8.0,
+            None,
+            false,
+        );
+        let stats = slow.run_stage(&p, &mut mem).unwrap();
+        assert!((stats.busy.load_inp - (30.0 + 200.0)).abs() < 1.0);
+    }
+
+    #[test]
+    fn comp_cycles_match_eq6_and_eq7() {
+        let a = accel();
+        // Spatial: ceil(16 positions × 9 taps × 8 ic / PT²(16)) × oc.
+        let c = CompInst {
+            out_rows: 4,
+            out_w: 4,
+            ic_vecs: 8,
+            oc_vecs: 2,
+            kernel_h: 3,
+            kernel_w: 3,
+            ..CompInst::default()
+        };
+        assert_eq!(a.comp_cycles(&c), (72 * 2) as f64);
+        // Winograd: 4 tiles (m=2) × ic × oc.
+        let w = CompInst { wino: true, ..c };
+        assert_eq!(a.comp_cycles(&w), (4 * 8 * 2) as f64);
+    }
+}

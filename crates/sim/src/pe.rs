@@ -1,0 +1,563 @@
+//! Functional execution of instructions on the on-chip buffers — the
+//! hybrid Spatial/Winograd PE (§4.2), the reconfigurable load/save
+//! managers (§4.2.3), and the layout-transforming SAVE path (§4.3).
+
+use crate::SimError;
+use hybriddnn_estimator::AcceleratorConfig;
+use hybriddnn_fpga::{ExternalMemory, MemoryClient};
+use hybriddnn_isa::{CompInst, LoadInst, LoadKind, SaveInst};
+use hybriddnn_model::quant::QFormat;
+use hybriddnn_winograd::transform;
+
+/// The accelerator's on-chip buffers (both ping-pong halves of each).
+#[derive(Debug, Clone)]
+pub struct Buffers {
+    /// Input feature-map buffer.
+    pub input: Vec<f32>,
+    /// Weight buffer.
+    pub weight: Vec<f32>,
+    /// Bias buffer.
+    pub bias: Vec<f32>,
+    /// Output buffer (post-activation values).
+    pub output: Vec<f32>,
+    /// Accumulating buffer (`f64`, keeping quantized-grid arithmetic
+    /// exact; see `hybriddnn-model`'s `quant` docs).
+    pub accum: Vec<f64>,
+}
+
+impl Buffers {
+    /// Allocates buffers for a configuration (two halves each).
+    pub fn new(cfg: &AcceleratorConfig) -> Self {
+        Buffers {
+            input: vec![0.0; 2 * cfg.input_buffer_words()],
+            weight: vec![0.0; 2 * cfg.weight_buffer_words()],
+            bias: vec![0.0; 2 * crate::machine::BIAS_HALF_WORDS],
+            output: vec![0.0; 2 * cfg.output_buffer_words()],
+            accum: vec![0.0; 2 * cfg.output_buffer_words()],
+        }
+    }
+}
+
+/// Executes a load: strided DRAM block → contiguous buffer span.
+pub fn exec_load(
+    bufs: &mut Buffers,
+    mem: &mut ExternalMemory,
+    inst: &LoadInst,
+) -> Result<(), SimError> {
+    let (dest, name, client): (&mut Vec<f32>, _, _) = match inst.kind {
+        LoadKind::Input => (&mut bufs.input, "input", MemoryClient::LoadInput),
+        LoadKind::Weight => (&mut bufs.weight, "weight", MemoryClient::LoadWeight),
+        LoadKind::Bias => (&mut bufs.bias, "bias", MemoryClient::LoadWeight),
+    };
+    let total = inst.rows as usize * inst.row_len as usize;
+    let base = inst.buff_base as usize;
+    if base + total > dest.len() {
+        return Err(SimError::BufferOverrun {
+            buffer: name,
+            index: base + total - 1,
+            capacity: dest.len(),
+        });
+    }
+    for r in 0..inst.rows as usize {
+        let words = mem.read_burst(
+            inst.dram_base + r as u64 * inst.row_stride as u64,
+            inst.row_len as usize,
+            client,
+        );
+        let off = base + r * inst.row_len as usize;
+        dest[off..off + words.len()].copy_from_slice(&words);
+    }
+    Ok(())
+}
+
+/// Executes one COMP unit on the PE.
+///
+/// The input buffer holds the loaded window in the layout matching the
+/// CONV mode (SPAT: `(y, x, cv, lane)`; WINO: `(y, cv, x, lane)`); the
+/// weight buffer holds the group image; results accumulate in `f64` and
+/// flush (activation + requantization) to the output buffer on
+/// `acc_final`.
+pub fn exec_comp(
+    bufs: &mut Buffers,
+    cfg: &AcceleratorConfig,
+    inst: &CompInst,
+    act_fmt: Option<QFormat>,
+) -> Result<(), SimError> {
+    let pi = cfg.pi;
+    let k_lanes = inst.oc_vecs as usize * cfg.po;
+    let c_lanes = inst.ic_vecs as usize * pi;
+    let out_rows = inst.out_rows as usize;
+    let out_w = inst.out_w as usize;
+    let stride = inst.stride as usize;
+    let (kh, kw) = (inst.kernel_h as usize, inst.kernel_w as usize);
+    let cv = inst.ic_vecs as usize;
+    let inp_base = inst.inp_base as usize;
+    let wgt_base = inst.wgt_base as usize;
+    let acc_base = inst.out_base as usize;
+    let acc_len = k_lanes * out_rows * out_w;
+    if acc_base + acc_len > bufs.accum.len() {
+        return Err(SimError::BufferOverrun {
+            buffer: "accumulator",
+            index: acc_base + acc_len - 1,
+            capacity: bufs.accum.len(),
+        });
+    }
+
+    // Initialize the accumulator (optionally with bias) once per unit.
+    if inst.acc_init {
+        let bias_half = (inst.wgt_base as usize >= cfg.weight_buffer_words()) as usize;
+        let bias_base = bias_half * crate::machine::BIAS_HALF_WORDS;
+        for k in 0..k_lanes {
+            let b = if inst.bias_en {
+                bufs.bias[bias_base + k] as f64
+            } else {
+                0.0
+            };
+            for i in 0..out_rows * out_w {
+                bufs.accum[acc_base + k * out_rows * out_w + i] = b;
+            }
+        }
+    }
+
+    if inst.wino {
+        exec_comp_wino(bufs, cfg, inst, k_lanes, c_lanes)?;
+    } else {
+        // Spatial mode: the GEMM cores merge into one broadcast array;
+        // direct MAC loops over the kernel window.
+        let cols_l = (out_w - 1) * stride + kw;
+        let rows_l = (out_rows - 1) * stride + kh;
+        let inp_len = rows_l * cols_l * cv * pi;
+        if inp_base + inp_len > bufs.input.len() {
+            return Err(SimError::BufferOverrun {
+                buffer: "input",
+                index: inp_base + inp_len - 1,
+                capacity: bufs.input.len(),
+            });
+        }
+        let wgt_len = k_lanes * c_lanes * kh * kw;
+        if wgt_base + wgt_len > bufs.weight.len() {
+            return Err(SimError::BufferOverrun {
+                buffer: "weight",
+                index: wgt_base + wgt_len - 1,
+                capacity: bufs.weight.len(),
+            });
+        }
+        for k in 0..k_lanes {
+            for oy in 0..out_rows {
+                for ox in 0..out_w {
+                    let mut acc = 0.0f64;
+                    for r in 0..kh {
+                        let iy = oy * stride + r;
+                        for s in 0..kw {
+                            let ix = ox * stride + s;
+                            for c in 0..c_lanes {
+                                let in_idx =
+                                    inp_base + ((iy * cols_l + ix) * cv + c / pi) * pi + c % pi;
+                                let w_idx = wgt_base + ((k * c_lanes + c) * kh + r) * kw + s;
+                                acc += bufs.input[in_idx] as f64 * bufs.weight[w_idx] as f64;
+                            }
+                        }
+                    }
+                    bufs.accum[acc_base + (k * out_rows + oy) * out_w + ox] += acc;
+                }
+            }
+        }
+    }
+
+    // Flush: requantization shift, activation, quantization grid.
+    if inst.acc_final {
+        let out_base = inst.out_base as usize;
+        for i in 0..acc_len {
+            let mut v = bufs.accum[acc_base + i] * 2f64.powi(-(inst.quan_shift as i32));
+            if inst.relu {
+                v = v.max(0.0);
+            }
+            bufs.output[out_base + i] = match act_fmt {
+                Some(fmt) => fmt.quantize(v),
+                None => v as f32,
+            };
+        }
+    }
+    Ok(())
+}
+
+/// Winograd-mode COMP: one kernel-decomposition block through the
+/// transform → PT² GEMMs → inverse-transform pipeline (Eq. 2).
+fn exec_comp_wino(
+    bufs: &mut Buffers,
+    cfg: &AcceleratorConfig,
+    inst: &CompInst,
+    k_lanes: usize,
+    c_lanes: usize,
+) -> Result<(), SimError> {
+    let tile = cfg.tile;
+    let pt = tile.pt();
+    let m = tile.m();
+    let pt2 = pt * pt;
+    let pi = cfg.pi;
+    let cv = inst.ic_vecs as usize;
+    let out_rows = inst.out_rows as usize;
+    let out_w = inst.out_w as usize;
+    let (kh, kw) = (inst.kernel_h as usize, inst.kernel_w as usize);
+    // Loaded window geometry (stride 1 in Winograd mode).
+    let cols_l = out_w - 1 + kw;
+    let rows_l = out_rows - 1 + kh;
+    let (br, bs) = (inst.wino_offset.0 as usize, inst.wino_offset.1 as usize);
+    let (y_off, x_off) = (br * 3, bs * 3);
+    let inp_base = inst.inp_base as usize;
+    let wgt_base = inst.wgt_base as usize;
+    let acc_base = inst.out_base as usize;
+
+    let tiles_y = out_rows.div_ceil(m);
+    let tiles_x = out_w.div_ceil(m);
+
+    // Bounds: reads beyond the loaded window (possible on clipped edge
+    // tiles) return zero — those transformed values only influence
+    // discarded output positions.
+    let read = |bufs: &Buffers, y: usize, x: usize, c: usize| -> f64 {
+        if y >= rows_l || x >= cols_l {
+            return 0.0;
+        }
+        let idx = inp_base + ((y * cv + c / pi) * cols_l + x) * pi + c % pi;
+        bufs.input.get(idx).copied().unwrap_or(0.0) as f64
+    };
+
+    let mut d = vec![0.0f64; pt2];
+    let mut v_tile = vec![0.0f64; pt2 * c_lanes]; // V[e][c] for one tile
+    let mut m_tile = vec![0.0f64; pt2];
+
+    for ty in 0..tiles_y {
+        for tx in 0..tiles_x {
+            // Transform every channel's input tile.
+            for c in 0..c_lanes {
+                for dy in 0..pt {
+                    for dx in 0..pt {
+                        d[dy * pt + dx] = read(bufs, y_off + ty * m + dy, x_off + tx * m + dx, c);
+                    }
+                }
+                let v = transform::transform_input_tile(tile, &d);
+                for e in 0..pt2 {
+                    v_tile[e * c_lanes + c] = v[e];
+                }
+            }
+            // PT² independent GEMVs per output channel, then the inverse
+            // transform, accumulated into the unit accumulator.
+            for k in 0..k_lanes {
+                for e in 0..pt2 {
+                    let mut acc = 0.0f64;
+                    let wrow = wgt_base + (e * k_lanes + k) * c_lanes;
+                    for c in 0..c_lanes {
+                        acc += bufs.weight[wrow + c] as f64 * v_tile[e * c_lanes + c];
+                    }
+                    m_tile[e] = acc;
+                }
+                let y = transform::transform_output_tile(tile, &m_tile);
+                for dy in 0..m {
+                    for dx in 0..m {
+                        let oy = ty * m + dy;
+                        let ox = tx * m + dx;
+                        if oy < out_rows && ox < out_w {
+                            bufs.accum[acc_base + (k * out_rows + oy) * out_w + ox] +=
+                                y[dy * m + dx];
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Executes a SAVE: output buffer → DRAM with max-pooling and one of the
+/// four layout transforms (the destination layout is pure address
+/// arithmetic over `DST_W`/`DST_CV`).
+pub fn exec_save(
+    bufs: &Buffers,
+    mem: &mut ExternalMemory,
+    cfg: &AcceleratorConfig,
+    inst: &SaveInst,
+) -> Result<(), SimError> {
+    let pi = cfg.pi;
+    let k_lanes = inst.oc_vecs as usize * cfg.po;
+    let rows = inst.rows as usize;
+    let out_w = inst.out_w as usize;
+    let pool = (inst.pool as usize).max(1);
+    let base = inst.buff_base as usize;
+    let need = k_lanes * rows * out_w;
+    if base + need > bufs.output.len() {
+        return Err(SimError::BufferOverrun {
+            buffer: "output",
+            index: base + need - 1,
+            capacity: bufs.output.len(),
+        });
+    }
+    let dst_w = inst.dst_w as u64;
+    let dst_cv = inst.dst_cv as u64;
+    for k in 0..k_lanes {
+        let kg = inst.k_base as u64 + k as u64;
+        let (cvk, lane) = (kg / pi as u64, kg % pi as u64);
+        if cvk >= dst_cv {
+            // Padded channels beyond the destination's vector count are
+            // dropped (they carry zero data anyway).
+            continue;
+        }
+        for yd in 0..rows / pool {
+            for xd in 0..out_w / pool {
+                let mut v = f32::NEG_INFINITY;
+                for py in 0..pool {
+                    for px in 0..pool {
+                        let y = yd * pool + py;
+                        let x = xd * pool + px;
+                        v = v.max(bufs.output[base + (k * rows + y) * out_w + x]);
+                    }
+                }
+                let vec_index = if inst.dst_wino {
+                    (yd as u64 * dst_cv + cvk) * dst_w + xd as u64
+                } else {
+                    (yd as u64 * dst_w + xd as u64) * dst_cv + cvk
+                };
+                mem.write(
+                    inst.dram_base + vec_index * pi as u64 + lane,
+                    v,
+                    MemoryClient::Save,
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybriddnn_isa::{CompInst, LoadInst, SaveInst};
+    use hybriddnn_winograd::TileConfig;
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::new(4, 4, TileConfig::F2x2)
+    }
+
+    #[test]
+    fn load_copies_strided_block() {
+        let cfg = cfg();
+        let mut bufs = Buffers::new(&cfg);
+        let mut mem = ExternalMemory::new();
+        mem.host_write(100, &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let inst = LoadInst {
+            kind: LoadKind::Input,
+            buff_base: 10,
+            dram_base: 100,
+            rows: 2,
+            row_len: 3,
+            row_stride: 4,
+            ..LoadInst::default()
+        };
+        exec_load(&mut bufs, &mut mem, &inst).unwrap();
+        assert_eq!(&bufs.input[10..16], &[1.0, 2.0, 3.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn load_overrun_is_detected() {
+        let cfg = cfg();
+        let mut bufs = Buffers::new(&cfg);
+        let mut mem = ExternalMemory::new();
+        let inst = LoadInst {
+            kind: LoadKind::Bias,
+            buff_base: (bufs.bias.len() - 1) as u32,
+            rows: 1,
+            row_len: 2,
+            ..LoadInst::default()
+        };
+        assert!(matches!(
+            exec_load(&mut bufs, &mut mem, &inst),
+            Err(SimError::BufferOverrun { buffer: "bias", .. })
+        ));
+    }
+
+    /// A minimal 1-vector COMP: 4 input lanes, 4 output lanes, 1x1 kernel,
+    /// 1x1 output. Output k = Σ_c in[c]·w[k][c] + bias[k].
+    #[test]
+    fn spatial_comp_computes_gemv() {
+        let cfg = cfg();
+        let mut bufs = Buffers::new(&cfg);
+        // input lanes: [1, 2, 3, 4]
+        bufs.input[..4].copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        // weights [k][c]: k-th row = one-hot at c=k scaled by k+1.
+        for k in 0..4 {
+            bufs.weight[k * 4 + k] = (k + 1) as f32;
+        }
+        bufs.bias[..4].copy_from_slice(&[0.5; 4]);
+        let inst = CompInst {
+            out_w: 1,
+            out_rows: 1,
+            ic_vecs: 1,
+            oc_vecs: 1,
+            kernel_h: 1,
+            kernel_w: 1,
+            bias_en: true,
+            acc_init: true,
+            acc_final: true,
+            ..CompInst::default()
+        };
+        exec_comp(&mut bufs, &cfg, &inst, None).unwrap();
+        assert_eq!(&bufs.output[..4], &[1.5, 4.5, 9.5, 16.5]);
+    }
+
+    #[test]
+    fn comp_relu_and_quantization_apply_at_final() {
+        let cfg = cfg();
+        let mut bufs = Buffers::new(&cfg);
+        bufs.input[..4].copy_from_slice(&[1.0, 0.0, 0.0, 0.0]);
+        bufs.weight[0] = -2.3; // k=0 sees -2.3
+        bufs.weight[4] = 2.3; // k=1 sees +2.3
+        let inst = CompInst {
+            out_w: 1,
+            out_rows: 1,
+            ic_vecs: 1,
+            oc_vecs: 1,
+            kernel_h: 1,
+            kernel_w: 1,
+            relu: true,
+            ..CompInst::default()
+        };
+        let fmt = QFormat::new(8, 1); // step 0.5
+        exec_comp(&mut bufs, &cfg, &inst, Some(fmt)).unwrap();
+        assert_eq!(bufs.output[0], 0.0); // relu clamps
+        assert_eq!(bufs.output[1], 2.5); // 2.3 → nearest 0.5 grid (ties-even)
+    }
+
+    #[test]
+    fn comp_accumulates_across_units_without_init() {
+        let cfg = cfg();
+        let mut bufs = Buffers::new(&cfg);
+        bufs.input[..4].copy_from_slice(&[1.0, 0.0, 0.0, 0.0]);
+        bufs.weight[0] = 3.0;
+        let mut inst = CompInst {
+            out_w: 1,
+            out_rows: 1,
+            ic_vecs: 1,
+            oc_vecs: 1,
+            kernel_h: 1,
+            kernel_w: 1,
+            acc_init: true,
+            acc_final: false,
+            ..CompInst::default()
+        };
+        exec_comp(&mut bufs, &cfg, &inst, None).unwrap();
+        inst.acc_init = false;
+        inst.acc_final = true;
+        exec_comp(&mut bufs, &cfg, &inst, None).unwrap();
+        assert_eq!(bufs.output[0], 6.0);
+    }
+
+    #[test]
+    fn save_applies_pooling_and_layouts() {
+        let cfg = cfg();
+        let mut bufs = Buffers::new(&cfg);
+        let mut mem = ExternalMemory::new();
+        // 4 output lanes (oc_vecs=1), 2x2 rows, values k*10 + position.
+        for k in 0..4 {
+            for i in 0..4 {
+                bufs.output[(k * 2 + i / 2) * 2 + i % 2] = (k * 10 + i) as f32;
+            }
+        }
+        let inst = SaveInst {
+            rows: 2,
+            out_w: 2,
+            oc_vecs: 1,
+            k_base: 0,
+            dst_w: 1,
+            dst_cv: 1,
+            pool: 2,
+            dram_base: 0,
+            ..SaveInst::default()
+        };
+        exec_save(&bufs, &mut mem, &cfg, &inst).unwrap();
+        // Pool max of {0..3}+10k = 10k+3, stored SPAT at lane k.
+        for k in 0..4 {
+            assert_eq!(mem.host_load(k), (k * 10 + 3) as f32);
+        }
+    }
+
+    #[test]
+    fn save_skips_channels_beyond_destination() {
+        let cfg = cfg();
+        let bufs = Buffers::new(&cfg);
+        let mut mem = ExternalMemory::new();
+        let inst = SaveInst {
+            rows: 1,
+            out_w: 1,
+            oc_vecs: 2, // 8 lanes but dst_cv=1 (4 lanes)
+            k_base: 0,
+            dst_w: 1,
+            dst_cv: 1,
+            ..SaveInst::default()
+        };
+        exec_save(&bufs, &mut mem, &cfg, &inst).unwrap();
+        assert!(mem.len() <= 4);
+    }
+
+    #[test]
+    fn wino_comp_matches_spatial_comp() {
+        // Same 3x3 conv through both PE modes must agree.
+        let cfg = cfg();
+        let out_rows = 4usize;
+        let out_w = 4usize;
+        let c_lanes = 4usize;
+        let k_lanes = 4usize;
+        let cols_l = out_w + 2;
+        let rows_l = out_rows + 2;
+
+        // Deterministic input window and kernels.
+        let mut spat = Buffers::new(&cfg);
+        let mut wino = Buffers::new(&cfg);
+        let mut kernels = vec![0.0f32; k_lanes * c_lanes * 9];
+        let mut x = 0.37f32;
+        for w in kernels.iter_mut() {
+            x = (x * 1.7 + 0.31) % 1.0;
+            *w = x - 0.5;
+        }
+        // Input: SPAT layout for spatial PE, WINO layout for wino PE.
+        for y in 0..rows_l {
+            for xx in 0..cols_l {
+                for c in 0..c_lanes {
+                    x = (x * 1.3 + 0.17) % 1.0;
+                    let v = x - 0.5;
+                    spat.input[((y * cols_l + xx) + c / 4) * 4 + c % 4] = v;
+                    wino.input[((y + c / 4) * cols_l + xx) * 4 + c % 4] = v;
+                }
+            }
+        }
+        // Weights: spatial image [k][c][r][s].
+        spat.weight[..kernels.len()].copy_from_slice(&kernels);
+        // Winograd image [e][k][c] from the same kernels.
+        use hybriddnn_model::WeightShape;
+        use hybriddnn_winograd::gemm::TransformedWeights;
+        let u = TransformedWeights::new(
+            TileConfig::F2x2,
+            WeightShape::new(k_lanes, c_lanes, 3, 3),
+            &kernels,
+        );
+        for (i, &v) in u.as_slice().iter().enumerate() {
+            wino.weight[i] = v as f32;
+        }
+
+        let base = CompInst {
+            out_w: out_w as u32,
+            out_rows: out_rows as u8,
+            ic_vecs: 1,
+            oc_vecs: 1,
+            kernel_h: 3,
+            kernel_w: 3,
+            ..CompInst::default()
+        };
+        exec_comp(&mut spat, &cfg, &base, None).unwrap();
+        let winst = CompInst { wino: true, ..base };
+        exec_comp(&mut wino, &cfg, &winst, None).unwrap();
+        for i in 0..k_lanes * out_rows * out_w {
+            let a = spat.output[i];
+            let b = wino.output[i];
+            assert!((a - b).abs() < 1e-4, "i={i}: {a} vs {b}");
+        }
+    }
+}

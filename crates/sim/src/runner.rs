@@ -1,0 +1,340 @@
+//! The host-side runtime driving the simulated accelerator through a
+//! compiled network (Figure 1 Step 4: "a light-weight runtime ... to
+//! manage the execution of the generated accelerator").
+
+use crate::machine::Accelerator;
+use crate::stats::StageStats;
+use crate::SimError;
+use hybriddnn_compiler::CompiledNetwork;
+use hybriddnn_fpga::ExternalMemory;
+use hybriddnn_model::Tensor;
+
+/// Simulation fidelity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimMode {
+    /// Move real data: outputs are valid and comparable against the
+    /// golden reference.
+    Functional,
+    /// Cycle model only: no DRAM traffic or buffer contents; `output` is
+    /// zeros. Orders of magnitude faster for performance sweeps.
+    TimingOnly,
+}
+
+/// Per-stage instruction traces: one `(start, finish)` cycle pair per
+/// instruction, one vector per stage.
+pub type StageTraces = Vec<Vec<(f64, f64)>>;
+
+/// The result of one simulated inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// The network output (zeros in [`SimMode::TimingOnly`]).
+    pub output: Tensor,
+    /// Per-stage statistics, in execution order.
+    pub stage_stats: Vec<StageStats>,
+    /// Total cycles across stages (stages synchronize at layer
+    /// boundaries, matching the runtime's per-layer management).
+    pub total_cycles: f64,
+}
+
+impl RunResult {
+    /// Whole-network throughput in GOPS at `freq_mhz`.
+    pub fn gops(&self, freq_mhz: f64) -> f64 {
+        let ops: u64 = self.stage_stats.iter().map(|s| s.ops).sum();
+        if self.total_cycles == 0.0 {
+            return 0.0;
+        }
+        ops as f64 / (self.total_cycles / (freq_mhz * 1e6)) / 1e9
+    }
+
+    /// End-to-end latency in milliseconds at `freq_mhz`.
+    pub fn latency_ms(&self, freq_mhz: f64) -> f64 {
+        self.total_cycles / (freq_mhz * 1e6) * 1e3
+    }
+}
+
+/// A simulator session: one accelerator instance plus its external
+/// memory, initialized from a compiled network's data images.
+#[derive(Debug)]
+pub struct Simulator {
+    accel: Accelerator,
+    mem: ExternalMemory,
+    mode: SimMode,
+}
+
+impl Simulator {
+    /// Creates a simulator for a compiled network.
+    ///
+    /// `bw` is the per-channel DDR bandwidth in words per cycle (use
+    /// [`hybriddnn_fpga::FpgaSpec::ddr_words_per_cycle`]). In functional
+    /// mode the weight/bias images are staged into external memory here.
+    pub fn new(compiled: &CompiledNetwork, mode: SimMode, bw: f64) -> Self {
+        let functional = mode == SimMode::Functional;
+        let accel = Accelerator::new(
+            *compiled.config(),
+            bw,
+            compiled.quant().activations,
+            functional,
+        );
+        let mut mem = ExternalMemory::new();
+        if functional {
+            compiled.stage_data(&mut mem);
+        }
+        Simulator { accel, mem, mode }
+    }
+
+    /// Runs one inference.
+    ///
+    /// # Errors
+    /// * [`SimError::InputMismatch`] if the input shape is wrong.
+    /// * [`SimError::Deadlock`] / [`SimError::BufferOverrun`] for
+    ///   malformed programs (never produced by the compiler).
+    pub fn run(
+        &mut self,
+        compiled: &CompiledNetwork,
+        input: &Tensor,
+    ) -> Result<RunResult, SimError> {
+        Ok(self.run_impl(compiled, input, None)?.0)
+    }
+
+    /// Like [`Simulator::run`], additionally returning each stage's
+    /// per-instruction `(start, finish)` cycle trace — the debugging aid
+    /// behind the pipeline studies in EXPERIMENTS.md.
+    ///
+    /// # Errors
+    /// Same as [`Simulator::run`].
+    pub fn run_traced(
+        &mut self,
+        compiled: &CompiledNetwork,
+        input: &Tensor,
+    ) -> Result<(RunResult, StageTraces), SimError> {
+        let mut traces = Vec::with_capacity(compiled.layers().len());
+        let (result, _) = self.run_impl(compiled, input, Some(&mut traces))?;
+        Ok((result, traces))
+    }
+
+    fn run_impl(
+        &mut self,
+        compiled: &CompiledNetwork,
+        input: &Tensor,
+        mut traces: Option<&mut StageTraces>,
+    ) -> Result<(RunResult, ()), SimError> {
+        if input.shape() != compiled.input_shape() {
+            return Err(SimError::InputMismatch {
+                detail: format!("expected {}, got {}", compiled.input_shape(), input.shape()),
+            });
+        }
+        if self.mode == SimMode::Functional {
+            compiled
+                .write_input(&mut self.mem, input)
+                .map_err(|e| SimError::InputMismatch {
+                    detail: e.to_string(),
+                })?;
+        }
+        let mut stage_stats = Vec::with_capacity(compiled.layers().len());
+        let mut total = 0.0;
+        for layer in compiled.layers() {
+            let mut stats = match traces.as_deref_mut() {
+                Some(ts) => {
+                    let mut trace = Vec::with_capacity(layer.program().len());
+                    let s = self.accel.run_stage_traced(
+                        layer.program(),
+                        &mut self.mem,
+                        Some(&mut trace),
+                    )?;
+                    ts.push(trace);
+                    s
+                }
+                None => self.accel.run_stage(layer.program(), &mut self.mem)?,
+            };
+            stats.name = layer.name().to_string();
+            stats.ops = layer.plan().wl.ops();
+            total += stats.cycles;
+            stage_stats.push(stats);
+        }
+        let output = if self.mode == SimMode::Functional {
+            compiled.read_output(&self.mem)
+        } else {
+            Tensor::zeros(compiled.output_shape())
+        };
+        Ok((
+            RunResult {
+                output,
+                stage_stats,
+                total_cycles: total,
+            },
+            (),
+        ))
+    }
+
+    /// Access the external memory (e.g. to inspect intermediate
+    /// activations with [`CompiledNetwork::read_stage_output`]).
+    pub fn memory(&self) -> &ExternalMemory {
+        &self.mem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybriddnn_compiler::{Compiler, MappingStrategy, QuantSpec};
+    use hybriddnn_estimator::{AcceleratorConfig, ConvMode, Dataflow};
+    use hybriddnn_model::{reference, synth, zoo, Network, Shape};
+    use hybriddnn_winograd::TileConfig;
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::new(4, 4, TileConfig::F2x2)
+    }
+
+    fn run_and_compare(net: &Network, strategy: &MappingStrategy, tol: f32) {
+        let compiled = Compiler::new(cfg()).compile(net, strategy).unwrap();
+        let mut sim = Simulator::new(&compiled, SimMode::Functional, 16.0);
+        let input = synth::tensor(net.input_shape(), 9);
+        let run = sim.run(&compiled, &input).unwrap();
+        let golden = reference::run_network(net, &input).unwrap();
+        let diff = run.output.max_abs_diff(&golden);
+        assert!(diff < tol, "sim vs golden diff {diff}");
+        assert!(run.total_cycles > 0.0);
+    }
+
+    #[test]
+    fn tiny_cnn_spatial_matches_golden() {
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 1).unwrap();
+        run_and_compare(&net, &MappingStrategy::all_spatial(&net), 1e-3);
+    }
+
+    #[test]
+    fn tiny_cnn_winograd_matches_golden() {
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 2).unwrap();
+        run_and_compare(&net, &MappingStrategy::all_winograd(&net), 1e-2);
+    }
+
+    #[test]
+    fn tiny_cnn_is_dataflow_matches_golden() {
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 3).unwrap();
+        run_and_compare(
+            &net,
+            &MappingStrategy::uniform(&net, ConvMode::Spatial, Dataflow::InputStationary),
+            1e-3,
+        );
+    }
+
+    #[test]
+    fn single_conv_5x5_winograd_decomposition() {
+        let mut net = zoo::single_conv(12, 4, 8, 5);
+        synth::bind_random(&mut net, 4).unwrap();
+        run_and_compare(&net, &MappingStrategy::all_winograd(&net), 1e-2);
+    }
+
+    #[test]
+    fn timing_only_runs_without_data() {
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 5).unwrap();
+        let compiled = Compiler::new(cfg())
+            .compile(&net, &MappingStrategy::all_winograd(&net))
+            .unwrap();
+        let mut sim = Simulator::new(&compiled, SimMode::TimingOnly, 16.0);
+        let input = synth::tensor(net.input_shape(), 1);
+        let run = sim.run(&compiled, &input).unwrap();
+        assert!(run.total_cycles > 0.0);
+        assert!(run.output.as_slice().iter().all(|&v| v == 0.0));
+        // No functional memory was ever allocated.
+        assert_eq!(sim.memory().len(), 0);
+    }
+
+    #[test]
+    fn timing_matches_functional_timing() {
+        // The cycle model must not depend on the mode.
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 6).unwrap();
+        let compiled = Compiler::new(cfg())
+            .compile(&net, &MappingStrategy::all_winograd(&net))
+            .unwrap();
+        let input = synth::tensor(net.input_shape(), 1);
+        let f = Simulator::new(&compiled, SimMode::Functional, 16.0)
+            .run(&compiled, &input)
+            .unwrap();
+        let t = Simulator::new(&compiled, SimMode::TimingOnly, 16.0)
+            .run(&compiled, &input)
+            .unwrap();
+        assert_eq!(f.total_cycles, t.total_cycles);
+    }
+
+    #[test]
+    fn wrong_input_shape_is_rejected() {
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 7).unwrap();
+        let compiled = Compiler::new(cfg())
+            .compile(&net, &MappingStrategy::all_spatial(&net))
+            .unwrap();
+        let mut sim = Simulator::new(&compiled, SimMode::TimingOnly, 16.0);
+        let err = sim
+            .run(
+                &compiled,
+                &hybriddnn_model::Tensor::zeros(Shape::new(1, 1, 1)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, SimError::InputMismatch { .. }));
+    }
+
+    #[test]
+    fn quantized_run_lands_on_activation_grid() {
+        let fmt = hybriddnn_model::quant::QFormat::FEATURE12;
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random_quantized(&mut net, 8, hybriddnn_model::quant::QFormat::WEIGHT8)
+            .unwrap();
+        let compiled = Compiler::new(cfg())
+            .with_quant(QuantSpec::paper_12bit())
+            .compile(&net, &MappingStrategy::all_spatial(&net))
+            .unwrap();
+        let mut sim = Simulator::new(&compiled, SimMode::Functional, 16.0);
+        let input = synth::quantized_tensor(net.input_shape(), 3, fmt);
+        let run = sim.run(&compiled, &input).unwrap();
+        for &v in run.output.as_slice() {
+            assert!(fmt.contains(v as f64), "{v} off grid");
+        }
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 10).unwrap();
+        let compiled = Compiler::new(cfg())
+            .compile(&net, &MappingStrategy::all_winograd(&net))
+            .unwrap();
+        let input = synth::tensor(net.input_shape(), 2);
+        let plain = Simulator::new(&compiled, SimMode::TimingOnly, 16.0)
+            .run(&compiled, &input)
+            .unwrap();
+        let (traced, traces) = Simulator::new(&compiled, SimMode::TimingOnly, 16.0)
+            .run_traced(&compiled, &input)
+            .unwrap();
+        assert_eq!(plain.total_cycles, traced.total_cycles);
+        assert_eq!(traces.len(), compiled.layers().len());
+        for (trace, layer) in traces.iter().zip(compiled.layers()) {
+            assert_eq!(trace.len(), layer.program().len());
+            // Every instruction finishes after it starts, within the stage.
+            for &(s, f) in trace {
+                assert!(f > s && s >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn gops_and_latency_helpers() {
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 9).unwrap();
+        let compiled = Compiler::new(cfg())
+            .compile(&net, &MappingStrategy::all_winograd(&net))
+            .unwrap();
+        let mut sim = Simulator::new(&compiled, SimMode::TimingOnly, 16.0);
+        let run = sim
+            .run(&compiled, &synth::tensor(net.input_shape(), 1))
+            .unwrap();
+        let gops = run.gops(100.0);
+        assert!(gops > 0.0 && gops < 205.0, "gops {gops}"); // under wino peak
+        assert!(run.latency_ms(100.0) > 0.0);
+    }
+}

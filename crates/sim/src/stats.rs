@@ -1,0 +1,110 @@
+use hybriddnn_fpga::MemoryTraffic;
+
+/// Busy cycles accumulated per functional module.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ModuleBusy {
+    /// LOAD_INP module.
+    pub load_inp: f64,
+    /// LOAD_WGT module (including LOAD_BIAS).
+    pub load_wgt: f64,
+    /// COMP module.
+    pub comp: f64,
+    /// SAVE module.
+    pub save: f64,
+}
+
+impl ModuleBusy {
+    /// The busiest module's cycle count — the `max(...)` of Eq. 12–15.
+    pub fn max(&self) -> f64 {
+        self.load_inp
+            .max(self.load_wgt)
+            .max(self.comp)
+            .max(self.save)
+    }
+}
+
+/// Measured results of simulating one stage (layer).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StageStats {
+    /// Stage name.
+    pub name: String,
+    /// Wall-clock cycles from dispatch of the first instruction to
+    /// retirement of the last.
+    pub cycles: f64,
+    /// Per-module busy time.
+    pub busy: ModuleBusy,
+    /// External memory traffic in words.
+    pub traffic: MemoryTraffic,
+    /// Instructions executed.
+    pub instructions: usize,
+    /// Arithmetic operations performed (2 per MAC), for GOPS.
+    pub ops: u64,
+}
+
+impl std::fmt::Display for StageStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {:.0} cycles (li {:.0}, lw {:.0}, comp {:.0}, sv {:.0}; {} insts, {} words)",
+            self.name,
+            self.cycles,
+            self.busy.load_inp,
+            self.busy.load_wgt,
+            self.busy.comp,
+            self.busy.save,
+            self.instructions,
+            self.traffic.total(),
+        )
+    }
+}
+
+impl StageStats {
+    /// Achieved GOPS at `freq_mhz`.
+    pub fn gops(&self, freq_mhz: f64) -> f64 {
+        if self.cycles == 0.0 {
+            return 0.0;
+        }
+        self.ops as f64 / (self.cycles / (freq_mhz * 1e6)) / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn module_busy_max() {
+        let b = ModuleBusy {
+            load_inp: 1.0,
+            load_wgt: 5.0,
+            comp: 3.0,
+            save: 2.0,
+        };
+        assert_eq!(b.max(), 5.0);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = StageStats {
+            name: "conv1".to_string(),
+            cycles: 100.0,
+            instructions: 7,
+            ..StageStats::default()
+        };
+        let text = s.to_string();
+        assert!(text.contains("conv1") && text.contains("100 cycles") && text.contains("7 insts"));
+    }
+
+    #[test]
+    fn gops_computation() {
+        let s = StageStats {
+            cycles: 1000.0,
+            ops: 2_000_000,
+            ..StageStats::default()
+        };
+        // 2e6 ops in 1000 cycles @ 100 MHz = 2e6 / 10µs = 200 GOPS.
+        assert!((s.gops(100.0) - 200.0).abs() < 1e-9);
+        let zero = StageStats::default();
+        assert_eq!(zero.gops(100.0), 0.0);
+    }
+}

@@ -1,0 +1,235 @@
+//! Directed tests of the Figure 5 layout transforms (all four SAVE
+//! modes through real two-layer pipelines) and failure injection on the
+//! instruction stream (the simulator must detect, not corrupt).
+
+use hybriddnn_compiler::{Compiler, MappingStrategy};
+use hybriddnn_estimator::{AcceleratorConfig, ConvMode, Dataflow};
+use hybriddnn_isa::{Instruction, Program};
+use hybriddnn_model::{reference, synth, NetworkBuilder, Shape};
+use hybriddnn_sim::{Accelerator, SimError, SimMode, Simulator};
+use hybriddnn_winograd::TileConfig;
+
+fn cfg() -> AcceleratorConfig {
+    AcceleratorConfig::new(4, 4, TileConfig::F2x2)
+}
+
+/// Two stacked convolutions; the first layer's SAVE must perform the
+/// (first-mode → second-mode) layout transform for the pipeline to
+/// produce correct data.
+fn two_layer_pipeline(first: ConvMode, second: ConvMode) {
+    let mut net = NetworkBuilder::new(Shape::new(4, 10, 10))
+        .conv("a", 4, 8, 3)
+        .conv("b", 8, 4, 3)
+        .build()
+        .expect("consistent");
+    synth::bind_random(&mut net, 77).expect("binds");
+    let strategy = MappingStrategy::new(vec![
+        (first, Dataflow::WeightStationary),
+        (second, Dataflow::WeightStationary),
+    ]);
+    let compiled = Compiler::new(cfg()).compile(&net, &strategy).expect("fits");
+    // The compiled first stage must really carry the transform we think.
+    let save = compiled.layers()[0]
+        .program()
+        .instructions()
+        .iter()
+        .find_map(|i| match i {
+            Instruction::Save(s) => Some(s.clone()),
+            _ => None,
+        })
+        .expect("stage has SAVE");
+    assert_eq!(save.src_wino, first == ConvMode::Winograd);
+    assert_eq!(save.dst_wino, second == ConvMode::Winograd);
+
+    let mut sim = Simulator::new(&compiled, SimMode::Functional, 16.0);
+    let input = synth::tensor(net.input_shape(), 31);
+    let run = sim.run(&compiled, &input).expect("executes");
+    let golden = reference::run_network(&net, &input).expect("reference");
+    let diff = run.output.max_abs_diff(&golden);
+    assert!(diff < 1e-2, "{first}->{second}: diff {diff}");
+}
+
+#[test]
+fn save_transform_spat_to_spat() {
+    two_layer_pipeline(ConvMode::Spatial, ConvMode::Spatial);
+}
+
+#[test]
+fn save_transform_spat_to_wino() {
+    two_layer_pipeline(ConvMode::Spatial, ConvMode::Winograd);
+}
+
+#[test]
+fn save_transform_wino_to_spat() {
+    two_layer_pipeline(ConvMode::Winograd, ConvMode::Spatial);
+}
+
+#[test]
+fn save_transform_wino_to_wino() {
+    two_layer_pipeline(ConvMode::Winograd, ConvMode::Winograd);
+}
+
+fn compiled_single_layer() -> (hybriddnn_compiler::CompiledNetwork, Shape) {
+    let mut net = NetworkBuilder::new(Shape::new(4, 8, 8))
+        .conv("a", 4, 8, 3)
+        .build()
+        .expect("consistent");
+    synth::bind_random(&mut net, 3).expect("binds");
+    let strategy = MappingStrategy::new(vec![(ConvMode::Winograd, Dataflow::WeightStationary)]);
+    let compiled = Compiler::new(cfg()).compile(&net, &strategy).expect("fits");
+    (compiled, net.input_shape())
+}
+
+/// Dropping the weight load must deadlock the first COMP that waits for
+/// the weight-ready token — detected, not silently mis-executed.
+#[test]
+fn dropped_weight_load_deadlocks() {
+    let (compiled, _) = compiled_single_layer();
+    let program = compiled.layers()[0].program();
+    let without_wgt: Program = program
+        .instructions()
+        .iter()
+        .filter(|i| {
+            !matches!(
+                i,
+                Instruction::Load(l) if l.kind == hybriddnn_isa::LoadKind::Weight
+            )
+        })
+        .cloned()
+        .collect();
+    let mut accel = Accelerator::new(cfg(), 16.0, None, false);
+    let mut mem = hybriddnn_fpga::ExternalMemory::new();
+    let err = accel.run_stage(&without_wgt, &mut mem).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SimError::Deadlock {
+                fifo: "wgt_ready",
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
+
+/// Dropping every SAVE starves the output-free tokens after the two
+/// ping-pong slots fill.
+#[test]
+fn dropped_saves_deadlock_on_out_slots() {
+    let (compiled, _) = compiled_single_layer();
+    let program = compiled.layers()[0].program();
+    let without_saves: Program = program
+        .instructions()
+        .iter()
+        .filter(|i| !matches!(i, Instruction::Save(_)))
+        .cloned()
+        .collect();
+    let mut accel = Accelerator::new(cfg(), 16.0, None, false);
+    let mut mem = hybriddnn_fpga::ExternalMemory::new();
+    let err = accel.run_stage(&without_saves, &mut mem).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SimError::Deadlock {
+                fifo: "out_free",
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
+
+/// Corrupting a COMP's buffer base beyond capacity is caught as an
+/// overrun in functional mode.
+#[test]
+fn corrupted_base_is_caught() {
+    let (compiled, shape) = compiled_single_layer();
+    let mutated: Program = compiled.layers()[0]
+        .program()
+        .instructions()
+        .iter()
+        .map(|i| match i {
+            Instruction::Comp(c) => {
+                let mut c = c.clone();
+                c.out_base = (2 * cfg().output_buffer_words() - 1) as u32;
+                Instruction::Comp(c)
+            }
+            other => other.clone(),
+        })
+        .collect();
+    let mut accel = Accelerator::new(cfg(), 16.0, None, true);
+    let mut mem = hybriddnn_fpga::ExternalMemory::new();
+    compiled.stage_data(&mut mem);
+    compiled
+        .write_input(&mut mem, &synth::tensor(shape, 1))
+        .expect("stages input");
+    let err = accel.run_stage(&mutated, &mut mem).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SimError::BufferOverrun {
+                buffer: "accumulator",
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
+
+/// A malformed program that never frees the input slots deadlocks on
+/// the third load rather than overwriting live data.
+#[test]
+fn leaked_input_tokens_deadlock() {
+    let (compiled, _) = compiled_single_layer();
+    let mutated: Program = compiled.layers()[0]
+        .program()
+        .instructions()
+        .iter()
+        .map(|i| match i {
+            Instruction::Comp(c) => {
+                let mut c = c.clone();
+                c.free_inp = false;
+                Instruction::Comp(c)
+            }
+            other => other.clone(),
+        })
+        .collect();
+    let mut accel = Accelerator::new(cfg(), 16.0, None, false);
+    let mut mem = hybriddnn_fpga::ExternalMemory::new();
+    let err = accel.run_stage(&mutated, &mut mem).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            SimError::Deadlock {
+                fifo: "inp_free",
+                ..
+            }
+        ),
+        "{err}"
+    );
+}
+
+/// The experimental F(6x6,3x3) tile (PT=8) runs end to end through the
+/// whole compiler + simulator stack and still matches the reference —
+/// the §5.1 trade-off is about cost, not correctness.
+#[test]
+fn f6x6_extension_runs_end_to_end() {
+    let cfg = AcceleratorConfig::new(4, 4, TileConfig::F6x6);
+    let mut net = NetworkBuilder::new(Shape::new(3, 12, 12))
+        .conv("a", 3, 8, 3)
+        .conv("b", 8, 4, 3)
+        .build()
+        .expect("consistent");
+    synth::bind_random(&mut net, 13).expect("binds");
+    let strategy = MappingStrategy::new(vec![
+        (ConvMode::Winograd, Dataflow::WeightStationary),
+        (ConvMode::Winograd, Dataflow::InputStationary),
+    ]);
+    let compiled = Compiler::new(cfg).compile(&net, &strategy).expect("fits");
+    let mut sim = Simulator::new(&compiled, SimMode::Functional, 32.0);
+    let input = synth::tensor(net.input_shape(), 21);
+    let run = sim.run(&compiled, &input).expect("executes");
+    let golden = reference::run_network(&net, &input).expect("reference");
+    let diff = run.output.max_abs_diff(&golden);
+    assert!(diff < 1e-2, "F6x6 diff {diff}");
+}

@@ -1,0 +1,139 @@
+//! Property-based end-to-end tests: randomly shaped small networks,
+//! random mode/dataflow strategies, random parallel factors — the
+//! simulated accelerator must always agree with the golden CPU
+//! reference, and its timing must respect basic physical bounds.
+
+use hybriddnn_compiler::{Compiler, MappingStrategy};
+use hybriddnn_estimator::{AcceleratorConfig, ConvMode, Dataflow};
+use hybriddnn_model::{reference, synth, NetworkBuilder, Shape};
+use hybriddnn_sim::{SimMode, Simulator};
+use hybriddnn_winograd::TileConfig;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Case {
+    cfg: AcceleratorConfig,
+    channels: Vec<usize>,
+    kernel: usize,
+    hw: usize,
+    pool: bool,
+    fc_out: usize,
+    modes: Vec<(ConvMode, Dataflow)>,
+    seed: u64,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    (
+        prop_oneof![Just(TileConfig::F2x2), Just(TileConfig::F4x4)],
+        prop_oneof![
+            Just((4usize, 4usize)),
+            Just((4, 2)),
+            Just((8, 4)),
+            Just((2, 2))
+        ],
+        prop::collection::vec(1usize..6, 1..3),
+        prop_oneof![Just(1usize), Just(3), Just(5)],
+        prop_oneof![Just(8usize), Just(10), Just(12)],
+        any::<bool>(),
+        1usize..8,
+        prop::collection::vec(
+            (any::<bool>(), any::<bool>()).prop_map(|(w, i)| {
+                (
+                    if w {
+                        ConvMode::Winograd
+                    } else {
+                        ConvMode::Spatial
+                    },
+                    if i {
+                        Dataflow::InputStationary
+                    } else {
+                        Dataflow::WeightStationary
+                    },
+                )
+            }),
+            4,
+        ),
+        0u64..10_000,
+    )
+        .prop_map(
+            |(tile, (pi, po), channels, kernel, hw, pool, fc_out, modes, seed)| Case {
+                cfg: AcceleratorConfig::new(pi, po, tile),
+                channels: channels.iter().map(|&c| c * 2).collect(),
+                kernel,
+                hw,
+                pool,
+                fc_out,
+                modes,
+                seed,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random small network × strategy × configuration: simulated
+    /// output matches the golden reference, and timing is sane.
+    #[test]
+    fn random_network_matches_reference(case in case_strategy()) {
+        let mut b = NetworkBuilder::new(Shape::new(3, case.hw, case.hw));
+        let mut c_in = 3usize;
+        for (i, &c_out) in case.channels.iter().enumerate() {
+            b = b.conv(&format!("c{i}"), c_in, c_out, case.kernel);
+            c_in = c_out;
+        }
+        if case.pool {
+            b = b.max_pool("p", 2);
+        }
+        let net = b.fc("f", case.fc_out).build().expect("consistent chain");
+        let mut net = net;
+        synth::bind_random(&mut net, case.seed).expect("binds");
+
+        let n_compute = net.layers().iter().filter(|l| l.is_compute()).count();
+        let strategy = MappingStrategy::new(case.modes[..n_compute].to_vec());
+        let compiled = Compiler::new(case.cfg)
+            .compile(&net, &strategy)
+            .expect("small networks always fit");
+        let mut sim = Simulator::new(&compiled, SimMode::Functional, 16.0);
+        let input = synth::tensor(net.input_shape(), case.seed ^ 0x55);
+        let run = sim.run(&compiled, &input).expect("executes");
+        let golden = reference::run_network(&net, &input).expect("reference runs");
+        let diff = run.output.max_abs_diff(&golden);
+        prop_assert!(diff < 2e-2, "sim vs reference diff {diff} for {case:?}");
+
+        // Timing sanity: makespan at least the theoretical compute floor
+        // (total MACs / PE width) and at least every module's busy time.
+        let floor: f64 = compiled
+            .layers()
+            .iter()
+            .map(|l| l.plan().wl.macs() as f64)
+            .sum::<f64>()
+            / case.cfg.macs_per_cycle() as f64
+            / case.cfg.tile.reduction_factor();
+        prop_assert!(run.total_cycles >= floor * 0.5);
+        for s in &run.stage_stats {
+            prop_assert!(s.cycles + 1e-9 >= s.busy.max(), "{}", s.name);
+        }
+    }
+
+    /// The instruction stream's token protocol never deadlocks and
+    /// never leaves tokens dangling, whatever the strategy.
+    #[test]
+    fn token_protocol_always_completes(case in case_strategy()) {
+        let mut b = NetworkBuilder::new(Shape::new(2, case.hw, case.hw));
+        let mut c_in = 2usize;
+        for (i, &c_out) in case.channels.iter().enumerate() {
+            b = b.conv(&format!("c{i}"), c_in, c_out, 3);
+            c_in = c_out;
+        }
+        let mut net = b.build().expect("consistent");
+        synth::bind_random(&mut net, case.seed).expect("binds");
+        let n_compute = net.layers().iter().filter(|l| l.is_compute()).count();
+        let strategy = MappingStrategy::new(case.modes[..n_compute].to_vec());
+        let compiled = Compiler::new(case.cfg).compile(&net, &strategy).expect("fits");
+        // Timing-only run must complete (a deadlock would be an Err).
+        let mut sim = Simulator::new(&compiled, SimMode::TimingOnly, 8.0);
+        let input = hybriddnn_model::Tensor::zeros(net.input_shape());
+        prop_assert!(sim.run(&compiled, &input).is_ok());
+    }
+}

@@ -1,0 +1,271 @@
+//! Full-tensor Winograd convolution, including the kernel-decomposition
+//! method of §4.2.5 for kernels larger than `r × r`.
+//!
+//! This is the *algorithmic* reference the accelerator simulator is checked
+//! against; the simulator itself re-implements the same math through the
+//! instruction-driven PE.
+
+use crate::{gemm, TileConfig, WinogradError};
+use hybriddnn_model::{Activation, Conv2d, ModelError, Shape, Tensor};
+
+/// Winograd convolution of `input` with `conv`'s geometry.
+///
+/// Supports any kernel size (via decomposition into zero-padded 3×3
+/// blocks), any zero padding, bias, and fused activation — but only
+/// stride 1.
+///
+/// # Errors
+/// * [`WinogradError::UnsupportedStride`] if `conv.stride != 1`.
+/// * [`WinogradError::Model`] for weight/shape mismatches.
+pub fn winograd_conv2d(
+    input: &Tensor,
+    conv: &Conv2d,
+    weights: &[f32],
+    bias: &[f32],
+    cfg: TileConfig,
+) -> Result<Tensor, WinogradError> {
+    if conv.stride != 1 {
+        return Err(WinogradError::UnsupportedStride {
+            stride: conv.stride,
+        });
+    }
+    let ws = conv.weight_shape();
+    if weights.len() != ws.len() {
+        return Err(ModelError::WeightMismatch {
+            layer: "<winograd>".to_string(),
+            detail: format!("expected {} weights, got {}", ws.len(), weights.len()),
+        }
+        .into());
+    }
+    if !bias.is_empty() && bias.len() != conv.out_channels {
+        return Err(ModelError::WeightMismatch {
+            layer: "<winograd>".to_string(),
+            detail: format!(
+                "expected {} bias values, got {}",
+                conv.out_channels,
+                bias.len()
+            ),
+        }
+        .into());
+    }
+    let ishape = input.shape();
+    if ishape.c != conv.in_channels {
+        return Err(ModelError::ShapeMismatch {
+            layer: "<winograd>".to_string(),
+            detail: format!("expected {} channels, got {}", conv.in_channels, ishape.c),
+        }
+        .into());
+    }
+
+    let u = gemm::TransformedWeights::new(cfg, ws, weights);
+    let out = winograd_conv2d_transformed(input, conv, &u, bias)?;
+    Ok(out)
+}
+
+/// Winograd convolution using already-transformed (and possibly
+/// re-quantized) weights — the form the accelerator actually executes,
+/// since weights are transformed offline (§4.2.3).
+///
+/// # Errors
+/// * [`WinogradError::UnsupportedStride`] if `conv.stride != 1`.
+/// * [`WinogradError::Model`] for channel mismatches.
+pub fn winograd_conv2d_transformed(
+    input: &Tensor,
+    conv: &Conv2d,
+    u: &gemm::TransformedWeights,
+    bias: &[f32],
+) -> Result<Tensor, WinogradError> {
+    if conv.stride != 1 {
+        return Err(WinogradError::UnsupportedStride {
+            stride: conv.stride,
+        });
+    }
+    if u.in_channels() != conv.in_channels || u.out_channels() != conv.out_channels {
+        return Err(ModelError::WeightMismatch {
+            layer: "<winograd>".to_string(),
+            detail: format!(
+                "transformed weights are {}x{}, layer is {}x{}",
+                u.out_channels(),
+                u.in_channels(),
+                conv.out_channels,
+                conv.in_channels
+            ),
+        }
+        .into());
+    }
+    let cfg = u.config();
+    let ishape = input.shape();
+    let out_h = ishape.h + 2 * conv.padding.h - conv.kernel_h + 1;
+    let out_w = ishape.w + 2 * conv.padding.w - conv.kernel_w + 1;
+    let (blocks_r, blocks_s) = u.blocks();
+    let r = cfg.r();
+
+    let mut accum = vec![0.0f64; conv.out_channels * out_h * out_w];
+    for br in 0..blocks_r {
+        for bs in 0..blocks_s {
+            // Decomposition block (br, bs) reads input shifted by 3·block.
+            let origin_y = (br * r) as isize - conv.padding.h as isize;
+            let origin_x = (bs * r) as isize - conv.padding.w as isize;
+            let v = gemm::TransformedInput::new(cfg, input, out_h, out_w, origin_y, origin_x);
+            let m = gemm::ewmm_gemm(u, (br, bs), &v);
+            gemm::accumulate_output(
+                cfg,
+                &m,
+                conv.out_channels,
+                v.tiles(),
+                out_h,
+                out_w,
+                &mut accum,
+            );
+        }
+    }
+
+    let mut out = Tensor::zeros(Shape::new(conv.out_channels, out_h, out_w));
+    let data = out.as_mut_slice();
+    for k in 0..conv.out_channels {
+        let b = bias.get(k).copied().unwrap_or(0.0) as f64;
+        for i in 0..out_h * out_w {
+            let v = accum[k * out_h * out_w + i] + b;
+            data[k * out_h * out_w + i] = match conv.activation {
+                Activation::None => v as f32,
+                Activation::Relu => v.max(0.0) as f32,
+            };
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hybriddnn_model::{reference, synth, Padding};
+
+    #[allow(clippy::too_many_arguments)]
+    fn check_against_direct(
+        c_in: usize,
+        c_out: usize,
+        h: usize,
+        w: usize,
+        kernel: usize,
+        pad: usize,
+        cfg: TileConfig,
+        relu: bool,
+    ) {
+        let conv = Conv2d {
+            in_channels: c_in,
+            out_channels: c_out,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride: 1,
+            padding: Padding::same(pad),
+            activation: if relu {
+                Activation::Relu
+            } else {
+                Activation::None
+            },
+            bias: true,
+        };
+        let input = synth::tensor(Shape::new(c_in, h, w), 42);
+        let mut rng = synth::SplitMix64::new(17);
+        let weights: Vec<f32> = (0..conv.weight_shape().len())
+            .map(|_| rng.next_unit() * 0.5)
+            .collect();
+        let bias: Vec<f32> = (0..c_out).map(|_| rng.next_unit() * 0.1).collect();
+        let direct = reference::conv2d(&input, &conv, &weights, &bias).unwrap();
+        let wino = winograd_conv2d(&input, &conv, &weights, &bias, cfg).unwrap();
+        let diff = direct.max_abs_diff(&wino);
+        assert!(diff < 1e-3, "max diff {diff} for k={kernel} cfg={cfg}");
+    }
+
+    #[test]
+    fn matches_direct_3x3_f2() {
+        check_against_direct(3, 4, 8, 8, 3, 1, TileConfig::F2x2, false);
+    }
+
+    #[test]
+    fn matches_direct_3x3_f4() {
+        check_against_direct(3, 4, 8, 8, 3, 1, TileConfig::F4x4, false);
+    }
+
+    #[test]
+    fn matches_direct_with_relu() {
+        check_against_direct(2, 2, 12, 12, 3, 1, TileConfig::F4x4, true);
+    }
+
+    #[test]
+    fn matches_direct_no_padding() {
+        check_against_direct(2, 3, 10, 10, 3, 0, TileConfig::F2x2, false);
+    }
+
+    #[test]
+    fn matches_direct_odd_sizes() {
+        // Feature map not a multiple of m: edge tiles are clipped.
+        check_against_direct(1, 2, 7, 9, 3, 1, TileConfig::F4x4, false);
+        check_against_direct(1, 2, 5, 5, 3, 1, TileConfig::F2x2, false);
+    }
+
+    #[test]
+    fn kernel_decomposition_5x5() {
+        // 5x5 kernel → 2x2 blocks of 3x3 (§4.2.5 example).
+        check_against_direct(2, 2, 10, 10, 5, 2, TileConfig::F4x4, false);
+        check_against_direct(2, 2, 10, 10, 5, 2, TileConfig::F2x2, false);
+    }
+
+    #[test]
+    fn kernel_decomposition_7x7() {
+        check_against_direct(1, 2, 14, 14, 7, 3, TileConfig::F4x4, false);
+    }
+
+    #[test]
+    fn one_by_one_kernel_via_padding() {
+        check_against_direct(3, 3, 8, 8, 1, 0, TileConfig::F4x4, false);
+    }
+
+    #[test]
+    fn rectangular_input() {
+        check_against_direct(2, 2, 6, 14, 3, 1, TileConfig::F4x4, false);
+    }
+
+    #[test]
+    fn stride_two_is_rejected() {
+        let conv = Conv2d {
+            stride: 2,
+            ..Conv2d::same(1, 1, 3)
+        };
+        let input = Tensor::zeros(Shape::new(1, 8, 8));
+        let err = winograd_conv2d(&input, &conv, &[0.0; 9], &[0.0], TileConfig::F2x2).unwrap_err();
+        assert_eq!(err, WinogradError::UnsupportedStride { stride: 2 });
+    }
+
+    #[test]
+    fn wrong_weight_count_is_rejected() {
+        let conv = Conv2d::same(1, 1, 3);
+        let input = Tensor::zeros(Shape::new(1, 8, 8));
+        assert!(winograd_conv2d(&input, &conv, &[0.0; 8], &[0.0], TileConfig::F2x2).is_err());
+    }
+
+    #[test]
+    fn wrong_channels_rejected() {
+        let conv = Conv2d::same(2, 1, 3);
+        let input = Tensor::zeros(Shape::new(1, 8, 8));
+        assert!(winograd_conv2d(&input, &conv, &[0.0; 18], &[0.0], TileConfig::F2x2).is_err());
+    }
+
+    #[test]
+    fn transformed_path_equals_untransformed() {
+        let conv = Conv2d {
+            bias: false,
+            activation: Activation::None,
+            ..Conv2d::same(2, 2, 3)
+        };
+        let input = synth::tensor(Shape::new(2, 8, 8), 5);
+        let mut rng = synth::SplitMix64::new(6);
+        let weights: Vec<f32> = (0..conv.weight_shape().len())
+            .map(|_| rng.next_unit())
+            .collect();
+        let a = winograd_conv2d(&input, &conv, &weights, &[], TileConfig::F4x4).unwrap();
+        let u = gemm::TransformedWeights::new(TileConfig::F4x4, conv.weight_shape(), &weights);
+        let b = winograd_conv2d_transformed(&input, &conv, &u, &[]).unwrap();
+        assert_eq!(a, b);
+    }
+}

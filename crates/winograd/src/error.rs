@@ -1,0 +1,56 @@
+use hybriddnn_model::ModelError;
+use std::fmt;
+
+/// Errors produced by Winograd convolution routines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WinogradError {
+    /// Winograd convolution only supports stride 1; strided layers must run
+    /// in Spatial mode (a use-case restriction the paper alludes to for
+    /// fast CONV algorithms).
+    UnsupportedStride {
+        /// The requested stride.
+        stride: usize,
+    },
+    /// An underlying model/shape error.
+    Model(ModelError),
+}
+
+impl fmt::Display for WinogradError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WinogradError::UnsupportedStride { stride } => {
+                write!(f, "winograd convolution requires stride 1, got {stride}")
+            }
+            WinogradError::Model(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for WinogradError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WinogradError::Model(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for WinogradError {
+    fn from(e: ModelError) -> Self {
+        WinogradError::Model(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = WinogradError::UnsupportedStride { stride: 2 };
+        assert!(e.to_string().contains("stride 1"));
+        let wrapped = WinogradError::from(ModelError::EmptyNetwork);
+        assert!(std::error::Error::source(&wrapped).is_some());
+    }
+}

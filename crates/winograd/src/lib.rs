@@ -1,0 +1,62 @@
+//! Winograd fast convolution algorithms for the HybridDNN accelerator.
+//!
+//! Implements the `F(m×m, r×r)` minimal-filtering algorithms the paper's
+//! hybrid PE supports: `F(2×2, 3×3)` (`PT = 4`) and `F(4×4, 3×3)`
+//! (`PT = 6`), where `PT = m + r − 1` is the input-tile edge (§4.2.2, §5.1).
+//!
+//! The core identity (paper Eq. 1):
+//!
+//! ```text
+//! Y = Aᵀ [ (G g Gᵀ) ⊙ (Bᵀ d B) ] A
+//! ```
+//!
+//! and its GEMM form summed over input channels (paper Eq. 2). This crate
+//! provides:
+//!
+//! * [`TileConfig`] — the paper's two legal tile configurations plus the
+//!   experimental `F(6×6, 3×3)` extension (evaluated by the benchmark
+//!   harness to test §5.1's "larger tiles aren't worth it" claim).
+//! * [`transform`] — the constant matrices `Bᵀ`, `G`, `Aᵀ` and the three
+//!   tile transforms.
+//! * [`conv`] — full-tensor Winograd convolution with zero padding and the
+//!   kernel-decomposition method of §4.2.5 for kernels larger than 3×3,
+//!   validated against the spatial reference in `hybriddnn-model`.
+//! * [`gemm`] — the `U`/`V` transformed-domain operands and the
+//!   element-wise-matrix-multiply-as-GEMM formulation the PE executes.
+//! * [`mod@derive`] — the Vandermonde construction of the transform matrices
+//!   from interpolation points; the hardcoded constants are pinned
+//!   against it by tests.
+//!
+//! # Example
+//!
+//! ```
+//! use hybriddnn_model::{synth, zoo, reference};
+//! use hybriddnn_winograd::{conv, TileConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut net = zoo::single_conv(16, 4, 8, 3);
+//! synth::bind_random(&mut net, 3)?;
+//! let input = synth::tensor(net.input_shape(), 4);
+//!
+//! let binding = net.binding(0).expect("bound");
+//! let hybriddnn_model::LayerKind::Conv(cfg) = net.layers()[0].kind() else { unreachable!() };
+//! let direct = reference::conv2d(&input, cfg, &binding.weights, &binding.bias)?;
+//! let wino = conv::winograd_conv2d(&input, cfg, &binding.weights, &binding.bias,
+//!                                  TileConfig::F4x4)?;
+//! assert!(direct.max_abs_diff(&wino) < 1e-4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conv;
+pub mod derive;
+pub mod gemm;
+pub mod transform;
+
+mod error;
+
+pub use error::WinogradError;
+pub use transform::TileConfig;

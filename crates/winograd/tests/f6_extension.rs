@@ -1,0 +1,62 @@
+#[test]
+fn f6_tile_pipeline_matches_direct() {
+    use hybriddnn_winograd::{transform, TileConfig};
+    let cfg = TileConfig::F6x6;
+    let pt = cfg.pt();
+    let m = cfg.m();
+    let d: Vec<f64> = (0..pt * pt)
+        .map(|v| ((v * 13 + 5) % 17) as f64 - 8.0)
+        .collect();
+    let g: Vec<f64> = (0..9).map(|v| ((v * 3 + 2) % 5) as f64 - 2.0).collect();
+    let u = transform::transform_kernel(cfg, &g);
+    let v = transform::transform_input_tile(cfg, &d);
+    let prod: Vec<f64> = u.iter().zip(&v).map(|(a, b)| a * b).collect();
+    let y = transform::transform_output_tile(cfg, &prod);
+    for oy in 0..m {
+        for ox in 0..m {
+            let mut acc = 0.0;
+            for r in 0..3 {
+                for s in 0..3 {
+                    acc += d[(oy + r) * pt + (ox + s)] * g[r * 3 + s];
+                }
+            }
+            assert!(
+                (y[oy * m + ox] - acc).abs() < 1e-7,
+                "({oy},{ox}): {} vs {acc}",
+                y[oy * m + ox]
+            );
+        }
+    }
+}
+
+#[test]
+fn f6_full_convolution_matches_direct() {
+    use hybriddnn_model::{reference, synth, Conv2d, Shape};
+    use hybriddnn_winograd::{conv, TileConfig};
+    let convolution = Conv2d::same(4, 6, 3);
+    let input = synth::tensor(Shape::new(4, 13, 13), 5);
+    let mut rng = synth::SplitMix64::new(6);
+    let weights: Vec<f32> = (0..convolution.weight_shape().len())
+        .map(|_| rng.next_unit() * 0.4)
+        .collect();
+    let bias: Vec<f32> = (0..6).map(|_| rng.next_unit() * 0.1).collect();
+    let direct = reference::conv2d(&input, &convolution, &weights, &bias).unwrap();
+    let wino =
+        conv::winograd_conv2d(&input, &convolution, &weights, &bias, TileConfig::F6x6).unwrap();
+    let diff = direct.max_abs_diff(&wino);
+    assert!(diff < 1e-3, "diff {diff}");
+}
+
+#[test]
+fn f6_reduction_factor() {
+    use hybriddnn_winograd::TileConfig;
+    // (6·3)²/8² = 324/64 = 5.0625x — more reduction than F(4x4)'s 4x,
+    // which is exactly why §5.1's objection is about the *addition* and
+    // resource cost, not the multiplication count.
+    assert!((TileConfig::F6x6.reduction_factor() - 5.0625).abs() < 1e-12);
+    assert_eq!(TileConfig::F6x6.pt(), 8);
+    assert_eq!(TileConfig::from_pt(8), Some(TileConfig::F6x6));
+    assert_eq!(TileConfig::EXTENDED.len(), 3);
+    // Table 2's constraint set stays the paper's pair.
+    assert_eq!(TileConfig::ALL.len(), 2);
+}

@@ -1,0 +1,130 @@
+//! Property-based tests: Winograd convolution (both tile configurations,
+//! arbitrary geometry within the PE's envelope, kernel decomposition)
+//! agrees with the direct spatial reference.
+
+use hybriddnn_model::{reference, synth, Activation, Conv2d, Padding, Shape};
+use hybriddnn_winograd::{conv, gemm, transform, TileConfig};
+use proptest::prelude::*;
+
+fn tile_strategy() -> impl Strategy<Value = TileConfig> {
+    // Include the experimental F(6x6,3x3) extension: every property must
+    // hold for it too.
+    prop_oneof![
+        Just(TileConfig::F2x2),
+        Just(TileConfig::F4x4),
+        Just(TileConfig::F6x6)
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Full-tensor Winograd == direct convolution over random geometry.
+    #[test]
+    fn winograd_matches_direct(
+        cfg in tile_strategy(),
+        c_in in 1usize..5,
+        c_out in 1usize..5,
+        h in 3usize..14,
+        w in 3usize..14,
+        kernel in prop_oneof![Just(1usize), Just(3), Just(5)],
+        pad in 0usize..3,
+        relu in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        // Geometry must admit at least one output position.
+        prop_assume!(h + 2 * pad >= kernel && w + 2 * pad >= kernel);
+        let convolution = Conv2d {
+            in_channels: c_in,
+            out_channels: c_out,
+            kernel_h: kernel,
+            kernel_w: kernel,
+            stride: 1,
+            padding: Padding::same(pad),
+            activation: if relu { Activation::Relu } else { Activation::None },
+            bias: true,
+        };
+        let input = synth::tensor(Shape::new(c_in, h, w), seed);
+        let mut rng = synth::SplitMix64::new(seed ^ 0xABCD);
+        let weights: Vec<f32> = (0..convolution.weight_shape().len())
+            .map(|_| rng.next_unit() * 0.5)
+            .collect();
+        let bias: Vec<f32> = (0..c_out).map(|_| rng.next_unit() * 0.1).collect();
+        let direct = reference::conv2d(&input, &convolution, &weights, &bias)
+            .expect("valid geometry");
+        let wino = conv::winograd_conv2d(&input, &convolution, &weights, &bias, cfg)
+            .expect("valid geometry");
+        let diff = direct.max_abs_diff(&wino);
+        prop_assert!(diff < 1e-3, "diff {diff}");
+    }
+
+    /// The kernel transform is linear: U(a·g1 + g2) == a·U(g1) + U(g2).
+    #[test]
+    fn kernel_transform_is_linear(
+        cfg in tile_strategy(),
+        g1 in prop::collection::vec(-4.0f64..4.0, 9),
+        g2 in prop::collection::vec(-4.0f64..4.0, 9),
+        a in -3.0f64..3.0,
+    ) {
+        let combined: Vec<f64> = g1.iter().zip(&g2).map(|(x, y)| a * x + y).collect();
+        let lhs = transform::transform_kernel(cfg, &combined);
+        let u1 = transform::transform_kernel(cfg, &g1);
+        let u2 = transform::transform_kernel(cfg, &g2);
+        for (i, v) in lhs.iter().enumerate() {
+            prop_assert!((v - (a * u1[i] + u2[i])).abs() < 1e-9);
+        }
+    }
+
+    /// Tile identity: forward-transform, pointwise-multiply, inverse
+    /// transform equals the direct 3x3 valid convolution of the tile.
+    #[test]
+    fn tile_pipeline_equals_direct(
+        cfg in tile_strategy(),
+        seed in 0u64..10_000,
+    ) {
+        let pt = cfg.pt();
+        let m = cfg.m();
+        let mut rng = synth::SplitMix64::new(seed);
+        let d: Vec<f64> = (0..pt * pt).map(|_| rng.next_unit() as f64).collect();
+        let g: Vec<f64> = (0..9).map(|_| rng.next_unit() as f64).collect();
+        let u = transform::transform_kernel(cfg, &g);
+        let v = transform::transform_input_tile(cfg, &d);
+        let prod: Vec<f64> = u.iter().zip(&v).map(|(a, b)| a * b).collect();
+        let y = transform::transform_output_tile(cfg, &prod);
+        for oy in 0..m {
+            for ox in 0..m {
+                let mut acc = 0.0;
+                for r in 0..3 {
+                    for s in 0..3 {
+                        acc += d[(oy + r) * pt + (ox + s)] * g[r * 3 + s];
+                    }
+                }
+                prop_assert!((y[oy * m + ox] - acc).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// The transformed-weights container indexes consistently with its
+    /// raw layout.
+    #[test]
+    fn transformed_weights_indexing(
+        cfg in tile_strategy(),
+        k in 1usize..4,
+        c in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        let shape = hybriddnn_model::WeightShape::new(k, c, 3, 3);
+        let mut rng = synth::SplitMix64::new(seed);
+        let weights: Vec<f32> = (0..shape.len()).map(|_| rng.next_unit()).collect();
+        let u = gemm::TransformedWeights::new(cfg, shape, &weights);
+        let pt2 = cfg.pt() * cfg.pt();
+        let raw = u.as_slice();
+        for e in 0..pt2 {
+            for ki in 0..k {
+                for ci in 0..c {
+                    prop_assert_eq!(u.at(0, 0, e, ki, ci), raw[(e * k + ki) * c + ci]);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! Design space exploration walkthrough (paper §5.3): enumerate the
+//! hardware candidates for a device, score each against a model, and
+//! show why the winner wins.
+//!
+//! Also demonstrates targeting a *custom* device parsed from an `.fpga`
+//! spec — the framework is not hard-wired to the two paper boards.
+//!
+//! ```text
+//! cargo run --release --example dse_explore
+//! ```
+
+use hybriddnn::model::zoo;
+use hybriddnn::{DseEngine, FpgaSpec, Profile};
+
+fn explore(device: FpgaSpec, profile: Profile, freq: f64) {
+    let engine = DseEngine::new(device, profile);
+    let net = zoo::vgg16();
+    println!("\n== {} ==", engine.device());
+
+    // Step 1: hardware candidates.
+    let mut rows: Vec<(f64, String)> = Vec::new();
+    for (dp, inst) in engine.enumerate_candidates() {
+        // Step 2: per-layer software choices + total latency.
+        let Some((_, total)) = engine.evaluate(&dp, &net) else {
+            continue;
+        };
+        let score = total / dp.ni as f64;
+        rows.push((
+            score,
+            format!(
+                "  {dp:<24} {:>8} DSP/inst  {:>11.0} cyc/img  {:>7.1} GOPS",
+                inst.dsp,
+                total,
+                dp.ni as f64 * net.total_ops() as f64 / (total / (freq * 1e6)) / 1e9
+            ),
+        ));
+    }
+    rows.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+    println!("top hardware candidates (device throughput order):");
+    for (_, line) in rows.iter().take(6) {
+        println!("{line}");
+    }
+
+    // Step 3: the pick.
+    let result = engine.explore(&net).expect("vgg16 is feasible");
+    println!(
+        "winner: {}  →  {:.1} GOPS estimated, {:.1} ms/image",
+        result.design,
+        result.throughput_gops(freq),
+        result.latency_ms(freq)
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    explore(FpgaSpec::vu9p(), Profile::vu9p(), 167.0);
+    explore(FpgaSpec::pynq_z1(), Profile::pynq_z1(), 100.0);
+
+    // A custom mid-range device from a text spec.
+    let custom = hybriddnn::parser::parse_fpga(
+        "name KU060-ish\n\
+         dies 1\n\
+         die_lut 331000\n\
+         die_dsp 2760\n\
+         die_bram18 2160\n\
+         bram_width 36\n\
+         freq_mhz 200\n\
+         bw_words 96\n\
+         max_instances 4\n",
+    )?;
+    explore(custom, Profile::vu9p(), 200.0);
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Quickstart: the four-step design flow (paper Figure 1) on a small CNN.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use hybriddnn::flow::Framework;
+use hybriddnn::model::{reference, synth, zoo};
+use hybriddnn::{FpgaSpec, Profile, SimMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Step 1 — the inputs: a DNN model and an FPGA specification.
+    // (Models can also be parsed from text; see `hybriddnn::parser`.)
+    let mut net = zoo::vgg_tiny();
+    synth::bind_random(&mut net, 42)?; // synthetic "pretrained" weights
+    let device = FpgaSpec::pynq_z1();
+    println!(
+        "model : vgg_tiny, {:.3} GOP/inference",
+        net.total_ops() as f64 / 1e9
+    );
+    println!("device: {device}");
+
+    // Step 2 + 3 — design space exploration and compilation.
+    let framework = Framework::new(device, Profile::pynq_z1());
+    let deployment = framework.build(&net)?;
+    println!(
+        "\nDSE picked {} ({} candidates explored)",
+        deployment.dse.design, deployment.dse.candidates
+    );
+    for choice in &deployment.dse.per_layer {
+        println!(
+            "  {:<10} {} {}  ~{:>9.0} cycles ({}-bound)",
+            choice.name,
+            choice.mode,
+            choice.dataflow,
+            choice.estimate.cycles,
+            choice.estimate.bound
+        );
+    }
+    println!(
+        "compiled {} instructions across {} stages",
+        deployment.compiled.instruction_count(),
+        deployment.compiled.layers().len()
+    );
+
+    // Step 4 — run on the simulated accelerator and validate.
+    let input = synth::tensor(net.input_shape(), 7);
+    let run = deployment.run(&input, SimMode::Functional)?;
+    let golden = reference::run_network(&net, &input)?;
+    println!(
+        "\nsimulated inference: {:.3} ms, {:.1} GOPS (device), output max |err| {:.2e}",
+        deployment.latency_ms(&run),
+        deployment.throughput_gops(&run),
+        run.output.max_abs_diff(&golden)
+    );
+    println!(
+        "modeled power {:.2} W -> {:.1} GOPS/W",
+        deployment.power().total_w(),
+        deployment.energy_efficiency(&run)
+    );
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! The paper's §6.1 cloud case study: VGG16 on the Xilinx VU9P.
+//!
+//! Reproduces the design decisions (six PI=PO=4, PT=6 instances, all CONV
+//! layers in Winograd mode), the Table 3 resource picture, and the
+//! headline throughput/efficiency numbers of Table 4 on the simulated
+//! accelerator.
+//!
+//! ```text
+//! cargo run --release --example vgg16_vu9p
+//! ```
+
+use hybriddnn::flow::Framework;
+use hybriddnn::model::{zoo, LayerKind, Network};
+use hybriddnn::{FpgaSpec, Profile, SimMode};
+
+fn bind_zeros(net: &mut Network) {
+    for i in 0..net.layers().len() {
+        let (w, b) = match net.layers()[i].kind() {
+            LayerKind::Conv(c) => (c.weight_shape().len(), c.out_channels),
+            LayerKind::Fc(fc) => (fc.weight_shape().len(), fc.out_features),
+            _ => continue,
+        };
+        net.bind(i, vec![0.0; w], vec![0.0; b]).unwrap();
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut net = zoo::vgg16();
+    bind_zeros(&mut net); // timing study: parameter values are irrelevant
+    let device = FpgaSpec::vu9p();
+    println!("== VGG16 on {} (paper §6.1) ==", device.name());
+
+    let framework = Framework::new(device.clone(), Profile::vu9p());
+    let deployment = framework.build(&net)?;
+    let dse = &deployment.dse;
+
+    println!("\nDSE result : {}", dse.design);
+    println!("  paper    : PI=4 PO=4 PT=6 x NI=6 (two instances per die)");
+    let total = device.total_resources();
+    let used = dse.total_resources;
+    let (l, d, b) = used.utilization(&total);
+    println!(
+        "\nresources  : {used}\n  utilization {:.1}% LUT, {:.1}% DSP, {:.1}% BRAM",
+        l * 100.0,
+        d * 100.0,
+        b * 100.0
+    );
+    println!("  paper    : 59.8% LUT, 75.5% DSP, 73.4% BRAM (Table 3)");
+
+    println!("\nper-layer mapping (paper: all CONV layers Winograd):");
+    for c in &dse.per_layer {
+        println!(
+            "  {:<10} {} {}  est {:>9.0} cycles ({}-bound)",
+            c.name, c.mode, c.dataflow, c.estimate.cycles, c.estimate.bound
+        );
+    }
+
+    let input = hybriddnn::Tensor::zeros(net.input_shape());
+    let run = deployment.run(&input, SimMode::TimingOnly)?;
+    println!(
+        "\nsimulated  : {:.2} ms/image/instance",
+        deployment.latency_ms(&run)
+    );
+    println!(
+        "throughput : {:>7.1} GOPS   (paper Table 4: 3375.7 GOPS)",
+        deployment.throughput_gops(&run)
+    );
+    println!(
+        "power      : {:>7.1} W      (paper Table 4: 45.9 W, modeled here)",
+        deployment.power().total_w()
+    );
+    println!(
+        "DSP eff.   : {:>7.2} GOPS/DSP (paper Table 4: 0.65)",
+        deployment.dsp_efficiency(&run)
+    );
+    println!(
+        "energy eff.: {:>7.1} GOPS/W  (paper Table 4: 73.5)",
+        deployment.energy_efficiency(&run)
+    );
+
+    let report = hybriddnn::report::AccuracyReport::measure(&deployment)?;
+    println!(
+        "\nanalytical model vs cycle-level simulation: {:.2}% total error \
+         (paper §6.2: 4.27%)",
+        report.total_error_pct()
+    );
+    Ok(())
+}

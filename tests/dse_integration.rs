@@ -1,0 +1,112 @@
+//! DSE integration tests: the explored designs must be buildable,
+//! runnable, and reproduce the paper's §6.1 configuration choices.
+
+use hybriddnn::flow::Framework;
+use hybriddnn::model::{synth, zoo};
+use hybriddnn::{ConvMode, DseEngine, FpgaSpec, Profile, SimMode};
+
+#[test]
+fn vu9p_vgg16_design_matches_paper() {
+    let engine = DseEngine::new(FpgaSpec::vu9p(), Profile::vu9p());
+    let result = engine.explore(&zoo::vgg16()).unwrap();
+    // §6.1: six instances of PI=4, PO=4, PT=6 (two per die).
+    assert_eq!(
+        (
+            result.design.accel.pi,
+            result.design.accel.po,
+            result.design.accel.pt()
+        ),
+        (4, 4, 6)
+    );
+    assert_eq!(result.design.ni, 6);
+    // §6.2: every CONV layer in Winograd mode.
+    for c in &result.per_layer {
+        if c.workload.out_h > 1 {
+            assert_eq!(c.mode, ConvMode::Winograd, "{}", c.name);
+        }
+    }
+    // Headline throughput lands in the neighbourhood of 3375.7 GOPS.
+    let gops = result.throughput_gops(167.0);
+    assert!(
+        (2500.0..4500.0).contains(&gops),
+        "estimated VU9P throughput {gops} GOPS is out of family"
+    );
+}
+
+#[test]
+fn pynq_vgg16_design_matches_paper() {
+    let engine = DseEngine::new(FpgaSpec::pynq_z1(), Profile::pynq_z1());
+    let result = engine.explore(&zoo::vgg16()).unwrap();
+    assert_eq!(
+        (
+            result.design.accel.pi,
+            result.design.accel.po,
+            result.design.accel.pt()
+        ),
+        (4, 4, 4)
+    );
+    assert_eq!(result.design.ni, 1);
+    // Headline: 83.3 GOPS on PYNQ-Z1.
+    let gops = result.throughput_gops(100.0);
+    assert!(
+        (50.0..130.0).contains(&gops),
+        "estimated PYNQ throughput {gops} GOPS is out of family"
+    );
+}
+
+#[test]
+fn explored_design_compiles_and_simulates() {
+    let mut net = zoo::vgg_tiny();
+    synth::bind_random(&mut net, 21).unwrap();
+    let framework = Framework::new(FpgaSpec::pynq_z1(), Profile::pynq_z1());
+    let deployment = framework.build(&net).unwrap();
+    let run = deployment
+        .run(&synth::tensor(net.input_shape(), 1), SimMode::TimingOnly)
+        .unwrap();
+    assert!(run.total_cycles > 0.0);
+    // The simulated instance never exceeds the device's compute peak.
+    let gops_inst = run.gops(deployment.device.freq_mhz());
+    let wino_peak = deployment
+        .dse
+        .design
+        .accel
+        .peak_gops(deployment.device.freq_mhz())
+        * deployment.dse.design.accel.tile.reduction_factor();
+    assert!(
+        gops_inst <= wino_peak,
+        "{gops_inst} > wino peak {wino_peak}"
+    );
+}
+
+#[test]
+fn custom_device_spec_explores() {
+    // A made-up mid-range device parsed from text.
+    let spec = hybriddnn::parser::parse_fpga(
+        "name MID\ndies 2\ndie_lut 150000\ndie_dsp 1000\ndie_bram18 600\n\
+         bram_width 36\nfreq_mhz 150\nbw_words 64\nmax_instances 4\n",
+    )
+    .unwrap();
+    let engine = DseEngine::new(spec, Profile::vu9p());
+    let result = engine.explore(&zoo::vgg16()).unwrap();
+    assert!(result.design.ni >= 1);
+    assert!(result
+        .total_resources
+        .fits_within(&engine.device().total_resources()));
+}
+
+#[test]
+fn dse_estimates_agree_with_simulator_on_vgg_tiny() {
+    // The whole point of the analytical model (§6.2): estimates close to
+    // the implementation. Compare on a small network end-to-end.
+    let mut net = zoo::vgg_tiny();
+    synth::bind_random(&mut net, 22).unwrap();
+    let deployment = Framework::new(FpgaSpec::pynq_z1(), Profile::pynq_z1())
+        .build(&net)
+        .unwrap();
+    let report = hybriddnn::report::AccuracyReport::measure(&deployment).unwrap();
+    let err = report.total_error_pct();
+    assert!(
+        err < 30.0,
+        "estimator vs simulator error {err}% on vgg_tiny"
+    );
+}

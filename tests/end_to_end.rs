@@ -1,0 +1,242 @@
+//! Whole-flow integration tests: parse → DSE → compile → simulate →
+//! compare against the golden CPU reference, across CONV modes,
+//! dataflows, kernel sizes, strides, and precisions.
+
+use hybriddnn::flow::Framework;
+use hybriddnn::model::{quant::QFormat, reference, synth, zoo, Network, NetworkBuilder, Shape};
+use hybriddnn::{
+    AcceleratorConfig, Compiler, ConvMode, Dataflow, FpgaSpec, MappingStrategy, Profile, QuantSpec,
+    SimMode, Simulator, TileConfig,
+};
+
+fn check_compiled(
+    net: &Network,
+    cfg: AcceleratorConfig,
+    strategy: &MappingStrategy,
+    quant: QuantSpec,
+    bw: f64,
+    tol: f32,
+    seed: u64,
+) {
+    let compiled = Compiler::new(cfg)
+        .with_quant(quant)
+        .compile(net, strategy)
+        .unwrap();
+    let mut sim = Simulator::new(&compiled, SimMode::Functional, bw);
+    let input = match quant.activations {
+        Some(fmt) => synth::quantized_tensor(net.input_shape(), seed, fmt),
+        None => synth::tensor(net.input_shape(), seed),
+    };
+    let run = sim.run(&compiled, &input).unwrap();
+    if quant.is_quantized() {
+        let golden = hybriddnn::report::golden_quantized(net, &compiled, &input);
+        assert_eq!(run.output, golden, "quantized path must be bit-exact");
+    } else {
+        let golden = reference::run_network(net, &input).unwrap();
+        let diff = run.output.max_abs_diff(&golden);
+        assert!(diff < tol, "sim vs reference diff {diff} (tol {tol})");
+    }
+    assert!(run.total_cycles > 0.0);
+}
+
+#[test]
+fn vgg_tiny_all_mode_dataflow_combinations() {
+    let mut net = zoo::vgg_tiny();
+    synth::bind_random(&mut net, 11).unwrap();
+    for tile in TileConfig::ALL {
+        let cfg = AcceleratorConfig::new(4, 4, tile);
+        for mode in [ConvMode::Spatial, ConvMode::Winograd] {
+            for df in [Dataflow::InputStationary, Dataflow::WeightStationary] {
+                let strategy = MappingStrategy::uniform(&net, mode, df);
+                check_compiled(&net, cfg, &strategy, QuantSpec::float32(), 16.0, 2e-2, 3);
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_per_layer_strategy() {
+    // Alternate modes per layer — exercises the SAVE-side layout
+    // transforms between WINO and SPAT regions (Figure 5's four cases).
+    let mut net = zoo::vgg_tiny();
+    synth::bind_random(&mut net, 12).unwrap();
+    let n = net.layers().iter().filter(|l| l.is_compute()).count();
+    let choices: Vec<(ConvMode, Dataflow)> = (0..n)
+        .map(|i| {
+            (
+                if i % 2 == 0 {
+                    ConvMode::Winograd
+                } else {
+                    ConvMode::Spatial
+                },
+                if i % 3 == 0 {
+                    Dataflow::InputStationary
+                } else {
+                    Dataflow::WeightStationary
+                },
+            )
+        })
+        .collect();
+    let cfg = AcceleratorConfig::new(4, 4, TileConfig::F4x4);
+    check_compiled(
+        &net,
+        cfg,
+        &MappingStrategy::new(choices),
+        QuantSpec::float32(),
+        16.0,
+        2e-2,
+        4,
+    );
+}
+
+#[test]
+fn strided_and_large_kernel_network() {
+    let net = NetworkBuilder::new(Shape::new(3, 32, 32))
+        .conv_cfg(
+            "c7",
+            hybriddnn::model::Conv2d {
+                in_channels: 3,
+                out_channels: 8,
+                kernel_h: 7,
+                kernel_w: 7,
+                stride: 2,
+                padding: hybriddnn::model::Padding::same(3),
+                activation: hybriddnn::model::Activation::Relu,
+                bias: true,
+            },
+        )
+        .conv("c5", 8, 8, 5)
+        .conv("c3", 8, 16, 3)
+        .max_pool("p", 2)
+        .fc("out", 10)
+        .build()
+        .unwrap();
+    let mut net = net;
+    synth::bind_random(&mut net, 13).unwrap();
+    // Winograd requested everywhere: the strided 7x7 layer must fall back
+    // to Spatial; the 5x5 decomposes into four 3x3 blocks.
+    let cfg = AcceleratorConfig::new(4, 4, TileConfig::F4x4);
+    check_compiled(
+        &net,
+        cfg,
+        &MappingStrategy::all_winograd(&net),
+        QuantSpec::float32(),
+        16.0,
+        2e-2,
+        5,
+    );
+}
+
+#[test]
+fn asymmetric_parallel_factors() {
+    // PI > PO configurations exercise the K_BASE / lane bookkeeping.
+    let mut net = zoo::tiny_cnn();
+    synth::bind_random(&mut net, 14).unwrap();
+    for (pi, po) in [(8, 4), (8, 2), (4, 1), (2, 2)] {
+        let cfg = AcceleratorConfig::new(pi, po, TileConfig::F2x2);
+        check_compiled(
+            &net,
+            cfg,
+            &MappingStrategy::all_winograd(&net),
+            QuantSpec::float32(),
+            16.0,
+            1e-2,
+            6,
+        );
+    }
+}
+
+#[test]
+fn quantized_bit_exactness_across_modes() {
+    let mut net = zoo::vgg_tiny();
+    synth::bind_random_quantized(&mut net, 15, QFormat::WEIGHT8).unwrap();
+    let cfg = AcceleratorConfig::new(4, 4, TileConfig::F2x2);
+    for mode in [ConvMode::Spatial, ConvMode::Winograd] {
+        let strategy = MappingStrategy::uniform(&net, mode, Dataflow::WeightStationary);
+        check_compiled(&net, cfg, &strategy, QuantSpec::paper_12bit(), 16.0, 0.0, 7);
+    }
+}
+
+#[test]
+fn parsed_model_runs_end_to_end() {
+    let text = "
+input 3 16 16
+conv c1 8 3x3 relu
+maxpool p1 2
+conv c2 16 3x3 relu
+maxpool p2 2
+fc out 10 relu
+";
+    let mut net = hybriddnn::parser::parse_model(text).unwrap();
+    synth::bind_random(&mut net, 16).unwrap();
+    let deployment = Framework::new(FpgaSpec::pynq_z1(), Profile::pynq_z1())
+        .build(&net)
+        .unwrap();
+    let input = synth::tensor(net.input_shape(), 8);
+    let run = deployment.run(&input, SimMode::Functional).unwrap();
+    let golden = reference::run_network(&net, &input).unwrap();
+    assert!(run.output.max_abs_diff(&golden) < 1e-2);
+}
+
+#[test]
+fn instruction_streams_roundtrip_through_encoding() {
+    // Every program the compiler emits must survive binary encode/decode
+    // (the accelerator only ever sees the 128-bit words).
+    let mut net = zoo::vgg_tiny();
+    synth::bind_random(&mut net, 17).unwrap();
+    let cfg = AcceleratorConfig::new(4, 4, TileConfig::F4x4);
+    let compiled = Compiler::new(cfg)
+        .compile(&net, &MappingStrategy::all_winograd(&net))
+        .unwrap();
+    for layer in compiled.layers() {
+        let words = layer.program().encode().unwrap();
+        let decoded = hybriddnn::Program::decode(&words).unwrap();
+        assert_eq!(&decoded, layer.program());
+    }
+}
+
+#[test]
+fn intermediate_activations_match_reference_layerwise() {
+    // Check every stage boundary, not just the final output.
+    let mut net = zoo::tiny_cnn();
+    synth::bind_random(&mut net, 18).unwrap();
+    let cfg = AcceleratorConfig::new(4, 4, TileConfig::F2x2);
+    let compiled = Compiler::new(cfg)
+        .compile(&net, &MappingStrategy::all_winograd(&net))
+        .unwrap();
+    let mut sim = Simulator::new(&compiled, SimMode::Functional, 16.0);
+    let input = synth::tensor(net.input_shape(), 9);
+    sim.run(&compiled, &input).unwrap();
+    let trace = reference::run_network_trace(&net, &input).unwrap();
+    // Stage 0 output = after conv1+pool1 = trace[1]; stage 1 = trace[2].
+    let s0 = compiled.read_stage_output(sim.memory(), 0, trace[1].shape());
+    assert!(s0.max_abs_diff(&trace[1]) < 1e-2);
+    let s1 = compiled.read_stage_output(sim.memory(), 1, trace[2].shape());
+    assert!(s1.max_abs_diff(&trace[2]) < 1e-2);
+}
+
+#[test]
+fn stem_cnn_full_flow_on_both_devices() {
+    // 7x7 stride-2 stem (Spatial fallback) + 5x5 decomposition + pooling
+    // + FC, through the complete DSE -> compile -> simulate flow.
+    let mut net = zoo::stem_cnn();
+    synth::bind_random(&mut net, 77).unwrap();
+    for (device, profile) in [
+        (FpgaSpec::pynq_z1(), Profile::pynq_z1()),
+        (FpgaSpec::vu9p(), Profile::vu9p()),
+    ] {
+        let deployment = Framework::new(device.clone(), profile).build(&net).unwrap();
+        // The strided stem must have fallen back to Spatial.
+        assert_eq!(
+            deployment.dse.per_layer[0].mode,
+            ConvMode::Spatial,
+            "{}",
+            device.name()
+        );
+        let input = synth::tensor(net.input_shape(), 5);
+        let run = deployment.run(&input, SimMode::Functional).unwrap();
+        let golden = reference::run_network(&net, &input).unwrap();
+        let diff = run.output.max_abs_diff(&golden);
+        assert!(diff < 1e-2, "{}: diff {diff}", device.name());
+    }
+}

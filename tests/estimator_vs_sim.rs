@@ -1,0 +1,182 @@
+//! Cross-validation of the analytical models (Eq. 3–15) against the
+//! cycle-level simulator on paper-scale single layers — the §6.2
+//! "only 4.27% and 4.03% errors" claim, measured here per layer.
+
+use hybriddnn::model::zoo;
+use hybriddnn::{
+    AcceleratorConfig, Compiler, ConvMode, Dataflow, MappingStrategy, SimMode, Simulator,
+    TileConfig,
+};
+use hybriddnn_estimator::latency;
+
+/// Builds the layer, runs both the estimator and the timing simulator,
+/// returns (estimated, simulated) cycles.
+fn both(
+    cfg: AcceleratorConfig,
+    mode: ConvMode,
+    dataflow: Dataflow,
+    feature: usize,
+    channels: usize,
+    kernel: usize,
+    bw: f64,
+) -> (f64, f64) {
+    let mut net = zoo::single_conv(feature, channels, channels, kernel);
+    // Timing only: zero weights keep compilation fast.
+    for i in 0..net.layers().len() {
+        let hybriddnn::model::LayerKind::Conv(c) = net.layers()[i].kind() else {
+            continue;
+        };
+        let (w, b) = (c.weight_shape().len(), c.out_channels);
+        net.bind(i, vec![0.0; w], vec![0.0; b]).unwrap();
+    }
+    let wl = hybriddnn::LayerWorkload::conv(
+        channels, channels, kernel, kernel, feature, feature, feature, feature, 1,
+    );
+    let est = latency::layer_latency(&cfg, mode, dataflow, &wl, bw);
+    let strategy = MappingStrategy::new(vec![(mode, dataflow)]);
+    let compiled = Compiler::new(cfg).compile(&net, &strategy).unwrap();
+    let mut sim = Simulator::new(&compiled, SimMode::TimingOnly, bw);
+    let run = sim
+        .run(&compiled, &hybriddnn::Tensor::zeros(net.input_shape()))
+        .unwrap();
+    (est.cycles, run.total_cycles)
+}
+
+#[test]
+fn estimator_tracks_simulator_on_compute_bound_layers() {
+    let cfg = AcceleratorConfig::new(4, 4, TileConfig::F4x4);
+    for (feat, ch) in [(28, 128), (14, 256), (56, 64)] {
+        for mode in [ConvMode::Spatial, ConvMode::Winograd] {
+            let (est, sim) = both(cfg, mode, Dataflow::WeightStationary, feat, ch, 3, 64.0);
+            let err = (est - sim).abs() / sim * 100.0;
+            assert!(
+                err < 15.0,
+                "{mode} {feat}x{feat}x{ch}: est {est:.0} vs sim {sim:.0} ({err:.1}%)"
+            );
+        }
+    }
+}
+
+#[test]
+fn estimator_tracks_simulator_when_memory_bound() {
+    let cfg = AcceleratorConfig::new(4, 4, TileConfig::F4x4);
+    // Bandwidth-starved Winograd: the paper's Figure 6 dips.
+    let (est, sim) = both(
+        cfg,
+        ConvMode::Winograd,
+        Dataflow::WeightStationary,
+        14,
+        256,
+        3,
+        2.0,
+    );
+    let err = (est - sim).abs() / sim * 100.0;
+    assert!(
+        err < 30.0,
+        "memory-bound est {est:.0} vs sim {sim:.0} ({err:.1}%)"
+    );
+    // And the simulator agrees the layer got slower than at full BW.
+    let (_, fast) = both(
+        cfg,
+        ConvMode::Winograd,
+        Dataflow::WeightStationary,
+        14,
+        256,
+        3,
+        64.0,
+    );
+    assert!(
+        sim > 2.0 * fast,
+        "BW=2 should slow the layer: {sim} vs {fast}"
+    );
+}
+
+#[test]
+fn winograd_speedup_shape_matches_theory() {
+    // Compute-bound 3x3 layers: simulated Winograd speedup approaches
+    // the m²·r²/PT² reduction factor (4x for F(4x4,3x3)).
+    let cfg = AcceleratorConfig::new(4, 4, TileConfig::F4x4);
+    let (_, spat) = both(
+        cfg,
+        ConvMode::Spatial,
+        Dataflow::WeightStationary,
+        28,
+        128,
+        3,
+        1e6,
+    );
+    let (_, wino) = both(
+        cfg,
+        ConvMode::Winograd,
+        Dataflow::WeightStationary,
+        28,
+        128,
+        3,
+        1e6,
+    );
+    let speedup = spat / wino;
+    assert!(
+        (3.0..4.5).contains(&speedup),
+        "simulated Winograd speedup {speedup:.2} should be near 4x"
+    );
+}
+
+#[test]
+fn is_vs_ws_crossover_in_simulator() {
+    // WS wins for weight-heavy layers, IS competes on big feature maps —
+    // the §4.2.4 guidance, observed in the cycle-level simulator.
+    let cfg = AcceleratorConfig::new(4, 4, TileConfig::F4x4);
+    let bw = 8.0;
+    let (_, ws) = both(
+        cfg,
+        ConvMode::Spatial,
+        Dataflow::WeightStationary,
+        14,
+        512,
+        3,
+        bw,
+    );
+    let (_, is) = both(
+        cfg,
+        ConvMode::Spatial,
+        Dataflow::InputStationary,
+        14,
+        512,
+        3,
+        bw,
+    );
+    assert!(
+        ws < is,
+        "weight-heavy layer: WS {ws:.0} should beat IS {is:.0}"
+    );
+}
+
+#[test]
+fn kernel_decomposition_cost_scales_with_blocks() {
+    // A 5x5 kernel decomposes into 4 blocks: Winograd compute should be
+    // ~4x the 3x3 cost (paper §4.2.5 / Eq. 7's ⌈R/r⌉⌈S/r⌉ factor).
+    let cfg = AcceleratorConfig::new(4, 4, TileConfig::F4x4);
+    let (_, k3) = both(
+        cfg,
+        ConvMode::Winograd,
+        Dataflow::WeightStationary,
+        28,
+        64,
+        3,
+        1e6,
+    );
+    let (_, k5) = both(
+        cfg,
+        ConvMode::Winograd,
+        Dataflow::WeightStationary,
+        28,
+        64,
+        5,
+        1e6,
+    );
+    let ratio = k5 / k3;
+    assert!(
+        (3.0..5.5).contains(&ratio),
+        "5x5/3x3 Winograd cost ratio {ratio:.2} should be near 4"
+    );
+}

@@ -1,0 +1,132 @@
+//! Property-based tests of the Figure 5 data-layout machinery: the two
+//! DDR layouts, the four SAVE transforms, and the region address math.
+
+use hybriddnn::model::Shape;
+use hybriddnn::{ConvMode, ExternalMemory};
+use hybriddnn_compiler::{FmapRegion, MemoryMap};
+use proptest::prelude::*;
+
+fn region_strategy() -> impl Strategy<Value = FmapRegion> {
+    (
+        1usize..=12, // channels
+        1usize..=10, // h
+        1usize..=10, // w
+        0usize..=2,  // pad_h
+        0usize..=2,  // pad_w
+        prop_oneof![Just(ConvMode::Spatial), Just(ConvMode::Winograd)],
+        prop_oneof![Just(2usize), Just(4usize)], // pi
+    )
+        .prop_map(|(channels, h, w, pad_h, pad_w, layout, pi)| FmapRegion {
+            base: 1000,
+            channels,
+            h,
+            w,
+            pad_h,
+            pad_w,
+            layout,
+            pi,
+        })
+}
+
+proptest! {
+    /// Every (c, y, x) maps to a unique in-bounds word address.
+    #[test]
+    fn region_addresses_are_unique_and_in_bounds(r in region_strategy()) {
+        let mut seen = std::collections::HashSet::new();
+        for c in 0..r.channels {
+            for y in 0..r.padded_h() {
+                for x in 0..r.padded_w() {
+                    let a = r.addr_padded(c, y, x);
+                    prop_assert!(a >= r.base);
+                    prop_assert!(a < r.base + r.words());
+                    prop_assert!(seen.insert(a));
+                }
+            }
+        }
+    }
+
+    /// Writing a tensor through one layout and reading it back through
+    /// the same region is the identity, independent of layout and halo.
+    #[test]
+    fn write_read_roundtrip(r in region_strategy(), seed in 0u64..1000) {
+        let mut mem = ExternalMemory::new();
+        let shape = Shape::new(r.channels, r.h, r.w);
+        let t = hybriddnn::model::synth::tensor(shape, seed);
+        for c in 0..shape.c {
+            for y in 0..shape.h {
+                for x in 0..shape.w {
+                    mem.host_store(r.addr(c, y, x), t.at(c, y, x));
+                }
+            }
+        }
+        for c in 0..shape.c {
+            for y in 0..shape.h {
+                for x in 0..shape.w {
+                    prop_assert_eq!(mem.host_load(r.addr(c, y, x)), t.at(c, y, x));
+                }
+            }
+        }
+    }
+
+    /// Interior addresses are affine in (y, x) for both layouts — the
+    /// property the SAVE instruction's folded DRAM_BASE relies on.
+    #[test]
+    fn interior_addressing_is_affine(r in region_strategy()) {
+        if r.h >= 2 && r.w >= 2 {
+            let base = r.addr(0, 0, 0);
+            let dy = r.addr(0, 1, 0) - base;
+            let dx = r.addr(0, 0, 1) - base;
+            for y in 0..r.h {
+                for x in 0..r.w {
+                    prop_assert_eq!(r.addr(0, y, x), base + y as u64 * dy + x as u64 * dx);
+                }
+            }
+        }
+    }
+
+    /// A SPAT-layout region and a WINO-layout region of identical
+    /// geometry permute the same full word set at lane granularity (the
+    /// SAVE transforms move every word somewhere; none are dropped).
+    #[test]
+    fn layouts_cover_identical_word_sets(r in region_strategy()) {
+        let full = FmapRegion { channels: r.cv() * r.pi, ..r };
+        let twin = FmapRegion {
+            layout: match r.layout {
+                ConvMode::Spatial => ConvMode::Winograd,
+                ConvMode::Winograd => ConvMode::Spatial,
+            },
+            ..full
+        };
+        let set_a: std::collections::BTreeSet<u64> = iter_addrs(&full).collect();
+        let set_b: std::collections::BTreeSet<u64> = iter_addrs(&twin).collect();
+        prop_assert_eq!(&set_a, &set_b);
+        // And they tile the region densely.
+        prop_assert_eq!(set_a.len() as u64, r.words());
+    }
+}
+
+fn iter_addrs(r: &FmapRegion) -> impl Iterator<Item = u64> + '_ {
+    let (c, h, w) = (r.channels, r.padded_h(), r.padded_w());
+    (0..c)
+        .flat_map(move |ci| (0..h).flat_map(move |y| (0..w).map(move |x| r.addr_padded(ci, y, x))))
+}
+
+#[test]
+fn memory_map_regions_never_overlap() {
+    let mut map = MemoryMap::new();
+    let mut ids = Vec::new();
+    for i in 1..6 {
+        ids.push(map.alloc_region(i * 3, i * 2, i * 2 + 1, 1, 1, ConvMode::Winograd, 4));
+    }
+    let mut spans: Vec<(u64, u64)> = ids
+        .iter()
+        .map(|&i| {
+            let r = map.region(i);
+            (r.base, r.base + r.words())
+        })
+        .collect();
+    spans.sort();
+    for pair in spans.windows(2) {
+        assert!(pair[0].1 <= pair[1].0, "regions overlap: {pair:?}");
+    }
+}

@@ -1,0 +1,110 @@
+//! VGG16 case-study integration (paper §6.1) at structural scale:
+//! the full 16-stage network compiles for both paper configurations and
+//! the timing simulation reproduces the headline operating points.
+//!
+//! (Functional VGG16 simulation is exercised in EXPERIMENTS.md's harness;
+//! here we keep weights zeroed so the test stays minutes-scale.)
+
+use hybriddnn::flow::Framework;
+use hybriddnn::model::{zoo, LayerKind, Network};
+use hybriddnn::{ConvMode, FpgaSpec, Profile, SimMode};
+
+fn bind_zeros(net: &mut Network) {
+    for i in 0..net.layers().len() {
+        let (w, b) = match net.layers()[i].kind() {
+            LayerKind::Conv(c) => (c.weight_shape().len(), c.out_channels),
+            LayerKind::Fc(fc) => (fc.weight_shape().len(), fc.out_features),
+            _ => continue,
+        };
+        net.bind(i, vec![0.0; w], vec![0.0; b]).unwrap();
+    }
+}
+
+#[test]
+fn vgg16_vu9p_full_flow_timing() {
+    let mut net = zoo::vgg16();
+    bind_zeros(&mut net);
+    let framework = Framework::new(FpgaSpec::vu9p(), Profile::vu9p());
+    let deployment = framework.build(&net).unwrap();
+
+    // Paper configuration reproduced.
+    assert_eq!(deployment.dse.design.accel.pt(), 6);
+    assert_eq!(deployment.dse.design.ni, 6);
+    for layer in deployment.compiled.layers() {
+        if !layer.plan().is_fc() {
+            assert_eq!(layer.plan().mode, ConvMode::Winograd, "{}", layer.name());
+        }
+    }
+
+    let input = hybriddnn::Tensor::zeros(net.input_shape());
+    let run = deployment.run(&input, SimMode::TimingOnly).unwrap();
+
+    // Headline: 3375.7 GOPS on VU9P. The simulator should land in the
+    // same regime (the substrate differs; shape, not digits).
+    let gops = deployment.throughput_gops(&run);
+    assert!(
+        (2000.0..4500.0).contains(&gops),
+        "simulated VU9P VGG16 throughput {gops:.0} GOPS"
+    );
+
+    // §6.2: analytical estimates within a few percent of the measured
+    // implementation (paper: 4.27% on VU9P).
+    let report = hybriddnn::report::AccuracyReport::measure(&deployment).unwrap();
+    let err = report.total_error_pct();
+    assert!(err < 10.0, "estimator vs simulator total error {err:.2}%");
+}
+
+#[test]
+fn vgg16_pynq_full_flow_timing() {
+    let mut net = zoo::vgg16();
+    bind_zeros(&mut net);
+    let framework = Framework::new(FpgaSpec::pynq_z1(), Profile::pynq_z1());
+    let deployment = framework.build(&net).unwrap();
+
+    assert_eq!(deployment.dse.design.accel.pt(), 4);
+    assert_eq!(deployment.dse.design.ni, 1);
+
+    let input = hybriddnn::Tensor::zeros(net.input_shape());
+    let run = deployment.run(&input, SimMode::TimingOnly).unwrap();
+
+    // Headline: 83.3 GOPS on PYNQ-Z1.
+    let gops = deployment.throughput_gops(&run);
+    assert!(
+        (40.0..140.0).contains(&gops),
+        "simulated PYNQ VGG16 throughput {gops:.0} GOPS"
+    );
+
+    // Paper: 4.03% model error on PYNQ-Z1.
+    let report = hybriddnn::report::AccuracyReport::measure(&deployment).unwrap();
+    let err = report.total_error_pct();
+    assert!(err < 10.0, "estimator vs simulator total error {err:.2}%");
+
+    // Modeled power lands near the paper's 2.6 W.
+    let p = deployment.power().total_w();
+    assert!((1.5..4.0).contains(&p), "modeled PYNQ power {p:.2} W");
+}
+
+#[test]
+fn vgg16_spatial_baseline_is_slower() {
+    // The hybrid design's win: forcing the conventional (Spatial-only)
+    // architecture on the same device costs ~4x on CONV throughput.
+    let mut net = zoo::vgg16();
+    bind_zeros(&mut net);
+    let framework = Framework::new(FpgaSpec::vu9p(), Profile::vu9p());
+    let hybrid = framework.build(&net).unwrap();
+
+    let mut forced = hybrid.dse.clone();
+    for c in &mut forced.per_layer {
+        c.mode = ConvMode::Spatial;
+    }
+    let spatial = framework.build_with(&net, forced).unwrap();
+
+    let input = hybriddnn::Tensor::zeros(net.input_shape());
+    let h = hybrid.run(&input, SimMode::TimingOnly).unwrap();
+    let s = spatial.run(&input, SimMode::TimingOnly).unwrap();
+    let speedup = s.total_cycles / h.total_cycles;
+    assert!(
+        speedup > 1.5,
+        "hybrid should clearly beat the Spatial baseline, got {speedup:.2}x"
+    );
+}
