@@ -1,0 +1,53 @@
+//! Measures the payoff of reusing one `Simulator` session (DRAM image +
+//! on-chip buffers) across inferences versus creating a fresh session per
+//! inference — the serving-path optimization behind `hybriddnn-runtime`.
+//!
+//! ```text
+//! cargo run --release -p hybriddnn-bench --example reuse_probe
+//! ```
+
+use hybriddnn::model::{synth, zoo};
+use hybriddnn::{Compiler, MappingStrategy, SimMode, Simulator};
+use hybriddnn_estimator::AcceleratorConfig;
+use hybriddnn_winograd::TileConfig;
+use std::time::Instant;
+
+fn main() {
+    let mut net = zoo::tiny_cnn();
+    synth::bind_random(&mut net, 1).unwrap();
+    let cfg = AcceleratorConfig::new(4, 4, TileConfig::F2x2);
+    let compiled = Compiler::new(cfg)
+        .compile(&net, &MappingStrategy::all_winograd(&net))
+        .unwrap();
+    let inputs: Vec<_> = (0..8)
+        .map(|i| synth::tensor(net.input_shape(), i))
+        .collect();
+
+    for (mode, label, n) in [
+        (SimMode::Functional, "functional", 100usize),
+        (SimMode::TimingOnly, "timing-only", 2000),
+    ] {
+        // Fresh session per inference (what Deployment::run does).
+        let start = Instant::now();
+        for i in 0..n {
+            let mut sim = Simulator::new(&compiled, mode, 16.0);
+            sim.run(&compiled, &inputs[i % inputs.len()]).unwrap();
+        }
+        let fresh = start.elapsed();
+
+        // One session reused across inferences (what runtime workers do).
+        let mut sim = Simulator::new(&compiled, mode, 16.0);
+        let start = Instant::now();
+        for i in 0..n {
+            sim.run(&compiled, &inputs[i % inputs.len()]).unwrap();
+        }
+        let reused = start.elapsed();
+
+        println!(
+            "{label:<12} n={n:<5} fresh/run {:>9.1} µs   reused/run {:>9.1} µs   speedup {:.2}x",
+            fresh.as_secs_f64() * 1e6 / n as f64,
+            reused.as_secs_f64() * 1e6 / n as f64,
+            fresh.as_secs_f64() / reused.as_secs_f64()
+        );
+    }
+}

@@ -24,7 +24,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "VGG16 @ 12-bit: simulator {} the golden reference \
          ({:.1} GOPS, {:.1} ms/image/instance)",
-        if exact { "is BIT-EXACT against" } else { "MISMATCHES" },
+        if exact {
+            "is BIT-EXACT against"
+        } else {
+            "MISMATCHES"
+        },
         deployment.throughput_gops(&run),
         deployment.latency_ms(&run),
     );

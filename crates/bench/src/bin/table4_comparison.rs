@@ -90,7 +90,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             device.bram_width_bits(),
         ) * spatial.dse.design.ni as u64;
         let srow = PublishedResult {
-            work: if device.dies() > 1 { "spat-only VU9P" } else { "spat-only PYNQ" },
+            work: if device.dies() > 1 {
+                "spat-only VU9P"
+            } else {
+                "spat-only PYNQ"
+            },
             device: "same device",
             precision: "12-bit",
             freq_mhz: device.freq_mhz(),

@@ -17,12 +17,27 @@
 //! * `--batch N` — additionally simulate an `N`-image batch across the
 //!   design's `NI` instances and report device throughput.
 //! * `--seed N` — PRNG seed for the synthetic parameters (default 42).
+//!
+//! A second subcommand drives the concurrent serving runtime:
+//!
+//! ```text
+//! hybriddnn serve-bench <MODEL.hdnn|tiny-cnn|vgg-tiny> <DEVICE.fpga|vu9p|pynq-z1>
+//!           [--workers N] [--requests N] [--batch-size N] [--max-wait-us N]
+//!           [--queue-capacity N] [--policy fifo|sjf] [--functional]
+//!           [--pace-mhz F] [--seed N]
+//! ```
+//!
+//! It builds the deployment, starts an [`hybriddnn::runtime::InferenceService`],
+//! pushes synthetic traffic through it (retrying on backpressure), and
+//! reports aggregate throughput plus the service metrics snapshot.
 
 use hybriddnn::flow::Framework;
-use hybriddnn::model::{reference, synth};
+use hybriddnn::model::{reference, synth, zoo};
 use hybriddnn::report::AccuracyReport;
+use hybriddnn::runtime::{RuntimeError, TrafficGen};
 use hybriddnn::{parser, FpgaSpec, Profile, QuantSpec, SimMode};
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
 struct Args {
     model_path: String,
@@ -84,6 +99,193 @@ fn parse_args() -> Result<Args, String> {
         batch,
         seed,
     })
+}
+
+struct ServeArgs {
+    model: String,
+    device: String,
+    workers: usize,
+    requests: usize,
+    batch_size: usize,
+    max_wait: Duration,
+    queue_capacity: usize,
+    sjf: bool,
+    functional: bool,
+    pace_mhz: Option<f64>,
+    seed: u64,
+}
+
+fn parse_serve_args<I: Iterator<Item = String>>(mut it: I) -> Result<ServeArgs, String> {
+    let mut positional = Vec::new();
+    let mut workers = 4usize;
+    let mut requests = 1000usize;
+    let mut batch_size = 32usize;
+    let mut max_wait = Duration::from_micros(200);
+    let mut queue_capacity = 1024usize;
+    let mut sjf = false;
+    let mut functional = false;
+    let mut pace_mhz = None;
+    let mut seed = 42u64;
+    fn value<I: Iterator<Item = String>, T: std::str::FromStr>(
+        it: &mut I,
+        flag: &str,
+    ) -> Result<T, String> {
+        let v = it
+            .next()
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        v.parse().map_err(|_| format!("bad value `{v}` for {flag}"))
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--workers" => workers = value(&mut it, "--workers")?,
+            "--requests" => requests = value(&mut it, "--requests")?,
+            "--batch-size" => batch_size = value(&mut it, "--batch-size")?,
+            "--max-wait-us" => {
+                max_wait = Duration::from_micros(value(&mut it, "--max-wait-us")?);
+            }
+            "--queue-capacity" => queue_capacity = value(&mut it, "--queue-capacity")?,
+            "--policy" => {
+                sjf = match it.next().as_deref() {
+                    Some("fifo") => false,
+                    Some("sjf") => true,
+                    other => return Err(format!("--policy must be fifo|sjf, got {other:?}")),
+                };
+            }
+            "--functional" => functional = true,
+            "--pace-mhz" => pace_mhz = Some(value(&mut it, "--pace-mhz")?),
+            "--seed" => seed = value(&mut it, "--seed")?,
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        return Err("serve-bench expects exactly two arguments: MODEL DEVICE".to_string());
+    }
+    if workers == 0 || batch_size == 0 || queue_capacity == 0 {
+        return Err("--workers, --batch-size, and --queue-capacity must be positive".to_string());
+    }
+    Ok(ServeArgs {
+        model: positional[0].clone(),
+        device: positional[1].clone(),
+        workers,
+        requests,
+        batch_size,
+        max_wait,
+        queue_capacity,
+        sjf,
+        functional,
+        pace_mhz,
+        seed,
+    })
+}
+
+/// Resolve a model argument: a builtin zoo name or a `.hdnn` file path.
+fn model_for(spec: &str, seed: u64) -> Result<hybriddnn::Network, String> {
+    let mut net = match spec {
+        "tiny-cnn" => zoo::tiny_cnn(),
+        "vgg-tiny" => zoo::vgg_tiny(),
+        "stem-cnn" => zoo::stem_cnn(),
+        path => {
+            let text =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+            parser::parse_model(&text).map_err(|e| format!("{path}: {e}"))?
+        }
+    };
+    synth::bind_random(&mut net, seed).map_err(|e| e.to_string())?;
+    Ok(net)
+}
+
+fn run_serve_bench(args: ServeArgs) -> Result<(), String> {
+    let net = model_for(&args.model, args.seed)?;
+    let (device, profile) = device_for(&args.device)?;
+    let mode = if args.functional {
+        SimMode::Functional
+    } else {
+        SimMode::TimingOnly
+    };
+    let deployment = Framework::new(device, profile)
+        .build(&net)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "serve-bench: {} on {} — {} workers, batch ≤{}, wait ≤{:?}, {} mode, {} requests",
+        args.model,
+        args.device,
+        args.workers,
+        args.batch_size,
+        args.max_wait,
+        if args.functional {
+            "functional"
+        } else {
+            "timing-only"
+        },
+        args.requests,
+    );
+
+    let mut config = deployment
+        .service_config(mode)
+        .with_workers(args.workers)
+        .with_queue_capacity(args.queue_capacity)
+        .with_max_batch_size(args.batch_size)
+        .with_max_wait(args.max_wait);
+    if args.sjf {
+        config = config.with_sjf();
+    }
+    if let Some(mhz) = args.pace_mhz {
+        config = config.with_device_pacing(mhz);
+    }
+    let service = deployment.into_service(config);
+
+    let mut gen = TrafficGen::new(net.input_shape(), args.seed);
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(args.requests);
+    let mut retries = 0u64;
+    for _ in 0..args.requests {
+        let (input, deadline) = gen.next_request();
+        // Backpressure: spin-retry with a short yield until admitted.
+        loop {
+            match service.submit(input.clone(), deadline) {
+                Ok(handle) => {
+                    handles.push(handle);
+                    break;
+                }
+                Err(RuntimeError::QueueFull { .. }) => {
+                    retries += 1;
+                    std::thread::yield_now();
+                }
+                Err(e) => return Err(e.to_string()),
+            }
+        }
+    }
+    for handle in handles {
+        handle.wait().map_err(|e| e.to_string())?;
+    }
+    let elapsed = start.elapsed();
+    let metrics = service.shutdown();
+
+    let reqs_per_s = metrics.completed as f64 / elapsed.as_secs_f64();
+    println!("wall time        : {elapsed:?} ({reqs_per_s:.0} requests/s)");
+    println!(
+        "completed        : {} ({} batches, mean size {:.2})",
+        metrics.completed, metrics.batches, metrics.mean_batch_size
+    );
+    println!(
+        "latency p50/p95/p99: {:?} / {:?} / {:?}",
+        metrics.latency_p50, metrics.latency_p95, metrics.latency_p99
+    );
+    println!(
+        "backpressure     : {} submit retries, {} rejected",
+        retries, metrics.rejected_full
+    );
+    if metrics.expired > 0 || metrics.failed > 0 {
+        println!(
+            "degraded         : {} expired, {} failed",
+            metrics.expired, metrics.failed
+        );
+    }
+    Ok(())
 }
 
 fn device_for(spec: &str) -> Result<(FpgaSpec, Profile), String> {
@@ -237,6 +439,29 @@ fn run(args: Args) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("serve-bench") {
+        return match parse_serve_args(std::env::args().skip(2)) {
+            Ok(args) => match run_serve_bench(args) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(msg) => {
+                if !msg.is_empty() {
+                    eprintln!("error: {msg}\n");
+                }
+                eprintln!(
+                    "usage: hybriddnn serve-bench <MODEL.hdnn|tiny-cnn|vgg-tiny> \
+                     <DEVICE.fpga|vu9p|pynq-z1> [--workers N] [--requests N] \
+                     [--batch-size N] [--max-wait-us N] [--queue-capacity N] \
+                     [--policy fifo|sjf] [--functional] [--pace-mhz F] [--seed N]"
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
     match parse_args() {
         Ok(args) => match run(args) {
             Ok(()) => ExitCode::SUCCESS,
@@ -252,7 +477,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: hybriddnn <MODEL.hdnn> <DEVICE.fpga|vu9p|pynq-z1> \
                  [--quant] [--functional] [--disasm] [--hls] [--emit DIR] \
-                 [--batch N] [--seed N]"
+                 [--batch N] [--seed N]\n\
+                 \x20      hybriddnn serve-bench --help"
             );
             ExitCode::FAILURE
         }

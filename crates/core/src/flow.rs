@@ -5,8 +5,10 @@ use hybriddnn_dse::{DseEngine, DseError, DseResult};
 use hybriddnn_estimator::Profile;
 use hybriddnn_fpga::{EnergyModel, FpgaSpec, PowerBreakdown};
 use hybriddnn_model::{Network, Tensor};
+use hybriddnn_runtime::{InferenceService, ServiceConfig};
 use hybriddnn_sim::{RunResult, SimError, SimMode, Simulator};
 use std::fmt;
+use std::sync::Arc;
 
 /// Errors of the end-to-end flow.
 #[derive(Debug)]
@@ -169,6 +171,31 @@ impl Deployment {
     /// DSP efficiency in GOPS per DSP slice (Table 4's GOPS/DSP column).
     pub fn dsp_efficiency(&self, run: &RunResult) -> f64 {
         self.throughput_gops(run) / self.dse.total_resources.dsp as f64
+    }
+
+    /// The estimator's predicted cycles for one inference (the sum of
+    /// the winning per-layer estimates) — the job-cost hint behind the
+    /// serving runtime's shortest-predicted-job-first dispatch.
+    pub fn predicted_cycles(&self) -> f64 {
+        hybriddnn_estimator::latency::predicted_network_cycles(
+            self.dse.per_layer.iter().map(|c| &c.estimate),
+        )
+    }
+
+    /// A [`ServiceConfig`] pre-filled with this deployment's bandwidth
+    /// share and estimator cost hint; tune it with the `with_*` methods
+    /// and pass it to [`Deployment::into_service`].
+    pub fn service_config(&self, mode: SimMode) -> ServiceConfig {
+        ServiceConfig::new(mode, self.device.instance_bandwidth(self.dse.design.ni))
+            .with_cost_hint(self.predicted_cycles())
+    }
+
+    /// Consumes the deployment and starts a concurrent, batching
+    /// inference service over it (see [`hybriddnn_runtime`]). Use
+    /// [`Deployment::service_config`] to build `config` so the
+    /// bandwidth share and cost hint match the deployment.
+    pub fn into_service(self, config: ServiceConfig) -> InferenceService {
+        InferenceService::start(Arc::new(self.compiled), config)
     }
 
     /// Runs a batch of images across the deployment's `NI` batch-parallel

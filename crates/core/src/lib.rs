@@ -56,6 +56,12 @@ pub mod model {
     pub use hybriddnn_model::*;
 }
 
+/// The concurrent, batching inference-serving runtime (re-export of
+/// `hybriddnn-runtime`); see [`flow::Deployment::into_service`].
+pub mod runtime {
+    pub use hybriddnn_runtime::*;
+}
+
 pub use flow::{BatchResult, Deployment, Framework};
 pub use hybriddnn_compiler::{CompileError, CompiledNetwork, Compiler, MappingStrategy, QuantSpec};
 pub use hybriddnn_dse::{DseEngine, DseError, DseResult};

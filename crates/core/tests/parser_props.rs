@@ -83,7 +83,11 @@ fn build_network(specs: &[LayerSpec]) -> Option<Network> {
                 )
             }
             LayerSpec::Pool => {
-                if seen_fc || !shape.h.is_multiple_of(2) || !shape.w.is_multiple_of(2) || shape.h < 2 {
+                if seen_fc
+                    || !shape.h.is_multiple_of(2)
+                    || !shape.w.is_multiple_of(2)
+                    || shape.h < 2
+                {
                     continue;
                 }
                 Layer::new(format!("p{i}"), LayerKind::MaxPool(MaxPool2d::new(2)))

@@ -51,6 +51,20 @@ impl LatencyEstimate {
     }
 }
 
+/// Predicted cycles for one whole-network inference: the sum of the
+/// per-layer estimates (stages synchronize at layer boundaries, so no
+/// cross-layer overlap is modeled).
+///
+/// This is the serving runtime's *job-cost hint*: `hybriddnn-runtime`'s
+/// shortest-predicted-job-first dispatch orders batches by
+/// `batch size × predicted_network_cycles` without running anything.
+pub fn predicted_network_cycles<'a, I>(per_layer: I) -> f64
+where
+    I: IntoIterator<Item = &'a LatencyEstimate>,
+{
+    per_layer.into_iter().map(|e| e.cycles).sum()
+}
+
 /// Compute cycles of the COMP module (Eq. 6 for Spatial, Eq. 7 for
 /// Winograd).
 pub fn compute_cycles(cfg: &AcceleratorConfig, mode: ConvMode, wl: &LayerWorkload) -> f64 {

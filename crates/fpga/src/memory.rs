@@ -82,10 +82,20 @@ impl ExternalMemory {
 
     /// Reads a burst of `len` words starting at `addr`.
     pub fn read_burst(&mut self, addr: u64, len: usize, client: MemoryClient) -> Vec<f32> {
-        self.charge(client, len as u64, false);
-        (0..len)
-            .map(|i| self.words.get(addr as usize + i).copied().unwrap_or(0.0))
-            .collect()
+        let mut out = vec![0.0; len];
+        self.read_into(addr, &mut out, client);
+        out
+    }
+
+    /// Reads `dst.len()` words starting at `addr` into `dst` — the
+    /// allocation-free form of [`ExternalMemory::read_burst`] used on the
+    /// simulator's per-inference hot path.
+    pub fn read_into(&mut self, addr: u64, dst: &mut [f32], client: MemoryClient) {
+        self.charge(client, dst.len() as u64, false);
+        let start = addr as usize;
+        let in_range = self.words.len().saturating_sub(start).min(dst.len());
+        dst[..in_range].copy_from_slice(&self.words[start..start + in_range]);
+        dst[in_range..].fill(0.0);
     }
 
     /// Writes one word, growing the store if needed.

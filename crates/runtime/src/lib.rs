@@ -1,0 +1,74 @@
+//! A concurrent, dynamically-batching inference-serving runtime over the
+//! simulated HybridDNN accelerator.
+//!
+//! The paper's flow (Figure 1) ends at a "light-weight runtime" that
+//! drives one accelerator through one image at a time. This crate grows
+//! that endpoint into a serving subsystem shaped like a production
+//! inference server:
+//!
+//! * **bounded admission** — a capacity-limited queue that rejects with
+//!   [`RuntimeError::QueueFull`] instead of buffering unboundedly
+//!   (backpressure the caller can act on);
+//! * **dynamic batching** — a batcher closes a batch when it reaches
+//!   `max_batch_size` or when the oldest request has waited `max_wait`;
+//! * **a worker pool** — each worker owns a replica [`Simulator`]
+//!   session over the shared compiled network, so functional-mode
+//!   results are bit-identical to a sequential run;
+//! * **pluggable dispatch** — [`Fifo`] or [`ShortestJobFirst`] (ordered
+//!   by the analytical estimator's predicted cycles, see
+//!   `hybriddnn_estimator::latency::predicted_network_cycles`);
+//! * **deadlines** — a request whose deadline lapses in queue is
+//!   answered with [`RuntimeError::DeadlineExceeded`], not simulated;
+//! * **graceful shutdown** — [`InferenceService::shutdown`] drains every
+//!   accepted request (exactly one response each) before joining the
+//!   threads;
+//! * **metrics** — counters, a queue-depth gauge, and p50/p95/p99
+//!   latency percentiles ([`MetricsSnapshot`]), all in `std` atomics.
+//!
+//! Everything is `std`-only: threads, mutexes, condvars, channels.
+//!
+//! # Example
+//!
+//! ```
+//! use hybriddnn_compiler::{Compiler, MappingStrategy};
+//! use hybriddnn_estimator::AcceleratorConfig;
+//! use hybriddnn_model::{synth, zoo};
+//! use hybriddnn_runtime::{InferenceService, ServiceConfig};
+//! use hybriddnn_sim::SimMode;
+//! use hybriddnn_winograd::TileConfig;
+//! use std::sync::Arc;
+//!
+//! let mut net = zoo::tiny_cnn();
+//! synth::bind_random(&mut net, 1).unwrap();
+//! let compiled = Compiler::new(AcceleratorConfig::new(4, 4, TileConfig::F2x2))
+//!     .compile(&net, &MappingStrategy::all_winograd(&net))
+//!     .unwrap();
+//!
+//! let service = InferenceService::start(
+//!     Arc::new(compiled),
+//!     ServiceConfig::new(SimMode::Functional, 16.0).with_workers(2),
+//! );
+//! let handle = service.submit(synth::tensor(net.input_shape(), 7), None).unwrap();
+//! let response = handle.wait().unwrap();
+//! assert_eq!(response.output.shape(), net.output_shape());
+//!
+//! let metrics = service.shutdown();
+//! assert_eq!(metrics.completed, 1);
+//! ```
+//!
+//! [`Simulator`]: hybriddnn_sim::Simulator
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod metrics;
+mod policy;
+mod request;
+mod service;
+mod traffic;
+
+pub use metrics::MetricsSnapshot;
+pub use policy::{BatchMeta, DispatchPolicy, Fifo, ShortestJobFirst};
+pub use request::{InferenceResponse, ResponseHandle, RuntimeError};
+pub use service::{InferenceService, ServiceConfig};
+pub use traffic::TrafficGen;

@@ -1,0 +1,88 @@
+//! Pluggable dispatch policies: which ready batch a free worker takes.
+
+/// What a policy may inspect about a ready batch. Batches are listed
+/// oldest-first; `predicted_cycles` comes from the analytical estimator
+/// (`hybriddnn_estimator::latency::predicted_network_cycles` × batch
+/// size), so ordering decisions cost nothing at runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchMeta {
+    /// Requests in the batch.
+    pub len: usize,
+    /// Estimated accelerator cycles to serve the whole batch.
+    pub predicted_cycles: f64,
+}
+
+/// A dispatch policy: given the ready batches (oldest first), pick the
+/// index the next free worker should run.
+///
+/// Implementations must be cheap — the ready-queue lock is held across
+/// the call.
+pub trait DispatchPolicy: Send + Sync {
+    /// The policy's display name (shown by `serve-bench`).
+    fn name(&self) -> &'static str;
+
+    /// Index into `ready` of the batch to dispatch. `ready` is never
+    /// empty; out-of-range returns are clamped to the last batch.
+    fn select(&self, ready: &[BatchMeta]) -> usize;
+}
+
+/// First-in, first-out: dispatch the oldest ready batch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fifo;
+
+impl DispatchPolicy for Fifo {
+    fn name(&self) -> &'static str {
+        "fifo"
+    }
+
+    fn select(&self, _ready: &[BatchMeta]) -> usize {
+        0
+    }
+}
+
+/// Shortest predicted job first: dispatch the batch the estimator says
+/// finishes soonest (ties go to the oldest). Trades tail latency of
+/// large batches for mean latency.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShortestJobFirst;
+
+impl DispatchPolicy for ShortestJobFirst {
+    fn name(&self) -> &'static str {
+        "sjf"
+    }
+
+    fn select(&self, ready: &[BatchMeta]) -> usize {
+        let mut best = 0;
+        for (i, meta) in ready.iter().enumerate().skip(1) {
+            if meta.predicted_cycles < ready[best].predicted_cycles {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(len: usize, cycles: f64) -> BatchMeta {
+        BatchMeta {
+            len,
+            predicted_cycles: cycles,
+        }
+    }
+
+    #[test]
+    fn fifo_takes_the_oldest() {
+        let ready = [meta(4, 400.0), meta(1, 100.0)];
+        assert_eq!(Fifo.select(&ready), 0);
+    }
+
+    #[test]
+    fn sjf_takes_the_cheapest_breaking_ties_oldest_first() {
+        let ready = [meta(3, 300.0), meta(1, 100.0), meta(2, 100.0)];
+        assert_eq!(ShortestJobFirst.select(&ready), 1);
+        assert_eq!(ShortestJobFirst.select(&ready[..1]), 0);
+    }
+}

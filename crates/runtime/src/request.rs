@@ -1,0 +1,130 @@
+//! Request/response types of the serving runtime.
+
+use hybriddnn_model::Tensor;
+use hybriddnn_sim::SimError;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// One queued inference job (internal: carries its response channel).
+#[derive(Debug)]
+pub(crate) struct InferenceRequest {
+    pub(crate) id: u64,
+    pub(crate) input: Tensor,
+    pub(crate) deadline: Option<Instant>,
+    pub(crate) submitted_at: Instant,
+    pub(crate) tx: mpsc::Sender<Result<InferenceResponse, RuntimeError>>,
+}
+
+/// A completed inference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceResponse {
+    /// The id the matching [`ResponseHandle`](crate::ResponseHandle)
+    /// carries.
+    pub id: u64,
+    /// The network output (zeros in timing-only mode).
+    pub output: Tensor,
+    /// Simulated accelerator cycles for this inference.
+    pub total_cycles: f64,
+    /// Wall-clock time from submission to completion.
+    pub latency: Duration,
+    /// How many requests shared the batch this one ran in.
+    pub batch_size: usize,
+    /// Which worker replica served it.
+    pub worker: usize,
+}
+
+/// Why a request was not served.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// The admission queue was at capacity — backpressure; retry later.
+    QueueFull {
+        /// The configured queue bound.
+        capacity: usize,
+    },
+    /// The request's deadline passed before a worker reached it.
+    DeadlineExceeded {
+        /// How late the worker was.
+        missed_by: Duration,
+    },
+    /// The service no longer accepts work.
+    ShuttingDown,
+    /// The simulator rejected the request.
+    Sim(SimError),
+    /// The serving thread disappeared without responding (a bug or a
+    /// panicked worker).
+    WorkerLost,
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            RuntimeError::DeadlineExceeded { missed_by } => {
+                write!(f, "deadline exceeded by {missed_by:?}")
+            }
+            RuntimeError::ShuttingDown => f.write_str("service is shutting down"),
+            RuntimeError::Sim(e) => write!(f, "simulation failed: {e}"),
+            RuntimeError::WorkerLost => f.write_str("worker exited without responding"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RuntimeError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// The caller's side of one submitted request: blocks until the response
+/// arrives.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    /// The request id (unique per service instance).
+    pub id: u64,
+    pub(crate) rx: mpsc::Receiver<Result<InferenceResponse, RuntimeError>>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the runtime responds. Every accepted request receives
+    /// exactly one response, including during shutdown.
+    pub fn wait(self) -> Result<InferenceResponse, RuntimeError> {
+        self.rx.recv().unwrap_or(Err(RuntimeError::WorkerLost))
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<InferenceResponse, RuntimeError>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_and_source() {
+        let full = RuntimeError::QueueFull { capacity: 8 };
+        assert!(full.to_string().contains("capacity 8"));
+        let late = RuntimeError::DeadlineExceeded {
+            missed_by: Duration::from_millis(3),
+        };
+        assert!(late.to_string().contains("deadline"));
+        let sim = RuntimeError::Sim(SimError::InputMismatch { detail: "x".into() });
+        assert!(std::error::Error::source(&sim).is_some());
+        assert!(std::error::Error::source(&full).is_none());
+    }
+
+    #[test]
+    fn dropped_sender_becomes_worker_lost() {
+        let (tx, rx) = mpsc::channel::<Result<InferenceResponse, RuntimeError>>();
+        drop(tx);
+        let handle = ResponseHandle { id: 0, rx };
+        assert_eq!(handle.wait(), Err(RuntimeError::WorkerLost));
+    }
+}

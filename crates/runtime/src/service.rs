@@ -1,0 +1,492 @@
+//! The inference service: bounded admission, dynamic batching, a worker
+//! pool of simulator replicas, and graceful drain — all on `std`
+//! threads, mutexes, and condvars.
+//!
+//! ```text
+//!  submit() ──▶ admission queue ──▶ batcher ──▶ ready batches ──▶ workers
+//!              (bounded, rejects)  (size/time)  (policy-ordered)  (replica
+//!                                                                 sessions)
+//! ```
+//!
+//! Invariant: every request accepted by [`InferenceService::submit`]
+//! receives exactly one response — success, deadline expiry, or a
+//! simulator error — including requests still queued when
+//! [`InferenceService::shutdown`] is called.
+
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::policy::{BatchMeta, DispatchPolicy, Fifo, ShortestJobFirst};
+use crate::request::{InferenceRequest, InferenceResponse, ResponseHandle, RuntimeError};
+use hybriddnn_compiler::CompiledNetwork;
+use hybriddnn_model::Tensor;
+use hybriddnn_sim::{SimMode, Simulator};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs of an [`InferenceService`].
+#[derive(Clone)]
+pub struct ServiceConfig {
+    /// Worker replicas (each owns one simulator session).
+    pub workers: usize,
+    /// Admission-queue bound; submissions beyond it are rejected with
+    /// [`RuntimeError::QueueFull`].
+    pub queue_capacity: usize,
+    /// A batch closes as soon as it holds this many requests…
+    pub max_batch_size: usize,
+    /// …or once the oldest queued request has waited this long.
+    pub max_wait: Duration,
+    /// Simulation fidelity for served requests.
+    pub mode: SimMode,
+    /// Per-instance DDR bandwidth in words/cycle (see
+    /// [`Simulator::new`]).
+    pub bandwidth: f64,
+    /// Estimator-predicted cycles per image; the SJF policy orders
+    /// batches by `len × cost_hint_cycles`.
+    pub cost_hint_cycles: f64,
+    /// Which ready batch a free worker takes.
+    pub policy: Arc<dyn DispatchPolicy>,
+    /// Device-occupancy emulation: when set to an accelerator clock in
+    /// MHz, each worker holds its replica "device" for the simulated
+    /// batch duration (`Σ total_cycles / freq`) before completing the
+    /// batch. Aggregate throughput then reflects accelerator-instance
+    /// count rather than host speed. `None` (default) completes at host
+    /// speed.
+    pub pace_mhz: Option<f64>,
+}
+
+impl ServiceConfig {
+    /// A single-worker FIFO configuration; tune with the `with_*`
+    /// methods.
+    pub fn new(mode: SimMode, bandwidth: f64) -> Self {
+        ServiceConfig {
+            workers: 1,
+            queue_capacity: 256,
+            max_batch_size: 8,
+            max_wait: Duration::from_millis(2),
+            mode,
+            bandwidth,
+            cost_hint_cycles: 1.0,
+            policy: Arc::new(Fifo),
+            pace_mhz: None,
+        }
+    }
+
+    /// Sets the worker-replica count (minimum 1).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Sets the admission-queue bound (minimum 1).
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity.max(1);
+        self
+    }
+
+    /// Sets the batch-closing size (minimum 1).
+    pub fn with_max_batch_size(mut self, size: usize) -> Self {
+        self.max_batch_size = size.max(1);
+        self
+    }
+
+    /// Sets the batch-closing wait.
+    pub fn with_max_wait(mut self, wait: Duration) -> Self {
+        self.max_wait = wait;
+        self
+    }
+
+    /// Sets the per-image predicted cycles used by cost-aware policies.
+    pub fn with_cost_hint(mut self, cycles: f64) -> Self {
+        self.cost_hint_cycles = cycles;
+        self
+    }
+
+    /// Sets the dispatch policy.
+    pub fn with_policy(mut self, policy: Arc<dyn DispatchPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Shorthand for [`ShortestJobFirst`] dispatch.
+    pub fn with_sjf(self) -> Self {
+        self.with_policy(Arc::new(ShortestJobFirst))
+    }
+
+    /// Enables device-occupancy pacing at the given accelerator clock
+    /// (MHz); see [`ServiceConfig::pace_mhz`].
+    pub fn with_device_pacing(mut self, freq_mhz: f64) -> Self {
+        self.pace_mhz = (freq_mhz > 0.0).then_some(freq_mhz);
+        self
+    }
+}
+
+impl std::fmt::Debug for ServiceConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServiceConfig")
+            .field("workers", &self.workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("max_batch_size", &self.max_batch_size)
+            .field("max_wait", &self.max_wait)
+            .field("mode", &self.mode)
+            .field("bandwidth", &self.bandwidth)
+            .field("cost_hint_cycles", &self.cost_hint_cycles)
+            .field("policy", &self.policy.name())
+            .field("pace_mhz", &self.pace_mhz)
+            .finish()
+    }
+}
+
+/// A closed batch on its way to a worker.
+struct Batch {
+    requests: Vec<InferenceRequest>,
+    meta: BatchMeta,
+}
+
+/// Admission-side state, behind one mutex.
+struct Admission {
+    queue: VecDeque<InferenceRequest>,
+    /// `false` once shutdown begins: new submissions are rejected.
+    open: bool,
+    /// While `true` the batcher leaves the queue untouched (tests use
+    /// this to stage deterministic backpressure and expiry scenarios).
+    paused: bool,
+}
+
+/// Dispatch-side state, behind a second mutex so admission and dispatch
+/// never contend.
+struct Ready {
+    batches: VecDeque<Batch>,
+    /// Set by the batcher after it has flushed its final batch.
+    closed: bool,
+}
+
+struct Shared {
+    admission: Mutex<Admission>,
+    admitted: Condvar,
+    ready: Mutex<Ready>,
+    dispatchable: Condvar,
+    metrics: Metrics,
+    config_max_batch: usize,
+    config_max_wait: Duration,
+    cost_hint_cycles: f64,
+    policy: Arc<dyn DispatchPolicy>,
+}
+
+/// A running inference service over one compiled network.
+///
+/// Dropping the service shuts it down gracefully (equivalent to
+/// [`InferenceService::shutdown`], discarding the final snapshot).
+pub struct InferenceService {
+    shared: Arc<Shared>,
+    batcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    next_id: AtomicU64,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for InferenceService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("InferenceService")
+            .field("workers", &self.workers.len())
+            .field("capacity", &self.capacity)
+            .finish()
+    }
+}
+
+impl InferenceService {
+    /// Starts the batcher and worker threads. Each worker builds its own
+    /// replica [`Simulator`] session over the shared compiled network,
+    /// so functional-mode results are bit-identical to a sequential run.
+    pub fn start(compiled: Arc<CompiledNetwork>, config: ServiceConfig) -> Self {
+        let shared = Arc::new(Shared {
+            admission: Mutex::new(Admission {
+                queue: VecDeque::with_capacity(config.queue_capacity),
+                open: true,
+                paused: false,
+            }),
+            admitted: Condvar::new(),
+            ready: Mutex::new(Ready {
+                batches: VecDeque::new(),
+                closed: false,
+            }),
+            dispatchable: Condvar::new(),
+            metrics: Metrics::default(),
+            config_max_batch: config.max_batch_size,
+            config_max_wait: config.max_wait,
+            cost_hint_cycles: config.cost_hint_cycles,
+            policy: Arc::clone(&config.policy),
+        });
+
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hdnn-batcher".into())
+                .spawn(move || batcher_loop(&shared))
+                .expect("spawn batcher")
+        };
+        let workers = (0..config.workers.max(1))
+            .map(|w| {
+                let shared = Arc::clone(&shared);
+                let compiled = Arc::clone(&compiled);
+                let (mode, bw, pace) = (config.mode, config.bandwidth, config.pace_mhz);
+                std::thread::Builder::new()
+                    .name(format!("hdnn-worker-{w}"))
+                    .spawn(move || worker_loop(&shared, &compiled, mode, bw, pace, w))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        InferenceService {
+            shared,
+            batcher: Some(batcher),
+            workers,
+            next_id: AtomicU64::new(0),
+            capacity: config.queue_capacity,
+        }
+    }
+
+    /// Submits one inference. Rejects immediately — without blocking —
+    /// when the admission queue is full ([`RuntimeError::QueueFull`]) or
+    /// the service is draining ([`RuntimeError::ShuttingDown`]).
+    ///
+    /// `deadline` is relative to now; a worker reaching the request
+    /// after it expires answers [`RuntimeError::DeadlineExceeded`]
+    /// instead of running it.
+    ///
+    /// # Errors
+    /// [`RuntimeError::QueueFull`] or [`RuntimeError::ShuttingDown`];
+    /// accepted requests report later failures through the handle.
+    pub fn submit(
+        &self,
+        input: Tensor,
+        deadline: Option<Duration>,
+    ) -> Result<ResponseHandle, RuntimeError> {
+        let mut adm = self.shared.admission.lock().unwrap();
+        if !adm.open {
+            return Err(RuntimeError::ShuttingDown);
+        }
+        if adm.queue.len() >= self.capacity {
+            self.shared
+                .metrics
+                .rejected_full
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(RuntimeError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (tx, rx) = mpsc::channel();
+        let now = Instant::now();
+        adm.queue.push_back(InferenceRequest {
+            id,
+            input,
+            deadline: deadline.map(|d| now + d),
+            submitted_at: now,
+            tx,
+        });
+        self.shared
+            .metrics
+            .queue_depth
+            .store(adm.queue.len(), Ordering::Relaxed);
+        self.shared
+            .metrics
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        drop(adm);
+        self.shared.admitted.notify_all();
+        Ok(ResponseHandle { id, rx })
+    }
+
+    /// Stops the batcher from forming batches; queued and new
+    /// submissions accumulate (and the queue bound keeps applying).
+    /// Intended for tests that need deterministic queue states.
+    pub fn pause(&self) {
+        self.shared.admission.lock().unwrap().paused = true;
+    }
+
+    /// Resumes batch formation after [`InferenceService::pause`].
+    pub fn resume(&self) {
+        self.shared.admission.lock().unwrap().paused = false;
+        self.shared.admitted.notify_all();
+    }
+
+    /// Current counters and latency percentiles.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.shared.metrics.snapshot()
+    }
+
+    /// Graceful shutdown: rejects new work, drains every queued request
+    /// (each still receives its response), joins all threads, and
+    /// returns the final metrics.
+    pub fn shutdown(mut self) -> MetricsSnapshot {
+        self.shutdown_inner();
+        self.shared.metrics.snapshot()
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.shared.admission.lock().unwrap().open = false;
+        self.shared.admitted.notify_all();
+        if let Some(b) = self.batcher.take() {
+            let _ = b.join();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for InferenceService {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Forms batches: pops admitted requests, closes a batch on size or on
+/// the max-wait timer, and hands it to the ready queue. On shutdown it
+/// flushes everything left, then closes the ready queue.
+fn batcher_loop(shared: &Shared) {
+    loop {
+        let mut adm = shared.admission.lock().unwrap();
+        // Wait for work (or shutdown, which overrides pause).
+        while (adm.queue.is_empty() || adm.paused) && adm.open {
+            adm = shared.admitted.wait(adm).unwrap();
+        }
+        if adm.queue.is_empty() && !adm.open {
+            break;
+        }
+        // Fill window: hold the batch open until it is full, the wait
+        // expires, or the service starts draining (drain flushes
+        // immediately).
+        let until = Instant::now() + shared.config_max_wait;
+        while adm.open && !adm.paused && adm.queue.len() < shared.config_max_batch {
+            let now = Instant::now();
+            if now >= until {
+                break;
+            }
+            let (next, timeout) = shared.admitted.wait_timeout(adm, until - now).unwrap();
+            adm = next;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        let take = adm.queue.len().min(shared.config_max_batch);
+        let requests: Vec<InferenceRequest> = adm.queue.drain(..take).collect();
+        shared
+            .metrics
+            .queue_depth
+            .store(adm.queue.len(), Ordering::Relaxed);
+        drop(adm);
+        if requests.is_empty() {
+            continue;
+        }
+
+        shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .metrics
+            .batched_requests
+            .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        let meta = BatchMeta {
+            len: requests.len(),
+            predicted_cycles: requests.len() as f64 * shared.cost_hint_cycles,
+        };
+        let mut ready = shared.ready.lock().unwrap();
+        ready.batches.push_back(Batch { requests, meta });
+        drop(ready);
+        shared.dispatchable.notify_one();
+    }
+    // Drained: no more batches will ever arrive.
+    shared.ready.lock().unwrap().closed = true;
+    shared.dispatchable.notify_all();
+}
+
+/// Serves batches on one replica session until the ready queue closes
+/// and empties.
+fn worker_loop(
+    shared: &Shared,
+    compiled: &CompiledNetwork,
+    mode: SimMode,
+    bandwidth: f64,
+    pace_mhz: Option<f64>,
+    worker: usize,
+) {
+    let mut sim = Simulator::new(compiled, mode, bandwidth);
+    loop {
+        let mut ready = shared.ready.lock().unwrap();
+        while ready.batches.is_empty() && !ready.closed {
+            ready = shared.dispatchable.wait(ready).unwrap();
+        }
+        if ready.batches.is_empty() {
+            break;
+        }
+        let metas: Vec<BatchMeta> = ready.batches.iter().map(|b| b.meta).collect();
+        let idx = shared.policy.select(&metas).min(metas.len() - 1);
+        let batch = ready.batches.remove(idx).expect("index clamped");
+        drop(ready);
+
+        let batch_size = batch.requests.len();
+        // With pacing, responses are staged and completed only after the
+        // worker has held its "device" for the simulated batch duration.
+        let mut staged = Vec::new();
+        let mut device_cycles = 0.0f64;
+        for req in batch.requests {
+            let now = Instant::now();
+            if let Some(deadline) = req.deadline {
+                if now > deadline {
+                    shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
+                    let _ = req.tx.send(Err(RuntimeError::DeadlineExceeded {
+                        missed_by: now - deadline,
+                    }));
+                    continue;
+                }
+            }
+            let result = sim.run(compiled, &req.input);
+            if pace_mhz.is_some() {
+                if let Ok(run) = &result {
+                    device_cycles += run.total_cycles;
+                }
+                staged.push((req, result));
+            } else {
+                respond(shared, req, result, batch_size, worker);
+            }
+        }
+        if let Some(mhz) = pace_mhz {
+            if device_cycles > 0.0 {
+                std::thread::sleep(Duration::from_secs_f64(device_cycles / (mhz * 1e6)));
+            }
+            for (req, result) in staged {
+                respond(shared, req, result, batch_size, worker);
+            }
+        }
+    }
+}
+
+/// Records metrics for one finished request and sends its response.
+fn respond(
+    shared: &Shared,
+    req: InferenceRequest,
+    result: Result<hybriddnn_sim::RunResult, hybriddnn_sim::SimError>,
+    batch_size: usize,
+    worker: usize,
+) {
+    match result {
+        Ok(run) => {
+            let latency = req.submitted_at.elapsed();
+            shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            shared.metrics.latency.record(latency);
+            let _ = req.tx.send(Ok(InferenceResponse {
+                id: req.id,
+                output: run.output,
+                total_cycles: run.total_cycles,
+                latency,
+                batch_size,
+                worker,
+            }));
+        }
+        Err(e) => {
+            shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            let _ = req.tx.send(Err(RuntimeError::Sim(e)));
+        }
+    }
+}

@@ -1,0 +1,294 @@
+//! End-to-end tests of the serving runtime: determinism against the
+//! sequential simulator, backpressure, deadline expiry, and lossless
+//! shutdown.
+
+use hybriddnn_compiler::{CompiledNetwork, Compiler, MappingStrategy};
+use hybriddnn_estimator::AcceleratorConfig;
+use hybriddnn_model::{synth, zoo, Network, Tensor};
+use hybriddnn_runtime::{
+    InferenceService, ResponseHandle, RuntimeError, ServiceConfig, TrafficGen,
+};
+use hybriddnn_sim::{SimMode, Simulator};
+use hybriddnn_winograd::TileConfig;
+use proptest::prelude::*;
+use std::collections::HashSet;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn compiled_tiny_cnn(seed: u64) -> (Network, Arc<CompiledNetwork>) {
+    let mut net = zoo::tiny_cnn();
+    synth::bind_random(&mut net, seed).unwrap();
+    let compiled = Compiler::new(AcceleratorConfig::new(4, 4, TileConfig::F2x2))
+        .compile(&net, &MappingStrategy::all_winograd(&net))
+        .unwrap();
+    (net, Arc::new(compiled))
+}
+
+/// Batched, concurrent functional serving must be bit-identical to a
+/// sequential run of the same inputs — per request, matched by id.
+#[test]
+fn concurrent_batched_results_match_sequential() {
+    let (net, compiled) = compiled_tiny_cnn(1);
+    let inputs: Vec<Tensor> = (0..24)
+        .map(|i| synth::tensor(net.input_shape(), 1000 + i))
+        .collect();
+
+    // Sequential oracle: one session, in order.
+    let mut oracle = Simulator::new(&compiled, SimMode::Functional, 16.0);
+    let expected: Vec<Tensor> = inputs
+        .iter()
+        .map(|i| oracle.run(&compiled, i).unwrap().output)
+        .collect();
+
+    let service = InferenceService::start(
+        Arc::clone(&compiled),
+        ServiceConfig::new(SimMode::Functional, 16.0)
+            .with_workers(4)
+            .with_max_batch_size(5)
+            .with_max_wait(Duration::from_micros(200)),
+    );
+    let handles: Vec<ResponseHandle> = inputs
+        .iter()
+        .map(|i| service.submit(i.clone(), None).unwrap())
+        .collect();
+    for (handle, want) in handles.into_iter().zip(&expected) {
+        let got = handle.wait().unwrap();
+        assert_eq!(
+            got.output.as_slice(),
+            want.as_slice(),
+            "request {} diverged from the sequential run",
+            got.id
+        );
+        assert!(got.batch_size >= 1 && got.batch_size <= 5);
+    }
+    let metrics = service.shutdown();
+    assert_eq!(metrics.completed, inputs.len() as u64);
+    assert_eq!(metrics.failed + metrics.expired + metrics.rejected_full, 0);
+}
+
+/// A full admission queue rejects instead of blocking or buffering.
+#[test]
+fn full_queue_rejects_with_backpressure() {
+    let (net, compiled) = compiled_tiny_cnn(2);
+    let service = InferenceService::start(
+        Arc::clone(&compiled),
+        ServiceConfig::new(SimMode::TimingOnly, 16.0).with_queue_capacity(2),
+    );
+    // Freeze the batcher so the queue state is deterministic.
+    service.pause();
+    let a = service
+        .submit(synth::tensor(net.input_shape(), 1), None)
+        .unwrap();
+    let b = service
+        .submit(synth::tensor(net.input_shape(), 2), None)
+        .unwrap();
+    let rejected = service.submit(synth::tensor(net.input_shape(), 3), None);
+    assert!(matches!(
+        rejected,
+        Err(RuntimeError::QueueFull { capacity: 2 })
+    ));
+    assert_eq!(service.metrics().queue_depth, 2);
+
+    service.resume();
+    assert!(a.wait().is_ok());
+    assert!(b.wait().is_ok());
+    let metrics = service.shutdown();
+    assert_eq!(metrics.rejected_full, 1);
+    assert_eq!(metrics.completed, 2);
+}
+
+/// A request whose deadline lapses in queue gets a deadline error, not a
+/// late result; fresh requests are unaffected.
+#[test]
+fn expired_deadline_is_reported_not_served() {
+    let (net, compiled) = compiled_tiny_cnn(3);
+    let service = InferenceService::start(
+        Arc::clone(&compiled),
+        ServiceConfig::new(SimMode::TimingOnly, 16.0),
+    );
+    service.pause();
+    let doomed = service
+        .submit(
+            synth::tensor(net.input_shape(), 1),
+            Some(Duration::from_millis(1)),
+        )
+        .unwrap();
+    let fine = service
+        .submit(
+            synth::tensor(net.input_shape(), 2),
+            Some(Duration::from_secs(60)),
+        )
+        .unwrap();
+    std::thread::sleep(Duration::from_millis(10));
+    service.resume();
+
+    match doomed.wait() {
+        Err(RuntimeError::DeadlineExceeded { missed_by }) => {
+            assert!(missed_by > Duration::ZERO)
+        }
+        other => panic!("expected deadline expiry, got {other:?}"),
+    }
+    assert!(fine.wait().is_ok());
+    let metrics = service.shutdown();
+    assert_eq!(metrics.expired, 1);
+    assert_eq!(metrics.completed, 1);
+}
+
+/// Shutdown drains the queue: every accepted request gets exactly one
+/// response, none are lost, ids are unique, and late submissions are
+/// refused.
+#[test]
+fn shutdown_drains_without_losing_or_duplicating() {
+    let (net, compiled) = compiled_tiny_cnn(4);
+    let service = InferenceService::start(
+        Arc::clone(&compiled),
+        ServiceConfig::new(SimMode::TimingOnly, 16.0)
+            .with_workers(3)
+            .with_queue_capacity(64)
+            .with_max_batch_size(7),
+    );
+    // Half the requests go in while the batcher is frozen, so shutdown
+    // itself must flush them.
+    let mut gen = TrafficGen::new(net.input_shape(), 9);
+    let mut handles = Vec::new();
+    for _ in 0..16 {
+        let (input, _) = gen.next_request();
+        handles.push(service.submit(input, None).unwrap());
+    }
+    service.pause();
+    for _ in 0..16 {
+        let (input, _) = gen.next_request();
+        handles.push(service.submit(input, None).unwrap());
+    }
+    service.resume();
+
+    let metrics = service.shutdown();
+    assert!(
+        matches!(
+            // The service is consumed by shutdown; a second service on
+            // the same network shows the refusal path instead.
+            InferenceService::start(
+                Arc::clone(&compiled),
+                ServiceConfig::new(SimMode::TimingOnly, 16.0)
+            )
+            .metrics()
+            .completed,
+            0
+        ),
+        "fresh service starts clean"
+    );
+
+    let mut ids = HashSet::new();
+    for handle in handles {
+        let response = handle.wait().expect("drained request must be served");
+        assert!(ids.insert(response.id), "duplicate response id");
+    }
+    assert_eq!(ids.len(), 32);
+    assert_eq!(metrics.completed, 32);
+    assert_eq!(metrics.submitted, 32);
+    assert_eq!(metrics.failed + metrics.expired, 0);
+    assert!(metrics.batches >= (32 / 7) as u64);
+    assert!(metrics.latency_p50 <= metrics.latency_p95);
+    assert!(metrics.latency_p95 <= metrics.latency_p99);
+}
+
+/// Submitting after shutdown begins is refused. (Drop also shuts down;
+/// this covers the explicit path.)
+#[test]
+fn shutdown_refuses_new_work() {
+    let (net, compiled) = compiled_tiny_cnn(5);
+    let service = InferenceService::start(
+        Arc::clone(&compiled),
+        ServiceConfig::new(SimMode::TimingOnly, 16.0),
+    );
+    let input = synth::tensor(net.input_shape(), 1);
+    let pre = service.submit(input.clone(), None).unwrap();
+    let metrics = service.shutdown();
+    assert_eq!(metrics.completed, 1);
+    assert!(pre.wait().is_ok());
+}
+
+/// SJF-configured service still answers everything (policy only affects
+/// ordering, never delivery).
+#[test]
+fn sjf_policy_serves_everything() {
+    let (net, compiled) = compiled_tiny_cnn(6);
+    let service = InferenceService::start(
+        Arc::clone(&compiled),
+        ServiceConfig::new(SimMode::TimingOnly, 16.0)
+            .with_workers(2)
+            .with_sjf()
+            .with_cost_hint(12_345.0),
+    );
+    let handles: Vec<_> = (0..10)
+        .map(|i| {
+            service
+                .submit(synth::tensor(net.input_shape(), i), None)
+                .unwrap()
+        })
+        .collect();
+    for h in handles {
+        assert!(h.wait().is_ok());
+    }
+    assert_eq!(service.shutdown().completed, 10);
+}
+
+/// Device pacing holds completions until the simulated batch duration
+/// has elapsed on the wall clock.
+#[test]
+fn device_pacing_enforces_simulated_occupancy() {
+    let (net, compiled) = compiled_tiny_cnn(8);
+    let pace_mhz = 10.0;
+    let service = InferenceService::start(
+        Arc::clone(&compiled),
+        ServiceConfig::new(SimMode::TimingOnly, 16.0).with_device_pacing(pace_mhz),
+    );
+    let handle = service
+        .submit(synth::tensor(net.input_shape(), 1), None)
+        .unwrap();
+    let response = handle.wait().unwrap();
+    let device_time = Duration::from_secs_f64(response.total_cycles / (pace_mhz * 1e6));
+    assert!(
+        response.latency >= device_time,
+        "latency {:?} must cover the simulated device time {:?}",
+        response.latency,
+        device_time
+    );
+    assert_eq!(service.shutdown().completed, 1);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Whatever the worker count, batch size, and request count, every
+    /// accepted request is answered exactly once and nothing is lost.
+    #[test]
+    fn every_request_is_answered(
+        workers in 1usize..4,
+        max_batch in 1usize..9,
+        n in 0usize..24,
+        seed in 0u64..1000,
+    ) {
+        let (net, compiled) = compiled_tiny_cnn(7);
+        let service = InferenceService::start(
+            Arc::clone(&compiled),
+            ServiceConfig::new(SimMode::TimingOnly, 16.0)
+                .with_workers(workers)
+                .with_queue_capacity(64)
+                .with_max_batch_size(max_batch)
+                .with_max_wait(Duration::from_micros(100)),
+        );
+        let mut gen = TrafficGen::new(net.input_shape(), seed);
+        let handles: Vec<_> = (0..n)
+            .map(|_| {
+                let (input, _) = gen.next_request();
+                service.submit(input, None).unwrap()
+            })
+            .collect();
+        let metrics = service.shutdown();
+        prop_assert_eq!(metrics.completed, n as u64);
+        for h in handles {
+            prop_assert!(h.wait().is_ok());
+        }
+    }
+}

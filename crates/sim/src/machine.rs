@@ -8,7 +8,7 @@
 //! of `bw` words/cycle (the multi-channel boards the paper targets), so
 //! Eq. 8–11's `min(BW, port)` rates emerge naturally.
 
-use crate::pe::{exec_comp, exec_load, exec_save, Buffers};
+use crate::pe::{exec_comp, exec_load, exec_save, Buffers, Scratch};
 use crate::stats::{ModuleBusy, StageStats};
 use crate::SimError;
 use hybriddnn_estimator::AcceleratorConfig;
@@ -39,6 +39,7 @@ pub struct Accelerator {
     act_fmt: Option<QFormat>,
     functional: bool,
     bufs: Buffers,
+    scratch: Scratch,
 }
 
 impl Accelerator {
@@ -60,6 +61,7 @@ impl Accelerator {
             act_fmt,
             functional,
             bufs,
+            scratch: Scratch::default(),
         }
     }
 
@@ -162,7 +164,13 @@ impl Accelerator {
                         t.push(Fifo::OutReady, finish);
                     }
                     if self.functional {
-                        exec_comp(&mut self.bufs, &self.cfg, c, self.act_fmt)?;
+                        exec_comp(
+                            &mut self.bufs,
+                            &self.cfg,
+                            c,
+                            self.act_fmt,
+                            &mut self.scratch,
+                        )?;
                     }
                 }
                 Instruction::Save(s) => {

@@ -38,6 +38,29 @@ impl Buffers {
     }
 }
 
+/// Reusable tile-sized work buffers for the Winograd COMP path.
+///
+/// Kept separate from [`Buffers`] (whose contents are architectural state)
+/// so COMP can hold shared borrows of the buffers while mutating scratch.
+/// One `Scratch` lives in the accelerator and is reused across every COMP
+/// unit of every inference, eliminating the per-tile allocations that
+/// dominated the functional-mode serving profile.
+#[derive(Debug, Clone, Default)]
+pub struct Scratch {
+    /// One `PT × PT` input tile `d`.
+    d: Vec<f64>,
+    /// Its transform `V = Bᵀ d B`.
+    v: Vec<f64>,
+    /// `V[e][c]` for all channels of one tile.
+    v_tile: Vec<f64>,
+    /// Transformed-domain accumulator tile `M[e]` for one output channel.
+    m_tile: Vec<f64>,
+    /// Inverse-transformed `m × m` output tile.
+    y: Vec<f64>,
+    /// Matrix-sandwich intermediate shared by both transforms.
+    t: Vec<f64>,
+}
+
 /// Executes a load: strided DRAM block → contiguous buffer span.
 pub fn exec_load(
     bufs: &mut Buffers,
@@ -59,13 +82,12 @@ pub fn exec_load(
         });
     }
     for r in 0..inst.rows as usize {
-        let words = mem.read_burst(
+        let off = base + r * inst.row_len as usize;
+        mem.read_into(
             inst.dram_base + r as u64 * inst.row_stride as u64,
-            inst.row_len as usize,
+            &mut dest[off..off + inst.row_len as usize],
             client,
         );
-        let off = base + r * inst.row_len as usize;
-        dest[off..off + words.len()].copy_from_slice(&words);
     }
     Ok(())
 }
@@ -82,6 +104,7 @@ pub fn exec_comp(
     cfg: &AcceleratorConfig,
     inst: &CompInst,
     act_fmt: Option<QFormat>,
+    scratch: &mut Scratch,
 ) -> Result<(), SimError> {
     let pi = cfg.pi;
     let k_lanes = inst.oc_vecs as usize * cfg.po;
@@ -120,7 +143,7 @@ pub fn exec_comp(
     }
 
     if inst.wino {
-        exec_comp_wino(bufs, cfg, inst, k_lanes, c_lanes)?;
+        exec_comp_wino(bufs, cfg, inst, k_lanes, c_lanes, scratch)?;
     } else {
         // Spatial mode: the GEMM cores merge into one broadcast array;
         // direct MAC loops over the kernel window.
@@ -189,6 +212,7 @@ fn exec_comp_wino(
     inst: &CompInst,
     k_lanes: usize,
     c_lanes: usize,
+    scratch: &mut Scratch,
 ) -> Result<(), SimError> {
     let tile = cfg.tile;
     let pt = tile.pt();
@@ -222,9 +246,13 @@ fn exec_comp_wino(
         bufs.input.get(idx).copied().unwrap_or(0.0) as f64
     };
 
-    let mut d = vec![0.0f64; pt2];
-    let mut v_tile = vec![0.0f64; pt2 * c_lanes]; // V[e][c] for one tile
-    let mut m_tile = vec![0.0f64; pt2];
+    // All scratch lives in `scratch` — its allocations persist across COMP
+    // units, tiles, and inferences; every cell is overwritten before use.
+    scratch.d.resize(pt2, 0.0);
+    scratch.v.resize(pt2, 0.0);
+    scratch.v_tile.resize(pt2 * c_lanes, 0.0); // V[e][c] for one tile
+    scratch.m_tile.resize(pt2, 0.0);
+    scratch.y.resize(m * m, 0.0);
 
     for ty in 0..tiles_y {
         for tx in 0..tiles_x {
@@ -232,12 +260,18 @@ fn exec_comp_wino(
             for c in 0..c_lanes {
                 for dy in 0..pt {
                     for dx in 0..pt {
-                        d[dy * pt + dx] = read(bufs, y_off + ty * m + dy, x_off + tx * m + dx, c);
+                        scratch.d[dy * pt + dx] =
+                            read(bufs, y_off + ty * m + dy, x_off + tx * m + dx, c);
                     }
                 }
-                let v = transform::transform_input_tile(tile, &d);
+                transform::transform_input_tile_into(
+                    tile,
+                    &scratch.d,
+                    &mut scratch.v,
+                    &mut scratch.t,
+                );
                 for e in 0..pt2 {
-                    v_tile[e * c_lanes + c] = v[e];
+                    scratch.v_tile[e * c_lanes + c] = scratch.v[e];
                 }
             }
             // PT² independent GEMVs per output channel, then the inverse
@@ -247,18 +281,23 @@ fn exec_comp_wino(
                     let mut acc = 0.0f64;
                     let wrow = wgt_base + (e * k_lanes + k) * c_lanes;
                     for c in 0..c_lanes {
-                        acc += bufs.weight[wrow + c] as f64 * v_tile[e * c_lanes + c];
+                        acc += bufs.weight[wrow + c] as f64 * scratch.v_tile[e * c_lanes + c];
                     }
-                    m_tile[e] = acc;
+                    scratch.m_tile[e] = acc;
                 }
-                let y = transform::transform_output_tile(tile, &m_tile);
+                transform::transform_output_tile_into(
+                    tile,
+                    &scratch.m_tile,
+                    &mut scratch.y,
+                    &mut scratch.t,
+                );
                 for dy in 0..m {
                     for dx in 0..m {
                         let oy = ty * m + dy;
                         let ox = tx * m + dx;
                         if oy < out_rows && ox < out_w {
                             bufs.accum[acc_base + (k * out_rows + oy) * out_w + ox] +=
-                                y[dy * m + dx];
+                                scratch.y[dy * m + dx];
                         }
                     }
                 }
@@ -399,7 +438,7 @@ mod tests {
             acc_final: true,
             ..CompInst::default()
         };
-        exec_comp(&mut bufs, &cfg, &inst, None).unwrap();
+        exec_comp(&mut bufs, &cfg, &inst, None, &mut Scratch::default()).unwrap();
         assert_eq!(&bufs.output[..4], &[1.5, 4.5, 9.5, 16.5]);
     }
 
@@ -421,7 +460,7 @@ mod tests {
             ..CompInst::default()
         };
         let fmt = QFormat::new(8, 1); // step 0.5
-        exec_comp(&mut bufs, &cfg, &inst, Some(fmt)).unwrap();
+        exec_comp(&mut bufs, &cfg, &inst, Some(fmt), &mut Scratch::default()).unwrap();
         assert_eq!(bufs.output[0], 0.0); // relu clamps
         assert_eq!(bufs.output[1], 2.5); // 2.3 → nearest 0.5 grid (ties-even)
     }
@@ -443,10 +482,10 @@ mod tests {
             acc_final: false,
             ..CompInst::default()
         };
-        exec_comp(&mut bufs, &cfg, &inst, None).unwrap();
+        exec_comp(&mut bufs, &cfg, &inst, None, &mut Scratch::default()).unwrap();
         inst.acc_init = false;
         inst.acc_final = true;
-        exec_comp(&mut bufs, &cfg, &inst, None).unwrap();
+        exec_comp(&mut bufs, &cfg, &inst, None, &mut Scratch::default()).unwrap();
         assert_eq!(bufs.output[0], 6.0);
     }
 
@@ -551,9 +590,9 @@ mod tests {
             kernel_w: 3,
             ..CompInst::default()
         };
-        exec_comp(&mut spat, &cfg, &base, None).unwrap();
+        exec_comp(&mut spat, &cfg, &base, None, &mut Scratch::default()).unwrap();
         let winst = CompInst { wino: true, ..base };
-        exec_comp(&mut wino, &cfg, &winst, None).unwrap();
+        exec_comp(&mut wino, &cfg, &winst, None, &mut Scratch::default()).unwrap();
         for i in 0..k_lanes * out_rows * out_w {
             let a = spat.output[i];
             let b = wino.output[i];

@@ -54,6 +54,14 @@ impl RunResult {
 
 /// A simulator session: one accelerator instance plus its external
 /// memory, initialized from a compiled network's data images.
+///
+/// A session is built for reuse: creating one stages the weight images
+/// into DRAM and allocates every on-chip buffer, so repeated
+/// [`Simulator::run`] calls on the same network perform no allocation
+/// beyond the returned [`RunResult`]. Serving paths (`hybriddnn-runtime`
+/// workers) hold one session per replica instead of rebuilding per
+/// inference. Sessions own all their state, so they are `Send` and may be
+/// moved to worker threads; the compiled network itself is only read.
 #[derive(Debug)]
 pub struct Simulator {
     accel: Accelerator,
@@ -66,7 +74,9 @@ impl Simulator {
     ///
     /// `bw` is the per-channel DDR bandwidth in words per cycle (use
     /// [`hybriddnn_fpga::FpgaSpec::ddr_words_per_cycle`]). In functional
-    /// mode the weight/bias images are staged into external memory here.
+    /// mode the weight/bias images are staged into external memory here,
+    /// with the full DRAM image pre-sized up front so later runs never
+    /// grow it.
     pub fn new(compiled: &CompiledNetwork, mode: SimMode, bw: f64) -> Self {
         let functional = mode == SimMode::Functional;
         let accel = Accelerator::new(
@@ -75,10 +85,15 @@ impl Simulator {
             compiled.quant().activations,
             functional,
         );
-        let mut mem = ExternalMemory::new();
-        if functional {
+        let mem = if functional {
+            let mut mem =
+                ExternalMemory::with_capacity_words(compiled.memory_map().total_words() as usize);
             compiled.stage_data(&mut mem);
-        }
+            mem
+        } else {
+            // Timing-only moves no data; keep the store empty.
+            ExternalMemory::new()
+        };
         Simulator { accel, mem, mode }
     }
 
@@ -320,6 +335,45 @@ mod tests {
                 assert!(f > s && s >= 0.0);
             }
         }
+    }
+
+    #[test]
+    fn reused_session_is_deterministic_and_does_not_grow_memory() {
+        // The serving path reuses one session across inferences: repeated
+        // runs must be bit-identical to fresh-session runs, and the DRAM
+        // image (pre-sized at construction) must not grow.
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 11).unwrap();
+        let compiled = Compiler::new(cfg())
+            .compile(&net, &MappingStrategy::all_winograd(&net))
+            .unwrap();
+        let inputs: Vec<_> = (0..4)
+            .map(|i| synth::tensor(net.input_shape(), i))
+            .collect();
+        let mut session = Simulator::new(&compiled, SimMode::Functional, 16.0);
+        let words_before = session.memory().len();
+        for input in &inputs {
+            let reused = session.run(&compiled, input).unwrap();
+            let fresh = Simulator::new(&compiled, SimMode::Functional, 16.0)
+                .run(&compiled, input)
+                .unwrap();
+            assert_eq!(reused.output.as_slice(), fresh.output.as_slice());
+            assert_eq!(reused.total_cycles, fresh.total_cycles);
+        }
+        // Run the batch a second time: still identical to the first pass.
+        let again = session.run(&compiled, &inputs[0]).unwrap();
+        let first = Simulator::new(&compiled, SimMode::Functional, 16.0)
+            .run(&compiled, &inputs[0])
+            .unwrap();
+        assert_eq!(again.output.as_slice(), first.output.as_slice());
+        assert_eq!(session.memory().len(), words_before);
+    }
+
+    #[test]
+    fn simulator_is_send() {
+        // Worker threads own replica sessions; this must stay `Send`.
+        fn assert_send<T: Send>() {}
+        assert_send::<Simulator>();
     }
 
     #[test]

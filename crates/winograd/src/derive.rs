@@ -79,13 +79,16 @@ pub fn derive(m: usize, r: usize, points: &[f64]) -> DerivedTransforms {
     // Π_{l≠j}(x − a_l); the last row holds Π_l (x − a_l).
     let mut bt = vec![0.0; n * n];
     for j in 0..n - 1 {
-        let poly = poly_product(points.iter().enumerate().filter_map(|(l, &a)| {
-            if l == j {
-                None
-            } else {
-                Some(a)
-            }
-        }));
+        let poly =
+            poly_product(points.iter().enumerate().filter_map(
+                |(l, &a)| {
+                    if l == j {
+                        None
+                    } else {
+                        Some(a)
+                    }
+                },
+            ));
         for (k, &c) in poly.iter().enumerate() {
             bt[j * n + k] = c;
         }

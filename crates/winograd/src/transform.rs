@@ -199,10 +199,28 @@ const AT_F6: [f64; 48] = [
 /// `cols_m × cols_m`, `M'` is the same matrix applied on the right
 /// (transposed), giving `rows_m × rows_m`.
 fn sandwich(m: &[f64], rows_m: usize, cols_m: usize, x: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; rows_m * rows_m];
+    let mut t = Vec::new();
+    sandwich_into(m, rows_m, cols_m, x, &mut out, &mut t);
+    out
+}
+
+/// Allocation-free [`sandwich`]: `out` must hold `rows_m²` values; `t` is
+/// caller-owned scratch, resized as needed so its allocation can be reused
+/// across calls.
+fn sandwich_into(
+    m: &[f64],
+    rows_m: usize,
+    cols_m: usize,
+    x: &[f64],
+    out: &mut [f64],
+    t: &mut Vec<f64>,
+) {
     debug_assert_eq!(m.len(), rows_m * cols_m);
     debug_assert_eq!(x.len(), cols_m * cols_m);
+    debug_assert_eq!(out.len(), rows_m * rows_m);
     // t = M · X  (rows_m × cols_m)
-    let mut t = vec![0.0; rows_m * cols_m];
+    t.resize(rows_m * cols_m, 0.0);
     for i in 0..rows_m {
         for j in 0..cols_m {
             let mut acc = 0.0;
@@ -213,7 +231,6 @@ fn sandwich(m: &[f64], rows_m: usize, cols_m: usize, x: &[f64]) -> Vec<f64> {
         }
     }
     // out = t · Mᵀ  (rows_m × rows_m)
-    let mut out = vec![0.0; rows_m * rows_m];
     for i in 0..rows_m {
         for j in 0..rows_m {
             let mut acc = 0.0;
@@ -223,7 +240,6 @@ fn sandwich(m: &[f64], rows_m: usize, cols_m: usize, x: &[f64]) -> Vec<f64> {
             out[i * rows_m + j] = acc;
         }
     }
-    out
 }
 
 /// Input transform `V = Bᵀ d B` for one `PT × PT` tile `d` (row-major).
@@ -236,6 +252,17 @@ pub fn transform_input_tile(cfg: TileConfig, d: &[f64]) -> Vec<f64> {
     sandwich(cfg.bt(), pt, pt, d)
 }
 
+/// Allocation-free [`transform_input_tile`]: writes the `PT × PT` result
+/// into `out`; `t` is caller-owned scratch reused across calls (the
+/// simulator calls this once per tile per channel).
+///
+/// # Panics
+/// Panics in debug builds if `d.len() != PT²` or `out.len() != PT²`.
+pub fn transform_input_tile_into(cfg: TileConfig, d: &[f64], out: &mut [f64], t: &mut Vec<f64>) {
+    let pt = cfg.pt();
+    sandwich_into(cfg.bt(), pt, pt, d, out, t);
+}
+
 /// Kernel transform `U = G g Gᵀ` for one `3 × 3` kernel `g` (row-major),
 /// producing a `PT × PT` result.
 ///
@@ -245,31 +272,8 @@ pub fn transform_kernel(cfg: TileConfig, g: &[f64]) -> Vec<f64> {
     let pt = cfg.pt();
     let r = cfg.r();
     debug_assert_eq!(g.len(), r * r);
-    // U = G · g · Gᵀ; G is pt×r, g is r×r.
-    let gm = cfg.g();
-    // t = G · g (pt × r)
-    let mut t = vec![0.0; pt * r];
-    for i in 0..pt {
-        for j in 0..r {
-            let mut acc = 0.0;
-            for k in 0..r {
-                acc += gm[i * r + k] * g[k * r + j];
-            }
-            t[i * r + j] = acc;
-        }
-    }
-    // out = t · Gᵀ (pt × pt)
-    let mut out = vec![0.0; pt * pt];
-    for i in 0..pt {
-        for j in 0..pt {
-            let mut acc = 0.0;
-            for k in 0..r {
-                acc += t[i * r + k] * gm[j * r + k];
-            }
-            out[i * pt + j] = acc;
-        }
-    }
-    out
+    // U = G · g · Gᵀ; G is pt×r, g is r×r — the same M·X·Mᵀ sandwich.
+    sandwich(cfg.g(), pt, r, g)
 }
 
 /// Output transform `Y = Aᵀ y A` for one transformed-domain `PT × PT`
@@ -281,31 +285,17 @@ pub fn transform_output_tile(cfg: TileConfig, y: &[f64]) -> Vec<f64> {
     let pt = cfg.pt();
     let m = cfg.m();
     debug_assert_eq!(y.len(), pt * pt);
-    // Y = Aᵀ · y · A; Aᵀ is m×pt.
-    let at = cfg.at();
-    // t = Aᵀ · y (m × pt)
-    let mut t = vec![0.0; m * pt];
-    for i in 0..m {
-        for j in 0..pt {
-            let mut acc = 0.0;
-            for k in 0..pt {
-                acc += at[i * pt + k] * y[k * pt + j];
-            }
-            t[i * pt + j] = acc;
-        }
-    }
-    // out = t · A (m × m); A = (Aᵀ)ᵀ so A[k][j] = at[j*pt+k].
-    let mut out = vec![0.0; m * m];
-    for i in 0..m {
-        for j in 0..m {
-            let mut acc = 0.0;
-            for k in 0..pt {
-                acc += t[i * pt + k] * at[j * pt + k];
-            }
-            out[i * m + j] = acc;
-        }
-    }
-    out
+    // Y = Aᵀ · y · A; Aᵀ is m×pt — the same M·X·Mᵀ sandwich.
+    sandwich(cfg.at(), m, pt, y)
+}
+
+/// Allocation-free [`transform_output_tile`]: writes the `m × m` spatial
+/// tile into `out`; `t` is caller-owned scratch reused across calls.
+///
+/// # Panics
+/// Panics in debug builds if `y.len() != PT²` or `out.len() != m²`.
+pub fn transform_output_tile_into(cfg: TileConfig, y: &[f64], out: &mut [f64], t: &mut Vec<f64>) {
+    sandwich_into(cfg.at(), cfg.m(), cfg.pt(), y, out, t);
 }
 
 /// Number of multiplications per output tile in Winograd mode (`PT²`)

@@ -1,0 +1,79 @@
+//! End-to-end test of the serving runtime through the top-level
+//! framework flow: parse → explore → compile → serve, checking the
+//! served outputs against the pure-software reference network.
+
+use hybriddnn::flow::Framework;
+use hybriddnn::model::{reference, synth, zoo};
+use hybriddnn::{FpgaSpec, Profile, SimMode};
+use std::time::Duration;
+
+#[test]
+fn deployment_serves_functional_requests_matching_reference() {
+    let mut net = zoo::tiny_cnn();
+    synth::bind_random(&mut net, 42).unwrap();
+
+    let framework = Framework::new(FpgaSpec::pynq_z1(), Profile::pynq_z1());
+    let deployment = framework.build(&net).unwrap();
+    assert!(deployment.predicted_cycles() > 0.0);
+
+    let config = deployment
+        .service_config(SimMode::Functional)
+        .with_workers(2)
+        .with_max_batch_size(4)
+        .with_max_wait(Duration::from_micros(200));
+    let service = deployment.into_service(config);
+
+    let inputs: Vec<_> = (0..8)
+        .map(|i| synth::tensor(net.input_shape(), 100 + i))
+        .collect();
+    let handles: Vec<_> = inputs
+        .iter()
+        .map(|input| service.submit(input.clone(), None).unwrap())
+        .collect();
+
+    for (handle, input) in handles.into_iter().zip(&inputs) {
+        let response = handle.wait().unwrap();
+        let want = reference::run_network(&net, input).unwrap();
+        assert_eq!(response.output.shape(), want.shape());
+        for (got, exp) in response.output.as_slice().iter().zip(want.as_slice()) {
+            assert!(
+                (got - exp).abs() <= 1e-2 * exp.abs().max(1.0),
+                "served output diverged from reference: {got} vs {exp}"
+            );
+        }
+        assert!(response.total_cycles > 0.0);
+    }
+
+    let metrics = service.shutdown();
+    assert_eq!(metrics.completed, 8);
+    assert_eq!(metrics.failed + metrics.expired + metrics.rejected_full, 0);
+    assert!(metrics.batches >= 2);
+}
+
+#[test]
+fn deployment_serves_timing_only_requests() {
+    let mut net = zoo::tiny_cnn();
+    synth::bind_random(&mut net, 7).unwrap();
+
+    let framework = Framework::new(FpgaSpec::vu9p(), Profile::vu9p());
+    let deployment = framework.build(&net).unwrap();
+    let config = deployment
+        .service_config(SimMode::TimingOnly)
+        .with_workers(3)
+        .with_sjf();
+    let service = deployment.into_service(config);
+
+    let handles: Vec<_> = (0..12)
+        .map(|i| {
+            service
+                .submit(synth::tensor(net.input_shape(), i), None)
+                .unwrap()
+        })
+        .collect();
+    for handle in handles {
+        let response = handle.wait().unwrap();
+        assert!(response.total_cycles > 0.0);
+        assert!(response.latency > Duration::ZERO);
+    }
+    assert_eq!(service.shutdown().completed, 12);
+}

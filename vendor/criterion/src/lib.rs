@@ -1,0 +1,263 @@
+//! A small, dependency-free, **offline** shim of the `criterion` API
+//! surface this workspace's benches use.
+//!
+//! The real `criterion` crate cannot be fetched in the offline build
+//! environment, so the workspace's `criterion` dependency is
+//! path-replaced with this crate (see the root `Cargo.toml`). Benches
+//! compile against the same names — `Criterion`, `benchmark_group`,
+//! `bench_with_input`, `BenchmarkId`, `Throughput`, `criterion_group!`,
+//! `criterion_main!` — and running them measures each closure with
+//! `std::time::Instant` over a fixed warm-up + sampling schedule,
+//! printing one mean-time line per benchmark. There are no statistics,
+//! plots, or baselines.
+//!
+//! Set `CRITERION_SHIM_MS` to change the per-benchmark sampling budget
+//! (milliseconds, default 200).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box` (benches may import either
+/// this or `std::hint::black_box`).
+pub use std::hint::black_box;
+
+/// Work-rate annotation; accepted and echoed, not analysed.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id from a function name and a parameter.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{name}/{param}"),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId {
+            id: param.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    budget: Duration,
+    /// Mean nanoseconds per iteration of the last `iter` call.
+    pub last_mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, storing the mean iteration time.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up + calibration: find an iteration count that fills the
+        // sampling budget, without running a cold closure thousands of
+        // times first.
+        let cal_start = Instant::now();
+        black_box(f());
+        let once = cal_start.elapsed().max(Duration::from_nanos(50));
+        let iters = (self.budget.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.last_mean_ns = start.elapsed().as_nanos() as f64 / iters as f64;
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("CRITERION_SHIM_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(200);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            c: self,
+            name,
+            throughput: None,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Display, mut f: F) {
+        let mut b = Bencher {
+            budget: self.budget,
+            last_mean_ns: 0.0,
+        };
+        f(&mut b);
+        report(&id.to_string(), b.last_mean_ns, None);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration work rate used in reports.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes samples by time.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Display,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            budget: self.c.budget,
+            last_mean_ns: 0.0,
+        };
+        f(&mut b, input);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.last_mean_ns,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            budget: self.c.budget,
+            last_mean_ns: 0.0,
+        };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id),
+            b.last_mean_ns,
+            self.throughput,
+        );
+        self
+    }
+
+    /// Ends the group (no-op in the shim).
+    pub fn finish(&mut self) {}
+}
+
+fn report(id: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let rate = match throughput {
+        Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+            format!("  ({:.1} Melem/s)", n as f64 / mean_ns * 1e3)
+        }
+        Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+            format!("  ({:.1} MiB/s)", n as f64 / mean_ns * 1e3 / 1.048_576)
+        }
+        _ => String::new(),
+    };
+    if mean_ns >= 1e6 {
+        eprintln!("  {id:<48} {:>10.3} ms/iter{rate}", mean_ns / 1e6);
+    } else {
+        eprintln!("  {id:<48} {:>10.1} ns/iter{rate}", mean_ns);
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(c: &mut Criterion) {
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(4));
+        g.bench_with_input(BenchmarkId::new("sum", 4), &[1u64, 2, 3, 4], |b, xs| {
+            b.iter(|| xs.iter().sum::<u64>())
+        });
+        g.finish();
+        c.bench_function("standalone", |b| b.iter(|| black_box(2 + 2)));
+    }
+
+    #[test]
+    fn group_and_main_macros_compile_and_run() {
+        std::env::set_var("CRITERION_SHIM_MS", "5");
+        criterion_group!(benches, payload);
+        benches();
+    }
+}

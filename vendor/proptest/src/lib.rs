@@ -1,0 +1,704 @@
+//! A small, dependency-free, **offline** shim of the `proptest` API
+//! surface this workspace uses.
+//!
+//! The real `proptest` crate cannot be fetched in the offline build
+//! environment, so the workspace's `proptest` dependency is path-replaced
+//! with this crate (see the root `Cargo.toml`). It implements the same
+//! vocabulary — `proptest!`, `Strategy`, `Just`, `any`, `prop_oneof!`,
+//! `prop::collection::vec`, `prop_assert*!`, `prop_assume!`,
+//! `ProptestConfig` — with a deterministic SplitMix64 generator and **no
+//! shrinking**: a failing case panics with the generated inputs so it can
+//! be reproduced from the printed seed.
+//!
+//! Environment knobs:
+//!
+//! * `PROPTEST_CASES` — override the number of cases per test.
+//! * `PROPTEST_SEED` — override the per-test base seed.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Deterministic RNG, case configuration, and the test-case error
+    //! vocabulary (`TestCaseError::{Reject, Fail}`).
+
+    /// Per-test configuration. Only `cases` is honoured by the shim.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of successful cases required for the test to pass.
+        pub cases: u32,
+        /// Maximum rejected cases (via `prop_assume!` / filters) before
+        /// the test aborts.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..Self::default()
+            }
+        }
+
+        /// The effective case count, honouring `PROPTEST_CASES`.
+        pub fn effective_cases(&self) -> u32 {
+            std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(self.cases)
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` (does not count as a
+        /// run case).
+        Reject,
+        /// An assertion failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+    }
+
+    /// SplitMix64: tiny, fast, deterministic.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// An RNG from an explicit seed.
+        pub fn new(seed: u64) -> Self {
+            TestRng {
+                state: seed ^ 0x9E37_79B9_7F4A_7C15,
+            }
+        }
+
+        /// A deterministic RNG derived from a test name (FNV-1a), unless
+        /// `PROPTEST_SEED` overrides it.
+        pub fn from_name(name: &str) -> Self {
+            if let Ok(seed) = std::env::var("PROPTEST_SEED") {
+                if let Ok(seed) = seed.parse() {
+                    return TestRng::new(seed);
+                }
+            }
+            let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            TestRng::new(h)
+        }
+
+        /// Next raw 64-bit value.
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `f64` in `[0, 1)`.
+        pub fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+
+        /// Uniform index in `[0, n)`; `n` must be nonzero.
+        pub fn next_index(&mut self, n: usize) -> usize {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+pub mod strategy {
+    //! The `Strategy` trait and the combinators the workspace uses.
+
+    use crate::test_runner::TestRng;
+
+    /// A value generator. Unlike real proptest there is no shrinking: a
+    /// strategy is just a deterministic function of the RNG stream.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Generates one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values for which `f` returns `Some`, up to an
+        /// internal retry bound.
+        fn prop_filter_map<U, F>(self, whence: &'static str, f: F) -> FilterMap<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> Option<U>,
+        {
+            FilterMap {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+
+        /// Type-erases the strategy (used by `prop_oneof!`).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    trait DynStrategy<V> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// A boxed, type-erased strategy.
+    pub struct BoxedStrategy<V>(Box<dyn DynStrategy<V>>);
+
+    impl<V> Strategy for BoxedStrategy<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Always yields a clone of the wrapped value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// `Strategy::prop_map` adapter.
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// `Strategy::prop_filter_map` adapter.
+    pub struct FilterMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) whence: &'static str,
+        pub(crate) f: F,
+    }
+
+    impl<S, F, U> Strategy for FilterMap<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Option<U>,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            for _ in 0..10_000 {
+                if let Some(v) = (self.f)(self.inner.generate(rng)) {
+                    return v;
+                }
+            }
+            panic!("prop_filter_map `{}`: no value accepted", self.whence);
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (`prop_oneof!`).
+    pub struct Union<V> {
+        arms: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        /// A union over `arms`; must be non-empty.
+        pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.next_index(self.arms.len());
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128) - (self.start as i128);
+                    let off = (rng.next_u64() as i128).rem_euclid(span);
+                    ((self.start as i128) + off) as $t
+                }
+            }
+            impl Strategy for ::std::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128) - (lo as i128) + 1;
+                    let off = (rng.next_u64() as i128).rem_euclid(span);
+                    ((lo as i128) + off) as $t
+                }
+            }
+        )*};
+    }
+
+    int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for ::std::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let u = rng.next_f64() as $t;
+                    self.start + u * (self.end - self.start)
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7, I.8, J.9, K.10, L.11)
+    }
+
+    /// Types with a canonical "anything" strategy (`any::<T>()`).
+    pub trait ArbitraryValue: Sized {
+        /// Generates an arbitrary value of the type.
+        fn arbitrary_value(rng: &mut TestRng) -> Self;
+    }
+
+    impl ArbitraryValue for bool {
+        fn arbitrary_value(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary_value(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    /// The strategy returned by [`crate::any`].
+    pub struct Any<T>(pub(crate) std::marker::PhantomData<T>);
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary_value(rng)
+        }
+    }
+
+    /// `&str` as a strategy: a regex *subset* — a single character class
+    /// with an optional `{m,n}` / `{n}` repetition (e.g. `"[ -~]{0,30}"`)
+    /// — generating `String`s.
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (class, lo, hi) = parse_simple_regex(self);
+            let len = lo + rng.next_index(hi - lo + 1);
+            (0..len)
+                .map(|_| class[rng.next_index(class.len())])
+                .collect()
+        }
+    }
+
+    fn parse_simple_regex(pattern: &str) -> (Vec<char>, usize, usize) {
+        let unsupported = || -> ! {
+            panic!("proptest shim: unsupported regex strategy `{pattern}` (only `[class]{{m,n}}`)")
+        };
+        let rest = pattern.strip_prefix('[').unwrap_or_else(|| unsupported());
+        let close = rest.find(']').unwrap_or_else(|| unsupported());
+        let class_src: Vec<char> = rest[..close].chars().collect();
+        let mut class = Vec::new();
+        let mut i = 0;
+        while i < class_src.len() {
+            if i + 2 < class_src.len() && class_src[i + 1] == '-' {
+                let (a, b) = (class_src[i] as u32, class_src[i + 2] as u32);
+                for c in a..=b {
+                    class.push(char::from_u32(c).unwrap_or_else(|| unsupported()));
+                }
+                i += 3;
+            } else {
+                class.push(class_src[i]);
+                i += 1;
+            }
+        }
+        if class.is_empty() {
+            unsupported();
+        }
+        let tail = &rest[close + 1..];
+        if tail.is_empty() {
+            return (class, 1, 1);
+        }
+        let body = tail
+            .strip_prefix('{')
+            .and_then(|t| t.strip_suffix('}'))
+            .unwrap_or_else(|| unsupported());
+        let (lo, hi) = match body.split_once(',') {
+            Some((l, h)) => (l.trim().parse().ok(), h.trim().parse().ok()),
+            None => {
+                let n = body.trim().parse().ok();
+                (n, n)
+            }
+        };
+        match (lo, hi) {
+            (Some(l), Some(h)) if l <= h => (class, l, h),
+            _ => unsupported(),
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Inclusive size bounds for a generated collection.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a size drawn from `size`.
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// A vector of values from `elem`, sized within `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.lo + rng.next_index(self.size.hi - self.size.lo + 1);
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// The canonical strategy for `T` (`any::<bool>()`, …).
+pub fn any<T: strategy::ArbitraryValue>() -> strategy::Any<T> {
+    strategy::Any(std::marker::PhantomData)
+}
+
+pub mod prelude {
+    //! Everything the tests import via `use proptest::prelude::*`.
+
+    pub use crate as prop;
+    pub use crate::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+}
+
+/// Defines `#[test]` functions over generated inputs.
+///
+/// Supports the subset of the real macro's grammar used here: an optional
+/// `#![proptest_config(..)]` inner attribute, then `fn name(pat in
+/// strategy, ...) { body }` items carrying their own outer attributes
+/// (including `#[test]` and doc comments).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $($(#[$meta:meta])* fn $name:ident($($parm:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                #![allow(unused_mut)]
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                let __cases = __cfg.effective_cases();
+                let __name = concat!(module_path!(), "::", stringify!($name));
+                let mut __rng = $crate::test_runner::TestRng::from_name(__name);
+                let mut __done: u32 = 0;
+                let mut __rejected: u32 = 0;
+                while __done < __cases {
+                    let mut __inputs = ::std::string::String::new();
+                    $(
+                        let $parm = {
+                            let __v =
+                                $crate::strategy::Strategy::generate(&($strat), &mut __rng);
+                            if !__inputs.is_empty() {
+                                __inputs.push_str(", ");
+                            }
+                            __inputs.push_str(stringify!($parm));
+                            __inputs.push_str(" = ");
+                            __inputs.push_str(&format!("{:?}", &__v));
+                            __v
+                        };
+                    )+
+                    let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (move || {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match __result {
+                        ::std::result::Result::Ok(()) => __done += 1,
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Reject,
+                        ) => {
+                            __rejected += 1;
+                            if __rejected > __cfg.max_global_rejects {
+                                panic!(
+                                    "proptest {__name}: too many rejected cases ({__rejected})"
+                                );
+                            }
+                        }
+                        ::std::result::Result::Err(
+                            $crate::test_runner::TestCaseError::Fail(__msg),
+                        ) => {
+                            let mut __shown = __inputs;
+                            if __shown.len() > 2048 {
+                                __shown.truncate(2048);
+                                __shown.push_str(" …");
+                            }
+                            panic!(
+                                "proptest {__name} failed at case {__done}: {__msg}\
+                                 \n  inputs: {__shown}\
+                                 \n  (set PROPTEST_SEED to reproduce a specific stream)"
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                concat!("assertion failed: ", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `(left == right)`\n  left: {:?}\n right: {:?}",
+                __l, __r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+),
+                __l,
+                __r
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (not counted) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_land_in_bounds() {
+        let mut rng = TestRng::new(7);
+        for _ in 0..1000 {
+            let v = Strategy::generate(&(3u32..17), &mut rng);
+            assert!((3..17).contains(&v));
+            let f = Strategy::generate(&(-2.0f32..2.0), &mut rng);
+            assert!((-2.0..2.0).contains(&f));
+            let i = Strategy::generate(&(-32i8..=31), &mut rng);
+            assert!((-32..=31).contains(&i));
+        }
+    }
+
+    #[test]
+    fn regex_subset_generates_in_class() {
+        let mut rng = TestRng::new(3);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[ -~]{0,30}", &mut rng);
+            assert!(s.len() <= 30);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    #[test]
+    fn oneof_union_covers_all_arms() {
+        let mut rng = TestRng::new(11);
+        let s = prop_oneof![Just(1u8), Just(2), Just(3)];
+        let mut seen = [false; 4];
+        for _ in 0..100 {
+            seen[Strategy::generate(&s, &mut rng) as usize] = true;
+        }
+        assert!(seen[1] && seen[2] && seen[3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: generation, assume, and assertions.
+        #[test]
+        fn macro_roundtrip(mut a in 1usize..50, b in prop::collection::vec(0u8..10, 2..5)) {
+            prop_assume!(a != 13);
+            a += 1;
+            prop_assert!(a >= 2, "a was {a}");
+            prop_assert_eq!(b.len(), b.len());
+            prop_assert!(b.len() >= 2 && b.len() < 5);
+        }
+    }
+}
