@@ -8,11 +8,13 @@
 
 use hybriddnn::model::{synth, zoo};
 use hybriddnn::{Compiler, MappingStrategy, SimMode, Simulator};
+use hybriddnn_bench::bench_json::Record;
 use hybriddnn_estimator::AcceleratorConfig;
 use hybriddnn_winograd::TileConfig;
 use std::time::Instant;
 
 fn main() {
+    let mut record = Record::new("reuse_probe");
     let mut net = zoo::tiny_cnn();
     synth::bind_random(&mut net, 1).unwrap();
     let cfg = AcceleratorConfig::new(4, 4, TileConfig::F2x2);
@@ -43,11 +45,15 @@ fn main() {
         }
         let reused = start.elapsed();
 
+        let fresh_us = fresh.as_secs_f64() * 1e6 / n as f64;
+        let reused_us = reused.as_secs_f64() * 1e6 / n as f64;
         println!(
-            "{label:<12} n={n:<5} fresh/run {:>9.1} µs   reused/run {:>9.1} µs   speedup {:.2}x",
-            fresh.as_secs_f64() * 1e6 / n as f64,
-            reused.as_secs_f64() * 1e6 / n as f64,
+            "{label:<12} n={n:<5} fresh/run {fresh_us:>9.1} µs   reused/run {reused_us:>9.1} µs   speedup {:.2}x",
             fresh.as_secs_f64() / reused.as_secs_f64()
         );
+        record
+            .num(&format!("{label}_fresh_us_per_run"), fresh_us)
+            .num(&format!("{label}_reused_us_per_run"), reused_us);
     }
+    record.save();
 }

@@ -1,0 +1,66 @@
+//! Per-network functional-mode wall-time probe: times reused-session
+//! inference on networks of increasing layer count so the cost of each
+//! stage (conv / pool / fc, Winograd vs Spatial) can be isolated by
+//! differencing. Development aid for kernel work — not a tracked
+//! benchmark.
+//!
+//! ```text
+//! cargo run --release -p hybriddnn-bench --example stage_probe
+//! ```
+
+use hybriddnn_compiler::{Compiler, MappingStrategy};
+use hybriddnn_estimator::AcceleratorConfig;
+use hybriddnn_model::{synth, zoo, Network};
+use hybriddnn_sim::{SimMode, Simulator};
+use hybriddnn_winograd::TileConfig;
+use std::time::Instant;
+
+fn probe(name: &str, net: &mut Network, strategy_wino: bool, n: usize) {
+    synth::bind_random(net, 42).unwrap();
+    let strategy = if strategy_wino {
+        MappingStrategy::all_winograd(net)
+    } else {
+        MappingStrategy::all_spatial(net)
+    };
+    let compiled = Compiler::new(AcceleratorConfig::new(4, 4, TileConfig::F2x2))
+        .compile(net, &strategy)
+        .unwrap();
+    let input = synth::tensor(net.input_shape(), 7);
+    let mut sim = Simulator::new(&compiled, SimMode::Functional, 16.0);
+    sim.run(&compiled, &input).unwrap(); // warm
+                                         // Noisy shared host: the minimum batch mean is the robust estimate.
+    let mut best = f64::INFINITY;
+    for _ in 0..12 {
+        let start = Instant::now();
+        for _ in 0..n {
+            sim.run(&compiled, &input).unwrap();
+        }
+        best = best.min(start.elapsed().as_secs_f64() * 1e6 / n as f64);
+    }
+    println!("{name:<28} {best:>9.1} us/run");
+}
+
+fn main() {
+    let n = 100;
+    probe("conv16 wino", &mut zoo::single_conv(16, 3, 8, 3), true, n);
+    probe(
+        "conv16 spatial",
+        &mut zoo::single_conv(16, 3, 8, 3),
+        false,
+        n,
+    );
+    probe(
+        "conv16 wide wino",
+        &mut zoo::single_conv(16, 16, 16, 3),
+        true,
+        n,
+    );
+    probe(
+        "conv16 wide spatial",
+        &mut zoo::single_conv(16, 16, 16, 3),
+        false,
+        n,
+    );
+    probe("tiny_cnn wino", &mut zoo::tiny_cnn(), true, n);
+    probe("tiny_cnn spatial", &mut zoo::tiny_cnn(), false, n);
+}

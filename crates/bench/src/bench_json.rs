@@ -1,0 +1,166 @@
+//! Machine-readable benchmark output.
+//!
+//! Benchmarks that report host-speed numbers (`reuse_probe`,
+//! `serving_throughput`, `figure6_sweep`) merge one flat record each
+//! into `BENCH_sim.json` so CI and regression tooling can diff runs
+//! without scraping stdout. The file is a single JSON object keyed by
+//! benchmark name; each record is one line, so merging is a line edit
+//! and the file diffs cleanly under version control.
+//!
+//! The offline build has no serde, so this is a tiny hand-rolled writer:
+//! flat records only (string/int/float values), which is all the
+//! benchmarks need. The output path defaults to `BENCH_sim.json` in the
+//! working directory and can be redirected with the `BENCH_JSON`
+//! environment variable.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One benchmark's flat record, serialized as a single JSON object line.
+#[derive(Debug, Clone)]
+pub struct Record {
+    name: String,
+    body: String,
+}
+
+impl Record {
+    /// Starts a record for `name`, pre-filled with the host context
+    /// every record wants: available cores and the resolved work-pool
+    /// thread count (`threads`).
+    pub fn new(name: &str) -> Self {
+        let mut r = Record {
+            name: name.to_string(),
+            body: String::new(),
+        };
+        r.int("host_cores", hybriddnn::par::available_parallelism() as u64);
+        r.int(
+            "threads",
+            hybriddnn::par::WorkPool::default().threads() as u64,
+        );
+        r
+    }
+
+    /// Adds a float field (non-finite values become `null`).
+    pub fn num(&mut self, key: &str, value: f64) -> &mut Self {
+        if value.is_finite() {
+            // `{value}` is Rust's shortest round-trip form — valid JSON.
+            self.push(key, &format!("{value}"))
+        } else {
+            self.push(key, "null")
+        }
+    }
+
+    /// Adds an integer field.
+    pub fn int(&mut self, key: &str, value: u64) -> &mut Self {
+        self.push(key, &format!("{value}"))
+    }
+
+    /// Adds a string field.
+    pub fn str(&mut self, key: &str, value: &str) -> &mut Self {
+        self.push(key, &format!("\"{}\"", escape(value)))
+    }
+
+    fn push(&mut self, key: &str, raw: &str) -> &mut Self {
+        if !self.body.is_empty() {
+            self.body.push_str(", ");
+        }
+        write!(self.body, "\"{}\": {raw}", escape(key)).expect("write to String");
+        self
+    }
+
+    /// The record as its single JSON line: `"name": {…}`.
+    fn line(&self) -> String {
+        format!("  \"{}\": {{{}}}", escape(&self.name), self.body)
+    }
+
+    /// Merges this record into the JSON file at [`default_path`],
+    /// replacing any previous record with the same name. Errors are
+    /// printed, not fatal — a read-only checkout must not fail a bench.
+    pub fn save(&self) {
+        let path = default_path();
+        if let Err(e) = self.save_to(&path) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            println!("[{} -> {}]", self.name, path.display());
+        }
+    }
+
+    /// Merges this record into the object file at `path`.
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn save_to(&self, path: &Path) -> std::io::Result<()> {
+        let mut lines: Vec<String> = match std::fs::read_to_string(path) {
+            Ok(text) => text
+                .lines()
+                .filter(|l| {
+                    let t = l.trim();
+                    t.starts_with('"') && !t.starts_with(&format!("\"{}\":", escape(&self.name)))
+                })
+                .map(|l| format!("  {}", l.trim().trim_end_matches(',')))
+                .collect(),
+            Err(_) => Vec::new(),
+        };
+        lines.push(self.line());
+        lines.sort();
+        std::fs::write(path, format!("{{\n{}\n}}\n", lines.join(",\n")))
+    }
+}
+
+/// `$BENCH_JSON`, or `BENCH_sim.json` in the working directory.
+pub fn default_path() -> PathBuf {
+    std::env::var_os("BENCH_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("BENCH_sim.json"))
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            '\n' => vec!['\\', 'n'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_merge_and_replace_by_name() {
+        let dir = std::env::temp_dir().join("hdnn_bench_json_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_sim.json");
+        let _ = std::fs::remove_file(&path);
+
+        let mut a = Record::new("alpha");
+        a.num("us_per_run", 12.5).str("mode", "functional");
+        a.save_to(&path).unwrap();
+        let mut b = Record::new("beta");
+        b.int("requests", 100);
+        b.save_to(&path).unwrap();
+        // Re-saving `alpha` replaces the old record, not duplicates it.
+        let mut a2 = Record::new("alpha");
+        a2.num("us_per_run", 10.0);
+        a2.save_to(&path).unwrap();
+
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.matches("\"alpha\"").count(), 1, "{text}");
+        assert!(text.contains("\"us_per_run\": 10"), "{text}");
+        assert!(text.contains("\"beta\""), "{text}");
+        assert!(text.contains("\"host_cores\""), "{text}");
+        assert!(text.starts_with("{\n") && text.ends_with("}\n"), "{text}");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut r = Record::new("x");
+        r.num("bad", f64::NAN).num("inf", f64::INFINITY);
+        assert!(r.line().contains("\"bad\": null"));
+        assert!(r.line().contains("\"inf\": null"));
+    }
+}

@@ -13,8 +13,10 @@ use hybriddnn::{
     AcceleratorConfig, Compiler, ConvMode, Dataflow, FpgaSpec, LayerWorkload, MappingStrategy,
     SimMode, Simulator, TileConfig,
 };
+use hybriddnn_bench::bench_json::Record;
 use hybriddnn_bench::bind_zeros;
 use hybriddnn_estimator::latency;
+use std::time::Instant;
 
 /// One sweep point: feature size and channel count (in = out channels,
 /// mirroring the figure's "Feature Size" / "Channel Size" series).
@@ -148,4 +150,34 @@ fn main() {
          PT²/m² tile waste on 1x1 and by decomposition weight traffic on \
          5x5/7x7, dropping wherever it turns memory-bound."
     );
+
+    // DSE wall clock behind the sweep's devices: Step 1 fans candidate
+    // evaluation across the host work pool, so explore time at the
+    // pool's thread count vs. 1 thread is the host-parallelism payoff
+    // (bounded by the machine's core count — see `host_cores` in the
+    // record).
+    let mut record = Record::new("figure6_sweep");
+    let net = zoo::vgg16();
+    let mut walls = [f64::INFINITY; 2];
+    for (slot, threads) in [(0usize, 1usize), (1, 0)] {
+        let engine = hybriddnn::DseEngine::new(vu9p.clone(), hybriddnn::Profile::vu9p())
+            .with_threads(threads);
+        for _ in 0..5 {
+            let start = Instant::now();
+            engine.explore(&net).expect("vgg16 explores on VU9P");
+            walls[slot] = walls[slot].min(start.elapsed().as_secs_f64());
+        }
+    }
+    println!(
+        "\nDSE explore wall (vgg16 on VU9P, min of 5): {:.4} s @ 1 thread, \
+         {:.4} s @ pool ({:.2}x)",
+        walls[0],
+        walls[1],
+        walls[0] / walls[1]
+    );
+    record
+        .num("dse_wall_s_1thread", walls[0])
+        .num("dse_wall_s_pool", walls[1])
+        .num("dse_speedup", walls[0] / walls[1]);
+    record.save();
 }

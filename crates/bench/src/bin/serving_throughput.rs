@@ -12,6 +12,7 @@
 //! cargo run --release -p hybriddnn-bench --bin serving_throughput
 //! ```
 
+use hybriddnn_bench::bench_json::Record;
 use hybriddnn_compiler::{CompiledNetwork, Compiler, MappingStrategy};
 use hybriddnn_estimator::AcceleratorConfig;
 use hybriddnn_model::{synth, zoo, Tensor};
@@ -91,20 +92,35 @@ fn main() {
     // Table 1 — device-occupancy scaling: each worker is one simulated
     // accelerator instance paced at PACE_MHZ, so aggregate throughput
     // tracks the instance count (the deployment-relevant number).
+    let mut record = Record::new("serving_throughput");
+    record.int("requests", REQUESTS as u64);
     println!(
         "aggregate serving throughput, zoo::tiny_cnn, TimingOnly, \
          device-paced @ {PACE_MHZ} MHz, {PACED_REQUESTS} requests, {DRIVERS} drivers"
     );
-    print_scaling(&compiled, &inputs[..PACED_REQUESTS], Some(PACE_MHZ));
+    print_scaling(
+        &compiled,
+        &inputs[..PACED_REQUESTS],
+        Some(PACE_MHZ),
+        &mut record,
+        "paced",
+    );
 
     // Table 2 — raw host-side overlap on this machine (no pacing): how
     // much service overhead extra workers hide. On a single-core host
     // this cannot exceed the idle fraction of the one-worker run.
     println!("\nhost-side service overlap (unpaced), {REQUESTS} requests, {DRIVERS} drivers");
-    print_scaling(&compiled, &inputs, None);
+    print_scaling(&compiled, &inputs, None, &mut record, "unpaced");
+    record.save();
 }
 
-fn print_scaling(compiled: &Arc<CompiledNetwork>, inputs: &[Tensor], pace_mhz: Option<f64>) {
+fn print_scaling(
+    compiled: &Arc<CompiledNetwork>,
+    inputs: &[Tensor],
+    pace_mhz: Option<f64>,
+    record: &mut Record,
+    tag: &str,
+) {
     println!(
         "{:>7}  {:>12}  {:>10}  {:>10}  {:>8}",
         "workers", "req/s", "p50", "p99", "speedup"
@@ -116,6 +132,7 @@ fn print_scaling(compiled: &Arc<CompiledNetwork>, inputs: &[Tensor], pace_mhz: O
         let (elapsed, metrics) = serve(compiled, inputs, workers, pace_mhz);
         assert_eq!(metrics.completed, inputs.len() as u64, "lost requests");
         let reqs_per_s = inputs.len() as f64 / elapsed.as_secs_f64();
+        record.num(&format!("{tag}_reqs_per_s_w{workers}"), reqs_per_s);
         let base = *base.get_or_insert(reqs_per_s);
         println!(
             "{:>7}  {:>12.0}  {:>10.1?}  {:>10.1?}  {:>7.2}x",

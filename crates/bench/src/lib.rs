@@ -6,6 +6,8 @@
 
 use hybriddnn::model::{LayerKind, Network};
 
+pub mod bench_json;
+
 /// Binds zero-valued parameters to every compute layer (timing studies
 /// are data-independent; zero weights keep setup fast).
 pub fn bind_zeros(net: &mut Network) {

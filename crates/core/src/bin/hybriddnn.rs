@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! hybriddnn <MODEL.hdnn> <DEVICE.fpga> [--quant] [--functional]
-//!           [--disasm] [--hls] [--emit DIR] [--seed N]
+//!           [--disasm] [--hls] [--emit DIR] [--seed N] [--threads N]
 //! ```
 //!
 //! * `MODEL.hdnn` — model description (see `hybriddnn::parser`).
@@ -17,6 +17,9 @@
 //! * `--batch N` — additionally simulate an `N`-image batch across the
 //!   design's `NI` instances and report device throughput.
 //! * `--seed N` — PRNG seed for the synthetic parameters (default 42).
+//! * `--threads N` — host threads for the simulator/DSE work pools
+//!   (default: all available cores; `1` = strictly sequential). Outputs
+//!   are bit-identical at any thread count.
 //!
 //! A second subcommand drives the concurrent serving runtime:
 //!
@@ -24,7 +27,7 @@
 //! hybriddnn serve-bench <MODEL.hdnn|tiny-cnn|vgg-tiny> <DEVICE.fpga|vu9p|pynq-z1>
 //!           [--workers N] [--requests N] [--batch-size N] [--max-wait-us N]
 //!           [--queue-capacity N] [--policy fifo|sjf] [--functional]
-//!           [--pace-mhz F] [--seed N]
+//!           [--pace-mhz F] [--seed N] [--threads N]
 //! ```
 //!
 //! It builds the deployment, starts an [`hybriddnn::runtime::InferenceService`],
@@ -49,6 +52,7 @@ struct Args {
     emit: Option<String>,
     batch: usize,
     seed: u64,
+    threads: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -60,6 +64,7 @@ fn parse_args() -> Result<Args, String> {
     let mut emit = None;
     let mut batch = 0usize;
     let mut seed = 42u64;
+    let mut threads = 0usize;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -77,6 +82,10 @@ fn parse_args() -> Result<Args, String> {
             "--seed" => {
                 let v = it.next().ok_or("--seed requires a value")?;
                 seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
+            }
+            "--threads" => {
+                let v = it.next().ok_or("--threads requires a count")?;
+                threads = v.parse().map_err(|_| format!("bad thread count `{v}`"))?;
             }
             "-h" | "--help" => return Err(String::new()),
             other if other.starts_with('-') => {
@@ -98,6 +107,7 @@ fn parse_args() -> Result<Args, String> {
         emit,
         batch,
         seed,
+        threads,
     })
 }
 
@@ -113,6 +123,7 @@ struct ServeArgs {
     functional: bool,
     pace_mhz: Option<f64>,
     seed: u64,
+    threads: usize,
 }
 
 fn parse_serve_args<I: Iterator<Item = String>>(mut it: I) -> Result<ServeArgs, String> {
@@ -126,6 +137,7 @@ fn parse_serve_args<I: Iterator<Item = String>>(mut it: I) -> Result<ServeArgs, 
     let mut functional = false;
     let mut pace_mhz = None;
     let mut seed = 42u64;
+    let mut threads = 0usize;
     fn value<I: Iterator<Item = String>, T: std::str::FromStr>(
         it: &mut I,
         flag: &str,
@@ -154,6 +166,7 @@ fn parse_serve_args<I: Iterator<Item = String>>(mut it: I) -> Result<ServeArgs, 
             "--functional" => functional = true,
             "--pace-mhz" => pace_mhz = Some(value(&mut it, "--pace-mhz")?),
             "--seed" => seed = value(&mut it, "--seed")?,
+            "--threads" => threads = value(&mut it, "--threads")?,
             "-h" | "--help" => return Err(String::new()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`"));
@@ -179,6 +192,7 @@ fn parse_serve_args<I: Iterator<Item = String>>(mut it: I) -> Result<ServeArgs, 
         functional,
         pace_mhz,
         seed,
+        threads,
     })
 }
 
@@ -199,6 +213,7 @@ fn model_for(spec: &str, seed: u64) -> Result<hybriddnn::Network, String> {
 }
 
 fn run_serve_bench(args: ServeArgs) -> Result<(), String> {
+    hybriddnn::par::set_default_threads(args.threads);
     let net = model_for(&args.model, args.seed)?;
     let (device, profile) = device_for(&args.device)?;
     let mode = if args.functional {
@@ -210,7 +225,7 @@ fn run_serve_bench(args: ServeArgs) -> Result<(), String> {
         .build(&net)
         .map_err(|e| e.to_string())?;
     println!(
-        "serve-bench: {} on {} — {} workers, batch ≤{}, wait ≤{:?}, {} mode, {} requests",
+        "serve-bench: {} on {} — {} workers, batch ≤{}, wait ≤{:?}, {} mode, {} requests, {} sim thread(s)/worker",
         args.model,
         args.device,
         args.workers,
@@ -222,6 +237,7 @@ fn run_serve_bench(args: ServeArgs) -> Result<(), String> {
             "timing-only"
         },
         args.requests,
+        hybriddnn::par::WorkPool::default().threads(),
     );
 
     let mut config = deployment
@@ -303,6 +319,7 @@ fn device_for(spec: &str) -> Result<(FpgaSpec, Profile), String> {
 }
 
 fn run(args: Args) -> Result<(), String> {
+    hybriddnn::par::set_default_threads(args.threads);
     // Step 1: parse.
     let text = std::fs::read_to_string(&args.model_path)
         .map_err(|e| format!("cannot read `{}`: {e}", args.model_path))?;
@@ -456,7 +473,8 @@ fn main() -> ExitCode {
                     "usage: hybriddnn serve-bench <MODEL.hdnn|tiny-cnn|vgg-tiny> \
                      <DEVICE.fpga|vu9p|pynq-z1> [--workers N] [--requests N] \
                      [--batch-size N] [--max-wait-us N] [--queue-capacity N] \
-                     [--policy fifo|sjf] [--functional] [--pace-mhz F] [--seed N]"
+                     [--policy fifo|sjf] [--functional] [--pace-mhz F] [--seed N] \
+                     [--threads N]"
                 );
                 ExitCode::FAILURE
             }
@@ -477,7 +495,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: hybriddnn <MODEL.hdnn> <DEVICE.fpga|vu9p|pynq-z1> \
                  [--quant] [--functional] [--disasm] [--hls] [--emit DIR] \
-                 [--batch N] [--seed N]\n\
+                 [--batch N] [--seed N] [--threads N]\n\
                  \x20      hybriddnn serve-bench --help"
             );
             ExitCode::FAILURE

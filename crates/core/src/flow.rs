@@ -173,12 +173,22 @@ impl Deployment {
         self.throughput_gops(run) / self.dse.total_resources.dsp as f64
     }
 
-    /// The estimator's predicted cycles for one inference (the sum of
-    /// the winning per-layer estimates) — the job-cost hint behind the
-    /// serving runtime's shortest-predicted-job-first dispatch.
+    /// The estimator's predicted cycles for one inference — the job-cost
+    /// hint behind the serving runtime's shortest-predicted-job-first
+    /// dispatch. Summed over the per-layer estimates for the *deployed*
+    /// strategy: if the per-layer `(mode, dataflow)` choices were forced
+    /// away from the DSE winners (see [`Framework::build_with`]), the
+    /// latency model is re-evaluated for what actually runs rather than
+    /// reusing the winners' cached estimates.
     pub fn predicted_cycles(&self) -> f64 {
-        hybriddnn_estimator::latency::predicted_network_cycles(
-            self.dse.per_layer.iter().map(|c| &c.estimate),
+        let bw = self.device.instance_bandwidth(self.dse.design.ni);
+        hybriddnn_estimator::latency::strategy_network_cycles(
+            &self.dse.design.accel,
+            self.dse
+                .per_layer
+                .iter()
+                .map(|c| (c.mode, c.dataflow, &c.workload)),
+            bw,
         )
     }
 
@@ -325,6 +335,37 @@ mod tests {
         for l in deployment.compiled.layers() {
             assert_eq!(l.plan().mode, ConvMode::Spatial);
         }
+    }
+
+    #[test]
+    fn cost_hint_tracks_deployed_strategy() {
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 4).unwrap();
+        let fw = pynq_framework();
+        let dse = DseEngine::new(fw.device().clone(), Profile::pynq_z1())
+            .explore(&net)
+            .unwrap();
+        let winning = fw.build_with(&net, dse.clone()).unwrap();
+        // The winning deployment's hint matches the DSE objective.
+        assert!((winning.predicted_cycles() - dse.total_cycles).abs() < 1e-6);
+        // Forcing a slower strategy must change the hint: the SJF cost
+        // hint describes what actually runs, not the DSE winner.
+        let mut forced = dse.clone();
+        for c in &mut forced.per_layer {
+            c.mode = ConvMode::Spatial;
+        }
+        let deployed = fw.build_with(&net, forced).unwrap();
+        if dse.per_layer.iter().any(|c| c.mode != ConvMode::Spatial) {
+            assert!(deployed.predicted_cycles() > winning.predicted_cycles());
+        }
+        assert!(
+            (deployed
+                .service_config(SimMode::Functional)
+                .cost_hint_cycles
+                - deployed.predicted_cycles())
+            .abs()
+                < 1e-9
+        );
     }
 
     #[test]

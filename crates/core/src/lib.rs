@@ -62,6 +62,14 @@ pub mod runtime {
     pub use hybriddnn_runtime::*;
 }
 
+/// The host work-group pool behind the simulator, reference model, and
+/// DSE hot paths (re-export of `hybriddnn-par`). Set the process-wide
+/// thread budget with [`par::set_default_threads`] — the CLI's
+/// `--threads` flag maps straight onto it.
+pub mod par {
+    pub use hybriddnn_par::*;
+}
+
 pub use flow::{BatchResult, Deployment, Framework};
 pub use hybriddnn_compiler::{CompileError, CompiledNetwork, Compiler, MappingStrategy, QuantSpec};
 pub use hybriddnn_dse::{DseEngine, DseError, DseResult};

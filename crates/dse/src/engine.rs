@@ -7,6 +7,7 @@ use hybriddnn_estimator::{
 };
 use hybriddnn_fpga::{FpgaSpec, Resources};
 use hybriddnn_model::Network;
+use hybriddnn_par::WorkPool;
 use hybriddnn_winograd::TileConfig;
 
 /// The DSE's per-layer verdict.
@@ -70,12 +71,29 @@ impl DseResult {
 pub struct DseEngine {
     device: FpgaSpec,
     profile: Profile,
+    threads: usize,
 }
 
 impl DseEngine {
     /// Creates an engine for a device with its fitted resource profile.
+    /// Candidate evaluation uses the process-wide default thread count
+    /// (see [`hybriddnn_par::default_threads`]); override it with
+    /// [`DseEngine::with_threads`].
     pub fn new(device: FpgaSpec, profile: Profile) -> Self {
-        DseEngine { device, profile }
+        DseEngine {
+            device,
+            profile,
+            threads: 0,
+        }
+    }
+
+    /// Sets the thread budget for candidate evaluation (`0` = the
+    /// process-wide default). The exploration result is bit-identical at
+    /// any thread count: candidates are evaluated independently and
+    /// reduced in enumeration order.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// The device this engine targets.
@@ -174,19 +192,26 @@ impl DseEngine {
         }
         let candidates = self.enumerate_candidates();
         let n_candidates = candidates.len();
-        let mut best: Option<DseResult> = None;
-        for (design, inst) in candidates {
-            let Some((per_layer, total_cycles)) = self.evaluate(&design, net) else {
-                continue;
-            };
-            let result = DseResult {
-                design,
-                instance_resources: inst,
-                total_resources: inst * design.ni as u64,
+        // Candidates are independent: fan them across the pool, then
+        // reduce sequentially in enumeration order — `map` returns
+        // index-ordered results, so the winner (ties included) is the
+        // same at any thread count. Each evaluation is only tens of
+        // microseconds, so several candidates must back each extra
+        // worker before forking pays.
+        let pool = WorkPool::new(self.threads).capped(n_candidates / 8);
+        let evaluated = pool.map(&candidates, |(design, inst)| {
+            let (per_layer, total_cycles) = self.evaluate(design, net)?;
+            Some(DseResult {
+                design: *design,
+                instance_resources: *inst,
+                total_resources: *inst * design.ni as u64,
                 per_layer,
                 total_cycles,
                 candidates: n_candidates,
-            };
+            })
+        });
+        let mut best: Option<DseResult> = None;
+        for result in evaluated.into_iter().flatten() {
             let better = match &best {
                 None => true,
                 Some(b) => {

@@ -65,6 +65,24 @@ where
     per_layer.into_iter().map(|e| e.cycles).sum()
 }
 
+/// Predicted cycles for one inference under a *deployed* per-layer
+/// strategy: re-evaluates [`layer_latency`] for each layer's chosen
+/// `(mode, dataflow)` instead of trusting a cached estimate. When a
+/// caller forces choices that differ from the DSE winners (e.g.
+/// all-Spatial experiments), the cached per-layer estimates still
+/// describe the winners — this sum describes what actually runs, which
+/// is what the serving runtime's shortest-predicted-job-first dispatch
+/// needs for its cost hint.
+pub fn strategy_network_cycles<'a, I>(cfg: &AcceleratorConfig, layers: I, bw: f64) -> f64
+where
+    I: IntoIterator<Item = (ConvMode, Dataflow, &'a LayerWorkload)>,
+{
+    layers
+        .into_iter()
+        .map(|(mode, dataflow, wl)| layer_latency(cfg, mode, dataflow, wl, bw).cycles)
+        .sum()
+}
+
 /// Compute cycles of the COMP module (Eq. 6 for Spatial, Eq. 7 for
 /// Winograd).
 pub fn compute_cycles(cfg: &AcceleratorConfig, mode: ConvMode, wl: &LayerWorkload) -> f64 {

@@ -118,6 +118,30 @@ impl ExternalMemory {
         self.words[start..start + values.len()].copy_from_slice(values);
     }
 
+    /// Writes `values[i]` to `base + i·stride`, growing the store once and
+    /// charging one `values.len()`-word burst — the SAVE module's strided
+    /// row store. Equivalent to `values.len()` calls to
+    /// [`ExternalMemory::write`] at those addresses.
+    ///
+    /// # Panics
+    /// Panics if `stride == 0` and more than one value is given.
+    pub fn write_strided(&mut self, base: u64, stride: u64, values: &[f32], client: MemoryClient) {
+        self.charge(client, values.len() as u64, true);
+        let Some(last) = values.len().checked_sub(1) else {
+            return;
+        };
+        assert!(stride > 0 || last == 0, "zero stride with multiple values");
+        let start = base as usize;
+        let end = start + last * stride as usize + 1;
+        if end > self.words.len() {
+            self.words.resize(end, 0.0);
+        }
+        let step = (stride as usize).max(1);
+        for (slot, &v) in self.words[start..end].iter_mut().step_by(step).zip(values) {
+            *slot = v;
+        }
+    }
+
     /// Host-side store (DMA from the host CPU): does *not* count as
     /// accelerator traffic.
     pub fn host_write(&mut self, addr: u64, values: &[f32]) {
@@ -145,9 +169,11 @@ impl ExternalMemory {
 
     /// Host-side load: does not count as accelerator traffic.
     pub fn host_read(&self, addr: u64, len: usize) -> Vec<f32> {
-        (0..len)
-            .map(|i| self.words.get(addr as usize + i).copied().unwrap_or(0.0))
-            .collect()
+        let start = addr as usize;
+        let in_range = self.words.len().saturating_sub(start).min(len);
+        let mut out = vec![0.0; len];
+        out[..in_range].copy_from_slice(&self.words[start..start + in_range]);
+        out
     }
 
     /// Traffic counters accumulated so far.
@@ -205,6 +231,22 @@ mod tests {
             mem.read_burst(9, 5, MemoryClient::LoadWeight),
             vec![0.0, 1.0, 2.0, 3.0, 0.0]
         );
+    }
+
+    #[test]
+    fn strided_write_scatters_and_charges_once() {
+        let mut mem = ExternalMemory::new();
+        mem.write_strided(2, 3, &[1.0, 2.0, 3.0], MemoryClient::Save);
+        assert_eq!(mem.len(), 9);
+        for (addr, want) in [(2, 1.0), (5, 2.0), (8, 3.0), (3, 0.0), (4, 0.0)] {
+            assert_eq!(mem.host_load(addr), want);
+        }
+        assert_eq!(mem.traffic().output_writes, 3);
+        // Degenerate cases: empty burst, unit burst with zero stride.
+        mem.write_strided(0, 5, &[], MemoryClient::Save);
+        mem.write_strided(0, 0, &[9.0], MemoryClient::Save);
+        assert_eq!(mem.host_load(0), 9.0);
+        assert_eq!(mem.traffic().output_writes, 4);
     }
 
     #[test]

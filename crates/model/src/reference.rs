@@ -1,13 +1,32 @@
 //! Golden CPU reference implementations of every operator.
 //!
-//! These are deliberately simple loop nests — the point is obviousness, not
-//! speed. The accelerator simulator in `hybriddnn-sim` is validated against
-//! these functions: exactly (quantized grid + `f64` accumulation, see
-//! [`crate::quant`]) or within tight tolerance (`f32` data).
+//! The loop nests are kept simple — the point is obviousness, not
+//! cleverness. The accelerator simulator in `hybriddnn-sim` is validated
+//! against these functions: exactly (quantized grid + `f64` accumulation,
+//! see [`crate::quant`]) or within tight tolerance (`f32` data).
+//!
+//! Two mechanical optimizations keep large reference runs tolerable
+//! without changing a single result bit:
+//!
+//! - **Output-channel parallelism.** Every output channel's arithmetic is
+//!   self-contained, and the output tensor is channel-major, so channels
+//!   fan out across a [`hybriddnn_par::WorkPool`] as contiguous planes.
+//!   Each output value is still one `f64` accumulator summed in the same
+//!   `(c, r, s)` order regardless of thread count.
+//! - **Interior fast path.** Pixels whose kernel window is fully in
+//!   bounds skip the per-tap zero-padding branch and run the identical
+//!   chain over direct row slices; halo pixels keep the obvious
+//!   `at_padded` loop.
 
 use crate::{
     Activation, Conv2d, FullyConnected, LayerKind, MaxPool2d, ModelError, Network, Shape, Tensor,
 };
+use hybriddnn_par::WorkPool;
+
+/// Minimum MACs per extra worker before a reference operator forks —
+/// the same scheduling-only gate the simulator uses (results are
+/// bit-identical either way).
+const PAR_MIN_MACS: usize = 32 * 1024;
 
 /// Spatial (direct) 2-D convolution with zero padding, stride, optional
 /// bias and fused activation.
@@ -50,26 +69,57 @@ pub fn conv2d(
     let oh = (ishape.h + 2 * conv.padding.h - conv.kernel_h) / conv.stride + 1;
     let ow = (ishape.w + 2 * conv.padding.w - conv.kernel_w) / conv.stride + 1;
     let mut out = Tensor::zeros(Shape::new(conv.out_channels, oh, ow));
-    for k in 0..conv.out_channels {
-        let b = bias.get(k).copied().unwrap_or(0.0) as f64;
-        for oy in 0..oh {
-            for ox in 0..ow {
-                let mut acc = b;
-                for c in 0..conv.in_channels {
-                    for r in 0..conv.kernel_h {
-                        for s in 0..conv.kernel_w {
-                            let iy = (oy * conv.stride + r) as isize - conv.padding.h as isize;
-                            let ix = (ox * conv.stride + s) as isize - conv.padding.w as isize;
-                            let x = input.at_padded(c, iy, ix) as f64;
-                            let w = weights[ws.index(k, c, r, s)] as f64;
-                            acc += x * w;
+    let (ih, iw) = (ishape.h, ishape.w);
+    let (kh, kw, stride) = (conv.kernel_h, conv.kernel_w, conv.stride);
+    let (ph, pw) = (conv.padding.h, conv.padding.w);
+    let cin = conv.in_channels;
+    let act = conv.activation;
+    let x = input.as_slice();
+    let plane = oh * ow;
+    let macs = conv.out_channels * plane * cin * kh * kw;
+    let pool = WorkPool::default().capped(macs / PAR_MIN_MACS);
+    let mut slots = vec![(); pool.threads()];
+    pool.for_each_chunk_mut(out.as_mut_slice(), plane, &mut slots, |_, ks, chunk, ()| {
+        for (k_local, k) in ks.enumerate() {
+            let b = bias.get(k).copied().unwrap_or(0.0) as f64;
+            let out_k = &mut chunk[k_local * plane..(k_local + 1) * plane];
+            for oy in 0..oh {
+                let in_y = oy * stride >= ph && oy * stride + kh <= ih + ph;
+                for ox in 0..ow {
+                    let mut acc = b;
+                    if in_y && ox * stride >= pw && ox * stride + kw <= iw + pw {
+                        // Window fully in bounds: the same (c, r, s) chain
+                        // over direct row slices, no halo branch per tap.
+                        let iy0 = oy * stride - ph;
+                        let ix0 = ox * stride - pw;
+                        for c in 0..cin {
+                            let plane_c = &x[c * ih * iw..(c + 1) * ih * iw];
+                            for r in 0..kh {
+                                let row = &plane_c[(iy0 + r) * iw + ix0..][..kw];
+                                let wrow = &weights[((k * cin + c) * kh + r) * kw..][..kw];
+                                for (xv, wv) in row.iter().zip(wrow) {
+                                    acc += *xv as f64 * *wv as f64;
+                                }
+                            }
+                        }
+                    } else {
+                        for c in 0..cin {
+                            for r in 0..kh {
+                                for s in 0..kw {
+                                    let iy = (oy * stride + r) as isize - ph as isize;
+                                    let ix = (ox * stride + s) as isize - pw as isize;
+                                    let xv = input.at_padded(c, iy, ix) as f64;
+                                    let wv = weights[ws.index(k, c, r, s)] as f64;
+                                    acc += xv * wv;
+                                }
+                            }
                         }
                     }
+                    out_k[oy * ow + ox] = apply_activation(acc, act);
                 }
-                out.set(k, oy, ox, apply_activation(acc, conv.activation));
             }
         }
-    }
+    });
     Ok(out)
 }
 
@@ -119,14 +169,20 @@ pub fn fully_connected(
     }
     let x = input.as_slice();
     let mut out = Tensor::zeros(Shape::new(fc.out_features, 1, 1));
-    for k in 0..fc.out_features {
-        let mut acc = bias.get(k).copied().unwrap_or(0.0) as f64;
-        let row = &weights[k * fc.in_features..(k + 1) * fc.in_features];
-        for (xi, wi) in x.iter().zip(row) {
-            acc += (*xi as f64) * (*wi as f64);
+    let in_f = fc.in_features;
+    let act = fc.activation;
+    let pool = WorkPool::default().capped(fc.out_features * in_f / PAR_MIN_MACS);
+    let mut slots = vec![(); pool.threads()];
+    pool.for_each_chunk_mut(out.as_mut_slice(), 1, &mut slots, |_, ks, chunk, ()| {
+        for (k_local, k) in ks.enumerate() {
+            let mut acc = bias.get(k).copied().unwrap_or(0.0) as f64;
+            let row = &weights[k * in_f..(k + 1) * in_f];
+            for (xi, wi) in x.iter().zip(row) {
+                acc += (*xi as f64) * (*wi as f64);
+            }
+            chunk[k_local] = apply_activation(acc, act);
         }
-        out.set(k, 0, 0, apply_activation(acc, fc.activation));
-    }
+    });
     Ok(out)
 }
 

@@ -1,0 +1,356 @@
+//! Deterministic fork-join work pool built on `std::thread::scope`.
+//!
+//! The HybridDNN accelerator gets its speed from `PI×PO×PT²` MACs running
+//! concurrently; the host-side model gets its speed from this crate. The
+//! pool is intentionally minimal — the build is offline (no rayon) and the
+//! call sites all have the same shape: a fixed number of independent work
+//! groups (output-channel ranges, DSE candidates) that must produce
+//! *bit-identical* results regardless of thread count.
+//!
+//! Determinism rules baked into the API:
+//!
+//! - Work is split into **contiguous index ranges** computed by
+//!   [`chunk_ranges`] — the split depends only on `(n, parts)`, never on
+//!   scheduling.
+//! - Each range is processed by exactly one worker; results land in
+//!   index-ordered slots, so reductions run in a fixed sequential order on
+//!   the caller's thread.
+//! - `threads == 1` executes inline on the caller with no scope set-up, so
+//!   the single-threaded path is *exactly* the sequential code.
+//!
+//! The pool is fork-join per call (scoped threads), not a persistent
+//! thread set: call sites here run for tens of microseconds to seconds,
+//! where `thread::scope` spawn cost (~10 µs/thread) is either negligible
+//! or avoided entirely by the `threads == 1` inline path.
+
+#![forbid(unsafe_code)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default thread count, settable once from the CLI.
+/// 0 means "not set": fall back to [`available_parallelism`].
+static DEFAULT_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default used by [`WorkPool::new`] when callers
+/// pass `0`. Clamped to at least 1. Typically wired to a `--threads` CLI
+/// flag once at startup.
+pub fn set_default_threads(threads: usize) {
+    DEFAULT_THREADS.store(threads.max(1), Ordering::Relaxed);
+}
+
+/// The process-wide default thread count: the value from
+/// [`set_default_threads`] if set, otherwise the host's available
+/// parallelism (1 if unknown).
+pub fn default_threads() -> usize {
+    match DEFAULT_THREADS.load(Ordering::Relaxed) {
+        0 => available_parallelism(),
+        n => n,
+    }
+}
+
+/// Host logical CPU count as reported by the OS, 1 if unknown.
+pub fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `0..n` into at most `parts` contiguous ranges whose lengths
+/// differ by at most one, in index order. Empty ranges are omitted, so the
+/// result has `min(n, parts)` entries (none when `n == 0`).
+///
+/// The split is a pure function of `(n, parts)` — this is what makes
+/// chunked parallel reductions reproducible.
+pub fn chunk_ranges(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1).min(n);
+    let mut out = Vec::with_capacity(parts);
+    if n == 0 {
+        return out;
+    }
+    let base = n / parts;
+    let extra = n % parts;
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// A fork-join work pool with a fixed thread budget.
+///
+/// `WorkPool` is a plain value (`Copy`): it carries the thread count, and
+/// each `run_*`/`map` call forks a `thread::scope` (caller participates as
+/// worker 0) and joins before returning. With `threads() == 1` every
+/// method runs inline on the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkPool {
+    threads: usize,
+}
+
+impl WorkPool {
+    /// Creates a pool with the given thread budget; `0` means "use
+    /// [`default_threads`]".
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads == 0 {
+            default_threads()
+        } else {
+            threads
+        };
+        WorkPool { threads }
+    }
+
+    /// The thread budget (≥ 1).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A copy of this pool limited to at most `max_parts` parallel parts
+    /// (clamped to ≥ 1). Call sites use this to keep work items too small
+    /// to amortize a thread spawn on the calling thread.
+    pub fn capped(&self, max_parts: usize) -> WorkPool {
+        WorkPool {
+            threads: self.threads.min(max_parts.max(1)),
+        }
+    }
+
+    /// Runs `f(worker, range)` for each chunk of `0..n`, splitting into at
+    /// most `threads()` contiguous ranges. `worker` is the chunk index
+    /// (0-based, also the per-worker scratch slot). Returns immediately
+    /// when `n == 0`.
+    pub fn run_ranges<F>(&self, n: usize, f: F)
+    where
+        F: Fn(usize, std::ops::Range<usize>) + Sync,
+    {
+        let ranges = chunk_ranges(n, self.threads);
+        match ranges.len() {
+            0 => {}
+            1 => f(0, ranges.into_iter().next().unwrap()),
+            _ => std::thread::scope(|scope| {
+                let f = &f;
+                let mut iter = ranges.into_iter().enumerate();
+                let (w0, r0) = iter.next().unwrap();
+                for (worker, range) in iter {
+                    scope.spawn(move || f(worker, range));
+                }
+                f(w0, r0); // caller participates as worker 0
+            }),
+        }
+    }
+
+    /// Runs `f(worker, range, chunk, scratch)` over `data` split into
+    /// contiguous chunks of whole items (`item_len` elements each, so
+    /// `data.len() == n_items * item_len`), giving each worker exclusive
+    /// mutable access to its chunk plus one scratch slot from `scratches`.
+    ///
+    /// `range` is the item-index range the chunk covers. Panics if
+    /// `data.len()` is not a multiple of `item_len`, or if `scratches` has
+    /// fewer slots than chunks (allocate `threads()` slots).
+    pub fn for_each_chunk_mut<T, S, F>(
+        &self,
+        data: &mut [T],
+        item_len: usize,
+        scratches: &mut [S],
+        f: F,
+    ) where
+        T: Send,
+        S: Send,
+        F: Fn(usize, std::ops::Range<usize>, &mut [T], &mut S) + Sync,
+    {
+        assert!(item_len > 0, "item_len must be positive");
+        assert_eq!(
+            data.len() % item_len,
+            0,
+            "data must hold whole items (len {} % item_len {} != 0)",
+            data.len(),
+            item_len
+        );
+        let n_items = data.len() / item_len;
+        let ranges = chunk_ranges(n_items, self.threads);
+        match ranges.len() {
+            0 => {}
+            1 => f(
+                0,
+                ranges.into_iter().next().unwrap(),
+                data,
+                &mut scratches[0],
+            ),
+            _ => {
+                assert!(
+                    scratches.len() >= ranges.len(),
+                    "need {} scratch slots, have {}",
+                    ranges.len(),
+                    scratches.len()
+                );
+                std::thread::scope(|scope| {
+                    let f = &f;
+                    let mut rest = data;
+                    let mut scratch_rest = &mut scratches[..];
+                    let mut first = None;
+                    for (worker, range) in ranges.into_iter().enumerate() {
+                        let (chunk, tail) = rest.split_at_mut(range.len() * item_len);
+                        rest = tail;
+                        let (slot, scratch_tail) = scratch_rest.split_first_mut().unwrap();
+                        scratch_rest = scratch_tail;
+                        if worker == 0 {
+                            first = Some((range, chunk, slot));
+                        } else {
+                            scope.spawn(move || f(worker, range, chunk, slot));
+                        }
+                    }
+                    let (range, chunk, slot) = first.unwrap();
+                    f(0, range, chunk, slot); // caller participates as worker 0
+                });
+            }
+        }
+    }
+
+    /// Maps `f` over `items`, returning results in input order. Items are
+    /// distributed as contiguous chunks (same split as [`chunk_ranges`]);
+    /// the output order — and therefore any sequential reduction over it —
+    /// is independent of the thread count.
+    pub fn map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        if self.threads == 1 || items.len() <= 1 {
+            return items.iter().map(f).collect();
+        }
+        let mut slots: Vec<Option<R>> = Vec::new();
+        slots.resize_with(items.len(), || None);
+        {
+            let ranges = chunk_ranges(items.len(), self.threads);
+            std::thread::scope(|scope| {
+                let f = &f;
+                let mut rest = &mut slots[..];
+                let mut first = None;
+                for (worker, range) in ranges.into_iter().enumerate() {
+                    let (chunk, tail) = rest.split_at_mut(range.len());
+                    rest = tail;
+                    let work = items[range].iter().zip(chunk.iter_mut());
+                    if worker == 0 {
+                        first = Some(work);
+                    } else {
+                        scope.spawn(move || {
+                            for (item, slot) in work {
+                                *slot = Some(f(item));
+                            }
+                        });
+                    }
+                }
+                for (item, slot) in first.unwrap() {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every slot filled by its worker"))
+            .collect()
+    }
+}
+
+impl Default for WorkPool {
+    /// A pool using [`default_threads`].
+    fn default() -> Self {
+        WorkPool::new(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_cover_exactly_once() {
+        for n in [0usize, 1, 2, 3, 7, 8, 64, 65] {
+            for parts in [1usize, 2, 3, 4, 7, 16] {
+                let ranges = chunk_ranges(n, parts);
+                assert_eq!(ranges.len(), parts.min(n), "n={n} parts={parts}");
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next, "contiguous from 0");
+                    assert!(!r.is_empty(), "no empty ranges");
+                    next = r.end;
+                }
+                assert_eq!(next, n, "covers 0..n");
+                if let (Some(first), Some(last)) = (ranges.first(), ranges.last()) {
+                    assert!(first.len() - last.len() <= 1, "balanced within one item");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_ranges_is_pure() {
+        assert_eq!(chunk_ranges(10, 4), chunk_ranges(10, 4));
+        assert_eq!(chunk_ranges(10, 4), vec![0..3, 3..6, 6..8, 8..10]);
+    }
+
+    #[test]
+    fn run_ranges_visits_every_index_once() {
+        use std::sync::Mutex;
+        for threads in [1usize, 2, 4, 7] {
+            let pool = WorkPool::new(threads);
+            let hits = Mutex::new(vec![0u32; 23]);
+            pool.run_ranges(23, |_worker, range| {
+                let mut hits = hits.lock().unwrap();
+                for i in range {
+                    hits[i] += 1;
+                }
+            });
+            assert!(hits.into_inner().unwrap().iter().all(|&h| h == 1));
+        }
+    }
+
+    #[test]
+    fn for_each_chunk_mut_partitions_items_and_scratch() {
+        for threads in [1usize, 2, 4] {
+            let pool = WorkPool::new(threads);
+            // 6 items of 3 elements each.
+            let mut data = vec![0i64; 18];
+            let mut scratches = vec![0usize; threads];
+            pool.for_each_chunk_mut(&mut data, 3, &mut scratches, |worker, range, chunk, s| {
+                assert_eq!(chunk.len(), range.len() * 3);
+                for (off, item) in range.clone().enumerate() {
+                    for e in 0..3 {
+                        chunk[off * 3 + e] = (item * 3 + e) as i64;
+                    }
+                }
+                *s += range.len();
+                let _ = worker;
+            });
+            let expect: Vec<i64> = (0..18).collect();
+            assert_eq!(data, expect, "threads={threads}");
+            assert_eq!(scratches.iter().sum::<usize>(), 6);
+        }
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        let items: Vec<usize> = (0..37).collect();
+        let expect: Vec<usize> = items.iter().map(|x| x * x).collect();
+        for threads in [1usize, 2, 4, 16] {
+            let pool = WorkPool::new(threads);
+            assert_eq!(pool.map(&items, |&x| x * x), expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let pool = WorkPool::new(4);
+        assert_eq!(pool.map(&[] as &[u8], |&x| x), Vec::<u8>::new());
+        assert_eq!(pool.map(&[9u8], |&x| x + 1), vec![10]);
+    }
+
+    #[test]
+    fn zero_means_default_threads() {
+        assert!(WorkPool::new(0).threads() >= 1);
+        assert!(default_threads() >= 1);
+        assert!(available_parallelism() >= 1);
+    }
+}

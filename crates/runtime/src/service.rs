@@ -42,9 +42,17 @@ pub struct ServiceConfig {
     /// Per-instance DDR bandwidth in words/cycle (see
     /// [`Simulator::new`]).
     pub bandwidth: f64,
-    /// Estimator-predicted cycles per image; the SJF policy orders
-    /// batches by `len × cost_hint_cycles`.
+    /// Estimator-predicted cycles per image for the *deployed* strategy
+    /// (`hybriddnn_estimator::latency::strategy_network_cycles`); the SJF
+    /// policy orders batches by `len × cost_hint_cycles`. The deployment
+    /// flow fills this in (`Deployment::service_config`); the default of
+    /// `1.0` degrades SJF to smallest-batch-first.
     pub cost_hint_cycles: f64,
+    /// Host threads each worker's simulator session may use inside one
+    /// COMP unit (`0` = the process-wide default, `1` = strictly
+    /// sequential). Outputs are bit-identical at any setting; this only
+    /// trades worker-level against kernel-level parallelism.
+    pub sim_threads: usize,
     /// Which ready batch a free worker takes.
     pub policy: Arc<dyn DispatchPolicy>,
     /// Device-occupancy emulation: when set to an accelerator clock in
@@ -68,6 +76,7 @@ impl ServiceConfig {
             mode,
             bandwidth,
             cost_hint_cycles: 1.0,
+            sim_threads: 0,
             policy: Arc::new(Fifo),
             pace_mhz: None,
         }
@@ -103,6 +112,13 @@ impl ServiceConfig {
         self
     }
 
+    /// Sets the per-worker simulator COMP thread budget; see
+    /// [`ServiceConfig::sim_threads`].
+    pub fn with_sim_threads(mut self, threads: usize) -> Self {
+        self.sim_threads = threads;
+        self
+    }
+
     /// Sets the dispatch policy.
     pub fn with_policy(mut self, policy: Arc<dyn DispatchPolicy>) -> Self {
         self.policy = policy;
@@ -132,6 +148,7 @@ impl std::fmt::Debug for ServiceConfig {
             .field("mode", &self.mode)
             .field("bandwidth", &self.bandwidth)
             .field("cost_hint_cycles", &self.cost_hint_cycles)
+            .field("sim_threads", &self.sim_threads)
             .field("policy", &self.policy.name())
             .field("pace_mhz", &self.pace_mhz)
             .finish()
@@ -231,9 +248,10 @@ impl InferenceService {
                 let shared = Arc::clone(&shared);
                 let compiled = Arc::clone(&compiled);
                 let (mode, bw, pace) = (config.mode, config.bandwidth, config.pace_mhz);
+                let sim_threads = config.sim_threads;
                 std::thread::Builder::new()
                     .name(format!("hdnn-worker-{w}"))
-                    .spawn(move || worker_loop(&shared, &compiled, mode, bw, pace, w))
+                    .spawn(move || worker_loop(&shared, &compiled, mode, bw, pace, sim_threads, w))
                     .expect("spawn worker")
             })
             .collect();
@@ -409,9 +427,10 @@ fn worker_loop(
     mode: SimMode,
     bandwidth: f64,
     pace_mhz: Option<f64>,
+    sim_threads: usize,
     worker: usize,
 ) {
-    let mut sim = Simulator::new(compiled, mode, bandwidth);
+    let mut sim = Simulator::with_threads(compiled, mode, bandwidth, sim_threads);
     loop {
         let mut ready = shared.ready.lock().unwrap();
         while ready.batches.is_empty() && !ready.closed {

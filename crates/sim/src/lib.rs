@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod error;
+pub mod kernels;
 mod machine;
 mod pe;
 mod runner;
@@ -60,5 +61,6 @@ mod stats;
 
 pub use error::SimError;
 pub use machine::Accelerator;
+pub use pe::CompCtx;
 pub use runner::{RunResult, SimMode, Simulator, StageTraces};
 pub use stats::{ModuleBusy, StageStats};

@@ -8,7 +8,7 @@
 //! of `bw` words/cycle (the multi-channel boards the paper targets), so
 //! Eq. 8–11's `min(BW, port)` rates emerge naturally.
 
-use crate::pe::{exec_comp, exec_load, exec_save, Buffers, Scratch};
+use crate::pe::{exec_comp, exec_load, exec_save, Buffers, CompCtx};
 use crate::stats::{ModuleBusy, StageStats};
 use crate::SimError;
 use hybriddnn_estimator::AcceleratorConfig;
@@ -39,7 +39,7 @@ pub struct Accelerator {
     act_fmt: Option<QFormat>,
     functional: bool,
     bufs: Buffers,
-    scratch: Scratch,
+    comp: CompCtx,
 }
 
 impl Accelerator {
@@ -61,13 +61,28 @@ impl Accelerator {
             act_fmt,
             functional,
             bufs,
-            scratch: Scratch::default(),
+            comp: CompCtx::new(0),
         }
     }
 
     /// The configuration this instance models.
     pub fn config(&self) -> &AcceleratorConfig {
         &self.cfg
+    }
+
+    /// Host threads used inside one COMP unit.
+    pub fn threads(&self) -> usize {
+        self.comp.threads()
+    }
+
+    /// Sets the host-thread budget for COMP execution (`0` = the
+    /// process-wide default, `1` = strictly sequential). Results are
+    /// bit-identical at any setting; only wall time changes.
+    pub fn set_threads(&mut self, threads: usize) {
+        let want = hybriddnn_par::WorkPool::new(threads).threads();
+        if want != self.comp.threads() {
+            self.comp = CompCtx::new(want);
+        }
     }
 
     /// Executes one stage program to completion, returning its measured
@@ -164,13 +179,7 @@ impl Accelerator {
                         t.push(Fifo::OutReady, finish);
                     }
                     if self.functional {
-                        exec_comp(
-                            &mut self.bufs,
-                            &self.cfg,
-                            c,
-                            self.act_fmt,
-                            &mut self.scratch,
-                        )?;
+                        exec_comp(&mut self.bufs, &self.cfg, c, self.act_fmt, &mut self.comp)?;
                     }
                 }
                 Instruction::Save(s) => {

@@ -2,12 +2,21 @@
 //! hybrid Spatial/Winograd PE (§4.2), the reconfigurable load/save
 //! managers (§4.2.3), and the layout-transforming SAVE path (§4.3).
 
+use crate::kernels::{self, SpatialGeom};
 use crate::SimError;
 use hybriddnn_estimator::AcceleratorConfig;
 use hybriddnn_fpga::{ExternalMemory, MemoryClient};
 use hybriddnn_isa::{CompInst, LoadInst, LoadKind, SaveInst};
 use hybriddnn_model::quant::QFormat;
+use hybriddnn_par::WorkPool;
 use hybriddnn_winograd::transform;
+
+/// Minimum MACs a COMP unit must carry per *extra* worker before the pool
+/// forks: below this, thread-spawn cost exceeds the compute it would hide,
+/// so small units run on the calling thread regardless of the configured
+/// thread count. Purely a scheduling decision — results are bit-identical
+/// either way.
+const PAR_MIN_MACS: usize = 32 * 1024;
 
 /// The accelerator's on-chip buffers (both ping-pong halves of each).
 #[derive(Debug, Clone)]
@@ -51,14 +60,69 @@ pub struct Scratch {
     d: Vec<f64>,
     /// Its transform `V = Bᵀ d B`.
     v: Vec<f64>,
-    /// `V[e][c]` for all channels of one tile.
-    v_tile: Vec<f64>,
     /// Transformed-domain accumulator tile `M[e]` for one output channel.
     m_tile: Vec<f64>,
     /// Inverse-transformed `m × m` output tile.
     y: Vec<f64>,
     /// Matrix-sandwich intermediate shared by both transforms.
     t: Vec<f64>,
+    /// Per-output-channel `[r][s][c]` weight repack for the Spatial
+    /// micro-kernel, widened to `f64` once per channel.
+    pack: Vec<f64>,
+}
+
+/// Execution context for COMP units: the worker pool plus all reusable
+/// buffers (shared read-only packs and one private [`Scratch`] per
+/// worker). One `CompCtx` lives in the accelerator and is reused across
+/// every COMP unit of every inference.
+///
+/// The work split is always by output channel `k` — the unit accumulator
+/// is `k`-major, so each worker owns a contiguous range of whole output
+/// planes and the per-`k` arithmetic is self-contained. That makes the
+/// result bit-identical at any thread count: the same per-channel
+/// operation sequence runs no matter which worker executes it.
+#[derive(Debug)]
+pub struct CompCtx {
+    pool: WorkPool,
+    /// Transposed Winograd weights `[k][c][e]` for the current unit
+    /// (shared, read-only during the parallel phase).
+    wt: Vec<f64>,
+    /// Transformed input tiles `[tile][c][e]` for the current unit
+    /// (shared, read-only during the parallel phase).
+    v_all: Vec<f64>,
+    /// The Spatial unit's input window widened to `f64` once (shared,
+    /// read-only during the parallel phase) — the widening is exact and
+    /// reused by every output channel.
+    inp_wide: Vec<f64>,
+    /// Worker-private scratch; slot 0 belongs to the calling thread.
+    workers: Vec<Scratch>,
+}
+
+impl CompCtx {
+    /// Creates a context with the given thread budget (`0` = the
+    /// process-wide [`hybriddnn_par::default_threads`]).
+    pub fn new(threads: usize) -> Self {
+        let pool = WorkPool::new(threads);
+        CompCtx {
+            pool,
+            wt: Vec::new(),
+            v_all: Vec::new(),
+            inp_wide: Vec::new(),
+            workers: (0..pool.threads()).map(|_| Scratch::default()).collect(),
+        }
+    }
+
+    /// The thread budget.
+    pub fn threads(&self) -> usize {
+        self.pool.threads()
+    }
+}
+
+impl Default for CompCtx {
+    /// A single-threaded context — exactly the historical sequential path.
+    fn default() -> Self {
+        CompCtx::new(1)
+    }
 }
 
 /// Executes a load: strided DRAM block → contiguous buffer span.
@@ -104,7 +168,7 @@ pub fn exec_comp(
     cfg: &AcceleratorConfig,
     inst: &CompInst,
     act_fmt: Option<QFormat>,
-    scratch: &mut Scratch,
+    ctx: &mut CompCtx,
 ) -> Result<(), SimError> {
     let pi = cfg.pi;
     let k_lanes = inst.oc_vecs as usize * cfg.po;
@@ -143,10 +207,11 @@ pub fn exec_comp(
     }
 
     if inst.wino {
-        exec_comp_wino(bufs, cfg, inst, k_lanes, c_lanes, scratch)?;
+        exec_comp_wino(bufs, cfg, inst, k_lanes, c_lanes, ctx)?;
     } else {
         // Spatial mode: the GEMM cores merge into one broadcast array;
-        // direct MAC loops over the kernel window.
+        // direct MAC loops over the kernel window, partitioned across
+        // workers by output channel (each owns whole accumulator planes).
         let cols_l = (out_w - 1) * stride + kw;
         let rows_l = (out_rows - 1) * stride + kh;
         let inp_len = rows_l * cols_l * cv * pi;
@@ -165,33 +230,45 @@ pub fn exec_comp(
                 capacity: bufs.weight.len(),
             });
         }
-        for k in 0..k_lanes {
-            for oy in 0..out_rows {
-                for ox in 0..out_w {
-                    let mut acc = 0.0f64;
-                    for r in 0..kh {
-                        let iy = oy * stride + r;
-                        for s in 0..kw {
-                            let ix = ox * stride + s;
-                            for c in 0..c_lanes {
-                                let in_idx =
-                                    inp_base + ((iy * cols_l + ix) * cv + c / pi) * pi + c % pi;
-                                let w_idx = wgt_base + ((k * c_lanes + c) * kh + r) * kw + s;
-                                acc += bufs.input[in_idx] as f64 * bufs.weight[w_idx] as f64;
-                            }
-                        }
-                    }
-                    bufs.accum[acc_base + (k * out_rows + oy) * out_w + ox] += acc;
-                }
-            }
+        let geom = SpatialGeom {
+            out_rows,
+            out_w,
+            stride,
+            kh,
+            kw,
+            cv,
+            pi,
+            cols_l,
+        };
+        let plane = out_rows * out_w;
+        let macs = k_lanes * plane * kh * kw * c_lanes;
+        ctx.inp_wide.resize(inp_len, 0.0);
+        for (d, &s) in ctx
+            .inp_wide
+            .iter_mut()
+            .zip(&bufs.input[inp_base..inp_base + inp_len])
+        {
+            *d = s as f64;
         }
+        let input = &ctx.inp_wide;
+        let weight = &bufs.weight[wgt_base..wgt_base + wgt_len];
+        let accum = &mut bufs.accum[acc_base..acc_base + acc_len];
+        ctx.pool.capped(macs / PAR_MIN_MACS).for_each_chunk_mut(
+            accum,
+            plane,
+            &mut ctx.workers,
+            |_, ks, chunk, scratch| {
+                kernels::spatial_blocked(&geom, ks, input, weight, chunk, &mut scratch.pack);
+            },
+        );
     }
 
     // Flush: requantization shift, activation, quantization grid.
     if inst.acc_final {
         let out_base = inst.out_base as usize;
+        let scale = 2f64.powi(-(inst.quan_shift as i32));
         for i in 0..acc_len {
-            let mut v = bufs.accum[acc_base + i] * 2f64.powi(-(inst.quan_shift as i32));
+            let mut v = bufs.accum[acc_base + i] * scale;
             if inst.relu {
                 v = v.max(0.0);
             }
@@ -206,13 +283,26 @@ pub fn exec_comp(
 
 /// Winograd-mode COMP: one kernel-decomposition block through the
 /// transform → PT² GEMMs → inverse-transform pipeline (Eq. 2).
+///
+/// Runs in three passes per unit. (1) The weight image is transposed once
+/// into `[k][c][e]` so every GEMV reads contiguous rows. (2) Every tile's
+/// input transform is computed once (sequentially — each `V` is shared by
+/// all output channels) into `[tile][c][e]`. (3) The per-output-channel
+/// GEMV + inverse-transform + accumulate pass fans out across the pool by
+/// `k`; within a worker the `PT²` transformed positions form a bank of
+/// independent accumulator chains (each still summed over `c` in order),
+/// which is what lets one core overlap them.
+///
+/// Every accumulator cell is touched by exactly one `(k, tile)` pair, and
+/// each `M[e]` is the same ordered sum over `c` as the naive loop — so the
+/// result is bit-identical to the sequential version at any thread count.
 fn exec_comp_wino(
     bufs: &mut Buffers,
     cfg: &AcceleratorConfig,
     inst: &CompInst,
     k_lanes: usize,
     c_lanes: usize,
-    scratch: &mut Scratch,
+    ctx: &mut CompCtx,
 ) -> Result<(), SimError> {
     let tile = cfg.tile;
     let pt = tile.pt();
@@ -234,76 +324,101 @@ fn exec_comp_wino(
 
     let tiles_y = out_rows.div_ceil(m);
     let tiles_x = out_w.div_ceil(m);
+    let tiles = tiles_y * tiles_x;
 
-    // Bounds: reads beyond the loaded window (possible on clipped edge
-    // tiles) return zero — those transformed values only influence
-    // discarded output positions.
-    let read = |bufs: &Buffers, y: usize, x: usize, c: usize| -> f64 {
-        if y >= rows_l || x >= cols_l {
-            return 0.0;
+    // Pass 1: transpose the weight image [e][k][c] → [k][c][e], widening
+    // to f64 once instead of per MAC.
+    ctx.wt.resize(k_lanes * c_lanes * pt2, 0.0);
+    for e in 0..pt2 {
+        for k in 0..k_lanes {
+            let wrow = wgt_base + (e * k_lanes + k) * c_lanes;
+            for c in 0..c_lanes {
+                ctx.wt[(k * c_lanes + c) * pt2 + e] = bufs.weight[wrow + c] as f64;
+            }
         }
-        let idx = inp_base + ((y * cv + c / pi) * cols_l + x) * pi + c % pi;
-        bufs.input.get(idx).copied().unwrap_or(0.0) as f64
-    };
+    }
 
-    // All scratch lives in `scratch` — its allocations persist across COMP
-    // units, tiles, and inferences; every cell is overwritten before use.
-    scratch.d.resize(pt2, 0.0);
-    scratch.v.resize(pt2, 0.0);
-    scratch.v_tile.resize(pt2 * c_lanes, 0.0); // V[e][c] for one tile
-    scratch.m_tile.resize(pt2, 0.0);
-    scratch.y.resize(m * m, 0.0);
-
+    // Pass 2: transform every channel of every tile once into
+    // `v_all[tile][c][e]`. Reads beyond the loaded window (possible on
+    // clipped edge tiles) are zero — those transformed values only
+    // influence discarded output positions.
+    ctx.v_all.resize(tiles * c_lanes * pt2, 0.0);
+    let s0 = &mut ctx.workers[0];
+    s0.d.resize(pt2, 0.0);
+    s0.v.resize(pt2, 0.0);
     for ty in 0..tiles_y {
         for tx in 0..tiles_x {
-            // Transform every channel's input tile.
             for c in 0..c_lanes {
+                let (cvi, lane) = (c / pi, c % pi);
                 for dy in 0..pt {
-                    for dx in 0..pt {
-                        scratch.d[dy * pt + dx] =
-                            read(bufs, y_off + ty * m + dy, x_off + tx * m + dx, c);
+                    let y = y_off + ty * m + dy;
+                    let drow = &mut s0.d[dy * pt..(dy + 1) * pt];
+                    if y >= rows_l {
+                        drow.fill(0.0);
+                        continue;
+                    }
+                    let row = inp_base + (y * cv + cvi) * cols_l * pi + lane;
+                    for (dx, d) in drow.iter_mut().enumerate() {
+                        let x = x_off + tx * m + dx;
+                        *d = if x >= cols_l {
+                            0.0
+                        } else {
+                            bufs.input.get(row + x * pi).copied().unwrap_or(0.0) as f64
+                        };
                     }
                 }
-                transform::transform_input_tile_into(
-                    tile,
-                    &scratch.d,
-                    &mut scratch.v,
-                    &mut scratch.t,
-                );
-                for e in 0..pt2 {
-                    scratch.v_tile[e * c_lanes + c] = scratch.v[e];
-                }
+                transform::transform_input_tile_into(tile, &s0.d, &mut s0.v, &mut s0.t);
+                let t_idx = ty * tiles_x + tx;
+                ctx.v_all[(t_idx * c_lanes + c) * pt2..][..pt2].copy_from_slice(&s0.v);
             }
-            // PT² independent GEMVs per output channel, then the inverse
-            // transform, accumulated into the unit accumulator.
-            for k in 0..k_lanes {
-                for e in 0..pt2 {
-                    let mut acc = 0.0f64;
-                    let wrow = wgt_base + (e * k_lanes + k) * c_lanes;
-                    for c in 0..c_lanes {
-                        acc += bufs.weight[wrow + c] as f64 * scratch.v_tile[e * c_lanes + c];
-                    }
-                    scratch.m_tile[e] = acc;
-                }
-                transform::transform_output_tile_into(
-                    tile,
-                    &scratch.m_tile,
-                    &mut scratch.y,
-                    &mut scratch.t,
-                );
-                for dy in 0..m {
-                    for dx in 0..m {
-                        let oy = ty * m + dy;
-                        let ox = tx * m + dx;
-                        if oy < out_rows && ox < out_w {
-                            bufs.accum[acc_base + (k * out_rows + oy) * out_w + ox] +=
-                                scratch.y[dy * m + dx];
+        }
+    }
+
+    // Pass 3: per output channel — banked GEMVs over the PT² positions,
+    // inverse transform, accumulate. Partitioned across workers by k.
+    let plane = out_rows * out_w;
+    let macs = tiles * k_lanes * pt2 * c_lanes;
+    let accum = &mut bufs.accum[acc_base..acc_base + k_lanes * plane];
+    let wt = &ctx.wt;
+    let v_all = &ctx.v_all;
+    ctx.pool.capped(macs / PAR_MIN_MACS).for_each_chunk_mut(
+        accum,
+        plane,
+        &mut ctx.workers,
+        |_, ks, chunk, s| {
+            s.m_tile.resize(pt2, 0.0);
+            s.y.resize(m * m, 0.0);
+            for (k_local, k) in ks.enumerate() {
+                let out_k = &mut chunk[k_local * plane..(k_local + 1) * plane];
+                for ty in 0..tiles_y {
+                    for tx in 0..tiles_x {
+                        let t_idx = ty * tiles_x + tx;
+                        s.m_tile.fill(0.0);
+                        for c in 0..c_lanes {
+                            let wrow = &wt[(k * c_lanes + c) * pt2..][..pt2];
+                            let vrow = &v_all[(t_idx * c_lanes + c) * pt2..][..pt2];
+                            for ((mv, wv), vv) in s.m_tile.iter_mut().zip(wrow).zip(vrow) {
+                                *mv += wv * vv;
+                            }
+                        }
+                        transform::transform_output_tile_into(tile, &s.m_tile, &mut s.y, &mut s.t);
+                        for dy in 0..m {
+                            let oy = ty * m + dy;
+                            if oy >= out_rows {
+                                break;
+                            }
+                            for dx in 0..m {
+                                let ox = tx * m + dx;
+                                if ox < out_w {
+                                    out_k[oy * out_w + ox] += s.y[dy * m + dx];
+                                }
+                            }
                         }
                     }
                 }
             }
-        }
-    }
+        },
+    );
     Ok(())
 }
 
@@ -332,6 +447,19 @@ pub fn exec_save(
     }
     let dst_w = inst.dst_w as u64;
     let dst_cv = inst.dst_cv as u64;
+    // One destination row is pooled into a staging buffer, then stored as
+    // a single strided burst: the destination address stride across `xd`
+    // is constant in both layouts (WINO: adjacent vectors; SPAT: `DST_CV`
+    // vectors apart).
+    let cols = out_w / pool;
+    let mut row_array = [0.0f32; 64];
+    let mut row_vec = Vec::new();
+    let row: &mut [f32] = if cols <= row_array.len() {
+        &mut row_array[..cols]
+    } else {
+        row_vec.resize(cols, 0.0);
+        &mut row_vec
+    };
     for k in 0..k_lanes {
         let kg = inst.k_base as u64 + k as u64;
         let (cvk, lane) = (kg / pi as u64, kg % pi as u64);
@@ -340,27 +468,33 @@ pub fn exec_save(
             // dropped (they carry zero data anyway).
             continue;
         }
+        let out_k = &bufs.output[base + k * rows * out_w..][..rows * out_w];
         for yd in 0..rows / pool {
-            for xd in 0..out_w / pool {
-                let mut v = f32::NEG_INFINITY;
-                for py in 0..pool {
-                    for px in 0..pool {
-                        let y = yd * pool + py;
-                        let x = xd * pool + px;
-                        v = v.max(bufs.output[base + (k * rows + y) * out_w + x]);
+            if pool == 1 {
+                row.copy_from_slice(&out_k[yd * out_w..][..cols]);
+            } else {
+                for (xd, v) in row.iter_mut().enumerate() {
+                    let mut best = f32::NEG_INFINITY;
+                    for py in 0..pool {
+                        let win = &out_k[(yd * pool + py) * out_w + xd * pool..][..pool];
+                        for &x in win {
+                            best = best.max(x);
+                        }
                     }
+                    *v = best;
                 }
-                let vec_index = if inst.dst_wino {
-                    (yd as u64 * dst_cv + cvk) * dst_w + xd as u64
-                } else {
-                    (yd as u64 * dst_w + xd as u64) * dst_cv + cvk
-                };
-                mem.write(
-                    inst.dram_base + vec_index * pi as u64 + lane,
-                    v,
-                    MemoryClient::Save,
-                );
             }
+            let (vec0, vec_stride) = if inst.dst_wino {
+                ((yd as u64 * dst_cv + cvk) * dst_w, 1)
+            } else {
+                (yd as u64 * dst_w * dst_cv + cvk, dst_cv)
+            };
+            mem.write_strided(
+                inst.dram_base + vec0 * pi as u64 + lane,
+                vec_stride * pi as u64,
+                row,
+                MemoryClient::Save,
+            );
         }
     }
     Ok(())
@@ -438,7 +572,7 @@ mod tests {
             acc_final: true,
             ..CompInst::default()
         };
-        exec_comp(&mut bufs, &cfg, &inst, None, &mut Scratch::default()).unwrap();
+        exec_comp(&mut bufs, &cfg, &inst, None, &mut CompCtx::default()).unwrap();
         assert_eq!(&bufs.output[..4], &[1.5, 4.5, 9.5, 16.5]);
     }
 
@@ -460,7 +594,7 @@ mod tests {
             ..CompInst::default()
         };
         let fmt = QFormat::new(8, 1); // step 0.5
-        exec_comp(&mut bufs, &cfg, &inst, Some(fmt), &mut Scratch::default()).unwrap();
+        exec_comp(&mut bufs, &cfg, &inst, Some(fmt), &mut CompCtx::default()).unwrap();
         assert_eq!(bufs.output[0], 0.0); // relu clamps
         assert_eq!(bufs.output[1], 2.5); // 2.3 → nearest 0.5 grid (ties-even)
     }
@@ -482,10 +616,10 @@ mod tests {
             acc_final: false,
             ..CompInst::default()
         };
-        exec_comp(&mut bufs, &cfg, &inst, None, &mut Scratch::default()).unwrap();
+        exec_comp(&mut bufs, &cfg, &inst, None, &mut CompCtx::default()).unwrap();
         inst.acc_init = false;
         inst.acc_final = true;
-        exec_comp(&mut bufs, &cfg, &inst, None, &mut Scratch::default()).unwrap();
+        exec_comp(&mut bufs, &cfg, &inst, None, &mut CompCtx::default()).unwrap();
         assert_eq!(bufs.output[0], 6.0);
     }
 
@@ -590,9 +724,9 @@ mod tests {
             kernel_w: 3,
             ..CompInst::default()
         };
-        exec_comp(&mut spat, &cfg, &base, None, &mut Scratch::default()).unwrap();
+        exec_comp(&mut spat, &cfg, &base, None, &mut CompCtx::default()).unwrap();
         let winst = CompInst { wino: true, ..base };
-        exec_comp(&mut wino, &cfg, &winst, None, &mut Scratch::default()).unwrap();
+        exec_comp(&mut wino, &cfg, &winst, None, &mut CompCtx::default()).unwrap();
         for i in 0..k_lanes * out_rows * out_w {
             let a = spat.output[i];
             let b = wino.output[i];

@@ -97,6 +97,31 @@ impl Simulator {
         Simulator { accel, mem, mode }
     }
 
+    /// Like [`Simulator::new`] with an explicit host-thread budget for
+    /// COMP execution (`0` = the process-wide default, `1` = strictly
+    /// sequential). Outputs are bit-identical at any thread count.
+    pub fn with_threads(
+        compiled: &CompiledNetwork,
+        mode: SimMode,
+        bw: f64,
+        threads: usize,
+    ) -> Self {
+        let mut sim = Simulator::new(compiled, mode, bw);
+        sim.accel.set_threads(threads);
+        sim
+    }
+
+    /// Host threads used inside one COMP unit.
+    pub fn threads(&self) -> usize {
+        self.accel.threads()
+    }
+
+    /// Sets the host-thread budget for COMP execution; see
+    /// [`Simulator::with_threads`].
+    pub fn set_threads(&mut self, threads: usize) {
+        self.accel.set_threads(threads);
+    }
+
     /// Runs one inference.
     ///
     /// # Errors

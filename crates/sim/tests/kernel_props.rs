@@ -1,0 +1,140 @@
+//! Property test of the COMP micro-kernels: the cache-blocked,
+//! bank-accumulated Spatial kernel must equal the naive scalar loop nest
+//! *bit for bit* on random geometries — including the FC special case
+//! and any output-channel partition of the work. Exact equality is the
+//! whole contract: it is what lets the simulator split a unit across
+//! worker threads without changing a single output bit.
+
+use hybriddnn_sim::kernels::{spatial_blocked, spatial_scalar, SpatialGeom};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Case {
+    g: SpatialGeom,
+    k_lanes: usize,
+    parts: usize,
+    seed: u64,
+}
+
+fn case_strategy() -> impl Strategy<Value = Case> {
+    let conv = (
+        1usize..5,                                   // out_rows
+        1usize..8,                                   // out_w
+        1usize..3,                                   // stride
+        1usize..4,                                   // kh
+        1usize..4,                                   // kw
+        1usize..3,                                   // cv
+        prop_oneof![Just(1usize), Just(2), Just(4)], // pi
+        0usize..3,                                   // extra window columns
+        1usize..10,                                  // k_lanes
+        1usize..4,                                   // partition count
+    );
+    (conv, any::<u64>()).prop_map(
+        |((out_rows, out_w, stride, kh, kw, cv, pi, extra, k_lanes, parts), seed)| Case {
+            g: SpatialGeom {
+                out_rows,
+                out_w,
+                stride,
+                kh,
+                kw,
+                cv,
+                pi,
+                cols_l: (out_w - 1) * stride + kw + extra,
+            },
+            k_lanes,
+            parts,
+            seed,
+        },
+    )
+}
+
+/// FC-shaped units (1×1 image, 1×1 kernel) exercise the channel-banked
+/// fast path; force a share of cases onto it.
+fn fc_case_strategy() -> impl Strategy<Value = Case> {
+    (
+        1usize..3,
+        prop_oneof![Just(1usize), Just(2), Just(4)],
+        1usize..14,
+        1usize..4,
+        any::<u64>(),
+    )
+        .prop_map(|(cv, pi, k_lanes, parts, seed)| Case {
+            g: SpatialGeom {
+                out_rows: 1,
+                out_w: 1,
+                stride: 1,
+                kh: 1,
+                kw: 1,
+                cv,
+                pi,
+                cols_l: 1,
+            },
+            k_lanes,
+            parts,
+            seed,
+        })
+}
+
+/// Deterministic pseudo-random f32 in roughly [-4, 4) (xorshift64*).
+fn fill(seed: &mut u64, out: &mut [f32]) {
+    for v in out {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+        *v = (seed.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 40) as f32 / (1u64 << 21) as f32 - 4.0;
+    }
+}
+
+fn check(case: &Case) {
+    let g = &case.g;
+    let c_lanes = g.c_lanes();
+    let plane = g.plane();
+    let rows_l = (g.out_rows - 1) * g.stride + g.kh;
+
+    let mut seed = case.seed | 1;
+    let mut input = vec![0.0f32; rows_l * g.cols_l * c_lanes];
+    let mut weight = vec![0.0f32; case.k_lanes * c_lanes * g.kh * g.kw];
+    let mut accum0 = vec![0.0f64; case.k_lanes * plane];
+    fill(&mut seed, &mut input);
+    fill(&mut seed, &mut weight);
+    for a in &mut accum0 {
+        // The kernels accumulate into live partials; start from nonzero.
+        *a = (seed % 17) as f64 - 8.0;
+        seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+    }
+
+    let mut want = accum0.clone();
+    spatial_scalar(g, case.k_lanes, &input, &weight, &mut want);
+
+    // The blocked kernel sees the window pre-widened (exactly) and the
+    // accumulator partitioned by output channel, as the simulator does.
+    let wide: Vec<f64> = input.iter().map(|&x| x as f64).collect();
+    let mut got = accum0.clone();
+    let mut pack = Vec::new();
+    let mut rest = got.as_mut_slice();
+    for ks in hybriddnn_par::chunk_ranges(case.k_lanes, case.parts) {
+        let (chunk, tail) = rest.split_at_mut(ks.len() * plane);
+        spatial_blocked(g, ks, &wide, &weight, chunk, &mut pack);
+        rest = tail;
+    }
+
+    for (i, (w, g_)) in want.iter().zip(&got).enumerate() {
+        assert_eq!(
+            w.to_bits(),
+            g_.to_bits(),
+            "accum[{i}] diverged: scalar {w} vs blocked {g_} ({case:?})"
+        );
+    }
+}
+
+proptest! {
+    #[test]
+    fn blocked_spatial_kernel_is_bit_identical_to_scalar(case in case_strategy()) {
+        check(&case);
+    }
+
+    #[test]
+    fn blocked_fc_kernel_is_bit_identical_to_scalar(case in fc_case_strategy()) {
+        check(&case);
+    }
+}

@@ -259,8 +259,37 @@ pub fn transform_input_tile(cfg: TileConfig, d: &[f64]) -> Vec<f64> {
 /// # Panics
 /// Panics in debug builds if `d.len() != PT²` or `out.len() != PT²`.
 pub fn transform_input_tile_into(cfg: TileConfig, d: &[f64], out: &mut [f64], t: &mut Vec<f64>) {
+    if cfg == TileConfig::F2x2 {
+        input_tile_f2(d, out);
+        return;
+    }
     let pt = cfg.pt();
     sandwich_into(cfg.bt(), pt, pt, d, out, t);
+}
+
+/// `F(2×2, 3×3)` input transform specialised to `Bᵀ`'s 0/±1 entries: the
+/// generic matmul degenerates to add/sub chains (each ±1 product is exact,
+/// so the values match [`sandwich_into`] for all finite inputs).
+fn input_tile_f2(d: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(d.len(), 16);
+    debug_assert_eq!(out.len(), 16);
+    // t = Bᵀ · d, column by column.
+    let mut t = [0.0f64; 16];
+    for j in 0..4 {
+        let (x0, x1, x2, x3) = (d[j], d[4 + j], d[8 + j], d[12 + j]);
+        t[j] = x0 - x2;
+        t[4 + j] = x1 + x2;
+        t[8 + j] = x2 - x1;
+        t[12 + j] = x1 - x3;
+    }
+    // out = t · B (= t · (Bᵀ)ᵀ), row by row.
+    for i in 0..4 {
+        let (r0, r1, r2, r3) = (t[i * 4], t[i * 4 + 1], t[i * 4 + 2], t[i * 4 + 3]);
+        out[i * 4] = r0 - r2;
+        out[i * 4 + 1] = r1 + r2;
+        out[i * 4 + 2] = r2 - r1;
+        out[i * 4 + 3] = r1 - r3;
+    }
 }
 
 /// Kernel transform `U = G g Gᵀ` for one `3 × 3` kernel `g` (row-major),
@@ -295,7 +324,31 @@ pub fn transform_output_tile(cfg: TileConfig, y: &[f64]) -> Vec<f64> {
 /// # Panics
 /// Panics in debug builds if `y.len() != PT²` or `out.len() != m²`.
 pub fn transform_output_tile_into(cfg: TileConfig, y: &[f64], out: &mut [f64], t: &mut Vec<f64>) {
+    if cfg == TileConfig::F2x2 {
+        output_tile_f2(y, out);
+        return;
+    }
     sandwich_into(cfg.at(), cfg.m(), cfg.pt(), y, out, t);
+}
+
+/// `F(2×2, 3×3)` output transform specialised to `Aᵀ`'s 0/±1 entries —
+/// the [`input_tile_f2`] treatment for the inverse transform.
+fn output_tile_f2(y: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(y.len(), 16);
+    debug_assert_eq!(out.len(), 4);
+    // t = Aᵀ · y (2 × 4), column by column.
+    let mut t = [0.0f64; 8];
+    for j in 0..4 {
+        let (y0, y1, y2, y3) = (y[j], y[4 + j], y[8 + j], y[12 + j]);
+        t[j] = y0 + y1 + y2;
+        t[4 + j] = y1 - y2 - y3;
+    }
+    // out = t · A (2 × 2), row by row.
+    for i in 0..2 {
+        let (r0, r1, r2, r3) = (t[i * 4], t[i * 4 + 1], t[i * 4 + 2], t[i * 4 + 3]);
+        out[i * 2] = r0 + r1 + r2;
+        out[i * 2 + 1] = r1 - r2 - r3;
+    }
 }
 
 /// Number of multiplications per output tile in Winograd mode (`PT²`)
@@ -344,6 +397,27 @@ mod tests {
         assert_eq!(TileConfig::from_pt(4), Some(TileConfig::F2x2));
         assert_eq!(TileConfig::from_pt(6), Some(TileConfig::F4x4));
         assert_eq!(TileConfig::from_pt(5), None);
+    }
+
+    #[test]
+    fn f2_specialised_transforms_match_generic_sandwich() {
+        // The add/sub specialisations must produce the same values as the
+        // generic 0/±1 matmuls (±0 differences compare equal, by design).
+        let cfg = TileConfig::F2x2;
+        let mut x = 0.7f64;
+        let mut next = move || {
+            x = (x * 997.0 + 0.13) % 1.0;
+            x - 0.5
+        };
+        for _ in 0..64 {
+            let d: Vec<f64> = (0..16).map(|_| next()).collect();
+            let mut spec = vec![0.0; 16];
+            input_tile_f2(&d, &mut spec);
+            assert_eq!(sandwich(cfg.bt(), 4, 4, &d), spec);
+            let mut spec_o = vec![0.0; 4];
+            output_tile_f2(&d, &mut spec_o);
+            assert_eq!(sandwich(cfg.at(), 2, 4, &d), spec_o);
+        }
     }
 
     #[test]

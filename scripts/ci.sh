@@ -14,7 +14,28 @@ cargo test -q --offline
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
+echo "==> cargo clippy -p hybriddnn-par -- -D warnings"
+cargo clippy -p hybriddnn-par --all-targets --offline -- -D warnings
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets --offline -- -D warnings
+
+# Benchmarks that emit BENCH_sim.json must at least build; running them
+# is a manual step (they measure host speed, which CI machines vary on).
+echo "==> bench-json binaries build"
+cargo build --release --offline -p hybriddnn-bench --bins --examples
+
+# Host-parallelism smoke test: the same functional inference at 1 and 4
+# threads must print the same validation error bit for bit (the full
+# bit-identity contract is tests/parallel_determinism.rs; this exercises
+# the CLI --threads plumbing end to end).
+echo "==> --threads 1 vs 4 smoke test"
+one=$(./target/release/hybriddnn specs/vgg_tiny.hdnn pynq-z1 --functional --threads 1 | grep validation)
+four=$(./target/release/hybriddnn specs/vgg_tiny.hdnn pynq-z1 --functional --threads 4 | grep validation)
+if [ "$one" != "$four" ]; then
+    echo "thread-count divergence: [$one] vs [$four]" >&2
+    exit 1
+fi
+echo "    $one"
 
 echo "CI OK"

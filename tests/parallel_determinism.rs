@@ -1,0 +1,92 @@
+//! Host parallelism must be invisible in the results: the simulator,
+//! the CPU reference model, and the DSE split work by output channel
+//! (or candidate) so every f64 accumulation chain is the same operation
+//! sequence at any thread count. These tests pin that contract down to
+//! the bit level for threads ∈ {1, 2, 4}.
+
+use hybriddnn::flow::Framework;
+use hybriddnn::model::{reference, synth, zoo};
+use hybriddnn::{DseEngine, FpgaSpec, Profile, SimMode, Simulator, Tensor};
+
+const THREADS: [usize; 3] = [1, 2, 4];
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+#[test]
+fn simulator_output_is_bit_identical_across_thread_counts() {
+    let mut net = zoo::tiny_cnn();
+    synth::bind_random(&mut net, 7).unwrap();
+    let deployment = Framework::new(FpgaSpec::pynq_z1(), Profile::pynq_z1())
+        .build(&net)
+        .unwrap();
+    let input = synth::tensor(net.input_shape(), 11);
+
+    let runs: Vec<_> = THREADS
+        .iter()
+        .map(|&t| {
+            let bw = deployment
+                .device
+                .instance_bandwidth(deployment.dse.design.ni);
+            let mut sim = Simulator::with_threads(&deployment.compiled, SimMode::Functional, bw, t);
+            sim.run(&deployment.compiled, &input).unwrap()
+        })
+        .collect();
+
+    for (run, &t) in runs[1..].iter().zip(&THREADS[1..]) {
+        assert_eq!(
+            bits(&runs[0].output),
+            bits(&run.output),
+            "simulator output diverged at {t} threads"
+        );
+        assert_eq!(
+            runs[0].total_cycles, run.total_cycles,
+            "cycle model diverged at {t} threads"
+        );
+    }
+}
+
+#[test]
+fn reference_model_is_bit_identical_across_thread_counts() {
+    let mut net = zoo::tiny_cnn();
+    synth::bind_random(&mut net, 7).unwrap();
+    let input = synth::tensor(net.input_shape(), 11);
+
+    // The reference model sizes its pool from the process-wide default;
+    // sweep it sequentially and restore the "all cores" setting after.
+    let outputs: Vec<Tensor> = THREADS
+        .iter()
+        .map(|&t| {
+            hybriddnn::par::set_default_threads(t);
+            reference::run_network(&net, &input).unwrap()
+        })
+        .collect();
+    hybriddnn::par::set_default_threads(0);
+
+    for (out, &t) in outputs[1..].iter().zip(&THREADS[1..]) {
+        assert_eq!(
+            bits(&outputs[0]),
+            bits(out),
+            "reference output diverged at {t} threads"
+        );
+    }
+}
+
+#[test]
+fn dse_result_is_identical_across_thread_counts() {
+    let mut net = zoo::vgg_tiny();
+    synth::bind_random(&mut net, 7).unwrap();
+    let results: Vec<_> = THREADS
+        .iter()
+        .map(|&t| {
+            DseEngine::new(FpgaSpec::pynq_z1(), Profile::pynq_z1())
+                .with_threads(t)
+                .explore(&net)
+                .unwrap()
+        })
+        .collect();
+    for (r, &t) in results[1..].iter().zip(&THREADS[1..]) {
+        assert_eq!(&results[0], r, "DSE winner diverged at {t} threads");
+    }
+}
