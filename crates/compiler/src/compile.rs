@@ -189,9 +189,21 @@ impl CompiledNetwork {
 
     /// Reads the network output tensor back from external memory.
     pub fn read_output(&self, mem: &ExternalMemory) -> Tensor {
+        let mut out = Tensor::zeros(self.output_shape);
+        self.read_output_into(mem, &mut out);
+        out
+    }
+
+    /// Like [`CompiledNetwork::read_output`], writing into a
+    /// caller-provided tensor so steady-state serving loops can reuse one
+    /// allocation across inferences. `out` is resized (reallocated) only
+    /// if its shape does not already match the network output.
+    pub fn read_output_into(&self, mem: &ExternalMemory, out: &mut Tensor) {
         let region = self.memory_map.region(self.output_region);
         let s = self.output_shape;
-        let mut out = Tensor::zeros(s);
+        if out.shape() != s {
+            *out = Tensor::zeros(s);
+        }
         for c in 0..s.c {
             for y in 0..s.h {
                 for x in 0..s.w {
@@ -199,7 +211,6 @@ impl CompiledNetwork {
                 }
             }
         }
-        out
     }
 
     /// Reads the activation tensor produced by stage `i` (for

@@ -16,6 +16,9 @@
 //! * `--emit DIR` — write the instruction & data artifacts to `DIR`.
 //! * `--batch N` — additionally simulate an `N`-image batch across the
 //!   design's `NI` instances and report device throughput.
+//! * `--validate-plan` — run a reused session twice with schedule
+//!   validation on: the second run re-simulates the cached timing
+//!   schedule and fails if it diverges from the recording.
 //! * `--seed N` — PRNG seed for the synthetic parameters (default 42).
 //! * `--threads N` — host threads for the simulator/DSE work pools
 //!   (default: all available cores; `1` = strictly sequential). Outputs
@@ -51,6 +54,7 @@ struct Args {
     hls: bool,
     emit: Option<String>,
     batch: usize,
+    validate_plan: bool,
     seed: u64,
     threads: usize,
 }
@@ -63,6 +67,7 @@ fn parse_args() -> Result<Args, String> {
     let mut hls = false;
     let mut emit = None;
     let mut batch = 0usize;
+    let mut validate_plan = false;
     let mut seed = 42u64;
     let mut threads = 0usize;
     let mut it = std::env::args().skip(1);
@@ -79,6 +84,7 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--batch requires a count")?;
                 batch = v.parse().map_err(|_| format!("bad batch size `{v}`"))?;
             }
+            "--validate-plan" => validate_plan = true,
             "--seed" => {
                 let v = it.next().ok_or("--seed requires a value")?;
                 seed = v.parse().map_err(|_| format!("bad seed `{v}`"))?;
@@ -106,6 +112,7 @@ fn parse_args() -> Result<Args, String> {
         hls,
         emit,
         batch,
+        validate_plan,
         seed,
         threads,
     })
@@ -432,6 +439,22 @@ fn run(args: Args) -> Result<(), String> {
             );
         }
     }
+    if args.validate_plan {
+        // First run records the session plan; the second replays it with
+        // validation on, re-simulating the timing schedule and comparing
+        // stage by stage.
+        let mut session = deployment.simulator(mode).with_schedule_validation(true);
+        session
+            .run(&deployment.compiled, &input)
+            .map_err(|e| e.to_string())?;
+        session
+            .run(&deployment.compiled, &input)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "plan     : cached schedule validated against re-simulation ({} pack words)",
+            session.plan_pack_words()
+        );
+    }
     if args.batch > 1 {
         let inputs: Vec<_> = (0..args.batch)
             .map(|i| synth::tensor(net.input_shape(), args.seed.wrapping_add(i as u64)))
@@ -495,7 +518,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: hybriddnn <MODEL.hdnn> <DEVICE.fpga|vu9p|pynq-z1> \
                  [--quant] [--functional] [--disasm] [--hls] [--emit DIR] \
-                 [--batch N] [--seed N] [--threads N]\n\
+                 [--batch N] [--validate-plan] [--seed N] [--threads N]\n\
                  \x20      hybriddnn serve-bench --help"
             );
             ExitCode::FAILURE

@@ -5,7 +5,7 @@ use hybriddnn_dse::{DseEngine, DseError, DseResult};
 use hybriddnn_estimator::Profile;
 use hybriddnn_fpga::{EnergyModel, FpgaSpec, PowerBreakdown};
 use hybriddnn_model::{Network, Tensor};
-use hybriddnn_runtime::{InferenceService, ServiceConfig};
+use hybriddnn_runtime::{CostHints, InferenceService, ServiceConfig};
 use hybriddnn_sim::{RunResult, SimError, SimMode, Simulator};
 use std::fmt;
 use std::sync::Arc;
@@ -193,11 +193,27 @@ impl Deployment {
     }
 
     /// A [`ServiceConfig`] pre-filled with this deployment's bandwidth
-    /// share and estimator cost hint; tune it with the `with_*` methods
-    /// and pass it to [`Deployment::into_service`].
+    /// share and a memoized estimator cost hint (the latency model is
+    /// re-evaluated at most once per distinct input shape, not per
+    /// request); tune it with the `with_*` methods and pass it to
+    /// [`Deployment::into_service`].
     pub fn service_config(&self, mode: SimMode) -> ServiceConfig {
-        ServiceConfig::new(mode, self.device.instance_bandwidth(self.dse.design.ni))
-            .with_cost_hint(self.predicted_cycles())
+        let bw = self.device.instance_bandwidth(self.dse.design.ni);
+        let accel = self.dse.design.accel;
+        let per_layer: Vec<_> = self
+            .dse
+            .per_layer
+            .iter()
+            .map(|c| (c.mode, c.dataflow, c.workload))
+            .collect();
+        let hints = CostHints::from_fn(move |_shape| {
+            hybriddnn_estimator::latency::strategy_network_cycles(
+                &accel,
+                per_layer.iter().map(|(m, d, w)| (*m, *d, w)),
+                bw,
+            )
+        });
+        ServiceConfig::new(mode, bw).with_cost_hints(Arc::new(hints))
     }
 
     /// Consumes the deployment and starts a concurrent, batching
@@ -358,14 +374,12 @@ mod tests {
         if dse.per_layer.iter().any(|c| c.mode != ConvMode::Spatial) {
             assert!(deployed.predicted_cycles() > winning.predicted_cycles());
         }
-        assert!(
-            (deployed
-                .service_config(SimMode::Functional)
-                .cost_hint_cycles
-                - deployed.predicted_cycles())
-            .abs()
-                < 1e-9
-        );
+        let config = deployed.service_config(SimMode::Functional);
+        let shape = deployed.compiled.input_shape();
+        assert!((config.cost_hints.cycles(shape) - deployed.predicted_cycles()).abs() < 1e-9);
+        // Memoized: pricing the same shape again runs no new estimation.
+        config.cost_hints.cycles(shape);
+        assert_eq!(config.cost_hints.estimator_calls(), 1);
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Per-shape cost hints for cost-aware dispatch.
+//!
+//! The SJF policy orders ready batches by predicted cycles. Estimating
+//! those cycles (`hybriddnn_estimator::latency::strategy_network_cycles`
+//! walks every layer of the deployed strategy) is input-invariant for a
+//! given input shape, so [`CostHints`] memoizes the estimator per shape:
+//! the first request of each shape pays for one estimation, every later
+//! request reads the cached value.
+
+use hybriddnn_model::Shape;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// A memoized `input shape → predicted cycles` estimator.
+pub struct CostHints {
+    estimate: Box<dyn Fn(Shape) -> f64 + Send + Sync>,
+    cache: Mutex<HashMap<Shape, f64>>,
+    estimations: AtomicU64,
+}
+
+impl CostHints {
+    /// A constant hint: every request predicts `cycles` regardless of
+    /// shape (degrades SJF to smallest-batch-first when left at the
+    /// default `1.0`).
+    pub fn fixed(cycles: f64) -> Self {
+        CostHints::from_fn(move |_| cycles)
+    }
+
+    /// Wraps an estimator function. It runs at most once per distinct
+    /// input shape for the lifetime of the hints.
+    pub fn from_fn(estimate: impl Fn(Shape) -> f64 + Send + Sync + 'static) -> Self {
+        CostHints {
+            estimate: Box::new(estimate),
+            cache: Mutex::new(HashMap::new()),
+            estimations: AtomicU64::new(0),
+        }
+    }
+
+    /// Predicted cycles for one request of the given input shape
+    /// (estimated on first sight of the shape, cached thereafter).
+    pub fn cycles(&self, shape: Shape) -> f64 {
+        let mut cache = self.cache.lock().unwrap();
+        if let Some(&cycles) = cache.get(&shape) {
+            return cycles;
+        }
+        self.estimations.fetch_add(1, Ordering::Relaxed);
+        let cycles = (self.estimate)(shape);
+        cache.insert(shape, cycles);
+        cycles
+    }
+
+    /// How many times the wrapped estimator has actually run (at most
+    /// once per distinct shape).
+    pub fn estimator_calls(&self) -> u64 {
+        self.estimations.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for CostHints {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CostHints")
+            .field("cached_shapes", &self.cache.lock().unwrap().len())
+            .field("estimator_calls", &self.estimator_calls())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Arc;
+
+    #[test]
+    fn estimator_runs_once_per_shape() {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let counted = Arc::clone(&calls);
+        let hints = CostHints::from_fn(move |s: Shape| {
+            counted.fetch_add(1, Ordering::SeqCst);
+            s.len() as f64
+        });
+        let a = Shape::new(3, 8, 8);
+        let b = Shape::new(1, 4, 4);
+        for _ in 0..5 {
+            assert_eq!(hints.cycles(a), a.len() as f64);
+            assert_eq!(hints.cycles(b), b.len() as f64);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+        assert_eq!(hints.estimator_calls(), 2);
+    }
+
+    #[test]
+    fn fixed_is_shape_independent() {
+        let hints = CostHints::fixed(42.0);
+        assert_eq!(hints.cycles(Shape::new(1, 1, 1)), 42.0);
+        assert_eq!(hints.cycles(Shape::new(3, 32, 32)), 42.0);
+        assert_eq!(hints.estimator_calls(), 2);
+    }
+}

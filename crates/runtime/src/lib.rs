@@ -61,12 +61,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cost;
 mod metrics;
 mod policy;
 mod request;
 mod service;
 mod traffic;
 
+pub use cost::CostHints;
 pub use metrics::MetricsSnapshot;
 pub use policy::{BatchMeta, DispatchPolicy, Fifo, ShortestJobFirst};
 pub use request::{InferenceResponse, ResponseHandle, RuntimeError};

@@ -10,6 +10,9 @@ use std::time::{Duration, Instant};
 pub(crate) struct InferenceRequest {
     pub(crate) id: u64,
     pub(crate) input: Tensor,
+    /// Memoized estimator prediction for this request's input shape
+    /// (summed per batch for cost-aware dispatch).
+    pub(crate) cost_cycles: f64,
     pub(crate) deadline: Option<Instant>,
     pub(crate) submitted_at: Instant,
     pub(crate) tx: mpsc::Sender<Result<InferenceResponse, RuntimeError>>,

@@ -13,6 +13,7 @@
 //! simulator error — including requests still queued when
 //! [`InferenceService::shutdown`] is called.
 
+use crate::cost::CostHints;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::policy::{BatchMeta, DispatchPolicy, Fifo, ShortestJobFirst};
 use crate::request::{InferenceRequest, InferenceResponse, ResponseHandle, RuntimeError};
@@ -42,12 +43,14 @@ pub struct ServiceConfig {
     /// Per-instance DDR bandwidth in words/cycle (see
     /// [`Simulator::new`]).
     pub bandwidth: f64,
-    /// Estimator-predicted cycles per image for the *deployed* strategy
-    /// (`hybriddnn_estimator::latency::strategy_network_cycles`); the SJF
-    /// policy orders batches by `len × cost_hint_cycles`. The deployment
-    /// flow fills this in (`Deployment::service_config`); the default of
-    /// `1.0` degrades SJF to smallest-batch-first.
-    pub cost_hint_cycles: f64,
+    /// Predicted-cycles source for cost-aware policies: each submitted
+    /// request is priced once per distinct input shape (the estimator is
+    /// memoized, see [`CostHints`]), and the SJF policy orders batches by
+    /// the sum of their requests' predictions. The deployment flow wires
+    /// in `hybriddnn_estimator::latency::strategy_network_cycles`
+    /// (`Deployment::service_config`); the default `fixed(1.0)` degrades
+    /// SJF to smallest-batch-first.
+    pub cost_hints: Arc<CostHints>,
     /// Host threads each worker's simulator session may use inside one
     /// COMP unit (`0` = the process-wide default, `1` = strictly
     /// sequential). Outputs are bit-identical at any setting; this only
@@ -75,7 +78,7 @@ impl ServiceConfig {
             max_wait: Duration::from_millis(2),
             mode,
             bandwidth,
-            cost_hint_cycles: 1.0,
+            cost_hints: Arc::new(CostHints::fixed(1.0)),
             sim_threads: 0,
             policy: Arc::new(Fifo),
             pace_mhz: None,
@@ -106,9 +109,15 @@ impl ServiceConfig {
         self
     }
 
-    /// Sets the per-image predicted cycles used by cost-aware policies.
-    pub fn with_cost_hint(mut self, cycles: f64) -> Self {
-        self.cost_hint_cycles = cycles;
+    /// Sets a constant per-image predicted cycle count for cost-aware
+    /// policies (shorthand for [`CostHints::fixed`]).
+    pub fn with_cost_hint(self, cycles: f64) -> Self {
+        self.with_cost_hints(Arc::new(CostHints::fixed(cycles)))
+    }
+
+    /// Sets the memoized cost estimator used by cost-aware policies.
+    pub fn with_cost_hints(mut self, hints: Arc<CostHints>) -> Self {
+        self.cost_hints = hints;
         self
     }
 
@@ -147,7 +156,7 @@ impl std::fmt::Debug for ServiceConfig {
             .field("max_wait", &self.max_wait)
             .field("mode", &self.mode)
             .field("bandwidth", &self.bandwidth)
-            .field("cost_hint_cycles", &self.cost_hint_cycles)
+            .field("cost_hints", &self.cost_hints)
             .field("sim_threads", &self.sim_threads)
             .field("policy", &self.policy.name())
             .field("pace_mhz", &self.pace_mhz)
@@ -187,7 +196,7 @@ struct Shared {
     metrics: Metrics,
     config_max_batch: usize,
     config_max_wait: Duration,
-    cost_hint_cycles: f64,
+    cost_hints: Arc<CostHints>,
     policy: Arc<dyn DispatchPolicy>,
 }
 
@@ -232,7 +241,7 @@ impl InferenceService {
             metrics: Metrics::default(),
             config_max_batch: config.max_batch_size,
             config_max_wait: config.max_wait,
-            cost_hint_cycles: config.cost_hint_cycles,
+            cost_hints: Arc::clone(&config.cost_hints),
             policy: Arc::clone(&config.policy),
         });
 
@@ -281,6 +290,10 @@ impl InferenceService {
         input: Tensor,
         deadline: Option<Duration>,
     ) -> Result<ResponseHandle, RuntimeError> {
+        // Price the request before taking the admission lock: the first
+        // request of a shape runs the (possibly layer-walking) estimator,
+        // every later one reads the memoized value.
+        let cost_cycles = self.shared.cost_hints.cycles(input.shape());
         let mut adm = self.shared.admission.lock().unwrap();
         if !adm.open {
             return Err(RuntimeError::ShuttingDown);
@@ -300,6 +313,7 @@ impl InferenceService {
         adm.queue.push_back(InferenceRequest {
             id,
             input,
+            cost_cycles,
             deadline: deadline.map(|d| now + d),
             submitted_at: now,
             tx,
@@ -407,7 +421,7 @@ fn batcher_loop(shared: &Shared) {
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
         let meta = BatchMeta {
             len: requests.len(),
-            predicted_cycles: requests.len() as f64 * shared.cost_hint_cycles,
+            predicted_cycles: requests.iter().map(|r| r.cost_cycles).sum(),
         };
         let mut ready = shared.ready.lock().unwrap();
         ready.batches.push_back(Batch { requests, meta });
@@ -431,6 +445,10 @@ fn worker_loop(
     worker: usize,
 ) {
     let mut sim = Simulator::with_threads(compiled, mode, bandwidth, sim_threads);
+    // Reused across every inference this worker serves: with the
+    // simulator's session plan, steady-state runs write into this
+    // scratch without allocating.
+    let mut scratch = hybriddnn_sim::RunResult::empty();
     loop {
         let mut ready = shared.ready.lock().unwrap();
         while ready.batches.is_empty() && !ready.closed {
@@ -460,10 +478,12 @@ fn worker_loop(
                     continue;
                 }
             }
-            let result = sim.run(compiled, &req.input);
+            let result = sim
+                .run_into(compiled, &req.input, &mut scratch)
+                .map(|()| (scratch.output.clone(), scratch.total_cycles));
             if pace_mhz.is_some() {
-                if let Ok(run) = &result {
-                    device_cycles += run.total_cycles;
+                if let Ok((_, cycles)) = &result {
+                    device_cycles += cycles;
                 }
                 staged.push((req, result));
             } else {
@@ -485,19 +505,19 @@ fn worker_loop(
 fn respond(
     shared: &Shared,
     req: InferenceRequest,
-    result: Result<hybriddnn_sim::RunResult, hybriddnn_sim::SimError>,
+    result: Result<(Tensor, f64), hybriddnn_sim::SimError>,
     batch_size: usize,
     worker: usize,
 ) {
     match result {
-        Ok(run) => {
+        Ok((output, total_cycles)) => {
             let latency = req.submitted_at.elapsed();
             shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
             shared.metrics.latency.record(latency);
             let _ = req.tx.send(Ok(InferenceResponse {
                 id: req.id,
-                output: run.output,
-                total_cycles: run.total_cycles,
+                output,
+                total_cycles,
                 latency,
                 batch_size,
                 worker,

@@ -26,6 +26,16 @@ pub enum SimError {
         /// Human-readable description.
         detail: String,
     },
+    /// Schedule validation re-simulated a cached timing schedule and got
+    /// a different answer — the cycle model depended on something that
+    /// changed between runs (a model bug; timing must be
+    /// input-independent).
+    ScheduleDivergence {
+        /// The diverging stage.
+        layer: String,
+        /// What differed.
+        detail: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -45,6 +55,9 @@ impl fmt::Display for SimError {
                 write!(f, "{buffer} buffer overrun: word {index} of {capacity}")
             }
             SimError::InputMismatch { detail } => write!(f, "input mismatch: {detail}"),
+            SimError::ScheduleDivergence { layer, detail } => {
+                write!(f, "stage `{layer}` schedule diverged from plan: {detail}")
+            }
         }
     }
 }

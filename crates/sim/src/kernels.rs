@@ -100,6 +100,42 @@ pub fn spatial_scalar(
     }
 }
 
+/// Builds the `[k][r][s][c]` (per-`k` `[taps][c]`) f64-widened weight
+/// pack for `k_lanes` output channels of one Spatial/FC unit — the
+/// input-invariant repack a session plan caches so steady-state runs
+/// skip it. The per-`k` layout is exactly what [`spatial_blocked`]
+/// consumes via its `prepack` argument; the widening is exact, so a
+/// cached pack is bit-identical to one rebuilt per call.
+pub fn pack_spatial_weights(
+    kh: usize,
+    kw: usize,
+    c_lanes: usize,
+    k_lanes: usize,
+    weight: &[f32],
+    out: &mut Vec<f64>,
+) {
+    let taps = kh * kw;
+    out.clear();
+    out.reserve(k_lanes * taps * c_lanes);
+    for k in 0..k_lanes {
+        if taps == 1 {
+            out.extend(
+                weight[k * c_lanes..(k + 1) * c_lanes]
+                    .iter()
+                    .map(|&w| w as f64),
+            );
+        } else {
+            for r in 0..kh {
+                for s in 0..kw {
+                    for c in 0..c_lanes {
+                        out.push(weight[((k * c_lanes + c) * kh + r) * kw + s] as f64);
+                    }
+                }
+            }
+        }
+    }
+}
+
 /// Cache-blocked, bank-accumulated Spatial kernel for output channels
 /// `ks` (absolute indices into the unit's weight image).
 ///
@@ -108,16 +144,21 @@ pub fn spatial_scalar(
 /// `f32 → f64` convert per MAC with one per window element. `accum_chunk`
 /// holds only the planes for `ks` — the caller partitions the unit
 /// accumulator by output channel, which is what makes the parallel split
-/// race-free. `pack` is caller-provided scratch for the `[r][s][c]`
-/// weight repack (per-worker, reused across calls), likewise widened once.
+/// race-free. `prepack`, when present, is the unit's full
+/// [`pack_spatial_weights`] image (covering *all* `k`, not just `ks`) and
+/// replaces the per-call repack; otherwise `pack` is caller-provided
+/// scratch for the `[r][s][c]` weight repack (per-worker, reused across
+/// calls), likewise widened once.
 ///
-/// Bit-identical to [`spatial_scalar`] restricted to `ks`: every output
-/// pixel's `f64` chain is the same operation sequence.
+/// Bit-identical to [`spatial_scalar`] restricted to `ks` — with or
+/// without `prepack`: every output pixel's `f64` chain is the same
+/// operation sequence either way.
 pub fn spatial_blocked(
     g: &SpatialGeom,
     ks: std::ops::Range<usize>,
     input: &[f64],
     weight: &[f32],
+    prepack: Option<&[f64]>,
     accum_chunk: &mut [f64],
     pack: &mut Vec<f64>,
 ) {
@@ -130,28 +171,33 @@ pub fn spatial_blocked(
     if plane == 1 && taps == 1 {
         // FC layers compile to 1×1 kernels over a 1×1 image: one chain
         // per output channel, banked across channels instead of pixels.
-        spatial_fc(ks, c_lanes, input, weight, accum_chunk);
+        spatial_fc(ks, c_lanes, input, weight, prepack, accum_chunk);
         return;
     }
 
     for (k_local, k) in ks.enumerate() {
         // Per-k weight view with contiguous channel runs per (r, s) tap.
-        pack.resize(taps * c_lanes, 0.0);
-        if taps == 1 {
-            for (d, &s) in pack.iter_mut().zip(&weight[k * c_lanes..(k + 1) * c_lanes]) {
-                *d = s as f64;
-            }
-        } else {
-            for c in 0..c_lanes {
-                for r in 0..g.kh {
-                    for s in 0..g.kw {
-                        pack[(r * g.kw + s) * c_lanes + c] =
-                            weight[((k * c_lanes + c) * g.kh + r) * g.kw + s] as f64;
+        let wk: &[f64] = match prepack {
+            Some(p) => &p[k * taps * c_lanes..][..taps * c_lanes],
+            None => {
+                pack.resize(taps * c_lanes, 0.0);
+                if taps == 1 {
+                    for (d, &s) in pack.iter_mut().zip(&weight[k * c_lanes..(k + 1) * c_lanes]) {
+                        *d = s as f64;
+                    }
+                } else {
+                    for c in 0..c_lanes {
+                        for r in 0..g.kh {
+                            for s in 0..g.kw {
+                                pack[(r * g.kw + s) * c_lanes + c] =
+                                    weight[((k * c_lanes + c) * g.kh + r) * g.kw + s] as f64;
+                            }
+                        }
                     }
                 }
+                pack
             }
-        }
-        let wk: &[f64] = pack;
+        };
 
         let out_k = &mut accum_chunk[k_local * plane..(k_local + 1) * plane];
         for oy in 0..g.out_rows {
@@ -239,18 +285,52 @@ pub fn spatial_blocked(
 /// across *output channels* instead: four channels' chains advance
 /// together, each still summing its contiguous `[k][c]` weight row against
 /// the input in ascending-`c` order — the exact [`spatial_scalar`]
-/// sequence per channel.
+/// sequence per channel. With `prepack` the rows come pre-widened from the
+/// cached `[k][c]` pack; each MAC multiplies the same `f64` values in the
+/// same order, so the result is bit-identical either way.
 fn spatial_fc(
     ks: std::ops::Range<usize>,
     c_lanes: usize,
     input: &[f64],
     weight: &[f32],
+    prepack: Option<&[f64]>,
     accum_chunk: &mut [f64],
 ) {
     const K_BANK: usize = 4;
     let seg = &input[..c_lanes];
     let mut k = ks.start;
     let mut k_local = 0;
+    if let Some(p) = prepack {
+        while k + K_BANK <= ks.end {
+            let (w0, rest) = p[k * c_lanes..(k + K_BANK) * c_lanes].split_at(c_lanes);
+            let (w1, rest) = rest.split_at(c_lanes);
+            let (w2, w3) = rest.split_at(c_lanes);
+            let mut a = [0.0f64; K_BANK];
+            for ((((x, b0), b1), b2), b3) in seg.iter().zip(w0).zip(w1).zip(w2).zip(w3) {
+                let xv = *x;
+                a[0] += xv * *b0;
+                a[1] += xv * *b1;
+                a[2] += xv * *b2;
+                a[3] += xv * *b3;
+            }
+            for (o, a) in accum_chunk[k_local..k_local + K_BANK].iter_mut().zip(a) {
+                *o += a;
+            }
+            k += K_BANK;
+            k_local += K_BANK;
+        }
+        while k < ks.end {
+            let wk = &p[k * c_lanes..][..c_lanes];
+            let mut acc = 0.0f64;
+            for (x, w) in seg.iter().zip(wk) {
+                acc += *x * *w;
+            }
+            accum_chunk[k_local] += acc;
+            k += 1;
+            k_local += 1;
+        }
+        return;
+    }
     while k + K_BANK <= ks.end {
         let (w0, rest) = weight[k * c_lanes..(k + K_BANK) * c_lanes].split_at(c_lanes);
         let (w1, rest) = rest.split_at(c_lanes);
@@ -303,10 +383,27 @@ mod tests {
 
         let mut a = init.clone();
         spatial_scalar(g, k_lanes, &input, &weight, &mut a);
-        let mut b = init;
+        let mut b = init.clone();
         let mut pack = Vec::new();
         let wide: Vec<f64> = input.iter().map(|&x| x as f64).collect();
-        spatial_blocked(g, 0..k_lanes, &wide, &weight, &mut b, &mut pack);
+        spatial_blocked(g, 0..k_lanes, &wide, &weight, None, &mut b, &mut pack);
+        // The prepacked path must agree bit for bit as well.
+        let mut prepacked = Vec::new();
+        pack_spatial_weights(g.kh, g.kw, c_lanes, k_lanes, &weight, &mut prepacked);
+        let mut c = init;
+        spatial_blocked(
+            g,
+            0..k_lanes,
+            &wide,
+            &weight,
+            Some(&prepacked),
+            &mut c,
+            &mut pack,
+        );
+        assert!(
+            b.iter().zip(&c).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "prepacked kernel diverged for geom {g:?}"
+        );
         (a, b)
     }
 
@@ -375,8 +472,8 @@ mod tests {
         let wide: Vec<f64> = input.iter().map(|&x| x as f64).collect();
         let mid = 3 * g.plane();
         let (lo, hi) = split.split_at_mut(mid);
-        spatial_blocked(&g, 0..3, &wide, &weight, lo, &mut pack);
-        spatial_blocked(&g, 3..k_lanes, &wide, &weight, hi, &mut pack);
+        spatial_blocked(&g, 0..3, &wide, &weight, None, lo, &mut pack);
+        spatial_blocked(&g, 3..k_lanes, &wide, &weight, None, hi, &mut pack);
         assert!(full
             .iter()
             .zip(&split)

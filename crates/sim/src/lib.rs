@@ -56,6 +56,7 @@ mod error;
 pub mod kernels;
 mod machine;
 mod pe;
+mod plan;
 mod runner;
 mod stats;
 

@@ -8,7 +8,8 @@
 //! of `bw` words/cycle (the multi-channel boards the paper targets), so
 //! Eq. 8–11's `min(BW, port)` rates emerge naturally.
 
-use crate::pe::{exec_comp, exec_load, exec_save, Buffers, CompCtx};
+use crate::pe::{build_unit_pack, exec_comp, exec_load, exec_save, Buffers, CompCtx};
+use crate::plan::{PackMode, UnitPack};
 use crate::stats::{ModuleBusy, StageStats};
 use crate::SimError;
 use hybriddnn_estimator::AcceleratorConfig;
@@ -98,7 +99,7 @@ impl Accelerator {
         program: &Program,
         mem: &mut ExternalMemory,
     ) -> Result<StageStats, SimError> {
-        self.run_stage_traced(program, mem, None)
+        self.run_stage_inner(program, mem, None, PackMode::Off)
     }
 
     /// Like [`Accelerator::run_stage`], optionally recording each
@@ -110,8 +111,26 @@ impl Accelerator {
         &mut self,
         program: &Program,
         mem: &mut ExternalMemory,
-        mut trace: Option<&mut Vec<(f64, f64)>>,
+        trace: Option<&mut Vec<(f64, f64)>>,
     ) -> Result<StageStats, SimError> {
+        self.run_stage_inner(program, mem, trace, PackMode::Off)
+    }
+
+    /// Full event simulation of one stage, optionally recording or
+    /// consuming a session plan's per-COMP weight packs.
+    ///
+    /// In `PackMode::Record`, each COMP's pack is built from the weight
+    /// and bias buffers as they stand when that COMP retires in program
+    /// order — then immediately consumed by `exec_comp`, so the recording
+    /// run exercises exactly the code path that replays will.
+    pub(crate) fn run_stage_inner(
+        &mut self,
+        program: &Program,
+        mem: &mut ExternalMemory,
+        mut trace: Option<&mut Vec<(f64, f64)>>,
+        mut packs: PackMode<'_>,
+    ) -> Result<StageStats, SimError> {
+        let mut next_pack = 0usize;
         let mut t = Timing::new();
         mem.reset_traffic();
         for (i, inst) in program.instructions().iter().enumerate() {
@@ -179,7 +198,42 @@ impl Accelerator {
                         t.push(Fifo::OutReady, finish);
                     }
                     if self.functional {
-                        exec_comp(&mut self.bufs, &self.cfg, c, self.act_fmt, &mut self.comp)?;
+                        match &mut packs {
+                            PackMode::Record(out) => {
+                                out.push(build_unit_pack(&self.bufs, &self.cfg, c));
+                                let pack = out.last().filter(|p| !p.weights.is_empty());
+                                exec_comp(
+                                    &mut self.bufs,
+                                    &self.cfg,
+                                    c,
+                                    self.act_fmt,
+                                    &mut self.comp,
+                                    pack,
+                                )?;
+                            }
+                            PackMode::Replay(ps) => {
+                                let pack = ps.get(next_pack).filter(|p| !p.weights.is_empty());
+                                next_pack += 1;
+                                exec_comp(
+                                    &mut self.bufs,
+                                    &self.cfg,
+                                    c,
+                                    self.act_fmt,
+                                    &mut self.comp,
+                                    pack,
+                                )?;
+                            }
+                            PackMode::Off => {
+                                exec_comp(
+                                    &mut self.bufs,
+                                    &self.cfg,
+                                    c,
+                                    self.act_fmt,
+                                    &mut self.comp,
+                                    None,
+                                )?;
+                            }
+                        }
                     }
                 }
                 Instruction::Save(s) => {
@@ -208,13 +262,55 @@ impl Accelerator {
             }
         }
         Ok(StageStats {
-            name: String::new(),
+            name: Default::default(),
             cycles: t.makespan(),
             busy: t.busy,
             traffic: mem.traffic(),
             instructions: program.len(),
             ops: 0,
         })
+    }
+
+    /// Replays a stage functionally against a recorded session plan,
+    /// skipping event simulation entirely.
+    ///
+    /// Weight and bias loads are elided — every COMP reads its cached
+    /// pack instead of the weight/bias buffers, so only input loads,
+    /// COMPs, and SAVEs execute. Timing comes from the plan's cached
+    /// [`StageStats`], not from here.
+    ///
+    /// # Errors
+    /// Same as [`Accelerator::run_stage`] (functional errors only).
+    pub(crate) fn replay_stage(
+        &mut self,
+        program: &Program,
+        mem: &mut ExternalMemory,
+        packs: &[UnitPack],
+    ) -> Result<(), SimError> {
+        let mut next_pack = 0usize;
+        for inst in program.instructions() {
+            match inst {
+                Instruction::Load(l) => {
+                    if l.kind == LoadKind::Input {
+                        exec_load(&mut self.bufs, mem, l)?;
+                    }
+                }
+                Instruction::Comp(c) => {
+                    let pack = packs.get(next_pack).filter(|p| !p.weights.is_empty());
+                    next_pack += 1;
+                    exec_comp(
+                        &mut self.bufs,
+                        &self.cfg,
+                        c,
+                        self.act_fmt,
+                        &mut self.comp,
+                        pack,
+                    )?;
+                }
+                Instruction::Save(s) => exec_save(&self.bufs, mem, &self.cfg, s)?,
+            }
+        }
+        Ok(())
     }
 
     /// PE cycles for one COMP unit.

@@ -3,6 +3,7 @@
 //! managers (§4.2.3), and the layout-transforming SAVE path (§4.3).
 
 use crate::kernels::{self, SpatialGeom};
+use crate::plan::UnitPack;
 use crate::SimError;
 use hybriddnn_estimator::AcceleratorConfig;
 use hybriddnn_fpga::{ExternalMemory, MemoryClient};
@@ -156,6 +157,62 @@ pub fn exec_load(
     Ok(())
 }
 
+/// Builds the input-invariant [`UnitPack`] for one COMP instruction from
+/// the live buffer state: the widened weight pack in the layout the
+/// unit's kernel consumes (`[k][taps][c]` Spatial, `[k][c][e]` Winograd)
+/// plus the widened bias row for units that initialize with bias. Called
+/// by the plan-recording run just before executing the unit, so the
+/// captured contents are exactly what the unit would read.
+///
+/// A unit whose weight geometry falls outside the buffer gets an empty
+/// `weights` — execution then falls back to the unpacked path, which
+/// reports the malformed program exactly as before.
+pub(crate) fn build_unit_pack(
+    bufs: &Buffers,
+    cfg: &AcceleratorConfig,
+    inst: &CompInst,
+) -> UnitPack {
+    let k_lanes = inst.oc_vecs as usize * cfg.po;
+    let c_lanes = inst.ic_vecs as usize * cfg.pi;
+    let wgt_base = inst.wgt_base as usize;
+    let mut weights = Vec::new();
+    if inst.wino {
+        let pt2 = cfg.tile.pt() * cfg.tile.pt();
+        let need = k_lanes * c_lanes * pt2;
+        if wgt_base + need <= bufs.weight.len() {
+            hybriddnn_winograd::gemm::transpose_ekc_to_kce(
+                &bufs.weight[wgt_base..wgt_base + need],
+                k_lanes,
+                c_lanes,
+                pt2,
+                &mut weights,
+            );
+        }
+    } else {
+        let (kh, kw) = (inst.kernel_h as usize, inst.kernel_w as usize);
+        let need = k_lanes * c_lanes * kh * kw;
+        if wgt_base + need <= bufs.weight.len() {
+            kernels::pack_spatial_weights(
+                kh,
+                kw,
+                c_lanes,
+                k_lanes,
+                &bufs.weight[wgt_base..wgt_base + need],
+                &mut weights,
+            );
+        }
+    }
+    let mut bias = Vec::new();
+    if inst.acc_init && inst.bias_en {
+        let bias_half = (wgt_base >= cfg.weight_buffer_words()) as usize;
+        let bias_base = bias_half * crate::machine::BIAS_HALF_WORDS;
+        bias.extend(
+            (0..k_lanes).map(|k| bufs.bias.get(bias_base + k).copied().unwrap_or(0.0) as f64),
+        );
+    }
+    UnitPack { weights, bias }
+}
+
 /// Executes one COMP unit on the PE.
 ///
 /// The input buffer holds the loaded window in the layout matching the
@@ -163,12 +220,18 @@ pub fn exec_load(
 /// weight buffer holds the group image; results accumulate in `f64` and
 /// flush (activation + requantization) to the output buffer on
 /// `acc_final`.
+///
+/// `pack`, when present, supplies the unit's cached weight/bias invariants
+/// ([`build_unit_pack`]) so neither the weight nor the bias buffer is read
+/// — results are bit-identical to the unpacked path because the pack holds
+/// exact `f32 → f64` widenings consumed in the same operation order.
 pub fn exec_comp(
     bufs: &mut Buffers,
     cfg: &AcceleratorConfig,
     inst: &CompInst,
     act_fmt: Option<QFormat>,
     ctx: &mut CompCtx,
+    pack: Option<&UnitPack>,
 ) -> Result<(), SimError> {
     let pi = cfg.pi;
     let k_lanes = inst.oc_vecs as usize * cfg.po;
@@ -194,9 +257,15 @@ pub fn exec_comp(
     if inst.acc_init {
         let bias_half = (inst.wgt_base as usize >= cfg.weight_buffer_words()) as usize;
         let bias_base = bias_half * crate::machine::BIAS_HALF_WORDS;
+        let cached_bias = pack
+            .map(|p| p.bias.as_slice())
+            .filter(|b| b.len() == k_lanes);
         for k in 0..k_lanes {
             let b = if inst.bias_en {
-                bufs.bias[bias_base + k] as f64
+                match cached_bias {
+                    Some(bias) => bias[k],
+                    None => bufs.bias[bias_base + k] as f64,
+                }
             } else {
                 0.0
             };
@@ -207,7 +276,7 @@ pub fn exec_comp(
     }
 
     if inst.wino {
-        exec_comp_wino(bufs, cfg, inst, k_lanes, c_lanes, ctx)?;
+        exec_comp_wino(bufs, cfg, inst, k_lanes, c_lanes, ctx, pack)?;
     } else {
         // Spatial mode: the GEMM cores merge into one broadcast array;
         // direct MAC loops over the kernel window, partitioned across
@@ -252,13 +321,24 @@ pub fn exec_comp(
         }
         let input = &ctx.inp_wide;
         let weight = &bufs.weight[wgt_base..wgt_base + wgt_len];
+        let prepack = pack
+            .map(|p| p.weights.as_slice())
+            .filter(|w| w.len() == wgt_len);
         let accum = &mut bufs.accum[acc_base..acc_base + acc_len];
         ctx.pool.capped(macs / PAR_MIN_MACS).for_each_chunk_mut(
             accum,
             plane,
             &mut ctx.workers,
             |_, ks, chunk, scratch| {
-                kernels::spatial_blocked(&geom, ks, input, weight, chunk, &mut scratch.pack);
+                kernels::spatial_blocked(
+                    &geom,
+                    ks,
+                    input,
+                    weight,
+                    prepack,
+                    chunk,
+                    &mut scratch.pack,
+                );
             },
         );
     }
@@ -303,6 +383,7 @@ fn exec_comp_wino(
     k_lanes: usize,
     c_lanes: usize,
     ctx: &mut CompCtx,
+    pack: Option<&UnitPack>,
 ) -> Result<(), SimError> {
     let tile = cfg.tile;
     let pt = tile.pt();
@@ -327,13 +408,19 @@ fn exec_comp_wino(
     let tiles = tiles_y * tiles_x;
 
     // Pass 1: transpose the weight image [e][k][c] → [k][c][e], widening
-    // to f64 once instead of per MAC.
-    ctx.wt.resize(k_lanes * c_lanes * pt2, 0.0);
-    for e in 0..pt2 {
-        for k in 0..k_lanes {
-            let wrow = wgt_base + (e * k_lanes + k) * c_lanes;
-            for c in 0..c_lanes {
-                ctx.wt[(k * c_lanes + c) * pt2 + e] = bufs.weight[wrow + c] as f64;
+    // to f64 once instead of per MAC. A session plan caches this
+    // transpose, so steady-state runs skip the pass entirely.
+    let prepack = pack
+        .map(|p| p.weights.as_slice())
+        .filter(|w| w.len() == k_lanes * c_lanes * pt2);
+    if prepack.is_none() {
+        ctx.wt.resize(k_lanes * c_lanes * pt2, 0.0);
+        for e in 0..pt2 {
+            for k in 0..k_lanes {
+                let wrow = wgt_base + (e * k_lanes + k) * c_lanes;
+                for c in 0..c_lanes {
+                    ctx.wt[(k * c_lanes + c) * pt2 + e] = bufs.weight[wrow + c] as f64;
+                }
             }
         }
     }
@@ -379,7 +466,10 @@ fn exec_comp_wino(
     let plane = out_rows * out_w;
     let macs = tiles * k_lanes * pt2 * c_lanes;
     let accum = &mut bufs.accum[acc_base..acc_base + k_lanes * plane];
-    let wt = &ctx.wt;
+    let wt: &[f64] = match prepack {
+        Some(w) => w,
+        None => &ctx.wt,
+    };
     let v_all = &ctx.v_all;
     ctx.pool.capped(macs / PAR_MIN_MACS).for_each_chunk_mut(
         accum,
@@ -572,7 +662,7 @@ mod tests {
             acc_final: true,
             ..CompInst::default()
         };
-        exec_comp(&mut bufs, &cfg, &inst, None, &mut CompCtx::default()).unwrap();
+        exec_comp(&mut bufs, &cfg, &inst, None, &mut CompCtx::default(), None).unwrap();
         assert_eq!(&bufs.output[..4], &[1.5, 4.5, 9.5, 16.5]);
     }
 
@@ -594,7 +684,15 @@ mod tests {
             ..CompInst::default()
         };
         let fmt = QFormat::new(8, 1); // step 0.5
-        exec_comp(&mut bufs, &cfg, &inst, Some(fmt), &mut CompCtx::default()).unwrap();
+        exec_comp(
+            &mut bufs,
+            &cfg,
+            &inst,
+            Some(fmt),
+            &mut CompCtx::default(),
+            None,
+        )
+        .unwrap();
         assert_eq!(bufs.output[0], 0.0); // relu clamps
         assert_eq!(bufs.output[1], 2.5); // 2.3 → nearest 0.5 grid (ties-even)
     }
@@ -616,10 +714,10 @@ mod tests {
             acc_final: false,
             ..CompInst::default()
         };
-        exec_comp(&mut bufs, &cfg, &inst, None, &mut CompCtx::default()).unwrap();
+        exec_comp(&mut bufs, &cfg, &inst, None, &mut CompCtx::default(), None).unwrap();
         inst.acc_init = false;
         inst.acc_final = true;
-        exec_comp(&mut bufs, &cfg, &inst, None, &mut CompCtx::default()).unwrap();
+        exec_comp(&mut bufs, &cfg, &inst, None, &mut CompCtx::default(), None).unwrap();
         assert_eq!(bufs.output[0], 6.0);
     }
 
@@ -724,9 +822,9 @@ mod tests {
             kernel_w: 3,
             ..CompInst::default()
         };
-        exec_comp(&mut spat, &cfg, &base, None, &mut CompCtx::default()).unwrap();
+        exec_comp(&mut spat, &cfg, &base, None, &mut CompCtx::default(), None).unwrap();
         let winst = CompInst { wino: true, ..base };
-        exec_comp(&mut wino, &cfg, &winst, None, &mut CompCtx::default()).unwrap();
+        exec_comp(&mut wino, &cfg, &winst, None, &mut CompCtx::default(), None).unwrap();
         for i in 0..k_lanes * out_rows * out_w {
             let a = spat.output[i];
             let b = wino.output[i];

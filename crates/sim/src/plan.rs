@@ -1,0 +1,88 @@
+//! Per-session execution plans: input-invariant work hoisted out of the
+//! steady-state run loop.
+//!
+//! A [`Simulator`](crate::Simulator) session serves one compiled network
+//! for its whole lifetime, so everything that depends only on the program
+//! and the staged weight image — not on the input tensor — can be paid
+//! once and replayed. Two facts make that sound:
+//!
+//! * **Functional execution is program-order.** Instructions execute in
+//!   the order the compiler emitted them, so the weight/bias buffer
+//!   contents *at each COMP instruction* are a pure function of the
+//!   program and the (immutable) DRAM weight image. The f64-widened
+//!   weight packs built from those contents are therefore identical on
+//!   every run, and widening `f32 → f64` is exact — a cached pack is
+//!   bit-identical to one rebuilt on the fly.
+//! * **The cycle model is input-independent.** Every LOAD/COMP/SAVE
+//!   duration is determined by instruction fields and the configuration
+//!   (Eq. 6–11), never by data values — pinned by the
+//!   `timing_matches_functional_timing` test. A stage's
+//!   [`StageStats`] (makespan, per-module busy time, traffic,
+//!   instruction count) can be recorded once and replayed verbatim.
+//!
+//! The plan is recorded lazily during the session's *first* run (which
+//! executes the full event simulation exactly as before) and consumed by
+//! every subsequent run: weight/bias LOADs and the event simulation are
+//! skipped entirely, COMP units read the cached packs, and the cached
+//! per-stage statistics are cloned into the result. An opt-in validation
+//! mode (`Simulator::set_schedule_validation`) re-simulates the schedule
+//! and asserts it matches the recording.
+
+use crate::stats::StageStats;
+
+/// Cached input-invariant data for one COMP instruction.
+///
+/// `weights` holds the unit's weight image widened to `f64` in the layout
+/// its kernel consumes directly: `[k][r][s][c]` for Spatial/FC units
+/// (what [`crate::kernels::spatial_blocked`] reads via its `prepack`
+/// argument), `[k][c][e]` for Winograd units (replacing the per-unit
+/// transpose pass). An empty `weights` marks a unit whose geometry fell
+/// outside the weight buffer at record time — execution falls back to
+/// the unpacked path, which reports the error exactly as before.
+///
+/// `bias` is the widened bias row `[k]` for units that initialize their
+/// accumulator with bias, captured so replayed runs need not re-execute
+/// bias LOADs.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct UnitPack {
+    pub weights: Vec<f64>,
+    pub bias: Vec<f64>,
+}
+
+/// One layer's cached invariants: its replayable timing schedule (with
+/// the interned stage name and op count already filled in) and one
+/// [`UnitPack`] per COMP instruction, in program order.
+#[derive(Debug, Clone)]
+pub(crate) struct LayerPlan {
+    pub stats: StageStats,
+    pub packs: Vec<UnitPack>,
+}
+
+/// A session's execution plan — everything invariant across inferences.
+#[derive(Debug, Clone)]
+pub(crate) struct SessionPlan {
+    pub layers: Vec<LayerPlan>,
+}
+
+impl SessionPlan {
+    /// Total `f64` words held in cached packs (introspection/tests).
+    pub fn pack_words(&self) -> usize {
+        self.layers
+            .iter()
+            .flat_map(|l| &l.packs)
+            .map(|p| p.weights.len() + p.bias.len())
+            .sum()
+    }
+}
+
+/// How a stage execution interacts with cached unit packs.
+pub(crate) enum PackMode<'a> {
+    /// Build a pack from the live weight/bias buffers at each COMP
+    /// instruction, appending it to the vector (the plan-recording run).
+    Record(&'a mut Vec<UnitPack>),
+    /// Consume prebuilt packs by COMP ordinal (validation/traced runs on
+    /// a planned session).
+    Replay(&'a [UnitPack]),
+    /// No caching — the pre-plan behaviour.
+    Off,
+}

@@ -3,11 +3,12 @@
 //! manage the execution of the generated accelerator").
 
 use crate::machine::Accelerator;
+use crate::plan::{LayerPlan, PackMode, SessionPlan, UnitPack};
 use crate::stats::StageStats;
 use crate::SimError;
 use hybriddnn_compiler::CompiledNetwork;
 use hybriddnn_fpga::ExternalMemory;
-use hybriddnn_model::Tensor;
+use hybriddnn_model::{Shape, Tensor};
 
 /// Simulation fidelity.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +38,17 @@ pub struct RunResult {
 }
 
 impl RunResult {
+    /// An empty result suitable as the reusable target of
+    /// [`Simulator::run_into`]: the first run sizes the output tensor and
+    /// stage vector, later runs overwrite them in place.
+    pub fn empty() -> Self {
+        RunResult {
+            output: Tensor::zeros(Shape::new(0, 0, 0)),
+            stage_stats: Vec::new(),
+            total_cycles: 0.0,
+        }
+    }
+
     /// Whole-network throughput in GOPS at `freq_mhz`.
     pub fn gops(&self, freq_mhz: f64) -> f64 {
         let ops: u64 = self.stage_stats.iter().map(|s| s.ops).sum();
@@ -67,6 +79,15 @@ pub struct Simulator {
     accel: Accelerator,
     mem: ExternalMemory,
     mode: SimMode,
+    /// Cached input-invariant work (weight packs, timing schedules),
+    /// recorded lazily on the session's first run. See [`crate::plan`].
+    plan: Option<SessionPlan>,
+    /// When false, never record or consume a plan — every run takes the
+    /// original full-simulation path.
+    planning: bool,
+    /// When true, planned runs re-simulate the timing schedule and return
+    /// [`SimError::ScheduleDivergence`] if it differs from the recording.
+    validate: bool,
 }
 
 impl Simulator {
@@ -94,7 +115,14 @@ impl Simulator {
             // Timing-only moves no data; keep the store empty.
             ExternalMemory::new()
         };
-        Simulator { accel, mem, mode }
+        Simulator {
+            accel,
+            mem,
+            mode,
+            plan: None,
+            planning: true,
+            validate: false,
+        }
     }
 
     /// Like [`Simulator::new`] with an explicit host-thread budget for
@@ -124,21 +152,65 @@ impl Simulator {
 
     /// Runs one inference.
     ///
+    /// The session's first run additionally records its execution plan
+    /// (see [`crate::plan`]); subsequent runs replay it — skipping
+    /// weight/bias loads, weight repacking, and event simulation — with
+    /// bit-identical results. Disable with [`Simulator::set_planning`].
+    ///
     /// # Errors
     /// * [`SimError::InputMismatch`] if the input shape is wrong.
     /// * [`SimError::Deadlock`] / [`SimError::BufferOverrun`] for
     ///   malformed programs (never produced by the compiler).
+    /// * [`SimError::ScheduleDivergence`] in validation mode only.
     pub fn run(
         &mut self,
         compiled: &CompiledNetwork,
         input: &Tensor,
     ) -> Result<RunResult, SimError> {
-        Ok(self.run_impl(compiled, input, None)?.0)
+        let mut out = RunResult::empty();
+        self.run_impl(compiled, input, None, &mut out)?;
+        Ok(out)
+    }
+
+    /// Like [`Simulator::run`], writing the result into a caller-provided
+    /// [`RunResult`] so steady-state serving loops reuse the output
+    /// tensor and stats vector instead of allocating per inference.
+    ///
+    /// # Errors
+    /// Same as [`Simulator::run`].
+    pub fn run_into(
+        &mut self,
+        compiled: &CompiledNetwork,
+        input: &Tensor,
+        out: &mut RunResult,
+    ) -> Result<(), SimError> {
+        self.run_impl(compiled, input, None, out)
+    }
+
+    /// Runs a batch of inferences on this session, amortizing the plan
+    /// recording across the whole batch.
+    ///
+    /// # Errors
+    /// Same as [`Simulator::run`]; the first error aborts the batch.
+    pub fn run_batch(
+        &mut self,
+        compiled: &CompiledNetwork,
+        inputs: &[Tensor],
+    ) -> Result<Vec<RunResult>, SimError> {
+        let mut results = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            let mut out = RunResult::empty();
+            self.run_impl(compiled, input, None, &mut out)?;
+            results.push(out);
+        }
+        Ok(results)
     }
 
     /// Like [`Simulator::run`], additionally returning each stage's
     /// per-instruction `(start, finish)` cycle trace — the debugging aid
-    /// behind the pipeline studies in EXPERIMENTS.md.
+    /// behind the pipeline studies in EXPERIMENTS.md. Traced runs always
+    /// execute the full event simulation (a replayed schedule has no
+    /// per-instruction events to trace).
     ///
     /// # Errors
     /// Same as [`Simulator::run`].
@@ -148,8 +220,53 @@ impl Simulator {
         input: &Tensor,
     ) -> Result<(RunResult, StageTraces), SimError> {
         let mut traces = Vec::with_capacity(compiled.layers().len());
-        let (result, _) = self.run_impl(compiled, input, Some(&mut traces))?;
-        Ok((result, traces))
+        let mut out = RunResult::empty();
+        self.run_impl(compiled, input, Some(&mut traces), &mut out)?;
+        Ok((out, traces))
+    }
+
+    /// Whether this session records and replays execution plans
+    /// (default: `true`).
+    pub fn planning(&self) -> bool {
+        self.planning
+    }
+
+    /// Enables or disables session planning. Disabling drops any recorded
+    /// plan, so every subsequent run takes the original
+    /// full-simulation path — the A/B lever for equivalence tests and
+    /// benchmarks.
+    pub fn set_planning(&mut self, on: bool) {
+        self.planning = on;
+        if !on {
+            self.plan = None;
+        }
+    }
+
+    /// Whether a plan has been recorded for this session.
+    pub fn has_plan(&self) -> bool {
+        self.plan.is_some()
+    }
+
+    /// `f64` words held by the recorded plan's weight/bias packs
+    /// (0 before the first run or with planning off).
+    pub fn plan_pack_words(&self) -> usize {
+        self.plan.as_ref().map_or(0, SessionPlan::pack_words)
+    }
+
+    /// Enables schedule validation: planned runs re-run the full event
+    /// simulation and return [`SimError::ScheduleDivergence`] if any
+    /// stage's re-simulated statistics differ from the recording. Costs
+    /// the full simulation time — a debugging/CI assertion, not a
+    /// serving-path setting.
+    pub fn set_schedule_validation(&mut self, on: bool) {
+        self.validate = on;
+    }
+
+    /// Builder form of [`Simulator::set_schedule_validation`].
+    #[must_use]
+    pub fn with_schedule_validation(mut self, on: bool) -> Self {
+        self.set_schedule_validation(on);
+        self
     }
 
     fn run_impl(
@@ -157,7 +274,8 @@ impl Simulator {
         compiled: &CompiledNetwork,
         input: &Tensor,
         mut traces: Option<&mut StageTraces>,
-    ) -> Result<(RunResult, ()), SimError> {
+        out: &mut RunResult,
+    ) -> Result<(), SimError> {
         if input.shape() != compiled.input_shape() {
             return Err(SimError::InputMismatch {
                 detail: format!("expected {}, got {}", compiled.input_shape(), input.shape()),
@@ -170,40 +288,95 @@ impl Simulator {
                     detail: e.to_string(),
                 })?;
         }
-        let mut stage_stats = Vec::with_capacity(compiled.layers().len());
-        let mut total = 0.0;
-        for layer in compiled.layers() {
-            let mut stats = match traces.as_deref_mut() {
-                Some(ts) => {
-                    let mut trace = Vec::with_capacity(layer.program().len());
-                    let s = self.accel.run_stage_traced(
+        out.stage_stats.clear();
+        out.total_cycles = 0.0;
+
+        let replay = self.planning && !self.validate && traces.is_none() && self.plan.is_some();
+        if replay {
+            let plan = self.plan.as_ref().expect("replay requires a plan");
+            if self.mode == SimMode::Functional {
+                for (layer, lp) in compiled.layers().iter().zip(&plan.layers) {
+                    self.accel
+                        .replay_stage(layer.program(), &mut self.mem, &lp.packs)?;
+                    out.total_cycles += lp.stats.cycles;
+                    out.stage_stats.push(lp.stats.clone());
+                }
+            } else {
+                // Timing-only replay executes nothing at all.
+                for lp in &plan.layers {
+                    out.total_cycles += lp.stats.cycles;
+                    out.stage_stats.push(lp.stats.clone());
+                }
+            }
+        } else {
+            let recording = self.planning && self.plan.is_none();
+            let mut recorded: Vec<LayerPlan> = Vec::with_capacity(compiled.layers().len());
+            for (i, layer) in compiled.layers().iter().enumerate() {
+                let mut packs: Vec<UnitPack> = Vec::new();
+                let pack_mode = if recording {
+                    PackMode::Record(&mut packs)
+                } else if let Some(plan) = &self.plan {
+                    PackMode::Replay(&plan.layers[i].packs)
+                } else {
+                    PackMode::Off
+                };
+                let mut stats = match traces.as_deref_mut() {
+                    Some(ts) => {
+                        let mut trace = Vec::with_capacity(layer.program().len());
+                        let s = self.accel.run_stage_inner(
+                            layer.program(),
+                            &mut self.mem,
+                            Some(&mut trace),
+                            pack_mode,
+                        )?;
+                        ts.push(trace);
+                        s
+                    }
+                    None => self.accel.run_stage_inner(
                         layer.program(),
                         &mut self.mem,
-                        Some(&mut trace),
-                    )?;
-                    ts.push(trace);
-                    s
+                        None,
+                        pack_mode,
+                    )?,
+                };
+                stats.name = match &self.plan {
+                    Some(plan) => plan.layers[i].stats.name.clone(),
+                    None => layer.name().into(),
+                };
+                stats.ops = layer.plan().wl.ops();
+                if self.validate {
+                    if let Some(plan) = &self.plan {
+                        let cached = &plan.layers[i].stats;
+                        if *cached != stats {
+                            return Err(SimError::ScheduleDivergence {
+                                layer: stats.name.to_string(),
+                                detail: format!("cached [{cached}] vs re-simulated [{stats}]"),
+                            });
+                        }
+                    }
                 }
-                None => self.accel.run_stage(layer.program(), &mut self.mem)?,
-            };
-            stats.name = layer.name().to_string();
-            stats.ops = layer.plan().wl.ops();
-            total += stats.cycles;
-            stage_stats.push(stats);
+                if recording {
+                    recorded.push(LayerPlan {
+                        stats: stats.clone(),
+                        packs,
+                    });
+                }
+                out.total_cycles += stats.cycles;
+                out.stage_stats.push(stats);
+            }
+            if recording {
+                self.plan = Some(SessionPlan { layers: recorded });
+            }
         }
-        let output = if self.mode == SimMode::Functional {
-            compiled.read_output(&self.mem)
+
+        if self.mode == SimMode::Functional {
+            compiled.read_output_into(&self.mem, &mut out.output);
+        } else if out.output.shape() != compiled.output_shape() {
+            out.output = Tensor::zeros(compiled.output_shape());
         } else {
-            Tensor::zeros(compiled.output_shape())
-        };
-        Ok((
-            RunResult {
-                output,
-                stage_stats,
-                total_cycles: total,
-            },
-            (),
-        ))
+            out.output.as_mut_slice().fill(0.0);
+        }
+        Ok(())
     }
 
     /// Access the external memory (e.g. to inspect intermediate
@@ -392,6 +565,177 @@ mod tests {
             .unwrap();
         assert_eq!(again.output.as_slice(), first.output.as_slice());
         assert_eq!(session.memory().len(), words_before);
+    }
+
+    #[test]
+    fn planned_runs_match_planning_off_exactly() {
+        // The A/B lever: a session with planning disabled takes the
+        // original full-simulation path on every run. Outputs, cycle
+        // totals, and per-stage stats must be bit-identical either way.
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 21).unwrap();
+        for strategy in [
+            MappingStrategy::all_spatial(&net),
+            MappingStrategy::all_winograd(&net),
+        ] {
+            let compiled = Compiler::new(cfg()).compile(&net, &strategy).unwrap();
+            let mut planned = Simulator::new(&compiled, SimMode::Functional, 16.0);
+            let mut unplanned = Simulator::new(&compiled, SimMode::Functional, 16.0);
+            unplanned.set_planning(false);
+            for i in 0..3 {
+                let input = synth::tensor(net.input_shape(), 30 + i);
+                let p = planned.run(&compiled, &input).unwrap();
+                let u = unplanned.run(&compiled, &input).unwrap();
+                let pb: Vec<u32> = p.output.as_slice().iter().map(|v| v.to_bits()).collect();
+                let ub: Vec<u32> = u.output.as_slice().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(pb, ub);
+                assert_eq!(p.total_cycles, u.total_cycles);
+                assert_eq!(p.stage_stats, u.stage_stats);
+            }
+            assert!(planned.has_plan() && !unplanned.has_plan());
+            assert!(planned.plan_pack_words() > 0);
+        }
+    }
+
+    #[test]
+    fn plan_is_recorded_once_and_packs_stay_stable() {
+        // The cached packs must be built exactly once: across steady-state
+        // runs both the allocation (pointer) and contents of every pack
+        // stay fixed.
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 22).unwrap();
+        let compiled = Compiler::new(cfg())
+            .compile(&net, &MappingStrategy::all_winograd(&net))
+            .unwrap();
+        let mut sim = Simulator::new(&compiled, SimMode::Functional, 16.0);
+        assert!(!sim.has_plan(), "plans record lazily, on the first run");
+        sim.run(&compiled, &synth::tensor(net.input_shape(), 1))
+            .unwrap();
+        let fingerprint = |s: &Simulator| -> Vec<(*const f64, usize, *const f64, usize)> {
+            s.plan
+                .as_ref()
+                .unwrap()
+                .layers
+                .iter()
+                .flat_map(|l| &l.packs)
+                .map(|p| {
+                    (
+                        p.weights.as_ptr(),
+                        p.weights.len(),
+                        p.bias.as_ptr(),
+                        p.bias.len(),
+                    )
+                })
+                .collect()
+        };
+        let before = fingerprint(&sim);
+        let words = sim.plan_pack_words();
+        assert!(!before.is_empty() && words > 0);
+        for i in 0..3 {
+            sim.run(&compiled, &synth::tensor(net.input_shape(), 40 + i))
+                .unwrap();
+        }
+        assert_eq!(fingerprint(&sim), before, "packs were rebuilt or moved");
+        assert_eq!(sim.plan_pack_words(), words);
+    }
+
+    #[test]
+    fn schedule_validation_passes_and_is_silent() {
+        // Validation re-simulates the cached schedule; on a sound cycle
+        // model it must agree and still produce correct outputs.
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 23).unwrap();
+        let compiled = Compiler::new(cfg())
+            .compile(&net, &MappingStrategy::all_spatial(&net))
+            .unwrap();
+        let mut sim =
+            Simulator::new(&compiled, SimMode::Functional, 16.0).with_schedule_validation(true);
+        let input = synth::tensor(net.input_shape(), 5);
+        let first = sim.run(&compiled, &input).unwrap();
+        let second = sim.run(&compiled, &input).unwrap();
+        assert_eq!(first.output.as_slice(), second.output.as_slice());
+        assert_eq!(first.total_cycles, second.total_cycles);
+    }
+
+    #[test]
+    fn schedule_validation_detects_divergence() {
+        // Corrupt a cached schedule: validation must report it rather
+        // than silently serving stale numbers.
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 24).unwrap();
+        let compiled = Compiler::new(cfg())
+            .compile(&net, &MappingStrategy::all_spatial(&net))
+            .unwrap();
+        let mut sim = Simulator::new(&compiled, SimMode::Functional, 16.0);
+        let input = synth::tensor(net.input_shape(), 5);
+        sim.run(&compiled, &input).unwrap();
+        sim.plan.as_mut().unwrap().layers[0].stats.cycles += 1.0;
+        sim.set_schedule_validation(true);
+        let err = sim.run(&compiled, &input).unwrap_err();
+        assert!(matches!(err, SimError::ScheduleDivergence { .. }), "{err}");
+    }
+
+    #[test]
+    fn run_into_reuses_the_output_allocation() {
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 25).unwrap();
+        let compiled = Compiler::new(cfg())
+            .compile(&net, &MappingStrategy::all_winograd(&net))
+            .unwrap();
+        let mut sim = Simulator::new(&compiled, SimMode::Functional, 16.0);
+        let mut out = RunResult::empty();
+        sim.run_into(&compiled, &synth::tensor(net.input_shape(), 1), &mut out)
+            .unwrap();
+        let ptr = out.output.as_slice().as_ptr();
+        for i in 0..3 {
+            let input = synth::tensor(net.input_shape(), 50 + i);
+            sim.run_into(&compiled, &input, &mut out).unwrap();
+            assert_eq!(out.output.as_slice().as_ptr(), ptr, "output reallocated");
+            let fresh = Simulator::new(&compiled, SimMode::Functional, 16.0)
+                .run(&compiled, &input)
+                .unwrap();
+            assert_eq!(out.output.as_slice(), fresh.output.as_slice());
+            assert_eq!(out.total_cycles, fresh.total_cycles);
+        }
+    }
+
+    #[test]
+    fn run_batch_matches_individual_runs() {
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 26).unwrap();
+        let compiled = Compiler::new(cfg())
+            .compile(&net, &MappingStrategy::all_winograd(&net))
+            .unwrap();
+        let inputs: Vec<_> = (0..3)
+            .map(|i| synth::tensor(net.input_shape(), 60 + i))
+            .collect();
+        let mut sim = Simulator::new(&compiled, SimMode::Functional, 16.0);
+        let batch = sim.run_batch(&compiled, &inputs).unwrap();
+        assert_eq!(batch.len(), inputs.len());
+        for (input, got) in inputs.iter().zip(&batch) {
+            let fresh = Simulator::new(&compiled, SimMode::Functional, 16.0)
+                .run(&compiled, input)
+                .unwrap();
+            assert_eq!(got.output.as_slice(), fresh.output.as_slice());
+            assert_eq!(got.total_cycles, fresh.total_cycles);
+            assert_eq!(got.stage_stats, fresh.stage_stats);
+        }
+    }
+
+    #[test]
+    fn timing_only_replay_keeps_cycles_and_empty_memory() {
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 27).unwrap();
+        let compiled = Compiler::new(cfg())
+            .compile(&net, &MappingStrategy::all_winograd(&net))
+            .unwrap();
+        let mut sim = Simulator::new(&compiled, SimMode::TimingOnly, 16.0);
+        let input = synth::tensor(net.input_shape(), 1);
+        let first = sim.run(&compiled, &input).unwrap();
+        let replayed = sim.run(&compiled, &input).unwrap();
+        assert_eq!(first.total_cycles, replayed.total_cycles);
+        assert_eq!(first.stage_stats, replayed.stage_stats);
+        assert_eq!(sim.memory().len(), 0);
     }
 
     #[test]

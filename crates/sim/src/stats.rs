@@ -24,10 +24,14 @@ impl ModuleBusy {
 }
 
 /// Measured results of simulating one stage (layer).
-#[derive(Debug, Clone, PartialEq, Default)]
+///
+/// `name` is an interned, shared string (`Arc<str>`): cloning stats out
+/// of a session's cached schedule on every steady-state run bumps a
+/// reference count instead of reallocating the layer name.
+#[derive(Debug, Clone, PartialEq)]
 pub struct StageStats {
-    /// Stage name.
-    pub name: String,
+    /// Stage name (interned; clones share one allocation).
+    pub name: std::sync::Arc<str>,
     /// Wall-clock cycles from dispatch of the first instruction to
     /// retirement of the last.
     pub cycles: f64,
@@ -39,6 +43,19 @@ pub struct StageStats {
     pub instructions: usize,
     /// Arithmetic operations performed (2 per MAC), for GOPS.
     pub ops: u64,
+}
+
+impl Default for StageStats {
+    fn default() -> Self {
+        StageStats {
+            name: std::sync::Arc::from(""),
+            cycles: 0.0,
+            busy: ModuleBusy::default(),
+            traffic: MemoryTraffic::default(),
+            instructions: 0,
+            ops: 0,
+        }
+    }
 }
 
 impl std::fmt::Display for StageStats {
@@ -86,7 +103,7 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let s = StageStats {
-            name: "conv1".to_string(),
+            name: "conv1".into(),
             cycles: 100.0,
             instructions: 7,
             ..StageStats::default()

@@ -5,7 +5,7 @@
 //! whole contract: it is what lets the simulator split a unit across
 //! worker threads without changing a single output bit.
 
-use hybriddnn_sim::kernels::{spatial_blocked, spatial_scalar, SpatialGeom};
+use hybriddnn_sim::kernels::{pack_spatial_weights, spatial_blocked, spatial_scalar, SpatialGeom};
 use proptest::prelude::*;
 
 #[derive(Debug, Clone)]
@@ -114,15 +114,31 @@ fn check(case: &Case) {
     let mut rest = got.as_mut_slice();
     for ks in hybriddnn_par::chunk_ranges(case.k_lanes, case.parts) {
         let (chunk, tail) = rest.split_at_mut(ks.len() * plane);
-        spatial_blocked(g, ks, &wide, &weight, chunk, &mut pack);
+        spatial_blocked(g, ks, &wide, &weight, None, chunk, &mut pack);
         rest = tail;
     }
 
-    for (i, (w, g_)) in want.iter().zip(&got).enumerate() {
+    // Same partition driven off a session-plan prepack: still bit-equal.
+    let mut prepack = Vec::new();
+    pack_spatial_weights(g.kh, g.kw, c_lanes, case.k_lanes, &weight, &mut prepack);
+    let mut pre = accum0.clone();
+    let mut rest = pre.as_mut_slice();
+    for ks in hybriddnn_par::chunk_ranges(case.k_lanes, case.parts) {
+        let (chunk, tail) = rest.split_at_mut(ks.len() * plane);
+        spatial_blocked(g, ks, &wide, &weight, Some(&prepack), chunk, &mut pack);
+        rest = tail;
+    }
+
+    for (i, ((w, g_), p)) in want.iter().zip(&got).zip(&pre).enumerate() {
         assert_eq!(
             w.to_bits(),
             g_.to_bits(),
             "accum[{i}] diverged: scalar {w} vs blocked {g_} ({case:?})"
+        );
+        assert_eq!(
+            w.to_bits(),
+            p.to_bits(),
+            "accum[{i}] diverged: scalar {w} vs prepacked {p} ({case:?})"
         );
     }
 }

@@ -1,0 +1,99 @@
+//! Session-plan equivalence: a planned session (record on the first run,
+//! replay on every later run) must be *bit-identical* to the original
+//! full-simulation path — outputs, total cycles, and per-stage stats —
+//! for every zoo network, both PE modes, both dataflows, and any host
+//! thread count. This is the contract that lets the serving path replay
+//! cached weight packs and timing schedules without a correctness tax.
+
+use hybriddnn_compiler::{Compiler, MappingStrategy};
+use hybriddnn_estimator::{AcceleratorConfig, ConvMode, Dataflow};
+use hybriddnn_model::{synth, zoo, Network};
+use hybriddnn_sim::{SimMode, Simulator};
+use hybriddnn_winograd::TileConfig;
+
+fn cfg() -> AcceleratorConfig {
+    AcceleratorConfig::new(4, 4, TileConfig::F2x2)
+}
+
+/// Runs `net` under `strategy` on planned and planning-off sessions and
+/// asserts every observable of every run matches bit for bit.
+fn assert_planned_matches_unplanned(net: &Network, strategy: &MappingStrategy, threads: usize) {
+    let compiled = Compiler::new(cfg()).compile(net, strategy).unwrap();
+    let mut planned = Simulator::with_threads(&compiled, SimMode::Functional, 16.0, threads);
+    let mut unplanned = Simulator::with_threads(&compiled, SimMode::Functional, 16.0, threads);
+    unplanned.set_planning(false);
+    // Run 0 records the plan; runs 1..n replay it. Distinct inputs per
+    // run so replay correctness is not an artifact of repeated data.
+    for i in 0..3 {
+        let input = synth::tensor(net.input_shape(), 7 + i);
+        let p = planned.run(&compiled, &input).unwrap();
+        let u = unplanned.run(&compiled, &input).unwrap();
+        let pb: Vec<u32> = p.output.as_slice().iter().map(|v| v.to_bits()).collect();
+        let ub: Vec<u32> = u.output.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(pb, ub, "outputs diverged on run {i} (threads {threads})");
+        assert_eq!(p.total_cycles, u.total_cycles, "cycles diverged on run {i}");
+        assert_eq!(p.stage_stats, u.stage_stats, "stats diverged on run {i}");
+    }
+    assert!(planned.has_plan());
+}
+
+fn strategies(net: &Network) -> Vec<MappingStrategy> {
+    let mut out = Vec::new();
+    for mode in [ConvMode::Spatial, ConvMode::Winograd] {
+        for df in [Dataflow::InputStationary, Dataflow::WeightStationary] {
+            out.push(MappingStrategy::uniform(net, mode, df));
+        }
+    }
+    out
+}
+
+fn check_network(mut net: Network, seed: u64) {
+    synth::bind_random(&mut net, seed).unwrap();
+    for strategy in strategies(&net) {
+        for threads in [1, 4] {
+            assert_planned_matches_unplanned(&net, &strategy, threads);
+        }
+    }
+}
+
+#[test]
+fn tiny_cnn_planned_is_bit_identical() {
+    check_network(zoo::tiny_cnn(), 101);
+}
+
+#[test]
+fn stem_cnn_planned_is_bit_identical() {
+    check_network(zoo::stem_cnn(), 102);
+}
+
+#[test]
+fn single_conv_5x5_planned_is_bit_identical() {
+    check_network(zoo::single_conv(12, 4, 8, 5), 103);
+}
+
+#[test]
+fn vgg_tiny_planned_is_bit_identical() {
+    check_network(zoo::vgg_tiny(), 104);
+}
+
+#[test]
+fn timing_only_replay_is_exact_on_a_large_config() {
+    // Timing-only schedule replay on a bigger accelerator (different
+    // tile, different buffer geometry) — the sweep-harness shape.
+    let mut net = zoo::vgg_tiny();
+    synth::bind_random(&mut net, 105).unwrap();
+    let big = AcceleratorConfig::new(4, 4, TileConfig::F4x4);
+    for strategy in strategies(&net) {
+        let compiled = Compiler::new(big).compile(&net, &strategy).unwrap();
+        let input = synth::tensor(net.input_shape(), 1);
+        let mut planned = Simulator::new(&compiled, SimMode::TimingOnly, 16.0);
+        let mut unplanned = Simulator::new(&compiled, SimMode::TimingOnly, 16.0);
+        unplanned.set_planning(false);
+        for _ in 0..2 {
+            let p = planned.run(&compiled, &input).unwrap();
+            let u = unplanned.run(&compiled, &input).unwrap();
+            assert_eq!(p.total_cycles, u.total_cycles);
+            assert_eq!(p.stage_stats, u.stage_stats);
+        }
+    }
+}

@@ -15,6 +15,36 @@
 use crate::{transform, TileConfig};
 use hybriddnn_model::{quant::QFormat, Tensor, WeightShape};
 
+/// Transposes one unit's transformed-weight image from the accelerator's
+/// weight-buffer layout `[e][k][c]` into `[k][c][e]`, widening to `f64`
+/// once. In `[k][c][e]` every per-output-channel GEMV of the PE reads
+/// contiguous rows; the transpose depends only on the (immutable) weight
+/// image, so a simulator session computes it once per COMP unit and
+/// caches the result across inferences.
+///
+/// `out` is cleared and refilled (caller-reused allocation).
+///
+/// # Panics
+/// Panics if `src` is shorter than `k_lanes · c_lanes · e_count`.
+pub fn transpose_ekc_to_kce(
+    src: &[f32],
+    k_lanes: usize,
+    c_lanes: usize,
+    e_count: usize,
+    out: &mut Vec<f64>,
+) {
+    out.clear();
+    out.resize(k_lanes * c_lanes * e_count, 0.0);
+    for e in 0..e_count {
+        for k in 0..k_lanes {
+            let row = (e * k_lanes + k) * c_lanes;
+            for c in 0..c_lanes {
+                out[(k * c_lanes + c) * e_count + e] = src[row + c] as f64;
+            }
+        }
+    }
+}
+
 /// Offline-transformed weights `U = G g Gᵀ` for every `(k, c)` pair and —
 /// when the kernel is larger than 3×3 — every decomposition block
 /// (§4.2.5: an `R × S` kernel decomposes into `⌈R/3⌉ × ⌈S/3⌉` zero-padded

@@ -38,4 +38,16 @@ if [ "$one" != "$four" ]; then
 fi
 echo "    $one"
 
+# Session-plan smoke test: stage_probe exercises record + replay across
+# every stage of the pipeline. BENCH_JSON points at a scratch file so a
+# CI run never dirties the repo's committed BENCH_sim.json; the numbers
+# it measures are discarded — this only checks that the probe runs.
+echo "==> stage_probe smoke test (session-plan record/replay)"
+BENCH_JSON="$(mktemp)" ./target/release/examples/stage_probe > /dev/null
+
+# Schedule-replay validation: run the CLI twice in one session with the
+# cached timing schedule cross-checked against a full re-simulation.
+echo "==> --validate-plan smoke test"
+./target/release/hybriddnn specs/vgg_tiny.hdnn pynq-z1 --functional --validate-plan --threads 1 | grep "plan"
+
 echo "CI OK"
