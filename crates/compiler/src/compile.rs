@@ -135,6 +135,18 @@ impl CompiledNetwork {
         &self.layers
     }
 
+    /// Rewrites each stage's instruction stream through `f` (stage
+    /// index, current program → replacement). A fault-injection and
+    /// testing hook — e.g. corrupting a stream to prove the simulator's
+    /// deadlock/overrun errors surface through a serving stack — not
+    /// something the compiler itself ever needs: compiled programs are
+    /// well-formed by construction.
+    pub fn map_programs(&mut self, mut f: impl FnMut(usize, &Program) -> Program) {
+        for (i, layer) in self.layers.iter_mut().enumerate() {
+            layer.program = f(i, &layer.program);
+        }
+    }
+
     /// Arithmetic operation count of one inference (for GOPS).
     pub fn total_ops(&self) -> u64 {
         self.total_ops

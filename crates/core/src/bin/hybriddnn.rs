@@ -31,11 +31,19 @@
 //!           [--workers N] [--requests N] [--batch-size N] [--max-wait-us N]
 //!           [--queue-capacity N] [--policy fifo|sjf] [--functional]
 //!           [--pace-mhz F] [--seed N] [--threads N]
+//!           [--fault-rate F] [--fault-seed N] [--retries N] [--min-healthy N]
 //! ```
 //!
 //! It builds the deployment, starts an [`hybriddnn::runtime::InferenceService`],
 //! pushes synthetic traffic through it (retrying on backpressure), and
 //! reports aggregate throughput plus the service metrics snapshot.
+//!
+//! `--fault-rate F` arms a deterministic uniform fault plan (DRAM/SAVE
+//! corruption at rate `F`, hangs at `F/4`, wedges at `F/16`) on every
+//! worker replica, seeded from `--fault-seed` (default: `--seed`), and
+//! enables a 50 ms watchdog. `--retries` bounds per-request transient
+//! retries; `--min-healthy` sets the degraded-mode floor. Individual
+//! request failures are tallied instead of aborting the benchmark.
 
 use hybriddnn::flow::Framework;
 use hybriddnn::model::{reference, synth, zoo};
@@ -131,6 +139,10 @@ struct ServeArgs {
     pace_mhz: Option<f64>,
     seed: u64,
     threads: usize,
+    fault_rate: f64,
+    fault_seed: Option<u64>,
+    retries: u32,
+    min_healthy: usize,
 }
 
 fn parse_serve_args<I: Iterator<Item = String>>(mut it: I) -> Result<ServeArgs, String> {
@@ -145,6 +157,10 @@ fn parse_serve_args<I: Iterator<Item = String>>(mut it: I) -> Result<ServeArgs, 
     let mut pace_mhz = None;
     let mut seed = 42u64;
     let mut threads = 0usize;
+    let mut fault_rate = 0.0f64;
+    let mut fault_seed = None;
+    let mut retries = 0u32;
+    let mut min_healthy = 0usize;
     fn value<I: Iterator<Item = String>, T: std::str::FromStr>(
         it: &mut I,
         flag: &str,
@@ -174,6 +190,10 @@ fn parse_serve_args<I: Iterator<Item = String>>(mut it: I) -> Result<ServeArgs, 
             "--pace-mhz" => pace_mhz = Some(value(&mut it, "--pace-mhz")?),
             "--seed" => seed = value(&mut it, "--seed")?,
             "--threads" => threads = value(&mut it, "--threads")?,
+            "--fault-rate" => fault_rate = value(&mut it, "--fault-rate")?,
+            "--fault-seed" => fault_seed = Some(value(&mut it, "--fault-seed")?),
+            "--retries" => retries = value(&mut it, "--retries")?,
+            "--min-healthy" => min_healthy = value(&mut it, "--min-healthy")?,
             "-h" | "--help" => return Err(String::new()),
             other if other.starts_with('-') => {
                 return Err(format!("unknown flag `{other}`"));
@@ -186,6 +206,9 @@ fn parse_serve_args<I: Iterator<Item = String>>(mut it: I) -> Result<ServeArgs, 
     }
     if workers == 0 || batch_size == 0 || queue_capacity == 0 {
         return Err("--workers, --batch-size, and --queue-capacity must be positive".to_string());
+    }
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(format!("--fault-rate must be in [0, 1], got {fault_rate}"));
     }
     Ok(ServeArgs {
         model: positional[0].clone(),
@@ -200,6 +223,10 @@ fn parse_serve_args<I: Iterator<Item = String>>(mut it: I) -> Result<ServeArgs, 
         pace_mhz,
         seed,
         threads,
+        fault_rate,
+        fault_seed,
+        retries,
+        min_healthy,
     })
 }
 
@@ -259,6 +286,26 @@ fn run_serve_bench(args: ServeArgs) -> Result<(), String> {
     if let Some(mhz) = args.pace_mhz {
         config = config.with_device_pacing(mhz);
     }
+    let faulted = args.fault_rate > 0.0;
+    if faulted {
+        let fault_seed = args.fault_seed.unwrap_or(args.seed);
+        println!(
+            "faults           : uniform rate {} seed {fault_seed}, {} retries, min-healthy {}",
+            args.fault_rate, args.retries, args.min_healthy
+        );
+        config = config
+            .with_fault_plan(hybriddnn::runtime::FaultPlan::uniform(
+                fault_seed,
+                args.fault_rate,
+            ))
+            // Hangs are part of the uniform plan; without a watchdog a
+            // single hang would stall its replica for the full
+            // stall-escape window.
+            .with_watchdog(Duration::from_millis(50));
+    }
+    config = config
+        .with_retries(args.retries)
+        .with_min_healthy(args.min_healthy);
     let service = deployment.into_service(config);
 
     let mut gen = TrafficGen::new(net.input_shape(), args.seed);
@@ -268,13 +315,14 @@ fn run_serve_bench(args: ServeArgs) -> Result<(), String> {
     for _ in 0..args.requests {
         let (input, deadline) = gen.next_request();
         // Backpressure: spin-retry with a short yield until admitted.
+        // Degraded-mode rejections also back off — the fleet may recover.
         loop {
             match service.submit(input.clone(), deadline) {
                 Ok(handle) => {
                     handles.push(handle);
                     break;
                 }
-                Err(RuntimeError::QueueFull { .. }) => {
+                Err(RuntimeError::QueueFull { .. } | RuntimeError::Degraded { .. }) => {
                     retries += 1;
                     std::thread::yield_now();
                 }
@@ -282,8 +330,22 @@ fn run_serve_bench(args: ServeArgs) -> Result<(), String> {
             }
         }
     }
+    let mut served = 0u64;
+    let mut errored = 0u64;
     for handle in handles {
-        handle.wait().map_err(|e| e.to_string())?;
+        // Under injected faults individual requests may legitimately
+        // fail (hangs, exhausted retry budgets); tally rather than
+        // abort so the benchmark reports the service's real behaviour.
+        match handle.wait() {
+            Ok(_) => served += 1,
+            Err(e) if faulted => {
+                errored += 1;
+                if errored <= 3 {
+                    println!("request failed   : {e}");
+                }
+            }
+            Err(e) => return Err(e.to_string()),
+        }
     }
     let elapsed = start.elapsed();
     let metrics = service.shutdown();
@@ -306,6 +368,24 @@ fn run_serve_bench(args: ServeArgs) -> Result<(), String> {
         println!(
             "degraded         : {} expired, {} failed",
             metrics.expired, metrics.failed
+        );
+    }
+    if faulted {
+        println!(
+            "fault tolerance  : {} injected, {} observed, {} retries, {} restarts, {} quarantined",
+            metrics.faults_injected,
+            metrics.faults_observed,
+            metrics.retries,
+            metrics.restarts,
+            metrics.quarantines
+        );
+        println!(
+            "fleet            : {}/{} healthy, {:.3}s degraded, {} shed, {} rejected degraded ({served} served, {errored} errored)",
+            metrics.healthy_workers,
+            args.workers,
+            metrics.degraded_secs,
+            metrics.degraded_served,
+            metrics.rejected_degraded
         );
     }
     Ok(())
@@ -497,7 +577,8 @@ fn main() -> ExitCode {
                      <DEVICE.fpga|vu9p|pynq-z1> [--workers N] [--requests N] \
                      [--batch-size N] [--max-wait-us N] [--queue-capacity N] \
                      [--policy fifo|sjf] [--functional] [--pace-mhz F] [--seed N] \
-                     [--threads N]"
+                     [--threads N] [--fault-rate F] [--fault-seed N] [--retries N] \
+                     [--min-healthy N]"
                 );
                 ExitCode::FAILURE
             }

@@ -23,7 +23,14 @@
 //!   accepted request (exactly one response each) before joining the
 //!   threads;
 //! * **metrics** — counters, a queue-depth gauge, and p50/p95/p99
-//!   latency percentiles ([`MetricsSnapshot`]), all in `std` atomics.
+//!   latency percentiles ([`MetricsSnapshot`]), all in `std` atomics;
+//! * **fault tolerance** — arm a deterministic [`FaultPlan`] on the
+//!   replicas and the service self-heals: transient faults retry within
+//!   a bounded budget ([`ServiceConfig::with_retries`]), hung replicas
+//!   are cancelled by a watchdog ([`ServiceConfig::with_watchdog`]) and
+//!   respawned under a restart cap with exponential backoff, and a
+//!   healthy-replica floor ([`ServiceConfig::with_min_healthy`]) trips a
+//!   degraded-mode circuit breaker ([`DegradedPolicy`]).
 //!
 //! Everything is `std`-only: threads, mutexes, condvars, channels.
 //!
@@ -66,6 +73,7 @@ mod metrics;
 mod policy;
 mod request;
 mod service;
+mod supervisor;
 mod traffic;
 
 pub use cost::CostHints;
@@ -73,4 +81,9 @@ pub use metrics::MetricsSnapshot;
 pub use policy::{BatchMeta, DispatchPolicy, Fifo, ShortestJobFirst};
 pub use request::{InferenceResponse, ResponseHandle, RuntimeError};
 pub use service::{InferenceService, ServiceConfig};
+pub use supervisor::{DegradedPolicy, WorkerHealth};
 pub use traffic::TrafficGen;
+
+// Re-exported so service callers can build fault plans without naming
+// the sim crate.
+pub use hybriddnn_sim::{FaultPlan, StopToken};

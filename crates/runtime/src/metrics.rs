@@ -69,6 +69,13 @@ pub(crate) struct Metrics {
     pub(crate) batched_requests: AtomicU64,
     pub(crate) queue_depth: AtomicUsize,
     pub(crate) latency: Histogram,
+    pub(crate) rejected_degraded: AtomicU64,
+    pub(crate) retries: AtomicU64,
+    pub(crate) restarts: AtomicU64,
+    pub(crate) quarantines: AtomicU64,
+    pub(crate) faults_injected: AtomicU64,
+    pub(crate) faults_observed: AtomicU64,
+    pub(crate) degraded_served: AtomicU64,
 }
 
 impl Metrics {
@@ -91,6 +98,17 @@ impl Metrics {
             latency_p50: self.latency.quantile(0.50),
             latency_p95: self.latency.quantile(0.95),
             latency_p99: self.latency.quantile(0.99),
+            rejected_degraded: self.rejected_degraded.load(Ordering::Relaxed),
+            retries: self.retries.load(Ordering::Relaxed),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            quarantines: self.quarantines.load(Ordering::Relaxed),
+            faults_injected: self.faults_injected.load(Ordering::Relaxed),
+            faults_observed: self.faults_observed.load(Ordering::Relaxed),
+            degraded_served: self.degraded_served.load(Ordering::Relaxed),
+            // Supervisor-owned gauges; the service fills them in after
+            // taking this snapshot.
+            healthy_workers: 0,
+            degraded_secs: 0.0,
         }
     }
 }
@@ -123,6 +141,26 @@ pub struct MetricsSnapshot {
     pub latency_p95: Duration,
     /// 99th-percentile latency.
     pub latency_p99: Duration,
+    /// Submissions rejected because the service was degraded and its
+    /// policy refused over-budget work.
+    pub rejected_degraded: u64,
+    /// Transient-fault retries (re-enqueues at the queue head).
+    pub retries: u64,
+    /// Replica respawns after a panic, hang, or wedge.
+    pub restarts: u64,
+    /// Workers permanently quarantined at the restart cap.
+    pub quarantines: u64,
+    /// Faults the armed fault plans injected across all replicas.
+    pub faults_injected: u64,
+    /// Fault-class simulator errors workers observed (injected faults
+    /// that actually hit a served request).
+    pub faults_observed: u64,
+    /// Requests served in degraded mode by a timing-only shed replica.
+    pub degraded_served: u64,
+    /// Workers currently `Healthy` (supervisor gauge).
+    pub healthy_workers: usize,
+    /// Cumulative seconds the service has spent in degraded mode.
+    pub degraded_secs: f64,
 }
 
 #[cfg(test)]

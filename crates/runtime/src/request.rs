@@ -15,6 +15,9 @@ pub(crate) struct InferenceRequest {
     pub(crate) cost_cycles: f64,
     pub(crate) deadline: Option<Instant>,
     pub(crate) submitted_at: Instant,
+    /// How many times a transient fault has already bounced this request
+    /// back for retry (bounded by `ServiceConfig::retry_budget`).
+    pub(crate) attempts: u32,
     pub(crate) tx: mpsc::Sender<Result<InferenceResponse, RuntimeError>>,
 }
 
@@ -34,6 +37,10 @@ pub struct InferenceResponse {
     pub batch_size: usize,
     /// Which worker replica served it.
     pub worker: usize,
+    /// `true` when the service was in degraded mode and shed this
+    /// request to a timing-only replica: `output` is zeros and only
+    /// `total_cycles` is meaningful.
+    pub degraded: bool,
 }
 
 /// Why a request was not served.
@@ -54,9 +61,24 @@ pub enum RuntimeError {
     ShuttingDown,
     /// The simulator rejected the request.
     Sim(SimError),
-    /// The serving thread disappeared without responding (a bug or a
-    /// panicked worker).
+    /// The serving thread disappeared without responding, or its replica
+    /// failed mid-batch and the remaining in-flight requests were
+    /// abandoned while the replica is replaced.
     WorkerLost,
+    /// The replica serving this request hung (watchdog-cancelled or
+    /// stall-escaped); it is being torn down and respawned.
+    DeviceHang {
+        /// The worker replica that hung.
+        worker: usize,
+    },
+    /// The service is in degraded mode (healthy replicas below the
+    /// configured floor) and its policy rejected this submission.
+    Degraded {
+        /// Healthy replicas at rejection time.
+        healthy: usize,
+        /// The configured `min_healthy` floor.
+        floor: usize,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -71,6 +93,15 @@ impl std::fmt::Display for RuntimeError {
             RuntimeError::ShuttingDown => f.write_str("service is shutting down"),
             RuntimeError::Sim(e) => write!(f, "simulation failed: {e}"),
             RuntimeError::WorkerLost => f.write_str("worker exited without responding"),
+            RuntimeError::DeviceHang { worker } => {
+                write!(f, "worker {worker}'s replica hung and is being replaced")
+            }
+            RuntimeError::Degraded { healthy, floor } => {
+                write!(
+                    f,
+                    "service degraded: {healthy} healthy replicas (floor {floor})"
+                )
+            }
         }
     }
 }
@@ -101,8 +132,15 @@ impl ResponseHandle {
     }
 
     /// Non-blocking poll; `None` while the request is still in flight.
+    /// A dead worker (disconnected channel) reports
+    /// `Some(Err(RuntimeError::WorkerLost))` rather than `None`, so
+    /// pollers cannot spin forever on a response that will never come.
     pub fn try_wait(&self) -> Option<Result<InferenceResponse, RuntimeError>> {
-        self.rx.try_recv().ok()
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(RuntimeError::WorkerLost)),
+        }
     }
 }
 
@@ -129,5 +167,27 @@ mod tests {
         drop(tx);
         let handle = ResponseHandle { id: 0, rx };
         assert_eq!(handle.wait(), Err(RuntimeError::WorkerLost));
+    }
+
+    #[test]
+    fn try_wait_reports_disconnect_instead_of_pending() {
+        // In-flight: sender alive, nothing sent yet → None.
+        let (tx, rx) = mpsc::channel::<Result<InferenceResponse, RuntimeError>>();
+        let handle = ResponseHandle { id: 0, rx };
+        assert_eq!(handle.try_wait(), None);
+        // Dead worker: the poller must see WorkerLost, not poll forever.
+        drop(tx);
+        assert_eq!(handle.try_wait(), Some(Err(RuntimeError::WorkerLost)));
+    }
+
+    #[test]
+    fn new_error_variants_display() {
+        let hang = RuntimeError::DeviceHang { worker: 2 };
+        assert!(hang.to_string().contains("worker 2"));
+        let deg = RuntimeError::Degraded {
+            healthy: 1,
+            floor: 2,
+        };
+        assert!(deg.to_string().contains("floor 2"));
     }
 }

@@ -17,14 +17,30 @@ use crate::cost::CostHints;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::policy::{BatchMeta, DispatchPolicy, Fifo, ShortestJobFirst};
 use crate::request::{InferenceRequest, InferenceResponse, ResponseHandle, RuntimeError};
+use crate::supervisor::{DegradedPolicy, RestartDecision, Supervisor, WorkerHealth};
 use hybriddnn_compiler::CompiledNetwork;
 use hybriddnn_model::Tensor;
-use hybriddnn_sim::{SimMode, Simulator};
+use hybriddnn_sim::{FaultPlan, SimMode, Simulator, StopToken};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::sync::{mpsc, Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Locks a queue mutex, recovering from poisoning. The serving queues
+/// hold plain data (requests, batches, flags) whose invariants hold at
+/// every await point, so a thread that panicked while holding the lock
+/// leaves nothing half-mutated worth propagating — and propagating would
+/// turn one dead worker into a panic in every later `submit()` call.
+fn lock_clean<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// `Condvar::wait` with the same poison recovery as [`lock_clean`].
+fn wait_clean<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Tuning knobs of an [`InferenceService`].
 #[derive(Clone)]
@@ -65,6 +81,33 @@ pub struct ServiceConfig {
     /// count rather than host speed. `None` (default) completes at host
     /// speed.
     pub pace_mhz: Option<f64>,
+    /// Deterministic fault injection armed on every worker replica
+    /// (reseeded per replica and per respawn generation, so a pool does
+    /// not fault in lockstep). `None` (default) serves fault-free.
+    pub fault_plan: Option<FaultPlan>,
+    /// How many times a transient simulator fault may bounce one request
+    /// back for retry before it fails with the fault (default 0: no
+    /// retries). Retried requests re-enter at the queue *head*, so
+    /// deadlines keep binding.
+    pub retry_budget: u32,
+    /// Base backoff slept before re-enqueueing a transient-fault retry;
+    /// grows linearly with the attempt count and carries ±50% jitter.
+    pub retry_backoff: Duration,
+    /// Replica respawns a worker may consume before it is quarantined.
+    pub max_restarts: u32,
+    /// Base backoff before respawning a failed replica; doubles per
+    /// consecutive restart (capped) with ±50% jitter.
+    pub restart_backoff: Duration,
+    /// When set, a watchdog thread cancels any batch in flight longer
+    /// than this, surfacing device hangs as [`RuntimeError::DeviceHang`]
+    /// plus a replica replacement. Pick a value comfortably above the
+    /// worst-case batch wall time (pacing sleeps count as batch time).
+    pub watchdog: Option<Duration>,
+    /// Healthy-replica floor for the degraded-mode circuit breaker
+    /// (0 = never degrade).
+    pub min_healthy: usize,
+    /// What to do with new work while degraded; see [`DegradedPolicy`].
+    pub degraded: DegradedPolicy,
 }
 
 impl ServiceConfig {
@@ -82,6 +125,14 @@ impl ServiceConfig {
             sim_threads: 0,
             policy: Arc::new(Fifo),
             pace_mhz: None,
+            fault_plan: None,
+            retry_budget: 0,
+            retry_backoff: Duration::from_micros(100),
+            max_restarts: 8,
+            restart_backoff: Duration::from_micros(500),
+            watchdog: None,
+            min_healthy: 0,
+            degraded: DegradedPolicy::default(),
         }
     }
 
@@ -145,6 +196,54 @@ impl ServiceConfig {
         self.pace_mhz = (freq_mhz > 0.0).then_some(freq_mhz);
         self
     }
+
+    /// Arms a deterministic fault plan on every worker replica.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Sets the per-request transient-fault retry budget.
+    pub fn with_retries(mut self, budget: u32) -> Self {
+        self.retry_budget = budget;
+        self
+    }
+
+    /// Sets the base retry backoff; see [`ServiceConfig::retry_backoff`].
+    pub fn with_retry_backoff(mut self, backoff: Duration) -> Self {
+        self.retry_backoff = backoff;
+        self
+    }
+
+    /// Sets the per-worker restart cap before quarantine.
+    pub fn with_max_restarts(mut self, cap: u32) -> Self {
+        self.max_restarts = cap;
+        self
+    }
+
+    /// Sets the base replica-respawn backoff.
+    pub fn with_restart_backoff(mut self, backoff: Duration) -> Self {
+        self.restart_backoff = backoff;
+        self
+    }
+
+    /// Enables the per-batch watchdog; see [`ServiceConfig::watchdog`].
+    pub fn with_watchdog(mut self, timeout: Duration) -> Self {
+        self.watchdog = Some(timeout);
+        self
+    }
+
+    /// Sets the healthy-replica floor for degraded mode.
+    pub fn with_min_healthy(mut self, floor: usize) -> Self {
+        self.min_healthy = floor;
+        self
+    }
+
+    /// Sets the degraded-mode policy.
+    pub fn with_degraded(mut self, policy: DegradedPolicy) -> Self {
+        self.degraded = policy;
+        self
+    }
 }
 
 impl std::fmt::Debug for ServiceConfig {
@@ -160,6 +259,14 @@ impl std::fmt::Debug for ServiceConfig {
             .field("sim_threads", &self.sim_threads)
             .field("policy", &self.policy.name())
             .field("pace_mhz", &self.pace_mhz)
+            .field("fault_plan", &self.fault_plan)
+            .field("retry_budget", &self.retry_budget)
+            .field("retry_backoff", &self.retry_backoff)
+            .field("max_restarts", &self.max_restarts)
+            .field("restart_backoff", &self.restart_backoff)
+            .field("watchdog", &self.watchdog)
+            .field("min_healthy", &self.min_healthy)
+            .field("degraded", &self.degraded)
             .finish()
     }
 }
@@ -198,6 +305,29 @@ struct Shared {
     config_max_wait: Duration,
     cost_hints: Arc<CostHints>,
     policy: Arc<dyn DispatchPolicy>,
+    supervisor: Supervisor,
+    degraded_policy: DegradedPolicy,
+}
+
+/// Per-worker configuration, bundled so replica respawns and the worker
+/// loop share one source of truth.
+#[derive(Clone)]
+struct WorkerParams {
+    mode: SimMode,
+    bandwidth: f64,
+    pace_mhz: Option<f64>,
+    sim_threads: usize,
+    fault_plan: Option<FaultPlan>,
+    retry_budget: u32,
+    retry_backoff: Duration,
+    degraded: DegradedPolicy,
+}
+
+impl WorkerParams {
+    /// Whether degraded mode sheds functional work to a timing-only twin.
+    fn degraded_shed(&self) -> bool {
+        matches!(self.degraded, DegradedPolicy::ShedToTimingOnly)
+    }
 }
 
 /// A running inference service over one compiled network.
@@ -208,6 +338,7 @@ pub struct InferenceService {
     shared: Arc<Shared>,
     batcher: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
     next_id: AtomicU64,
     capacity: usize,
 }
@@ -226,6 +357,8 @@ impl InferenceService {
     /// replica [`Simulator`] session over the shared compiled network,
     /// so functional-mode results are bit-identical to a sequential run.
     pub fn start(compiled: Arc<CompiledNetwork>, config: ServiceConfig) -> Self {
+        let workers_n = config.workers.max(1);
+        let jitter_seed = config.fault_plan.as_ref().map_or(0x5eed, FaultPlan::seed);
         let shared = Arc::new(Shared {
             admission: Mutex::new(Admission {
                 queue: VecDeque::with_capacity(config.queue_capacity),
@@ -243,6 +376,14 @@ impl InferenceService {
             config_max_wait: config.max_wait,
             cost_hints: Arc::clone(&config.cost_hints),
             policy: Arc::clone(&config.policy),
+            supervisor: Supervisor::new(
+                workers_n,
+                config.min_healthy,
+                config.max_restarts,
+                config.restart_backoff,
+                jitter_seed,
+            ),
+            degraded_policy: config.degraded,
         });
 
         let batcher = {
@@ -252,23 +393,40 @@ impl InferenceService {
                 .spawn(move || batcher_loop(&shared))
                 .expect("spawn batcher")
         };
-        let workers = (0..config.workers.max(1))
+        let params = WorkerParams {
+            mode: config.mode,
+            bandwidth: config.bandwidth,
+            pace_mhz: config.pace_mhz,
+            sim_threads: config.sim_threads,
+            fault_plan: config.fault_plan.clone(),
+            retry_budget: config.retry_budget,
+            retry_backoff: config.retry_backoff,
+            degraded: config.degraded,
+        };
+        let workers = (0..workers_n)
             .map(|w| {
                 let shared = Arc::clone(&shared);
                 let compiled = Arc::clone(&compiled);
-                let (mode, bw, pace) = (config.mode, config.bandwidth, config.pace_mhz);
-                let sim_threads = config.sim_threads;
+                let params = params.clone();
                 std::thread::Builder::new()
                     .name(format!("hdnn-worker-{w}"))
-                    .spawn(move || worker_loop(&shared, &compiled, mode, bw, pace, sim_threads, w))
+                    .spawn(move || worker_loop(&shared, &compiled, &params, w))
                     .expect("spawn worker")
             })
             .collect();
+        let watchdog = config.watchdog.map(|timeout| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("hdnn-watchdog".into())
+                .spawn(move || watchdog_loop(&shared, timeout))
+                .expect("spawn watchdog")
+        });
 
         InferenceService {
             shared,
             batcher: Some(batcher),
             workers,
+            watchdog,
             next_id: AtomicU64::new(0),
             capacity: config.queue_capacity,
         }
@@ -294,7 +452,22 @@ impl InferenceService {
         // request of a shape runs the (possibly layer-walking) estimator,
         // every later one reads the memoized value.
         let cost_cycles = self.shared.cost_hints.cycles(input.shape());
-        let mut adm = self.shared.admission.lock().unwrap();
+        // Degraded-mode circuit breaker: while healthy replicas sit
+        // below the floor, the RejectOverBudget policy refuses work
+        // whose predicted cost exceeds its budget.
+        if let DegradedPolicy::RejectOverBudget { max_cost_cycles } = self.shared.degraded_policy {
+            if cost_cycles > max_cost_cycles && self.shared.supervisor.is_degraded() {
+                self.shared
+                    .metrics
+                    .rejected_degraded
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(RuntimeError::Degraded {
+                    healthy: self.shared.supervisor.healthy_workers(),
+                    floor: self.shared.supervisor.min_healthy(),
+                });
+            }
+        }
+        let mut adm = lock_clean(&self.shared.admission);
         if !adm.open {
             return Err(RuntimeError::ShuttingDown);
         }
@@ -316,6 +489,7 @@ impl InferenceService {
             cost_cycles,
             deadline: deadline.map(|d| now + d),
             submitted_at: now,
+            attempts: 0,
             tx,
         });
         self.shared
@@ -335,18 +509,31 @@ impl InferenceService {
     /// submissions accumulate (and the queue bound keeps applying).
     /// Intended for tests that need deterministic queue states.
     pub fn pause(&self) {
-        self.shared.admission.lock().unwrap().paused = true;
+        lock_clean(&self.shared.admission).paused = true;
     }
 
     /// Resumes batch formation after [`InferenceService::pause`].
     pub fn resume(&self) {
-        self.shared.admission.lock().unwrap().paused = false;
+        lock_clean(&self.shared.admission).paused = false;
         self.shared.admitted.notify_all();
     }
 
-    /// Current counters and latency percentiles.
+    /// Current counters, latency percentiles, and supervision gauges.
     pub fn metrics(&self) -> MetricsSnapshot {
-        self.shared.metrics.snapshot()
+        self.merged_snapshot()
+    }
+
+    /// The supervision state of one worker replica (`None` for an
+    /// out-of-range index).
+    pub fn worker_health(&self, worker: usize) -> Option<WorkerHealth> {
+        (worker < self.shared.supervisor.workers()).then(|| self.shared.supervisor.health(worker))
+    }
+
+    fn merged_snapshot(&self) -> MetricsSnapshot {
+        let mut snap = self.shared.metrics.snapshot();
+        snap.healthy_workers = self.shared.supervisor.healthy_workers();
+        snap.degraded_secs = self.shared.supervisor.degraded_secs();
+        snap
     }
 
     /// Graceful shutdown: rejects new work, drains every queued request
@@ -354,17 +541,37 @@ impl InferenceService {
     /// returns the final metrics.
     pub fn shutdown(mut self) -> MetricsSnapshot {
         self.shutdown_inner();
-        self.shared.metrics.snapshot()
+        self.merged_snapshot()
     }
 
     fn shutdown_inner(&mut self) {
-        self.shared.admission.lock().unwrap().open = false;
+        lock_clean(&self.shared.admission).open = false;
         self.shared.admitted.notify_all();
         if let Some(b) = self.batcher.take() {
             let _ = b.join();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // The watchdog keeps running through the drain (hangs during
+        // drain still need catching); stop it only once workers are gone.
+        self.shared.supervisor.stop();
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
+        // Safety net for abnormal thread deaths (e.g. a panicked
+        // batcher): anything still queued gets its guaranteed response.
+        let leftovers: Vec<InferenceRequest> = {
+            let mut adm = lock_clean(&self.shared.admission);
+            adm.queue.drain(..).collect()
+        };
+        let stranded: Vec<InferenceRequest> = {
+            let mut ready = lock_clean(&self.shared.ready);
+            ready.batches.drain(..).flat_map(|b| b.requests).collect()
+        };
+        for req in leftovers.into_iter().chain(stranded) {
+            self.shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            let _ = req.tx.send(Err(RuntimeError::WorkerLost));
         }
     }
 }
@@ -380,10 +587,10 @@ impl Drop for InferenceService {
 /// flushes everything left, then closes the ready queue.
 fn batcher_loop(shared: &Shared) {
     loop {
-        let mut adm = shared.admission.lock().unwrap();
+        let mut adm = lock_clean(&shared.admission);
         // Wait for work (or shutdown, which overrides pause).
         while (adm.queue.is_empty() || adm.paused) && adm.open {
-            adm = shared.admitted.wait(adm).unwrap();
+            adm = wait_clean(&shared.admitted, adm);
         }
         if adm.queue.is_empty() && !adm.open {
             break;
@@ -397,7 +604,10 @@ fn batcher_loop(shared: &Shared) {
             if now >= until {
                 break;
             }
-            let (next, timeout) = shared.admitted.wait_timeout(adm, until - now).unwrap();
+            let (next, timeout) = shared
+                .admitted
+                .wait_timeout(adm, until - now)
+                .unwrap_or_else(PoisonError::into_inner);
             adm = next;
             if timeout.timed_out() {
                 break;
@@ -423,81 +633,345 @@ fn batcher_loop(shared: &Shared) {
             len: requests.len(),
             predicted_cycles: requests.iter().map(|r| r.cost_cycles).sum(),
         };
-        let mut ready = shared.ready.lock().unwrap();
+        let mut ready = lock_clean(&shared.ready);
         ready.batches.push_back(Batch { requests, meta });
         drop(ready);
         shared.dispatchable.notify_one();
     }
     // Drained: no more batches will ever arrive.
-    shared.ready.lock().unwrap().closed = true;
+    lock_clean(&shared.ready).closed = true;
     shared.dispatchable.notify_all();
 }
 
+/// One worker's replica session plus its reusable scratch.
+struct Replica {
+    sim: Simulator,
+    scratch: hybriddnn_sim::RunResult,
+    /// Injected-fault total already flushed to the shared metrics.
+    flushed_faults: u64,
+}
+
+impl Replica {
+    fn new(
+        compiled: &CompiledNetwork,
+        params: &WorkerParams,
+        worker: usize,
+        generation: u64,
+    ) -> Self {
+        let mut sim =
+            Simulator::with_threads(compiled, params.mode, params.bandwidth, params.sim_threads);
+        if let Some(plan) = &params.fault_plan {
+            // Reseed per (worker, generation): replicas never fault in
+            // lockstep, and a respawned replica draws a fresh stream.
+            sim.arm_faults(plan.for_replica(((worker as u64) << 32) | generation));
+        }
+        Replica {
+            sim,
+            scratch: hybriddnn_sim::RunResult::empty(),
+            flushed_faults: 0,
+        }
+    }
+
+    /// Adds newly injected fault counts to the shared metrics.
+    fn flush_fault_metrics(&mut self, shared: &Shared) {
+        let total = self.sim.fault_counters().total();
+        let delta = total.saturating_sub(self.flushed_faults);
+        if delta > 0 {
+            shared
+                .metrics
+                .faults_injected
+                .fetch_add(delta, Ordering::Relaxed);
+            self.flushed_faults = total;
+        }
+    }
+}
+
+/// How a batch ended, from the supervisor's point of view.
+struct BatchOutcome {
+    /// No fault-class error touched the batch.
+    clean: bool,
+    /// The replica is unusable (panic, hang, wedge) and must be
+    /// replaced.
+    replace: bool,
+}
+
 /// Serves batches on one replica session until the ready queue closes
-/// and empties.
-fn worker_loop(
-    shared: &Shared,
-    compiled: &CompiledNetwork,
-    mode: SimMode,
-    bandwidth: f64,
-    pace_mhz: Option<f64>,
-    sim_threads: usize,
-    worker: usize,
-) {
-    let mut sim = Simulator::with_threads(compiled, mode, bandwidth, sim_threads);
-    // Reused across every inference this worker serves: with the
-    // simulator's session plan, steady-state runs write into this
-    // scratch without allocating.
-    let mut scratch = hybriddnn_sim::RunResult::empty();
+/// and empties. On replica faults the in-flight batch is failed with
+/// typed errors, the replica torn down and respawned (bounded by the
+/// restart cap with exponential backoff); at the cap the worker is
+/// quarantined — and if it was the last one serving, it closes admission
+/// and drains the queues so the exactly-one-response invariant survives
+/// total fleet loss.
+fn worker_loop(shared: &Shared, compiled: &CompiledNetwork, params: &WorkerParams, worker: usize) {
+    let mut generation = 0u64;
+    let mut replica = Replica::new(compiled, params, worker, generation);
+    // Lazily built timing-only twin for ShedToTimingOnly degraded mode.
+    let mut shed: Option<Simulator> = None;
     loop {
-        let mut ready = shared.ready.lock().unwrap();
+        let mut ready = lock_clean(&shared.ready);
         while ready.batches.is_empty() && !ready.closed {
-            ready = shared.dispatchable.wait(ready).unwrap();
+            ready = wait_clean(&shared.dispatchable, ready);
         }
         if ready.batches.is_empty() {
             break;
         }
         let metas: Vec<BatchMeta> = ready.batches.iter().map(|b| b.meta).collect();
-        let idx = shared.policy.select(&metas).min(metas.len() - 1);
+        // A panicking user-provided policy must not kill the worker
+        // without supervision noticing; fall back to FIFO.
+        let idx = catch_unwind(AssertUnwindSafe(|| shared.policy.select(&metas)))
+            .unwrap_or(0)
+            .min(metas.len() - 1);
         let batch = ready.batches.remove(idx).expect("index clamped");
         drop(ready);
 
-        let batch_size = batch.requests.len();
-        // With pacing, responses are staged and completed only after the
-        // worker has held its "device" for the simulated batch duration.
-        let mut staged = Vec::new();
-        let mut device_cycles = 0.0f64;
-        for req in batch.requests {
-            let now = Instant::now();
-            if let Some(deadline) = req.deadline {
-                if now > deadline {
-                    shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
-                    let _ = req.tx.send(Err(RuntimeError::DeadlineExceeded {
-                        missed_by: now - deadline,
-                    }));
+        let token = StopToken::new();
+        replica.sim.set_stop_token(token.clone());
+        shared.supervisor.batch_started(worker, token);
+        let outcome = serve_batch(
+            shared,
+            compiled,
+            &mut replica,
+            &mut shed,
+            batch,
+            params,
+            worker,
+        );
+        replica.flush_fault_metrics(shared);
+        shared.supervisor.batch_finished(worker, outcome.clean);
+
+        if outcome.replace {
+            match shared.supervisor.record_restart(worker) {
+                RestartDecision::Backoff(backoff) => {
+                    std::thread::sleep(backoff);
+                    generation += 1;
+                    replica = Replica::new(compiled, params, worker, generation);
+                    shared.metrics.restarts.fetch_add(1, Ordering::Relaxed);
+                }
+                RestartDecision::Quarantine => {
+                    shared.metrics.quarantines.fetch_add(1, Ordering::Relaxed);
+                    if shared.supervisor.serving_workers() == 0 {
+                        drain_as_dead(shared);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+}
+
+/// Serves one batch, classifying failures:
+///
+/// * transient faults → bounded retry with jittered backoff, re-enqueued
+///   at the queue head (budget exhausted → the fault is the response);
+/// * replica faults (panic / hang / wedge / cancellation) → the current
+///   request gets a typed error, the rest of the batch fails with
+///   [`RuntimeError::WorkerLost`], and the caller replaces the replica;
+/// * permanent program errors (deadlock, overrun, mismatch) → that
+///   request fails with [`RuntimeError::Sim`], the batch continues.
+fn serve_batch(
+    shared: &Shared,
+    compiled: &CompiledNetwork,
+    replica: &mut Replica,
+    shed: &mut Option<Simulator>,
+    batch: Batch,
+    params: &WorkerParams,
+    worker: usize,
+) -> BatchOutcome {
+    let batch_size = batch.requests.len();
+    let mut queue: VecDeque<InferenceRequest> = batch.requests.into();
+    // With pacing, responses are staged and completed only after the
+    // worker has held its "device" for the simulated batch duration.
+    let mut staged = Vec::new();
+    let mut device_cycles = 0.0f64;
+    let mut outcome = BatchOutcome {
+        clean: true,
+        replace: false,
+    };
+    while let Some(mut req) = queue.pop_front() {
+        let now = Instant::now();
+        if let Some(deadline) = req.deadline {
+            if now > deadline {
+                shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
+                let _ = req.tx.send(Err(RuntimeError::DeadlineExceeded {
+                    missed_by: now - deadline,
+                }));
+                continue;
+            }
+        }
+        // Degraded shedding: while the breaker is tripped, functional
+        // requests run on a timing-only twin (zeros out, flagged).
+        let shed_now = params.degraded_shed()
+            && params.mode == SimMode::Functional
+            && shared.supervisor.is_degraded();
+        let run = catch_unwind(AssertUnwindSafe(|| {
+            if shed_now {
+                let twin = shed.get_or_insert_with(|| {
+                    Simulator::with_threads(
+                        compiled,
+                        SimMode::TimingOnly,
+                        params.bandwidth,
+                        params.sim_threads,
+                    )
+                });
+                twin.run_into(compiled, &req.input, &mut replica.scratch)
+            } else {
+                replica
+                    .sim
+                    .run_into(compiled, &req.input, &mut replica.scratch)
+            }
+            .map(|()| (replica.scratch.output.clone(), replica.scratch.total_cycles))
+        }));
+        match run {
+            Err(_panic) => {
+                // The replica's internal state is unknowable; everything
+                // in flight on it is abandoned with typed errors.
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = req.tx.send(Err(RuntimeError::WorkerLost));
+                fail_remaining(shared, &mut queue);
+                outcome = BatchOutcome {
+                    clean: false,
+                    replace: true,
+                };
+                break;
+            }
+            Ok(Ok((output, cycles))) => {
+                let result = Ok((output, cycles));
+                if params.pace_mhz.is_some() {
+                    device_cycles += cycles;
+                    staged.push((req, result, shed_now));
+                } else {
+                    respond(shared, req, result, batch_size, worker, shed_now);
+                }
+            }
+            Ok(Err(e)) => {
+                if e.is_transient() || e.is_replica_fault() {
+                    shared
+                        .metrics
+                        .faults_observed
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                if e.is_transient() && req.attempts < params.retry_budget {
+                    req.attempts += 1;
+                    shared.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(retry_backoff(params, req.attempts, req.id));
+                    if let Some(back) = requeue_head(shared, req) {
+                        // Admission already closed (drain in progress):
+                        // retry locally so the response still arrives.
+                        queue.push_front(back);
+                    }
                     continue;
                 }
-            }
-            let result = sim
-                .run_into(compiled, &req.input, &mut scratch)
-                .map(|()| (scratch.output.clone(), scratch.total_cycles));
-            if pace_mhz.is_some() {
-                if let Ok((_, cycles)) = &result {
-                    device_cycles += cycles;
+                if e.is_replica_fault() {
+                    shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    let err = match &e {
+                        hybriddnn_sim::SimError::DeviceHang { .. }
+                        | hybriddnn_sim::SimError::Cancelled { .. } => {
+                            RuntimeError::DeviceHang { worker }
+                        }
+                        _ => RuntimeError::Sim(e.clone()),
+                    };
+                    let _ = req.tx.send(Err(err));
+                    fail_remaining(shared, &mut queue);
+                    outcome = BatchOutcome {
+                        clean: false,
+                        replace: true,
+                    };
+                    break;
                 }
-                staged.push((req, result));
-            } else {
-                respond(shared, req, result, batch_size, worker);
+                // Permanent (program-shaped) error, or a transient one
+                // out of retry budget: it is the response. A program
+                // error is the program's fault, not the replica's, so
+                // the batch still counts as clean for rehab purposes.
+                if e.is_transient() {
+                    outcome.clean = false;
+                }
+                respond(shared, req, Err(e), batch_size, worker, shed_now);
             }
         }
-        if let Some(mhz) = pace_mhz {
-            if device_cycles > 0.0 {
-                std::thread::sleep(Duration::from_secs_f64(device_cycles / (mhz * 1e6)));
-            }
-            for (req, result) in staged {
-                respond(shared, req, result, batch_size, worker);
-            }
+    }
+    if let Some(mhz) = params.pace_mhz {
+        if device_cycles > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(device_cycles / (mhz * 1e6)));
         }
+    }
+    for (req, result, shed) in staged {
+        respond(shared, req, result, batch_size, worker, shed);
+    }
+    outcome
+}
+
+/// Jittered, linearly growing backoff for transient-fault retries. The
+/// jitter derives deterministically from the request id so retry timing
+/// does not perturb the service's fault determinism guarantees.
+fn retry_backoff(params: &WorkerParams, attempt: u32, id: u64) -> Duration {
+    let base = params.retry_backoff.as_secs_f64() * f64::from(attempt);
+    let mut z = id.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z ^= z >> 31;
+    let jitter = 0.5 + (z >> 11) as f64 / (1u64 << 53) as f64;
+    Duration::from_secs_f64(base * jitter).min(Duration::from_millis(10))
+}
+
+/// Re-enqueues a retry at the admission-queue *head* (its deadline and
+/// original submission time still bind). Returns the request if the
+/// queue is already closed to new work.
+fn requeue_head(shared: &Shared, req: InferenceRequest) -> Option<InferenceRequest> {
+    let mut adm = lock_clean(&shared.admission);
+    if !adm.open {
+        return Some(req);
+    }
+    adm.queue.push_front(req);
+    shared
+        .metrics
+        .queue_depth
+        .store(adm.queue.len(), Ordering::Relaxed);
+    drop(adm);
+    shared.admitted.notify_all();
+    None
+}
+
+/// Fails every request still queued behind a replica fault.
+fn fail_remaining(shared: &Shared, queue: &mut VecDeque<InferenceRequest>) {
+    for req in queue.drain(..) {
+        shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+        let _ = req.tx.send(Err(RuntimeError::WorkerLost));
+    }
+}
+
+/// Last-worker drain duty: with every replica quarantined nobody would
+/// ever answer queued requests, so the final worker closes admission and
+/// fails everything with typed errors until the batcher finishes.
+fn drain_as_dead(shared: &Shared) {
+    {
+        let mut adm = lock_clean(&shared.admission);
+        adm.open = false;
+    }
+    shared.admitted.notify_all();
+    loop {
+        let mut ready = lock_clean(&shared.ready);
+        while ready.batches.is_empty() && !ready.closed {
+            ready = wait_clean(&shared.dispatchable, ready);
+        }
+        let Some(batch) = ready.batches.pop_front() else {
+            break;
+        };
+        drop(ready);
+        let mut queue: VecDeque<InferenceRequest> = batch.requests.into();
+        fail_remaining(shared, &mut queue);
+    }
+}
+
+/// Scans in-flight batches, cancelling any older than `timeout`; the
+/// stalled simulator run then returns a hang/cancellation error, which
+/// the worker converts into [`RuntimeError::DeviceHang`] plus a replica
+/// replacement.
+fn watchdog_loop(shared: &Shared, timeout: Duration) {
+    let tick = (timeout / 4)
+        .max(Duration::from_millis(1))
+        .min(Duration::from_millis(20));
+    while !shared.supervisor.is_stopped() {
+        std::thread::sleep(tick);
+        shared.supervisor.cancel_overdue(timeout);
     }
 }
 
@@ -508,11 +982,18 @@ fn respond(
     result: Result<(Tensor, f64), hybriddnn_sim::SimError>,
     batch_size: usize,
     worker: usize,
+    degraded: bool,
 ) {
     match result {
         Ok((output, total_cycles)) => {
             let latency = req.submitted_at.elapsed();
             shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+            if degraded {
+                shared
+                    .metrics
+                    .degraded_served
+                    .fetch_add(1, Ordering::Relaxed);
+            }
             shared.metrics.latency.record(latency);
             let _ = req.tx.send(Ok(InferenceResponse {
                 id: req.id,
@@ -521,6 +1002,7 @@ fn respond(
                 latency,
                 batch_size,
                 worker,
+                degraded,
             }));
         }
         Err(e) => {

@@ -1,0 +1,403 @@
+//! Worker supervision: per-replica health states, restart accounting
+//! with capped exponential backoff, the watchdog's in-flight batch
+//! registry, and the degraded-mode clock.
+//!
+//! The supervision state machine per worker:
+//!
+//! ```text
+//!            fault-triggered restart
+//!  Healthy ───────────────────────────▶ Degraded ──▶ Quarantined
+//!     ▲                                   │   (restarts > cap)
+//!     └──── REHAB_CLEAN_BATCHES clean ────┘
+//! ```
+//!
+//! `Quarantined` is terminal: the worker thread exits (after taking on
+//! drain duty if it was the last one standing). The service-level
+//! degraded mode derives from the `Healthy` count alone: dropping below
+//! `min_healthy` trips the circuit breaker, recovering workers reset it.
+
+use hybriddnn_sim::StopToken;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Clean batches a `Degraded` worker must serve before it counts as
+/// `Healthy` again.
+const REHAB_CLEAN_BATCHES: u32 = 3;
+
+/// Ceiling on one restart backoff after exponential growth and jitter.
+const MAX_BACKOFF: Duration = Duration::from_millis(250);
+
+/// A worker replica's health, as tracked by the supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerHealth {
+    /// Serving normally.
+    Healthy,
+    /// Recently restarted after a fault; serving, but not counted toward
+    /// the healthy floor until it proves itself with clean batches.
+    Degraded,
+    /// Hit the restart cap; permanently removed from service.
+    Quarantined,
+}
+
+/// What the service does with new work while degraded (healthy replicas
+/// below the configured floor).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DegradedPolicy {
+    /// Reject submissions whose predicted cost exceeds the budget with
+    /// `RuntimeError::Degraded`. A budget of `0.0` (the default) rejects
+    /// all new work until the fleet recovers.
+    RejectOverBudget {
+        /// Maximum predicted cycles a submission may carry while the
+        /// service is degraded.
+        max_cost_cycles: f64,
+    },
+    /// Keep accepting everything but serve it on a timing-only shed
+    /// replica: responses arrive flagged `degraded` with zeroed outputs,
+    /// preserving liveness and latency telemetry at the price of data.
+    ShedToTimingOnly,
+}
+
+impl Default for DegradedPolicy {
+    fn default() -> Self {
+        DegradedPolicy::RejectOverBudget {
+            max_cost_cycles: 0.0,
+        }
+    }
+}
+
+/// The outcome of reporting a replica fault to the supervisor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RestartDecision {
+    /// Respawn the replica after sleeping this (jittered, exponentially
+    /// grown) backoff.
+    Backoff(Duration),
+    /// Restart cap reached: the worker is quarantined.
+    Quarantine,
+}
+
+#[derive(Debug)]
+struct Slot {
+    health: WorkerHealth,
+    restarts: u32,
+    clean_streak: u32,
+    /// `(batch start, cancellation token)` while a batch is in flight —
+    /// the watchdog cancels tokens whose batch has overstayed.
+    inflight: Option<(Instant, StopToken)>,
+}
+
+#[derive(Debug, Default)]
+struct DegradedClock {
+    since: Option<Instant>,
+    total: Duration,
+}
+
+/// Shared supervision state for one service's worker pool.
+#[derive(Debug)]
+pub(crate) struct Supervisor {
+    slots: Vec<Mutex<Slot>>,
+    /// Workers currently `Healthy` (drives the degraded-mode breaker).
+    healthy: AtomicUsize,
+    /// Workers not `Quarantined` (drives last-worker drain duty).
+    serving: AtomicUsize,
+    min_healthy: usize,
+    max_restarts: u32,
+    restart_backoff: Duration,
+    degraded: Mutex<DegradedClock>,
+    jitter: Mutex<u64>,
+    stopped: AtomicBool,
+}
+
+impl Supervisor {
+    pub(crate) fn new(
+        workers: usize,
+        min_healthy: usize,
+        max_restarts: u32,
+        restart_backoff: Duration,
+        jitter_seed: u64,
+    ) -> Self {
+        Supervisor {
+            slots: (0..workers)
+                .map(|_| {
+                    Mutex::new(Slot {
+                        health: WorkerHealth::Healthy,
+                        restarts: 0,
+                        clean_streak: 0,
+                        inflight: None,
+                    })
+                })
+                .collect(),
+            healthy: AtomicUsize::new(workers),
+            serving: AtomicUsize::new(workers),
+            min_healthy,
+            max_restarts,
+            restart_backoff,
+            degraded: Mutex::new(DegradedClock {
+                // A fleet born below its floor is degraded from t=0.
+                since: (min_healthy > 0 && workers < min_healthy).then(Instant::now),
+                total: Duration::ZERO,
+            }),
+            jitter: Mutex::new(jitter_seed),
+            stopped: AtomicBool::new(false),
+        }
+    }
+
+    fn slot(&self, worker: usize) -> std::sync::MutexGuard<'_, Slot> {
+        self.slots[worker]
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Registers an in-flight batch so the watchdog can cancel it.
+    pub(crate) fn batch_started(&self, worker: usize, token: StopToken) {
+        self.slot(worker).inflight = Some((Instant::now(), token));
+    }
+
+    /// Clears the in-flight registration; a clean batch advances a
+    /// `Degraded` worker toward rehabilitation.
+    pub(crate) fn batch_finished(&self, worker: usize, clean: bool) {
+        let mut slot = self.slot(worker);
+        slot.inflight = None;
+        if clean {
+            if slot.health == WorkerHealth::Degraded {
+                slot.clean_streak += 1;
+                if slot.clean_streak >= REHAB_CLEAN_BATCHES {
+                    slot.health = WorkerHealth::Healthy;
+                    self.healthy.fetch_add(1, Ordering::SeqCst);
+                    drop(slot);
+                    self.update_clock();
+                }
+            }
+        } else {
+            slot.clean_streak = 0;
+        }
+    }
+
+    /// Reports a replica fault (panic, hang, or wedge). Returns whether
+    /// to respawn (with backoff) or quarantine.
+    pub(crate) fn record_restart(&self, worker: usize) -> RestartDecision {
+        let mut slot = self.slot(worker);
+        slot.inflight = None;
+        slot.clean_streak = 0;
+        slot.restarts += 1;
+        if slot.health == WorkerHealth::Healthy {
+            self.healthy.fetch_sub(1, Ordering::SeqCst);
+        }
+        let decision = if slot.restarts > self.max_restarts {
+            slot.health = WorkerHealth::Quarantined;
+            self.serving.fetch_sub(1, Ordering::SeqCst);
+            RestartDecision::Quarantine
+        } else {
+            slot.health = WorkerHealth::Degraded;
+            let exp = (slot.restarts - 1).min(8);
+            let base = self.restart_backoff.as_secs_f64() * (1u64 << exp) as f64;
+            RestartDecision::Backoff(
+                Duration::from_secs_f64(base * self.jitter_factor()).min(MAX_BACKOFF),
+            )
+        };
+        drop(slot);
+        self.update_clock();
+        decision
+    }
+
+    /// Cancels every in-flight batch older than `timeout`; returns how
+    /// many tokens were cancelled (cancellation is idempotent, so an
+    /// already-cancelled batch is not recounted — its registration is
+    /// gone once the worker handles the hang).
+    pub(crate) fn cancel_overdue(&self, timeout: Duration) -> usize {
+        let mut cancelled = 0;
+        for slot in &self.slots {
+            let slot = slot
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some((start, token)) = &slot.inflight {
+                if start.elapsed() > timeout && !token.is_cancelled() {
+                    token.cancel();
+                    cancelled += 1;
+                }
+            }
+        }
+        cancelled
+    }
+
+    /// A multiplicative jitter in `[0.5, 1.5)` from a deterministic
+    /// SplitMix64 stream, decorrelating simultaneous replica restarts.
+    fn jitter_factor(&self) -> f64 {
+        let mut rng = self
+            .jitter
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        *rng = rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        0.5 + (z >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    pub(crate) fn health(&self, worker: usize) -> WorkerHealth {
+        self.slot(worker).health
+    }
+
+    pub(crate) fn workers(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub(crate) fn healthy_workers(&self) -> usize {
+        self.healthy.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn serving_workers(&self) -> usize {
+        self.serving.load(Ordering::SeqCst)
+    }
+
+    /// Whether the circuit breaker is tripped: a configured floor and
+    /// fewer healthy workers than it demands.
+    pub(crate) fn is_degraded(&self) -> bool {
+        self.min_healthy > 0 && self.healthy_workers() < self.min_healthy
+    }
+
+    pub(crate) fn min_healthy(&self) -> usize {
+        self.min_healthy
+    }
+
+    /// Cumulative wall-clock seconds spent degraded, including a live
+    /// span still in progress.
+    pub(crate) fn degraded_secs(&self) -> f64 {
+        let clock = self
+            .degraded
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let live = clock.since.map_or(Duration::ZERO, |s| s.elapsed());
+        (clock.total + live).as_secs_f64()
+    }
+
+    /// Reconciles the degraded clock with the current healthy count.
+    fn update_clock(&self) {
+        let degraded = self.is_degraded();
+        let mut clock = self
+            .degraded
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        match (clock.since, degraded) {
+            (None, true) => clock.since = Some(Instant::now()),
+            (Some(since), false) => {
+                clock.total += since.elapsed();
+                clock.since = None;
+            }
+            _ => {}
+        }
+    }
+
+    pub(crate) fn stop(&self) {
+        self.stopped.store(true, Ordering::SeqCst);
+    }
+
+    pub(crate) fn is_stopped(&self) -> bool {
+        self.stopped.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn restart_degrades_then_quarantines() {
+        let sup = Supervisor::new(2, 1, 2, Duration::from_micros(100), 7);
+        assert_eq!(sup.healthy_workers(), 2);
+        assert_eq!(sup.health(0), WorkerHealth::Healthy);
+
+        // First two faults back off with exponential growth.
+        let RestartDecision::Backoff(b1) = sup.record_restart(0) else {
+            panic!("expected backoff");
+        };
+        assert_eq!(sup.health(0), WorkerHealth::Degraded);
+        assert_eq!(sup.healthy_workers(), 1);
+        let RestartDecision::Backoff(b2) = sup.record_restart(0) else {
+            panic!("expected backoff");
+        };
+        // Jitter is ±50%, growth is 2×: b2 ∈ [b1/1.5·2·0.5, ...] — only
+        // assert both are sane and bounded.
+        assert!(b1 >= Duration::from_micros(50) && b1 <= MAX_BACKOFF);
+        assert!(b2 <= MAX_BACKOFF);
+
+        // Third fault exceeds the cap of 2.
+        assert_eq!(sup.record_restart(0), RestartDecision::Quarantine);
+        assert_eq!(sup.health(0), WorkerHealth::Quarantined);
+        assert_eq!(sup.serving_workers(), 1);
+        // Healthy count unchanged by the quarantine itself (the worker
+        // was already Degraded).
+        assert_eq!(sup.healthy_workers(), 1);
+    }
+
+    #[test]
+    fn clean_batches_rehabilitate() {
+        let sup = Supervisor::new(1, 1, 8, Duration::from_micros(100), 7);
+        sup.record_restart(0);
+        assert_eq!(sup.health(0), WorkerHealth::Degraded);
+        assert!(sup.is_degraded());
+        for _ in 0..REHAB_CLEAN_BATCHES {
+            sup.batch_finished(0, true);
+        }
+        assert_eq!(sup.health(0), WorkerHealth::Healthy);
+        assert!(!sup.is_degraded());
+        assert!(sup.degraded_secs() >= 0.0);
+    }
+
+    #[test]
+    fn dirty_batch_resets_the_streak() {
+        let sup = Supervisor::new(1, 0, 8, Duration::from_micros(100), 7);
+        sup.record_restart(0);
+        sup.batch_finished(0, true);
+        sup.batch_finished(0, false);
+        for _ in 0..REHAB_CLEAN_BATCHES - 1 {
+            sup.batch_finished(0, true);
+        }
+        assert_eq!(sup.health(0), WorkerHealth::Degraded);
+        sup.batch_finished(0, true);
+        assert_eq!(sup.health(0), WorkerHealth::Healthy);
+    }
+
+    #[test]
+    fn watchdog_cancels_only_overdue_batches() {
+        let sup = Supervisor::new(2, 0, 8, Duration::from_micros(100), 7);
+        let fresh = StopToken::new();
+        sup.batch_started(0, fresh.clone());
+        assert_eq!(sup.cancel_overdue(Duration::from_secs(60)), 0);
+        assert!(!fresh.is_cancelled());
+        assert_eq!(sup.cancel_overdue(Duration::ZERO), 1);
+        assert!(fresh.is_cancelled());
+        // Idempotent: an already-cancelled batch is not recounted.
+        assert_eq!(sup.cancel_overdue(Duration::ZERO), 0);
+        sup.batch_finished(0, false);
+        assert_eq!(sup.cancel_overdue(Duration::ZERO), 0);
+    }
+
+    #[test]
+    fn degraded_clock_accumulates() {
+        let sup = Supervisor::new(1, 1, 8, Duration::from_micros(100), 7);
+        assert_eq!(sup.degraded_secs(), 0.0);
+        sup.record_restart(0);
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(sup.degraded_secs() > 0.0);
+        for _ in 0..REHAB_CLEAN_BATCHES {
+            sup.batch_finished(0, true);
+        }
+        let settled = sup.degraded_secs();
+        assert!(settled >= 0.005 - 1e-4);
+        std::thread::sleep(Duration::from_millis(2));
+        // Clock stops while healthy.
+        assert!((sup.degraded_secs() - settled).abs() < 1e-3);
+    }
+
+    #[test]
+    fn default_degraded_policy_rejects_everything() {
+        match DegradedPolicy::default() {
+            DegradedPolicy::RejectOverBudget { max_cost_cycles } => {
+                assert_eq!(max_cost_cycles, 0.0);
+            }
+            other => panic!("unexpected default {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,425 @@
+//! Chaos tests: the serving layer under deterministic fault injection.
+//!
+//! Each test drives hundreds of requests against a seeded fault matrix
+//! and checks the core robustness invariants:
+//!
+//! * every accepted request receives exactly one response, no matter
+//!   what faults strike the replicas serving it;
+//! * with a retry budget, transient-fault responses are bit-identical to
+//!   a fault-free sequential run;
+//! * hangs are cancelled by the watchdog and surface as typed errors;
+//! * wedged replicas are respawned (observable via the restart counter)
+//!   and the service keeps serving;
+//! * a fully quarantined fleet drains with typed errors instead of
+//!   stranding callers.
+
+use hybriddnn_compiler::{CompiledNetwork, Compiler, MappingStrategy};
+use hybriddnn_estimator::AcceleratorConfig;
+use hybriddnn_isa::{Instruction, Program};
+use hybriddnn_model::{synth, zoo, Network, Tensor};
+use hybriddnn_runtime::{
+    DegradedPolicy, FaultPlan, InferenceService, ResponseHandle, RuntimeError, ServiceConfig,
+};
+use hybriddnn_sim::{SimError, SimMode, Simulator};
+use hybriddnn_winograd::TileConfig;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn compiled_tiny_cnn(seed: u64) -> (Network, Arc<CompiledNetwork>) {
+    let mut net = zoo::tiny_cnn();
+    synth::bind_random(&mut net, seed).unwrap();
+    let compiled = Compiler::new(AcceleratorConfig::new(4, 4, TileConfig::F2x2))
+        .compile(&net, &MappingStrategy::all_winograd(&net))
+        .unwrap();
+    (net, Arc::new(compiled))
+}
+
+/// Submits every input and waits for every handle, preserving order.
+fn run_all(
+    service: &InferenceService,
+    inputs: &[Tensor],
+) -> Vec<Result<hybriddnn_runtime::InferenceResponse, RuntimeError>> {
+    let handles: Vec<ResponseHandle> = inputs
+        .iter()
+        .map(|i| service.submit(i.clone(), None).unwrap())
+        .collect();
+    handles.into_iter().map(ResponseHandle::wait).collect()
+}
+
+/// Transient DRAM/SAVE faults with a retry budget: the service must
+/// absorb every fault and produce results bit-identical to a fault-free
+/// sequential run, for several seeds.
+#[test]
+fn transient_faults_retry_to_bit_identical_results() {
+    let (net, compiled) = compiled_tiny_cnn(10);
+    let inputs: Vec<Tensor> = (0..48)
+        .map(|i| synth::tensor(net.input_shape(), 3000 + i))
+        .collect();
+    let mut oracle = Simulator::new(&compiled, SimMode::Functional, 16.0);
+    let expected: Vec<Tensor> = inputs
+        .iter()
+        .map(|i| oracle.run(&compiled, i).unwrap().output)
+        .collect();
+
+    let mut total_injected = 0;
+    let mut total_retries = 0;
+    for seed in [11u64, 22, 33] {
+        // Low per-draw rates: a run still faults often enough to exercise
+        // the retry path, but 16 retries make exhaustion astronomically
+        // unlikely, so the bit-identical assertion below is sound.
+        let plan = FaultPlan::new(seed)
+            .with_dram_rate(0.003)
+            .with_save_rate(0.003);
+        let service = InferenceService::start(
+            Arc::clone(&compiled),
+            ServiceConfig::new(SimMode::Functional, 16.0)
+                .with_workers(3)
+                .with_max_batch_size(4)
+                .with_max_wait(Duration::from_micros(200))
+                .with_fault_plan(plan)
+                .with_retries(16),
+        );
+        for (got, want) in run_all(&service, &inputs).into_iter().zip(&expected) {
+            let got = got.expect("transient faults must be retried away");
+            assert_eq!(
+                got.output.as_slice(),
+                want.as_slice(),
+                "request {} diverged from the fault-free run under seed {seed}",
+                got.id
+            );
+        }
+        let metrics = service.shutdown();
+        assert_eq!(metrics.completed, inputs.len() as u64, "seed {seed}");
+        assert_eq!(metrics.failed, 0, "seed {seed}");
+        total_injected += metrics.faults_injected;
+        total_retries += metrics.retries;
+        assert_eq!(metrics.retries, metrics.faults_observed, "seed {seed}");
+    }
+    // Across three seeds and 144 served requests the plans must actually
+    // have fired — otherwise this test is vacuous.
+    assert!(total_injected > 0, "no faults injected across any seed");
+    assert!(total_retries > 0, "no retries across any seed");
+}
+
+/// Hung replicas are cancelled by the watchdog; every caller gets a
+/// typed answer and the replica is respawned.
+#[test]
+fn hangs_are_watchdog_cancelled_and_all_callers_answered() {
+    for seed in [5u64, 6, 7] {
+        let (net, compiled) = compiled_tiny_cnn(20);
+        let plan = FaultPlan::new(seed)
+            .with_hang_rate(0.002)
+            // Safety net far above the watchdog: the watchdog must win.
+            .with_stall_escape(Duration::from_secs(2));
+        let service = InferenceService::start(
+            Arc::clone(&compiled),
+            ServiceConfig::new(SimMode::TimingOnly, 16.0)
+                .with_workers(2)
+                .with_max_batch_size(4)
+                .with_max_wait(Duration::from_micros(200))
+                .with_fault_plan(plan)
+                .with_max_restarts(1000)
+                .with_restart_backoff(Duration::from_micros(50))
+                .with_watchdog(Duration::from_millis(8)),
+        );
+        let inputs: Vec<Tensor> = (0..24)
+            .map(|i| synth::tensor(net.input_shape(), 4000 + i))
+            .collect();
+        let mut completed = 0;
+        let mut hangs = 0;
+        let mut lost = 0;
+        for r in run_all(&service, &inputs) {
+            match r {
+                Ok(_) => completed += 1,
+                Err(RuntimeError::DeviceHang { .. }) => hangs += 1,
+                Err(RuntimeError::WorkerLost) => lost += 1,
+                Err(e) => panic!("unexpected error under seed {seed}: {e}"),
+            }
+        }
+        // Exactly one response per request, accounted for in full.
+        assert_eq!(completed + hangs + lost, inputs.len(), "seed {seed}");
+        let metrics = service.shutdown();
+        assert_eq!(
+            metrics.completed + metrics.failed,
+            inputs.len() as u64,
+            "seed {seed}"
+        );
+        // A hang implies a restart (and WorkerLost implies a hang struck
+        // mid-batch); the converse holds when no hang fired.
+        if hangs > 0 {
+            assert!(metrics.restarts > 0, "seed {seed}: hang without restart");
+        } else {
+            assert_eq!(lost, 0, "seed {seed}: lost requests without a hang");
+        }
+    }
+}
+
+/// Wedged replicas are torn down and respawned; the restart counter is
+/// observable and the service keeps completing work.
+#[test]
+fn wedged_replicas_are_respawned_and_service_recovers() {
+    for seed in [101u64, 202, 303] {
+        let (net, compiled) = compiled_tiny_cnn(30);
+        let plan = FaultPlan::new(seed).with_wedge_rate(0.6);
+        let service = InferenceService::start(
+            Arc::clone(&compiled),
+            ServiceConfig::new(SimMode::TimingOnly, 16.0)
+                .with_workers(2)
+                .with_max_batch_size(2)
+                .with_max_wait(Duration::from_micros(200))
+                .with_fault_plan(plan)
+                .with_max_restarts(1000)
+                .with_restart_backoff(Duration::from_micros(50)),
+        );
+        let inputs: Vec<Tensor> = (0..30)
+            .map(|i| synth::tensor(net.input_shape(), 5000 + i))
+            .collect();
+        let mut completed = 0;
+        let mut wedged = 0;
+        let mut lost = 0;
+        for r in run_all(&service, &inputs) {
+            match r {
+                Ok(_) => completed += 1,
+                Err(RuntimeError::Sim(SimError::DeviceWedged)) => wedged += 1,
+                Err(RuntimeError::WorkerLost) => lost += 1,
+                Err(e) => panic!("unexpected error under seed {seed}: {e}"),
+            }
+        }
+        assert_eq!(completed + wedged + lost, inputs.len(), "seed {seed}");
+        let metrics = service.shutdown();
+        // At a 60 % per-run wedge rate some replica must have wedged —
+        // and been respawned — during 30 requests.
+        assert!(metrics.restarts >= 1, "seed {seed}: no observable restart");
+        assert!(completed >= 1, "seed {seed}: service never recovered");
+        assert_eq!(metrics.quarantines, 0, "seed {seed}");
+    }
+}
+
+/// With the restart budget exhausted on every worker, the last
+/// quarantined worker closes admission and drains the queues with typed
+/// errors — nobody waits forever.
+#[test]
+fn fully_quarantined_fleet_drains_with_typed_errors() {
+    let (net, compiled) = compiled_tiny_cnn(40);
+    let service = InferenceService::start(
+        Arc::clone(&compiled),
+        ServiceConfig::new(SimMode::TimingOnly, 16.0)
+            .with_workers(1)
+            .with_max_batch_size(4)
+            .with_max_wait(Duration::from_micros(100))
+            .with_fault_plan(FaultPlan::new(1).with_wedge_rate(1.0))
+            .with_max_restarts(0),
+    );
+    service.pause();
+    let handles: Vec<ResponseHandle> = (0..10)
+        .map(|i| {
+            service
+                .submit(synth::tensor(net.input_shape(), 6000 + i), None)
+                .unwrap()
+        })
+        .collect();
+    service.resume();
+    let mut wedged = 0;
+    let mut lost = 0;
+    for h in handles {
+        match h.wait() {
+            Err(RuntimeError::Sim(SimError::DeviceWedged)) => wedged += 1,
+            Err(RuntimeError::WorkerLost) => lost += 1,
+            other => panic!("expected a typed failure, got {other:?}"),
+        }
+    }
+    assert_eq!(wedged + lost, 10);
+    assert!(wedged >= 1, "the wedge itself must surface at least once");
+    // The dead fleet closed admission on its own.
+    let late = service.submit(synth::tensor(net.input_shape(), 9), None);
+    assert!(matches!(late, Err(RuntimeError::ShuttingDown)));
+    let metrics = service.shutdown();
+    assert_eq!(metrics.quarantines, 1);
+    assert_eq!(metrics.completed, 0);
+    assert_eq!(metrics.healthy_workers, 0);
+}
+
+/// A fleet below its healthy floor with the `RejectOverBudget` policy
+/// refuses new work with a typed error and counts the rejections.
+#[test]
+fn degraded_mode_rejects_over_budget_submissions() {
+    let (net, compiled) = compiled_tiny_cnn(50);
+    // One worker against a floor of two: degraded from t = 0, no faults
+    // needed — the breaker itself is under test.
+    let service = InferenceService::start(
+        Arc::clone(&compiled),
+        ServiceConfig::new(SimMode::TimingOnly, 16.0)
+            .with_workers(1)
+            .with_min_healthy(2)
+            .with_degraded(DegradedPolicy::RejectOverBudget {
+                max_cost_cycles: 0.0,
+            }),
+    );
+    let err = service
+        .submit(synth::tensor(net.input_shape(), 1), None)
+        .unwrap_err();
+    assert_eq!(
+        err,
+        RuntimeError::Degraded {
+            healthy: 1,
+            floor: 2
+        }
+    );
+    std::thread::sleep(Duration::from_millis(2));
+    let metrics = service.shutdown();
+    assert_eq!(metrics.rejected_degraded, 1);
+    assert!(
+        metrics.degraded_secs > 0.0,
+        "time spent degraded must be observable"
+    );
+}
+
+/// The `ShedToTimingOnly` policy keeps accepting functional work while
+/// degraded, serving it on a timing-only twin with flagged responses.
+#[test]
+fn degraded_mode_sheds_functional_work_to_timing_only() {
+    let (net, compiled) = compiled_tiny_cnn(60);
+    let service = InferenceService::start(
+        Arc::clone(&compiled),
+        ServiceConfig::new(SimMode::Functional, 16.0)
+            .with_workers(1)
+            .with_min_healthy(2)
+            .with_degraded(DegradedPolicy::ShedToTimingOnly),
+    );
+    let response = service
+        .submit(synth::tensor(net.input_shape(), 2), None)
+        .unwrap()
+        .wait()
+        .unwrap();
+    assert!(response.degraded, "shed responses must be flagged");
+    assert!(
+        response.output.as_slice().iter().all(|&v| v == 0.0),
+        "timing-only shed output must be zeros"
+    );
+    assert!(response.total_cycles > 0.0);
+    let metrics = service.shutdown();
+    assert_eq!(metrics.degraded_served, 1);
+    assert_eq!(metrics.completed, 1);
+}
+
+/// Satellite: a compiled program mutated into a deadlock (a COMP waiting
+/// on a handshake token nobody posts) must reach every caller in the
+/// batch as `RuntimeError::Sim(..)` — no hang, no stranded handle — and
+/// must not consume the replica (it is the program's fault).
+#[test]
+fn deadlocked_program_fails_every_caller_with_sim_error() {
+    let (net, mut compiled) = {
+        let (net, compiled) = compiled_tiny_cnn(70);
+        (net, Arc::try_unwrap(compiled).unwrap())
+    };
+    compiled.map_programs(|_, program| {
+        let mut mutated = Program::new();
+        for inst in program.instructions() {
+            mutated.push(match inst.clone() {
+                // Strip every data-ready token the loads would post…
+                Instruction::Load(mut l) => {
+                    l.signal_ready = false;
+                    Instruction::Load(l)
+                }
+                // …while the COMPs still wait for them.
+                Instruction::Comp(mut c) => {
+                    c.wait_inp = true;
+                    Instruction::Comp(c)
+                }
+                other => other,
+            });
+        }
+        mutated
+    });
+    assert_program_error_reaches_all(&net, Arc::new(compiled), |e| {
+        matches!(e, SimError::Deadlock { .. })
+    });
+}
+
+/// Satellite: a compiled program mutated to overrun an on-chip buffer
+/// fails every caller with `RuntimeError::Sim(..)` as well.
+#[test]
+fn overrunning_program_fails_every_caller_with_sim_error() {
+    let (net, mut compiled) = {
+        let (net, compiled) = compiled_tiny_cnn(80);
+        (net, Arc::try_unwrap(compiled).unwrap())
+    };
+    compiled.map_programs(|_, program| {
+        let mut mutated = Program::new();
+        for inst in program.instructions() {
+            mutated.push(match inst.clone() {
+                Instruction::Load(mut l) => {
+                    // Push the destination span far past any buffer.
+                    l.buff_base = (1 << 20) - 1;
+                    Instruction::Load(l)
+                }
+                other => other,
+            });
+        }
+        mutated
+    });
+    assert_program_error_reaches_all(&net, Arc::new(compiled), |e| {
+        matches!(e, SimError::BufferOverrun { .. })
+    });
+}
+
+/// Serves a batch of requests over a broken program and asserts every
+/// caller receives `RuntimeError::Sim(..)` matching `expect`, the
+/// replica survives (no restarts), and shutdown is clean.
+fn assert_program_error_reaches_all(
+    net: &Network,
+    compiled: Arc<CompiledNetwork>,
+    expect: impl Fn(&SimError) -> bool,
+) {
+    let service = InferenceService::start(
+        Arc::clone(&compiled),
+        ServiceConfig::new(SimMode::Functional, 16.0)
+            .with_workers(2)
+            .with_max_batch_size(4)
+            .with_max_wait(Duration::from_micros(100)),
+    );
+    let inputs: Vec<Tensor> = (0..8)
+        .map(|i| synth::tensor(net.input_shape(), 7000 + i))
+        .collect();
+    for r in run_all(&service, &inputs) {
+        match r {
+            Err(RuntimeError::Sim(e)) => assert!(expect(&e), "unexpected sim error: {e}"),
+            other => panic!("expected RuntimeError::Sim, got {other:?}"),
+        }
+    }
+    let metrics = service.shutdown();
+    assert_eq!(metrics.failed, inputs.len() as u64);
+    assert_eq!(metrics.completed, 0);
+    // A broken program is not a broken replica: no restarts, no
+    // quarantines, and the workers stayed healthy.
+    assert_eq!(metrics.restarts, 0);
+    assert_eq!(metrics.quarantines, 0);
+    assert_eq!(metrics.healthy_workers, 2);
+}
+
+/// Fault metrics surface in the snapshot even when callers never see an
+/// error (retries absorb everything).
+#[test]
+fn fault_metrics_are_observable_in_snapshot() {
+    let (net, compiled) = compiled_tiny_cnn(90);
+    let service = InferenceService::start(
+        Arc::clone(&compiled),
+        ServiceConfig::new(SimMode::Functional, 16.0)
+            .with_fault_plan(FaultPlan::uniform(7, 0.01))
+            .with_retries(16)
+            .with_max_restarts(1000)
+            .with_restart_backoff(Duration::from_micros(50))
+            .with_watchdog(Duration::from_millis(25)),
+    );
+    let inputs: Vec<Tensor> = (0..16)
+        .map(|i| synth::tensor(net.input_shape(), 8000 + i))
+        .collect();
+    let answered = run_all(&service, &inputs).len();
+    assert_eq!(answered, inputs.len());
+    let metrics = service.shutdown();
+    assert!(
+        metrics.faults_injected > 0,
+        "uniform(7, 0.01) must inject something over 16 runs"
+    );
+    assert!(metrics.faults_injected >= metrics.faults_observed);
+}

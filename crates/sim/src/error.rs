@@ -36,6 +36,55 @@ pub enum SimError {
         /// What differed.
         detail: String,
     },
+    /// An injected, ECC-detected transient fault (DRAM word corruption on
+    /// a LOAD burst, or a compute bit-flip caught at SAVE). The run
+    /// aborted before serving corrupt data; a retry on a healthy session
+    /// reproduces the fault-free result bit for bit.
+    TransientFault {
+        /// Where the fault hit: `load_inp`, `load_wgt`, or `save`.
+        site: &'static str,
+        /// The corrupted word's index within its burst.
+        word: usize,
+    },
+    /// A handshake FIFO stalled mid-stage and the device stopped making
+    /// progress; the run was abandoned (by cancellation or the stall
+    /// escape timer).
+    DeviceHang {
+        /// The stage that hung.
+        stage: String,
+        /// Device cycle at which the stalled unit would have started
+        /// (`0.0` when the replay path cannot attribute a cycle).
+        after_cycles: f64,
+    },
+    /// The device is wedged: a previous fault left the session
+    /// unusable. Every run fails with this error until
+    /// `Simulator::reset_session` rebuilds the device state.
+    DeviceWedged,
+    /// The host cancelled the run via its `StopToken`.
+    Cancelled {
+        /// The stage that observed the cancellation.
+        stage: String,
+    },
+}
+
+impl SimError {
+    /// Whether a retry on the same (healthy) session can succeed: true
+    /// only for injected transient faults, never for program bugs
+    /// (deadlock, overrun, mismatch) or device-level failures (hang,
+    /// wedge, cancellation).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SimError::TransientFault { .. })
+    }
+
+    /// Whether the error means the replica itself is unusable and must
+    /// be replaced (hang, wedge, or host cancellation of a stuck run) —
+    /// as opposed to a per-request or per-program failure.
+    pub fn is_replica_fault(&self) -> bool {
+        matches!(
+            self,
+            SimError::DeviceHang { .. } | SimError::DeviceWedged | SimError::Cancelled { .. }
+        )
+    }
 }
 
 impl fmt::Display for SimError {
@@ -58,6 +107,25 @@ impl fmt::Display for SimError {
             SimError::ScheduleDivergence { layer, detail } => {
                 write!(f, "stage `{layer}` schedule diverged from plan: {detail}")
             }
+            SimError::TransientFault { site, word } => {
+                write!(f, "detected transient fault at {site} (burst word {word})")
+            }
+            SimError::DeviceHang {
+                stage,
+                after_cycles,
+            } => {
+                write!(
+                    f,
+                    "device hang in stage `{stage}` after {after_cycles} cycles"
+                )
+            }
+            SimError::DeviceWedged => {
+                write!(
+                    f,
+                    "device wedged; session must be reset before further runs"
+                )
+            }
+            SimError::Cancelled { stage } => write!(f, "run cancelled in stage `{stage}`"),
         }
     }
 }
@@ -81,5 +149,41 @@ mod tests {
             capacity: 4,
         };
         assert!(e.to_string().contains("weight"));
+        let e = SimError::TransientFault {
+            site: "load_inp",
+            word: 7,
+        };
+        assert!(e.to_string().contains("load_inp"));
+        let e = SimError::DeviceHang {
+            stage: "conv1".into(),
+            after_cycles: 42.0,
+        };
+        assert!(e.to_string().contains("conv1"));
+        assert!(SimError::DeviceWedged.to_string().contains("wedged"));
+        let e = SimError::Cancelled {
+            stage: "conv2".into(),
+        };
+        assert!(e.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn fault_classification() {
+        assert!(SimError::TransientFault {
+            site: "save",
+            word: 0
+        }
+        .is_transient());
+        assert!(!SimError::DeviceWedged.is_transient());
+        assert!(SimError::DeviceWedged.is_replica_fault());
+        assert!(SimError::DeviceHang {
+            stage: "s".into(),
+            after_cycles: 0.0
+        }
+        .is_replica_fault());
+        assert!(!SimError::Deadlock {
+            instruction: 0,
+            fifo: "inp_ready"
+        }
+        .is_replica_fault());
     }
 }

@@ -1,0 +1,475 @@
+//! Deterministic fault injection for simulator sessions.
+//!
+//! Real FPGA inference deployments see failure modes the paper's perfect
+//! device never shows: DRAM bit errors on DMA bursts, handshake FIFOs
+//! that stall and wedge the pipeline, transient compute upsets, and
+//! devices that stay wedged until the host rebuilds the session. A
+//! [`FaultPlan`] models all four as a *seeded, fully deterministic*
+//! stream of injection decisions: the same plan armed on the same
+//! session over the same run sequence produces the same faults, byte for
+//! byte — which is what lets a chaos harness pin invariants like
+//! "retried transient faults are bit-identical to a fault-free run".
+//!
+//! Fault decisions are drawn at sequential points of the (deterministic,
+//! program-order) instruction walk — one draw per LOAD burst, COMP unit,
+//! and SAVE burst, plus one wedge draw per run — so the decision stream
+//! is independent of the execution mode: functional full simulation,
+//! functional plan replay, and timing-only replay all draw the same
+//! sequence for the same program.
+//!
+//! The fault model is *detected-fault* shaped: an injected DRAM or
+//! compute corruption flips real buffer words (functional mode) but is
+//! always detected — the run aborts with a typed [`SimError`] instead of
+//! silently serving corrupt data, modeling an ECC/parity-protected
+//! datapath. Hangs actually stall the host thread (bounded by
+//! [`FaultPlan::with_stall_escape`]) until a [`StopToken`] cancels them,
+//! which is what gives a serving-layer watchdog something real to catch.
+
+use crate::SimError;
+use hybriddnn_isa::{Instruction, LoadKind, Program};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often a stalled instruction polls its [`StopToken`].
+const STALL_POLL: Duration = Duration::from_micros(200);
+
+/// A cooperative cancellation handle for an in-flight run.
+///
+/// The host keeps one clone and hands the other to the session
+/// ([`Simulator::set_stop_token`](crate::Simulator::set_stop_token)).
+/// The simulator checks it between COMP work-groups and inside injected
+/// stalls; once cancelled, the run returns [`SimError::Cancelled`] (or
+/// [`SimError::DeviceHang`] if it was cancelled out of a stall).
+#[derive(Debug, Clone, Default)]
+pub struct StopToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl StopToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        StopToken::default()
+    }
+
+    /// Requests cancellation of the run holding the paired clone.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether [`StopToken::cancel`] has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// A seeded, deterministic fault-injection plan.
+///
+/// All rates are per-site probabilities in `[0, 1]`: `dram` per LOAD
+/// burst, `hang` per COMP unit, `save` per SAVE burst, `wedge` per run.
+/// The default plan from [`FaultPlan::new`] injects nothing until a rate
+/// is raised.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    dram_rate: f64,
+    hang_rate: f64,
+    save_rate: f64,
+    wedge_rate: f64,
+    stall_escape: Duration,
+}
+
+impl FaultPlan {
+    /// A plan with every rate at zero (arm-able but inert).
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            dram_rate: 0.0,
+            hang_rate: 0.0,
+            save_rate: 0.0,
+            wedge_rate: 0.0,
+            stall_escape: Duration::from_millis(100),
+        }
+    }
+
+    /// A mixed plan from one knob (the `serve-bench --fault-rate` shape):
+    /// DRAM and SAVE corruption at `rate`, hangs at `rate / 4`, wedges at
+    /// `rate / 16` — transient-dominant, the empirical shape of deployed
+    /// FPGA fleets.
+    pub fn uniform(seed: u64, rate: f64) -> Self {
+        FaultPlan::new(seed)
+            .with_dram_rate(rate)
+            .with_save_rate(rate)
+            .with_hang_rate(rate / 4.0)
+            .with_wedge_rate(rate / 16.0)
+    }
+
+    /// Per-LOAD-burst probability of a detected DRAM word corruption.
+    #[must_use]
+    pub fn with_dram_rate(mut self, rate: f64) -> Self {
+        self.dram_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Per-COMP-unit probability of a handshake-FIFO stall (a real
+    /// wall-clock hang until cancelled or escaped).
+    #[must_use]
+    pub fn with_hang_rate(mut self, rate: f64) -> Self {
+        self.hang_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Per-SAVE-burst probability of a detected transient compute
+    /// bit-flip.
+    #[must_use]
+    pub fn with_save_rate(mut self, rate: f64) -> Self {
+        self.save_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Per-run probability that the device wedges: the session answers
+    /// [`SimError::DeviceWedged`] to everything until
+    /// [`Simulator::reset_session`](crate::Simulator::reset_session).
+    #[must_use]
+    pub fn with_wedge_rate(mut self, rate: f64) -> Self {
+        self.wedge_rate = rate.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Wall-clock cap on an injected stall when no cancellation arrives
+    /// (a safety net so un-watched sessions cannot hang forever).
+    #[must_use]
+    pub fn with_stall_escape(mut self, escape: Duration) -> Self {
+        self.stall_escape = escape;
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Whether every rate is zero.
+    pub fn is_noop(&self) -> bool {
+        self.dram_rate == 0.0
+            && self.hang_rate == 0.0
+            && self.save_rate == 0.0
+            && self.wedge_rate == 0.0
+    }
+
+    /// The same rates under a replica-specific seed, so a pool of
+    /// replicas armed from one plan does not fault in lockstep. The
+    /// derivation is deterministic in `(seed, replica)`.
+    #[must_use]
+    pub fn for_replica(&self, replica: u64) -> Self {
+        let mut plan = self.clone();
+        plan.seed = splitmix(self.seed ^ replica.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        plan
+    }
+}
+
+/// Counters of faults a session has injected so far, by class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Detected DRAM word corruptions on LOAD bursts.
+    pub dram: u64,
+    /// Handshake-FIFO stalls surfaced as [`SimError::DeviceHang`].
+    pub hangs: u64,
+    /// Detected compute bit-flips at SAVE.
+    pub save_flips: u64,
+    /// Runs on which the device wedged.
+    pub wedges: u64,
+}
+
+impl FaultCounters {
+    /// Total injected faults across all classes.
+    pub fn total(&self) -> u64 {
+        self.dram + self.hangs + self.save_flips + self.wedges
+    }
+}
+
+fn splitmix(state: u64) -> u64 {
+    let mut z = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The armed, mutable state of a plan on one session.
+#[derive(Debug, Clone)]
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    rng: u64,
+    pub(crate) wedged: bool,
+    pub(crate) counters: FaultCounters,
+}
+
+impl FaultState {
+    pub(crate) fn new(plan: FaultPlan) -> Self {
+        let rng = splitmix(plan.seed);
+        FaultState {
+            plan,
+            rng,
+            wedged: false,
+            counters: FaultCounters::default(),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// One Bernoulli draw at `rate`. Always consumes exactly one RNG
+    /// step, so the decision stream length is rate-independent.
+    fn chance(&mut self, rate: f64) -> bool {
+        let u = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        u < rate
+    }
+
+    /// Run-entry check: sticky wedge state, then the per-run wedge draw.
+    pub(crate) fn begin_run(&mut self) -> Result<(), SimError> {
+        if self.wedged {
+            return Err(SimError::DeviceWedged);
+        }
+        if self.chance(self.plan.wedge_rate) {
+            self.wedged = true;
+            self.counters.wedges += 1;
+            return Err(SimError::DeviceWedged);
+        }
+        Ok(())
+    }
+
+    /// Per-LOAD-burst draw; `Some((word, site))` names the burst word to
+    /// corrupt and the fault site.
+    pub(crate) fn on_load(
+        &mut self,
+        kind: LoadKind,
+        words: usize,
+    ) -> Option<(usize, &'static str)> {
+        if !self.chance(self.plan.dram_rate) {
+            return None;
+        }
+        let word = self.next_u64() as usize % words.max(1);
+        self.counters.dram += 1;
+        let site = match kind {
+            LoadKind::Input => "load_inp",
+            // Bias rides the weight DMA channel.
+            _ => "load_wgt",
+        };
+        Some((word, site))
+    }
+
+    /// Per-COMP-unit draw: does this unit's handshake stall?
+    pub(crate) fn on_comp_hang(&mut self) -> bool {
+        if self.chance(self.plan.hang_rate) {
+            self.counters.hangs += 1;
+            return true;
+        }
+        false
+    }
+
+    /// Per-SAVE-burst draw; `Some(word)` names the output word whose
+    /// compute result flipped.
+    pub(crate) fn on_save(&mut self, words: usize) -> Option<usize> {
+        if !self.chance(self.plan.save_rate) {
+            return None;
+        }
+        let word = self.next_u64() as usize % words.max(1);
+        self.counters.save_flips += 1;
+        Some(word)
+    }
+
+    pub(crate) fn clear_wedge(&mut self) {
+        self.wedged = false;
+    }
+
+    pub(crate) fn stall_escape(&self) -> Duration {
+        self.plan.stall_escape
+    }
+}
+
+/// Per-stage fault context threaded through the execution paths. Both
+/// fields are optional so the unarmed hot path pays one branch per
+/// instruction at most.
+pub(crate) struct FaultHook<'a> {
+    pub(crate) state: Option<&'a mut FaultState>,
+    pub(crate) stop: Option<&'a StopToken>,
+    pub(crate) stage: &'a str,
+}
+
+impl<'a> FaultHook<'a> {
+    /// A hook that injects nothing and cannot be cancelled.
+    pub(crate) fn none() -> FaultHook<'static> {
+        FaultHook {
+            state: None,
+            stop: None,
+            stage: "",
+        }
+    }
+
+    /// Cooperative cancellation point (between COMP work-groups).
+    pub(crate) fn check_stop(&self) -> Result<(), SimError> {
+        match self.stop {
+            Some(s) if s.is_cancelled() => Err(SimError::Cancelled {
+                stage: self.stage.to_string(),
+            }),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// Blocks the calling thread like a wedged handshake FIFO would: polls
+/// the stop token until cancelled or until `escape` elapses.
+pub(crate) fn stall(stop: Option<&StopToken>, escape: Duration) {
+    let start = Instant::now();
+    while start.elapsed() < escape {
+        if stop.is_some_and(StopToken::is_cancelled) {
+            return;
+        }
+        std::thread::sleep(STALL_POLL);
+    }
+}
+
+/// Walks a stage program drawing the same per-instruction fault
+/// decisions as the event-simulation and replay paths, without executing
+/// anything — the fault surface of the timing-only plan-replay path
+/// (which otherwise executes nothing at all).
+pub(crate) fn check_program(
+    state: &mut FaultState,
+    stop: Option<&StopToken>,
+    program: &Program,
+    stage: &str,
+    po: usize,
+) -> Result<(), SimError> {
+    for inst in program.instructions() {
+        match inst {
+            Instruction::Load(l) => {
+                if let Some((word, site)) = state.on_load(l.kind, l.words() as usize) {
+                    return Err(SimError::TransientFault { site, word });
+                }
+            }
+            Instruction::Comp(_) => {
+                if stop.is_some_and(StopToken::is_cancelled) {
+                    return Err(SimError::Cancelled {
+                        stage: stage.to_string(),
+                    });
+                }
+                if state.on_comp_hang() {
+                    stall(stop, state.stall_escape());
+                    return Err(SimError::DeviceHang {
+                        stage: stage.to_string(),
+                        after_cycles: 0.0,
+                    });
+                }
+            }
+            Instruction::Save(s) => {
+                let pool = (s.pool as usize).max(1);
+                let words = (s.oc_vecs as usize * po)
+                    * (s.rows as usize / pool)
+                    * (s.out_w as usize / pool);
+                if let Some(word) = state.on_save(words.max(1)) {
+                    return Err(SimError::TransientFault { site: "save", word });
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_token_round_trip() {
+        let t = StopToken::new();
+        let clone = t.clone();
+        assert!(!t.is_cancelled());
+        clone.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn zero_rate_plans_inject_nothing() {
+        let mut s = FaultState::new(FaultPlan::new(7));
+        assert!(FaultPlan::new(7).is_noop());
+        for _ in 0..1000 {
+            assert!(s.begin_run().is_ok());
+            assert!(s.on_load(LoadKind::Input, 64).is_none());
+            assert!(!s.on_comp_hang());
+            assert!(s.on_save(64).is_none());
+        }
+        assert_eq!(s.counters.total(), 0);
+    }
+
+    #[test]
+    fn full_rate_plans_always_inject() {
+        let plan = FaultPlan::new(3).with_dram_rate(1.0).with_save_rate(1.0);
+        assert!(!plan.is_noop());
+        let mut s = FaultState::new(plan);
+        let (word, site) = s.on_load(LoadKind::Weight, 8).unwrap();
+        assert!(word < 8);
+        assert_eq!(site, "load_wgt");
+        assert!(s.on_save(8).is_some());
+        assert_eq!(s.counters.dram, 1);
+        assert_eq!(s.counters.save_flips, 1);
+    }
+
+    #[test]
+    fn same_seed_same_decision_stream() {
+        let plan = FaultPlan::new(42).with_dram_rate(0.3).with_hang_rate(0.2);
+        let mut a = FaultState::new(plan.clone());
+        let mut b = FaultState::new(plan);
+        for _ in 0..500 {
+            assert_eq!(
+                a.on_load(LoadKind::Input, 16),
+                b.on_load(LoadKind::Input, 16)
+            );
+            assert_eq!(a.on_comp_hang(), b.on_comp_hang());
+        }
+        assert_eq!(a.counters, b.counters);
+    }
+
+    #[test]
+    fn replica_plans_diverge_but_are_deterministic() {
+        let base = FaultPlan::uniform(9, 0.5);
+        let r0 = base.for_replica(0);
+        let r1 = base.for_replica(1);
+        assert_ne!(r0.seed(), r1.seed());
+        assert_eq!(r0, base.for_replica(0));
+    }
+
+    #[test]
+    fn wedge_is_sticky_until_cleared() {
+        let mut s = FaultState::new(FaultPlan::new(1).with_wedge_rate(1.0));
+        assert!(matches!(s.begin_run(), Err(SimError::DeviceWedged)));
+        assert_eq!(s.counters.wedges, 1);
+        // Sticky: no new draw, still wedged.
+        assert!(matches!(s.begin_run(), Err(SimError::DeviceWedged)));
+        assert_eq!(s.counters.wedges, 1);
+        s.clear_wedge();
+        // Rate 1.0: wedges again on the next run, with a fresh draw.
+        assert!(matches!(s.begin_run(), Err(SimError::DeviceWedged)));
+        assert_eq!(s.counters.wedges, 2);
+    }
+
+    #[test]
+    fn stall_escapes_without_cancellation() {
+        let start = Instant::now();
+        stall(None, Duration::from_millis(5));
+        assert!(start.elapsed() >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn stall_returns_on_cancellation() {
+        let token = StopToken::new();
+        token.cancel();
+        let start = Instant::now();
+        stall(Some(&token), Duration::from_secs(10));
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+}

@@ -53,6 +53,7 @@
 #![warn(missing_docs)]
 
 mod error;
+mod fault;
 pub mod kernels;
 mod machine;
 mod pe;
@@ -61,6 +62,7 @@ mod runner;
 mod stats;
 
 pub use error::SimError;
+pub use fault::{FaultCounters, FaultPlan, StopToken};
 pub use machine::Accelerator;
 pub use pe::CompCtx;
 pub use runner::{RunResult, SimMode, Simulator, StageTraces};

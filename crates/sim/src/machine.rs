@@ -8,6 +8,7 @@
 //! of `bw` words/cycle (the multi-channel boards the paper targets), so
 //! Eq. 8–11's `min(BW, port)` rates emerge naturally.
 
+use crate::fault::{self, FaultHook};
 use crate::pe::{build_unit_pack, exec_comp, exec_load, exec_save, Buffers, CompCtx};
 use crate::plan::{PackMode, UnitPack};
 use crate::stats::{ModuleBusy, StageStats};
@@ -99,7 +100,7 @@ impl Accelerator {
         program: &Program,
         mem: &mut ExternalMemory,
     ) -> Result<StageStats, SimError> {
-        self.run_stage_inner(program, mem, None, PackMode::Off)
+        self.run_stage_inner(program, mem, None, PackMode::Off, &mut FaultHook::none())
     }
 
     /// Like [`Accelerator::run_stage`], optionally recording each
@@ -113,7 +114,7 @@ impl Accelerator {
         mem: &mut ExternalMemory,
         trace: Option<&mut Vec<(f64, f64)>>,
     ) -> Result<StageStats, SimError> {
-        self.run_stage_inner(program, mem, trace, PackMode::Off)
+        self.run_stage_inner(program, mem, trace, PackMode::Off, &mut FaultHook::none())
     }
 
     /// Full event simulation of one stage, optionally recording or
@@ -123,12 +124,17 @@ impl Accelerator {
     /// and bias buffers as they stand when that COMP retires in program
     /// order — then immediately consumed by `exec_comp`, so the recording
     /// run exercises exactly the code path that replays will.
+    /// Fault decisions (when `faults` carries armed state) are drawn at
+    /// fixed per-instruction points of this sequential walk — one per
+    /// LOAD, COMP, and SAVE — so the decision stream depends only on the
+    /// program, never on mode or host threading.
     pub(crate) fn run_stage_inner(
         &mut self,
         program: &Program,
         mem: &mut ExternalMemory,
         mut trace: Option<&mut Vec<(f64, f64)>>,
         mut packs: PackMode<'_>,
+        faults: &mut FaultHook<'_>,
     ) -> Result<StageStats, SimError> {
         let mut next_pack = 0usize;
         let mut t = Timing::new();
@@ -169,6 +175,12 @@ impl Accelerator {
                     if self.functional {
                         exec_load(&mut self.bufs, mem, l)?;
                     }
+                    if let Some(state) = faults.state.as_deref_mut() {
+                        if let Some((word, site)) = state.on_load(l.kind, l.words() as usize) {
+                            self.corrupt_load_word(l, word);
+                            return Err(SimError::TransientFault { site, word });
+                        }
+                    }
                 }
                 Instruction::Comp(c) => {
                     let mut start = t.module_free(Module::Comp).max(dispatch);
@@ -181,6 +193,16 @@ impl Accelerator {
                     if c.acc_final {
                         // Need a free output slot before flushing.
                         start = start.max(t.pop(Fifo::OutFree, i)?);
+                    }
+                    faults.check_stop()?;
+                    if let Some(state) = faults.state.as_deref_mut() {
+                        if state.on_comp_hang() {
+                            fault::stall(faults.stop, state.stall_escape());
+                            return Err(SimError::DeviceHang {
+                                stage: faults.stage.to_string(),
+                                after_cycles: start,
+                            });
+                        }
                     }
                     let dur = COMP_OVERHEAD + self.comp_cycles(c);
                     let finish = start + dur;
@@ -255,6 +277,17 @@ impl Accelerator {
                     if s.signal_free {
                         t.push(Fifo::OutFree, finish);
                     }
+                    if let Some(state) = faults.state.as_deref_mut() {
+                        if let Some(word) = state.on_save(words.max(1)) {
+                            if self.functional {
+                                let idx = s.buff_base as usize + word;
+                                if let Some(v) = self.bufs.output.get_mut(idx) {
+                                    *v = flip_word(*v);
+                                }
+                            }
+                            return Err(SimError::TransientFault { site: "save", word });
+                        }
+                    }
                     if self.functional {
                         exec_save(&self.bufs, mem, &self.cfg, s)?;
                     }
@@ -286,6 +319,7 @@ impl Accelerator {
         program: &Program,
         mem: &mut ExternalMemory,
         packs: &[UnitPack],
+        faults: &mut FaultHook<'_>,
     ) -> Result<(), SimError> {
         let mut next_pack = 0usize;
         for inst in program.instructions() {
@@ -294,8 +328,27 @@ impl Accelerator {
                     if l.kind == LoadKind::Input {
                         exec_load(&mut self.bufs, mem, l)?;
                     }
+                    // Draw for every LOAD — including the elided weight
+                    // loads — so the decision stream matches the full
+                    // event-simulation path exactly.
+                    if let Some(state) = faults.state.as_deref_mut() {
+                        if let Some((word, site)) = state.on_load(l.kind, l.words() as usize) {
+                            self.corrupt_load_word(l, word);
+                            return Err(SimError::TransientFault { site, word });
+                        }
+                    }
                 }
                 Instruction::Comp(c) => {
+                    faults.check_stop()?;
+                    if let Some(state) = faults.state.as_deref_mut() {
+                        if state.on_comp_hang() {
+                            fault::stall(faults.stop, state.stall_escape());
+                            return Err(SimError::DeviceHang {
+                                stage: faults.stage.to_string(),
+                                after_cycles: 0.0,
+                            });
+                        }
+                    }
                     let pack = packs.get(next_pack).filter(|p| !p.weights.is_empty());
                     next_pack += 1;
                     exec_comp(
@@ -307,10 +360,44 @@ impl Accelerator {
                         pack,
                     )?;
                 }
-                Instruction::Save(s) => exec_save(&self.bufs, mem, &self.cfg, s)?,
+                Instruction::Save(s) => {
+                    if let Some(state) = faults.state.as_deref_mut() {
+                        let pool = (s.pool as usize).max(1);
+                        let words = (s.oc_vecs as usize * self.cfg.po)
+                            * (s.rows as usize / pool)
+                            * (s.out_w as usize / pool);
+                        if let Some(word) = state.on_save(words.max(1)) {
+                            let idx = s.buff_base as usize + word;
+                            if let Some(v) = self.bufs.output.get_mut(idx) {
+                                *v = flip_word(*v);
+                            }
+                            return Err(SimError::TransientFault { site: "save", word });
+                        }
+                    }
+                    exec_save(&self.bufs, mem, &self.cfg, s)?;
+                }
             }
         }
         Ok(())
+    }
+
+    /// Flips one word of the buffer a LOAD just filled — the functional
+    /// face of an injected DRAM burst error. The staged DRAM image is
+    /// never touched, and every buffer span a COMP reads is re-loaded by
+    /// its own run, so the corruption cannot outlive the erroring run.
+    fn corrupt_load_word(&mut self, l: &hybriddnn_isa::LoadInst, word: usize) {
+        if !self.functional {
+            return;
+        }
+        let dest = match l.kind {
+            LoadKind::Input => &mut self.bufs.input,
+            LoadKind::Weight => &mut self.bufs.weight,
+            LoadKind::Bias => &mut self.bufs.bias,
+        };
+        let idx = l.buff_base as usize + word;
+        if let Some(v) = dest.get_mut(idx) {
+            *v = flip_word(*v);
+        }
     }
 
     /// PE cycles for one COMP unit.
@@ -336,6 +423,12 @@ impl Accelerator {
             (work.div_ceil(pt2) * c.oc_vecs as usize) as f64
         }
     }
+}
+
+/// One-bit mantissa upset — a detectable, value-visible corruption that
+/// never produces NaN/Inf from a finite input.
+fn flip_word(v: f32) -> f32 {
+    f32::from_bits(v.to_bits() ^ 0x0040_0000)
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

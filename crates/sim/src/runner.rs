@@ -2,6 +2,7 @@
 //! compiled network (Figure 1 Step 4: "a light-weight runtime ... to
 //! manage the execution of the generated accelerator").
 
+use crate::fault::{self, FaultCounters, FaultHook, FaultPlan, FaultState, StopToken};
 use crate::machine::Accelerator;
 use crate::plan::{LayerPlan, PackMode, SessionPlan, UnitPack};
 use crate::stats::StageStats;
@@ -79,6 +80,9 @@ pub struct Simulator {
     accel: Accelerator,
     mem: ExternalMemory,
     mode: SimMode,
+    /// Per-channel DDR bandwidth, kept so [`Simulator::reset_session`]
+    /// can rebuild the accelerator identically.
+    bw: f64,
     /// Cached input-invariant work (weight packs, timing schedules),
     /// recorded lazily on the session's first run. See [`crate::plan`].
     plan: Option<SessionPlan>,
@@ -88,6 +92,11 @@ pub struct Simulator {
     /// When true, planned runs re-simulate the timing schedule and return
     /// [`SimError::ScheduleDivergence`] if it differs from the recording.
     validate: bool,
+    /// Armed fault-injection state; `None` (the default) costs the hot
+    /// path nothing but an untaken branch per instruction.
+    faults: Option<Box<FaultState>>,
+    /// Cooperative cancellation checked between COMP work-groups.
+    stop: Option<StopToken>,
 }
 
 impl Simulator {
@@ -119,9 +128,12 @@ impl Simulator {
             accel,
             mem,
             mode,
+            bw,
             plan: None,
             planning: true,
             validate: false,
+            faults: None,
+            stop: None,
         }
     }
 
@@ -269,6 +281,77 @@ impl Simulator {
         self
     }
 
+    /// Arms deterministic fault injection on this session. Replaces any
+    /// previously armed plan (restarting its decision stream from the
+    /// seed) and clears a pending wedge.
+    pub fn arm_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(Box::new(FaultState::new(plan)));
+    }
+
+    /// Disarms fault injection; subsequent runs are fault-free.
+    pub fn disarm_faults(&mut self) {
+        self.faults = None;
+    }
+
+    /// Counters of faults injected so far (zeros when never armed).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults
+            .as_deref()
+            .map_or_else(FaultCounters::default, |f| f.counters)
+    }
+
+    /// Whether the device is wedged: every run fails with
+    /// [`SimError::DeviceWedged`] until [`Simulator::reset_session`].
+    pub fn wedged(&self) -> bool {
+        self.faults.as_deref().is_some_and(|f| f.wedged)
+    }
+
+    /// Installs the session half of a cooperative cancellation pair. The
+    /// simulator checks the token between COMP work-groups and inside
+    /// injected stalls; once the host cancels it, the in-flight run
+    /// returns [`SimError::Cancelled`] (or [`SimError::DeviceHang`] if it
+    /// was stalled). A cancelled token keeps failing runs until replaced
+    /// or cleared.
+    pub fn set_stop_token(&mut self, token: StopToken) {
+        self.stop = Some(token);
+    }
+
+    /// Removes any installed stop token.
+    pub fn clear_stop_token(&mut self) {
+        self.stop = None;
+    }
+
+    /// Rebuilds the device side of the session after a fatal fault: a
+    /// fresh accelerator (on-chip buffers cleared), re-staged external
+    /// memory, and a dropped session plan — the simulated equivalent of
+    /// reprogramming a wedged board. Releases the wedge latch but keeps
+    /// the armed fault plan's decision stream where it left off, so a
+    /// session's fault history stays deterministic across resets.
+    pub fn reset_session(&mut self, compiled: &CompiledNetwork) {
+        let threads = self.accel.threads();
+        let functional = self.mode == SimMode::Functional;
+        let mut accel = Accelerator::new(
+            *compiled.config(),
+            self.bw,
+            compiled.quant().activations,
+            functional,
+        );
+        accel.set_threads(threads);
+        self.accel = accel;
+        self.mem = if functional {
+            let mut mem =
+                ExternalMemory::with_capacity_words(compiled.memory_map().total_words() as usize);
+            compiled.stage_data(&mut mem);
+            mem
+        } else {
+            ExternalMemory::new()
+        };
+        self.plan = None;
+        if let Some(f) = self.faults.as_deref_mut() {
+            f.clear_wedge();
+        }
+    }
+
     fn run_impl(
         &mut self,
         compiled: &CompiledNetwork,
@@ -291,19 +374,54 @@ impl Simulator {
         out.stage_stats.clear();
         out.total_cycles = 0.0;
 
+        // Sticky wedge check plus the per-run wedge draw, before any
+        // stage executes.
+        if let Some(f) = self.faults.as_deref_mut() {
+            f.begin_run()?;
+        }
+
         let replay = self.planning && !self.validate && traces.is_none() && self.plan.is_some();
         if replay {
             let plan = self.plan.as_ref().expect("replay requires a plan");
             if self.mode == SimMode::Functional {
                 for (layer, lp) in compiled.layers().iter().zip(&plan.layers) {
-                    self.accel
-                        .replay_stage(layer.program(), &mut self.mem, &lp.packs)?;
+                    let mut hook = FaultHook {
+                        state: self.faults.as_deref_mut(),
+                        stop: self.stop.as_ref(),
+                        stage: layer.name(),
+                    };
+                    self.accel.replay_stage(
+                        layer.program(),
+                        &mut self.mem,
+                        &lp.packs,
+                        &mut hook,
+                    )?;
                     out.total_cycles += lp.stats.cycles;
                     out.stage_stats.push(lp.stats.clone());
                 }
             } else {
-                // Timing-only replay executes nothing at all.
-                for lp in &plan.layers {
+                // Timing-only replay executes nothing at all — but the
+                // fault/cancellation surface must not vanish with it, so
+                // walk each stage program drawing the same decisions the
+                // executing paths would.
+                let po = self.accel.config().po;
+                for (layer, lp) in compiled.layers().iter().zip(&plan.layers) {
+                    match self.faults.as_deref_mut() {
+                        Some(f) => fault::check_program(
+                            f,
+                            self.stop.as_ref(),
+                            layer.program(),
+                            layer.name(),
+                            po,
+                        )?,
+                        None => {
+                            if self.stop.as_ref().is_some_and(StopToken::is_cancelled) {
+                                return Err(SimError::Cancelled {
+                                    stage: layer.name().to_string(),
+                                });
+                            }
+                        }
+                    }
                     out.total_cycles += lp.stats.cycles;
                     out.stage_stats.push(lp.stats.clone());
                 }
@@ -320,6 +438,11 @@ impl Simulator {
                 } else {
                     PackMode::Off
                 };
+                let mut hook = FaultHook {
+                    state: self.faults.as_deref_mut(),
+                    stop: self.stop.as_ref(),
+                    stage: layer.name(),
+                };
                 let mut stats = match traces.as_deref_mut() {
                     Some(ts) => {
                         let mut trace = Vec::with_capacity(layer.program().len());
@@ -328,6 +451,7 @@ impl Simulator {
                             &mut self.mem,
                             Some(&mut trace),
                             pack_mode,
+                            &mut hook,
                         )?;
                         ts.push(trace);
                         s
@@ -337,6 +461,7 @@ impl Simulator {
                         &mut self.mem,
                         None,
                         pack_mode,
+                        &mut hook,
                     )?,
                 };
                 stats.name = match &self.plan {

@@ -50,4 +50,16 @@ BENCH_JSON="$(mktemp)" ./target/release/examples/stage_probe > /dev/null
 echo "==> --validate-plan smoke test"
 ./target/release/hybriddnn specs/vgg_tiny.hdnn pynq-z1 --functional --validate-plan --threads 1 | grep "plan"
 
+# Chaos suite: the serving layer under deterministic fault injection
+# (transients retried to bit-identical results, hangs watchdog-cancelled,
+# wedges respawned, full-quarantine drains with typed errors).
+echo "==> chaos tests (fault injection + self-healing)"
+cargo test -q --offline --release -p hybriddnn-runtime --test chaos
+
+# Faulted serving smoke test: serve-bench with a uniform fault plan must
+# answer every request (served or typed error) and print fault metrics.
+echo "==> serve-bench --fault-rate 0.01 smoke test"
+./target/release/hybriddnn serve-bench tiny-cnn pynq-z1 --requests 200 --workers 2 \
+    --fault-rate 0.01 --retries 8 | grep "fault tolerance"
+
 echo "CI OK"
