@@ -1,0 +1,213 @@
+//! Network-serving throughput: requests/s through the full TCP stack
+//! (wire codec → registry → batching runtime → wire codec) and its
+//! scaling from one connection to several.
+//!
+//! ```text
+//! cargo run --release -p hybriddnn-bench --bin net_throughput
+//! ```
+//!
+//! The default mode starts an in-process server on an ephemeral
+//! loopback port (zoo `tiny-cnn`, timing-only, 4 workers), drives it
+//! closed-loop — each connection keeps a bounded window of pipelined
+//! requests in flight and matches the out-of-order completions by
+//! request id — and appends a host-tagged `net_throughput` record to
+//! `BENCH_sim.json` comparing 1-connection and multi-connection rates.
+//!
+//! With `--addr HOST:PORT` it instead acts as a load generator against
+//! an already-running `hybriddnn serve-net` (CI's smoke path): it runs
+//! a burst of `INFER` plus periodic `STATS` probes over the first
+//! registered model, prints the measured throughput, and with
+//! `--drain` asks the server to shut down afterwards. The remote mode
+//! assumes the served model takes `tiny-cnn`-shaped inputs (CI serves
+//! exactly that); no JSON record is written.
+
+use hybriddnn_bench::bench_json::Record;
+use hybriddnn_model::{synth, zoo, Tensor};
+use hybriddnn_server::{zoo_resolver, Body, Client, LoadRequest, Registry, Server, ServerConfig};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Closed-loop requests for the in-process measurement (per
+/// connection-count tier).
+const REQUESTS: usize = 6_000;
+/// Connections in the multi-connection tier.
+const FAN_CONNS: usize = 4;
+/// Pipelined in-flight window per connection.
+const WINDOW: usize = 64;
+/// Service workers behind the in-process server.
+const WORKERS: u32 = 4;
+
+/// Drives `total` timing-only inferences through one connection with a
+/// bounded pipeline window, returning the count actually served.
+fn drive(addr: SocketAddr, model_id: u32, input: &Tensor, total: usize) -> usize {
+    let mut client = Client::connect(addr).expect("connect");
+    let mut in_flight = 0usize;
+    let mut sent = 0usize;
+    let mut served = 0usize;
+    while sent < total || in_flight > 0 {
+        while sent < total && in_flight < WINDOW {
+            client
+                .send(
+                    model_id,
+                    0,
+                    Body::InferTiming {
+                        tensor: input.clone(),
+                    },
+                )
+                .expect("send");
+            sent += 1;
+            in_flight += 1;
+        }
+        let frame = client.recv().expect("recv");
+        in_flight -= 1;
+        match frame.body {
+            Body::Timing(_) => served += 1,
+            Body::Error(e) if e.is_backpressure() => {
+                // Closed-loop with a modest window should never trip
+                // backpressure; tolerate it anyway (the request simply
+                // is not re-issued).
+            }
+            other => panic!("unexpected response {:?}", other.opcode()),
+        }
+    }
+    served
+}
+
+/// One throughput tier: `conns` connections × `REQUESTS / conns`
+/// pipelined requests each. Returns requests/s.
+fn measure(addr: SocketAddr, model_id: u32, input: &Tensor, conns: usize) -> f64 {
+    let per_conn = REQUESTS / conns;
+    let start = Instant::now();
+    let served: usize = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|_| scope.spawn(move || drive(addr, model_id, input, per_conn)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("driver")).sum()
+    });
+    served as f64 / start.elapsed().as_secs_f64()
+}
+
+fn run_local() {
+    let registry = Arc::new(Registry::new(zoo_resolver()));
+    let mut load = LoadRequest::new("tiny-cnn", "tiny-cnn", "vu9p");
+    load.functional = false;
+    load.workers = WORKERS;
+    let model_id = registry.load_blocking(load).expect("load tiny-cnn");
+    let server = Server::bind(
+        Arc::clone(&registry),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+    let input = synth::tensor(zoo::tiny_cnn().input_shape(), 7);
+
+    // Warm the service (first batch pays simulator session setup).
+    drive(addr, model_id, &input, 256);
+
+    let rps_1 = measure(addr, model_id, &input, 1);
+    let rps_n = measure(addr, model_id, &input, FAN_CONNS);
+    let scaling = rps_n / rps_1;
+    println!("net_throughput: tiny-cnn timing-only, {WORKERS} workers, window {WINDOW}");
+    println!("  1 connection : {rps_1:>10.0} req/s");
+    println!("  {FAN_CONNS} connections: {rps_n:>10.0} req/s  ({scaling:.2}x)");
+
+    let stats = server.shutdown();
+    assert_eq!(stats.failed, 0, "clean run must not fail requests");
+
+    Record::new("net_throughput")
+        .str("model", "tiny-cnn")
+        .int("workers", u64::from(WORKERS))
+        .int("window", WINDOW as u64)
+        .int("requests_per_tier", REQUESTS as u64)
+        .num("conns1_rps", rps_1)
+        .int("fan_conns", FAN_CONNS as u64)
+        .num("fan_rps", rps_n)
+        .num("scaling", scaling)
+        .save();
+}
+
+fn run_remote(addr: &str, requests: usize, drain: bool) {
+    let mut client = Client::connect(addr).expect("connect to serve-net");
+    client.ping().expect("ping");
+    let models = client.list_models().expect("list models");
+    let model = models.first().expect("server has no models");
+    println!(
+        "load-gen: targeting `{}` v{} (model id {}) at {addr}",
+        model.name, model.version, model.model_id
+    );
+    let model_id = model.model_id;
+    let input = synth::tensor(zoo::tiny_cnn().input_shape(), 7);
+
+    let start = Instant::now();
+    let mut served = 0usize;
+    let mut in_flight: Vec<u64> = Vec::new();
+    for i in 0..requests {
+        let id = client
+            .send(
+                model_id,
+                0,
+                Body::Infer {
+                    tensor: input.clone(),
+                },
+            )
+            .expect("send");
+        in_flight.push(id);
+        // Periodic STATS probes ride the same pipelined connection.
+        if i % 64 == 32 {
+            let stats = client.stats().expect("stats");
+            assert!(stats.models >= 1);
+        }
+        if in_flight.len() >= WINDOW {
+            let frame = client.recv_for(in_flight.remove(0)).expect("recv");
+            if matches!(frame.body, Body::Output(_)) {
+                served += 1;
+            }
+        }
+    }
+    for id in in_flight.drain(..) {
+        let frame = client.recv_for(id).expect("recv");
+        if matches!(frame.body, Body::Output(_)) {
+            served += 1;
+        }
+    }
+    let elapsed = start.elapsed();
+    let stats = client.stats().expect("final stats");
+    println!(
+        "load-gen: {served}/{requests} served in {elapsed:?} — {:.0} req/s \
+         ({} completed server-side, {} failed)",
+        served as f64 / elapsed.as_secs_f64(),
+        stats.completed,
+        stats.failed,
+    );
+    assert!(served > 0, "load generator served nothing");
+    if drain {
+        client.drain().expect("drain");
+        println!("load-gen: server acknowledged drain");
+    }
+}
+
+fn main() {
+    let mut addr = None;
+    let mut requests = 512usize;
+    let mut drain = false;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = Some(it.next().expect("--addr requires HOST:PORT")),
+            "--requests" => {
+                requests = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--requests requires a count")
+            }
+            "--drain" => drain = true,
+            other => panic!("unknown flag `{other}` (expected --addr/--requests/--drain)"),
+        }
+    }
+    match addr {
+        Some(addr) => run_remote(&addr, requests, drain),
+        None => run_local(),
+    }
+}

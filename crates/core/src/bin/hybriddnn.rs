@@ -44,6 +44,25 @@
 //! enables a 50 ms watchdog. `--retries` bounds per-request transient
 //! retries; `--min-healthy` sets the degraded-mode floor. Individual
 //! request failures are tallied instead of aborting the benchmark.
+//!
+//! A third subcommand exposes the runtime over TCP (see
+//! `hybriddnn-server` and DESIGN.md §10):
+//!
+//! ```text
+//! hybriddnn serve-net <MODEL.hdnn|tiny-cnn|vgg-tiny> <DEVICE.fpga|vu9p|pynq-z1>
+//!           [--port N] [--name NAME] [--workers N] [--functional]
+//!           [--quota N] [--max-conns N] [--fault-rate F] [--fault-seed N]
+//!           [--retries N] [--seed N] [--threads N]
+//! ```
+//!
+//! It preloads the model into a registry (more can be hot-loaded over
+//! the wire with `LOAD_MODEL`), binds `127.0.0.1:<port>` (`--port 0`,
+//! the default, picks an ephemeral port), prints
+//! `listening on 127.0.0.1:PORT`, and serves until some client sends
+//! `DRAIN` — then completes in-flight work, prints the final aggregate
+//! stats, and exits with every thread joined. Talk to it with
+//! `hybriddnn_server::Client` or the `net_throughput` load generator
+//! (`--addr`).
 
 use hybriddnn::flow::Framework;
 use hybriddnn::model::{reference, synth, zoo};
@@ -230,6 +249,166 @@ fn parse_serve_args<I: Iterator<Item = String>>(mut it: I) -> Result<ServeArgs, 
     })
 }
 
+struct ServeNetArgs {
+    model: String,
+    device: String,
+    port: u16,
+    name: Option<String>,
+    workers: u32,
+    functional: bool,
+    quota: u32,
+    max_conns: usize,
+    fault_rate: f64,
+    fault_seed: Option<u64>,
+    retries: u32,
+    seed: u64,
+    threads: usize,
+}
+
+fn parse_serve_net_args<I: Iterator<Item = String>>(mut it: I) -> Result<ServeNetArgs, String> {
+    let mut positional = Vec::new();
+    let mut port = 0u16;
+    let mut name = None;
+    let mut workers = 4u32;
+    let mut functional = false;
+    let mut quota = 0u32;
+    let mut max_conns = 64usize;
+    let mut fault_rate = 0.0f64;
+    let mut fault_seed = None;
+    let mut retries = 0u32;
+    let mut seed = 42u64;
+    let mut threads = 0usize;
+    fn value<I: Iterator<Item = String>, T: std::str::FromStr>(
+        it: &mut I,
+        flag: &str,
+    ) -> Result<T, String> {
+        let v = it
+            .next()
+            .ok_or_else(|| format!("{flag} requires a value"))?;
+        v.parse().map_err(|_| format!("bad value `{v}` for {flag}"))
+    }
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--port" => port = value(&mut it, "--port")?,
+            "--name" => name = Some(it.next().ok_or("--name requires a value")?),
+            "--workers" => workers = value(&mut it, "--workers")?,
+            "--functional" => functional = true,
+            "--quota" => quota = value(&mut it, "--quota")?,
+            "--max-conns" => max_conns = value(&mut it, "--max-conns")?,
+            "--fault-rate" => fault_rate = value(&mut it, "--fault-rate")?,
+            "--fault-seed" => fault_seed = Some(value(&mut it, "--fault-seed")?),
+            "--retries" => retries = value(&mut it, "--retries")?,
+            "--seed" => seed = value(&mut it, "--seed")?,
+            "--threads" => threads = value(&mut it, "--threads")?,
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}`"));
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    if positional.len() != 2 {
+        return Err("serve-net expects exactly two arguments: MODEL DEVICE".to_string());
+    }
+    if !(0.0..=1.0).contains(&fault_rate) {
+        return Err(format!("--fault-rate must be in [0, 1], got {fault_rate}"));
+    }
+    Ok(ServeNetArgs {
+        model: positional[0].clone(),
+        device: positional[1].clone(),
+        port,
+        name,
+        workers,
+        functional,
+        quota,
+        max_conns,
+        fault_rate,
+        fault_seed,
+        retries,
+        seed,
+        threads,
+    })
+}
+
+/// The CLI's model/device resolver for the network registry: the zoo
+/// names plus `.hdnn` / `.fpga` file paths (the plug point that keeps
+/// `hybriddnn-server` free of the parser dependency).
+fn cli_resolver() -> hybriddnn_server::Resolver {
+    std::sync::Arc::new(|model: &str, device: &str, seed: u64| {
+        let net = model_for(model, seed)?;
+        let (device, profile) = device_for(device)?;
+        Ok(hybriddnn_server::ResolvedModel {
+            net,
+            device,
+            profile,
+        })
+    })
+}
+
+fn run_serve_net(args: ServeNetArgs) -> Result<(), String> {
+    use hybriddnn_server::{LoadRequest, Registry, Server, ServerConfig};
+    hybriddnn::par::set_default_threads(args.threads);
+    let registry = std::sync::Arc::new(Registry::new(cli_resolver()));
+    let name = args.name.clone().unwrap_or_else(|| args.model.clone());
+    let request = LoadRequest {
+        name: name.clone(),
+        version: 1,
+        model: args.model.clone(),
+        device: args.device.clone(),
+        seed: args.seed,
+        workers: args.workers,
+        functional: args.functional,
+        quota: args.quota,
+        fault_rate: args.fault_rate,
+        fault_seed: args.fault_seed.unwrap_or(args.seed),
+        retries: args.retries,
+    };
+    let model_id = registry.load_blocking(request).map_err(|e| e.to_string())?;
+    let config = ServerConfig {
+        max_connections: args.max_conns,
+        ..ServerConfig::default()
+    };
+    let server = Server::bind(
+        std::sync::Arc::clone(&registry),
+        &format!("127.0.0.1:{}", args.port),
+        config,
+    )
+    .map_err(|e| format!("bind failed: {e}"))?;
+    println!(
+        "serve-net: `{name}` (model id {model_id}) on {} — {} worker(s), {} mode{}",
+        args.device,
+        args.workers,
+        if args.functional {
+            "functional"
+        } else {
+            "timing-only"
+        },
+        if args.fault_rate > 0.0 {
+            format!(", fault rate {}", args.fault_rate)
+        } else {
+            String::new()
+        },
+    );
+    // The line load generators and CI parse for the ephemeral port.
+    println!("listening on {}", server.local_addr());
+    server.wait_drained();
+    let stats = server.shutdown();
+    println!(
+        "drained: {} model(s), {} submitted, {} completed, {} failed, {} expired, \
+         {} rejected, {} batches, {} retries, p99 {:.3} ms",
+        stats.models,
+        stats.submitted,
+        stats.completed,
+        stats.failed,
+        stats.expired,
+        stats.rejected,
+        stats.batches,
+        stats.retries,
+        stats.latency_p99_nanos as f64 / 1e6,
+    );
+    Ok(())
+}
+
 /// Resolve a model argument: a builtin zoo name or a `.hdnn` file path.
 fn model_for(spec: &str, seed: u64) -> Result<hybriddnn::Network, String> {
     let mut net = match spec {
@@ -306,7 +485,7 @@ fn run_serve_bench(args: ServeArgs) -> Result<(), String> {
     config = config
         .with_retries(args.retries)
         .with_min_healthy(args.min_healthy);
-    let service = deployment.into_service(config);
+    let service = deployment.into_service(config).map_err(|e| e.to_string())?;
 
     let mut gen = TrafficGen::new(net.input_shape(), args.seed);
     let start = Instant::now();
@@ -559,6 +738,30 @@ fn run(args: Args) -> Result<(), String> {
 }
 
 fn main() -> ExitCode {
+    if std::env::args().nth(1).as_deref() == Some("serve-net") {
+        return match parse_serve_net_args(std::env::args().skip(2)) {
+            Ok(args) => match run_serve_net(args) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(e) => {
+                    eprintln!("error: {e}");
+                    ExitCode::FAILURE
+                }
+            },
+            Err(msg) => {
+                if !msg.is_empty() {
+                    eprintln!("error: {msg}\n");
+                }
+                eprintln!(
+                    "usage: hybriddnn serve-net <MODEL.hdnn|tiny-cnn|vgg-tiny> \
+                     <DEVICE.fpga|vu9p|pynq-z1> [--port N] [--name NAME] \
+                     [--workers N] [--functional] [--quota N] [--max-conns N] \
+                     [--fault-rate F] [--fault-seed N] [--retries N] [--seed N] \
+                     [--threads N]"
+                );
+                ExitCode::FAILURE
+            }
+        };
+    }
     if std::env::args().nth(1).as_deref() == Some("serve-bench") {
         return match parse_serve_args(std::env::args().skip(2)) {
             Ok(args) => match run_serve_bench(args) {

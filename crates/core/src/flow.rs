@@ -5,7 +5,7 @@ use hybriddnn_dse::{DseEngine, DseError, DseResult};
 use hybriddnn_estimator::Profile;
 use hybriddnn_fpga::{EnergyModel, FpgaSpec, PowerBreakdown};
 use hybriddnn_model::{Network, Tensor};
-use hybriddnn_runtime::{CostHints, InferenceService, ServiceConfig};
+use hybriddnn_runtime::{CostHints, InferenceService, RuntimeError, ServiceConfig};
 use hybriddnn_sim::{RunResult, SimError, SimMode, Simulator};
 use std::fmt;
 use std::sync::Arc;
@@ -220,8 +220,14 @@ impl Deployment {
     /// inference service over it (see [`hybriddnn_runtime`]). Use
     /// [`Deployment::service_config`] to build `config` so the
     /// bandwidth share and cost hint match the deployment.
-    pub fn into_service(self, config: ServiceConfig) -> InferenceService {
-        InferenceService::start(Arc::new(self.compiled), config)
+    ///
+    /// # Errors
+    /// [`RuntimeError::InvalidConfig`] for degenerate configurations
+    /// (zero workers, zero queue capacity, …) — nothing is spawned.
+    ///
+    /// [`RuntimeError::InvalidConfig`]: hybriddnn_runtime::RuntimeError::InvalidConfig
+    pub fn into_service(self, config: ServiceConfig) -> Result<InferenceService, RuntimeError> {
+        InferenceService::try_start(Arc::new(self.compiled), config)
     }
 
     /// Runs a batch of images across the deployment's `NI` batch-parallel
@@ -380,6 +386,22 @@ mod tests {
         // Memoized: pricing the same shape again runs no new estimation.
         config.cost_hints.cycles(shape);
         assert_eq!(config.cost_hints.estimator_calls(), 1);
+    }
+
+    #[test]
+    fn into_service_rejects_degenerate_config() {
+        let mut net = zoo::tiny_cnn();
+        synth::bind_random(&mut net, 5).unwrap();
+        let deployment = pynq_framework().build(&net).unwrap();
+        let mut config = deployment.service_config(SimMode::TimingOnly);
+        config.workers = 0;
+        match deployment.into_service(config) {
+            Err(RuntimeError::InvalidConfig { detail }) => {
+                assert!(detail.contains("workers"), "{detail}")
+            }
+            Ok(_) => panic!("zero-worker config must not start a service"),
+            Err(e) => panic!("expected InvalidConfig, got {e:?}"),
+        }
     }
 
     #[test]

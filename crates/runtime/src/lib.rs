@@ -79,7 +79,7 @@ mod traffic;
 pub use cost::CostHints;
 pub use metrics::MetricsSnapshot;
 pub use policy::{BatchMeta, DispatchPolicy, Fifo, ShortestJobFirst};
-pub use request::{InferenceResponse, ResponseHandle, RuntimeError};
+pub use request::{InferenceResponse, ResponseHandle, RoutedSender, RuntimeError};
 pub use service::{InferenceService, ServiceConfig};
 pub use supervisor::{DegradedPolicy, WorkerHealth};
 pub use traffic::TrafficGen;

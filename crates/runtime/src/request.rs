@@ -5,6 +5,41 @@ use hybriddnn_sim::SimError;
 use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
+/// Where a request's routed responses land: the pair channel used by
+/// [`InferenceService::submit_routed`](crate::InferenceService::submit_routed).
+/// Each response arrives as `(tag, result)` so many in-flight requests
+/// can share one receiver and complete out of order.
+pub type RoutedSender = mpsc::Sender<(u64, Result<InferenceResponse, RuntimeError>)>;
+
+/// The destination of a request's single guaranteed response: either a
+/// dedicated per-request channel (behind a [`ResponseHandle`]) or a
+/// caller-shared routed channel tagged with a caller-chosen id.
+#[derive(Debug)]
+pub(crate) enum ResponseSink {
+    /// One private channel per request ([`InferenceService::submit`]).
+    ///
+    /// [`InferenceService::submit`]: crate::InferenceService::submit
+    Handle(mpsc::Sender<Result<InferenceResponse, RuntimeError>>),
+    /// A shared channel; the response is delivered as `(tag, result)`.
+    Routed { tx: RoutedSender, tag: u64 },
+}
+
+impl ResponseSink {
+    /// Delivers the request's response. A disconnected receiver is the
+    /// caller's choice (it dropped its handle); the error is ignored so
+    /// the exactly-one-response invariant costs nothing to uphold.
+    pub(crate) fn send(&self, result: Result<InferenceResponse, RuntimeError>) {
+        match self {
+            ResponseSink::Handle(tx) => {
+                let _ = tx.send(result);
+            }
+            ResponseSink::Routed { tx, tag } => {
+                let _ = tx.send((*tag, result));
+            }
+        }
+    }
+}
+
 /// One queued inference job (internal: carries its response channel).
 #[derive(Debug)]
 pub(crate) struct InferenceRequest {
@@ -18,7 +53,7 @@ pub(crate) struct InferenceRequest {
     /// How many times a transient fault has already bounced this request
     /// back for retry (bounded by `ServiceConfig::retry_budget`).
     pub(crate) attempts: u32,
-    pub(crate) tx: mpsc::Sender<Result<InferenceResponse, RuntimeError>>,
+    pub(crate) tx: ResponseSink,
 }
 
 /// A completed inference.
@@ -79,6 +114,12 @@ pub enum RuntimeError {
         /// The configured `min_healthy` floor.
         floor: usize,
     },
+    /// The service configuration is unusable (e.g. zero workers or a
+    /// zero-capacity admission queue); nothing was spawned.
+    InvalidConfig {
+        /// Which knob was rejected and why.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -101,6 +142,9 @@ impl std::fmt::Display for RuntimeError {
                     f,
                     "service degraded: {healthy} healthy replicas (floor {floor})"
                 )
+            }
+            RuntimeError::InvalidConfig { detail } => {
+                write!(f, "invalid service config: {detail}")
             }
         }
     }

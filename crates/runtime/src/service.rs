@@ -16,7 +16,9 @@
 use crate::cost::CostHints;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::policy::{BatchMeta, DispatchPolicy, Fifo, ShortestJobFirst};
-use crate::request::{InferenceRequest, InferenceResponse, ResponseHandle, RuntimeError};
+use crate::request::{
+    InferenceRequest, InferenceResponse, ResponseHandle, ResponseSink, RoutedSender, RuntimeError,
+};
 use crate::supervisor::{DegradedPolicy, RestartDecision, Supervisor, WorkerHealth};
 use hybriddnn_compiler::CompiledNetwork;
 use hybriddnn_model::Tensor;
@@ -244,6 +246,37 @@ impl ServiceConfig {
         self.degraded = policy;
         self
     }
+
+    /// Checks the configuration for values that would produce a
+    /// degenerate service: zero workers (nobody would ever serve), a
+    /// zero-capacity admission queue (every submit rejected), a
+    /// zero-sized batch window, or a non-positive bandwidth. The `with_*`
+    /// builders clamp these, but the fields are public; validation is
+    /// the honest gate for configs built by hand or deserialized.
+    ///
+    /// # Errors
+    /// [`RuntimeError::InvalidConfig`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), RuntimeError> {
+        fn bad(detail: String) -> Result<(), RuntimeError> {
+            Err(RuntimeError::InvalidConfig { detail })
+        }
+        if self.workers == 0 {
+            return bad("workers must be >= 1 (a zero-worker pool never serves)".into());
+        }
+        if self.queue_capacity == 0 {
+            return bad("queue_capacity must be >= 1 (a zero queue rejects every submit)".into());
+        }
+        if self.max_batch_size == 0 {
+            return bad("max_batch_size must be >= 1 (no batch could ever close)".into());
+        }
+        if !(self.bandwidth > 0.0 && self.bandwidth.is_finite()) {
+            return bad(format!(
+                "bandwidth must be a positive finite words/cycle, got {}",
+                self.bandwidth
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl std::fmt::Debug for ServiceConfig {
@@ -353,9 +386,27 @@ impl std::fmt::Debug for InferenceService {
 }
 
 impl InferenceService {
+    /// Validating constructor: like [`InferenceService::start`] but
+    /// rejecting degenerate configurations (see
+    /// [`ServiceConfig::validate`]) before any thread is spawned.
+    ///
+    /// # Errors
+    /// [`RuntimeError::InvalidConfig`] naming the offending knob.
+    pub fn try_start(
+        compiled: Arc<CompiledNetwork>,
+        config: ServiceConfig,
+    ) -> Result<Self, RuntimeError> {
+        config.validate()?;
+        Ok(Self::start(compiled, config))
+    }
+
     /// Starts the batcher and worker threads. Each worker builds its own
     /// replica [`Simulator`] session over the shared compiled network,
     /// so functional-mode results are bit-identical to a sequential run.
+    ///
+    /// Degenerate knob values are clamped to 1 here for backwards
+    /// compatibility; use [`InferenceService::try_start`] to get a typed
+    /// [`RuntimeError::InvalidConfig`] instead.
     pub fn start(compiled: Arc<CompiledNetwork>, config: ServiceConfig) -> Self {
         let workers_n = config.workers.max(1);
         let jitter_seed = config.fault_plan.as_ref().map_or(0x5eed, FaultPlan::seed);
@@ -448,6 +499,40 @@ impl InferenceService {
         input: Tensor,
         deadline: Option<Duration>,
     ) -> Result<ResponseHandle, RuntimeError> {
+        let (tx, rx) = mpsc::channel();
+        let id = self.submit_with_sink(input, deadline, ResponseSink::Handle(tx))?;
+        Ok(ResponseHandle { id, rx })
+    }
+
+    /// Submits one inference whose response is delivered to a
+    /// caller-shared channel as `(tag, result)` instead of a dedicated
+    /// [`ResponseHandle`]. Many in-flight requests can share one
+    /// receiver; responses complete out of order and are matched by the
+    /// caller-chosen `tag`. Admission rules are identical to
+    /// [`InferenceService::submit`], and the exactly-one-response
+    /// invariant holds: every accepted request sends exactly one
+    /// `(tag, result)` pair, including during shutdown. This is the
+    /// handle the network serving front-end builds on.
+    ///
+    /// # Errors
+    /// [`RuntimeError::QueueFull`] or [`RuntimeError::ShuttingDown`];
+    /// accepted requests report later failures through `tx`.
+    pub fn submit_routed(
+        &self,
+        input: Tensor,
+        deadline: Option<Duration>,
+        tx: RoutedSender,
+        tag: u64,
+    ) -> Result<u64, RuntimeError> {
+        self.submit_with_sink(input, deadline, ResponseSink::Routed { tx, tag })
+    }
+
+    fn submit_with_sink(
+        &self,
+        input: Tensor,
+        deadline: Option<Duration>,
+        sink: ResponseSink,
+    ) -> Result<u64, RuntimeError> {
         // Price the request before taking the admission lock: the first
         // request of a shape runs the (possibly layer-walking) estimator,
         // every later one reads the memoized value.
@@ -481,7 +566,6 @@ impl InferenceService {
             });
         }
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        let (tx, rx) = mpsc::channel();
         let now = Instant::now();
         adm.queue.push_back(InferenceRequest {
             id,
@@ -490,7 +574,7 @@ impl InferenceService {
             deadline: deadline.map(|d| now + d),
             submitted_at: now,
             attempts: 0,
-            tx,
+            tx: sink,
         });
         self.shared
             .metrics
@@ -502,7 +586,7 @@ impl InferenceService {
             .fetch_add(1, Ordering::Relaxed);
         drop(adm);
         self.shared.admitted.notify_all();
-        Ok(ResponseHandle { id, rx })
+        Ok(id)
     }
 
     /// Stops the batcher from forming batches; queued and new
@@ -571,7 +655,7 @@ impl InferenceService {
         };
         for req in leftovers.into_iter().chain(stranded) {
             self.shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
-            let _ = req.tx.send(Err(RuntimeError::WorkerLost));
+            req.tx.send(Err(RuntimeError::WorkerLost));
         }
     }
 }
@@ -792,7 +876,7 @@ fn serve_batch(
         if let Some(deadline) = req.deadline {
             if now > deadline {
                 shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
-                let _ = req.tx.send(Err(RuntimeError::DeadlineExceeded {
+                req.tx.send(Err(RuntimeError::DeadlineExceeded {
                     missed_by: now - deadline,
                 }));
                 continue;
@@ -826,7 +910,7 @@ fn serve_batch(
                 // The replica's internal state is unknowable; everything
                 // in flight on it is abandoned with typed errors.
                 shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
-                let _ = req.tx.send(Err(RuntimeError::WorkerLost));
+                req.tx.send(Err(RuntimeError::WorkerLost));
                 fail_remaining(shared, &mut queue);
                 outcome = BatchOutcome {
                     clean: false,
@@ -870,7 +954,7 @@ fn serve_batch(
                         }
                         _ => RuntimeError::Sim(e.clone()),
                     };
-                    let _ = req.tx.send(Err(err));
+                    req.tx.send(Err(err));
                     fail_remaining(shared, &mut queue);
                     outcome = BatchOutcome {
                         clean: false,
@@ -934,7 +1018,7 @@ fn requeue_head(shared: &Shared, req: InferenceRequest) -> Option<InferenceReque
 fn fail_remaining(shared: &Shared, queue: &mut VecDeque<InferenceRequest>) {
     for req in queue.drain(..) {
         shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
-        let _ = req.tx.send(Err(RuntimeError::WorkerLost));
+        req.tx.send(Err(RuntimeError::WorkerLost));
     }
 }
 
@@ -995,7 +1079,7 @@ fn respond(
                     .fetch_add(1, Ordering::Relaxed);
             }
             shared.metrics.latency.record(latency);
-            let _ = req.tx.send(Ok(InferenceResponse {
+            req.tx.send(Ok(InferenceResponse {
                 id: req.id,
                 output,
                 total_cycles,
@@ -1007,7 +1091,7 @@ fn respond(
         }
         Err(e) => {
             shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
-            let _ = req.tx.send(Err(RuntimeError::Sim(e)));
+            req.tx.send(Err(RuntimeError::Sim(e)));
         }
     }
 }

@@ -292,3 +292,109 @@ proptest! {
         }
     }
 }
+
+/// Degenerate configurations are a typed error from `try_start`, not a
+/// degenerate service: zero workers and a zero-capacity queue both name
+/// the offending knob, and nothing is spawned.
+#[test]
+fn try_start_rejects_degenerate_configs() {
+    let (_, compiled) = compiled_tiny_cnn(11);
+    let mut config = ServiceConfig::new(SimMode::TimingOnly, 16.0);
+    config.workers = 0;
+    match InferenceService::try_start(Arc::clone(&compiled), config) {
+        Err(RuntimeError::InvalidConfig { detail }) => {
+            assert!(detail.contains("workers"), "{detail}")
+        }
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+    let mut config = ServiceConfig::new(SimMode::TimingOnly, 16.0);
+    config.queue_capacity = 0;
+    match InferenceService::try_start(Arc::clone(&compiled), config) {
+        Err(RuntimeError::InvalidConfig { detail }) => {
+            assert!(detail.contains("queue_capacity"), "{detail}")
+        }
+        other => panic!("expected InvalidConfig, got {other:?}"),
+    }
+    let mut config = ServiceConfig::new(SimMode::TimingOnly, 16.0);
+    config.bandwidth = f64::NAN;
+    assert!(matches!(
+        InferenceService::try_start(Arc::clone(&compiled), config),
+        Err(RuntimeError::InvalidConfig { .. })
+    ));
+    // A healthy config still starts.
+    let service =
+        InferenceService::try_start(compiled, ServiceConfig::new(SimMode::TimingOnly, 16.0))
+            .unwrap();
+    assert_eq!(service.shutdown().completed, 0);
+}
+
+/// Routed submissions share one response channel, complete (possibly out
+/// of order) with exactly one `(tag, result)` each, and stay bit-identical
+/// to the sequential simulator — the contract the network front-end
+/// builds on.
+#[test]
+fn routed_submissions_share_one_channel() {
+    let (net, compiled) = compiled_tiny_cnn(13);
+    let inputs: Vec<Tensor> = (0..16)
+        .map(|i| synth::tensor(net.input_shape(), 3000 + i))
+        .collect();
+    let mut oracle = Simulator::new(&compiled, SimMode::Functional, 16.0);
+    let expected: Vec<Tensor> = inputs
+        .iter()
+        .map(|i| oracle.run(&compiled, i).unwrap().output)
+        .collect();
+
+    let service = InferenceService::start(
+        Arc::clone(&compiled),
+        ServiceConfig::new(SimMode::Functional, 16.0)
+            .with_workers(3)
+            .with_max_batch_size(4)
+            .with_max_wait(Duration::from_micros(100)),
+    );
+    let (tx, rx) = std::sync::mpsc::channel();
+    for (i, input) in inputs.iter().enumerate() {
+        // Caller-chosen tags, deliberately not the service's own ids.
+        service
+            .submit_routed(input.clone(), None, tx.clone(), 0xC0FFEE + i as u64)
+            .unwrap();
+    }
+    drop(tx);
+    let mut seen = HashSet::new();
+    for (tag, result) in rx.iter() {
+        assert!(seen.insert(tag), "tag {tag:#x} answered twice");
+        let idx = (tag - 0xC0FFEE) as usize;
+        assert_eq!(
+            result.unwrap().output.as_slice(),
+            expected[idx].as_slice(),
+            "routed request {idx} diverged from the sequential run"
+        );
+    }
+    assert_eq!(seen.len(), inputs.len());
+    assert_eq!(service.shutdown().completed, inputs.len() as u64);
+}
+
+/// Routed requests still queued at shutdown get their exactly-one
+/// response as a typed error through the shared channel.
+#[test]
+fn routed_drain_answers_with_typed_errors() {
+    let (net, compiled) = compiled_tiny_cnn(17);
+    let service = InferenceService::start(
+        Arc::clone(&compiled),
+        ServiceConfig::new(SimMode::TimingOnly, 16.0).with_queue_capacity(32),
+    );
+    service.pause();
+    let (tx, rx) = std::sync::mpsc::channel();
+    for tag in 0..8u64 {
+        service
+            .submit_routed(synth::tensor(net.input_shape(), tag), None, tx.clone(), tag)
+            .unwrap();
+    }
+    drop(tx);
+    service.resume();
+    drop(service); // graceful shutdown via Drop
+    let answered: Vec<u64> = rx.iter().map(|(tag, _)| tag).collect();
+    let mut sorted = answered.clone();
+    sorted.sort_unstable();
+    sorted.dedup();
+    assert_eq!(sorted.len(), 8, "every tag answered exactly once");
+}

@@ -1,0 +1,308 @@
+//! A blocking client for the wire protocol.
+//!
+//! [`Client`] owns one connection. Requests can be pipelined: issue
+//! several ids with [`Client::send`], then collect completions with
+//! [`Client::recv`] in whatever order the server finishes them — or
+//! use [`Client::recv_for`], which stashes out-of-order frames until
+//! the requested id arrives. The convenience calls (`infer`, `stats`,
+//! …) are simple send-then-wait wrappers over the same machinery.
+
+use crate::protocol::{
+    try_decode, Body, DecodeError, Frame, LoadRequest, ModelInfo, OutputBody, StatsBody,
+    TimingBody, WireError, MAX_PAYLOAD,
+};
+use hybriddnn_model::Tensor;
+use std::collections::HashMap;
+use std::fmt;
+use std::io::Read;
+use std::io::Write;
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// Why a client call failed.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ClientError {
+    /// The socket failed.
+    Io(std::io::Error),
+    /// The server sent bytes this client cannot frame.
+    Decode(DecodeError),
+    /// The server answered with a typed error frame.
+    Server(WireError),
+    /// The server answered with a well-formed frame of the wrong kind.
+    Unexpected {
+        /// What arrived instead.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "socket error: {e}"),
+            ClientError::Decode(e) => write!(f, "protocol error: {e}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+            ClientError::Unexpected { detail } => write!(f, "unexpected response: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<DecodeError> for ClientError {
+    fn from(e: DecodeError) -> Self {
+        ClientError::Decode(e)
+    }
+}
+
+/// A blocking connection to a `hybriddnn-server`.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    stash: HashMap<u64, Frame>,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    /// Socket connect failures.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Client {
+            stream,
+            buf: Vec::with_capacity(4096),
+            stash: HashMap::new(),
+            next_id: 1,
+        })
+    }
+
+    /// Sends one request frame without waiting, returning its request
+    /// id (pipelining primitive).
+    ///
+    /// # Errors
+    /// Socket write failures.
+    pub fn send(
+        &mut self,
+        model_id: u32,
+        deadline_micros: u64,
+        body: Body,
+    ) -> std::io::Result<u64> {
+        let request_id = self.next_id;
+        self.next_id += 1;
+        let frame = Frame {
+            request_id,
+            model_id,
+            deadline_micros,
+            body,
+        };
+        self.stream.write_all(&frame.encode())?;
+        Ok(request_id)
+    }
+
+    /// Receives the next response in *completion* order (stashed frames
+    /// first).
+    ///
+    /// # Errors
+    /// Socket or framing failures. Typed server error frames are
+    /// returned as ordinary [`Body::Error`] frames, not as `Err`.
+    pub fn recv(&mut self) -> Result<Frame, ClientError> {
+        if let Some(&id) = self.stash.keys().next() {
+            return Ok(self.stash.remove(&id).expect("key just seen"));
+        }
+        self.read_frame()
+    }
+
+    /// Receives the response for `request_id`, stashing any other
+    /// completions that arrive first.
+    ///
+    /// # Errors
+    /// Socket or framing failures.
+    pub fn recv_for(&mut self, request_id: u64) -> Result<Frame, ClientError> {
+        if let Some(frame) = self.stash.remove(&request_id) {
+            return Ok(frame);
+        }
+        loop {
+            let frame = self.read_frame()?;
+            if frame.request_id == request_id {
+                return Ok(frame);
+            }
+            self.stash.insert(frame.request_id, frame);
+        }
+    }
+
+    fn read_frame(&mut self) -> Result<Frame, ClientError> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some((frame, consumed)) = try_decode(&self.buf, MAX_PAYLOAD)? {
+                self.buf.drain(..consumed);
+                return Ok(frame);
+            }
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection",
+                )));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Send-and-wait for one request.
+    ///
+    /// # Errors
+    /// Socket/framing failures; a typed server error frame becomes
+    /// [`ClientError::Server`].
+    pub fn call(
+        &mut self,
+        model_id: u32,
+        deadline_micros: u64,
+        body: Body,
+    ) -> Result<Frame, ClientError> {
+        let id = self.send(model_id, deadline_micros, body)?;
+        let frame = self.recv_for(id)?;
+        if let Body::Error(e) = frame.body {
+            return Err(ClientError::Server(e));
+        }
+        Ok(frame)
+    }
+
+    /// Round-trips a `PING`.
+    ///
+    /// # Errors
+    /// Transport failures or a non-echoed payload.
+    pub fn ping(&mut self) -> Result<(), ClientError> {
+        let payload = vec![0xA5, 0x5A, 0x42];
+        let frame = self.call(
+            0,
+            0,
+            Body::Ping {
+                payload: payload.clone(),
+            },
+        )?;
+        match frame.body {
+            Body::Pong { payload: echoed } if echoed == payload => Ok(()),
+            other => Err(ClientError::Unexpected {
+                detail: format!("ping answered with {:?}", other.opcode()),
+            }),
+        }
+    }
+
+    /// Loads a model, blocking until it is published, and returns its
+    /// registry id.
+    ///
+    /// # Errors
+    /// Transport failures or the load's typed [`WireError`].
+    pub fn load_model(&mut self, req: LoadRequest) -> Result<u32, ClientError> {
+        let frame = self.call(0, 0, Body::LoadModel(req))?;
+        match frame.body {
+            Body::Loaded { model_id, .. } => Ok(model_id),
+            other => Err(ClientError::Unexpected {
+                detail: format!("load answered with {:?}", other.opcode()),
+            }),
+        }
+    }
+
+    /// Runs one inference and waits for the full output.
+    ///
+    /// # Errors
+    /// Transport failures or the server's typed rejection.
+    pub fn infer(
+        &mut self,
+        model_id: u32,
+        tensor: Tensor,
+        deadline_micros: u64,
+    ) -> Result<OutputBody, ClientError> {
+        let frame = self.call(model_id, deadline_micros, Body::Infer { tensor })?;
+        match frame.body {
+            Body::Output(out) => Ok(out),
+            other => Err(ClientError::Unexpected {
+                detail: format!("infer answered with {:?}", other.opcode()),
+            }),
+        }
+    }
+
+    /// Runs one inference and waits for its timing (no tensor bytes on
+    /// the wire).
+    ///
+    /// # Errors
+    /// Transport failures or the server's typed rejection.
+    pub fn infer_timing(
+        &mut self,
+        model_id: u32,
+        tensor: Tensor,
+        deadline_micros: u64,
+    ) -> Result<TimingBody, ClientError> {
+        let frame = self.call(model_id, deadline_micros, Body::InferTiming { tensor })?;
+        match frame.body {
+            Body::Timing(t) => Ok(t),
+            other => Err(ClientError::Unexpected {
+                detail: format!("infer-timing answered with {:?}", other.opcode()),
+            }),
+        }
+    }
+
+    /// Fetches the server-wide aggregate metrics.
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn stats(&mut self) -> Result<StatsBody, ClientError> {
+        let frame = self.call(0, 0, Body::Stats)?;
+        match frame.body {
+            Body::StatsReply(stats) => Ok(stats),
+            other => Err(ClientError::Unexpected {
+                detail: format!("stats answered with {:?}", other.opcode()),
+            }),
+        }
+    }
+
+    /// Lists registered models.
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn list_models(&mut self) -> Result<Vec<ModelInfo>, ClientError> {
+        let frame = self.call(0, 0, Body::ListModels)?;
+        match frame.body {
+            Body::ModelList(models) => Ok(models),
+            other => Err(ClientError::Unexpected {
+                detail: format!("list answered with {:?}", other.opcode()),
+            }),
+        }
+    }
+
+    /// Gracefully unloads a model, blocking until it is gone.
+    ///
+    /// # Errors
+    /// Transport failures or the unload's typed [`WireError`].
+    pub fn unload_model(&mut self, model_id: u32) -> Result<(), ClientError> {
+        let frame = self.call(model_id, 0, Body::UnloadModel)?;
+        match frame.body {
+            Body::Unloaded => Ok(()),
+            other => Err(ClientError::Unexpected {
+                detail: format!("unload answered with {:?}", other.opcode()),
+            }),
+        }
+    }
+
+    /// Asks the server to drain and waits for the acknowledgement.
+    ///
+    /// # Errors
+    /// Transport failures.
+    pub fn drain(&mut self) -> Result<(), ClientError> {
+        let frame = self.call(0, 0, Body::Drain)?;
+        match frame.body {
+            Body::Draining => Ok(()),
+            other => Err(ClientError::Unexpected {
+                detail: format!("drain answered with {:?}", other.opcode()),
+            }),
+        }
+    }
+}

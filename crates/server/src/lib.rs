@@ -1,0 +1,35 @@
+//! # hybriddnn-server
+//!
+//! A TCP serving front-end for the HybridDNN runtime: a versioned
+//! binary wire protocol ([`protocol`]), a hot-swappable multi-model
+//! [`registry`], a thread-per-connection pipelined [`server`], and a
+//! blocking [`client`].
+//!
+//! The subsystem is std-only — framing, concurrency, and I/O are all
+//! built on `std::net` and `std::thread`, matching the rest of the
+//! workspace. The load-bearing invariants:
+//!
+//! - **Exactly one response per request id.** Every admitted frame is
+//!   answered exactly once, even across drain, fault injection, worker
+//!   restarts, and model unloads — inherited from the runtime's
+//!   response-sink plumbing and enforced end-to-end by the e2e tests.
+//! - **Bit-identical results.** An `INFER` response carries the same
+//!   f32 bit patterns as a local [`hybriddnn_sim::Simulator::run`] on
+//!   the same compiled model, because the wire codec round-trips raw
+//!   bits and the registry serves from the same deterministic
+//!   simulator replicas.
+//! - **Typed failure.** Every [`hybriddnn_runtime::RuntimeError`] and
+//!   [`hybriddnn_sim::SimError`] variant has a wire representation;
+//!   malformed bytes decode to typed errors, never panics.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use client::{Client, ClientError};
+pub use protocol::{Body, DecodeError, Frame, LoadRequest, WireError, PROTOCOL_VERSION};
+pub use registry::{build_model, zoo_resolver, Registry, ResolvedModel, Resolver};
+pub use server::{Server, ServerConfig};

@@ -1,0 +1,1607 @@
+//! The versioned, length-prefixed binary wire protocol of
+//! `hybriddnn-server`.
+//!
+//! Every message is one *frame*: a fixed 32-byte little-endian header
+//! followed by `payload_len` bytes of opcode-specific payload.
+//!
+//! ```text
+//!  offset  size  field
+//!  ──────  ────  ─────────────────────────────────────────────
+//!   0       2    protocol version   (PROTOCOL_VERSION)
+//!   2       1    opcode             (see `Opcode`)
+//!   3       1    flags              (reserved, must be 0)
+//!   4       4    model id           (registry id; 0 when unused)
+//!   8       8    request id         (client-chosen; echoed verbatim)
+//!  16       8    deadline in µs     (relative; 0 = no deadline)
+//!  24       4    payload length     (bytes after the header)
+//!  28       4    reserved           (must be 0)
+//! ```
+//!
+//! Responses echo the request id, so a client may pipeline many
+//! requests on one connection and match completions out of order.
+//! Decoding is total: truncated, oversized, or garbage input produces a
+//! typed [`DecodeError`], never a panic. Oversized frames are rejected
+//! before any allocation with [`DecodeError::FrameTooLarge`].
+//!
+//! Tensor payloads are raw little-endian `f32` words in CHW order —
+//! encode/decode round-trips every bit pattern, which is what lets the
+//! server promise responses bit-identical to a local `Simulator::run`.
+
+use hybriddnn_model::{Shape, Tensor};
+use hybriddnn_runtime::RuntimeError;
+use hybriddnn_sim::SimError;
+use std::fmt;
+
+/// The protocol revision this build speaks. A peer announcing any other
+/// version is rejected with [`DecodeError::BadVersion`].
+pub const PROTOCOL_VERSION: u16 = 1;
+
+/// Bytes in the fixed frame header.
+pub const HEADER_LEN: usize = 32;
+
+/// Hard ceiling on `payload_len` (16 MiB). Larger frames are rejected
+/// with [`DecodeError::FrameTooLarge`] *before* the payload is read, so
+/// a hostile length field cannot make the server allocate.
+pub const MAX_PAYLOAD: u32 = 16 << 20;
+
+/// Frame opcodes. Requests occupy `0x01..=0x7f`, responses `0x81..`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Run one inference; respond with the full output tensor.
+    Infer = 0x01,
+    /// Run one inference; respond with timing only (no tensor bytes —
+    /// the bandwidth-saving variant for load probes and dashboards).
+    InferTiming = 0x02,
+    /// Load a model into the registry (background DSE + compile;
+    /// response arrives when the model is published or failed).
+    LoadModel = 0x03,
+    /// Gracefully unload: drain in-flight work, then drop the model.
+    UnloadModel = 0x04,
+    /// List registered models and their states.
+    ListModels = 0x05,
+    /// Server-wide aggregate metrics snapshot.
+    Stats = 0x06,
+    /// Liveness echo.
+    Ping = 0x07,
+    /// Begin server drain: stop accepting, finish in-flight, exit.
+    Drain = 0x08,
+    /// Response: full inference result.
+    RespOutput = 0x81,
+    /// Response: timing-only inference result.
+    RespTiming = 0x82,
+    /// Response: typed error.
+    RespError = 0x83,
+    /// Response: model published and serving.
+    RespLoaded = 0x84,
+    /// Response: model drained and dropped.
+    RespUnloaded = 0x85,
+    /// Response: model listing.
+    RespModelList = 0x86,
+    /// Response: metrics snapshot.
+    RespStats = 0x87,
+    /// Response: ping echo.
+    RespPong = 0x88,
+    /// Response: drain acknowledged.
+    RespDraining = 0x89,
+}
+
+impl Opcode {
+    fn from_u8(raw: u8) -> Result<Self, DecodeError> {
+        Ok(match raw {
+            0x01 => Opcode::Infer,
+            0x02 => Opcode::InferTiming,
+            0x03 => Opcode::LoadModel,
+            0x04 => Opcode::UnloadModel,
+            0x05 => Opcode::ListModels,
+            0x06 => Opcode::Stats,
+            0x07 => Opcode::Ping,
+            0x08 => Opcode::Drain,
+            0x81 => Opcode::RespOutput,
+            0x82 => Opcode::RespTiming,
+            0x83 => Opcode::RespError,
+            0x84 => Opcode::RespLoaded,
+            0x85 => Opcode::RespUnloaded,
+            0x86 => Opcode::RespModelList,
+            0x87 => Opcode::RespStats,
+            0x88 => Opcode::RespPong,
+            0x89 => Opcode::RespDraining,
+            other => return Err(DecodeError::BadOpcode { got: other }),
+        })
+    }
+}
+
+/// Why a byte stream failed to decode. Every malformed input maps here;
+/// the codec never panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The buffer ended before a field it promised.
+    Truncated {
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes that were left.
+        got: usize,
+    },
+    /// The header announced a protocol version this build cannot speak.
+    BadVersion {
+        /// The announced version.
+        got: u16,
+    },
+    /// The header carried an unknown opcode byte.
+    BadOpcode {
+        /// The offending byte.
+        got: u8,
+    },
+    /// `payload_len` exceeded the frame-size ceiling; the frame was
+    /// rejected before reading (let alone allocating) the payload.
+    FrameTooLarge {
+        /// The announced payload length.
+        len: u64,
+        /// The enforced ceiling.
+        max: u64,
+    },
+    /// A reserved header field held a non-zero value.
+    BadReserved {
+        /// The offending value.
+        got: u64,
+    },
+    /// The payload contents did not match the opcode's schema.
+    BadPayload {
+        /// What was malformed.
+        detail: String,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            DecodeError::BadVersion { got } => {
+                write!(
+                    f,
+                    "unsupported protocol version {got} (speak {PROTOCOL_VERSION})"
+                )
+            }
+            DecodeError::BadOpcode { got } => write!(f, "unknown opcode {got:#04x}"),
+            DecodeError::FrameTooLarge { len, max } => {
+                write!(
+                    f,
+                    "frame payload of {len} bytes exceeds the {max}-byte limit"
+                )
+            }
+            DecodeError::BadReserved { got } => {
+                write!(f, "reserved header field must be zero, got {got}")
+            }
+            DecodeError::BadPayload { detail } => write!(f, "malformed payload: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A decoded frame header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Header {
+    /// The frame's opcode.
+    pub opcode: Opcode,
+    /// Registry model id (0 when the opcode does not address a model).
+    pub model_id: u32,
+    /// Client-chosen request id, echoed verbatim in the response.
+    pub request_id: u64,
+    /// Relative deadline in microseconds (0 = none).
+    pub deadline_micros: u64,
+    /// Payload bytes following the header.
+    pub payload_len: u32,
+}
+
+/// Parses and validates a frame header from `buf[..HEADER_LEN]`.
+///
+/// # Errors
+/// Typed [`DecodeError`]s for truncation, version or opcode mismatch,
+/// oversized payload announcements, and non-zero reserved fields.
+pub fn decode_header(buf: &[u8], max_payload: u32) -> Result<Header, DecodeError> {
+    if buf.len() < HEADER_LEN {
+        return Err(DecodeError::Truncated {
+            needed: HEADER_LEN,
+            got: buf.len(),
+        });
+    }
+    let le16 = |o: usize| u16::from_le_bytes([buf[o], buf[o + 1]]);
+    let le32 = |o: usize| u32::from_le_bytes([buf[o], buf[o + 1], buf[o + 2], buf[o + 3]]);
+    let le64 = |o: usize| {
+        u64::from_le_bytes([
+            buf[o],
+            buf[o + 1],
+            buf[o + 2],
+            buf[o + 3],
+            buf[o + 4],
+            buf[o + 5],
+            buf[o + 6],
+            buf[o + 7],
+        ])
+    };
+    let version = le16(0);
+    if version != PROTOCOL_VERSION {
+        return Err(DecodeError::BadVersion { got: version });
+    }
+    let opcode = Opcode::from_u8(buf[2])?;
+    if buf[3] != 0 {
+        return Err(DecodeError::BadReserved {
+            got: u64::from(buf[3]),
+        });
+    }
+    let payload_len = le32(24);
+    if payload_len > max_payload {
+        return Err(DecodeError::FrameTooLarge {
+            len: u64::from(payload_len),
+            max: u64::from(max_payload),
+        });
+    }
+    let reserved = le32(28);
+    if reserved != 0 {
+        return Err(DecodeError::BadReserved {
+            got: u64::from(reserved),
+        });
+    }
+    Ok(Header {
+        opcode,
+        model_id: le32(4),
+        request_id: le64(8),
+        deadline_micros: le64(16),
+        payload_len,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Payload cursor helpers
+// ---------------------------------------------------------------------
+
+struct Cur<'a> {
+    buf: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cur { buf, off: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let rest = self.buf.len() - self.off;
+        if rest < n {
+            return Err(DecodeError::Truncated {
+                needed: n,
+                got: rest,
+            });
+        }
+        let s = &self.buf[self.off..self.off + n];
+        self.off += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes([
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7],
+        ]))
+    }
+
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::BadPayload {
+            detail: "string field is not UTF-8".into(),
+        })
+    }
+
+    fn tensor(&mut self) -> Result<Tensor, DecodeError> {
+        let c = self.u32()? as usize;
+        let h = self.u32()? as usize;
+        let w = self.u32()? as usize;
+        // Checked multiplies before Shape::len() or take() run: hostile
+        // dimensions must become a typed error, not an overflow panic.
+        let bytes = c
+            .checked_mul(h)
+            .and_then(|e| e.checked_mul(w))
+            .and_then(|e| e.checked_mul(4))
+            .ok_or_else(|| DecodeError::BadPayload {
+                detail: format!("tensor shape {c}x{h}x{w} overflows the byte counter"),
+            })?;
+        let shape = Shape::new(c, h, w);
+        let raw = self.take(bytes)?;
+        let data = raw
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect();
+        Tensor::from_vec(shape, data).map_err(|e| DecodeError::BadPayload {
+            detail: format!("tensor rejected: {e}"),
+        })
+    }
+
+    fn finish(self) -> Result<(), DecodeError> {
+        if self.off != self.buf.len() {
+            return Err(DecodeError::BadPayload {
+                detail: format!("{} trailing bytes after payload", self.buf.len() - self.off),
+            });
+        }
+        Ok(())
+    }
+}
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_tensor(out: &mut Vec<u8>, t: &Tensor) {
+    let shape = t.shape();
+    put_u32(out, shape.c as u32);
+    put_u32(out, shape.h as u32);
+    put_u32(out, shape.w as u32);
+    for v in t.as_slice() {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed error frames
+// ---------------------------------------------------------------------
+
+/// The typed error vocabulary of `RespError` frames: every
+/// [`RuntimeError`] and [`SimError`] variant maps to a code here, plus
+/// the server-side conditions (unknown model, quota, drain, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The model's admission queue was full (backpressure; retry later).
+    QueueFull {
+        /// The configured queue bound.
+        capacity: u64,
+    },
+    /// The request's deadline passed before a worker reached it.
+    DeadlineExceeded {
+        /// How late the worker was, in microseconds.
+        missed_by_micros: u64,
+    },
+    /// The model's service is shutting down.
+    ShuttingDown,
+    /// The serving worker disappeared without responding.
+    WorkerLost,
+    /// The serving replica hung and is being replaced.
+    WorkerHang {
+        /// The hung worker replica.
+        worker: u64,
+    },
+    /// The model's service is degraded and rejected this submission.
+    Degraded {
+        /// Healthy replicas at rejection time.
+        healthy: u64,
+        /// The configured floor.
+        floor: u64,
+    },
+    /// A service configuration was rejected.
+    InvalidConfig {
+        /// The offending knob.
+        detail: String,
+    },
+    /// A runtime error this protocol revision has no code for.
+    RuntimeOther {
+        /// Its rendered message.
+        detail: String,
+    },
+    /// The program would deadlock the simulated hardware.
+    Deadlock {
+        /// The blocking instruction index.
+        instruction: u64,
+        /// The FIFO that ran dry.
+        fifo: String,
+    },
+    /// A buffer access fell outside its on-chip capacity.
+    BufferOverrun {
+        /// The overrun buffer.
+        buffer: String,
+        /// The offending word index.
+        index: u64,
+        /// The buffer capacity in words.
+        capacity: u64,
+    },
+    /// The input tensor does not match the compiled network.
+    InputMismatch {
+        /// What mismatched.
+        detail: String,
+    },
+    /// A cached timing schedule diverged on re-simulation.
+    ScheduleDivergence {
+        /// The diverging stage.
+        layer: String,
+        /// What differed.
+        detail: String,
+    },
+    /// An injected, detected transient fault aborted the run.
+    TransientFault {
+        /// The fault site.
+        site: String,
+        /// The corrupted burst word.
+        word: u64,
+    },
+    /// The simulated device hung mid-stage.
+    DeviceHang {
+        /// The hung stage.
+        stage: String,
+    },
+    /// The simulated device is wedged until its session resets.
+    DeviceWedged,
+    /// The run was cancelled by the host.
+    Cancelled {
+        /// The stage that observed the cancellation.
+        stage: String,
+    },
+    /// A simulator error this protocol revision has no code for.
+    SimOther {
+        /// Its rendered message.
+        detail: String,
+    },
+    /// No registered model has this id.
+    UnknownModel {
+        /// The unknown id.
+        model_id: u64,
+    },
+    /// The model exists but is still compiling; retry once loaded.
+    ModelLoading {
+        /// The model's name.
+        name: String,
+    },
+    /// The model is draining on its way out.
+    ModelDraining {
+        /// The model's name.
+        name: String,
+    },
+    /// Background load failed; the slot records why.
+    LoadFailed {
+        /// The build error.
+        detail: String,
+    },
+    /// A model with this name and version is already registered.
+    ModelExists {
+        /// The colliding name.
+        name: String,
+        /// The colliding version.
+        version: u64,
+    },
+    /// The model's in-flight admission quota is exhausted.
+    QuotaExceeded {
+        /// The configured quota.
+        limit: u64,
+    },
+    /// The server is draining and no longer accepts new work.
+    Draining,
+    /// The request was well-framed but semantically invalid.
+    BadRequest {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The server's connection budget is exhausted.
+    ConnectionLimit {
+        /// The configured budget.
+        max: u64,
+    },
+    /// The peer sent a frame over the size limit; the connection is
+    /// closed after this reject (framing cannot be trusted past it).
+    FrameTooLarge {
+        /// The announced payload length.
+        len: u64,
+        /// The enforced ceiling.
+        max: u64,
+    },
+}
+
+impl WireError {
+    fn code(&self) -> u16 {
+        match self {
+            WireError::QueueFull { .. } => 1,
+            WireError::DeadlineExceeded { .. } => 2,
+            WireError::ShuttingDown => 3,
+            WireError::WorkerLost => 4,
+            WireError::WorkerHang { .. } => 5,
+            WireError::Degraded { .. } => 6,
+            WireError::InvalidConfig { .. } => 7,
+            WireError::RuntimeOther { .. } => 15,
+            WireError::Deadlock { .. } => 16,
+            WireError::BufferOverrun { .. } => 17,
+            WireError::InputMismatch { .. } => 18,
+            WireError::ScheduleDivergence { .. } => 19,
+            WireError::TransientFault { .. } => 20,
+            WireError::DeviceHang { .. } => 21,
+            WireError::DeviceWedged => 22,
+            WireError::Cancelled { .. } => 23,
+            WireError::SimOther { .. } => 31,
+            WireError::UnknownModel { .. } => 32,
+            WireError::ModelLoading { .. } => 33,
+            WireError::ModelDraining { .. } => 34,
+            WireError::LoadFailed { .. } => 35,
+            WireError::ModelExists { .. } => 36,
+            WireError::QuotaExceeded { .. } => 37,
+            WireError::Draining => 38,
+            WireError::BadRequest { .. } => 39,
+            WireError::ConnectionLimit { .. } => 40,
+            WireError::FrameTooLarge { .. } => 41,
+        }
+    }
+
+    /// Whether the condition is backpressure the client may simply retry
+    /// (queue/quota full, degraded rejection).
+    pub fn is_backpressure(&self) -> bool {
+        matches!(
+            self,
+            WireError::QueueFull { .. }
+                | WireError::QuotaExceeded { .. }
+                | WireError::Degraded { .. }
+        )
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_u16(out, self.code());
+        match self {
+            WireError::QueueFull { capacity } => put_u64(out, *capacity),
+            WireError::DeadlineExceeded { missed_by_micros } => put_u64(out, *missed_by_micros),
+            WireError::ShuttingDown
+            | WireError::WorkerLost
+            | WireError::DeviceWedged
+            | WireError::Draining => {}
+            WireError::WorkerHang { worker } => put_u64(out, *worker),
+            WireError::Degraded { healthy, floor } => {
+                put_u64(out, *healthy);
+                put_u64(out, *floor);
+            }
+            WireError::InvalidConfig { detail }
+            | WireError::RuntimeOther { detail }
+            | WireError::InputMismatch { detail }
+            | WireError::SimOther { detail }
+            | WireError::LoadFailed { detail }
+            | WireError::BadRequest { detail } => put_str(out, detail),
+            WireError::Deadlock { instruction, fifo } => {
+                put_u64(out, *instruction);
+                put_str(out, fifo);
+            }
+            WireError::BufferOverrun {
+                buffer,
+                index,
+                capacity,
+            } => {
+                put_str(out, buffer);
+                put_u64(out, *index);
+                put_u64(out, *capacity);
+            }
+            WireError::ScheduleDivergence { layer, detail } => {
+                put_str(out, layer);
+                put_str(out, detail);
+            }
+            WireError::TransientFault { site, word } => {
+                put_str(out, site);
+                put_u64(out, *word);
+            }
+            WireError::DeviceHang { stage } | WireError::Cancelled { stage } => put_str(out, stage),
+            WireError::UnknownModel { model_id } => put_u64(out, *model_id),
+            WireError::ModelLoading { name } | WireError::ModelDraining { name } => {
+                put_str(out, name)
+            }
+            WireError::ModelExists { name, version } => {
+                put_str(out, name);
+                put_u64(out, *version);
+            }
+            WireError::QuotaExceeded { limit } => put_u64(out, *limit),
+            WireError::ConnectionLimit { max } => put_u64(out, *max),
+            WireError::FrameTooLarge { len, max } => {
+                put_u64(out, *len);
+                put_u64(out, *max);
+            }
+        }
+    }
+
+    fn decode(cur: &mut Cur<'_>) -> Result<Self, DecodeError> {
+        let code = u16::from(cur.u8()?) | (u16::from(cur.u8()?) << 8);
+        Ok(match code {
+            1 => WireError::QueueFull {
+                capacity: cur.u64()?,
+            },
+            2 => WireError::DeadlineExceeded {
+                missed_by_micros: cur.u64()?,
+            },
+            3 => WireError::ShuttingDown,
+            4 => WireError::WorkerLost,
+            5 => WireError::WorkerHang { worker: cur.u64()? },
+            6 => WireError::Degraded {
+                healthy: cur.u64()?,
+                floor: cur.u64()?,
+            },
+            7 => WireError::InvalidConfig {
+                detail: cur.string()?,
+            },
+            15 => WireError::RuntimeOther {
+                detail: cur.string()?,
+            },
+            16 => WireError::Deadlock {
+                instruction: cur.u64()?,
+                fifo: cur.string()?,
+            },
+            17 => WireError::BufferOverrun {
+                buffer: cur.string()?,
+                index: cur.u64()?,
+                capacity: cur.u64()?,
+            },
+            18 => WireError::InputMismatch {
+                detail: cur.string()?,
+            },
+            19 => WireError::ScheduleDivergence {
+                layer: cur.string()?,
+                detail: cur.string()?,
+            },
+            20 => WireError::TransientFault {
+                site: cur.string()?,
+                word: cur.u64()?,
+            },
+            21 => WireError::DeviceHang {
+                stage: cur.string()?,
+            },
+            22 => WireError::DeviceWedged,
+            23 => WireError::Cancelled {
+                stage: cur.string()?,
+            },
+            31 => WireError::SimOther {
+                detail: cur.string()?,
+            },
+            32 => WireError::UnknownModel {
+                model_id: cur.u64()?,
+            },
+            33 => WireError::ModelLoading {
+                name: cur.string()?,
+            },
+            34 => WireError::ModelDraining {
+                name: cur.string()?,
+            },
+            35 => WireError::LoadFailed {
+                detail: cur.string()?,
+            },
+            36 => WireError::ModelExists {
+                name: cur.string()?,
+                version: cur.u64()?,
+            },
+            37 => WireError::QuotaExceeded { limit: cur.u64()? },
+            38 => WireError::Draining,
+            39 => WireError::BadRequest {
+                detail: cur.string()?,
+            },
+            40 => WireError::ConnectionLimit { max: cur.u64()? },
+            41 => WireError::FrameTooLarge {
+                len: cur.u64()?,
+                max: cur.u64()?,
+            },
+            other => {
+                return Err(DecodeError::BadPayload {
+                    detail: format!("unknown error code {other}"),
+                })
+            }
+        })
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            WireError::DeadlineExceeded { missed_by_micros } => {
+                write!(f, "deadline exceeded by {missed_by_micros} µs")
+            }
+            WireError::ShuttingDown => f.write_str("model service is shutting down"),
+            WireError::WorkerLost => f.write_str("serving worker exited without responding"),
+            WireError::WorkerHang { worker } => {
+                write!(f, "worker {worker}'s replica hung and is being replaced")
+            }
+            WireError::Degraded { healthy, floor } => {
+                write!(
+                    f,
+                    "service degraded: {healthy} healthy replicas (floor {floor})"
+                )
+            }
+            WireError::InvalidConfig { detail } => write!(f, "invalid service config: {detail}"),
+            WireError::RuntimeOther { detail } => write!(f, "runtime error: {detail}"),
+            WireError::Deadlock { instruction, fifo } => {
+                write!(
+                    f,
+                    "instruction {instruction} deadlocks on empty `{fifo}` fifo"
+                )
+            }
+            WireError::BufferOverrun {
+                buffer,
+                index,
+                capacity,
+            } => write!(f, "{buffer} buffer overrun: word {index} of {capacity}"),
+            WireError::InputMismatch { detail } => write!(f, "input mismatch: {detail}"),
+            WireError::ScheduleDivergence { layer, detail } => {
+                write!(f, "stage `{layer}` schedule diverged: {detail}")
+            }
+            WireError::TransientFault { site, word } => {
+                write!(f, "detected transient fault at {site} (burst word {word})")
+            }
+            WireError::DeviceHang { stage } => write!(f, "device hang in stage `{stage}`"),
+            WireError::DeviceWedged => f.write_str("device wedged; session reset required"),
+            WireError::Cancelled { stage } => write!(f, "run cancelled in stage `{stage}`"),
+            WireError::SimOther { detail } => write!(f, "simulator error: {detail}"),
+            WireError::UnknownModel { model_id } => write!(f, "no model with id {model_id}"),
+            WireError::ModelLoading { name } => write!(f, "model `{name}` is still loading"),
+            WireError::ModelDraining { name } => write!(f, "model `{name}` is draining"),
+            WireError::LoadFailed { detail } => write!(f, "model load failed: {detail}"),
+            WireError::ModelExists { name, version } => {
+                write!(f, "model `{name}` v{version} is already registered")
+            }
+            WireError::QuotaExceeded { limit } => {
+                write!(f, "per-model admission quota exhausted (limit {limit})")
+            }
+            WireError::Draining => f.write_str("server is draining; no new work accepted"),
+            WireError::BadRequest { detail } => write!(f, "bad request: {detail}"),
+            WireError::ConnectionLimit { max } => {
+                write!(f, "connection budget exhausted (max {max})")
+            }
+            WireError::FrameTooLarge { len, max } => {
+                write!(
+                    f,
+                    "frame payload of {len} bytes exceeds the {max}-byte limit"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<&RuntimeError> for WireError {
+    fn from(e: &RuntimeError) -> Self {
+        match e {
+            RuntimeError::QueueFull { capacity } => WireError::QueueFull {
+                capacity: *capacity as u64,
+            },
+            RuntimeError::DeadlineExceeded { missed_by } => WireError::DeadlineExceeded {
+                missed_by_micros: missed_by.as_micros().min(u128::from(u64::MAX)) as u64,
+            },
+            RuntimeError::ShuttingDown => WireError::ShuttingDown,
+            RuntimeError::Sim(e) => WireError::from(e),
+            RuntimeError::WorkerLost => WireError::WorkerLost,
+            RuntimeError::DeviceHang { worker } => WireError::WorkerHang {
+                worker: *worker as u64,
+            },
+            RuntimeError::Degraded { healthy, floor } => WireError::Degraded {
+                healthy: *healthy as u64,
+                floor: *floor as u64,
+            },
+            RuntimeError::InvalidConfig { detail } => WireError::InvalidConfig {
+                detail: detail.clone(),
+            },
+            // RuntimeError is #[non_exhaustive]: future variants degrade
+            // to a rendered message instead of a decode failure.
+            other => WireError::RuntimeOther {
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
+impl From<&SimError> for WireError {
+    fn from(e: &SimError) -> Self {
+        match e {
+            SimError::Deadlock { instruction, fifo } => WireError::Deadlock {
+                instruction: *instruction as u64,
+                fifo: (*fifo).to_string(),
+            },
+            SimError::BufferOverrun {
+                buffer,
+                index,
+                capacity,
+            } => WireError::BufferOverrun {
+                buffer: (*buffer).to_string(),
+                index: *index as u64,
+                capacity: *capacity as u64,
+            },
+            SimError::InputMismatch { detail } => WireError::InputMismatch {
+                detail: detail.clone(),
+            },
+            SimError::ScheduleDivergence { layer, detail } => WireError::ScheduleDivergence {
+                layer: layer.clone(),
+                detail: detail.clone(),
+            },
+            SimError::TransientFault { site, word } => WireError::TransientFault {
+                site: (*site).to_string(),
+                word: *word as u64,
+            },
+            SimError::DeviceHang { stage, .. } => WireError::DeviceHang {
+                stage: stage.clone(),
+            },
+            SimError::DeviceWedged => WireError::DeviceWedged,
+            SimError::Cancelled { stage } => WireError::Cancelled {
+                stage: stage.clone(),
+            },
+            other => WireError::SimOther {
+                detail: other.to_string(),
+            },
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Frame bodies
+// ---------------------------------------------------------------------
+
+/// A `LOAD_MODEL` request: what to build and how to serve it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadRequest {
+    /// Registry name the model is published under.
+    pub name: String,
+    /// Registry version (name+version must be unique).
+    pub version: u32,
+    /// Model source: a builtin zoo name or inline `.hdnn` text —
+    /// whatever the server's resolver accepts.
+    pub model: String,
+    /// Device source: a builtin device name or inline spec text.
+    pub device: String,
+    /// Seed for the synthetic parameter binding.
+    pub seed: u64,
+    /// Worker replicas for the model's service.
+    pub workers: u32,
+    /// `true` → functional simulation (real tensors); `false` →
+    /// timing-only.
+    pub functional: bool,
+    /// Per-model in-flight admission quota (0 = unlimited).
+    pub quota: u32,
+    /// Per-draw fault-injection rate armed on the model's replicas
+    /// (0.0 = fault-free).
+    pub fault_rate: f64,
+    /// Seed of the deterministic fault plan.
+    pub fault_seed: u64,
+    /// Transient-fault retry budget per request.
+    pub retries: u32,
+}
+
+impl LoadRequest {
+    /// A clean functional single-worker load of a builtin model.
+    pub fn new(name: &str, model: &str, device: &str) -> Self {
+        LoadRequest {
+            name: name.to_string(),
+            version: 1,
+            model: model.to_string(),
+            device: device.to_string(),
+            seed: 42,
+            workers: 1,
+            functional: true,
+            quota: 0,
+            fault_rate: 0.0,
+            fault_seed: 0,
+            retries: 0,
+        }
+    }
+}
+
+/// A full inference response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OutputBody {
+    /// The output tensor, bit-identical to a local `Simulator::run`.
+    pub tensor: Tensor,
+    /// Simulated accelerator cycles.
+    pub total_cycles: f64,
+    /// Submit-to-response latency inside the service, in nanoseconds.
+    pub latency_nanos: u64,
+    /// Requests sharing the batch.
+    pub batch_size: u32,
+    /// Serving worker replica.
+    pub worker: u32,
+    /// Served in degraded (timing-only shed) mode: tensor is zeros.
+    pub degraded: bool,
+}
+
+/// A timing-only inference response (`INFER_TIMING`): everything in
+/// [`OutputBody`] except the tensor bytes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingBody {
+    /// Simulated accelerator cycles.
+    pub total_cycles: f64,
+    /// Submit-to-response latency inside the service, in nanoseconds.
+    pub latency_nanos: u64,
+    /// Requests sharing the batch.
+    pub batch_size: u32,
+    /// Serving worker replica.
+    pub worker: u32,
+    /// Served in degraded mode.
+    pub degraded: bool,
+}
+
+/// One model's registry state, as reported by `LIST_MODELS`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ModelState {
+    /// Background DSE + compile in progress.
+    Loading = 0,
+    /// Published and serving.
+    Ready = 1,
+    /// Draining in-flight work on its way out.
+    Draining = 2,
+    /// Build failed; the slot records the error.
+    Failed = 3,
+}
+
+impl ModelState {
+    fn from_u8(raw: u8) -> Result<Self, DecodeError> {
+        Ok(match raw {
+            0 => ModelState::Loading,
+            1 => ModelState::Ready,
+            2 => ModelState::Draining,
+            3 => ModelState::Failed,
+            other => {
+                return Err(DecodeError::BadPayload {
+                    detail: format!("unknown model state {other}"),
+                })
+            }
+        })
+    }
+}
+
+impl fmt::Display for ModelState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ModelState::Loading => "loading",
+            ModelState::Ready => "ready",
+            ModelState::Draining => "draining",
+            ModelState::Failed => "failed",
+        })
+    }
+}
+
+/// One entry of a `LIST_MODELS` response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// Registry id (the header `model_id` for `INFER`).
+    pub model_id: u32,
+    /// Registry name.
+    pub name: String,
+    /// Registry version.
+    pub version: u32,
+    /// Lifecycle state.
+    pub state: ModelState,
+    /// In-flight requests admitted against the model's quota.
+    pub inflight: u64,
+    /// Requests the model's service has completed.
+    pub completed: u64,
+}
+
+/// The server-wide aggregate metrics snapshot (`STATS`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StatsBody {
+    /// Registered models (any state).
+    pub models: u32,
+    /// Open client connections.
+    pub connections: u32,
+    /// Σ submitted over all model services.
+    pub submitted: u64,
+    /// Σ completed.
+    pub completed: u64,
+    /// Σ failed.
+    pub failed: u64,
+    /// Σ deadline expirations.
+    pub expired: u64,
+    /// Σ backpressure rejections (queue-full + degraded).
+    pub rejected: u64,
+    /// Σ dispatched batches.
+    pub batches: u64,
+    /// Σ transient-fault retries.
+    pub retries: u64,
+    /// Σ replica restarts.
+    pub restarts: u64,
+    /// Σ quarantined workers.
+    pub quarantines: u64,
+    /// Σ injected faults.
+    pub faults_injected: u64,
+    /// Σ observed fault-class errors.
+    pub faults_observed: u64,
+    /// Σ requests served degraded.
+    pub degraded_served: u64,
+    /// Σ currently healthy workers.
+    pub healthy_workers: u64,
+    /// Worst per-model p50 latency, nanoseconds.
+    pub latency_p50_nanos: u64,
+    /// Worst per-model p95 latency, nanoseconds.
+    pub latency_p95_nanos: u64,
+    /// Worst per-model p99 latency, nanoseconds.
+    pub latency_p99_nanos: u64,
+}
+
+/// A frame's opcode-specific contents.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Body {
+    /// `INFER`: run the tensor through the addressed model.
+    Infer {
+        /// The input tensor.
+        tensor: Tensor,
+    },
+    /// `INFER_TIMING`: like `INFER` but the response carries no tensor.
+    InferTiming {
+        /// The input tensor.
+        tensor: Tensor,
+    },
+    /// `LOAD_MODEL`.
+    LoadModel(LoadRequest),
+    /// `UNLOAD_MODEL` (model addressed by the header id).
+    UnloadModel,
+    /// `LIST_MODELS`.
+    ListModels,
+    /// `STATS`.
+    Stats,
+    /// `PING` with an arbitrary echo payload.
+    Ping {
+        /// Bytes echoed back verbatim.
+        payload: Vec<u8>,
+    },
+    /// `DRAIN`.
+    Drain,
+    /// Full inference response.
+    Output(OutputBody),
+    /// Timing-only inference response.
+    Timing(TimingBody),
+    /// Typed error response.
+    Error(WireError),
+    /// Model published (or the load request acknowledged as failed via
+    /// `Error` instead).
+    Loaded {
+        /// The registry id to address `INFER` at.
+        model_id: u32,
+        /// Echoed registry name.
+        name: String,
+        /// Echoed registry version.
+        version: u32,
+    },
+    /// Model drained and dropped.
+    Unloaded,
+    /// Model listing.
+    ModelList(
+        /// The registered models.
+        Vec<ModelInfo>,
+    ),
+    /// Aggregate metrics.
+    StatsReply(StatsBody),
+    /// Ping echo.
+    Pong {
+        /// The echoed bytes.
+        payload: Vec<u8>,
+    },
+    /// Drain acknowledged; in-flight work will still complete.
+    Draining,
+}
+
+impl Body {
+    /// The opcode this body travels under.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Body::Infer { .. } => Opcode::Infer,
+            Body::InferTiming { .. } => Opcode::InferTiming,
+            Body::LoadModel(_) => Opcode::LoadModel,
+            Body::UnloadModel => Opcode::UnloadModel,
+            Body::ListModels => Opcode::ListModels,
+            Body::Stats => Opcode::Stats,
+            Body::Ping { .. } => Opcode::Ping,
+            Body::Drain => Opcode::Drain,
+            Body::Output(_) => Opcode::RespOutput,
+            Body::Timing(_) => Opcode::RespTiming,
+            Body::Error(_) => Opcode::RespError,
+            Body::Loaded { .. } => Opcode::RespLoaded,
+            Body::Unloaded => Opcode::RespUnloaded,
+            Body::ModelList(_) => Opcode::RespModelList,
+            Body::StatsReply(_) => Opcode::RespStats,
+            Body::Pong { .. } => Opcode::RespPong,
+            Body::Draining => Opcode::RespDraining,
+        }
+    }
+
+    fn encode_payload(&self, out: &mut Vec<u8>) {
+        match self {
+            Body::Infer { tensor } | Body::InferTiming { tensor } => put_tensor(out, tensor),
+            Body::LoadModel(req) => {
+                put_str(out, &req.name);
+                put_u32(out, req.version);
+                put_str(out, &req.model);
+                put_str(out, &req.device);
+                put_u64(out, req.seed);
+                put_u32(out, req.workers);
+                out.push(u8::from(req.functional));
+                put_u32(out, req.quota);
+                put_f64(out, req.fault_rate);
+                put_u64(out, req.fault_seed);
+                put_u32(out, req.retries);
+            }
+            Body::UnloadModel
+            | Body::ListModels
+            | Body::Stats
+            | Body::Drain
+            | Body::Unloaded
+            | Body::Draining => {}
+            Body::Ping { payload } | Body::Pong { payload } => out.extend_from_slice(payload),
+            Body::Output(o) => {
+                put_f64(out, o.total_cycles);
+                put_u64(out, o.latency_nanos);
+                put_u32(out, o.batch_size);
+                put_u32(out, o.worker);
+                out.push(u8::from(o.degraded));
+                put_tensor(out, &o.tensor);
+            }
+            Body::Timing(t) => {
+                put_f64(out, t.total_cycles);
+                put_u64(out, t.latency_nanos);
+                put_u32(out, t.batch_size);
+                put_u32(out, t.worker);
+                out.push(u8::from(t.degraded));
+            }
+            Body::Error(e) => e.encode(out),
+            Body::Loaded {
+                model_id,
+                name,
+                version,
+            } => {
+                put_u32(out, *model_id);
+                put_str(out, name);
+                put_u32(out, *version);
+            }
+            Body::ModelList(models) => {
+                put_u32(out, models.len() as u32);
+                for m in models {
+                    put_u32(out, m.model_id);
+                    put_str(out, &m.name);
+                    put_u32(out, m.version);
+                    out.push(m.state as u8);
+                    put_u64(out, m.inflight);
+                    put_u64(out, m.completed);
+                }
+            }
+            Body::StatsReply(s) => {
+                put_u32(out, s.models);
+                put_u32(out, s.connections);
+                for v in [
+                    s.submitted,
+                    s.completed,
+                    s.failed,
+                    s.expired,
+                    s.rejected,
+                    s.batches,
+                    s.retries,
+                    s.restarts,
+                    s.quarantines,
+                    s.faults_injected,
+                    s.faults_observed,
+                    s.degraded_served,
+                    s.healthy_workers,
+                    s.latency_p50_nanos,
+                    s.latency_p95_nanos,
+                    s.latency_p99_nanos,
+                ] {
+                    put_u64(out, v);
+                }
+            }
+        }
+    }
+}
+
+/// Decodes an opcode's payload bytes into its [`Body`].
+///
+/// # Errors
+/// [`DecodeError`] for any schema violation; never panics.
+pub fn decode_body(opcode: Opcode, payload: &[u8]) -> Result<Body, DecodeError> {
+    let mut cur = Cur::new(payload);
+    let body = match opcode {
+        Opcode::Infer => Body::Infer {
+            tensor: cur.tensor()?,
+        },
+        Opcode::InferTiming => Body::InferTiming {
+            tensor: cur.tensor()?,
+        },
+        Opcode::LoadModel => Body::LoadModel(LoadRequest {
+            name: cur.string()?,
+            version: cur.u32()?,
+            model: cur.string()?,
+            device: cur.string()?,
+            seed: cur.u64()?,
+            workers: cur.u32()?,
+            functional: cur.u8()? != 0,
+            quota: cur.u32()?,
+            fault_rate: cur.f64()?,
+            fault_seed: cur.u64()?,
+            retries: cur.u32()?,
+        }),
+        Opcode::UnloadModel => Body::UnloadModel,
+        Opcode::ListModels => Body::ListModels,
+        Opcode::Stats => Body::Stats,
+        Opcode::Ping => {
+            return Ok(Body::Ping {
+                payload: payload.to_vec(),
+            })
+        }
+        Opcode::Drain => Body::Drain,
+        Opcode::RespOutput => {
+            let total_cycles = cur.f64()?;
+            let latency_nanos = cur.u64()?;
+            let batch_size = cur.u32()?;
+            let worker = cur.u32()?;
+            let degraded = cur.u8()? != 0;
+            Body::Output(OutputBody {
+                total_cycles,
+                latency_nanos,
+                batch_size,
+                worker,
+                degraded,
+                tensor: cur.tensor()?,
+            })
+        }
+        Opcode::RespTiming => Body::Timing(TimingBody {
+            total_cycles: cur.f64()?,
+            latency_nanos: cur.u64()?,
+            batch_size: cur.u32()?,
+            worker: cur.u32()?,
+            degraded: cur.u8()? != 0,
+        }),
+        Opcode::RespError => Body::Error(WireError::decode(&mut cur)?),
+        Opcode::RespLoaded => Body::Loaded {
+            model_id: cur.u32()?,
+            name: cur.string()?,
+            version: cur.u32()?,
+        },
+        Opcode::RespUnloaded => Body::Unloaded,
+        Opcode::RespModelList => {
+            let n = cur.u32()? as usize;
+            // Each entry is ≥ 26 bytes; bound the pre-allocation by what
+            // the payload could actually hold.
+            let mut models = Vec::with_capacity(n.min(payload.len() / 26 + 1));
+            for _ in 0..n {
+                models.push(ModelInfo {
+                    model_id: cur.u32()?,
+                    name: cur.string()?,
+                    version: cur.u32()?,
+                    state: ModelState::from_u8(cur.u8()?)?,
+                    inflight: cur.u64()?,
+                    completed: cur.u64()?,
+                });
+            }
+            Body::ModelList(models)
+        }
+        Opcode::RespStats => {
+            let models = cur.u32()?;
+            let connections = cur.u32()?;
+            let mut v = [0u64; 16];
+            for slot in &mut v {
+                *slot = cur.u64()?;
+            }
+            Body::StatsReply(StatsBody {
+                models,
+                connections,
+                submitted: v[0],
+                completed: v[1],
+                failed: v[2],
+                expired: v[3],
+                rejected: v[4],
+                batches: v[5],
+                retries: v[6],
+                restarts: v[7],
+                quarantines: v[8],
+                faults_injected: v[9],
+                faults_observed: v[10],
+                degraded_served: v[11],
+                healthy_workers: v[12],
+                latency_p50_nanos: v[13],
+                latency_p95_nanos: v[14],
+                latency_p99_nanos: v[15],
+            })
+        }
+        Opcode::RespPong => {
+            return Ok(Body::Pong {
+                payload: payload.to_vec(),
+            })
+        }
+        Opcode::RespDraining => Body::Draining,
+    };
+    cur.finish()?;
+    Ok(body)
+}
+
+/// One complete protocol message: the addressable header fields plus the
+/// decoded body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Client-chosen id; responses echo it verbatim.
+    pub request_id: u64,
+    /// Registry model id (0 when unused).
+    pub model_id: u32,
+    /// Relative deadline in microseconds (0 = none).
+    pub deadline_micros: u64,
+    /// The payload.
+    pub body: Body,
+}
+
+impl Frame {
+    /// A frame with no model address or deadline.
+    pub fn new(request_id: u64, body: Body) -> Self {
+        Frame {
+            request_id,
+            model_id: 0,
+            deadline_micros: 0,
+            body,
+        }
+    }
+
+    /// Serializes header + payload into one buffer ready for the wire.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        self.body.encode_payload(&mut payload);
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        put_u16(&mut out, PROTOCOL_VERSION);
+        out.push(self.body.opcode() as u8);
+        out.push(0); // flags
+        put_u32(&mut out, self.model_id);
+        put_u64(&mut out, self.request_id);
+        put_u64(&mut out, self.deadline_micros);
+        put_u32(&mut out, payload.len() as u32);
+        put_u32(&mut out, 0); // reserved
+        out.extend_from_slice(&payload);
+        out
+    }
+}
+
+/// Tries to extract one complete frame from the front of `buf`.
+///
+/// Returns `Ok(None)` while the buffer holds less than a full frame
+/// (read more and retry), or `Ok(Some((frame, consumed)))` — the caller
+/// drains `consumed` bytes. Stream readers on both ends are built on
+/// this.
+///
+/// # Errors
+/// Typed [`DecodeError`]s; after one, the byte stream cannot be
+/// re-synchronized and the connection should be closed.
+pub fn try_decode(buf: &[u8], max_payload: u32) -> Result<Option<(Frame, usize)>, DecodeError> {
+    if buf.len() < HEADER_LEN {
+        return Ok(None);
+    }
+    let header = decode_header(buf, max_payload)?;
+    let total = HEADER_LEN + header.payload_len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let body = decode_body(header.opcode, &buf[HEADER_LEN..total])?;
+    Ok(Some((
+        Frame {
+            request_id: header.request_id,
+            model_id: header.model_id,
+            deadline_micros: header.deadline_micros,
+            body,
+        },
+        total,
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(frame: Frame) {
+        let bytes = frame.encode();
+        let (got, consumed) = try_decode(&bytes, MAX_PAYLOAD).unwrap().unwrap();
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(got, frame);
+    }
+
+    #[test]
+    fn basic_roundtrips() {
+        let tensor = Tensor::from_vec(
+            Shape::new(1, 2, 2),
+            vec![1.5, -0.0, f32::MIN_POSITIVE / 2.0, 3.25],
+        )
+        .unwrap();
+        roundtrip(Frame {
+            request_id: 7,
+            model_id: 3,
+            deadline_micros: 1_000,
+            body: Body::Infer {
+                tensor: tensor.clone(),
+            },
+        });
+        roundtrip(Frame::new(8, Body::InferTiming { tensor }));
+        roundtrip(Frame::new(
+            9,
+            Body::LoadModel(LoadRequest::new("m", "tiny-cnn", "pynq-z1")),
+        ));
+        roundtrip(Frame::new(
+            10,
+            Body::Ping {
+                payload: vec![0, 1, 2, 255],
+            },
+        ));
+        roundtrip(Frame::new(
+            11,
+            Body::Error(WireError::QuotaExceeded { limit: 4 }),
+        ));
+        roundtrip(Frame::new(12, Body::StatsReply(StatsBody::default())));
+        roundtrip(Frame::new(
+            13,
+            Body::ModelList(vec![ModelInfo {
+                model_id: 1,
+                name: "m".into(),
+                version: 2,
+                state: ModelState::Ready,
+                inflight: 3,
+                completed: 4,
+            }]),
+        ));
+    }
+
+    #[test]
+    fn nan_tensor_bits_survive() {
+        // PartialEq on Tensor would reject NaN == NaN, so compare bits.
+        let tensor = Tensor::from_vec(
+            Shape::new(1, 1, 2),
+            vec![f32::NAN, f32::from_bits(0xff80_0001)],
+        )
+        .unwrap();
+        let frame = Frame::new(
+            1,
+            Body::Infer {
+                tensor: tensor.clone(),
+            },
+        );
+        let bytes = frame.encode();
+        let (got, _) = try_decode(&bytes, MAX_PAYLOAD).unwrap().unwrap();
+        let Body::Infer { tensor: got } = got.body else {
+            panic!("wrong body")
+        };
+        let want: Vec<u32> = tensor.as_slice().iter().map(|v| v.to_bits()).collect();
+        let have: Vec<u32> = got.as_slice().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(want, have);
+    }
+
+    #[test]
+    fn oversized_frames_reject_before_allocation() {
+        let mut bytes = Frame::new(
+            1,
+            Body::Ping {
+                payload: vec![0; 64],
+            },
+        )
+        .encode();
+        // Forge a huge payload_len.
+        bytes[24..28].copy_from_slice(&u32::MAX.to_le_bytes());
+        match try_decode(&bytes, MAX_PAYLOAD) {
+            Err(DecodeError::FrameTooLarge { len, max }) => {
+                assert_eq!(len, u64::from(u32::MAX));
+                assert_eq!(max, u64::from(MAX_PAYLOAD));
+            }
+            other => panic!("expected FrameTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_headers_are_typed_errors() {
+        let good = Frame::new(1, Body::ListModels).encode();
+        // Bad version.
+        let mut bad = good.clone();
+        bad[0] = 0xff;
+        assert!(matches!(
+            try_decode(&bad, MAX_PAYLOAD),
+            Err(DecodeError::BadVersion { .. })
+        ));
+        // Bad opcode.
+        let mut bad = good.clone();
+        bad[2] = 0x70;
+        assert!(matches!(
+            try_decode(&bad, MAX_PAYLOAD),
+            Err(DecodeError::BadOpcode { got: 0x70 })
+        ));
+        // Non-zero reserved word.
+        let mut bad = good.clone();
+        bad[30] = 1;
+        assert!(matches!(
+            try_decode(&bad, MAX_PAYLOAD),
+            Err(DecodeError::BadReserved { .. })
+        ));
+        // Truncated: not enough bytes yet is not an error, it is "wait".
+        assert_eq!(try_decode(&good[..10], MAX_PAYLOAD).unwrap(), None);
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Frame::new(1, Body::ListModels).encode();
+        // Claim 4 payload bytes the schema does not want.
+        bytes[24..28].copy_from_slice(&4u32.to_le_bytes());
+        bytes.extend_from_slice(&[1, 2, 3, 4]);
+        assert!(matches!(
+            try_decode(&bytes, MAX_PAYLOAD),
+            Err(DecodeError::BadPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn every_runtime_and_sim_error_maps_to_a_typed_frame() {
+        let runtime_errors = [
+            RuntimeError::QueueFull { capacity: 8 },
+            RuntimeError::DeadlineExceeded {
+                missed_by: std::time::Duration::from_micros(5),
+            },
+            RuntimeError::ShuttingDown,
+            RuntimeError::WorkerLost,
+            RuntimeError::DeviceHang { worker: 2 },
+            RuntimeError::Degraded {
+                healthy: 1,
+                floor: 2,
+            },
+            RuntimeError::InvalidConfig {
+                detail: "workers".into(),
+            },
+            RuntimeError::Sim(SimError::DeviceWedged),
+        ];
+        for e in &runtime_errors {
+            roundtrip(Frame::new(1, Body::Error(WireError::from(e))));
+        }
+        let sim_errors = [
+            SimError::Deadlock {
+                instruction: 3,
+                fifo: "inp_ready",
+            },
+            SimError::BufferOverrun {
+                buffer: "weight",
+                index: 10,
+                capacity: 4,
+            },
+            SimError::InputMismatch { detail: "x".into() },
+            SimError::ScheduleDivergence {
+                layer: "conv1".into(),
+                detail: "cycles".into(),
+            },
+            SimError::TransientFault {
+                site: "load_inp",
+                word: 7,
+            },
+            SimError::DeviceHang {
+                stage: "conv2".into(),
+                after_cycles: 42.0,
+            },
+            SimError::DeviceWedged,
+            SimError::Cancelled { stage: "fc".into() },
+        ];
+        for e in &sim_errors {
+            roundtrip(Frame::new(1, Body::Error(WireError::from(e))));
+        }
+    }
+}

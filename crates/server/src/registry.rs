@@ -1,0 +1,558 @@
+//! The hot-swappable multi-model registry.
+//!
+//! A [`Registry`] maps `name@version` → a running
+//! [`InferenceService`], and owns the full model lifecycle:
+//!
+//! ```text
+//!              LOAD_MODEL
+//!                  │ slot inserted atomically (duplicate name@version
+//!                  ▼  is rejected before any work starts)
+//!             ┌─────────┐   background DSE + compile + service start
+//!             │ Loading  │──────────────────────────┐
+//!             └─────────┘                           │
+//!          build error │                            │ published
+//!                      ▼                            ▼
+//!             ┌─────────┐                      ┌─────────┐   UNLOAD_MODEL
+//!             │ Failed   │                      │ Ready   │──────────────┐
+//!             └─────────┘                      └─────────┘              │
+//!                      │ UNLOAD_MODEL (immediate)         in-flight      ▼
+//!                      ▼                                  drained   ┌──────────┐
+//!                   removed ◄───────────────────────────────────────│ Draining │
+//!                                                                   └──────────┘
+//! ```
+//!
+//! Loads run on a background thread so the connection that asked stays
+//! responsive; the slot is *atomically published* — `INFER` against a
+//! loading model gets a typed [`WireError::ModelLoading`], never a
+//! half-built service. Unloads drain: in-flight requests complete (each
+//! still receives exactly one response) before the service is dropped.
+//! Per-model admission quotas bound the in-flight requests any one
+//! model may hold, protecting co-hosted models from a greedy client.
+
+use crate::protocol::{LoadRequest, ModelInfo, ModelState, StatsBody, WireError};
+use hybriddnn_compiler::{CompiledNetwork, Compiler, MappingStrategy};
+use hybriddnn_dse::DseEngine;
+use hybriddnn_estimator::Profile;
+use hybriddnn_fpga::FpgaSpec;
+use hybriddnn_model::{synth, zoo, Network, Tensor};
+use hybriddnn_runtime::{FaultPlan, InferenceService, RoutedSender, ServiceConfig};
+use hybriddnn_sim::SimMode;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What a model/device spec pair resolved to: everything needed to run
+/// the build pipeline.
+#[derive(Debug, Clone)]
+pub struct ResolvedModel {
+    /// The network with parameters bound.
+    pub net: Network,
+    /// The target device.
+    pub device: FpgaSpec,
+    /// The estimator calibration profile for the device.
+    pub profile: Profile,
+}
+
+/// Maps `(model_spec, device_spec, seed)` to a [`ResolvedModel`]. The
+/// server takes this as a plug point so the CLI can wire in the `.hdnn`
+/// file parser without this crate depending on it.
+pub type Resolver = Arc<dyn Fn(&str, &str, u64) -> Result<ResolvedModel, String> + Send + Sync>;
+
+/// What a finished [`Registry::load`] hands its callback: the published
+/// model's `(id, name, version)`, or the typed reason the load failed.
+pub type LoadOutcome = Result<(u32, String, u32), WireError>;
+
+/// Completion callback for [`Registry::load`], invoked exactly once
+/// from the background loader thread (or inline on synchronous
+/// rejects).
+pub type LoadCallback = Box<dyn FnOnce(LoadOutcome) + Send>;
+
+/// The built-in resolver: zoo model names (`tiny-cnn`, `vgg-tiny`,
+/// `stem-cnn`) and builtin devices (`vu9p`, `pynq-z1`), with synthetic
+/// parameters bound from `seed`. No filesystem access.
+pub fn zoo_resolver() -> Resolver {
+    Arc::new(|model: &str, device: &str, seed: u64| {
+        let mut net = match model {
+            "tiny-cnn" => zoo::tiny_cnn(),
+            "vgg-tiny" => zoo::vgg_tiny(),
+            "stem-cnn" => zoo::stem_cnn(),
+            other => return Err(format!("unknown zoo model `{other}`")),
+        };
+        synth::bind_random(&mut net, seed).map_err(|e| e.to_string())?;
+        let (device, profile) = match device {
+            "vu9p" => (FpgaSpec::vu9p(), Profile::vu9p()),
+            "pynq-z1" | "pynq" => (FpgaSpec::pynq_z1(), Profile::pynq_z1()),
+            other => return Err(format!("unknown device `{other}`")),
+        };
+        Ok(ResolvedModel {
+            net,
+            device,
+            profile,
+        })
+    })
+}
+
+/// A resolved model pushed through DSE + compilation: the immutable
+/// artifacts a service (or a bit-identical reference simulator) runs.
+#[derive(Debug, Clone)]
+pub struct BuiltModel {
+    /// The compiled network.
+    pub compiled: Arc<CompiledNetwork>,
+    /// The per-instance DDR bandwidth share in words/cycle.
+    pub bandwidth: f64,
+    /// The estimator's predicted cycles per inference (the SJF cost
+    /// hint).
+    pub predicted_cycles: f64,
+}
+
+/// Runs the paper's build pipeline (DSE → mapping strategy → compile)
+/// on a resolved model. Deterministic: the same input produces the same
+/// compiled artifacts, which is what makes served outputs bit-identical
+/// to a local reference simulation — the e2e tests build their oracle
+/// through this same function.
+///
+/// # Errors
+/// A rendered message for DSE or compilation failures.
+pub fn build_model(resolved: &ResolvedModel) -> Result<BuiltModel, String> {
+    let dse = DseEngine::new(resolved.device.clone(), resolved.profile)
+        .explore(&resolved.net)
+        .map_err(|e| e.to_string())?;
+    let strategy = MappingStrategy::new(dse.strategy_choices());
+    let compiled = Compiler::new(dse.design.accel)
+        .compile(&resolved.net, &strategy)
+        .map_err(|e| e.to_string())?;
+    let bandwidth = resolved.device.instance_bandwidth(dse.design.ni);
+    let predicted_cycles = hybriddnn_estimator::latency::strategy_network_cycles(
+        &dse.design.accel,
+        dse.per_layer
+            .iter()
+            .map(|c| (c.mode, c.dataflow, &c.workload)),
+        bandwidth,
+    );
+    Ok(BuiltModel {
+        compiled: Arc::new(compiled),
+        bandwidth,
+        predicted_cycles,
+    })
+}
+
+/// Watchdog armed on fault-injected models: comfortably above any batch
+/// wall time of the small zoo models, small enough that injected device
+/// hangs resolve within a test run.
+const FAULT_WATCHDOG: Duration = Duration::from_millis(250);
+
+/// [`Duration`] → saturating nanoseconds for the wire.
+fn nanos(d: Duration) -> u64 {
+    d.as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+enum SlotState {
+    Loading,
+    Ready(InferenceService),
+    Failed(String),
+    Draining,
+}
+
+/// One registered model.
+pub struct ModelSlot {
+    id: u32,
+    name: String,
+    version: u32,
+    quota: u32,
+    inflight: AtomicU64,
+    completed: AtomicU64,
+    state: RwLock<SlotState>,
+}
+
+impl ModelSlot {
+    fn info(&self) -> ModelInfo {
+        let state = match &*self.state.read().expect("slot lock") {
+            SlotState::Loading => ModelState::Loading,
+            SlotState::Ready(_) => ModelState::Ready,
+            SlotState::Failed(_) => ModelState::Failed,
+            SlotState::Draining => ModelState::Draining,
+        };
+        ModelInfo {
+            model_id: self.id,
+            name: self.name.clone(),
+            version: self.version,
+            state,
+            inflight: self.inflight.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Releases one unit of a model's admission quota when the request's
+/// response has been delivered. Dropping the guard is the *only* way
+/// the unit comes back, so a quota can never leak past a response.
+pub struct QuotaGuard {
+    slot: Arc<ModelSlot>,
+}
+
+impl Drop for QuotaGuard {
+    fn drop(&mut self) {
+        self.slot.inflight.fetch_sub(1, Ordering::AcqRel);
+        self.slot.completed.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+struct Inner {
+    by_id: HashMap<u32, Arc<ModelSlot>>,
+    by_name: HashMap<(String, u32), u32>,
+}
+
+/// The concurrent model registry. Shared across every connection via
+/// `Arc`; all methods take `&self`.
+pub struct Registry {
+    resolver: Resolver,
+    inner: RwLock<Inner>,
+    next_id: AtomicU32,
+    draining: AtomicBool,
+    /// Loader/unloader threads, joined at drain so a drained server
+    /// provably leaks no threads.
+    tracked: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Registry {
+    /// An empty registry using `resolver` for `LOAD_MODEL` specs.
+    pub fn new(resolver: Resolver) -> Self {
+        Registry {
+            resolver,
+            inner: RwLock::new(Inner {
+                by_id: HashMap::new(),
+                by_name: HashMap::new(),
+            }),
+            next_id: AtomicU32::new(1),
+            draining: AtomicBool::new(false),
+            tracked: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Whether [`Registry::begin_drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    fn spawn_tracked<F: FnOnce() + Send + 'static>(&self, f: F) {
+        let handle = std::thread::spawn(f);
+        self.tracked.lock().expect("tracked lock").push(handle);
+    }
+
+    /// Starts loading a model in the background. The `Loading` slot is
+    /// inserted (and its duplicate check done) synchronously, so two
+    /// racing loads of the same `name@version` cannot both win;
+    /// `on_done` fires from the loader thread once the model is
+    /// published or failed.
+    pub fn load(self: &Arc<Self>, req: LoadRequest, on_done: LoadCallback) {
+        if self.is_draining() {
+            on_done(Err(WireError::Draining));
+            return;
+        }
+        let slot = {
+            let mut inner = self.inner.write().expect("registry lock");
+            let key = (req.name.clone(), req.version);
+            if inner.by_name.contains_key(&key) {
+                on_done(Err(WireError::ModelExists {
+                    name: req.name.clone(),
+                    version: u64::from(req.version),
+                }));
+                return;
+            }
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            let slot = Arc::new(ModelSlot {
+                id,
+                name: req.name.clone(),
+                version: req.version,
+                quota: req.quota,
+                inflight: AtomicU64::new(0),
+                completed: AtomicU64::new(0),
+                state: RwLock::new(SlotState::Loading),
+            });
+            inner.by_name.insert(key, id);
+            inner.by_id.insert(id, Arc::clone(&slot));
+            slot
+        };
+        let registry = Arc::clone(self);
+        self.spawn_tracked(move || {
+            let outcome = registry.build_and_start(&req);
+            let mut state = slot.state.write().expect("slot lock");
+            match outcome {
+                Ok(service) => {
+                    *state = SlotState::Ready(service);
+                    drop(state);
+                    on_done(Ok((slot.id, slot.name.clone(), slot.version)));
+                }
+                Err(e) => {
+                    *state = SlotState::Failed(e.to_string());
+                    drop(state);
+                    on_done(Err(e));
+                }
+            }
+        });
+    }
+
+    /// [`Registry::load`], blocking until the model is published. Used
+    /// by the CLI's preload path and tests.
+    ///
+    /// # Errors
+    /// The load's [`WireError`].
+    pub fn load_blocking(self: &Arc<Self>, req: LoadRequest) -> Result<u32, WireError> {
+        let (tx, rx) = std::sync::mpsc::channel();
+        self.load(
+            req,
+            Box::new(move |r| {
+                let _ = tx.send(r);
+            }),
+        );
+        match rx.recv() {
+            Ok(r) => r.map(|(id, _, _)| id),
+            Err(_) => Err(WireError::ShuttingDown),
+        }
+    }
+
+    fn build_and_start(&self, req: &LoadRequest) -> Result<InferenceService, WireError> {
+        let resolved = (self.resolver)(&req.model, &req.device, req.seed)
+            .map_err(|detail| WireError::LoadFailed { detail })?;
+        let built = build_model(&resolved).map_err(|detail| WireError::LoadFailed { detail })?;
+        let mode = if req.functional {
+            SimMode::Functional
+        } else {
+            SimMode::TimingOnly
+        };
+        let mut config = ServiceConfig::new(mode, built.bandwidth)
+            .with_workers(req.workers as usize)
+            .with_cost_hint(built.predicted_cycles)
+            .with_retries(req.retries);
+        if req.fault_rate > 0.0 {
+            config = config
+                .with_fault_plan(FaultPlan::uniform(req.fault_seed, req.fault_rate))
+                .with_watchdog(FAULT_WATCHDOG);
+        }
+        InferenceService::try_start(built.compiled, config).map_err(|e| WireError::from(&e))
+    }
+
+    /// Admits one inference against a model's quota and submits it to
+    /// the model's service; the response arrives on `tx` as
+    /// `(tag, result)`. The returned [`QuotaGuard`] must be held until
+    /// that response is delivered.
+    ///
+    /// # Errors
+    /// Typed rejections: unknown/loading/draining/failed model, quota
+    /// exhaustion, or the service's own admission errors.
+    pub fn submit(
+        &self,
+        model_id: u32,
+        input: Tensor,
+        deadline: Option<Duration>,
+        tx: RoutedSender,
+        tag: u64,
+    ) -> Result<QuotaGuard, WireError> {
+        let slot = {
+            let inner = self.inner.read().expect("registry lock");
+            inner
+                .by_id
+                .get(&model_id)
+                .cloned()
+                .ok_or(WireError::UnknownModel {
+                    model_id: u64::from(model_id),
+                })?
+        };
+        // Reserve quota before touching the service so a stampede on
+        // one model cannot starve the others' admission queues.
+        if slot.quota > 0 {
+            let admitted = slot
+                .inflight
+                .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                    (n < u64::from(slot.quota)).then_some(n + 1)
+                })
+                .is_ok();
+            if !admitted {
+                return Err(WireError::QuotaExceeded {
+                    limit: u64::from(slot.quota),
+                });
+            }
+        } else {
+            slot.inflight.fetch_add(1, Ordering::AcqRel);
+        }
+        let state = slot.state.read().expect("slot lock");
+        let submitted = match &*state {
+            SlotState::Ready(service) => service
+                .submit_routed(input, deadline, tx, tag)
+                .map(|_| ())
+                .map_err(|e| WireError::from(&e)),
+            SlotState::Loading => Err(WireError::ModelLoading {
+                name: slot.name.clone(),
+            }),
+            SlotState::Draining => Err(WireError::ModelDraining {
+                name: slot.name.clone(),
+            }),
+            SlotState::Failed(detail) => Err(WireError::LoadFailed {
+                detail: detail.clone(),
+            }),
+        };
+        drop(state);
+        match submitted {
+            Ok(()) => Ok(QuotaGuard {
+                slot: Arc::clone(&slot),
+            }),
+            Err(e) => {
+                // Rejected before admission: give the quota unit back
+                // without counting a completion.
+                slot.inflight.fetch_sub(1, Ordering::AcqRel);
+                Err(e)
+            }
+        }
+    }
+
+    /// Starts a graceful unload in the background: the slot flips to
+    /// `Draining` synchronously (new submissions get a typed reject),
+    /// in-flight requests complete, then the service is dropped and the
+    /// name freed. `on_done` fires when the model is fully gone.
+    pub fn unload(
+        self: &Arc<Self>,
+        model_id: u32,
+        on_done: Box<dyn FnOnce(Result<(), WireError>) + Send>,
+    ) {
+        let slot = {
+            let inner = self.inner.read().expect("registry lock");
+            match inner.by_id.get(&model_id) {
+                Some(slot) => Arc::clone(slot),
+                None => {
+                    on_done(Err(WireError::UnknownModel {
+                        model_id: u64::from(model_id),
+                    }));
+                    return;
+                }
+            }
+        };
+        let service = {
+            let mut state = slot.state.write().expect("slot lock");
+            match &*state {
+                SlotState::Ready(_) => match std::mem::replace(&mut *state, SlotState::Draining) {
+                    SlotState::Ready(service) => Some(service),
+                    _ => unreachable!("state checked under the same lock"),
+                },
+                SlotState::Failed(_) => {
+                    *state = SlotState::Draining;
+                    None
+                }
+                SlotState::Loading => {
+                    on_done(Err(WireError::ModelLoading {
+                        name: slot.name.clone(),
+                    }));
+                    return;
+                }
+                SlotState::Draining => {
+                    on_done(Err(WireError::ModelDraining {
+                        name: slot.name.clone(),
+                    }));
+                    return;
+                }
+            }
+        };
+        let registry = Arc::clone(self);
+        self.spawn_tracked(move || {
+            if let Some(service) = service {
+                // Drains the admission queue and joins the worker pool;
+                // every in-flight request still gets its one response.
+                service.shutdown();
+            }
+            let mut inner = registry.inner.write().expect("registry lock");
+            inner.by_id.remove(&slot.id);
+            inner.by_name.remove(&(slot.name.clone(), slot.version));
+            drop(inner);
+            on_done(Ok(()));
+        });
+    }
+
+    /// Every registered model's state.
+    pub fn list(&self) -> Vec<ModelInfo> {
+        let inner = self.inner.read().expect("registry lock");
+        let mut models: Vec<ModelInfo> = inner.by_id.values().map(|s| s.info()).collect();
+        models.sort_by_key(|m| m.model_id);
+        models
+    }
+
+    /// The server-wide aggregate metrics snapshot: counters summed over
+    /// every `Ready` service, latency percentiles reported as the worst
+    /// model's (a max, not an average — the honest tail).
+    pub fn stats(&self) -> StatsBody {
+        let slots: Vec<Arc<ModelSlot>> = {
+            let inner = self.inner.read().expect("registry lock");
+            inner.by_id.values().cloned().collect()
+        };
+        let mut out = StatsBody {
+            models: slots.len() as u32,
+            ..StatsBody::default()
+        };
+        for slot in &slots {
+            let state = slot.state.read().expect("slot lock");
+            if let SlotState::Ready(service) = &*state {
+                let m = service.metrics();
+                out.submitted += m.submitted;
+                out.completed += m.completed;
+                out.failed += m.failed;
+                out.expired += m.expired;
+                out.rejected += m.rejected_full + m.rejected_degraded;
+                out.batches += m.batches;
+                out.retries += m.retries;
+                out.restarts += m.restarts;
+                out.quarantines += m.quarantines;
+                out.faults_injected += m.faults_injected;
+                out.faults_observed += m.faults_observed;
+                out.degraded_served += m.degraded_served;
+                out.healthy_workers += m.healthy_workers as u64;
+                out.latency_p50_nanos = out.latency_p50_nanos.max(nanos(m.latency_p50));
+                out.latency_p95_nanos = out.latency_p95_nanos.max(nanos(m.latency_p95));
+                out.latency_p99_nanos = out.latency_p99_nanos.max(nanos(m.latency_p99));
+            }
+        }
+        out
+    }
+
+    /// Flips the registry into draining: subsequent loads are rejected
+    /// with [`WireError::Draining`]. Existing models keep serving until
+    /// [`Registry::drain`].
+    pub fn begin_drain(&self) {
+        self.draining.store(true, Ordering::Release);
+    }
+
+    /// Full drain: rejects new loads, joins every tracked loader and
+    /// unloader thread, then shuts down every model service (in-flight
+    /// requests complete first). After this returns the registry owns
+    /// zero threads.
+    pub fn drain(&self) {
+        self.begin_drain();
+        // Join loaders/unloaders first so no thread can re-publish a
+        // service after the sweep below.
+        loop {
+            let handles: Vec<JoinHandle<()>> =
+                std::mem::take(&mut *self.tracked.lock().expect("tracked lock"));
+            if handles.is_empty() {
+                break;
+            }
+            for handle in handles {
+                let _ = handle.join();
+            }
+            // An unloader that finished may have been tracked while we
+            // were joining; sweep again until the list stays empty.
+        }
+        let slots: Vec<Arc<ModelSlot>> = {
+            let mut inner = self.inner.write().expect("registry lock");
+            inner.by_name.clear();
+            inner.by_id.drain().map(|(_, slot)| slot).collect()
+        };
+        for slot in slots {
+            let state = std::mem::replace(
+                &mut *slot.state.write().expect("slot lock"),
+                SlotState::Draining,
+            );
+            if let SlotState::Ready(service) = state {
+                service.shutdown();
+            }
+        }
+    }
+}

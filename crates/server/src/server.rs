@@ -1,0 +1,479 @@
+//! The TCP connection layer: a thread-per-connection acceptor with a
+//! bounded connection budget, per-connection request pipelining, and
+//! graceful drain.
+//!
+//! Each accepted connection runs three threads:
+//!
+//! - the **reader** (the connection thread itself) frames bytes off the
+//!   socket with [`protocol::try_decode`] and dispatches requests;
+//! - the **writer** serializes pre-encoded response frames onto the
+//!   socket from a channel, so any thread may answer;
+//! - the **pump** forwards the runtime's routed completions
+//!   (`(request id, result)` pairs, arriving in *completion* order, not
+//!   submission order) back through the writer.
+//!
+//! A client may therefore keep many requests in flight on one
+//! connection and match responses by request id. Draining a server
+//! (the `DRAIN` opcode or [`Server::shutdown`]) stops the acceptor,
+//! answers new work with [`WireError::Draining`], lets every in-flight
+//! request complete, then joins all threads — the e2e tests assert the
+//! process thread count returns to its pre-server baseline.
+
+use crate::protocol::{
+    try_decode, Body, DecodeError, Frame, OutputBody, TimingBody, WireError, MAX_PAYLOAD,
+};
+use crate::registry::{QuotaGuard, Registry};
+use hybriddnn_runtime::{InferenceResponse, RuntimeError};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables of the connection layer.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Concurrent connection budget; connection number `max + 1` is
+    /// answered with a typed [`WireError::ConnectionLimit`] and closed.
+    pub max_connections: usize,
+    /// A connection with no traffic and no in-flight work for this long
+    /// is closed.
+    pub idle_timeout: Duration,
+    /// Socket read timeout — the reader's housekeeping tick (idle and
+    /// drain checks run at this cadence).
+    pub read_tick: Duration,
+    /// Per-frame payload ceiling (bytes); larger frames are rejected
+    /// with a typed error before allocation.
+    pub max_frame: u32,
+    /// Once draining and out of in-flight work, a connection lingers
+    /// this long answering late frames with typed [`WireError::Draining`]
+    /// rejects before it closes. Bounds how long shutdown can take.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            max_connections: 64,
+            idle_timeout: Duration::from_secs(60),
+            read_tick: Duration::from_millis(20),
+            max_frame: MAX_PAYLOAD,
+            drain_grace: Duration::from_millis(250),
+        }
+    }
+}
+
+struct Shared {
+    registry: Arc<Registry>,
+    config: ServerConfig,
+    addr: SocketAddr,
+    draining: AtomicBool,
+    connections: AtomicUsize,
+    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    drain_flag: Mutex<bool>,
+    drain_cv: Condvar,
+}
+
+impl Shared {
+    /// Flips the server into draining and wakes the blocked acceptor
+    /// with a loopback connection. Idempotent.
+    fn signal_drain(&self) {
+        if self.draining.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        self.registry.begin_drain();
+        *self.drain_flag.lock().expect("drain lock") = true;
+        self.drain_cv.notify_all();
+        // The acceptor blocks in accept(); a throwaway loopback connect
+        // unblocks it so it can observe the flag and exit.
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running TCP server over a model [`Registry`].
+pub struct Server {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// starts the acceptor.
+    ///
+    /// # Errors
+    /// Socket bind failures.
+    pub fn bind(
+        registry: Arc<Registry>,
+        addr: &str,
+        config: ServerConfig,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            registry,
+            config,
+            addr,
+            draining: AtomicBool::new(false),
+            connections: AtomicUsize::new(0),
+            conn_handles: Mutex::new(Vec::new()),
+            drain_flag: Mutex::new(false),
+            drain_cv: Condvar::new(),
+        });
+        let accept_shared = Arc::clone(&shared);
+        let acceptor = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+        Ok(Server {
+            shared,
+            acceptor: Some(acceptor),
+        })
+    }
+
+    /// The bound address (the actual port when bound ephemeral).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Blocks until some client sends `DRAIN` (or [`Server::shutdown`]
+    /// begins). The CLI parks its main thread here.
+    pub fn wait_drained(&self) {
+        let mut flag = self.shared.drain_flag.lock().expect("drain lock");
+        while !*flag {
+            flag = self.shared.drain_cv.wait(flag).expect("drain lock");
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, answer new work with typed
+    /// [`WireError::Draining`] rejects, complete all in-flight
+    /// requests, then join every connection, registry, and acceptor
+    /// thread. Returns the final aggregate metrics, snapshotted after
+    /// the last connection finished and before the model services are
+    /// dropped; the server owns zero threads afterwards.
+    pub fn shutdown(mut self) -> crate::protocol::StatsBody {
+        self.shared.signal_drain();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let handles: Vec<JoinHandle<()>> =
+            std::mem::take(&mut *self.shared.conn_handles.lock().expect("conns lock"));
+        for handle in handles {
+            let _ = handle.join();
+        }
+        let stats = self.shared.registry.stats();
+        self.shared.registry.drain();
+        stats
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    for stream in listener.incoming() {
+        if shared.draining.load(Ordering::Acquire) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let max = shared.config.max_connections;
+        let admitted = shared
+            .connections
+            .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
+                (n < max).then_some(n + 1)
+            })
+            .is_ok();
+        if !admitted {
+            // Over budget: answer with a typed reject, then close.
+            let frame = Frame::new(
+                0,
+                Body::Error(WireError::ConnectionLimit { max: max as u64 }),
+            );
+            let mut stream = stream;
+            let _ = stream.write_all(&frame.encode());
+            continue;
+        }
+        let conn_shared = Arc::clone(shared);
+        let handle = std::thread::spawn(move || {
+            serve_connection(&conn_shared, stream);
+            conn_shared.connections.fetch_sub(1, Ordering::AcqRel);
+        });
+        shared.conn_handles.lock().expect("conns lock").push(handle);
+    }
+}
+
+/// Book-keeping for one in-flight inference on a connection.
+struct Pending {
+    /// `INFER_TIMING` → respond without the tensor.
+    timing: bool,
+    /// The model-quota unit, released when the response ships.
+    guard: Option<QuotaGuard>,
+}
+
+type PendingMap = Arc<Mutex<HashMap<u64, Pending>>>;
+
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(shared.config.read_tick));
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+
+    // Writer: the single socket-writing thread; everything that answers
+    // (reader, pump, registry callbacks) sends pre-encoded frames here.
+    let (writer_tx, writer_rx) = mpsc::channel::<Vec<u8>>();
+    let writer = std::thread::spawn(move || {
+        let mut write_half = write_half;
+        let mut sink_only = false;
+        for frame in writer_rx {
+            // After a write error the peer is gone: keep draining the
+            // channel so senders never block on a vanished socket;
+            // frames fall on the floor.
+            if !sink_only && write_half.write_all(&frame).is_err() {
+                sink_only = true;
+            }
+        }
+    });
+
+    // Pump: forwards routed completions (in completion order) to the
+    // writer, matching them to their request ids.
+    let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
+    let (routed_tx, routed_rx) = mpsc::channel::<(u64, Result<InferenceResponse, RuntimeError>)>();
+    let pump_pending = Arc::clone(&pending);
+    let pump_writer = writer_tx.clone();
+    let pump = std::thread::spawn(move || {
+        for (request_id, result) in routed_rx {
+            let Some(entry) = pump_pending
+                .lock()
+                .expect("pending lock")
+                .remove(&request_id)
+            else {
+                continue;
+            };
+            let body = match result {
+                Ok(resp) => response_body(resp, entry.timing),
+                Err(e) => Body::Error(WireError::from(&e)),
+            };
+            let _ = pump_writer.send(Frame::new(request_id, body).encode());
+            drop(entry.guard);
+        }
+    });
+
+    read_loop(shared, stream, &writer_tx, &pending, &routed_tx);
+
+    // Teardown. Dropping our routed sender lets the pump's channel
+    // disconnect once every in-flight request has answered (the runtime
+    // holds the remaining clones, one per admitted request).
+    drop(routed_tx);
+    let _ = pump.join();
+    drop(writer_tx);
+    let _ = writer.join();
+}
+
+fn response_body(resp: InferenceResponse, timing: bool) -> Body {
+    let latency_nanos = resp.latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+    if timing {
+        Body::Timing(TimingBody {
+            total_cycles: resp.total_cycles,
+            latency_nanos,
+            batch_size: resp.batch_size as u32,
+            worker: resp.worker as u32,
+            degraded: resp.degraded,
+        })
+    } else {
+        Body::Output(OutputBody {
+            tensor: resp.output,
+            total_cycles: resp.total_cycles,
+            latency_nanos,
+            batch_size: resp.batch_size as u32,
+            worker: resp.worker as u32,
+            degraded: resp.degraded,
+        })
+    }
+}
+
+fn read_loop(
+    shared: &Arc<Shared>,
+    mut stream: TcpStream,
+    writer_tx: &mpsc::Sender<Vec<u8>>,
+    pending: &PendingMap,
+    routed_tx: &mpsc::Sender<(u64, Result<InferenceResponse, RuntimeError>)>,
+) {
+    let mut buf: Vec<u8> = Vec::with_capacity(4096);
+    let mut chunk = [0u8; 16 * 1024];
+    let mut last_activity = Instant::now();
+    let mut drain_deadline: Option<Instant> = None;
+    loop {
+        // Frame everything already buffered.
+        loop {
+            match try_decode(&buf, shared.config.max_frame) {
+                Ok(Some((frame, consumed))) => {
+                    buf.drain(..consumed);
+                    last_activity = Instant::now();
+                    handle_frame(shared, frame, writer_tx, pending, routed_tx);
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    // The byte stream cannot be re-synchronized after a
+                    // framing error: answer typed, then hang up.
+                    let wire = match e {
+                        DecodeError::FrameTooLarge { len, max } => {
+                            WireError::FrameTooLarge { len, max }
+                        }
+                        other => WireError::BadRequest {
+                            detail: other.to_string(),
+                        },
+                    };
+                    let _ = writer_tx.send(Frame::new(0, Body::Error(wire)).encode());
+                    return;
+                }
+            }
+        }
+        // Once draining and out of in-flight work, linger for a bounded
+        // grace window: frames that race the drain ack still get typed
+        // `Draining` rejects instead of a slammed socket, while a peer
+        // that never hangs up cannot stall shutdown forever.
+        if shared.draining.load(Ordering::Acquire)
+            && pending.lock().expect("pending lock").is_empty()
+        {
+            let deadline =
+                *drain_deadline.get_or_insert_with(|| Instant::now() + shared.config.drain_grace);
+            if Instant::now() >= deadline {
+                return;
+            }
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // EOF
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Housekeeping tick.
+                if last_activity.elapsed() > shared.config.idle_timeout
+                    && pending.lock().expect("pending lock").is_empty()
+                {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+fn handle_frame(
+    shared: &Arc<Shared>,
+    frame: Frame,
+    writer_tx: &mpsc::Sender<Vec<u8>>,
+    pending: &PendingMap,
+    routed_tx: &mpsc::Sender<(u64, Result<InferenceResponse, RuntimeError>)>,
+) {
+    let request_id = frame.request_id;
+    let model_id = frame.model_id;
+    let deadline =
+        (frame.deadline_micros > 0).then(|| Duration::from_micros(frame.deadline_micros));
+    let reply = |body: Body| {
+        let mut f = Frame::new(request_id, body);
+        f.model_id = model_id;
+        let _ = writer_tx.send(f.encode());
+    };
+    let draining = shared.draining.load(Ordering::Acquire);
+    match frame.body {
+        Body::Infer { tensor } | Body::InferTiming { tensor } if draining => {
+            let _ = tensor;
+            reply(Body::Error(WireError::Draining));
+        }
+        body @ (Body::Infer { .. } | Body::InferTiming { .. }) => {
+            let (tensor, timing) = match body {
+                Body::Infer { tensor } => (tensor, false),
+                Body::InferTiming { tensor } => (tensor, true),
+                _ => unreachable!("matched above"),
+            };
+            // Register the pending entry *before* submitting: a worker
+            // may complete the request (and the pump look it up) before
+            // submit() even returns.
+            {
+                let mut map = pending.lock().expect("pending lock");
+                if map.contains_key(&request_id) {
+                    drop(map);
+                    reply(Body::Error(WireError::BadRequest {
+                        detail: format!("request id {request_id} is already in flight"),
+                    }));
+                    return;
+                }
+                map.insert(
+                    request_id,
+                    Pending {
+                        timing,
+                        guard: None,
+                    },
+                );
+            }
+            match shared
+                .registry
+                .submit(model_id, tensor, deadline, routed_tx.clone(), request_id)
+            {
+                Ok(guard) => {
+                    // Park the quota unit with the pending entry; if the
+                    // pump already shipped the response, the entry is
+                    // gone and the guard releases right here.
+                    if let Some(entry) = pending.lock().expect("pending lock").get_mut(&request_id)
+                    {
+                        entry.guard = Some(guard);
+                    }
+                }
+                Err(e) => {
+                    pending.lock().expect("pending lock").remove(&request_id);
+                    reply(Body::Error(e));
+                }
+            }
+        }
+        Body::LoadModel(req) => {
+            if draining {
+                reply(Body::Error(WireError::Draining));
+                return;
+            }
+            let writer_tx = writer_tx.clone();
+            shared.registry.load(
+                req,
+                Box::new(move |result| {
+                    let body = match result {
+                        Ok((id, name, version)) => Body::Loaded {
+                            model_id: id,
+                            name,
+                            version,
+                        },
+                        Err(e) => Body::Error(e),
+                    };
+                    let _ = writer_tx.send(Frame::new(request_id, body).encode());
+                }),
+            );
+        }
+        Body::UnloadModel => {
+            let writer_tx = writer_tx.clone();
+            shared.registry.unload(
+                model_id,
+                Box::new(move |result| {
+                    let body = match result {
+                        Ok(()) => Body::Unloaded,
+                        Err(e) => Body::Error(e),
+                    };
+                    let _ = writer_tx.send(Frame::new(request_id, body).encode());
+                }),
+            );
+        }
+        Body::ListModels => reply(Body::ModelList(shared.registry.list())),
+        Body::Stats => {
+            let mut stats = shared.registry.stats();
+            stats.connections = shared.connections.load(Ordering::Acquire) as u32;
+            reply(Body::StatsReply(stats));
+        }
+        Body::Ping { payload } => reply(Body::Pong { payload }),
+        Body::Drain => {
+            // Flip the server *before* the ack is enqueued: a client
+            // that has received the ack is then guaranteed that all its
+            // later work — on any connection — gets typed rejects.
+            shared.signal_drain();
+            reply(Body::Draining);
+        }
+        // A client sending response opcodes is confused; tell it so.
+        _ => reply(Body::Error(WireError::BadRequest {
+            detail: format!("opcode {:#04x} is not a request", frame.body.opcode() as u8),
+        })),
+    }
+}

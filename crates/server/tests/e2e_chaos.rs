@@ -1,0 +1,348 @@
+//! End-to-end chaos test of the full network stack: pipelined
+//! connections × a hot multi-model registry × fault injection × drain.
+//!
+//! One big test on purpose — it asserts a *process-wide* property
+//! (zero leaked threads after shutdown), so it must be the only test
+//! in this binary; the `cargo` test harness would otherwise run
+//! sibling tests on concurrent threads and poison the baseline.
+//!
+//! What it proves, end to end over real sockets:
+//!
+//! 1. **Exactly one response per request id** across 8 pipelined
+//!    connections and 2 registered models, one of which runs with
+//!    deterministic fault injection + retries underneath.
+//! 2. **Bit-identical payloads**: every successful `INFER` response
+//!    equals a direct `Simulator::run` on the same compiled model,
+//!    f32 bit for f32 bit — faults, retries, and batching included.
+//! 3. **Out-of-order completion**: a fast model's response overtakes a
+//!    backlog on a slow model within one connection, matched by id.
+//! 4. **Hot unload**: a drained-out model disappears and new work gets
+//!    a typed `UnknownModel`.
+//! 5. **Graceful drain**: after `DRAIN` is acknowledged, new work is
+//!    rejected with typed `Draining` errors while every already-sent
+//!    request still receives its one response; the server then joins
+//!    every thread it ever spawned.
+
+use hybriddnn_model::{synth, Tensor};
+use hybriddnn_server::protocol::{Body, WireError};
+use hybriddnn_server::registry::build_model;
+use hybriddnn_server::{
+    zoo_resolver, Client, ClientError, LoadRequest, Registry, Server, ServerConfig,
+};
+use hybriddnn_sim::{SimMode, Simulator};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Live thread count of this process (Linux).
+#[cfg(target_os = "linux")]
+fn threads_now() -> usize {
+    let status = std::fs::read_to_string("/proc/self/status").expect("proc status");
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("Threads:"))
+        .and_then(|v| v.trim().parse().ok())
+        .expect("Threads: line")
+}
+
+/// Golden outputs: direct sequential simulation of the same compiled
+/// model the registry serves — the bit-identity oracle.
+fn golden_bits(model: &str, seed: u64, inputs: &[Tensor]) -> Vec<Vec<u32>> {
+    let resolved = (zoo_resolver())(model, "vu9p", seed).expect("resolve");
+    let built = build_model(&resolved).expect("build");
+    let mut sim = Simulator::new(&built.compiled, SimMode::Functional, built.bandwidth);
+    inputs
+        .iter()
+        .map(|input| {
+            let run = sim.run(&built.compiled, input).expect("golden run");
+            run.output.as_slice().iter().map(|v| v.to_bits()).collect()
+        })
+        .collect()
+}
+
+fn load_request(name: &str, seed: u64, workers: u32) -> LoadRequest {
+    let mut req = LoadRequest::new(name, "tiny-cnn", "vu9p");
+    req.seed = seed;
+    req.workers = workers;
+    req.functional = true;
+    req
+}
+
+const CONNS: usize = 8;
+const PER_MODEL: usize = 12; // requests per model per connection
+const WINDOW: usize = 8;
+
+#[test]
+#[cfg(target_os = "linux")]
+fn chaos_pipelined_registry_survives_faults_and_drains_clean() {
+    let baseline = threads_now();
+    let input_shape = hybriddnn_model::zoo::tiny_cnn().input_shape();
+    let inputs: Vec<Tensor> = (0..PER_MODEL as u64)
+        .map(|i| synth::tensor(input_shape, 1000 + i))
+        .collect();
+    // Two distinct parameter bindings = two genuinely different models.
+    let golden_a = golden_bits("tiny-cnn", 42, &inputs);
+    let golden_b = golden_bits("tiny-cnn", 7, &inputs);
+
+    let registry = Arc::new(Registry::new(zoo_resolver()));
+    let id_a = registry
+        .load_blocking(load_request("clean", 42, 2))
+        .expect("load clean model");
+    let mut faulted = load_request("faulted", 7, 2);
+    faulted.fault_rate = 0.01;
+    faulted.fault_seed = 99;
+    faulted.retries = 32;
+    let id_b = registry.load_blocking(faulted).expect("load faulted model");
+
+    let server = Server::bind(
+        Arc::clone(&registry),
+        "127.0.0.1:0",
+        ServerConfig::default(),
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // ── Phase 1: 8 pipelined connections × 2 models, faults underneath.
+    let stats: Vec<(usize, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CONNS)
+            .map(|conn| {
+                let inputs = &inputs;
+                let golden_a = &golden_a;
+                let golden_b = &golden_b;
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    // Interleave both models in one pipelined stream.
+                    let mut expected: HashMap<u64, (bool, usize)> = HashMap::new();
+                    let mut in_flight = 0usize;
+                    let mut answered: HashMap<u64, ()> = HashMap::new();
+                    let mut ok = 0usize;
+                    let mut failed = 0usize;
+                    let mut queue: Vec<(u32, bool, usize)> = (0..PER_MODEL)
+                        .flat_map(|i| [(id_a, false, i), (id_b, true, i)])
+                        .collect();
+                    // Stagger start order per connection.
+                    let rot = conn % queue.len();
+                    queue.rotate_left(rot);
+                    let drain_one =
+                        |client: &mut Client,
+                         answered: &mut HashMap<u64, ()>,
+                         ok: &mut usize,
+                         failed: &mut usize,
+                         expected: &HashMap<u64, (bool, usize)>| {
+                            let frame = client.recv().expect("recv");
+                            assert!(
+                                answered.insert(frame.request_id, ()).is_none(),
+                                "request id {} answered twice",
+                                frame.request_id
+                            );
+                            let (on_faulted, idx) =
+                                *expected.get(&frame.request_id).expect("known id");
+                            match frame.body {
+                                Body::Output(out) => {
+                                    let bits: Vec<u32> =
+                                        out.tensor.as_slice().iter().map(|v| v.to_bits()).collect();
+                                    let golden = if on_faulted {
+                                        &golden_b[idx]
+                                    } else {
+                                        &golden_a[idx]
+                                    };
+                                    assert_eq!(
+                                        &bits, golden,
+                                        "response for request {} not bit-identical",
+                                        frame.request_id
+                                    );
+                                    *ok += 1;
+                                }
+                                Body::Error(e) => {
+                                    // Only the fault-injected model may fail,
+                                    // and only with a typed error.
+                                    assert!(
+                                        on_faulted,
+                                        "clean model failed request {}: {e}",
+                                        frame.request_id
+                                    );
+                                    *failed += 1;
+                                }
+                                other => panic!("unexpected body {:?}", other.opcode()),
+                            }
+                        };
+                    for (model_id, on_faulted, idx) in queue {
+                        let id = client
+                            .send(
+                                model_id,
+                                0,
+                                Body::Infer {
+                                    tensor: inputs[idx].clone(),
+                                },
+                            )
+                            .expect("send");
+                        expected.insert(id, (on_faulted, idx));
+                        in_flight += 1;
+                        if in_flight >= WINDOW {
+                            drain_one(&mut client, &mut answered, &mut ok, &mut failed, &expected);
+                            in_flight -= 1;
+                        }
+                    }
+                    for _ in 0..in_flight {
+                        drain_one(&mut client, &mut answered, &mut ok, &mut failed, &expected);
+                    }
+                    assert_eq!(
+                        answered.len(),
+                        2 * PER_MODEL,
+                        "every request answered exactly once"
+                    );
+                    (ok, failed)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("conn"))
+            .collect()
+    });
+    let total_ok: usize = stats.iter().map(|(ok, _)| ok).sum();
+    let total_failed: usize = stats.iter().map(|(_, f)| f).sum();
+    assert_eq!(total_ok + total_failed, CONNS * 2 * PER_MODEL);
+    // The clean model contributes half the traffic and never fails, so
+    // at least half the responses carry verified bit-identical tensors.
+    assert!(
+        total_ok >= CONNS * PER_MODEL,
+        "verified outputs: {total_ok}"
+    );
+
+    // ── Phase 2: out-of-order completion within one connection — a
+    // single-worker model backlogged with 16 requests cannot answer its
+    // last request before the idle 2-worker model answers its one.
+    let id_serial = registry
+        .load_blocking(load_request("serial", 13, 1))
+        .expect("load serial model");
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        let mut serial_ids = Vec::new();
+        for i in 0..16u64 {
+            let id = client
+                .send(
+                    id_serial,
+                    0,
+                    Body::Infer {
+                        tensor: synth::tensor(input_shape, 2000 + i),
+                    },
+                )
+                .expect("send serial");
+            serial_ids.push(id);
+        }
+        let fast_id = client
+            .send(
+                id_a,
+                0,
+                Body::Infer {
+                    tensor: inputs[0].clone(),
+                },
+            )
+            .expect("send fast");
+        let mut order = Vec::new();
+        for _ in 0..17 {
+            let frame = client.recv().expect("recv");
+            assert!(matches!(frame.body, Body::Output(_)), "all must succeed");
+            order.push(frame.request_id);
+        }
+        let fast_pos = order.iter().position(|&id| id == fast_id).expect("fast");
+        let last_serial_pos = order
+            .iter()
+            .position(|&id| id == *serial_ids.last().expect("ids"))
+            .expect("serial");
+        assert!(
+            fast_pos < last_serial_pos,
+            "fast model's response (sent last) must overtake the serial backlog: \
+             fast at {fast_pos}, last serial at {last_serial_pos}"
+        );
+    }
+
+    // ── Phase 3: hot unload frees the name; new work gets typed errors.
+    {
+        let mut client = Client::connect(addr).expect("connect");
+        client.unload_model(id_serial).expect("unload");
+        let err = client
+            .infer(id_serial, inputs[0].clone(), 0)
+            .expect_err("unloaded model must reject");
+        assert!(
+            matches!(err, ClientError::Server(WireError::UnknownModel { .. })),
+            "expected UnknownModel, got {err}"
+        );
+        assert_eq!(client.list_models().expect("list").len(), 2);
+    }
+
+    // ── Phase 4: graceful drain. Pipeline a burst, then drain from a
+    // second connection; every already-sent request still gets exactly
+    // one response, and post-ack work gets typed Draining rejects.
+    {
+        let mut busy = Client::connect(addr).expect("connect busy");
+        let mut ids = Vec::new();
+        for i in 0..32u64 {
+            ids.push(
+                busy.send(
+                    id_a,
+                    0,
+                    Body::Infer {
+                        tensor: inputs[(i % PER_MODEL as u64) as usize].clone(),
+                    },
+                )
+                .expect("send burst"),
+            );
+        }
+        let mut controller = Client::connect(addr).expect("connect controller");
+        controller.drain().expect("drain ack");
+        // Post-ack: new inference and load are rejected, typed.
+        let err = controller
+            .infer(id_a, inputs[0].clone(), 0)
+            .expect_err("draining server must reject");
+        assert!(
+            matches!(err, ClientError::Server(WireError::Draining)),
+            "expected Draining, got {err}"
+        );
+        let err = controller
+            .load_model(load_request("late", 1, 1))
+            .expect_err("draining server must reject loads");
+        assert!(
+            matches!(err, ClientError::Server(WireError::Draining)),
+            "expected Draining, got {err}"
+        );
+        // The burst still completes: one response per id, each either a
+        // verified output or a typed Draining reject (for frames the
+        // reader processed after the flag flipped).
+        let mut seen = HashMap::new();
+        for _ in 0..ids.len() {
+            let frame = busy.recv().expect("recv burst");
+            assert!(seen.insert(frame.request_id, ()).is_none());
+            match frame.body {
+                Body::Output(out) => {
+                    let idx =
+                        ids.iter().position(|&id| id == frame.request_id).unwrap() % PER_MODEL;
+                    let bits: Vec<u32> =
+                        out.tensor.as_slice().iter().map(|v| v.to_bits()).collect();
+                    assert_eq!(&bits, &golden_a[idx]);
+                }
+                Body::Error(WireError::Draining) => {}
+                other => panic!("unexpected burst response {:?}", other.opcode()),
+            }
+        }
+        assert_eq!(seen.len(), ids.len());
+    }
+
+    // ── Phase 5: shutdown joins everything; zero leaked threads.
+    let stats = server.shutdown();
+    assert!(stats.completed > 0);
+    drop(registry);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let now = threads_now();
+        if now <= baseline {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "leaked threads: {now} alive, baseline {baseline}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}

@@ -1,0 +1,342 @@
+//! Property-based tests of the wire codec: arbitrary frames round-trip
+//! bit-identically, and arbitrary bytes — truncated, oversized, or
+//! garbage — decode to typed errors, never panics.
+//!
+//! Equality is asserted on the *re-encoded byte stream*, not on the
+//! decoded structs: f32/f64 payload fields may hold NaN bit patterns,
+//! which `PartialEq` would wrongly reject while the wire contract
+//! (bit-identity) still holds.
+
+use hybriddnn_model::{Shape, Tensor};
+use hybriddnn_server::protocol::{
+    try_decode, Body, DecodeError, Frame, LoadRequest, ModelInfo, ModelState, OutputBody,
+    StatsBody, TimingBody, WireError, HEADER_LEN, MAX_PAYLOAD,
+};
+use proptest::prelude::*;
+
+/// Deterministic f32 soup from one seed — includes NaNs, infinities,
+/// and denormals, since every bit pattern must survive the wire.
+fn bits_from(seed: u64, n: usize) -> Vec<f32> {
+    let mut state = seed ^ 0x9e37_79b9_7f4a_7c15;
+    (0..n)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            f32::from_bits((state >> 32) as u32)
+        })
+        .collect()
+}
+
+fn tensor_strategy() -> impl Strategy<Value = Tensor> {
+    (1usize..4, 1usize..5, 1usize..5, any::<u64>()).prop_map(|(c, h, w, seed)| {
+        let shape = Shape::new(c, h, w);
+        let data = bits_from(seed, shape.len());
+        Tensor::from_vec(shape, data).expect("shape matches data")
+    })
+}
+
+fn text() -> impl Strategy<Value = String> {
+    "[ -~]{0,24}"
+}
+
+fn wire_error_strategy() -> impl Strategy<Value = WireError> {
+    prop_oneof![
+        any::<u64>().prop_map(|capacity| WireError::QueueFull { capacity }),
+        any::<u64>().prop_map(|m| WireError::DeadlineExceeded {
+            missed_by_micros: m
+        }),
+        Just(WireError::ShuttingDown),
+        Just(WireError::WorkerLost),
+        any::<u64>().prop_map(|worker| WireError::WorkerHang { worker }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(healthy, floor)| WireError::Degraded { healthy, floor }),
+        text().prop_map(|detail| WireError::InvalidConfig { detail }),
+        text().prop_map(|detail| WireError::RuntimeOther { detail }),
+        (any::<u64>(), text())
+            .prop_map(|(instruction, fifo)| WireError::Deadlock { instruction, fifo }),
+        (text(), any::<u64>(), any::<u64>()).prop_map(|(buffer, index, capacity)| {
+            WireError::BufferOverrun {
+                buffer,
+                index,
+                capacity,
+            }
+        }),
+        text().prop_map(|detail| WireError::InputMismatch { detail }),
+        (text(), text())
+            .prop_map(|(layer, detail)| WireError::ScheduleDivergence { layer, detail }),
+        (text(), any::<u64>()).prop_map(|(site, word)| WireError::TransientFault { site, word }),
+        text().prop_map(|stage| WireError::DeviceHang { stage }),
+        Just(WireError::DeviceWedged),
+        text().prop_map(|stage| WireError::Cancelled { stage }),
+        text().prop_map(|detail| WireError::SimOther { detail }),
+        any::<u64>().prop_map(|model_id| WireError::UnknownModel { model_id }),
+        text().prop_map(|name| WireError::ModelLoading { name }),
+        text().prop_map(|name| WireError::ModelDraining { name }),
+        text().prop_map(|detail| WireError::LoadFailed { detail }),
+        (text(), any::<u64>()).prop_map(|(name, version)| WireError::ModelExists { name, version }),
+        any::<u64>().prop_map(|limit| WireError::QuotaExceeded { limit }),
+        Just(WireError::Draining),
+        text().prop_map(|detail| WireError::BadRequest { detail }),
+        any::<u64>().prop_map(|max| WireError::ConnectionLimit { max }),
+        (any::<u64>(), any::<u64>()).prop_map(|(len, max)| WireError::FrameTooLarge { len, max }),
+    ]
+}
+
+fn load_request_strategy() -> impl Strategy<Value = LoadRequest> {
+    (
+        (text(), any::<u32>(), text(), text()),
+        (any::<u64>(), any::<u32>(), any::<bool>(), any::<u32>()),
+        (any::<u64>(), any::<u64>(), any::<u32>()),
+    )
+        .prop_map(
+            |(
+                (name, version, model, device),
+                (seed, workers, functional, quota),
+                (rate_bits, fault_seed, retries),
+            )| LoadRequest {
+                name,
+                version,
+                model,
+                device,
+                seed,
+                workers,
+                functional,
+                quota,
+                fault_rate: f64::from_bits(rate_bits),
+                fault_seed,
+                retries,
+            },
+        )
+}
+
+fn model_info_strategy() -> impl Strategy<Value = ModelInfo> {
+    (
+        any::<u32>(),
+        text(),
+        any::<u32>(),
+        prop_oneof![
+            Just(ModelState::Loading),
+            Just(ModelState::Ready),
+            Just(ModelState::Draining),
+            Just(ModelState::Failed),
+        ],
+        any::<u64>(),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(model_id, name, version, state, inflight, completed)| ModelInfo {
+                model_id,
+                name,
+                version,
+                state,
+                inflight,
+                completed,
+            },
+        )
+}
+
+fn stats_strategy() -> impl Strategy<Value = StatsBody> {
+    (
+        (any::<u32>(), any::<u32>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+    )
+        .prop_map(|((models, connections), a, b, c, d)| StatsBody {
+            models,
+            connections,
+            submitted: a.0,
+            completed: a.1,
+            failed: a.2,
+            expired: a.3,
+            rejected: b.0,
+            batches: b.1,
+            retries: b.2,
+            restarts: b.3,
+            quarantines: c.0,
+            faults_injected: c.1,
+            faults_observed: c.2,
+            degraded_served: c.3,
+            healthy_workers: d.0,
+            latency_p50_nanos: d.1,
+            latency_p95_nanos: d.2,
+            latency_p99_nanos: d.3,
+        })
+}
+
+fn body_strategy() -> impl Strategy<Value = Body> {
+    prop_oneof![
+        tensor_strategy().prop_map(|tensor| Body::Infer { tensor }),
+        tensor_strategy().prop_map(|tensor| Body::InferTiming { tensor }),
+        load_request_strategy().prop_map(Body::LoadModel),
+        Just(Body::UnloadModel),
+        Just(Body::ListModels),
+        Just(Body::Stats),
+        proptest::collection::vec(any::<u8>(), 0..48).prop_map(|payload| Body::Ping { payload }),
+        Just(Body::Drain),
+        (
+            tensor_strategy(),
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<bool>()
+        )
+            .prop_map(|(tensor, cycles_bits, latency_nanos, bw, degraded)| {
+                Body::Output(OutputBody {
+                    tensor,
+                    total_cycles: f64::from_bits(cycles_bits),
+                    latency_nanos,
+                    batch_size: bw & 0xffff,
+                    worker: bw >> 16,
+                    degraded,
+                })
+            }),
+        (
+            any::<u64>(),
+            any::<u64>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<bool>()
+        )
+            .prop_map(
+                |(cycles_bits, latency_nanos, batch_size, worker, degraded)| {
+                    Body::Timing(TimingBody {
+                        total_cycles: f64::from_bits(cycles_bits),
+                        latency_nanos,
+                        batch_size,
+                        worker,
+                        degraded,
+                    })
+                }
+            ),
+        wire_error_strategy().prop_map(Body::Error),
+        (any::<u32>(), text(), any::<u32>()).prop_map(|(model_id, name, version)| Body::Loaded {
+            model_id,
+            name,
+            version
+        }),
+        Just(Body::Unloaded),
+        proptest::collection::vec(model_info_strategy(), 0..5).prop_map(Body::ModelList),
+        stats_strategy().prop_map(Body::StatsReply),
+        proptest::collection::vec(any::<u8>(), 0..48).prop_map(|payload| Body::Pong { payload }),
+        Just(Body::Draining),
+    ]
+}
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    (any::<u64>(), any::<u32>(), any::<u64>(), body_strategy()).prop_map(
+        |(request_id, model_id, deadline_micros, body)| Frame {
+            request_id,
+            model_id,
+            deadline_micros,
+            body,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode → re-encode is the identity on the byte stream:
+    /// every field of every opcode survives the wire bit-for-bit.
+    #[test]
+    fn roundtrip_is_bit_identical(frame in frame_strategy()) {
+        let bytes = frame.encode();
+        let (decoded, consumed) = try_decode(&bytes, MAX_PAYLOAD)
+            .expect("self-encoded frame must decode")
+            .expect("self-encoded frame must be complete");
+        prop_assert_eq!(consumed, bytes.len());
+        let reencoded = decoded.encode();
+        prop_assert_eq!(reencoded, bytes);
+    }
+
+    /// Every strict prefix of a valid frame is "incomplete", never an
+    /// error: a stream reader can always just wait for more bytes.
+    #[test]
+    fn truncation_is_never_an_error(frame in frame_strategy(), cut in any::<u64>()) {
+        let bytes = frame.encode();
+        let cut = (cut as usize) % bytes.len();
+        prop_assert!(matches!(try_decode(&bytes[..cut], MAX_PAYLOAD), Ok(None)));
+    }
+
+    /// Trailing bytes from the next pipelined frame are untouched:
+    /// decode consumes exactly one frame.
+    #[test]
+    fn pipelined_frames_consume_exactly_one(
+        first in frame_strategy(),
+        second in frame_strategy(),
+    ) {
+        let mut bytes = first.encode();
+        let first_len = bytes.len();
+        bytes.extend_from_slice(&second.encode());
+        let (_, consumed) = try_decode(&bytes, MAX_PAYLOAD)
+            .expect("valid stream")
+            .expect("complete first frame");
+        prop_assert_eq!(consumed, first_len);
+        let (_, consumed2) = try_decode(&bytes[consumed..], MAX_PAYLOAD)
+            .expect("valid remainder")
+            .expect("complete second frame");
+        prop_assert_eq!(consumed + consumed2, bytes.len());
+    }
+
+    /// Arbitrary garbage decodes to `Ok` or a typed `DecodeError` —
+    /// the codec never panics, whatever the bytes.
+    #[test]
+    fn garbage_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..96)) {
+        let _ = try_decode(&bytes, MAX_PAYLOAD);
+    }
+
+    /// Corrupting any single byte of a valid frame still yields `Ok` or
+    /// a typed error, never a panic — and corrupting the length field
+    /// can at worst stall the stream, not crash it.
+    #[test]
+    fn single_byte_corruption_never_panics(
+        frame in frame_strategy(),
+        pos in any::<u64>(),
+        val in any::<u8>(),
+    ) {
+        let mut bytes = frame.encode();
+        let pos = (pos as usize) % bytes.len();
+        bytes[pos] = val;
+        let _ = try_decode(&bytes, MAX_PAYLOAD);
+    }
+
+    /// A forged oversized length field is rejected with the typed
+    /// `FrameTooLarge` *before* the payload would be read.
+    #[test]
+    fn oversized_length_is_typed(frame in frame_strategy(), extra in 1u32..1024) {
+        let mut bytes = frame.encode();
+        let max = MAX_PAYLOAD;
+        let forged = max as u64 + u64::from(extra);
+        // The header's payload_len field lives at bytes 24..28; forging
+        // it past the ceiling must reject regardless of the body.
+        bytes[24..28].copy_from_slice(&(forged.min(u64::from(u32::MAX)) as u32).to_le_bytes());
+        match try_decode(&bytes, max) {
+            Err(DecodeError::FrameTooLarge { len, max: m }) => {
+                prop_assert!(len > u64::from(max));
+                prop_assert_eq!(m, u64::from(max));
+            }
+            other => prop_assert!(false, "expected FrameTooLarge, got {:?}", other),
+        }
+    }
+
+    /// A frame over the caller's (smaller) limit is also rejected, so a
+    /// server can enforce stricter ceilings than the protocol maximum.
+    #[test]
+    fn caller_limit_is_enforced(tensor in tensor_strategy(), req in any::<u64>()) {
+        let frame = Frame::new(req, Body::Infer { tensor });
+        let bytes = frame.encode();
+        let payload_len = (bytes.len() - HEADER_LEN) as u32;
+        if payload_len == 0 {
+            return Ok(());
+        }
+        match try_decode(&bytes, payload_len - 1) {
+            Err(DecodeError::FrameTooLarge { len, .. }) => {
+                prop_assert_eq!(len, u64::from(payload_len));
+            }
+            other => prop_assert!(false, "expected FrameTooLarge, got {:?}", other),
+        }
+    }
+}

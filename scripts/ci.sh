@@ -17,6 +17,9 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -p hybriddnn-par -- -D warnings"
 cargo clippy -p hybriddnn-par --all-targets --offline -- -D warnings
 
+echo "==> cargo clippy -p hybriddnn-server -- -D warnings"
+cargo clippy -p hybriddnn-server --all-targets --offline -- -D warnings
+
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets --offline -- -D warnings
 
@@ -61,5 +64,40 @@ cargo test -q --offline --release -p hybriddnn-runtime --test chaos
 echo "==> serve-bench --fault-rate 0.01 smoke test"
 ./target/release/hybriddnn serve-bench tiny-cnn pynq-z1 --requests 200 --workers 2 \
     --fault-rate 0.01 --retries 8 | grep "fault tolerance"
+
+# Network-serving smoke test: serve-net on an ephemeral port, the
+# net_throughput load generator driving pipelined INFER + STATS over a
+# real socket, then a wire-protocol DRAIN. Asserts nonzero throughput
+# (the load generator exits nonzero if it serves nothing) and a clean
+# server shutdown (bounded wait on the server PID).
+echo "==> serve-net + net_throughput smoke test"
+serve_log="$(mktemp)"
+./target/release/hybriddnn serve-net tiny-cnn vu9p --port 0 --workers 2 \
+    > "$serve_log" 2>&1 &
+serve_pid=$!
+addr=""
+for _ in $(seq 1 100); do
+    addr=$(grep -m1 '^listening on ' "$serve_log" | awk '{print $3}' || true)
+    [ -n "$addr" ] && break
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "serve-net never reported a listening address" >&2
+    cat "$serve_log" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+./target/release/net_throughput --addr "$addr" --requests 300 --drain
+for _ in $(seq 1 100); do
+    kill -0 "$serve_pid" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$serve_pid" 2>/dev/null; then
+    echo "serve-net did not shut down after drain" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+wait "$serve_pid"
+grep "drained:" "$serve_log"
 
 echo "CI OK"

@@ -21,7 +21,7 @@ fn deployment_serves_functional_requests_matching_reference() {
         .with_workers(2)
         .with_max_batch_size(4)
         .with_max_wait(Duration::from_micros(200));
-    let service = deployment.into_service(config);
+    let service = deployment.into_service(config).unwrap();
 
     let inputs: Vec<_> = (0..8)
         .map(|i| synth::tensor(net.input_shape(), 100 + i))
@@ -61,7 +61,7 @@ fn deployment_serves_timing_only_requests() {
         .service_config(SimMode::TimingOnly)
         .with_workers(3)
         .with_sjf();
-    let service = deployment.into_service(config);
+    let service = deployment.into_service(config).unwrap();
 
     let handles: Vec<_> = (0..12)
         .map(|i| {
