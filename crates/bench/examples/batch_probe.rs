@@ -1,0 +1,76 @@
+//! Measures the payoff of true batched execution (`run_batch`) versus
+//! sequential per-element runs on a warmed session — the
+//! `O(weights + B·activations)` amortization behind PR 7.
+//!
+//! For each batch size `B` the probe times `run_batch` over `B` distinct
+//! inputs on a planned session and reports functional µs per batch
+//! *element*. `B = 1` takes the untouched sequential replay path, so the
+//! `B = 16` ratio is an honest measure of the batched kernels.
+//!
+//! Reps are interleaved across batch sizes (B=1, 4, 16, then again) so a
+//! transient load burst on the host inflates every batch size's rep
+//! rather than wiping out one size's whole sample; each size reports its
+//! fastest rep.
+//!
+//! ```text
+//! cargo run --release -p hybriddnn-bench --example batch_probe
+//! ```
+
+use hybriddnn::model::{synth, zoo};
+use hybriddnn::{Compiler, MappingStrategy, SimMode, Simulator};
+use hybriddnn_bench::bench_json::Record;
+use hybriddnn_estimator::AcceleratorConfig;
+use hybriddnn_winograd::TileConfig;
+use std::time::{Duration, Instant};
+
+const BATCH_SIZES: [usize; 3] = [1, 4, 16];
+const REPS: usize = 7;
+const ELEMS_PER_REP: usize = 1600;
+
+fn main() {
+    let mut record = Record::new("batch_probe");
+    let mut net = zoo::tiny_cnn();
+    synth::bind_random(&mut net, 1).unwrap();
+    let cfg = AcceleratorConfig::new(4, 4, TileConfig::F2x2);
+    let compiled = Compiler::new(cfg)
+        .compile(&net, &MappingStrategy::all_winograd(&net))
+        .unwrap();
+
+    // One thread: the amortization claim is about work done, not about
+    // parallel speedup, and CI hosts may have a single core.
+    let mut sim = Simulator::with_threads(&compiled, SimMode::Functional, 16.0, 1);
+    // Warm the session so every timed run is a planned replay.
+    sim.run(&compiled, &synth::tensor(net.input_shape(), 99))
+        .unwrap();
+
+    let inputs: Vec<_> = (0..*BATCH_SIZES.iter().max().unwrap())
+        .map(|i| synth::tensor(net.input_shape(), i as u64))
+        .collect();
+    let mut outs = Vec::new();
+    let mut best = [Duration::MAX; BATCH_SIZES.len()];
+    for _ in 0..REPS {
+        for (slot, &b) in best.iter_mut().zip(&BATCH_SIZES) {
+            let iters = ELEMS_PER_REP / b;
+            let start = Instant::now();
+            for _ in 0..iters {
+                for st in sim.run_batch_into(&compiled, &inputs[..b], &mut outs) {
+                    st.unwrap();
+                }
+            }
+            *slot = (*slot).min(start.elapsed());
+        }
+    }
+
+    let mut per_elem = Vec::new();
+    for (&b, d) in BATCH_SIZES.iter().zip(&best) {
+        let iters = ELEMS_PER_REP / b;
+        let us = d.as_secs_f64() * 1e6 / (iters * b) as f64;
+        println!("B={b:<3} {us:>8.2} µs/element  ({iters} batches per rep)");
+        record.num(&format!("b{b}_us_per_run"), us);
+        per_elem.push(us);
+    }
+    let ratio = per_elem[0] / per_elem[2];
+    println!("amortization B=16 vs B=1: {ratio:.2}x");
+    record.num("amortization_b16_vs_b1", ratio);
+    record.save();
+}

@@ -37,15 +37,19 @@ const FAULTED_REQUESTS: usize = 4_000;
 const FAULT_RATE: f64 = 0.005;
 /// Retry budget absorbing the injected transients.
 const FAULT_RETRIES: u32 = 16;
+/// Requests for the functional batched-dispatch tier (functional runs
+/// are orders of magnitude heavier than timing-only ones).
+const BATCHED_REQUESTS: usize = 4_000;
 
 fn serve(
     compiled: &Arc<CompiledNetwork>,
     inputs: &[Tensor],
     workers: usize,
+    mode: SimMode,
     pace_mhz: Option<f64>,
     fault: Option<(FaultPlan, u32)>,
 ) -> (Duration, MetricsSnapshot) {
-    let mut config = ServiceConfig::new(SimMode::TimingOnly, BANDWIDTH)
+    let mut config = ServiceConfig::new(mode, BANDWIDTH)
         .with_workers(workers)
         .with_queue_capacity(4096)
         .with_max_batch_size(64)
@@ -125,6 +129,7 @@ fn main() {
     print_scaling(
         &compiled,
         &inputs[..PACED_REQUESTS],
+        SimMode::TimingOnly,
         Some(PACE_MHZ),
         &mut record,
         "paced",
@@ -134,7 +139,32 @@ fn main() {
     // much service overhead extra workers hide. On a single-core host
     // this cannot exceed the idle fraction of the one-worker run.
     println!("\nhost-side service overlap (unpaced), {REQUESTS} requests, {DRIVERS} drivers");
-    print_scaling(&compiled, &inputs, None, &mut record, "unpaced");
+    print_scaling(
+        &compiled,
+        &inputs,
+        SimMode::TimingOnly,
+        None,
+        &mut record,
+        "unpaced",
+    );
+
+    // Table 4 — batched kernel dispatch: Functional serving, where each
+    // worker groups the same-shape requests of its batch and replays
+    // them through one `O(weights + B·activations)` kernel walk per
+    // layer instead of one full walk per request. Pre-PR7 numbers for
+    // the sequential-dispatch serving path are kept in BENCH_sim.json
+    // under the `*_pr6_baseline` keys.
+    println!(
+        "\nfunctional batched dispatch (unpaced), {BATCHED_REQUESTS} requests, {DRIVERS} drivers"
+    );
+    print_scaling(
+        &compiled,
+        &inputs[..BATCHED_REQUESTS],
+        SimMode::Functional,
+        None,
+        &mut record,
+        "batched_functional",
+    );
 
     // Table 3 — the price of fault tolerance: the same unpaced 4-worker
     // run, clean vs. a transient-only fault plan (DRAM/SAVE corruption,
@@ -142,12 +172,26 @@ fn main() {
     // path) with a retry budget absorbing the faults.
     let subset = &inputs[..FAULTED_REQUESTS];
     println!("\nfaulted vs clean (unpaced, 4 workers), {FAULTED_REQUESTS} requests");
-    serve(&compiled, &inputs[..FAULTED_REQUESTS / 10], 4, None, None);
-    let (clean_elapsed, clean) = serve(&compiled, subset, 4, None, None);
+    serve(
+        &compiled,
+        &inputs[..FAULTED_REQUESTS / 10],
+        4,
+        SimMode::TimingOnly,
+        None,
+        None,
+    );
+    let (clean_elapsed, clean) = serve(&compiled, subset, 4, SimMode::TimingOnly, None, None);
     let plan = FaultPlan::new(42)
         .with_dram_rate(FAULT_RATE)
         .with_save_rate(FAULT_RATE);
-    let (faulted_elapsed, faulted) = serve(&compiled, subset, 4, None, Some((plan, FAULT_RETRIES)));
+    let (faulted_elapsed, faulted) = serve(
+        &compiled,
+        subset,
+        4,
+        SimMode::TimingOnly,
+        None,
+        Some((plan, FAULT_RETRIES)),
+    );
     let clean_rps = subset.len() as f64 / clean_elapsed.as_secs_f64();
     let faulted_rps = subset.len() as f64 / faulted_elapsed.as_secs_f64();
     let overhead_pct = (clean_rps / faulted_rps - 1.0) * 100.0;
@@ -174,6 +218,7 @@ fn main() {
 fn print_scaling(
     compiled: &Arc<CompiledNetwork>,
     inputs: &[Tensor],
+    mode: SimMode,
     pace_mhz: Option<f64>,
     record: &mut Record,
     tag: &str,
@@ -189,13 +234,20 @@ fn print_scaling(
             compiled,
             &inputs[..inputs.len() / 10],
             workers,
+            mode,
             pace_mhz,
             None,
         );
-        let (elapsed, metrics) = serve(compiled, inputs, workers, pace_mhz, None);
+        let (elapsed, metrics) = serve(compiled, inputs, workers, mode, pace_mhz, None);
         assert_eq!(metrics.completed, inputs.len() as u64, "lost requests");
         let reqs_per_s = inputs.len() as f64 / elapsed.as_secs_f64();
         record.num(&format!("{tag}_reqs_per_s_w{workers}"), reqs_per_s);
+        if mode == SimMode::Functional {
+            record.int(
+                &format!("{tag}_dispatches_w{workers}"),
+                metrics.batched_dispatches,
+            );
+        }
         let base = *base.get_or_insert(reqs_per_s);
         println!(
             "{:>7}  {:>12.0}  {:>10.1?}  {:>10.1?}  {:>7.2}x",

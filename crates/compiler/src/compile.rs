@@ -185,15 +185,37 @@ impl CompiledNetwork {
         }
         let region = self.memory_map.region(self.input_region);
         let s = input.shape();
+        // Both layouts are linear in `x` for fixed `(c, y)`, so each
+        // tensor row (contiguous in CHW order) is one strided store with
+        // the per-word address math hoisted — the serving path stages
+        // every input through here, so this loop is hot.
+        let x_stride = if s.w > 1 {
+            region.addr(0, 0, 1) - region.addr(0, 0, 0)
+        } else {
+            1
+        };
+        let data = input.as_slice();
+        let mut row_array = [0.0f32; 64];
+        let mut row_vec = Vec::new();
         for c in 0..s.c {
             for y in 0..s.h {
-                for x in 0..s.w {
-                    let mut v = input.at(c, y, x);
-                    if let Some(fmt) = self.quant.activations {
-                        v = fmt.quantize(v as f64);
+                let src = &data[(c * s.h + y) * s.w..][..s.w];
+                let row = match self.quant.activations {
+                    Some(fmt) => {
+                        let row: &mut [f32] = if s.w <= row_array.len() {
+                            &mut row_array[..s.w]
+                        } else {
+                            row_vec.resize(s.w, 0.0);
+                            &mut row_vec
+                        };
+                        for (d, &v) in row.iter_mut().zip(src) {
+                            *d = fmt.quantize(v as f64);
+                        }
+                        &*row
                     }
-                    mem.host_store(region.addr(c, y, x), v);
-                }
+                    None => src,
+                };
+                mem.host_write_strided(region.addr(c, y, 0), x_stride, row);
             }
         }
         Ok(())

@@ -212,8 +212,29 @@ impl Deployment {
                 per_layer.iter().map(|(m, d, w)| (*m, *d, w)),
                 bw,
             )
-        });
+        })
+        .with_weight_fraction(self.weight_fraction());
         ServiceConfig::new(mode, bw).with_cost_hints(Arc::new(hints))
+    }
+
+    /// The fraction of one inference's data traffic that is **weights
+    /// and biases** — the batch-invariant share that the simulator's
+    /// batched replay pays once per dispatched group instead of once
+    /// per request. Feeds the serving runtime's
+    /// `O(weights + B·activations)` batch cost model
+    /// ([`CostHints::with_weight_fraction`]).
+    pub fn weight_fraction(&self) -> f64 {
+        let mut weights = 0u64;
+        let mut acts = 0u64;
+        for c in &self.dse.per_layer {
+            let w = &c.workload;
+            weights += (w.k * w.c * w.r * w.s + w.k) as u64;
+            acts += (w.c * w.in_h * w.in_w + w.k * w.out_h * w.out_w) as u64;
+        }
+        if weights + acts == 0 {
+            return 0.0;
+        }
+        weights as f64 / (weights + acts) as f64
     }
 
     /// Consumes the deployment and starts a concurrent, batching
@@ -234,7 +255,9 @@ impl Deployment {
     /// instances (each instance processes every `NI`-th image on its own
     /// simulator session) and reports the batch results plus the device
     /// makespan in cycles — the steady-state throughput picture behind
-    /// Table 4's GOPS.
+    /// Table 4's GOPS. Each instance executes its strided share through
+    /// the simulator's batched replay, so its weight traversal is paid
+    /// once, not once per image (`O(weights + B·activations)`).
     ///
     /// # Errors
     /// Propagates the first simulator failure.
@@ -244,11 +267,15 @@ impl Deployment {
         let mut instance_cycles = vec![0.0f64; ni];
         for (instance, cycles) in instance_cycles.iter_mut().enumerate() {
             let mut sim = self.simulator(mode);
-            for (i, input) in inputs.iter().enumerate() {
-                if i % ni != instance {
-                    continue;
-                }
-                let run = sim.run(&self.compiled, input)?;
+            let (idxs, mine): (Vec<usize>, Vec<Tensor>) = inputs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % ni == instance)
+                .map(|(i, t)| (i, t.clone()))
+                .unzip();
+            let results = sim.run_batch_results(&self.compiled, &mine);
+            for (i, result) in idxs.into_iter().zip(results) {
+                let run = result?;
                 *cycles += run.total_cycles;
                 runs[i] = Some(run);
             }

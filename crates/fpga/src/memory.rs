@@ -142,6 +142,29 @@ impl ExternalMemory {
         }
     }
 
+    /// Host-side strided store (DMA from the host CPU): writes
+    /// `values[i]` to `base + i·stride`, growing the store once. Does
+    /// *not* count as accelerator traffic — the host-side twin of
+    /// [`ExternalMemory::write_strided`].
+    ///
+    /// # Panics
+    /// Panics if `stride == 0` and more than one value is given.
+    pub fn host_write_strided(&mut self, base: u64, stride: u64, values: &[f32]) {
+        let Some(last) = values.len().checked_sub(1) else {
+            return;
+        };
+        assert!(stride > 0 || last == 0, "zero stride with multiple values");
+        let start = base as usize;
+        let end = start + last * stride as usize + 1;
+        if end > self.words.len() {
+            self.words.resize(end, 0.0);
+        }
+        let step = (stride as usize).max(1);
+        for (slot, &v) in self.words[start..end].iter_mut().step_by(step).zip(values) {
+            *slot = v;
+        }
+    }
+
     /// Host-side store (DMA from the host CPU): does *not* count as
     /// accelerator traffic.
     pub fn host_write(&mut self, addr: u64, values: &[f32]) {

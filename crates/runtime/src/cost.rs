@@ -17,6 +17,10 @@ pub struct CostHints {
     estimate: Box<dyn Fn(Shape) -> f64 + Send + Sync>,
     cache: Mutex<HashMap<Shape, f64>>,
     estimations: AtomicU64,
+    /// Fraction of a single run's predicted cycles spent on
+    /// batch-invariant work (weight traversal); see
+    /// [`CostHints::with_weight_fraction`].
+    weight_fraction: f64,
 }
 
 impl CostHints {
@@ -34,7 +38,45 @@ impl CostHints {
             estimate: Box::new(estimate),
             cache: Mutex::new(HashMap::new()),
             estimations: AtomicU64::new(0),
+            weight_fraction: 0.0,
         }
+    }
+
+    /// Declares what fraction of a single run's cycles is
+    /// **batch-invariant** (weight/bias traversal, paid once per batched
+    /// dispatch regardless of how many same-shape requests ride it), so
+    /// [`CostHints::batch_cycles`] can price a batch as
+    /// `O(weights + B·activations)` instead of `B` independent runs.
+    /// Clamped to `[0, 1)`; the default `0.0` prices batches as plain
+    /// sums (no amortization assumed).
+    #[must_use]
+    pub fn with_weight_fraction(mut self, fraction: f64) -> Self {
+        self.weight_fraction = fraction.clamp(0.0, 0.999);
+        self
+    }
+
+    /// The declared batch-invariant cycle fraction.
+    pub fn weight_fraction(&self) -> f64 {
+        self.weight_fraction
+    }
+
+    /// Predicted cycles for a whole dispatched batch: every request pays
+    /// its activation share `(1 - f)·cycles`, while the weight share
+    /// `f·cycles` is paid once per *distinct* input shape in the batch —
+    /// the serving cost model of the batched replay's
+    /// `O(weights + B·activations)` execution.
+    pub fn batch_cycles(&self, requests: impl IntoIterator<Item = (Shape, f64)>) -> f64 {
+        let f = self.weight_fraction;
+        let mut seen: Vec<Shape> = Vec::new();
+        let mut total = 0.0;
+        for (shape, cycles) in requests {
+            total += cycles * (1.0 - f);
+            if !seen.contains(&shape) {
+                seen.push(shape);
+                total += cycles * f;
+            }
+        }
+        total
     }
 
     /// Predicted cycles for one request of the given input shape
@@ -96,5 +138,31 @@ mod tests {
         assert_eq!(hints.cycles(Shape::new(1, 1, 1)), 42.0);
         assert_eq!(hints.cycles(Shape::new(3, 32, 32)), 42.0);
         assert_eq!(hints.estimator_calls(), 2);
+    }
+
+    #[test]
+    fn batch_pricing_pays_weight_share_once_per_shape() {
+        let hints = CostHints::fixed(100.0).with_weight_fraction(0.6);
+        let shape = Shape::new(3, 8, 8);
+        // One request: exactly the single-run estimate.
+        assert!((hints.batch_cycles([(shape, 100.0)]) - 100.0).abs() < 1e-9);
+        // Four same-shape requests: weights once + four activation shares
+        // = 100·(0.6 + 4·0.4) = 220, not 400.
+        let batch = hints.batch_cycles(std::iter::repeat_n((shape, 100.0), 4));
+        assert!((batch - 220.0).abs() < 1e-9, "got {batch}");
+        // Two distinct shapes each pay their own weight share: full
+        // price for the first of each shape, activation share (40) for
+        // the repeat = 100 + 100 + 40.
+        let other = Shape::new(1, 4, 4);
+        let mixed = hints.batch_cycles([(shape, 100.0), (other, 100.0), (shape, 100.0)]);
+        assert!((mixed - 240.0).abs() < 1e-9, "got {mixed}");
+    }
+
+    #[test]
+    fn default_fraction_prices_batches_as_plain_sums() {
+        let hints = CostHints::fixed(50.0);
+        assert_eq!(hints.weight_fraction(), 0.0);
+        let total = hints.batch_cycles(std::iter::repeat_n((Shape::new(3, 8, 8), 50.0), 3));
+        assert!((total - 150.0).abs() < 1e-9);
     }
 }

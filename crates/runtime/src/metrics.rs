@@ -67,6 +67,7 @@ pub(crate) struct Metrics {
     pub(crate) failed: AtomicU64,
     pub(crate) batches: AtomicU64,
     pub(crate) batched_requests: AtomicU64,
+    pub(crate) batched_dispatches: AtomicU64,
     pub(crate) queue_depth: AtomicUsize,
     pub(crate) latency: Histogram,
     pub(crate) rejected_degraded: AtomicU64,
@@ -94,6 +95,7 @@ impl Metrics {
             } else {
                 batched as f64 / batches as f64
             },
+            batched_dispatches: self.batched_dispatches.load(Ordering::Relaxed),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             latency_p50: self.latency.quantile(0.50),
             latency_p95: self.latency.quantile(0.95),
@@ -133,6 +135,10 @@ pub struct MetricsSnapshot {
     pub batches: u64,
     /// Mean requests per dispatched batch.
     pub mean_batch_size: f64,
+    /// Worker dispatches that went through the **batched kernel path**
+    /// (`run_batch_into` over a same-shape group) rather than one
+    /// sequential run per request.
+    pub batched_dispatches: u64,
     /// Admission-queue depth at snapshot time.
     pub queue_depth: usize,
     /// Median submit-to-response latency (bucketed; see module docs).

@@ -713,9 +713,14 @@ fn batcher_loop(shared: &Shared) {
             .metrics
             .batched_requests
             .fetch_add(requests.len() as u64, Ordering::Relaxed);
+        // Batch-aware pricing: same-shape requests dispatched together
+        // share one weight traversal, so SJF sees
+        // `weights + B·activations`, not `B` independent runs.
         let meta = BatchMeta {
             len: requests.len(),
-            predicted_cycles: requests.iter().map(|r| r.cost_cycles).sum(),
+            predicted_cycles: shared
+                .cost_hints
+                .batch_cycles(requests.iter().map(|r| (r.input.shape(), r.cost_cycles))),
         };
         let mut ready = lock_clean(&shared.ready);
         ready.batches.push_back(Batch { requests, meta });
@@ -731,6 +736,10 @@ fn batcher_loop(shared: &Shared) {
 struct Replica {
     sim: Simulator,
     scratch: hybriddnn_sim::RunResult,
+    /// Reusable per-element results for batched dispatches.
+    batch_scratch: Vec<hybriddnn_sim::RunResult>,
+    /// Reusable input staging for batched dispatches.
+    batch_inputs: Vec<Tensor>,
     /// Injected-fault total already flushed to the shared metrics.
     flushed_faults: u64,
 }
@@ -752,6 +761,8 @@ impl Replica {
         Replica {
             sim,
             scratch: hybriddnn_sim::RunResult::empty(),
+            batch_scratch: Vec::new(),
+            batch_inputs: Vec::new(),
             flushed_faults: 0,
         }
     }
@@ -769,6 +780,14 @@ impl Replica {
         }
     }
 }
+
+/// A response held back for device pacing: the request, its result, and
+/// whether it was served degraded.
+type StagedResponse = (
+    InferenceRequest,
+    Result<(Tensor, f64), hybriddnn_sim::SimError>,
+    bool,
+);
 
 /// How a batch ended, from the supervisor's point of view.
 struct BatchOutcome {
@@ -843,7 +862,11 @@ fn worker_loop(shared: &Shared, compiled: &CompiledNetwork, params: &WorkerParam
     }
 }
 
-/// Serves one batch, classifying failures:
+/// Serves one batch. Same-shape, first-attempt requests are grouped and
+/// dispatched through the simulator's batched replay (one
+/// `O(weights + B·activations)` kernel walk; see [`serve_group`]);
+/// everything else — retries, shed traffic, stragglers of other shapes —
+/// runs sequentially. Failures classify identically on both paths:
 ///
 /// * transient faults → bounded retry with jittered backoff, re-enqueued
 ///   at the queue head (budget exhausted → the fault is the response);
@@ -887,6 +910,56 @@ fn serve_batch(
         let shed_now = params.degraded_shed()
             && params.mode == SimMode::Functional
             && shared.supervisor.is_degraded();
+        // Batched fast path: gather every same-shape, first-attempt
+        // request still in the batch (the rest keep their relative
+        // order) and execute the group as one
+        // `O(weights + B·activations)` kernel dispatch. Retried
+        // requests (`attempts > 0`) and shed traffic stay on the
+        // sequential path below.
+        if !shed_now && req.attempts == 0 {
+            let mut group = vec![req];
+            let mut rest = VecDeque::with_capacity(queue.len());
+            while let Some(next) = queue.pop_front() {
+                if next.attempts != 0 || next.input.shape() != group[0].input.shape() {
+                    rest.push_back(next);
+                    continue;
+                }
+                // The worker reaches a grouped request *now*, so its
+                // deadline binds now — exactly as at a sequential pop.
+                let now = Instant::now();
+                if let Some(deadline) = next.deadline {
+                    if now > deadline {
+                        shared.metrics.expired.fetch_add(1, Ordering::Relaxed);
+                        next.tx.send(Err(RuntimeError::DeadlineExceeded {
+                            missed_by: now - deadline,
+                        }));
+                        continue;
+                    }
+                }
+                group.push(next);
+            }
+            queue = rest;
+            if group.len() > 1 {
+                let lost = serve_group(
+                    shared,
+                    compiled,
+                    replica,
+                    group,
+                    params,
+                    worker,
+                    batch_size,
+                    &mut queue,
+                    &mut staged,
+                    &mut device_cycles,
+                    &mut outcome,
+                );
+                if lost {
+                    break;
+                }
+                continue;
+            }
+            req = group.pop().expect("group holds exactly the head");
+        }
         let run = catch_unwind(AssertUnwindSafe(|| {
             if shed_now {
                 let twin = shed.get_or_insert_with(|| {
@@ -982,6 +1055,138 @@ fn serve_batch(
         respond(shared, req, result, batch_size, worker, shed);
     }
     outcome
+}
+
+/// Executes one same-shape group through the simulator's batched replay
+/// (`run_batch_into`) and fans per-element statuses back out with the
+/// same classification as the sequential path:
+///
+/// * success → respond (or stage under pacing, accumulating the
+///   element's device cycles);
+/// * transient fault with budget → re-enqueued at the queue head with
+///   `attempts > 0`, which excludes it from future groups — the retry
+///   runs `B = 1`, so faults degrade per request, not per batch;
+/// * replica fault → that element gets the typed error, every later
+///   element and the rest of the batch fail with
+///   [`RuntimeError::WorkerLost`] (mirroring the sequential break);
+/// * permanent program error → it is that element's response.
+///
+/// Returns `true` when the replica was lost and the caller must stop
+/// serving this batch and replace it.
+#[allow(clippy::too_many_arguments)]
+fn serve_group(
+    shared: &Shared,
+    compiled: &CompiledNetwork,
+    replica: &mut Replica,
+    group: Vec<InferenceRequest>,
+    params: &WorkerParams,
+    worker: usize,
+    batch_size: usize,
+    queue: &mut VecDeque<InferenceRequest>,
+    staged: &mut Vec<StagedResponse>,
+    device_cycles: &mut f64,
+    outcome: &mut BatchOutcome,
+) -> bool {
+    shared
+        .metrics
+        .batched_dispatches
+        .fetch_add(1, Ordering::Relaxed);
+    replica.batch_inputs.clear();
+    replica
+        .batch_inputs
+        .extend(group.iter().map(|r| r.input.clone()));
+    let run = catch_unwind(AssertUnwindSafe(|| {
+        replica
+            .sim
+            .run_batch_into(compiled, &replica.batch_inputs, &mut replica.batch_scratch)
+    }));
+    let statuses = match run {
+        Err(_panic) => {
+            // The replica's internal state is unknowable; nothing that
+            // was in flight on it can be answered with data.
+            for req in group {
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                req.tx.send(Err(RuntimeError::WorkerLost));
+            }
+            fail_remaining(shared, queue);
+            *outcome = BatchOutcome {
+                clean: false,
+                replace: true,
+            };
+            return true;
+        }
+        Ok(statuses) => statuses,
+    };
+    let mut lost = false;
+    let mut retries: Vec<InferenceRequest> = Vec::new();
+    for (i, (mut req, status)) in group.into_iter().zip(statuses).enumerate() {
+        if lost {
+            shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            req.tx.send(Err(RuntimeError::WorkerLost));
+            continue;
+        }
+        match status {
+            Ok(()) => {
+                let out = &replica.batch_scratch[i];
+                let result = Ok((out.output.clone(), out.total_cycles));
+                if params.pace_mhz.is_some() {
+                    *device_cycles += out.total_cycles;
+                    staged.push((req, result, false));
+                } else {
+                    respond(shared, req, result, batch_size, worker, false);
+                }
+            }
+            Err(e) => {
+                if e.is_transient() || e.is_replica_fault() {
+                    shared
+                        .metrics
+                        .faults_observed
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                if e.is_transient() && req.attempts < params.retry_budget {
+                    req.attempts += 1;
+                    shared.metrics.retries.fetch_add(1, Ordering::Relaxed);
+                    std::thread::sleep(retry_backoff(params, req.attempts, req.id));
+                    retries.push(req);
+                    continue;
+                }
+                if e.is_replica_fault() {
+                    shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    let err = match &e {
+                        hybriddnn_sim::SimError::DeviceHang { .. }
+                        | hybriddnn_sim::SimError::Cancelled { .. } => {
+                            RuntimeError::DeviceHang { worker }
+                        }
+                        _ => RuntimeError::Sim(e.clone()),
+                    };
+                    req.tx.send(Err(err));
+                    lost = true;
+                    *outcome = BatchOutcome {
+                        clean: false,
+                        replace: true,
+                    };
+                    continue;
+                }
+                if e.is_transient() {
+                    outcome.clean = false;
+                }
+                respond(shared, req, Err(e), batch_size, worker, false);
+            }
+        }
+    }
+    // Head-of-queue retries, original order preserved; a closed
+    // admission queue falls back to the local queue exactly like the
+    // sequential path.
+    for req in retries.into_iter().rev() {
+        if let Some(back) = requeue_head(shared, req) {
+            queue.push_front(back);
+        }
+    }
+    if lost {
+        fail_remaining(shared, queue);
+        return true;
+    }
+    false
 }
 
 /// Jittered, linearly growing backoff for transient-fault retries. The

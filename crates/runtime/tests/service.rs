@@ -66,6 +66,53 @@ fn concurrent_batched_results_match_sequential() {
     assert_eq!(metrics.failed + metrics.expired + metrics.rejected_full, 0);
 }
 
+/// A paused-then-flushed backlog of same-shape requests goes through the
+/// batched kernel dispatch (one `O(weights + B·activations)` walk), and
+/// its outputs are still bit-identical to a warmed sequential session.
+#[test]
+fn same_shape_backlog_takes_the_batched_dispatch_path() {
+    let (net, compiled) = compiled_tiny_cnn(7);
+    let inputs: Vec<Tensor> = (0..8)
+        .map(|i| synth::tensor(net.input_shape(), 2000 + i))
+        .collect();
+    let mut oracle = Simulator::new(&compiled, SimMode::Functional, 16.0);
+    let expected: Vec<Tensor> = inputs
+        .iter()
+        .map(|i| oracle.run(&compiled, i).unwrap().output)
+        .collect();
+
+    let service = InferenceService::start(
+        Arc::clone(&compiled),
+        ServiceConfig::new(SimMode::Functional, 16.0)
+            .with_workers(1)
+            .with_max_batch_size(8),
+    );
+    // Pause the batcher so the whole backlog lands in one worker batch —
+    // eight same-shape, first-attempt requests form one group.
+    service.pause();
+    let handles: Vec<ResponseHandle> = inputs
+        .iter()
+        .map(|i| service.submit(i.clone(), None).unwrap())
+        .collect();
+    service.resume();
+    for (handle, want) in handles.into_iter().zip(&expected) {
+        let got = handle.wait().unwrap();
+        assert_eq!(
+            got.output.as_slice(),
+            want.as_slice(),
+            "request {} diverged from the sequential run",
+            got.id
+        );
+    }
+    let metrics = service.shutdown();
+    assert_eq!(metrics.completed, inputs.len() as u64);
+    assert!(
+        metrics.batched_dispatches >= 1,
+        "expected at least one batched kernel dispatch, got {}",
+        metrics.batched_dispatches
+    );
+}
+
 /// A full admission queue rejects instead of blocking or buffering.
 #[test]
 fn full_queue_rejects_with_backpressure() {

@@ -1,0 +1,149 @@
+//! True batched execution of planned functional replays.
+//!
+//! A planned session already amortizes weight repacking and event
+//! simulation across runs; this module amortizes the *per-run* work
+//! across a batch. Each batch element owns one [`BatchLane`] — a private
+//! external memory plus input/output/accumulator buffers — and one
+//! program walk drives all lanes: every COMP traverses its cached weight
+//! pack once while the lanes' activations stream through it, making a
+//! `B`-element batch `O(weights + B·activations)` instead of
+//! `O(B·(weights + activations))`.
+//!
+//! Weight and bias regions are never read through a lane (every COMP
+//! consumes its cached pack), and every activation region a replay reads
+//! is written earlier in the same run — so lane memories start *empty*
+//! (reads beyond an [`ExternalMemory`]'s written length are zero by
+//! construction) and are safely reused across batches, by the same
+//! argument that lets a session's own memory be reused across runs.
+//!
+//! Fault injection and cancellation are handled entirely by the caller
+//! (`Simulator::run_chunk_batched`): it pre-walks each element's decision
+//! stream in batch order before execution, so the RNG draws are identical
+//! to `B` sequential runs, and lanes whose element faulted are excluded
+//! from execution (their outputs are unobservable — exactly as after a
+//! sequential faulted run).
+
+use crate::pe::{self, CompCtx};
+use crate::plan::UnitPack;
+use crate::{SimError, StopToken};
+use hybriddnn_estimator::AcceleratorConfig;
+use hybriddnn_fpga::{ExternalMemory, MemoryClient};
+use hybriddnn_isa::{Instruction, LoadKind, Program};
+use hybriddnn_model::quant::QFormat;
+
+/// Maximum lanes executed per batched chunk. Bounds the per-session
+/// buffer footprint so the lanes' activation planes stay cache-resident
+/// alongside the weight packs; larger batches run as successive chunks
+/// with the weight traversal still amortized `MAX_LANES`-wide, which
+/// already captures nearly all of the `O(weights + B·activations)`
+/// payoff.
+pub(crate) const MAX_LANES: usize = 8;
+
+/// One batch element's private execution state.
+#[derive(Debug)]
+pub(crate) struct BatchLane {
+    /// The element's private DRAM image: holds its input, intermediate
+    /// activations, and output. Starts empty — weight regions are never
+    /// read (COMPs consume cached packs) and unwritten reads are zero.
+    pub(crate) mem: ExternalMemory,
+    /// Input feature-map buffer (both ping-pong halves).
+    pub(crate) input: Vec<f32>,
+    /// Output buffer.
+    pub(crate) output: Vec<f32>,
+    /// `f64` accumulator buffer.
+    pub(crate) accum: Vec<f64>,
+    /// Per-lane widened input window (Spatial/FC units).
+    pub(crate) inp_wide: Vec<f64>,
+    /// Per-lane transformed input tiles (Winograd units).
+    pub(crate) v_all: Vec<f64>,
+}
+
+impl BatchLane {
+    fn new(cfg: &AcceleratorConfig) -> Self {
+        BatchLane {
+            mem: ExternalMemory::new(),
+            input: vec![0.0; 2 * cfg.input_buffer_words()],
+            output: vec![0.0; 2 * cfg.output_buffer_words()],
+            accum: vec![0.0; 2 * cfg.output_buffer_words()],
+            inp_wide: Vec::new(),
+            v_all: Vec::new(),
+        }
+    }
+}
+
+/// The session's pool of batch lanes, grown on demand and reused across
+/// batches (no steady-state allocation).
+#[derive(Debug, Default)]
+pub(crate) struct BatchState {
+    pub(crate) lanes: Vec<BatchLane>,
+}
+
+impl BatchState {
+    pub(crate) fn ensure(&mut self, cfg: &AcceleratorConfig, n: usize) {
+        while self.lanes.len() < n {
+            self.lanes.push(BatchLane::new(cfg));
+        }
+    }
+}
+
+/// Replays one stage program across all `lanes` at once.
+///
+/// Input LOADs and SAVEs burst per lane against that lane's memory;
+/// weight/bias LOADs are elided exactly as in the sequential replay; each
+/// COMP checks cancellation once, then executes batched. The caller
+/// guarantees (via `Simulator::plan_batchable`) that every COMP has a
+/// complete cached pack.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn replay_stage_batched(
+    cfg: &AcceleratorConfig,
+    act_fmt: Option<QFormat>,
+    ctx: &mut CompCtx,
+    program: &Program,
+    packs: &[UnitPack],
+    lanes: &mut [&mut BatchLane],
+    stage: &str,
+    stop: Option<&StopToken>,
+) -> Result<(), SimError> {
+    let mut next_pack = 0usize;
+    for inst in program.instructions() {
+        match inst {
+            Instruction::Load(l) => {
+                if l.kind == LoadKind::Input {
+                    for lane in lanes.iter_mut() {
+                        pe::exec_load_into(
+                            &mut lane.input,
+                            "input",
+                            MemoryClient::LoadInput,
+                            &mut lane.mem,
+                            l,
+                        )?;
+                    }
+                }
+            }
+            Instruction::Comp(c) => {
+                if stop.is_some_and(StopToken::is_cancelled) {
+                    return Err(SimError::Cancelled {
+                        stage: stage.to_string(),
+                    });
+                }
+                let pack = packs.get(next_pack);
+                next_pack += 1;
+                let Some(pack) = pack.filter(|p| !p.weights.is_empty()) else {
+                    // Unreachable behind the `plan_batchable` gate; report
+                    // rather than executing with a missing pack.
+                    return Err(SimError::ScheduleDivergence {
+                        layer: stage.to_string(),
+                        detail: "batched replay found no cached pack for a COMP unit".into(),
+                    });
+                };
+                pe::exec_comp_batched(cfg, c, act_fmt, ctx, pack, lanes)?;
+            }
+            Instruction::Save(s) => {
+                for lane in lanes.iter_mut() {
+                    pe::exec_save_from(&lane.output, &mut lane.mem, cfg, s)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}

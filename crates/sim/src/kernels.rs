@@ -26,6 +26,8 @@
 //! and both operands are widened `f32 → f64` *once* (exact) instead of
 //! once per MAC, so the hot loop is pure `f64` multiply-add.
 
+use hybriddnn_winograd::{transform, TileConfig};
+
 /// Geometry of one Spatial-mode COMP unit (all sizes in elements).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpatialGeom {
@@ -361,6 +363,350 @@ fn spatial_fc(
     }
 }
 
+/// Geometry of one Winograd-mode COMP unit (all sizes in elements) — the
+/// values [`wino_pass2`] and [`wino_pass3`] share, hoisted out of the
+/// per-tile loops. Constructed once per unit by the batched COMP path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WinoGeom {
+    /// Output rows computed by the unit.
+    pub out_rows: usize,
+    /// Output width.
+    pub out_w: usize,
+    /// Input-channel vectors (`IC_VECS`).
+    pub cv: usize,
+    /// Lanes per input vector (`PI`).
+    pub pi: usize,
+    /// Width of the loaded input window in pixels (stride 1 in Winograd
+    /// mode: `out_w - 1 + kw`).
+    pub cols_l: usize,
+    /// Height of the loaded input window.
+    pub rows_l: usize,
+    /// Tile grid height (`ceil(out_rows / m)`).
+    pub tiles_y: usize,
+    /// Tile grid width (`ceil(out_w / m)`).
+    pub tiles_x: usize,
+    /// Vertical window offset of this kernel-decomposition block.
+    pub y_off: usize,
+    /// Horizontal window offset of this kernel-decomposition block.
+    pub x_off: usize,
+    /// Base of the unit's window in the input buffer.
+    pub inp_base: usize,
+}
+
+impl WinoGeom {
+    /// Flattened input-channel count (`CV × PI`).
+    pub fn c_lanes(&self) -> usize {
+        self.cv * self.pi
+    }
+
+    /// Tiles per channel plane.
+    pub fn tiles(&self) -> usize {
+        self.tiles_y * self.tiles_x
+    }
+}
+
+/// Winograd pass 2 as a standalone kernel: transforms every channel of
+/// every tile of one unit's loaded window into `v_all[tile][c][e]`,
+/// resizing `v_all` to fit.
+///
+/// Reads replicate the in-place COMP path exactly — window rows at
+/// `inp_base + (y·CV + cvi)·colsₗ·PI + lane`, with positions beyond the
+/// loaded window (clipped edge tiles) reading zero — and each tile's
+/// transform is the same operation sequence, so the produced values are
+/// bit-identical to the sequential path's. Monomorphized per tile size so
+/// the `F(2×2)` add/sub transform inlines into the gather loop.
+///
+/// `skip_c[c]`, when given, marks channels whose transformed tiles are
+/// provably never read — every `(k, c)` weight row is all `+0.0`, so
+/// [`wino_pass3`]'s zero-row elision drops the channel for every output
+/// channel. Those rows of `v_all` are left untouched (stale), which is
+/// only sound under exactly that contract.
+pub fn wino_pass2(
+    tile: TileConfig,
+    g: &WinoGeom,
+    input: &[f32],
+    v_all: &mut Vec<f64>,
+    skip_c: Option<&[bool]>,
+) {
+    match tile {
+        TileConfig::F2x2 => wino_pass2_mono::<4, 2>(g, input, v_all, skip_c),
+        TileConfig::F4x4 => wino_pass2_mono::<6, 4>(g, input, v_all, skip_c),
+        TileConfig::F6x6 => wino_pass2_mono::<8, 6>(g, input, v_all, skip_c),
+    }
+}
+
+fn wino_pass2_mono<const PT: usize, const M: usize>(
+    g: &WinoGeom,
+    input: &[f32],
+    v_all: &mut Vec<f64>,
+    skip_c: Option<&[bool]>,
+) {
+    let tile = tile_of::<PT>();
+    let pt2 = PT * PT;
+    let c_lanes = g.c_lanes();
+    v_all.resize(g.tiles() * c_lanes * pt2, 0.0);
+    let mut d = [0.0f64; 64];
+    let d = &mut d[..pt2];
+    let mut t = [0.0f64; 64];
+    let t = &mut t[..pt2];
+    for ty in 0..g.tiles_y {
+        for tx in 0..g.tiles_x {
+            let t_idx = ty * g.tiles_x + tx;
+            // Interior tiles (the vast majority) read a fully in-window,
+            // in-bounds PT×PT patch; hoisting that check out of the
+            // gather lets the hot loop run without per-pixel branches.
+            // Clipped or short-loaded tiles take the checked path, whose
+            // zero fills match the in-place COMP reads exactly.
+            let y0 = g.y_off + ty * M;
+            let x0 = g.x_off + tx * M;
+            let interior = y0 + PT <= g.rows_l
+                && x0 + PT <= g.cols_l
+                && g.inp_base
+                    + ((y0 + PT - 1) * g.cv + g.cv - 1) * g.cols_l * g.pi
+                    + (x0 + PT - 1) * g.pi
+                    + g.pi
+                    <= input.len();
+            for c in 0..c_lanes {
+                if skip_c.is_some_and(|s| s[c]) {
+                    continue;
+                }
+                let (cvi, lane) = (c / g.pi, c % g.pi);
+                let out = &mut v_all[(t_idx * c_lanes + c) * pt2..][..pt2];
+                if PT == 4 && interior {
+                    // F(2×2) interior tile: gather each column straight
+                    // into `input_tile_f2`'s column pass, skipping the
+                    // `d` round-trip. Same loads, same add/sub order, so
+                    // the result is bit-identical to the buffered path.
+                    let row0 = g.inp_base + (y0 * g.cv + cvi) * g.cols_l * g.pi + lane;
+                    let rstep = g.cv * g.cols_l * g.pi;
+                    for j in 0..4 {
+                        let col = row0 + (x0 + j) * g.pi;
+                        let x0v = input[col] as f64;
+                        let x1v = input[col + rstep] as f64;
+                        let x2v = input[col + 2 * rstep] as f64;
+                        let x3v = input[col + 3 * rstep] as f64;
+                        t[j] = x0v - x2v;
+                        t[4 + j] = x1v + x2v;
+                        t[8 + j] = x2v - x1v;
+                        t[12 + j] = x1v - x3v;
+                    }
+                    for i in 0..4 {
+                        let (r0, r1, r2, r3) = (t[i * 4], t[i * 4 + 1], t[i * 4 + 2], t[i * 4 + 3]);
+                        out[i * 4] = r0 - r2;
+                        out[i * 4 + 1] = r1 + r2;
+                        out[i * 4 + 2] = r2 - r1;
+                        out[i * 4 + 3] = r1 - r3;
+                    }
+                    continue;
+                }
+                if interior {
+                    for dy in 0..PT {
+                        let row = g.inp_base + ((y0 + dy) * g.cv + cvi) * g.cols_l * g.pi + lane;
+                        let drow = &mut d[dy * PT..(dy + 1) * PT];
+                        for (dx, dv) in drow.iter_mut().enumerate() {
+                            *dv = input[row + (x0 + dx) * g.pi] as f64;
+                        }
+                    }
+                } else {
+                    for dy in 0..PT {
+                        let y = y0 + dy;
+                        let drow = &mut d[dy * PT..(dy + 1) * PT];
+                        if y >= g.rows_l {
+                            drow.fill(0.0);
+                            continue;
+                        }
+                        let row = g.inp_base + (y * g.cv + cvi) * g.cols_l * g.pi + lane;
+                        for (dx, dv) in drow.iter_mut().enumerate() {
+                            let x = x0 + dx;
+                            *dv = if x >= g.cols_l {
+                                0.0
+                            } else {
+                                input.get(row + x * g.pi).copied().unwrap_or(0.0) as f64
+                            };
+                        }
+                    }
+                }
+                transform::transform_input_tile_buf(tile, d, out, t);
+            }
+        }
+    }
+}
+
+/// Winograd pass 3 as a standalone kernel for output channels `ks`:
+/// per-`(k, tile)` banked GEMV over the `PT²` transformed positions,
+/// inverse transform, clipped accumulate into `accum_chunk` (which holds
+/// only the planes for `ks`, as in [`spatial_blocked`]).
+///
+/// `wt` is the unit's cached `[k][c][e]` weight pack; `v_all` is
+/// [`wino_pass2`]'s output. Each `M[e]` is the same ordered sum over `c`
+/// as the in-place COMP path and each output cell accumulates the same
+/// inverse-transform value, so results are bit-identical. Monomorphized
+/// per tile size: the fixed-size accumulator tiles live in registers and
+/// the `F(2×2)` transforms inline, which is where the batched path's
+/// per-element speedup over the generic loop comes from.
+pub fn wino_pass3(
+    tile: TileConfig,
+    g: &WinoGeom,
+    wt: &[f64],
+    v_all: &[f64],
+    ks: std::ops::Range<usize>,
+    accum_chunk: &mut [f64],
+) {
+    match tile {
+        TileConfig::F2x2 => wino_pass3_mono::<4, 2>(g, wt, v_all, ks, accum_chunk),
+        TileConfig::F4x4 => wino_pass3_mono::<6, 4>(g, wt, v_all, ks, accum_chunk),
+        TileConfig::F6x6 => wino_pass3_mono::<8, 6>(g, wt, v_all, ks, accum_chunk),
+    }
+}
+
+fn wino_pass3_mono<const PT: usize, const M: usize>(
+    g: &WinoGeom,
+    wt: &[f64],
+    v_all: &[f64],
+    ks: std::ops::Range<usize>,
+    accum_chunk: &mut [f64],
+) {
+    let tile = tile_of::<PT>();
+    let pt2 = PT * PT;
+    let c_lanes = g.c_lanes();
+    let plane = g.out_rows * g.out_w;
+    debug_assert_eq!(accum_chunk.len(), ks.len() * plane);
+    // Tiles are processed in blocks of T_BLK so each `(k, c)` weight row
+    // is loaded once and swept across the block — T_BLK independent
+    // accumulation chains keep the FMA units busy where a single tile's
+    // chain would stall on latency. Each `m` slot still sums its `(w, v)`
+    // products in ascending `c`, so per-cell values are bit-identical to
+    // the tile-at-a-time order (tiles write disjoint output cells).
+    const T_BLK: usize = 8;
+    let mut m_blk = [0.0f64; 64 * T_BLK];
+    let mut y = [0.0f64; 36];
+    let y = &mut y[..M * M];
+    let mut t = [0.0f64; 64];
+    let t = &mut t[..M * PT];
+    let tiles = g.tiles();
+    for (k_local, k) in ks.enumerate() {
+        let out_k = &mut accum_chunk[k_local * plane..(k_local + 1) * plane];
+        let wk = &wt[k * c_lanes * pt2..][..c_lanes * pt2];
+        let mut tb = 0;
+        while tb < tiles {
+            let nb = T_BLK.min(tiles - tb);
+            let m_blk = &mut m_blk[..nb * pt2];
+            m_blk.fill(0.0);
+            for c in 0..c_lanes {
+                let wrow = &wk[c * pt2..][..pt2];
+                // Channels padded up to the PI lane width carry an
+                // all-(+0.0) weight row; each `m` slot starts at +0.0 and
+                // an IEEE sum is −0.0 only when both addends are −0.0, so
+                // the slots are never −0.0 and adding `+0.0·v` (±0.0 for
+                // the finite `v` a zero-padded channel produces) leaves
+                // every slot bitwise unchanged — the row is a provable
+                // no-op and is skipped.
+                if wrow.iter().all(|w| w.to_bits() == 0) {
+                    continue;
+                }
+                let vb = &v_all[(tb * c_lanes + c) * pt2..];
+                for ti in 0..nb {
+                    let vrow = &vb[ti * c_lanes * pt2..][..pt2];
+                    let m = &mut m_blk[ti * pt2..][..pt2];
+                    for ((mv, wv), vv) in m.iter_mut().zip(wrow).zip(vrow) {
+                        *mv += wv * vv;
+                    }
+                }
+            }
+            for ti in 0..nb {
+                let t_idx = tb + ti;
+                let (tyy, tx) = (t_idx / g.tiles_x, t_idx % g.tiles_x);
+                transform::transform_output_tile_buf(tile, &m_blk[ti * pt2..][..pt2], y, t);
+                let (oy0, ox0) = (tyy * M, tx * M);
+                if oy0 + M <= g.out_rows && ox0 + M <= g.out_w {
+                    // Interior tile: unclipped M×M accumulate.
+                    for dy in 0..M {
+                        let orow = &mut out_k[(oy0 + dy) * g.out_w + ox0..][..M];
+                        for (o, yv) in orow.iter_mut().zip(&y[dy * M..(dy + 1) * M]) {
+                            *o += yv;
+                        }
+                    }
+                } else {
+                    for dy in 0..M {
+                        let oy = oy0 + dy;
+                        if oy >= g.out_rows {
+                            break;
+                        }
+                        for dx in 0..M {
+                            let ox = ox0 + dx;
+                            if ox < g.out_w {
+                                out_k[oy * g.out_w + ox] += y[dy * M + dx];
+                            }
+                        }
+                    }
+                }
+            }
+            tb += nb;
+        }
+    }
+}
+
+/// Recovers the [`TileConfig`] from a monomorphization constant so the
+/// branch folds away inside the generic kernels.
+fn tile_of<const PT: usize>() -> TileConfig {
+    match PT {
+        4 => TileConfig::F2x2,
+        6 => TileConfig::F4x4,
+        _ => TileConfig::F6x6,
+    }
+}
+
+/// Batched FC kernel: every lane's `(input, accum)` pair advances through
+/// the *same* prepacked `[k][c]` weight image, traversed once per
+/// `K_BANK` output channels instead of once per batch element — the
+/// `O(weights + B·activations)` form of [`spatial_blocked`]'s FC path.
+///
+/// Per `(k, lane)` the accumulator chain is the identical ascending-`c`
+/// banked dot product [`spatial_blocked`] computes with `prepack` over the
+/// full `0..k_lanes` range, so each lane's result is bit-identical to a
+/// sequential `B = 1` run.
+pub fn spatial_fc_batched(
+    k_lanes: usize,
+    c_lanes: usize,
+    prepack: &[f64],
+    lanes: &mut [(&[f64], &mut [f64])],
+) {
+    const K_BANK: usize = 4;
+    let mut k = 0;
+    while k + K_BANK <= k_lanes {
+        let (w0, rest) = prepack[k * c_lanes..(k + K_BANK) * c_lanes].split_at(c_lanes);
+        let (w1, rest) = rest.split_at(c_lanes);
+        let (w2, w3) = rest.split_at(c_lanes);
+        for (input, accum) in lanes.iter_mut() {
+            let seg = &input[..c_lanes];
+            let mut a = [0.0f64; K_BANK];
+            for ((((x, b0), b1), b2), b3) in seg.iter().zip(w0).zip(w1).zip(w2).zip(w3) {
+                let xv = *x;
+                a[0] += xv * *b0;
+                a[1] += xv * *b1;
+                a[2] += xv * *b2;
+                a[3] += xv * *b3;
+            }
+            for (o, a) in accum[k..k + K_BANK].iter_mut().zip(a) {
+                *o += a;
+            }
+        }
+        k += K_BANK;
+    }
+    while k < k_lanes {
+        let wk = &prepack[k * c_lanes..][..c_lanes];
+        for (input, accum) in lanes.iter_mut() {
+            let seg = &input[..c_lanes];
+            let mut acc = 0.0f64;
+            for (x, w) in seg.iter().zip(wk) {
+                acc += *x * *w;
+            }
+            accum[k] += acc;
+        }
+        k += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -478,5 +824,223 @@ mod tests {
             .iter()
             .zip(&split)
             .all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    fn rng(seed: u64) -> impl FnMut() -> f32 {
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+        move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state >> 40) as i32 - (1 << 23)) as f32 / 256.0
+        }
+    }
+
+    #[test]
+    fn fc_batched_matches_sequential_fc_bit_for_bit() {
+        // The batched FC kernel walks weights k-outer/lane-inner; each
+        // lane must land on exactly the bits the sequential prepacked FC
+        // path produces for the same input.
+        for (k_lanes, c_lanes, batch) in [(10, 16, 1), (8, 32, 3), (7, 5, 16)] {
+            let mut next = rng(31 + k_lanes as u64);
+            let prepack: Vec<f64> = (0..k_lanes * c_lanes).map(|_| next() as f64).collect();
+            let inputs: Vec<Vec<f64>> = (0..batch)
+                .map(|_| (0..c_lanes).map(|_| next() as f64).collect())
+                .collect();
+            let init: Vec<f64> = (0..k_lanes).map(|_| next() as f64).collect();
+
+            let g = SpatialGeom {
+                out_rows: 1,
+                out_w: 1,
+                stride: 1,
+                kh: 1,
+                kw: 1,
+                cv: 1,
+                pi: c_lanes,
+                cols_l: 1,
+            };
+            let mut pack = Vec::new();
+            let sequential: Vec<Vec<f64>> = inputs
+                .iter()
+                .map(|input| {
+                    let mut acc = init.clone();
+                    spatial_blocked(
+                        &g,
+                        0..k_lanes,
+                        input,
+                        &[],
+                        Some(&prepack),
+                        &mut acc,
+                        &mut pack,
+                    );
+                    acc
+                })
+                .collect();
+
+            let mut accums: Vec<Vec<f64>> = vec![init.clone(); batch];
+            let mut lanes: Vec<(&[f64], &mut [f64])> = inputs
+                .iter()
+                .zip(accums.iter_mut())
+                .map(|(i, a)| (i.as_slice(), a.as_mut_slice()))
+                .collect();
+            spatial_fc_batched(k_lanes, c_lanes, &prepack, &mut lanes);
+            for (b, (got, want)) in accums.iter().zip(&sequential).enumerate() {
+                assert!(
+                    got.iter()
+                        .zip(want)
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "lane {b} diverged for k={k_lanes} c={c_lanes}"
+                );
+            }
+        }
+    }
+
+    /// The in-place Winograd passes of the COMP path, replicated verbatim
+    /// (Vec-based transforms, same loop order) as the oracle the
+    /// standalone monomorphized kernels are pinned against.
+    fn wino_reference(
+        tile: TileConfig,
+        g: &WinoGeom,
+        wt: &[f64],
+        input: &[f32],
+        accum: &mut [f64],
+    ) -> Vec<f64> {
+        let pt = tile.pt();
+        let pt2 = pt * pt;
+        let m = tile.m();
+        let c_lanes = g.c_lanes();
+        let mut v_all = vec![0.0f64; g.tiles() * c_lanes * pt2];
+        let mut d = vec![0.0f64; pt2];
+        let mut v = vec![0.0f64; pt2];
+        let mut t = Vec::new();
+        for ty in 0..g.tiles_y {
+            for tx in 0..g.tiles_x {
+                for c in 0..c_lanes {
+                    let (cvi, lane) = (c / g.pi, c % g.pi);
+                    for dy in 0..pt {
+                        let y = g.y_off + ty * m + dy;
+                        let drow = &mut d[dy * pt..(dy + 1) * pt];
+                        if y >= g.rows_l {
+                            drow.fill(0.0);
+                            continue;
+                        }
+                        let row = g.inp_base + (y * g.cv + cvi) * g.cols_l * g.pi + lane;
+                        for (dx, dv) in drow.iter_mut().enumerate() {
+                            let x = g.x_off + tx * m + dx;
+                            *dv = if x >= g.cols_l {
+                                0.0
+                            } else {
+                                input.get(row + x * g.pi).copied().unwrap_or(0.0) as f64
+                            };
+                        }
+                    }
+                    transform::transform_input_tile_into(tile, &d, &mut v, &mut t);
+                    let t_idx = ty * g.tiles_x + tx;
+                    v_all[(t_idx * c_lanes + c) * pt2..][..pt2].copy_from_slice(&v);
+                }
+            }
+        }
+        let plane = g.out_rows * g.out_w;
+        let k_lanes = accum.len() / plane;
+        let mut m_tile = vec![0.0f64; pt2];
+        let mut y = vec![0.0f64; m * m];
+        for k in 0..k_lanes {
+            let out_k = &mut accum[k * plane..(k + 1) * plane];
+            for ty in 0..g.tiles_y {
+                for tx in 0..g.tiles_x {
+                    let t_idx = ty * g.tiles_x + tx;
+                    m_tile.fill(0.0);
+                    for c in 0..c_lanes {
+                        let wrow = &wt[(k * c_lanes + c) * pt2..][..pt2];
+                        let vrow = &v_all[(t_idx * c_lanes + c) * pt2..][..pt2];
+                        for ((mv, wv), vv) in m_tile.iter_mut().zip(wrow).zip(vrow) {
+                            *mv += wv * vv;
+                        }
+                    }
+                    transform::transform_output_tile_into(tile, &m_tile, &mut y, &mut t);
+                    for dy in 0..m {
+                        let oy = ty * m + dy;
+                        if oy >= g.out_rows {
+                            break;
+                        }
+                        for dx in 0..m {
+                            let ox = tx * m + dx;
+                            if ox < g.out_w {
+                                out_k[oy * g.out_w + ox] += y[dy * m + dx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        v_all
+    }
+
+    #[test]
+    fn wino_passes_match_inplace_algorithm_bit_for_bit() {
+        for tile in TileConfig::EXTENDED {
+            let m = tile.m();
+            let pt2 = tile.pt() * tile.pt();
+            for (out_rows, out_w, cv, pi, k_lanes, off) in
+                [(5, 7, 1, 4, 6, 0), (4, 4, 2, 2, 4, 3), (3, 9, 1, 2, 5, 0)]
+            {
+                let g = WinoGeom {
+                    out_rows,
+                    out_w,
+                    cv,
+                    pi,
+                    cols_l: out_w - 1 + 3,
+                    rows_l: out_rows - 1 + 3,
+                    tiles_y: out_rows.div_ceil(m),
+                    tiles_x: out_w.div_ceil(m),
+                    y_off: off,
+                    x_off: off,
+                    inp_base: 0,
+                };
+                let c_lanes = g.c_lanes();
+                let mut next = rng(17 + out_w as u64 + m as u64);
+                let input: Vec<f32> = (0..g.rows_l * g.cols_l * c_lanes).map(|_| next()).collect();
+                let wt: Vec<f64> = (0..k_lanes * c_lanes * pt2)
+                    .map(|_| next() as f64)
+                    .collect();
+                let init: Vec<f64> = (0..k_lanes * out_rows * out_w)
+                    .map(|_| next() as f64)
+                    .collect();
+
+                let mut want = init.clone();
+                let v_want = wino_reference(tile, &g, &wt, &input, &mut want);
+
+                let mut v_got = Vec::new();
+                wino_pass2(tile, &g, &input, &mut v_got, None);
+                assert!(
+                    v_got
+                        .iter()
+                        .zip(&v_want)
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "pass2 diverged for {tile:?} out {out_rows}x{out_w}"
+                );
+                // Full range and a split range must both match the oracle.
+                let mut got = init.clone();
+                wino_pass3(tile, &g, &wt, &v_got, 0..k_lanes, &mut got);
+                assert!(
+                    got.iter()
+                        .zip(&want)
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "pass3 diverged for {tile:?} out {out_rows}x{out_w}"
+                );
+                let mut split = init.clone();
+                let plane = out_rows * out_w;
+                let (lo, hi) = split.split_at_mut(2 * plane);
+                wino_pass3(tile, &g, &wt, &v_got, 0..2, lo);
+                wino_pass3(tile, &g, &wt, &v_got, 2..k_lanes, hi);
+                assert!(
+                    split
+                        .iter()
+                        .zip(&want)
+                        .all(|(x, y)| x.to_bits() == y.to_bits()),
+                    "split pass3 diverged for {tile:?}"
+                );
+            }
+        }
     }
 }

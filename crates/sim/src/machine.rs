@@ -381,6 +381,29 @@ impl Accelerator {
         Ok(())
     }
 
+    /// Replays a stage across a whole batch of lanes at once — the
+    /// batched counterpart of [`Accelerator::replay_stage`], sharing this
+    /// accelerator's worker pool and scratch. See [`crate::batch`].
+    pub(crate) fn replay_stage_batched(
+        &mut self,
+        program: &Program,
+        packs: &[UnitPack],
+        lanes: &mut [&mut crate::batch::BatchLane],
+        stage: &str,
+        stop: Option<&crate::StopToken>,
+    ) -> Result<(), SimError> {
+        crate::batch::replay_stage_batched(
+            &self.cfg,
+            self.act_fmt,
+            &mut self.comp,
+            program,
+            packs,
+            lanes,
+            stage,
+            stop,
+        )
+    }
+
     /// Flips one word of the buffer a LOAD just filled — the functional
     /// face of an injected DRAM burst error. The staged DRAM image is
     /// never touched, and every buffer span a COMP reads is re-loaded by

@@ -97,6 +97,9 @@ pub struct CompCtx {
     inp_wide: Vec<f64>,
     /// Worker-private scratch; slot 0 belongs to the calling thread.
     workers: Vec<Scratch>,
+    /// Per-channel "all weight rows are +0.0" mask for the batched
+    /// Winograd path (see `exec_comp_batched`), reused across units.
+    skip_c: Vec<bool>,
 }
 
 impl CompCtx {
@@ -109,6 +112,7 @@ impl CompCtx {
             wt: Vec::new(),
             v_all: Vec::new(),
             inp_wide: Vec::new(),
+            skip_c: Vec::new(),
             workers: (0..pool.threads()).map(|_| Scratch::default()).collect(),
         }
     }
@@ -137,6 +141,19 @@ pub fn exec_load(
         LoadKind::Weight => (&mut bufs.weight, "weight", MemoryClient::LoadWeight),
         LoadKind::Bias => (&mut bufs.bias, "bias", MemoryClient::LoadWeight),
     };
+    exec_load_into(dest, name, client, mem, inst)
+}
+
+/// [`exec_load`] with an explicit destination buffer — the batched replay
+/// path loads into per-lane input buffers instead of the accelerator's
+/// own. Behaviour (including the overrun error) is identical.
+pub(crate) fn exec_load_into(
+    dest: &mut [f32],
+    name: &'static str,
+    client: MemoryClient,
+    mem: &mut ExternalMemory,
+    inst: &LoadInst,
+) -> Result<(), SimError> {
     let total = inst.rows as usize * inst.row_len as usize;
     let base = inst.buff_base as usize;
     if base + total > dest.len() {
@@ -512,11 +529,247 @@ fn exec_comp_wino(
     Ok(())
 }
 
+/// Executes one COMP unit across a whole batch of lanes: the unit's
+/// cached weight pack is traversed **once** per `k`-range while every
+/// lane's activations stream through it — the `O(weights + B·activations)`
+/// batched form of [`exec_comp`].
+///
+/// Only called on planned functional replays whose packs were verified
+/// complete by the caller (`Simulator::plan_batchable`), so there is no
+/// unpacked fallback here. Per lane, every accumulator chain is the same
+/// operation sequence as the sequential pack-consuming path — the
+/// standalone kernels it calls are pinned bit-for-bit against that path —
+/// so batched outputs are bit-identical to `B` sequential runs.
+pub(crate) fn exec_comp_batched(
+    cfg: &AcceleratorConfig,
+    inst: &CompInst,
+    act_fmt: Option<QFormat>,
+    ctx: &mut CompCtx,
+    pack: &UnitPack,
+    lanes: &mut [&mut crate::batch::BatchLane],
+) -> Result<(), SimError> {
+    let Some(first) = lanes.first() else {
+        return Ok(());
+    };
+    let (accum_cap, input_cap) = (first.accum.len(), first.input.len());
+    let pi = cfg.pi;
+    let k_lanes = inst.oc_vecs as usize * cfg.po;
+    let c_lanes = inst.ic_vecs as usize * pi;
+    let out_rows = inst.out_rows as usize;
+    let out_w = inst.out_w as usize;
+    let stride = inst.stride as usize;
+    let (kh, kw) = (inst.kernel_h as usize, inst.kernel_w as usize);
+    let cv = inst.ic_vecs as usize;
+    let inp_base = inst.inp_base as usize;
+    let acc_base = inst.out_base as usize;
+    let plane = out_rows * out_w;
+    let acc_len = k_lanes * plane;
+    // Lanes share their allocation sizes, so one capacity check covers all.
+    if acc_base + acc_len > accum_cap {
+        return Err(SimError::BufferOverrun {
+            buffer: "accumulator",
+            index: acc_base + acc_len - 1,
+            capacity: accum_cap,
+        });
+    }
+
+    if inst.acc_init {
+        for lane in lanes.iter_mut() {
+            if inst.bias_en {
+                for k in 0..k_lanes {
+                    // The gate verified `pack.bias` covers all k; the
+                    // fallback mirrors `build_unit_pack`'s own
+                    // out-of-range semantics.
+                    let b = pack.bias.get(k).copied().unwrap_or(0.0);
+                    lane.accum[acc_base + k * plane..acc_base + (k + 1) * plane].fill(b);
+                }
+            } else {
+                lane.accum[acc_base..acc_base + acc_len].fill(0.0);
+            }
+        }
+    }
+
+    if inst.wino {
+        let tile = cfg.tile;
+        let m = cfg.m();
+        let pt2 = cfg.pt() * cfg.pt();
+        let (br, bs) = (inst.wino_offset.0 as usize, inst.wino_offset.1 as usize);
+        let g = kernels::WinoGeom {
+            out_rows,
+            out_w,
+            cv,
+            pi,
+            cols_l: out_w - 1 + kw,
+            rows_l: out_rows - 1 + kh,
+            tiles_y: out_rows.div_ceil(m),
+            tiles_x: out_w.div_ceil(m),
+            y_off: br * 3,
+            x_off: bs * 3,
+            inp_base,
+        };
+        let macs = g.tiles() * k_lanes * pt2 * c_lanes;
+        let wt = pack.weights.as_slice();
+        // Channels whose weight row is all +0.0 for *every* output
+        // channel (lane-width zero padding) are never read by pass 3's
+        // zero-row elision, so pass 2 skips transforming them entirely.
+        // Computed once per unit and shared by every lane in the batch.
+        ctx.skip_c.clear();
+        ctx.skip_c.extend((0..c_lanes).map(|c| {
+            (0..k_lanes).all(|k| {
+                wt[(k * c_lanes + c) * pt2..][..pt2]
+                    .iter()
+                    .all(|w| w.to_bits() == 0)
+            })
+        }));
+        let skip_c = Some(ctx.skip_c.as_slice());
+        let pool = ctx.pool.capped(macs / PAR_MIN_MACS);
+        for lane in lanes.iter_mut() {
+            let lane = &mut **lane;
+            kernels::wino_pass2(tile, &g, &lane.input, &mut lane.v_all, skip_c);
+            let v_all = &lane.v_all;
+            let accum = &mut lane.accum[acc_base..acc_base + acc_len];
+            pool.for_each_chunk_mut(accum, plane, &mut ctx.workers, |_, ks, chunk, _s| {
+                kernels::wino_pass3(tile, &g, wt, v_all, ks, chunk);
+            });
+        }
+    } else if plane == 1 && kh == 1 && kw == 1 {
+        // FC unit: widen every lane's input segment once, then stream all
+        // lanes through one traversal of the `[k][c]` pack.
+        let inp_len = cv * pi;
+        if inp_base + inp_len > input_cap {
+            return Err(SimError::BufferOverrun {
+                buffer: "input",
+                index: inp_base + inp_len - 1,
+                capacity: input_cap,
+            });
+        }
+        for lane in lanes.iter_mut() {
+            let lane = &mut **lane;
+            lane.inp_wide.resize(inp_len, 0.0);
+            for (d, &s) in lane
+                .inp_wide
+                .iter_mut()
+                .zip(&lane.input[inp_base..inp_base + inp_len])
+            {
+                *d = s as f64;
+            }
+        }
+        let mut views: Vec<(&[f64], &mut [f64])> = lanes
+            .iter_mut()
+            .map(|lane| {
+                let lane = &mut **lane;
+                (
+                    lane.inp_wide.as_slice(),
+                    &mut lane.accum[acc_base..acc_base + k_lanes],
+                )
+            })
+            .collect();
+        kernels::spatial_fc_batched(k_lanes, c_lanes, &pack.weights, &mut views);
+    } else {
+        let cols_l = (out_w - 1) * stride + kw;
+        let rows_l = (out_rows - 1) * stride + kh;
+        let inp_len = rows_l * cols_l * cv * pi;
+        if inp_base + inp_len > input_cap {
+            return Err(SimError::BufferOverrun {
+                buffer: "input",
+                index: inp_base + inp_len - 1,
+                capacity: input_cap,
+            });
+        }
+        let geom = SpatialGeom {
+            out_rows,
+            out_w,
+            stride,
+            kh,
+            kw,
+            cv,
+            pi,
+            cols_l,
+        };
+        let macs = k_lanes * plane * kh * kw * c_lanes;
+        let prepack = Some(pack.weights.as_slice());
+        let pool = ctx.pool.capped(macs / PAR_MIN_MACS);
+        for lane in lanes.iter_mut() {
+            let lane = &mut **lane;
+            lane.inp_wide.resize(inp_len, 0.0);
+            for (d, &s) in lane
+                .inp_wide
+                .iter_mut()
+                .zip(&lane.input[inp_base..inp_base + inp_len])
+            {
+                *d = s as f64;
+            }
+            let input = &lane.inp_wide;
+            let accum = &mut lane.accum[acc_base..acc_base + acc_len];
+            pool.for_each_chunk_mut(accum, plane, &mut ctx.workers, |_, ks, chunk, scratch| {
+                kernels::spatial_blocked(&geom, ks, input, &[], prepack, chunk, &mut scratch.pack);
+            });
+        }
+    }
+
+    // Flush, with the format dispatch hoisted out of the per-element loop
+    // (bitwise the same quantization per element).
+    if inst.acc_final {
+        let out_base = inst.out_base as usize;
+        let scale = 2f64.powi(-(inst.quan_shift as i32));
+        for lane in lanes.iter_mut() {
+            let lane = &mut **lane;
+            let acc = &lane.accum[acc_base..acc_base + acc_len];
+            let out = &mut lane.output[out_base..out_base + acc_len];
+            match act_fmt {
+                Some(fmt) => {
+                    for (o, &a) in out.iter_mut().zip(acc) {
+                        let mut v = a * scale;
+                        if inst.relu {
+                            v = v.max(0.0);
+                        }
+                        *o = fmt.quantize(v);
+                    }
+                }
+                // Multiplying by a unit scale is the bitwise identity,
+                // so the common `quan_shift == 0` case skips it and
+                // hoists the ReLU branch out of the loop.
+                None if scale == 1.0 && inst.relu => {
+                    for (o, &a) in out.iter_mut().zip(acc) {
+                        *o = a.max(0.0) as f32;
+                    }
+                }
+                None if scale == 1.0 => {
+                    for (o, &a) in out.iter_mut().zip(acc) {
+                        *o = a as f32;
+                    }
+                }
+                None => {
+                    for (o, &a) in out.iter_mut().zip(acc) {
+                        let mut v = a * scale;
+                        if inst.relu {
+                            v = v.max(0.0);
+                        }
+                        *o = v as f32;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Executes a SAVE: output buffer → DRAM with max-pooling and one of the
 /// four layout transforms (the destination layout is pure address
 /// arithmetic over `DST_W`/`DST_CV`).
 pub fn exec_save(
     bufs: &Buffers,
+    mem: &mut ExternalMemory,
+    cfg: &AcceleratorConfig,
+    inst: &SaveInst,
+) -> Result<(), SimError> {
+    exec_save_from(&bufs.output, mem, cfg, inst)
+}
+
+/// [`exec_save`] reading from an explicit output buffer — the batched
+/// replay path saves from per-lane buffers. Behaviour is identical.
+pub(crate) fn exec_save_from(
+    output: &[f32],
     mem: &mut ExternalMemory,
     cfg: &AcceleratorConfig,
     inst: &SaveInst,
@@ -528,11 +781,11 @@ pub fn exec_save(
     let pool = (inst.pool as usize).max(1);
     let base = inst.buff_base as usize;
     let need = k_lanes * rows * out_w;
-    if base + need > bufs.output.len() {
+    if base + need > output.len() {
         return Err(SimError::BufferOverrun {
             buffer: "output",
             index: base + need - 1,
-            capacity: bufs.output.len(),
+            capacity: output.len(),
         });
     }
     let dst_w = inst.dst_w as u64;
@@ -558,10 +811,27 @@ pub fn exec_save(
             // dropped (they carry zero data anyway).
             continue;
         }
-        let out_k = &bufs.output[base + k * rows * out_w..][..rows * out_w];
+        let out_k = &output[base + k * rows * out_w..][..rows * out_w];
         for yd in 0..rows / pool {
             if pool == 1 {
                 row.copy_from_slice(&out_k[yd * out_w..][..cols]);
+            } else if pool == 2 {
+                // 2×2 max-pool fast path: the generic window walk below
+                // visits r0[0], r0[1], r1[0], r1[1] — the same `f32::max`
+                // chain, hoisted out of the per-window slicing.
+                let r0 = &out_k[(yd * 2) * out_w..][..out_w];
+                let r1 = &out_k[(yd * 2 + 1) * out_w..][..out_w];
+                for ((v, p0), p1) in row
+                    .iter_mut()
+                    .zip(r0.chunks_exact(2))
+                    .zip(r1.chunks_exact(2))
+                {
+                    *v = f32::NEG_INFINITY
+                        .max(p0[0])
+                        .max(p0[1])
+                        .max(p1[0])
+                        .max(p1[1]);
+                }
             } else {
                 for (xd, v) in row.iter_mut().enumerate() {
                     let mut best = f32::NEG_INFINITY;

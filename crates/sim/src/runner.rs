@@ -2,6 +2,7 @@
 //! compiled network (Figure 1 Step 4: "a light-weight runtime ... to
 //! manage the execution of the generated accelerator").
 
+use crate::batch::{BatchLane, BatchState, MAX_LANES};
 use crate::fault::{self, FaultCounters, FaultHook, FaultPlan, FaultState, StopToken};
 use crate::machine::Accelerator;
 use crate::plan::{LayerPlan, PackMode, SessionPlan, UnitPack};
@@ -9,6 +10,7 @@ use crate::stats::StageStats;
 use crate::SimError;
 use hybriddnn_compiler::CompiledNetwork;
 use hybriddnn_fpga::ExternalMemory;
+use hybriddnn_isa::Instruction;
 use hybriddnn_model::{Shape, Tensor};
 
 /// Simulation fidelity.
@@ -97,6 +99,9 @@ pub struct Simulator {
     faults: Option<Box<FaultState>>,
     /// Cooperative cancellation checked between COMP work-groups.
     stop: Option<StopToken>,
+    /// Per-element lanes for batched execution, grown on first batched
+    /// run and reused across batches. See [`crate::batch`].
+    batch: BatchState,
 }
 
 impl Simulator {
@@ -134,6 +139,7 @@ impl Simulator {
             validate: false,
             faults: None,
             stop: None,
+            batch: BatchState::default(),
         }
     }
 
@@ -199,23 +205,226 @@ impl Simulator {
         self.run_impl(compiled, input, None, out)
     }
 
-    /// Runs a batch of inferences on this session, amortizing the plan
-    /// recording across the whole batch.
+    /// Runs a batch of inferences on this session through the batched
+    /// execution path (see [`crate::batch`]): one plan replay traverses
+    /// each layer's cached weight packs once while all elements'
+    /// activations stream through — `O(weights + B·activations)` instead
+    /// of `B` sequential runs' `O(B·(weights + activations))`. Outputs
+    /// are bit-identical to `B` sequential [`Simulator::run`] calls.
+    ///
+    /// Every input is attempted; per-element failures (including injected
+    /// faults) land in that element's slot instead of aborting the rest
+    /// of the batch. Elements fault *as if run sequentially*: the fault
+    /// decision stream is drawn per element in batch order before any
+    /// batched work starts, so the same faults hit the same elements as
+    /// `B` individual runs would see.
     ///
     /// # Errors
-    /// Same as [`Simulator::run`]; the first error aborts the batch.
+    /// Per element, the same errors as [`Simulator::run`].
+    pub fn run_batch_results(
+        &mut self,
+        compiled: &CompiledNetwork,
+        inputs: &[Tensor],
+    ) -> Vec<Result<RunResult, SimError>> {
+        let mut outs = Vec::new();
+        let statuses = self.run_batch_into(compiled, inputs, &mut outs);
+        statuses
+            .into_iter()
+            .zip(outs)
+            .map(|(st, out)| st.map(|()| out))
+            .collect()
+    }
+
+    /// [`Simulator::run_batch_results`] writing into caller-provided
+    /// [`RunResult`]s (resized to `inputs.len()`), so steady-state serving
+    /// loops reuse output tensors and stats vectors across batches — the
+    /// batched counterpart of [`Simulator::run_into`]. The contents of
+    /// `outs` slots whose status is `Err` are unspecified.
+    pub fn run_batch_into(
+        &mut self,
+        compiled: &CompiledNetwork,
+        inputs: &[Tensor],
+        outs: &mut Vec<RunResult>,
+    ) -> Vec<Result<(), SimError>> {
+        outs.resize_with(inputs.len(), RunResult::empty);
+        outs.truncate(inputs.len());
+        let mut statuses = Vec::with_capacity(inputs.len());
+        // Whether the recorded plan supports batched replay; memoized
+        // because the plan, once recorded, is fixed for the session.
+        let mut batchable: Option<bool> = None;
+        let mut i = 0;
+        while i < inputs.len() {
+            // A single (or final) element takes the sequential path — it
+            // is also how the session's first run records the plan.
+            let can_batch = inputs.len() - i > 1
+                && self.plan.is_some()
+                && *batchable.get_or_insert_with(|| {
+                    plan_batchable(
+                        self.mode,
+                        self.planning,
+                        self.validate,
+                        &self.plan,
+                        &self.accel,
+                        compiled,
+                    )
+                });
+            if can_batch {
+                let n = (inputs.len() - i).min(MAX_LANES);
+                self.run_chunk_batched(
+                    compiled,
+                    &inputs[i..i + n],
+                    &mut outs[i..i + n],
+                    &mut statuses,
+                );
+                i += n;
+            } else {
+                let st = self.run_impl(compiled, &inputs[i], None, &mut outs[i]);
+                statuses.push(st);
+                i += 1;
+            }
+        }
+        statuses
+    }
+
+    /// Runs a batch of inferences, failing on the first per-element
+    /// error — the historical signature, now a thin wrapper over
+    /// [`Simulator::run_batch_results`]. Unlike the historical behaviour,
+    /// every input is attempted before the first error (if any) is
+    /// reported.
+    ///
+    /// # Errors
+    /// Same as [`Simulator::run`].
     pub fn run_batch(
         &mut self,
         compiled: &CompiledNetwork,
         inputs: &[Tensor],
     ) -> Result<Vec<RunResult>, SimError> {
-        let mut results = Vec::with_capacity(inputs.len());
-        for input in inputs {
-            let mut out = RunResult::empty();
-            self.run_impl(compiled, input, None, &mut out)?;
-            results.push(out);
+        let mut outs = Vec::new();
+        let statuses = self.run_batch_into(compiled, inputs, &mut outs);
+        for st in statuses {
+            st?;
         }
-        Ok(results)
+        Ok(outs)
+    }
+
+    /// Executes one batched chunk: per-element admission and fault
+    /// pre-walk in batch order, then one batched plan replay over the
+    /// elements that passed, then per-element result assembly. Pushes one
+    /// status per element onto `statuses`.
+    fn run_chunk_batched(
+        &mut self,
+        compiled: &CompiledNetwork,
+        inputs: &[Tensor],
+        outs: &mut [RunResult],
+        statuses: &mut Vec<Result<(), SimError>>,
+    ) {
+        let n = inputs.len();
+        let cfg = *self.accel.config();
+        let po = cfg.po;
+        self.batch.ensure(&cfg, n);
+        let start = statuses.len();
+
+        // Element-order pre-walk: shape check, input staging, and the
+        // element's complete fault/cancellation decision stream — drawn
+        // exactly as `B` sequential runs would draw it (the decisions are
+        // data-independent, so pre-walking them preserves the stream).
+        for (lane, input) in self.batch.lanes[..n].iter_mut().zip(inputs) {
+            let faults = &mut self.faults;
+            let stop = self.stop.as_ref();
+            let st = (|| -> Result<(), SimError> {
+                if input.shape() != compiled.input_shape() {
+                    return Err(SimError::InputMismatch {
+                        detail: format!(
+                            "expected {}, got {}",
+                            compiled.input_shape(),
+                            input.shape()
+                        ),
+                    });
+                }
+                compiled.write_input(&mut lane.mem, input).map_err(|e| {
+                    SimError::InputMismatch {
+                        detail: e.to_string(),
+                    }
+                })?;
+                match faults.as_deref_mut() {
+                    Some(f) => {
+                        f.begin_run()?;
+                        for layer in compiled.layers() {
+                            fault::check_program(f, stop, layer.program(), layer.name(), po)?;
+                        }
+                    }
+                    None => {
+                        if stop.is_some_and(StopToken::is_cancelled) {
+                            let stage = compiled
+                                .layers()
+                                .first()
+                                .map(|l| l.name().to_string())
+                                .unwrap_or_default();
+                            return Err(SimError::Cancelled { stage });
+                        }
+                    }
+                }
+                Ok(())
+            })();
+            statuses.push(st);
+        }
+
+        // One batched replay over the lanes whose element passed. A
+        // faulted element's lane is excluded entirely — its outputs are
+        // unobservable, exactly as after a sequential faulted run.
+        let status = &mut statuses[start..];
+        let mut live: Vec<&mut BatchLane> = self.batch.lanes[..n]
+            .iter_mut()
+            .zip(status.iter())
+            .filter_map(|(lane, st)| st.is_ok().then_some(lane))
+            .collect();
+        let plan = self
+            .plan
+            .as_ref()
+            .expect("batched chunks only run on planned sessions");
+        if !live.is_empty() {
+            let mut exec = Ok(());
+            for (layer, lp) in compiled.layers().iter().zip(&plan.layers) {
+                exec = self.accel.replay_stage_batched(
+                    layer.program(),
+                    &lp.packs,
+                    &mut live,
+                    layer.name(),
+                    self.stop.as_ref(),
+                );
+                if exec.is_err() {
+                    break;
+                }
+            }
+            if let Err(e) = exec {
+                // Mid-execution failure (cancellation or a malformed
+                // program) has no single owning element; every live
+                // element reports it.
+                for st in status.iter_mut().filter(|s| s.is_ok()) {
+                    *st = Err(e.clone());
+                }
+            }
+        }
+        drop(live);
+
+        // Assemble per-element results: the plan's cached per-stage stats
+        // (identical to what a sequential replay reports) plus the lane's
+        // output tensor.
+        for ((lane, st), out) in self.batch.lanes[..n]
+            .iter_mut()
+            .zip(status.iter())
+            .zip(outs.iter_mut())
+        {
+            if st.is_ok() {
+                out.stage_stats.clear();
+                out.total_cycles = 0.0;
+                for lp in &plan.layers {
+                    out.total_cycles += lp.stats.cycles;
+                    out.stage_stats.push(lp.stats.clone());
+                }
+                compiled.read_output_into(&lane.mem, &mut out.output);
+            }
+        }
     }
 
     /// Like [`Simulator::run`], additionally returning each stage's
@@ -347,6 +556,7 @@ impl Simulator {
             ExternalMemory::new()
         };
         self.plan = None;
+        self.batch = BatchState::default();
         if let Some(f) = self.faults.as_deref_mut() {
             f.clear_wedge();
         }
@@ -509,6 +719,58 @@ impl Simulator {
     pub fn memory(&self) -> &ExternalMemory {
         &self.mem
     }
+}
+
+/// Whether a session's recorded plan supports whole-batch replay: a
+/// functional, planning, non-validating session whose plan carries one
+/// complete weight pack (and, where the unit initializes with bias, a
+/// complete bias row) for **every** COMP of every layer. The batched
+/// executor has no unpacked fallback, so any gap routes the batch down
+/// the sequential path instead.
+fn plan_batchable(
+    mode: SimMode,
+    planning: bool,
+    validate: bool,
+    plan: &Option<SessionPlan>,
+    accel: &Accelerator,
+    compiled: &CompiledNetwork,
+) -> bool {
+    if mode != SimMode::Functional || !planning || validate {
+        return false;
+    }
+    let Some(plan) = plan.as_ref() else {
+        return false;
+    };
+    let cfg = accel.config();
+    let pt2 = cfg.tile.pt() * cfg.tile.pt();
+    if plan.layers.len() != compiled.layers().len() {
+        return false;
+    }
+    compiled
+        .layers()
+        .iter()
+        .zip(&plan.layers)
+        .all(|(layer, lp)| {
+            let mut packs = lp.packs.iter();
+            let complete = layer.program().instructions().iter().all(|inst| {
+                let Instruction::Comp(c) = inst else {
+                    return true;
+                };
+                let Some(pack) = packs.next() else {
+                    return false;
+                };
+                let k_lanes = c.oc_vecs as usize * cfg.po;
+                let c_lanes = c.ic_vecs as usize * cfg.pi;
+                let want = if c.wino {
+                    k_lanes * c_lanes * pt2
+                } else {
+                    k_lanes * c_lanes * c.kernel_h as usize * c.kernel_w as usize
+                };
+                pack.weights.len() == want
+                    && (!(c.acc_init && c.bias_en) || pack.bias.len() == k_lanes)
+            });
+            complete && packs.next().is_none()
+        })
 }
 
 #[cfg(test)]

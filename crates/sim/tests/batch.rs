@@ -1,0 +1,228 @@
+//! Batched-execution equivalence: `run_batch` / `run_batch_results` over
+//! `B` inputs must be **bit-identical**, element by element, to `B`
+//! sequential [`Simulator::run`] calls on an identically prepared session
+//! — outputs, cycles, per-stage stats, *and* error outcomes, including
+//! under deterministic fault injection (the batched pre-walk draws each
+//! element's fault stream in batch order, so the same faults must hit the
+//! same elements). This is the contract that lets the serving stack route
+//! admitted batches through one `O(weights + B·activations)` replay.
+
+use hybriddnn_compiler::{CompiledNetwork, Compiler, MappingStrategy};
+use hybriddnn_estimator::{AcceleratorConfig, ConvMode, Dataflow};
+use hybriddnn_model::{synth, zoo, Network, NetworkBuilder, Shape, Tensor};
+use hybriddnn_sim::{FaultPlan, SimError, SimMode, Simulator};
+use hybriddnn_winograd::TileConfig;
+use proptest::prelude::*;
+
+fn cfg() -> AcceleratorConfig {
+    AcceleratorConfig::new(4, 4, TileConfig::F2x2)
+}
+
+/// Asserts `batch.run_batch_results(inputs)` matches running the same
+/// inputs one by one on `seq` — outcome kind and, for successes, every
+/// observable bit for bit.
+fn assert_batch_matches_sequential(
+    batch: &mut Simulator,
+    seq: &mut Simulator,
+    compiled: &CompiledNetwork,
+    inputs: &[Tensor],
+    what: &str,
+) {
+    let got = batch.run_batch_results(compiled, inputs);
+    assert_eq!(got.len(), inputs.len());
+    for (i, (g, input)) in got.iter().zip(inputs).enumerate() {
+        let want = seq.run(compiled, input);
+        match (g, &want) {
+            (Ok(g), Ok(w)) => {
+                let gb: Vec<u32> = g.output.as_slice().iter().map(|v| v.to_bits()).collect();
+                let wb: Vec<u32> = w.output.as_slice().iter().map(|v| v.to_bits()).collect();
+                assert_eq!(gb, wb, "{what}: outputs diverged at element {i}");
+                assert_eq!(
+                    g.total_cycles, w.total_cycles,
+                    "{what}: cycles diverged at element {i}"
+                );
+                assert_eq!(
+                    g.stage_stats, w.stage_stats,
+                    "{what}: stats diverged at element {i}"
+                );
+            }
+            (Err(g), Err(w)) => {
+                assert_eq!(
+                    format!("{g:?}"),
+                    format!("{w:?}"),
+                    "{what}: error diverged at element {i}"
+                );
+            }
+            _ => panic!(
+                "{what}: outcome diverged at element {i}: batched {:?} vs sequential {:?}",
+                g.as_ref().map(|_| ()),
+                want.as_ref().map(|_| ())
+            ),
+        }
+    }
+}
+
+fn strategies(net: &Network) -> Vec<MappingStrategy> {
+    let mut out = Vec::new();
+    for mode in [ConvMode::Spatial, ConvMode::Winograd] {
+        for df in [Dataflow::InputStationary, Dataflow::WeightStationary] {
+            out.push(MappingStrategy::uniform(net, mode, df));
+        }
+    }
+    out
+}
+
+fn check_network(mut net: Network, seed: u64) {
+    synth::bind_random(&mut net, seed).unwrap();
+    for (si, strategy) in strategies(&net).iter().enumerate() {
+        let compiled = Compiler::new(cfg()).compile(&net, strategy).unwrap();
+        for threads in [1usize, 4] {
+            let mut batch = Simulator::with_threads(&compiled, SimMode::Functional, 16.0, threads);
+            let mut seq = Simulator::with_threads(&compiled, SimMode::Functional, 16.0, threads);
+            // Fresh sessions: element 0 of the first batch records the
+            // plan on both sides, later elements replay it batched vs
+            // sequentially.
+            let mut next = 0u64;
+            for b in [1usize, 3, 16] {
+                let inputs: Vec<_> = (0..b)
+                    .map(|_| {
+                        next += 1;
+                        synth::tensor(net.input_shape(), seed ^ next)
+                    })
+                    .collect();
+                assert_batch_matches_sequential(
+                    &mut batch,
+                    &mut seq,
+                    &compiled,
+                    &inputs,
+                    &format!("strategy {si}, threads {threads}, B={b}"),
+                );
+            }
+            assert!(batch.has_plan());
+        }
+    }
+}
+
+#[test]
+fn tiny_cnn_batched_is_bit_identical() {
+    check_network(zoo::tiny_cnn(), 201);
+}
+
+#[test]
+fn stem_cnn_batched_is_bit_identical() {
+    check_network(zoo::stem_cnn(), 202);
+}
+
+#[test]
+fn single_conv_5x5_batched_is_bit_identical() {
+    check_network(zoo::single_conv(12, 4, 8, 5), 203);
+}
+
+#[test]
+fn batched_faults_hit_the_same_elements_as_sequential() {
+    let mut net = zoo::tiny_cnn();
+    synth::bind_random(&mut net, 204).unwrap();
+    let strategy = MappingStrategy::all_winograd(&net);
+    let compiled = Compiler::new(cfg()).compile(&net, &strategy).unwrap();
+    for (dram, save, wedge) in [(0.02, 0.0, 0.0), (0.0, 0.05, 0.0), (0.01, 0.01, 0.002)] {
+        let mut batch = Simulator::new(&compiled, SimMode::Functional, 16.0);
+        let mut seq = Simulator::new(&compiled, SimMode::Functional, 16.0);
+        // Warm both sessions so every element replays the plan, then arm
+        // the *same* deterministic fault plan on both.
+        let warm = synth::tensor(net.input_shape(), 1);
+        batch.run(&compiled, &warm).unwrap();
+        seq.run(&compiled, &warm).unwrap();
+        let plan = FaultPlan::new(42)
+            .with_dram_rate(dram)
+            .with_save_rate(save)
+            .with_wedge_rate(wedge);
+        batch.arm_faults(plan.clone());
+        seq.arm_faults(plan);
+        let inputs: Vec<_> = (0..16)
+            .map(|i| synth::tensor(net.input_shape(), 300 + i))
+            .collect();
+        assert_batch_matches_sequential(
+            &mut batch,
+            &mut seq,
+            &compiled,
+            &inputs,
+            &format!("faults dram={dram} save={save} wedge={wedge}"),
+        );
+    }
+}
+
+#[test]
+fn a_bad_input_faults_only_its_own_slot() {
+    let mut net = zoo::tiny_cnn();
+    synth::bind_random(&mut net, 205).unwrap();
+    let strategy = MappingStrategy::all_winograd(&net);
+    let compiled = Compiler::new(cfg()).compile(&net, &strategy).unwrap();
+    let mut batch = Simulator::new(&compiled, SimMode::Functional, 16.0);
+    let mut seq = Simulator::new(&compiled, SimMode::Functional, 16.0);
+    let mut inputs: Vec<_> = (0..6)
+        .map(|i| synth::tensor(net.input_shape(), 400 + i))
+        .collect();
+    inputs[2] = Tensor::zeros(Shape::new(1, 2, 2));
+    let got = batch.run_batch_results(&compiled, &inputs);
+    for (i, (g, input)) in got.iter().zip(&inputs).enumerate() {
+        let want = seq.run(&compiled, input);
+        assert_eq!(g.is_ok(), want.is_ok(), "outcome diverged at element {i}");
+        if i == 2 {
+            assert!(matches!(g, Err(SimError::InputMismatch { .. })));
+        } else {
+            let (g, w) = (g.as_ref().unwrap(), want.as_ref().unwrap());
+            assert_eq!(
+                g.output.as_slice(),
+                w.output.as_slice(),
+                "good element {i} was perturbed by the bad one"
+            );
+        }
+    }
+    // The legacy all-or-nothing wrapper reports the first error.
+    assert!(matches!(
+        batch.run_batch(&compiled, &inputs),
+        Err(SimError::InputMismatch { .. })
+    ));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random small network × mode/dataflow mix × batch size: batched
+    /// execution is bit-identical to sequential runs.
+    #[test]
+    fn random_network_batched_matches_sequential(
+        tile in prop_oneof![Just(TileConfig::F2x2), Just(TileConfig::F4x4)],
+        channels in prop::collection::vec(1usize..5, 1..3),
+        kernel in prop_oneof![Just(1usize), Just(3)],
+        hw in prop_oneof![Just(8usize), Just(12)],
+        wino in any::<bool>(),
+        b in 2usize..8,
+        seed in 0u64..10_000,
+    ) {
+        let mut nb = NetworkBuilder::new(Shape::new(3, hw, hw));
+        let mut c_in = 3usize;
+        for (i, &c_out) in channels.iter().enumerate() {
+            nb = nb.conv(&format!("c{i}"), c_in, c_out * 2, kernel);
+            c_in = c_out * 2;
+        }
+        let mut net = nb.fc("f", 10).build().expect("consistent chain");
+        synth::bind_random(&mut net, seed).expect("binds");
+        let mode = if wino { ConvMode::Winograd } else { ConvMode::Spatial };
+        let strategy = MappingStrategy::uniform(&net, mode, Dataflow::InputStationary);
+        let acc = AcceleratorConfig::new(4, 4, tile);
+        let compiled = Compiler::new(acc).compile(&net, &strategy).expect("fits");
+        let mut batch = Simulator::new(&compiled, SimMode::Functional, 16.0);
+        let mut seq = Simulator::new(&compiled, SimMode::Functional, 16.0);
+        let inputs: Vec<_> = (0..b)
+            .map(|i| synth::tensor(net.input_shape(), seed ^ (0x9e37 + i as u64)))
+            .collect();
+        let got = batch.run_batch(&compiled, &inputs).expect("runs");
+        for (i, (g, input)) in got.iter().zip(&inputs).enumerate() {
+            let w = seq.run(&compiled, input).expect("runs");
+            let gb: Vec<u32> = g.output.as_slice().iter().map(|v| v.to_bits()).collect();
+            let wb: Vec<u32> = w.output.as_slice().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(gb, wb, "outputs diverged at element {}", i);
+        }
+    }
+}

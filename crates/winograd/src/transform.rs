@@ -208,6 +208,7 @@ fn sandwich(m: &[f64], rows_m: usize, cols_m: usize, x: &[f64]) -> Vec<f64> {
 /// Allocation-free [`sandwich`]: `out` must hold `rows_m²` values; `t` is
 /// caller-owned scratch, resized as needed so its allocation can be reused
 /// across calls.
+#[inline]
 fn sandwich_into(
     m: &[f64],
     rows_m: usize,
@@ -216,11 +217,28 @@ fn sandwich_into(
     out: &mut [f64],
     t: &mut Vec<f64>,
 ) {
+    t.resize(rows_m * cols_m, 0.0);
+    sandwich_buf(m, rows_m, cols_m, x, out, t);
+}
+
+/// [`sandwich_into`] over a caller-sized scratch slice (`t.len() ≥
+/// rows_m · cols_m`) — the form the simulator's batched kernels use so
+/// the inner loop carries no `Vec` bookkeeping. Identical operation
+/// order to [`sandwich_into`], so results match it bit for bit.
+#[inline]
+fn sandwich_buf(
+    m: &[f64],
+    rows_m: usize,
+    cols_m: usize,
+    x: &[f64],
+    out: &mut [f64],
+    t: &mut [f64],
+) {
     debug_assert_eq!(m.len(), rows_m * cols_m);
     debug_assert_eq!(x.len(), cols_m * cols_m);
     debug_assert_eq!(out.len(), rows_m * rows_m);
+    let t = &mut t[..rows_m * cols_m];
     // t = M · X  (rows_m × cols_m)
-    t.resize(rows_m * cols_m, 0.0);
     for i in 0..rows_m {
         for j in 0..cols_m {
             let mut acc = 0.0;
@@ -258,6 +276,7 @@ pub fn transform_input_tile(cfg: TileConfig, d: &[f64]) -> Vec<f64> {
 ///
 /// # Panics
 /// Panics in debug builds if `d.len() != PT²` or `out.len() != PT²`.
+#[inline]
 pub fn transform_input_tile_into(cfg: TileConfig, d: &[f64], out: &mut [f64], t: &mut Vec<f64>) {
     if cfg == TileConfig::F2x2 {
         input_tile_f2(d, out);
@@ -267,9 +286,26 @@ pub fn transform_input_tile_into(cfg: TileConfig, d: &[f64], out: &mut [f64], t:
     sandwich_into(cfg.bt(), pt, pt, d, out, t);
 }
 
+/// [`transform_input_tile_into`] over a caller-sized scratch slice
+/// (`t.len() ≥ PT²`) — no `Vec` bookkeeping in the hot loop. Identical
+/// operation order, so the result is bit-identical.
+///
+/// # Panics
+/// Panics in debug builds if `d.len() != PT²` or `out.len() != PT²`.
+#[inline]
+pub fn transform_input_tile_buf(cfg: TileConfig, d: &[f64], out: &mut [f64], t: &mut [f64]) {
+    if cfg == TileConfig::F2x2 {
+        input_tile_f2(d, out);
+        return;
+    }
+    let pt = cfg.pt();
+    sandwich_buf(cfg.bt(), pt, pt, d, out, t);
+}
+
 /// `F(2×2, 3×3)` input transform specialised to `Bᵀ`'s 0/±1 entries: the
 /// generic matmul degenerates to add/sub chains (each ±1 product is exact,
 /// so the values match [`sandwich_into`] for all finite inputs).
+#[inline]
 fn input_tile_f2(d: &[f64], out: &mut [f64]) {
     debug_assert_eq!(d.len(), 16);
     debug_assert_eq!(out.len(), 16);
@@ -323,6 +359,7 @@ pub fn transform_output_tile(cfg: TileConfig, y: &[f64]) -> Vec<f64> {
 ///
 /// # Panics
 /// Panics in debug builds if `y.len() != PT²` or `out.len() != m²`.
+#[inline]
 pub fn transform_output_tile_into(cfg: TileConfig, y: &[f64], out: &mut [f64], t: &mut Vec<f64>) {
     if cfg == TileConfig::F2x2 {
         output_tile_f2(y, out);
@@ -331,8 +368,24 @@ pub fn transform_output_tile_into(cfg: TileConfig, y: &[f64], out: &mut [f64], t
     sandwich_into(cfg.at(), cfg.m(), cfg.pt(), y, out, t);
 }
 
+/// [`transform_output_tile_into`] over a caller-sized scratch slice
+/// (`t.len() ≥ m · PT`) — no `Vec` bookkeeping in the hot loop. Identical
+/// operation order, so the result is bit-identical.
+///
+/// # Panics
+/// Panics in debug builds if `y.len() != PT²` or `out.len() != m²`.
+#[inline]
+pub fn transform_output_tile_buf(cfg: TileConfig, y: &[f64], out: &mut [f64], t: &mut [f64]) {
+    if cfg == TileConfig::F2x2 {
+        output_tile_f2(y, out);
+        return;
+    }
+    sandwich_buf(cfg.at(), cfg.m(), cfg.pt(), y, out, t);
+}
+
 /// `F(2×2, 3×3)` output transform specialised to `Aᵀ`'s 0/±1 entries —
 /// the [`input_tile_f2`] treatment for the inverse transform.
+#[inline]
 fn output_tile_f2(y: &[f64], out: &mut [f64]) {
     debug_assert_eq!(y.len(), 16);
     debug_assert_eq!(out.len(), 4);
@@ -417,6 +470,36 @@ mod tests {
             let mut spec_o = vec![0.0; 4];
             output_tile_f2(&d, &mut spec_o);
             assert_eq!(sandwich(cfg.at(), 2, 4, &d), spec_o);
+        }
+    }
+
+    #[test]
+    fn buf_transforms_match_vec_transforms_bit_for_bit() {
+        // The slice-scratch variants the batched simulator kernels use
+        // must be indistinguishable from the Vec-scratch originals.
+        let mut x = 0.3f64;
+        let mut next = move || {
+            x = (x * 991.0 + 0.17) % 1.0;
+            x - 0.5
+        };
+        for cfg in TileConfig::EXTENDED {
+            let pt = cfg.pt();
+            let m = cfg.m();
+            for _ in 0..32 {
+                let d: Vec<f64> = (0..pt * pt).map(|_| next()).collect();
+                let mut a = vec![0.0; pt * pt];
+                let mut b = vec![0.0; pt * pt];
+                let mut tv = Vec::new();
+                let mut tb = vec![0.0; pt * pt];
+                transform_input_tile_into(cfg, &d, &mut a, &mut tv);
+                transform_input_tile_buf(cfg, &d, &mut b, &mut tb);
+                assert!(a.iter().zip(&b).all(|(x, y)| x.to_bits() == y.to_bits()));
+                let mut oa = vec![0.0; m * m];
+                let mut ob = vec![0.0; m * m];
+                transform_output_tile_into(cfg, &d, &mut oa, &mut tv);
+                transform_output_tile_buf(cfg, &d, &mut ob, &mut tb);
+                assert!(oa.iter().zip(&ob).all(|(x, y)| x.to_bits() == y.to_bits()));
+            }
         }
     }
 

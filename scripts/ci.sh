@@ -48,6 +48,27 @@ echo "    $one"
 echo "==> stage_probe smoke test (session-plan record/replay)"
 BENCH_JSON="$(mktemp)" ./target/release/examples/stage_probe > /dev/null
 
+# Batched-execution smoke test: batch_probe measures functional µs per
+# batch element at B ∈ {1, 4, 16}; B=16 must beat B=1 per-run — the
+# O(weights + B·activations) amortization of the batched kernels. The
+# asserted floor is 1.0x (strictly faster), not the ~2x this host
+# records, so a loaded CI machine doesn't flake the gate.
+echo "==> batch_probe smoke test (B=16 must beat B=1 per-run)"
+probe_out="$(BENCH_JSON="$(mktemp)" ./target/release/examples/batch_probe)"
+echo "$probe_out" | sed 's/^/    /'
+ratio=$(echo "$probe_out" | awk '/amortization/ {gsub(/x$/, "", $NF); print $NF}')
+if ! awk -v r="$ratio" 'BEGIN {exit !(r > 1.0)}'; then
+    echo "batched execution no faster than sequential (ratio ${ratio}x)" >&2
+    exit 1
+fi
+
+# Batched 1-vs-4-thread output equality: the batch suite pins batched
+# runs bit-identical to sequential ones at both thread counts (outputs,
+# cycles, stage stats, and error outcomes).
+echo "==> batched output equality, 1 vs 4 threads"
+cargo test -q --offline --release -p hybriddnn-sim --test batch \
+    tiny_cnn_batched_is_bit_identical
+
 # Schedule-replay validation: run the CLI twice in one session with the
 # cached timing schedule cross-checked against a full re-simulation.
 echo "==> --validate-plan smoke test"
