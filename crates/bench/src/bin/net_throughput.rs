@@ -1,94 +1,301 @@
 //! Network-serving throughput: requests/s through the full TCP stack
 //! (wire codec → registry → batching runtime → wire codec) and its
-//! scaling from one connection to several.
+//! scaling from a handful of connections to thousands.
 //!
 //! ```text
 //! cargo run --release -p hybriddnn-bench --bin net_throughput
 //! ```
 //!
 //! The default mode starts an in-process server on an ephemeral
-//! loopback port (zoo `tiny-cnn`, timing-only, 4 workers), drives it
-//! closed-loop — each connection keeps a bounded window of pipelined
-//! requests in flight and matches the out-of-order completions by
-//! request id — and appends a host-tagged `net_throughput` record to
-//! `BENCH_sim.json` comparing 1-connection and multi-connection rates.
+//! loopback port (zoo `tiny-cnn`, timing-only, 4 workers) and sweeps
+//! connection tiers — 4, 256, 1024, and 4096 concurrent sockets. The
+//! load generator dogfoods `hybriddnn-net`: one thread multiplexes the
+//! whole fleet over a [`Poller`], keeping a bounded global window of
+//! pipelined requests in flight (closed loop) and matching the
+//! out-of-order completions by request id. Per tier it records
+//! requests/s and the process peak RSS (`VmHWM`, reset via
+//! `/proc/self/clear_refs` so each tier reports its own high-water
+//! mark) into a `net_throughput` record in `BENCH_sim.json`. The
+//! pre-reactor 4-connection numbers live on under
+//! `net_throughput_pr7_baseline`. A final paced open-loop pass at 1024
+//! connections issues requests on a fixed clock instead of on
+//! completions — the serving-latency-under-load shape rather than the
+//! saturation shape.
 //!
 //! With `--addr HOST:PORT` it instead acts as a load generator against
-//! an already-running `hybriddnn serve-net` (CI's smoke path): it runs
-//! a burst of `INFER` plus periodic `STATS` probes over the first
-//! registered model, prints the measured throughput, and with
-//! `--drain` asks the server to shut down afterwards. The remote mode
-//! assumes the served model takes `tiny-cnn`-shaped inputs (CI serves
-//! exactly that); no JSON record is written.
+//! an already-running `hybriddnn serve-net` (CI's smoke path): by
+//! default one blocking connection runs a burst of `INFER` plus
+//! periodic `STATS` probes; `--conns N` switches to the same
+//! event-driven fleet driver the local sweep uses. `--drain` asks the
+//! server to shut down afterwards. The remote mode assumes the served
+//! model takes `tiny-cnn`-shaped inputs (CI serves exactly that); no
+//! JSON record is written.
 
 use hybriddnn_bench::bench_json::Record;
 use hybriddnn_model::{synth, zoo, Tensor};
-use hybriddnn_server::{zoo_resolver, Body, Client, LoadRequest, Registry, Server, ServerConfig};
-use std::net::SocketAddr;
+use hybriddnn_net::{raise_nofile_limit, Interest, Poller, Token};
+use hybriddnn_server::protocol::{StreamDecoder, MAX_PAYLOAD};
+use hybriddnn_server::{
+    zoo_resolver, Body, Client, Frame, LoadRequest, Registry, Server, ServerConfig,
+};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-/// Closed-loop requests for the in-process measurement (per
-/// connection-count tier).
+/// Closed-loop requests per connection-count tier.
 const REQUESTS: usize = 6_000;
-/// Connections in the multi-connection tier.
-const FAN_CONNS: usize = 4;
-/// Pipelined in-flight window per connection.
-const WINDOW: usize = 64;
+/// Global pipelined in-flight cap across the whole fleet. Matches the
+/// pre-reactor bench's 4 connections × 64-deep windows, and stays at
+/// the runtime's default queue capacity so the closed loop exercises
+/// throughput, not `QueueFull` rejects.
+const WINDOW: usize = 256;
 /// Service workers behind the in-process server.
 const WORKERS: u32 = 4;
+/// Connection-count tiers of the local sweep.
+const TIERS: [usize; 4] = [4, 256, 1024, 4096];
+/// Offset of the request id in the 32-byte wire header.
+const REQ_ID_OFF: usize = 8;
 
-/// Drives `total` timing-only inferences through one connection with a
-/// bounded pipeline window, returning the count actually served.
-fn drive(addr: SocketAddr, model_id: u32, input: &Tensor, total: usize) -> usize {
-    let mut client = Client::connect(addr).expect("connect");
-    let mut in_flight = 0usize;
+// ---------------------------------------------------------------------
+// Event-driven fleet driver
+// ---------------------------------------------------------------------
+
+/// One connection of the load fleet.
+struct FleetConn {
+    stream: TcpStream,
+    decoder: StreamDecoder,
+    /// Encoded request bytes not yet accepted by the socket.
+    out: Vec<u8>,
+    out_pos: usize,
+    next_id: u64,
+    /// Interest currently registered with the poller.
+    interest: (bool, bool),
+}
+
+impl FleetConn {
+    /// Writes as much queued output as the socket accepts.
+    fn flush(&mut self) -> io::Result<()> {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_pos == self.out.len() {
+            // Release the allocation rather than keep per-connection
+            // capacity parked: across thousands of connections the
+            // allocator then recycles one hot chunk instead of pinning
+            // a request-sized buffer per socket.
+            self.out = Vec::new();
+            self.out_pos = 0;
+        }
+        Ok(())
+    }
+
+    /// Appends one request (the template with a fresh id patched in).
+    fn push_request(&mut self, template: &[u8]) {
+        let at = self.out.len();
+        self.out.extend_from_slice(template);
+        let id = self.next_id;
+        self.next_id += 1;
+        self.out[at + REQ_ID_OFF..at + REQ_ID_OFF + 8].copy_from_slice(&id.to_le_bytes());
+    }
+}
+
+/// Outcome of one fleet run.
+struct FleetStats {
+    served: usize,
+    rejected: usize,
+    elapsed: Duration,
+}
+
+/// Drives `total` requests over `conns` connections from one thread.
+///
+/// Closed loop by default: a new request is issued whenever the global
+/// in-flight count dips under [`WINDOW`]. With `pace` set, requests are
+/// issued on a fixed clock (`pace` req/s across the fleet) regardless
+/// of completions — open loop — still capped at [`WINDOW`] in flight so
+/// an overloaded server sheds into client-side delay, not `QueueFull`.
+fn drive_fleet(
+    addr: SocketAddr,
+    template: &[u8],
+    conns: usize,
+    total: usize,
+    pace: Option<f64>,
+) -> FleetStats {
+    let mut poller = Poller::new().expect("poller");
+    let mut fleet: Vec<FleetConn> = (0..conns)
+        .map(|i| {
+            let stream = TcpStream::connect(addr).expect("connect");
+            stream.set_nodelay(true).expect("nodelay");
+            stream.set_nonblocking(true).expect("nonblocking");
+            {
+                use std::os::unix::io::AsRawFd;
+                poller
+                    .register(stream.as_raw_fd(), Token(i), Interest::READABLE)
+                    .expect("register");
+            }
+            FleetConn {
+                stream,
+                decoder: StreamDecoder::new(MAX_PAYLOAD),
+                out: Vec::new(),
+                out_pos: 0,
+                next_id: 1,
+                interest: (true, false),
+            }
+        })
+        .collect();
+
+    let mut events = Vec::new();
+    let mut chunk = [0u8; 4096];
     let mut sent = 0usize;
     let mut served = 0usize;
-    while sent < total || in_flight > 0 {
-        while sent < total && in_flight < WINDOW {
-            client
-                .send(
-                    model_id,
-                    0,
-                    Body::InferTiming {
-                        tensor: input.clone(),
-                    },
-                )
-                .expect("send");
+    let mut rejected = 0usize;
+    let mut in_flight = 0usize;
+    let mut next_conn = 0usize;
+    let start = Instant::now();
+
+    while served + rejected < total {
+        // Issue phase: top the window up (closed loop) or follow the
+        // pace clock (open loop).
+        let budget = match pace {
+            None => (total - sent).min(WINDOW - in_flight),
+            Some(rate) => {
+                let target = (start.elapsed().as_secs_f64() * rate) as usize;
+                (target.min(total) - sent).min(WINDOW - in_flight)
+            }
+        };
+        for _ in 0..budget {
+            let conn = &mut fleet[next_conn];
+            conn.push_request(template);
+            conn.flush().expect("write request");
             sent += 1;
             in_flight += 1;
+            next_conn = (next_conn + 1) % fleet.len();
         }
-        let frame = client.recv().expect("recv");
-        in_flight -= 1;
-        match frame.body {
-            Body::Timing(_) => served += 1,
-            Body::Error(e) if e.is_backpressure() => {
-                // Closed-loop with a modest window should never trip
-                // backpressure; tolerate it anyway (the request simply
-                // is not re-issued).
+
+        // Reconcile writable interest for connections with backlog.
+        for (i, conn) in fleet.iter_mut().enumerate() {
+            let desired = (true, !conn.out.is_empty());
+            if desired != conn.interest {
+                use std::os::unix::io::AsRawFd;
+                poller
+                    .reregister(
+                        conn.stream.as_raw_fd(),
+                        Token(i),
+                        Interest {
+                            readable: desired.0,
+                            writable: desired.1,
+                        },
+                    )
+                    .expect("reregister");
+                conn.interest = desired;
             }
-            other => panic!("unexpected response {:?}", other.opcode()),
+        }
+
+        // Wait for completions (or the next pace tick).
+        let timeout = match pace {
+            None => Duration::from_millis(100),
+            Some(_) => Duration::from_millis(1),
+        };
+        poller.wait(&mut events, Some(timeout)).expect("poll");
+
+        for ev in &events {
+            let conn = &mut fleet[ev.token.0];
+            if ev.writable {
+                conn.flush().expect("flush backlog");
+            }
+            if !(ev.readable || ev.closed) {
+                continue;
+            }
+            loop {
+                match conn.stream.read(&mut chunk) {
+                    Ok(0) => panic!("server closed a fleet connection"),
+                    Ok(n) => conn.decoder.extend(&chunk[..n]),
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(e) => panic!("fleet read: {e}"),
+                }
+            }
+            while let Some(frame) = conn.decoder.next_frame().expect("decode response") {
+                in_flight -= 1;
+                match frame.body {
+                    Body::Timing(_) | Body::Output(_) => served += 1,
+                    Body::Error(e) if e.is_backpressure() => rejected += 1,
+                    other => panic!("unexpected response {:?}", other.opcode()),
+                }
+            }
+            conn.decoder.shrink();
         }
     }
-    served
+    FleetStats {
+        served,
+        rejected,
+        elapsed: start.elapsed(),
+    }
 }
 
-/// One throughput tier: `conns` connections × `REQUESTS / conns`
-/// pipelined requests each. Returns requests/s.
-fn measure(addr: SocketAddr, model_id: u32, input: &Tensor, conns: usize) -> f64 {
-    let per_conn = REQUESTS / conns;
-    let start = Instant::now();
-    let served: usize = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..conns)
-            .map(|_| scope.spawn(move || drive(addr, model_id, input, per_conn)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("driver")).sum()
-    });
-    served as f64 / start.elapsed().as_secs_f64()
+/// Pre-encodes one `INFER_TIMING` request frame; the driver stamps a
+/// fresh request id into the copy it queues.
+fn request_template(model_id: u32, input: &Tensor) -> Vec<u8> {
+    let mut frame = Frame::new(
+        0,
+        Body::InferTiming {
+            tensor: input.clone(),
+        },
+    );
+    frame.model_id = model_id;
+    frame.encode()
 }
+
+// ---------------------------------------------------------------------
+// Peak-RSS bookkeeping (Linux)
+// ---------------------------------------------------------------------
+
+/// Resets the process peak-RSS watermark so the next read reflects only
+/// what happened after this call. Best-effort (needs Linux ≥ 4.0).
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Returns freed heap pages to the OS so the next tier's watermark
+/// measures that tier's working set, not allocator retention from the
+/// tiers before it. glibc-specific; a no-op elsewhere.
+#[cfg(target_os = "linux")]
+fn trim_heap() {
+    extern "C" {
+        fn malloc_trim(pad: usize) -> i32;
+    }
+    unsafe {
+        malloc_trim(0);
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn trim_heap() {}
+
+/// `VmHWM` in kiB, 0 when unavailable.
+fn peak_rss_kb() -> u64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("VmHWM:"))
+                .and_then(|v| v.trim().trim_end_matches(" kB").trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+// ---------------------------------------------------------------------
+// Local sweep
+// ---------------------------------------------------------------------
 
 fn run_local() {
+    let _ = raise_nofile_limit(2 * TIERS[TIERS.len() - 1] as u64 + 64);
     let registry = Arc::new(Registry::new(zoo_resolver()));
     let mut load = LoadRequest::new("tiny-cnn", "tiny-cnn", "vu9p");
     load.functional = false;
@@ -97,38 +304,67 @@ fn run_local() {
     let server = Server::bind(
         Arc::clone(&registry),
         "127.0.0.1:0",
-        ServerConfig::default(),
+        ServerConfig {
+            max_connections: 8192,
+            ..ServerConfig::default()
+        },
     )
     .expect("bind");
     let addr = server.local_addr();
     let input = synth::tensor(zoo::tiny_cnn().input_shape(), 7);
+    let template = request_template(model_id, &input);
 
     // Warm the service (first batch pays simulator session setup).
-    drive(addr, model_id, &input, 256);
+    drive_fleet(addr, &template, 4, 256, None);
 
-    let rps_1 = measure(addr, model_id, &input, 1);
-    let rps_n = measure(addr, model_id, &input, FAN_CONNS);
-    let scaling = rps_n / rps_1;
-    println!("net_throughput: tiny-cnn timing-only, {WORKERS} workers, window {WINDOW}");
-    println!("  1 connection : {rps_1:>10.0} req/s");
-    println!("  {FAN_CONNS} connections: {rps_n:>10.0} req/s  ({scaling:.2}x)");
-
-    let stats = server.shutdown();
-    assert_eq!(stats.failed, 0, "clean run must not fail requests");
-
-    Record::new("net_throughput")
+    println!("net_throughput: tiny-cnn timing-only, {WORKERS} workers, global window {WINDOW}");
+    let mut record = Record::new("net_throughput");
+    record
         .str("model", "tiny-cnn")
         .int("workers", u64::from(WORKERS))
         .int("window", WINDOW as u64)
-        .int("requests_per_tier", REQUESTS as u64)
-        .num("conns1_rps", rps_1)
-        .int("fan_conns", FAN_CONNS as u64)
-        .num("fan_rps", rps_n)
-        .num("scaling", scaling)
-        .save();
+        .int("requests_per_tier", REQUESTS as u64);
+
+    let mut tier_rps = Vec::new();
+    for &conns in &TIERS {
+        trim_heap();
+        reset_peak_rss();
+        let stats = drive_fleet(addr, &template, conns, REQUESTS, None);
+        let hwm = peak_rss_kb();
+        let rps = stats.served as f64 / stats.elapsed.as_secs_f64();
+        assert!(stats.served > 0, "tier {conns} served nothing");
+        println!(
+            "  {conns:>5} connections: {rps:>10.0} req/s  (peak RSS {:.1} MiB, {} rejected)",
+            hwm as f64 / 1024.0,
+            stats.rejected
+        );
+        record
+            .num(&format!("rps_c{conns}"), rps)
+            .int(&format!("hwm_kb_c{conns}"), hwm);
+        tier_rps.push(rps);
+    }
+    record.num("scaling_c1024", tier_rps[2] / tier_rps[0]);
+
+    // Paced open loop at 1024 connections: issue on a clock at half the
+    // measured saturation rate and confirm the fleet keeps up.
+    let pace = tier_rps[2] * 0.5;
+    let stats = drive_fleet(addr, &template, 1024, REQUESTS, Some(pace));
+    let paced_rps = stats.served as f64 / stats.elapsed.as_secs_f64();
+    println!("  paced open loop: {paced_rps:>10.0} req/s served at a {pace:.0} req/s clock");
+    record
+        .num("pace_target_rps", pace)
+        .num("paced_rps_c1024", paced_rps);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.failed, 0, "clean run must not fail requests");
+    record.save();
 }
 
-fn run_remote(addr: &str, requests: usize, drain: bool) {
+// ---------------------------------------------------------------------
+// Remote load generator (CI smoke)
+// ---------------------------------------------------------------------
+
+fn run_remote(addr: &str, requests: usize, conns: usize, drain: bool) {
     let mut client = Client::connect(addr).expect("connect to serve-net");
     client.ping().expect("ping");
     let models = client.list_models().expect("list models");
@@ -140,48 +376,70 @@ fn run_remote(addr: &str, requests: usize, drain: bool) {
     let model_id = model.model_id;
     let input = synth::tensor(zoo::tiny_cnn().input_shape(), 7);
 
-    let start = Instant::now();
-    let mut served = 0usize;
-    let mut in_flight: Vec<u64> = Vec::new();
-    for i in 0..requests {
-        let id = client
-            .send(
-                model_id,
-                0,
-                Body::Infer {
-                    tensor: input.clone(),
-                },
-            )
-            .expect("send");
-        in_flight.push(id);
-        // Periodic STATS probes ride the same pipelined connection.
-        if i % 64 == 32 {
-            let stats = client.stats().expect("stats");
-            assert!(stats.models >= 1);
+    if conns > 1 {
+        let _ = raise_nofile_limit(2 * conns as u64 + 64);
+        let sock: SocketAddr = {
+            use std::net::ToSocketAddrs;
+            addr.to_socket_addrs()
+                .expect("resolve addr")
+                .next()
+                .expect("resolved addr")
+        };
+        let template = request_template(model_id, &input);
+        let stats = drive_fleet(sock, &template, conns, requests, None);
+        println!(
+            "load-gen: {}/{requests} served over {conns} connections in {:?} — {:.0} req/s \
+             ({} rejected)",
+            stats.served,
+            stats.elapsed,
+            stats.served as f64 / stats.elapsed.as_secs_f64(),
+            stats.rejected,
+        );
+        assert!(stats.served > 0, "load generator served nothing");
+    } else {
+        let start = Instant::now();
+        let mut served = 0usize;
+        let mut in_flight: Vec<u64> = Vec::new();
+        for i in 0..requests {
+            let id = client
+                .send(
+                    model_id,
+                    0,
+                    Body::Infer {
+                        tensor: input.clone(),
+                    },
+                )
+                .expect("send");
+            in_flight.push(id);
+            // Periodic STATS probes ride the same pipelined connection.
+            if i % 64 == 32 {
+                let stats = client.stats().expect("stats");
+                assert!(stats.models >= 1);
+            }
+            if in_flight.len() >= 64 {
+                let frame = client.recv_for(in_flight.remove(0)).expect("recv");
+                if matches!(frame.body, Body::Output(_)) {
+                    served += 1;
+                }
+            }
         }
-        if in_flight.len() >= WINDOW {
-            let frame = client.recv_for(in_flight.remove(0)).expect("recv");
+        for id in in_flight.drain(..) {
+            let frame = client.recv_for(id).expect("recv");
             if matches!(frame.body, Body::Output(_)) {
                 served += 1;
             }
         }
+        let elapsed = start.elapsed();
+        let stats = client.stats().expect("final stats");
+        println!(
+            "load-gen: {served}/{requests} served in {elapsed:?} — {:.0} req/s \
+             ({} completed server-side, {} failed)",
+            served as f64 / elapsed.as_secs_f64(),
+            stats.completed,
+            stats.failed,
+        );
+        assert!(served > 0, "load generator served nothing");
     }
-    for id in in_flight.drain(..) {
-        let frame = client.recv_for(id).expect("recv");
-        if matches!(frame.body, Body::Output(_)) {
-            served += 1;
-        }
-    }
-    let elapsed = start.elapsed();
-    let stats = client.stats().expect("final stats");
-    println!(
-        "load-gen: {served}/{requests} served in {elapsed:?} — {:.0} req/s \
-         ({} completed server-side, {} failed)",
-        served as f64 / elapsed.as_secs_f64(),
-        stats.completed,
-        stats.failed,
-    );
-    assert!(served > 0, "load generator served nothing");
     if drain {
         client.drain().expect("drain");
         println!("load-gen: server acknowledged drain");
@@ -191,6 +449,7 @@ fn run_remote(addr: &str, requests: usize, drain: bool) {
 fn main() {
     let mut addr = None;
     let mut requests = 512usize;
+    let mut conns = 1usize;
     let mut drain = false;
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -202,12 +461,18 @@ fn main() {
                     .and_then(|v| v.parse().ok())
                     .expect("--requests requires a count")
             }
+            "--conns" => {
+                conns = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--conns requires a count")
+            }
             "--drain" => drain = true,
-            other => panic!("unknown flag `{other}` (expected --addr/--requests/--drain)"),
+            other => panic!("unknown flag `{other}` (expected --addr/--requests/--conns/--drain)"),
         }
     }
     match addr {
-        Some(addr) => run_remote(&addr, requests, drain),
+        Some(addr) => run_remote(&addr, requests, conns, drain),
         None => run_local(),
     }
 }

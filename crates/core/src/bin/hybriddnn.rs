@@ -51,8 +51,8 @@
 //! ```text
 //! hybriddnn serve-net <MODEL.hdnn|tiny-cnn|vgg-tiny> <DEVICE.fpga|vu9p|pynq-z1>
 //!           [--port N] [--name NAME] [--workers N] [--functional]
-//!           [--quota N] [--max-conns N] [--fault-rate F] [--fault-seed N]
-//!           [--retries N] [--seed N] [--threads N]
+//!           [--quota N] [--max-conns N] [--io-threads N] [--fault-rate F]
+//!           [--fault-seed N] [--retries N] [--seed N] [--threads N]
 //! ```
 //!
 //! It preloads the model into a registry (more can be hot-loaded over
@@ -258,6 +258,7 @@ struct ServeNetArgs {
     functional: bool,
     quota: u32,
     max_conns: usize,
+    io_threads: usize,
     fault_rate: f64,
     fault_seed: Option<u64>,
     retries: u32,
@@ -273,6 +274,7 @@ fn parse_serve_net_args<I: Iterator<Item = String>>(mut it: I) -> Result<ServeNe
     let mut functional = false;
     let mut quota = 0u32;
     let mut max_conns = 64usize;
+    let mut io_threads = 0usize;
     let mut fault_rate = 0.0f64;
     let mut fault_seed = None;
     let mut retries = 0u32;
@@ -295,6 +297,7 @@ fn parse_serve_net_args<I: Iterator<Item = String>>(mut it: I) -> Result<ServeNe
             "--functional" => functional = true,
             "--quota" => quota = value(&mut it, "--quota")?,
             "--max-conns" => max_conns = value(&mut it, "--max-conns")?,
+            "--io-threads" => io_threads = value(&mut it, "--io-threads")?,
             "--fault-rate" => fault_rate = value(&mut it, "--fault-rate")?,
             "--fault-seed" => fault_seed = Some(value(&mut it, "--fault-seed")?),
             "--retries" => retries = value(&mut it, "--retries")?,
@@ -322,6 +325,7 @@ fn parse_serve_net_args<I: Iterator<Item = String>>(mut it: I) -> Result<ServeNe
         functional,
         quota,
         max_conns,
+        io_threads,
         fault_rate,
         fault_seed,
         retries,
@@ -364,10 +368,13 @@ fn run_serve_net(args: ServeNetArgs) -> Result<(), String> {
         retries: args.retries,
     };
     let model_id = registry.load_blocking(request).map_err(|e| e.to_string())?;
-    let config = ServerConfig {
+    let mut config = ServerConfig {
         max_connections: args.max_conns,
         ..ServerConfig::default()
     };
+    if args.io_threads > 0 {
+        config.io_threads = args.io_threads;
+    }
     let server = Server::bind(
         std::sync::Arc::clone(&registry),
         &format!("127.0.0.1:{}", args.port),
@@ -755,8 +762,8 @@ fn main() -> ExitCode {
                     "usage: hybriddnn serve-net <MODEL.hdnn|tiny-cnn|vgg-tiny> \
                      <DEVICE.fpga|vu9p|pynq-z1> [--port N] [--name NAME] \
                      [--workers N] [--functional] [--quota N] [--max-conns N] \
-                     [--fault-rate F] [--fault-seed N] [--retries N] [--seed N] \
-                     [--threads N]"
+                     [--io-threads N] [--fault-rate F] [--fault-seed N] \
+                     [--retries N] [--seed N] [--threads N]"
                 );
                 ExitCode::FAILURE
             }

@@ -1,0 +1,35 @@
+//! Std-only nonblocking reactor primitives for the HybridDNN serving
+//! stack.
+//!
+//! This crate is the event-driven substrate `crates/server` runs on:
+//!
+//! * [`Poller`] — an epoll-backed readiness selector (level-triggered)
+//!   with a POSIX `poll(2)` fallback on non-Linux unix, registration
+//!   [`Token`]s, an [`Interest`] set, and a cross-thread [`Waker`].
+//! * [`TimerWheel`] — deadline-ordered timers (idle timeouts, drain
+//!   grace periods) replacing per-socket `set_read_timeout` ticks.
+//! * [`RingBuf`] — a contiguous-window ring buffer that frames decode
+//!   out of incrementally with zero intermediate copies.
+//! * [`BufPool`] — recycled byte buffers keeping the steady-state
+//!   response write path alloc-free.
+//! * [`raise_nofile_limit`] — an `RLIMIT_NOFILE` helper for
+//!   high-concurrency load generators.
+//!
+//! No external dependencies: the few syscalls needed are declared by
+//! hand in `sys` (std already links libc). Everything here is
+//! runtime-agnostic — no futures, no executor — just the readiness
+//! loop, which is all a single-digit-thread serving front-end needs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_op_in_unsafe_fn)]
+
+mod poller;
+mod pool;
+mod ring;
+mod sys;
+mod timer;
+
+pub use poller::{raise_nofile_limit, Event, Interest, Poller, Token, Waker};
+pub use pool::BufPool;
+pub use ring::RingBuf;
+pub use timer::{TimerKey, TimerWheel};

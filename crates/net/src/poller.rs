@@ -1,0 +1,143 @@
+//! Readiness polling: `Poller`, registration `Token`s, and a cross-thread
+//! `Waker`.
+//!
+//! A `Poller` owns one OS selector (epoll on Linux, poll(2) elsewhere)
+//! plus a self-wake channel: a nonblocking socketpair whose read half is
+//! registered under a reserved internal token. Any thread holding the
+//! matching [`Waker`] can interrupt a blocked [`Poller::wait`], which is
+//! how reactor command queues (new connection, response ready, drain)
+//! get serviced promptly without timeouts doing the work.
+
+use crate::sys::{self, Selector};
+use std::io::{self, Read, Write};
+use std::os::unix::io::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+pub use crate::sys::{Interest, RawEvent};
+
+/// Caller-chosen registration key; reported back in every [`Event`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Token(pub usize);
+
+/// Reserved for the poller's internal wake channel; never user-visible.
+const WAKER_TOKEN: usize = usize::MAX;
+
+/// One readiness notification delivered by [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: Token,
+    /// The fd is readable (data, EOF, or a pending accept).
+    pub readable: bool,
+    /// The fd is writable.
+    pub writable: bool,
+    /// Error or hangup; the connection should be torn down after any
+    /// final readable data is consumed.
+    pub closed: bool,
+}
+
+/// Wakes a [`Poller`] blocked in [`Poller::wait`] from another thread.
+///
+/// Cloneable (via `Arc` internally) and cheap: a wake is a 1-byte write
+/// to a nonblocking socketpair; if the pair is already full a wakeup is
+/// already pending and the write is a no-op.
+#[derive(Clone)]
+pub struct Waker {
+    tx: Arc<UnixStream>,
+}
+
+impl Waker {
+    /// Interrupt the paired poller's current (or next) `wait`.
+    pub fn wake(&self) {
+        // WouldBlock means unread wake bytes are already queued — the
+        // poller is guaranteed to wake — so ignoring the error is safe.
+        let _ = (&*self.tx).write(&[1u8]);
+    }
+}
+
+/// OS-backed readiness poller with token registration and self-wake.
+pub struct Poller {
+    selector: Selector,
+    wake_rx: UnixStream,
+    waker: Waker,
+    raw: Vec<RawEvent>,
+}
+
+impl Poller {
+    /// Create a poller and its internal wake channel.
+    pub fn new() -> io::Result<Poller> {
+        let selector = Selector::new()?;
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        selector.register(wake_rx.as_raw_fd(), WAKER_TOKEN, Interest::READABLE)?;
+        Ok(Poller {
+            selector,
+            wake_rx,
+            waker: Waker {
+                tx: Arc::new(wake_tx),
+            },
+            raw: Vec::with_capacity(1024),
+        })
+    }
+
+    /// A handle other threads can use to interrupt [`Poller::wait`].
+    pub fn waker(&self) -> Waker {
+        self.waker.clone()
+    }
+
+    /// Start watching `fd` under `token` for `interest`.
+    ///
+    /// `Token(usize::MAX)` is reserved for the internal wake channel.
+    pub fn register(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        assert_ne!(token.0, WAKER_TOKEN, "Token(usize::MAX) is reserved");
+        self.selector.register(fd, token.0, interest)
+    }
+
+    /// Change the interest set of an existing registration.
+    pub fn reregister(&self, fd: RawFd, token: Token, interest: Interest) -> io::Result<()> {
+        assert_ne!(token.0, WAKER_TOKEN, "Token(usize::MAX) is reserved");
+        self.selector.reregister(fd, token.0, interest)
+    }
+
+    /// Stop watching `fd`. Must be called before the fd is closed.
+    pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+        self.selector.deregister(fd)
+    }
+
+    /// Block until at least one event, the timeout, or a wake.
+    ///
+    /// Appends readiness to `events` (cleared first). Returns `true` if
+    /// a cross-thread wake was consumed — the caller should drain its
+    /// command queue in that case. A `None` timeout blocks indefinitely.
+    pub fn wait(&mut self, events: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<bool> {
+        events.clear();
+        self.raw.clear();
+        self.selector.wait(&mut self.raw, timeout)?;
+        let mut woken = false;
+        for ev in &self.raw {
+            if ev.token == WAKER_TOKEN {
+                woken = true;
+                // Drain every pending wake byte so level-triggered
+                // readiness doesn't spin the loop.
+                let mut sink = [0u8; 64];
+                while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+                continue;
+            }
+            events.push(Event {
+                token: Token(ev.token),
+                readable: ev.readable,
+                writable: ev.writable,
+                closed: ev.closed,
+            });
+        }
+        Ok(woken)
+    }
+}
+
+/// Re-export of the rlimit helper so binaries need only this crate.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    sys::raise_nofile_limit(want)
+}

@@ -1,0 +1,88 @@
+//! Shared buffer pool for the alloc-free response write path.
+//!
+//! Response bodies used to be encoded into a fresh `Vec<u8>` per reply
+//! and dropped after the socket write. `BufPool` recycles those
+//! vectors: the completion pump checks one out, encodes into it, and
+//! the reactor returns it once the bytes are on the wire. Two caps keep
+//! the pool honest — a count cap bounds idle memory, and a per-buffer
+//! capacity cap stops one giant tensor response from pinning megabytes
+//! forever.
+
+use std::sync::Mutex;
+
+/// Mutex-guarded stack of recycled byte buffers.
+#[derive(Debug)]
+pub struct BufPool {
+    bufs: Mutex<Vec<Vec<u8>>>,
+    max_pooled: usize,
+    max_buf_capacity: usize,
+}
+
+impl BufPool {
+    /// A pool retaining at most `max_pooled` buffers, discarding any
+    /// returned buffer whose capacity exceeds `max_buf_capacity`.
+    pub fn new(max_pooled: usize, max_buf_capacity: usize) -> BufPool {
+        BufPool {
+            bufs: Mutex::new(Vec::new()),
+            max_pooled,
+            max_buf_capacity,
+        }
+    }
+
+    /// Check out an empty buffer (recycled when available).
+    pub fn get(&self) -> Vec<u8> {
+        self.bufs.lock().unwrap().pop().unwrap_or_default()
+    }
+
+    /// Return a buffer for reuse; cleared here, dropped if over caps.
+    pub fn put(&self, mut buf: Vec<u8>) {
+        if buf.capacity() == 0 || buf.capacity() > self.max_buf_capacity {
+            return;
+        }
+        buf.clear();
+        let mut bufs = self.bufs.lock().unwrap();
+        if bufs.len() < self.max_pooled {
+            bufs.push(buf);
+        }
+    }
+
+    /// Number of buffers currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.bufs.lock().unwrap().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::BufPool;
+
+    #[test]
+    fn recycles_capacity() {
+        let pool = BufPool::new(4, 1 << 20);
+        let mut b = pool.get();
+        b.extend_from_slice(&[1u8; 100]);
+        let cap = b.capacity();
+        pool.put(b);
+        assert_eq!(pool.idle(), 1);
+        let b2 = pool.get();
+        assert!(b2.is_empty());
+        assert_eq!(b2.capacity(), cap);
+        assert_eq!(pool.idle(), 0);
+    }
+
+    #[test]
+    fn caps_are_enforced() {
+        let pool = BufPool::new(2, 64);
+        // Oversized buffer is dropped, not pooled.
+        pool.put(Vec::with_capacity(128));
+        assert_eq!(pool.idle(), 0);
+        // Count cap: only two retained.
+        for _ in 0..5 {
+            pool.put(Vec::with_capacity(16));
+        }
+        assert_eq!(pool.idle(), 2);
+        // Zero-capacity buffers aren't worth pooling.
+        pool.put(Vec::new());
+        assert_eq!(pool.idle(), 2);
+    }
+}

@@ -1,0 +1,188 @@
+//! Contiguous-window ring buffer for incremental frame decoding.
+//!
+//! `RingBuf` keeps unconsumed bytes in one contiguous slice so a frame
+//! decoder can borrow `&buf[..]` directly — zero intermediate copies on
+//! the hot path. Consuming advances a head offset instead of memmoving
+//! the tail (the per-frame `Vec::drain` the thread-per-connection server
+//! paid); compaction happens only when the write cursor hits capacity
+//! and there is dead space to reclaim, and the whole buffer resets to
+//! offset zero whenever it empties — the common case for pipelined
+//! request streams that drain between wakeups.
+
+/// Growable byte buffer with O(1) amortized consume from the front.
+#[derive(Debug, Default)]
+pub struct RingBuf {
+    buf: Vec<u8>,
+    head: usize,
+    tail: usize,
+}
+
+impl RingBuf {
+    /// An empty buffer with no backing allocation yet.
+    pub fn new() -> RingBuf {
+        RingBuf::default()
+    }
+
+    /// An empty buffer with `cap` bytes preallocated.
+    pub fn with_capacity(cap: usize) -> RingBuf {
+        RingBuf {
+            buf: vec![0; cap],
+            head: 0,
+            tail: 0,
+        }
+    }
+
+    /// Number of unconsumed bytes.
+    pub fn len(&self) -> usize {
+        self.tail - self.head
+    }
+
+    /// True when no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// The unconsumed bytes as one contiguous slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.head..self.tail]
+    }
+
+    /// Drop `n` bytes from the front (they were decoded).
+    ///
+    /// # Panics
+    /// If `n` exceeds [`RingBuf::len`].
+    pub fn consume(&mut self, n: usize) {
+        assert!(n <= self.len(), "consume past end of buffer");
+        self.head += n;
+        if self.head == self.tail {
+            // Empty: reset so future writes use the full capacity
+            // without ever compacting.
+            self.head = 0;
+            self.tail = 0;
+        }
+    }
+
+    /// A writable slice of at least `min` bytes after the live window.
+    ///
+    /// Compacts (one `copy_within`) or grows only when the space between
+    /// the write cursor and capacity is smaller than `min`. Call
+    /// [`RingBuf::advance`] with the number of bytes actually written.
+    pub fn space(&mut self, min: usize) -> &mut [u8] {
+        if self.buf.len() - self.tail < min {
+            let len = self.len();
+            if self.head > 0 {
+                // Reclaim the consumed prefix before considering growth.
+                self.buf.copy_within(self.head..self.tail, 0);
+                self.head = 0;
+                self.tail = len;
+            }
+            if self.buf.len() - self.tail < min {
+                let want = (self.tail + min).max(self.buf.len() * 2).max(64);
+                self.buf.resize(want, 0);
+            }
+        }
+        &mut self.buf[self.tail..]
+    }
+
+    /// Commit `n` bytes written into the slice returned by `space`.
+    ///
+    /// # Panics
+    /// If `n` exceeds the writable space.
+    pub fn advance(&mut self, n: usize) {
+        assert!(
+            self.tail + n <= self.buf.len(),
+            "advance past end of buffer"
+        );
+        self.tail += n;
+    }
+
+    /// Append `bytes`, growing if needed (convenience for tests/clients).
+    pub fn extend_from_slice(&mut self, bytes: &[u8]) {
+        let space = self.space(bytes.len().max(1));
+        space[..bytes.len()].copy_from_slice(bytes);
+        self.advance(bytes.len());
+    }
+
+    /// Current backing allocation in bytes (capacity telemetry).
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Frees the backing allocation if the buffer is empty and its
+    /// capacity exceeds `keep` bytes.
+    ///
+    /// Mostly-idle connections call this after draining a read burst so
+    /// thousands of parked sockets do not each pin a read-chunk-sized
+    /// allocation; the hot path regrows from the allocator's bins, which
+    /// keeps reusing the same chunk instead of growing the heap.
+    pub fn shrink_if_empty(&mut self, keep: usize) {
+        if self.is_empty() && self.buf.len() > keep {
+            self.buf = Vec::new();
+            self.head = 0;
+            self.tail = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::RingBuf;
+
+    #[test]
+    fn consume_resets_when_empty() {
+        let mut rb = RingBuf::with_capacity(8);
+        rb.extend_from_slice(b"abcdef");
+        rb.consume(6);
+        assert!(rb.is_empty());
+        assert_eq!(rb.as_slice(), b"");
+        // head/tail reset: full capacity available without compaction
+        let s = rb.space(8);
+        assert!(s.len() >= 8);
+    }
+
+    #[test]
+    fn partial_consume_keeps_window() {
+        let mut rb = RingBuf::new();
+        rb.extend_from_slice(b"hello world");
+        rb.consume(6);
+        assert_eq!(rb.as_slice(), b"world");
+        rb.extend_from_slice(b"!");
+        assert_eq!(rb.as_slice(), b"world!");
+    }
+
+    #[test]
+    fn compaction_preserves_bytes() {
+        let mut rb = RingBuf::with_capacity(16);
+        rb.extend_from_slice(&[1u8; 12]);
+        rb.consume(10);
+        // 2 live bytes at offset 10; asking for 10 forces compaction.
+        let s = rb.space(10);
+        assert!(s.len() >= 10);
+        s[..3].copy_from_slice(&[2, 3, 4]);
+        rb.advance(3);
+        assert_eq!(rb.as_slice(), &[1, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn shrink_frees_only_when_empty() {
+        let mut rb = RingBuf::new();
+        rb.extend_from_slice(&[7u8; 4096]);
+        rb.consume(4000);
+        rb.shrink_if_empty(0);
+        assert_eq!(rb.as_slice(), &[7u8; 96]); // live bytes survive
+        rb.consume(96);
+        rb.shrink_if_empty(0);
+        assert_eq!(rb.capacity(), 0);
+        rb.extend_from_slice(b"again");
+        assert_eq!(rb.as_slice(), b"again");
+    }
+
+    #[test]
+    fn growth_preserves_bytes() {
+        let mut rb = RingBuf::with_capacity(4);
+        rb.extend_from_slice(b"abcd");
+        rb.extend_from_slice(b"efgh");
+        assert_eq!(rb.as_slice(), b"abcdefgh");
+        assert!(rb.capacity() >= 8);
+    }
+}

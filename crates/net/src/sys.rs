@@ -1,0 +1,382 @@
+//! Raw OS bindings for the poller.
+//!
+//! The crate is std-only by policy, so the handful of syscalls the
+//! reactor needs are declared by hand here (std already links libc, so
+//! the symbols resolve without any external crate). Two backends are
+//! provided behind one `Selector` type:
+//!
+//! * **Linux** — `epoll` in level-triggered mode. Level-triggered keeps
+//!   the reactor logic simple: readiness is re-reported until the
+//!   condition is consumed, so a partial read never strands a socket.
+//! * **Other unix** — POSIX `poll(2)` over a rebuilt pollfd array. This
+//!   is the portable fallback named in the design (macOS/BSD would use
+//!   kqueue for scale; `poll` keeps them correct without another ~300
+//!   lines of bindings the CI host can never exercise).
+//!
+//! Both backends expose the same readiness vocabulary: readable,
+//! writable, and closed (error/hangup), keyed by a caller-chosen token.
+
+#![allow(non_camel_case_types)]
+
+use std::io;
+
+pub type c_int = i32;
+
+/// Readiness of one registered file descriptor, as reported by the OS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RawEvent {
+    /// Caller-chosen key supplied at registration time.
+    pub token: usize,
+    /// Data can be read (or an incoming connection accepted).
+    pub readable: bool,
+    /// The socket send buffer has room.
+    pub writable: bool,
+    /// Error or hangup: the peer is gone or the fd is dead.
+    pub closed: bool,
+}
+
+/// Which readiness conditions a registration listens for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Report when the fd becomes readable.
+    pub readable: bool,
+    /// Report when the fd becomes writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Listen for readability only.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Listen for writability only.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Listen for both readability and writability.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+}
+
+/// Raise the process `RLIMIT_NOFILE` soft limit towards `want`.
+///
+/// Returns the soft limit now in effect. High-concurrency benches call
+/// this before opening thousands of sockets; the hard limit caps what we
+/// can ask for without privileges.
+pub fn raise_nofile_limit(want: u64) -> io::Result<u64> {
+    #[repr(C)]
+    struct rlimit {
+        rlim_cur: u64,
+        rlim_max: u64,
+    }
+    // RLIMIT_NOFILE is 7 on Linux and 8 on most BSDs/macOS.
+    #[cfg(target_os = "linux")]
+    const RLIMIT_NOFILE: c_int = 7;
+    #[cfg(not(target_os = "linux"))]
+    const RLIMIT_NOFILE: c_int = 8;
+    extern "C" {
+        fn getrlimit(resource: c_int, rlim: *mut rlimit) -> c_int;
+        fn setrlimit(resource: c_int, rlim: *const rlimit) -> c_int;
+    }
+    let mut lim = rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    if unsafe { getrlimit(RLIMIT_NOFILE, &mut lim) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    if lim.rlim_cur >= want {
+        return Ok(lim.rlim_cur);
+    }
+    lim.rlim_cur = want.min(lim.rlim_max);
+    if unsafe { setrlimit(RLIMIT_NOFILE, &lim) } != 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(lim.rlim_cur)
+}
+
+#[cfg(target_os = "linux")]
+pub use epoll::Selector;
+#[cfg(all(unix, not(target_os = "linux")))]
+pub use posix_poll::Selector;
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::{c_int, Interest, RawEvent};
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::time::Duration;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const EPOLL_CTL_ADD: c_int = 1;
+    const EPOLL_CTL_DEL: c_int = 2;
+    const EPOLL_CTL_MOD: c_int = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    // The kernel ABI packs this struct on x86-64 (12 bytes, not 16).
+    #[repr(C)]
+    #[cfg_attr(target_arch = "x86_64", repr(packed))]
+    #[derive(Clone, Copy)]
+    struct epoll_event {
+        events: u32,
+        data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: c_int) -> c_int;
+        fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut epoll_event) -> c_int;
+        fn epoll_wait(
+            epfd: c_int,
+            events: *mut epoll_event,
+            maxevents: c_int,
+            timeout: c_int,
+        ) -> c_int;
+        fn close(fd: c_int) -> c_int;
+    }
+
+    /// epoll-backed readiness selector (level-triggered).
+    pub struct Selector {
+        epfd: RawFd,
+        buf: Vec<epoll_event>,
+    }
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Selector {
+                epfd,
+                buf: vec![epoll_event { events: 0, data: 0 }; 1024],
+            })
+        }
+
+        fn ctl(&self, op: c_int, fd: RawFd, interest: Interest, token: usize) -> io::Result<()> {
+            let mut events = EPOLLRDHUP;
+            if interest.readable {
+                events |= EPOLLIN;
+            }
+            if interest.writable {
+                events |= EPOLLOUT;
+            }
+            let mut ev = epoll_event {
+                events,
+                data: token as u64,
+            };
+            let evp = if op == EPOLL_CTL_DEL {
+                std::ptr::null_mut()
+            } else {
+                &mut ev
+            };
+            if unsafe { epoll_ctl(self.epfd, op, fd, evp) } != 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn register(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, interest, token)
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, interest, token)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.ctl(
+                EPOLL_CTL_DEL,
+                fd,
+                Interest {
+                    readable: false,
+                    writable: false,
+                },
+                0,
+            )
+        }
+
+        pub fn wait(
+            &mut self,
+            out: &mut Vec<RawEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            let millis: c_int = match timeout {
+                None => -1,
+                // Round up so a 100µs deadline doesn't become a spin.
+                Some(d) => {
+                    d.as_millis().min(i32::MAX as u128) as c_int
+                        + if d.subsec_nanos() % 1_000_000 != 0 {
+                            1
+                        } else {
+                            0
+                        }
+                }
+            };
+            let n = unsafe {
+                epoll_wait(
+                    self.epfd,
+                    self.buf.as_mut_ptr(),
+                    self.buf.len() as c_int,
+                    millis,
+                )
+            };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for ev in &self.buf[..n as usize] {
+                let bits = ev.events;
+                out.push(RawEvent {
+                    token: ev.data as usize,
+                    readable: bits & (EPOLLIN | EPOLLRDHUP | EPOLLHUP) != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    closed: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            if n as usize == self.buf.len() {
+                // Saturated the event buffer: grow so a 4k-connection
+                // stampede doesn't take multiple wakeups to observe.
+                let ev = epoll_event { events: 0, data: 0 };
+                self.buf.resize(self.buf.len() * 2, ev);
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Selector {
+        fn drop(&mut self) {
+            unsafe { close(self.epfd) };
+        }
+    }
+}
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod posix_poll {
+    use super::{c_int, Interest, RawEvent};
+    use std::collections::HashMap;
+    use std::io;
+    use std::os::unix::io::RawFd;
+    use std::sync::Mutex;
+    use std::time::Duration;
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct pollfd {
+        fd: c_int,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut pollfd, nfds: u64, timeout: c_int) -> c_int;
+    }
+
+    /// poll(2)-backed fallback selector for non-Linux unix hosts.
+    ///
+    /// O(n) per wakeup, which is fine for the fallback role; Linux hosts
+    /// (CI, production) get the epoll backend.
+    pub struct Selector {
+        registered: Mutex<HashMap<RawFd, (usize, Interest)>>,
+        fds: Vec<pollfd>,
+        tokens: Vec<usize>,
+    }
+
+    impl Selector {
+        pub fn new() -> io::Result<Selector> {
+            Ok(Selector {
+                registered: Mutex::new(HashMap::new()),
+                fds: Vec::new(),
+                tokens: Vec::new(),
+            })
+        }
+
+        pub fn register(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.registered
+                .lock()
+                .unwrap()
+                .insert(fd, (token, interest));
+            Ok(())
+        }
+
+        pub fn reregister(&self, fd: RawFd, token: usize, interest: Interest) -> io::Result<()> {
+            self.register(fd, token, interest)
+        }
+
+        pub fn deregister(&self, fd: RawFd) -> io::Result<()> {
+            self.registered.lock().unwrap().remove(&fd);
+            Ok(())
+        }
+
+        pub fn wait(
+            &mut self,
+            out: &mut Vec<RawEvent>,
+            timeout: Option<Duration>,
+        ) -> io::Result<()> {
+            self.fds.clear();
+            self.tokens.clear();
+            for (&fd, &(token, interest)) in self.registered.lock().unwrap().iter() {
+                let mut events = 0i16;
+                if interest.readable {
+                    events |= POLLIN;
+                }
+                if interest.writable {
+                    events |= POLLOUT;
+                }
+                self.fds.push(pollfd {
+                    fd,
+                    events,
+                    revents: 0,
+                });
+                self.tokens.push(token);
+            }
+            let millis: c_int = match timeout {
+                None => -1,
+                Some(d) => {
+                    d.as_millis().min(i32::MAX as u128) as c_int
+                        + if d.subsec_nanos() % 1_000_000 != 0 {
+                            1
+                        } else {
+                            0
+                        }
+                }
+            };
+            let n = unsafe { poll(self.fds.as_mut_ptr(), self.fds.len() as u64, millis) };
+            if n < 0 {
+                let err = io::Error::last_os_error();
+                if err.kind() == io::ErrorKind::Interrupted {
+                    return Ok(());
+                }
+                return Err(err);
+            }
+            for (pfd, &token) in self.fds.iter().zip(&self.tokens) {
+                let bits = pfd.revents;
+                if bits == 0 {
+                    continue;
+                }
+                out.push(RawEvent {
+                    token,
+                    readable: bits & (POLLIN | POLLHUP) != 0,
+                    writable: bits & POLLOUT != 0,
+                    closed: bits & (POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Deadline-ordered timer wheel for reactor threads.
+//!
+//! Replaces the per-socket `set_read_timeout` tick loops of the old
+//! server: each reactor owns one `TimerWheel`, arms one entry per
+//! connection deadline (idle timeout, drain grace), and derives its
+//! poll timeout from [`TimerWheel::next_deadline`]. Backed by a
+//! `BTreeMap` keyed `(deadline, seq)` — insert, cancel, and
+//! pop-expired are all O(log n), and the sequence number disambiguates
+//! identical deadlines so no entry is ever lost.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Handle identifying one armed timer; pass to [`TimerWheel::cancel`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TimerKey {
+    at: Instant,
+    seq: u64,
+}
+
+/// Deadline-ordered collection of timers carrying a `u64` payload.
+#[derive(Debug, Default)]
+pub struct TimerWheel {
+    entries: BTreeMap<(Instant, u64), u64>,
+    seq: u64,
+}
+
+impl TimerWheel {
+    /// An empty wheel.
+    pub fn new() -> TimerWheel {
+        TimerWheel {
+            entries: BTreeMap::new(),
+            seq: 0,
+        }
+    }
+
+    /// Arm a timer firing at `at`, carrying `data` back on expiry.
+    pub fn insert(&mut self, at: Instant, data: u64) -> TimerKey {
+        self.seq += 1;
+        let key = TimerKey { at, seq: self.seq };
+        self.entries.insert((at, key.seq), data);
+        key
+    }
+
+    /// Disarm `key`. Returns the payload if it had not yet fired.
+    pub fn cancel(&mut self, key: TimerKey) -> Option<u64> {
+        self.entries.remove(&(key.at, key.seq))
+    }
+
+    /// The earliest pending deadline, if any timer is armed.
+    pub fn next_deadline(&self) -> Option<Instant> {
+        self.entries.keys().next().map(|&(at, _)| at)
+    }
+
+    /// How long until the earliest deadline, saturating at zero.
+    ///
+    /// `None` when the wheel is empty (block indefinitely).
+    pub fn timeout_from(&self, now: Instant) -> Option<Duration> {
+        self.next_deadline()
+            .map(|at| at.saturating_duration_since(now))
+    }
+
+    /// Remove and yield the payload of every timer due at or before `now`.
+    pub fn pop_expired(&mut self, now: Instant, out: &mut Vec<u64>) {
+        while let Some((&(at, seq), _)) = self.entries.iter().next() {
+            if at > now {
+                break;
+            }
+            let data = self.entries.remove(&(at, seq)).expect("entry vanished");
+            out.push(data);
+        }
+    }
+
+    /// Number of armed timers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no timers are armed.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TimerWheel;
+    use std::time::{Duration, Instant};
+
+    #[test]
+    fn fires_in_deadline_order() {
+        let mut w = TimerWheel::new();
+        let t0 = Instant::now();
+        w.insert(t0 + Duration::from_millis(30), 3);
+        w.insert(t0 + Duration::from_millis(10), 1);
+        w.insert(t0 + Duration::from_millis(20), 2);
+        let mut out = Vec::new();
+        w.pop_expired(t0 + Duration::from_millis(25), &mut out);
+        assert_eq!(out, vec![1, 2]);
+        assert_eq!(w.len(), 1);
+        out.clear();
+        w.pop_expired(t0 + Duration::from_millis(30), &mut out);
+        assert_eq!(out, vec![3]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn identical_deadlines_all_fire() {
+        let mut w = TimerWheel::new();
+        let at = Instant::now();
+        w.insert(at, 7);
+        w.insert(at, 8);
+        w.insert(at, 9);
+        let mut out = Vec::new();
+        w.pop_expired(at, &mut out);
+        out.sort_unstable();
+        assert_eq!(out, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn cancel_prevents_fire() {
+        let mut w = TimerWheel::new();
+        let t0 = Instant::now();
+        let k = w.insert(t0, 42);
+        w.insert(t0, 43);
+        assert_eq!(w.cancel(k), Some(42));
+        assert_eq!(w.cancel(k), None);
+        let mut out = Vec::new();
+        w.pop_expired(t0 + Duration::from_millis(1), &mut out);
+        assert_eq!(out, vec![43]);
+    }
+
+    #[test]
+    fn timeout_saturates_at_zero() {
+        let mut w = TimerWheel::new();
+        assert!(w.timeout_from(Instant::now()).is_none());
+        let t0 = Instant::now();
+        w.insert(t0, 1);
+        assert_eq!(
+            w.timeout_from(t0 + Duration::from_secs(1)),
+            Some(Duration::ZERO)
+        );
+    }
+}

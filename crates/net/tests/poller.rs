@@ -1,0 +1,137 @@
+//! Integration tests for the reactor primitives against real sockets.
+
+use hybriddnn_net::{Event, Interest, Poller, Token};
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::thread;
+use std::time::{Duration, Instant};
+
+fn wait_for(poller: &mut Poller, events: &mut Vec<Event>, pred: impl Fn(&Event) -> bool) -> Event {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        assert!(Instant::now() < deadline, "timed out waiting for event");
+        poller
+            .wait(events, Some(Duration::from_millis(100)))
+            .unwrap();
+        if let Some(ev) = events.iter().find(|e| pred(e)) {
+            return *ev;
+        }
+    }
+}
+
+#[test]
+fn readiness_accept_read_write() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    listener.set_nonblocking(true).unwrap();
+    let addr = listener.local_addr().unwrap();
+
+    let mut poller = Poller::new().unwrap();
+    poller
+        .register(listener.as_raw_fd(), Token(0), Interest::READABLE)
+        .unwrap();
+
+    let mut client = TcpStream::connect(addr).unwrap();
+    let mut events = Vec::new();
+
+    // Listener becomes readable: a connection is pending.
+    wait_for(&mut poller, &mut events, |e| {
+        e.token == Token(0) && e.readable
+    });
+    let (server_side, _) = listener.accept().unwrap();
+    server_side.set_nonblocking(true).unwrap();
+    poller
+        .register(server_side.as_raw_fd(), Token(1), Interest::BOTH)
+        .unwrap();
+
+    // A fresh socket with room in its send buffer reports writable.
+    wait_for(&mut poller, &mut events, |e| {
+        e.token == Token(1) && e.writable
+    });
+
+    // Client bytes make the server side readable.
+    client.write_all(b"ping").unwrap();
+    wait_for(&mut poller, &mut events, |e| {
+        e.token == Token(1) && e.readable
+    });
+    let mut buf = [0u8; 16];
+    let n = (&server_side).read(&mut buf).unwrap();
+    assert_eq!(&buf[..n], b"ping");
+
+    // Dropping interest in writability stops the writable reports.
+    poller
+        .reregister(server_side.as_raw_fd(), Token(1), Interest::READABLE)
+        .unwrap();
+    poller
+        .wait(&mut events, Some(Duration::from_millis(50)))
+        .unwrap();
+    assert!(!events
+        .iter()
+        .any(|e| e.token == Token(1) && e.writable && !e.readable));
+
+    // Peer hangup reports closed.
+    drop(client);
+    let ev = wait_for(&mut poller, &mut events, |e| {
+        e.token == Token(1) && e.closed
+    });
+    assert!(ev.closed);
+
+    poller.deregister(server_side.as_raw_fd()).unwrap();
+    poller.deregister(listener.as_raw_fd()).unwrap();
+}
+
+#[test]
+fn waker_interrupts_blocked_wait() {
+    let mut poller = Poller::new().unwrap();
+    let waker = poller.waker();
+    let handle = thread::spawn(move || {
+        thread::sleep(Duration::from_millis(50));
+        waker.wake();
+    });
+    let mut events = Vec::new();
+    let start = Instant::now();
+    // Blocks "indefinitely" until the wake arrives.
+    let woken = poller
+        .wait(&mut events, Some(Duration::from_secs(10)))
+        .unwrap();
+    assert!(woken, "wait should report the cross-thread wake");
+    assert!(start.elapsed() < Duration::from_secs(5));
+    assert!(
+        events.is_empty(),
+        "wake channel must not surface as a user event"
+    );
+    handle.join().unwrap();
+}
+
+#[test]
+fn coalesced_wakes_do_not_spin() {
+    let mut poller = Poller::new().unwrap();
+    let waker = poller.waker();
+    for _ in 0..1000 {
+        waker.wake();
+    }
+    let mut events = Vec::new();
+    let woken = poller
+        .wait(&mut events, Some(Duration::from_millis(100)))
+        .unwrap();
+    assert!(woken);
+    // All pending wake bytes were drained: the next wait times out
+    // instead of reporting a stale wake.
+    let woken = poller
+        .wait(&mut events, Some(Duration::from_millis(20)))
+        .unwrap();
+    assert!(!woken);
+}
+
+#[test]
+fn timeout_expires_without_events() {
+    let mut poller = Poller::new().unwrap();
+    let mut events = Vec::new();
+    let start = Instant::now();
+    let woken = poller
+        .wait(&mut events, Some(Duration::from_millis(30)))
+        .unwrap();
+    assert!(!woken);
+    assert!(events.is_empty());
+    assert!(start.elapsed() >= Duration::from_millis(25));
+}

@@ -54,7 +54,10 @@ pub struct ServiceConfig {
     pub queue_capacity: usize,
     /// A batch closes as soon as it holds this many requests…
     pub max_batch_size: usize,
-    /// …or once the oldest queued request has waited this long.
+    /// …or once the oldest queued request has waited this long. The
+    /// wait only applies while every worker is busy: with idle capacity
+    /// and nothing else dispatchable, a partial batch ships immediately
+    /// (holding it would add latency without improving batching).
     pub max_wait: Duration,
     /// Simulation fidelity for served requests.
     pub mode: SimMode,
@@ -326,6 +329,11 @@ struct Ready {
     batches: VecDeque<Batch>,
     /// Set by the batcher after it has flushed its final batch.
     closed: bool,
+    /// Workers currently parked waiting for a batch. The batcher skips
+    /// the max-wait window when capacity is idle and nothing is
+    /// dispatchable — holding a partial batch open only pays when the
+    /// extra wait can be hidden behind a busy worker.
+    idle_workers: usize,
 }
 
 struct Shared {
@@ -420,6 +428,7 @@ impl InferenceService {
             ready: Mutex::new(Ready {
                 batches: VecDeque::new(),
                 closed: false,
+                idle_workers: 0,
             }),
             dispatchable: Condvar::new(),
             metrics: Metrics::default(),
@@ -666,8 +675,9 @@ impl Drop for InferenceService {
     }
 }
 
-/// Forms batches: pops admitted requests, closes a batch on size or on
-/// the max-wait timer, and hands it to the ready queue. On shutdown it
+/// Forms batches: pops admitted requests, closes a batch on size, on
+/// the max-wait timer, or as soon as a worker is idle with nothing else
+/// dispatchable, and hands it to the ready queue. On shutdown it
 /// flushes everything left, then closes the ready queue.
 fn batcher_loop(shared: &Shared) {
     loop {
@@ -681,9 +691,18 @@ fn batcher_loop(shared: &Shared) {
         }
         // Fill window: hold the batch open until it is full, the wait
         // expires, or the service starts draining (drain flushes
-        // immediately).
+        // immediately). Exception: with a worker parked idle and nothing
+        // else dispatchable, the partial batch ships at once — the wait
+        // would be pure added latency, not better batching (the next
+        // batch fills while this one runs).
         let until = Instant::now() + shared.config_max_wait;
         while adm.open && !adm.paused && adm.queue.len() < shared.config_max_batch {
+            {
+                let ready = lock_clean(&shared.ready);
+                if ready.batches.is_empty() && ready.idle_workers > 0 {
+                    break;
+                }
+            }
             let now = Instant::now();
             if now >= until {
                 break;
@@ -813,7 +832,9 @@ fn worker_loop(shared: &Shared, compiled: &CompiledNetwork, params: &WorkerParam
     loop {
         let mut ready = lock_clean(&shared.ready);
         while ready.batches.is_empty() && !ready.closed {
+            ready.idle_workers += 1;
             ready = wait_clean(&shared.dispatchable, ready);
+            ready.idle_workers -= 1;
         }
         if ready.batches.is_empty() {
             break;

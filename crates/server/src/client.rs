@@ -8,13 +8,12 @@
 //! …) are simple send-then-wait wrappers over the same machinery.
 
 use crate::protocol::{
-    try_decode, Body, DecodeError, Frame, LoadRequest, ModelInfo, OutputBody, StatsBody,
+    Body, DecodeError, Frame, LoadRequest, ModelInfo, OutputBody, StatsBody, StreamDecoder,
     TimingBody, WireError, MAX_PAYLOAD,
 };
 use hybriddnn_model::Tensor;
 use std::collections::HashMap;
 use std::fmt;
-use std::io::Read;
 use std::io::Write;
 use std::net::{TcpStream, ToSocketAddrs};
 
@@ -63,7 +62,7 @@ impl From<DecodeError> for ClientError {
 /// A blocking connection to a `hybriddnn-server`.
 pub struct Client {
     stream: TcpStream,
-    buf: Vec<u8>,
+    decoder: StreamDecoder,
     stash: HashMap<u64, Frame>,
     next_id: u64,
 }
@@ -78,7 +77,7 @@ impl Client {
         let _ = stream.set_nodelay(true);
         Ok(Client {
             stream,
-            buf: Vec::with_capacity(4096),
+            decoder: StreamDecoder::new(MAX_PAYLOAD),
             stash: HashMap::new(),
             next_id: 1,
         })
@@ -139,20 +138,17 @@ impl Client {
     }
 
     fn read_frame(&mut self) -> Result<Frame, ClientError> {
-        let mut chunk = [0u8; 16 * 1024];
         loop {
-            if let Some((frame, consumed)) = try_decode(&self.buf, MAX_PAYLOAD)? {
-                self.buf.drain(..consumed);
+            if let Some(frame) = self.decoder.next_frame()? {
                 return Ok(frame);
             }
-            let n = self.stream.read(&mut chunk)?;
+            let n = self.decoder.read_from(&mut self.stream)?;
             if n == 0 {
                 return Err(ClientError::Io(std::io::Error::new(
                     std::io::ErrorKind::UnexpectedEof,
                     "server closed the connection",
                 )));
             }
-            self.buf.extend_from_slice(&chunk[..n]);
         }
     }
 

@@ -2,12 +2,14 @@
 //!
 //! A TCP serving front-end for the HybridDNN runtime: a versioned
 //! binary wire protocol ([`protocol`]), a hot-swappable multi-model
-//! [`registry`], a thread-per-connection pipelined [`server`], and a
-//! blocking [`client`].
+//! [`registry`], an event-driven pipelined [`server`] (a small pool of
+//! reactor threads multiplexing all connections over `hybriddnn-net`'s
+//! epoll poller), and a blocking [`client`].
 //!
 //! The subsystem is std-only — framing, concurrency, and I/O are all
-//! built on `std::net` and `std::thread`, matching the rest of the
-//! workspace. The load-bearing invariants:
+//! built on `std::net`, `std::thread`, and the hand-rolled readiness
+//! primitives in `hybriddnn-net`, matching the rest of the workspace.
+//! The load-bearing invariants:
 //!
 //! - **Exactly one response per request id.** Every admitted frame is
 //!   answered exactly once, even across drain, fault injection, worker

@@ -28,6 +28,7 @@
 //! server promise responses bit-identical to a local `Simulator::run`.
 
 use hybriddnn_model::{Shape, Tensor};
+use hybriddnn_net::RingBuf;
 use hybriddnn_runtime::RuntimeError;
 use hybriddnn_sim::SimError;
 use std::fmt;
@@ -1011,6 +1012,8 @@ pub struct StatsBody {
     pub models: u32,
     /// Open client connections.
     pub connections: u32,
+    /// High-water mark of concurrently open connections.
+    pub peak_connections: u32,
     /// Σ submitted over all model services.
     pub submitted: u64,
     /// Σ completed.
@@ -1023,6 +1026,9 @@ pub struct StatsBody {
     pub rejected: u64,
     /// Σ dispatched batches.
     pub batches: u64,
+    /// Σ dispatches that carried more than one request (batching
+    /// efficiency seen from outside: `batched_dispatches / batches`).
+    pub batched_dispatches: u64,
     /// Σ transient-fault retries.
     pub retries: u64,
     /// Σ replica restarts.
@@ -1194,6 +1200,7 @@ impl Body {
             Body::StatsReply(s) => {
                 put_u32(out, s.models);
                 put_u32(out, s.connections);
+                put_u32(out, s.peak_connections);
                 for v in [
                     s.submitted,
                     s.completed,
@@ -1201,6 +1208,7 @@ impl Body {
                     s.expired,
                     s.rejected,
                     s.batches,
+                    s.batched_dispatches,
                     s.retries,
                     s.restarts,
                     s.quarantines,
@@ -1303,29 +1311,32 @@ pub fn decode_body(opcode: Opcode, payload: &[u8]) -> Result<Body, DecodeError> 
         Opcode::RespStats => {
             let models = cur.u32()?;
             let connections = cur.u32()?;
-            let mut v = [0u64; 16];
+            let peak_connections = cur.u32()?;
+            let mut v = [0u64; 17];
             for slot in &mut v {
                 *slot = cur.u64()?;
             }
             Body::StatsReply(StatsBody {
                 models,
                 connections,
+                peak_connections,
                 submitted: v[0],
                 completed: v[1],
                 failed: v[2],
                 expired: v[3],
                 rejected: v[4],
                 batches: v[5],
-                retries: v[6],
-                restarts: v[7],
-                quarantines: v[8],
-                faults_injected: v[9],
-                faults_observed: v[10],
-                degraded_served: v[11],
-                healthy_workers: v[12],
-                latency_p50_nanos: v[13],
-                latency_p95_nanos: v[14],
-                latency_p99_nanos: v[15],
+                batched_dispatches: v[6],
+                retries: v[7],
+                restarts: v[8],
+                quarantines: v[9],
+                faults_injected: v[10],
+                faults_observed: v[11],
+                degraded_served: v[12],
+                healthy_workers: v[13],
+                latency_p50_nanos: v[14],
+                latency_p95_nanos: v[15],
+                latency_p99_nanos: v[16],
             })
         }
         Opcode::RespPong => {
@@ -1366,19 +1377,30 @@ impl Frame {
 
     /// Serializes header + payload into one buffer ready for the wire.
     pub fn encode(&self) -> Vec<u8> {
-        let mut payload = Vec::new();
-        self.body.encode_payload(&mut payload);
-        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-        put_u16(&mut out, PROTOCOL_VERSION);
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Appends the serialized frame to `out` without any intermediate
+    /// allocation — the payload is encoded in place after the header and
+    /// the header's `payload_len` patched afterwards. This is the entry
+    /// point for pooled response buffers: the same `Vec` cycles through
+    /// pool → encode → socket → pool with no per-frame allocation once
+    /// warm.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        let start = out.len();
+        put_u16(out, PROTOCOL_VERSION);
         out.push(self.body.opcode() as u8);
         out.push(0); // flags
-        put_u32(&mut out, self.model_id);
-        put_u64(&mut out, self.request_id);
-        put_u64(&mut out, self.deadline_micros);
-        put_u32(&mut out, payload.len() as u32);
-        put_u32(&mut out, 0); // reserved
-        out.extend_from_slice(&payload);
-        out
+        put_u32(out, self.model_id);
+        put_u64(out, self.request_id);
+        put_u64(out, self.deadline_micros);
+        put_u32(out, 0); // payload_len, patched below
+        put_u32(out, 0); // reserved
+        self.body.encode_payload(out);
+        let payload_len = (out.len() - start - HEADER_LEN) as u32;
+        out[start + 24..start + 28].copy_from_slice(&payload_len.to_le_bytes());
     }
 }
 
@@ -1411,6 +1433,81 @@ pub fn try_decode(buf: &[u8], max_payload: u32) -> Result<Option<(Frame, usize)>
         },
         total,
     )))
+}
+
+/// Incremental frame decoder over a [`RingBuf`].
+///
+/// The reactor's read path: socket bytes land directly in the ring via
+/// [`StreamDecoder::read_from`] (or [`StreamDecoder::extend`] for
+/// in-memory feeds), and [`StreamDecoder::next_frame`] peels complete
+/// frames off the front, decoding straight out of the ring's contiguous
+/// window — no intermediate copy between the socket buffer and the
+/// decoder. Frames may arrive split at any byte boundary across any
+/// number of reads; decoding is byte-for-byte identical to running
+/// [`try_decode`] on the concatenated stream (pinned by the
+/// `protocol_props` suite).
+#[derive(Debug)]
+pub struct StreamDecoder {
+    ring: RingBuf,
+    max_payload: u32,
+}
+
+/// Socket bytes are pulled in chunks of at least this size.
+const READ_CHUNK: usize = 16 * 1024;
+
+impl StreamDecoder {
+    /// A decoder enforcing `max_payload` as its frame-size ceiling.
+    pub fn new(max_payload: u32) -> StreamDecoder {
+        StreamDecoder {
+            ring: RingBuf::new(),
+            max_payload,
+        }
+    }
+
+    /// Performs one `read` from `r` into the ring's write window.
+    ///
+    /// Returns the byte count (0 = EOF). `WouldBlock` and friends
+    /// surface as `Err` exactly as `Read::read` reports them.
+    pub fn read_from<R: std::io::Read>(&mut self, r: &mut R) -> std::io::Result<usize> {
+        let space = self.ring.space(READ_CHUNK);
+        let n = r.read(space)?;
+        self.ring.advance(n);
+        Ok(n)
+    }
+
+    /// Appends raw bytes (test feeds and in-memory transports).
+    pub fn extend(&mut self, bytes: &[u8]) {
+        self.ring.extend_from_slice(bytes);
+    }
+
+    /// Decodes the next complete frame, if the ring holds one.
+    ///
+    /// `Ok(None)` means "read more". After an `Err` the stream cannot be
+    /// re-synchronized; callers must stop decoding and close.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, DecodeError> {
+        match try_decode(self.ring.as_slice(), self.max_payload)? {
+            Some((frame, consumed)) => {
+                self.ring.consume(consumed);
+                Ok(Some(frame))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Bytes buffered but not yet decoded (partial-frame tail).
+    pub fn buffered(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Releases the ring's allocation if no partial frame is buffered.
+    ///
+    /// The reactor calls this once per connection per wakeup after the
+    /// decode loop drains: a mostly-idle fleet then costs bytes per
+    /// connection, not a read-chunk-sized buffer each, while an active
+    /// connection just regrows from the allocator's free bins.
+    pub fn shrink(&mut self) {
+        self.ring.shrink_if_empty(0);
+    }
 }
 
 #[cfg(test)]

@@ -498,6 +498,7 @@ impl Registry {
                 out.expired += m.expired;
                 out.rejected += m.rejected_full + m.rejected_degraded;
                 out.batches += m.batches;
+                out.batched_dispatches += m.batched_dispatches;
                 out.retries += m.retries;
                 out.restarts += m.restarts;
                 out.quarantines += m.quarantines;

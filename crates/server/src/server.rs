@@ -1,33 +1,45 @@
-//! The TCP connection layer: a thread-per-connection acceptor with a
-//! bounded connection budget, per-connection request pipelining, and
-//! graceful drain.
+//! The TCP connection layer: an event-driven reactor multiplexing all
+//! sockets over a configurable pool of single-digit I/O threads.
 //!
-//! Each accepted connection runs three threads:
+//! The previous incarnation spent three threads per connection (reader,
+//! writer, completion pump) and therefore could not hold thousands of
+//! mostly-idle clients. This one runs a fixed thread set regardless of
+//! connection count:
 //!
-//! - the **reader** (the connection thread itself) frames bytes off the
-//!   socket with [`protocol::try_decode`] and dispatches requests;
-//! - the **writer** serializes pre-encoded response frames onto the
-//!   socket from a channel, so any thread may answer;
-//! - the **pump** forwards the runtime's routed completions
-//!   (`(request id, result)` pairs, arriving in *completion* order, not
-//!   submission order) back through the writer.
+//! - one blocking **acceptor** admits connections against the budget
+//!   and deals them round-robin to the reactors;
+//! - `io_threads` **reactors**, each owning an [`hybriddnn_net::Poller`]
+//!   (epoll on Linux), a timer wheel, and its share of the connections.
+//!   Frames decode incrementally out of per-connection ring buffers
+//!   ([`StreamDecoder`]) with zero intermediate copies; responses queue
+//!   per connection and drain with `write_vectored`, coalescing
+//!   pipelined responses into one syscall; idle timeouts and drain
+//!   grace periods live on the timer wheel instead of per-socket
+//!   `set_read_timeout` ticks;
+//! - one **completion pump** receives the runtime's routed completions
+//!   (tagged, in *completion* order), encodes them into pooled buffers
+//!   (the steady-state write path allocates nothing once warm), and
+//!   injects them into the owning reactor's command queue.
 //!
-//! A client may therefore keep many requests in flight on one
-//! connection and match responses by request id. Draining a server
-//! (the `DRAIN` opcode or [`Server::shutdown`]) stops the acceptor,
-//! answers new work with [`WireError::Draining`], lets every in-flight
-//! request complete, then joins all threads — the e2e tests assert the
-//! process thread count returns to its pre-server baseline.
+//! The wire protocol, connection budget, and drain semantics are
+//! unchanged: `DRAIN` flips the server *before* its ack is enqueued,
+//! in-flight requests complete with exactly one response per request
+//! id, idle-and-draining connections linger `drain_grace` answering
+//! typed [`WireError::Draining`] rejects, and [`Server::shutdown`]
+//! joins every thread — the e2e tests assert the process thread count
+//! returns to its pre-server baseline.
 
 use crate::protocol::{
-    try_decode, Body, DecodeError, Frame, OutputBody, TimingBody, WireError, MAX_PAYLOAD,
+    Body, DecodeError, Frame, OutputBody, StreamDecoder, TimingBody, WireError, MAX_PAYLOAD,
 };
 use crate::registry::{QuotaGuard, Registry};
+use hybriddnn_net::{BufPool, Interest, Poller, TimerKey, TimerWheel, Token, Waker};
 use hybriddnn_runtime::{InferenceResponse, RuntimeError};
-use std::collections::HashMap;
-use std::io::{Read, Write};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::io::{self, IoSlice, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -39,10 +51,12 @@ pub struct ServerConfig {
     /// answered with a typed [`WireError::ConnectionLimit`] and closed.
     pub max_connections: usize,
     /// A connection with no traffic and no in-flight work for this long
-    /// is closed.
+    /// is closed (enforced by the reactor's timer wheel).
     pub idle_timeout: Duration,
-    /// Socket read timeout — the reader's housekeeping tick (idle and
-    /// drain checks run at this cadence).
+    /// Upper bound on a draining reactor's poll sleep, so the shutdown
+    /// exit condition is re-evaluated at least this often. (Steady-state
+    /// reactors sleep on the timer wheel alone; this knob predates the
+    /// reactor, where it was the per-socket read timeout.)
     pub read_tick: Duration,
     /// Per-frame payload ceiling (bytes); larger frames are rejected
     /// with a typed error before allocation.
@@ -51,6 +65,10 @@ pub struct ServerConfig {
     /// this long answering late frames with typed [`WireError::Draining`]
     /// rejects before it closes. Bounds how long shutdown can take.
     pub drain_grace: Duration,
+    /// Reactor threads multiplexing the connections (clamped to ≥ 1).
+    /// Total server threads are `io_threads` + 2 (acceptor + completion
+    /// pump) regardless of connection count.
+    pub io_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -61,8 +79,52 @@ impl Default for ServerConfig {
             read_tick: Duration::from_millis(20),
             max_frame: MAX_PAYLOAD,
             drain_grace: Duration::from_millis(250),
+            io_threads: 2,
         }
     }
+}
+
+/// Work injected into a reactor from other threads.
+enum Cmd {
+    /// A freshly admitted connection to adopt.
+    Conn(TcpStream),
+    /// A pre-encoded frame to enqueue on `conn`'s output queue.
+    /// `clear` names an in-flight request id this frame answers.
+    Reply {
+        conn: u64,
+        clear: Option<u64>,
+        buf: Vec<u8>,
+    },
+    /// The server is draining: arm grace timers on idle connections.
+    Drain,
+}
+
+/// A reactor's cross-thread mailbox: commands plus the waker that
+/// interrupts its poller.
+struct ReactorHandle {
+    queue: Mutex<Vec<Cmd>>,
+    waker: Waker,
+}
+
+impl ReactorHandle {
+    fn inject(&self, cmd: Cmd) {
+        self.queue.lock().expect("reactor queue").push(cmd);
+        self.waker.wake();
+    }
+}
+
+/// Book-keeping for one in-flight inference, keyed by its routing tag.
+struct PendingEntry {
+    /// Index of the reactor owning the connection.
+    reactor: usize,
+    /// The connection the response must return to.
+    conn: u64,
+    /// The client's request id (echoed in the response frame).
+    request_id: u64,
+    /// `INFER_TIMING` → respond without the tensor.
+    timing: bool,
+    /// The model-quota unit, released when the response ships.
+    guard: Option<QuotaGuard>,
 }
 
 struct Shared {
@@ -70,15 +132,22 @@ struct Shared {
     config: ServerConfig,
     addr: SocketAddr,
     draining: AtomicBool,
+    acceptor_done: AtomicBool,
     connections: AtomicUsize,
-    conn_handles: Mutex<Vec<JoinHandle<()>>>,
+    peak_connections: AtomicUsize,
+    next_conn_id: AtomicU64,
+    next_tag: AtomicU64,
+    reactors: Vec<Arc<ReactorHandle>>,
+    pending: Mutex<HashMap<u64, PendingEntry>>,
+    pool: Arc<BufPool>,
     drain_flag: Mutex<bool>,
     drain_cv: Condvar,
 }
 
 impl Shared {
-    /// Flips the server into draining and wakes the blocked acceptor
-    /// with a loopback connection. Idempotent.
+    /// Flips the server into draining, wakes the blocked acceptor with a
+    /// loopback connection, and tells every reactor to arm grace timers.
+    /// Idempotent.
     fn signal_drain(&self) {
         if self.draining.swap(true, Ordering::AcqRel) {
             return;
@@ -89,6 +158,9 @@ impl Shared {
         // The acceptor blocks in accept(); a throwaway loopback connect
         // unblocks it so it can observe the flag and exit.
         let _ = TcpStream::connect(self.addr);
+        for reactor in &self.reactors {
+            reactor.inject(Cmd::Drain);
+        }
     }
 }
 
@@ -96,14 +168,16 @@ impl Shared {
 pub struct Server {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
+    reactors: Vec<JoinHandle<()>>,
+    pump: Option<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
-    /// starts the acceptor.
+    /// starts the acceptor, reactor pool, and completion pump.
     ///
     /// # Errors
-    /// Socket bind failures.
+    /// Socket bind or poller creation failures.
     pub fn bind(
         registry: Arc<Registry>,
         addr: &str,
@@ -111,21 +185,64 @@ impl Server {
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let io_threads = config.io_threads.max(1);
+
+        let mut pollers = Vec::with_capacity(io_threads);
+        let mut handles = Vec::with_capacity(io_threads);
+        for _ in 0..io_threads {
+            let poller = Poller::new()?;
+            handles.push(Arc::new(ReactorHandle {
+                queue: Mutex::new(Vec::new()),
+                waker: poller.waker(),
+            }));
+            pollers.push(poller);
+        }
+
         let shared = Arc::new(Shared {
             registry,
             config,
             addr,
             draining: AtomicBool::new(false),
+            acceptor_done: AtomicBool::new(false),
             connections: AtomicUsize::new(0),
-            conn_handles: Mutex::new(Vec::new()),
+            peak_connections: AtomicUsize::new(0),
+            next_conn_id: AtomicU64::new(1),
+            next_tag: AtomicU64::new(1),
+            reactors: handles,
+            pending: Mutex::new(HashMap::new()),
+            pool: Arc::new(BufPool::new(256, 1 << 20)),
             drain_flag: Mutex::new(false),
             drain_cv: Condvar::new(),
         });
+
+        // One server-wide completion channel: reactors tag submissions,
+        // the pump routes completions back by tag. The local sender is
+        // dropped below so the channel disconnects — and the pump exits —
+        // once the reactors and all in-flight requests are done.
+        let (completions_tx, completions_rx) =
+            mpsc::channel::<(u64, Result<InferenceResponse, RuntimeError>)>();
+
+        let mut reactor_joins = Vec::with_capacity(io_threads);
+        for (idx, poller) in pollers.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let completions = completions_tx.clone();
+            reactor_joins.push(std::thread::spawn(move || {
+                reactor_loop(&shared, idx, poller, &completions);
+            }));
+        }
+        drop(completions_tx);
+
+        let pump_shared = Arc::clone(&shared);
+        let pump = std::thread::spawn(move || pump_loop(&pump_shared, &completions_rx));
+
         let accept_shared = Arc::clone(&shared);
         let acceptor = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+
         Ok(Server {
             shared,
             acceptor: Some(acceptor),
+            reactors: reactor_joins,
+            pump: Some(pump),
         })
     }
 
@@ -145,27 +262,37 @@ impl Server {
 
     /// Graceful shutdown: stop accepting, answer new work with typed
     /// [`WireError::Draining`] rejects, complete all in-flight
-    /// requests, then join every connection, registry, and acceptor
-    /// thread. Returns the final aggregate metrics, snapshotted after
-    /// the last connection finished and before the model services are
-    /// dropped; the server owns zero threads afterwards.
+    /// requests, then join the acceptor, every reactor, the registry's
+    /// threads, and the completion pump. Returns the final aggregate
+    /// metrics, snapshotted after the last connection finished and
+    /// before the model services are dropped; the server owns zero
+    /// threads afterwards.
     pub fn shutdown(mut self) -> crate::protocol::StatsBody {
         self.shared.signal_drain();
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
-        let handles: Vec<JoinHandle<()>> =
-            std::mem::take(&mut *self.shared.conn_handles.lock().expect("conns lock"));
-        for handle in handles {
-            let _ = handle.join();
+        for reactor in self.reactors.drain(..) {
+            let _ = reactor.join();
         }
         let stats = self.shared.registry.stats();
+        // Draining the registry joins every service thread, dropping the
+        // runtime's remaining completion-sender clones; the pump's
+        // channel then disconnects and it exits.
         self.shared.registry.drain();
+        if let Some(pump) = self.pump.take() {
+            let _ = pump.join();
+        }
         stats
     }
 }
 
+// ---------------------------------------------------------------------
+// Acceptor
+// ---------------------------------------------------------------------
+
 fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut next_reactor = 0usize;
     for stream in listener.incoming() {
         if shared.draining.load(Ordering::Acquire) {
             break;
@@ -176,9 +303,8 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             .connections
             .fetch_update(Ordering::AcqRel, Ordering::Acquire, |n| {
                 (n < max).then_some(n + 1)
-            })
-            .is_ok();
-        if !admitted {
+            });
+        let Ok(prev) = admitted else {
             // Over budget: answer with a typed reject, then close.
             let frame = Frame::new(
                 0,
@@ -187,82 +313,50 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
             let mut stream = stream;
             let _ = stream.write_all(&frame.encode());
             continue;
-        }
-        let conn_shared = Arc::clone(shared);
-        let handle = std::thread::spawn(move || {
-            serve_connection(&conn_shared, stream);
-            conn_shared.connections.fetch_sub(1, Ordering::AcqRel);
-        });
-        shared.conn_handles.lock().expect("conns lock").push(handle);
+        };
+        shared
+            .peak_connections
+            .fetch_max(prev + 1, Ordering::AcqRel);
+        shared.reactors[next_reactor].inject(Cmd::Conn(stream));
+        next_reactor = (next_reactor + 1) % shared.reactors.len();
+    }
+    // Publish "no more connections will ever arrive" before waking the
+    // reactors: any connection injected above is already in a queue, so
+    // a reactor observing `acceptor_done` with an empty queue and no
+    // connections can safely exit.
+    shared.acceptor_done.store(true, Ordering::Release);
+    for reactor in &shared.reactors {
+        reactor.waker.wake();
     }
 }
 
-/// Book-keeping for one in-flight inference on a connection.
-struct Pending {
-    /// `INFER_TIMING` → respond without the tensor.
-    timing: bool,
-    /// The model-quota unit, released when the response ships.
-    guard: Option<QuotaGuard>,
-}
+// ---------------------------------------------------------------------
+// Completion pump
+// ---------------------------------------------------------------------
 
-type PendingMap = Arc<Mutex<HashMap<u64, Pending>>>;
-
-fn serve_connection(shared: &Arc<Shared>, stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(shared.config.read_tick));
-    let Ok(write_half) = stream.try_clone() else {
-        return;
-    };
-
-    // Writer: the single socket-writing thread; everything that answers
-    // (reader, pump, registry callbacks) sends pre-encoded frames here.
-    let (writer_tx, writer_rx) = mpsc::channel::<Vec<u8>>();
-    let writer = std::thread::spawn(move || {
-        let mut write_half = write_half;
-        let mut sink_only = false;
-        for frame in writer_rx {
-            // After a write error the peer is gone: keep draining the
-            // channel so senders never block on a vanished socket;
-            // frames fall on the floor.
-            if !sink_only && write_half.write_all(&frame).is_err() {
-                sink_only = true;
-            }
-        }
-    });
-
-    // Pump: forwards routed completions (in completion order) to the
-    // writer, matching them to their request ids.
-    let pending: PendingMap = Arc::new(Mutex::new(HashMap::new()));
-    let (routed_tx, routed_rx) = mpsc::channel::<(u64, Result<InferenceResponse, RuntimeError>)>();
-    let pump_pending = Arc::clone(&pending);
-    let pump_writer = writer_tx.clone();
-    let pump = std::thread::spawn(move || {
-        for (request_id, result) in routed_rx {
-            let Some(entry) = pump_pending
-                .lock()
-                .expect("pending lock")
-                .remove(&request_id)
-            else {
-                continue;
-            };
-            let body = match result {
-                Ok(resp) => response_body(resp, entry.timing),
-                Err(e) => Body::Error(WireError::from(&e)),
-            };
-            let _ = pump_writer.send(Frame::new(request_id, body).encode());
-            drop(entry.guard);
-        }
-    });
-
-    read_loop(shared, stream, &writer_tx, &pending, &routed_tx);
-
-    // Teardown. Dropping our routed sender lets the pump's channel
-    // disconnect once every in-flight request has answered (the runtime
-    // holds the remaining clones, one per admitted request).
-    drop(routed_tx);
-    let _ = pump.join();
-    drop(writer_tx);
-    let _ = writer.join();
+fn pump_loop(
+    shared: &Arc<Shared>,
+    completions: &mpsc::Receiver<(u64, Result<InferenceResponse, RuntimeError>)>,
+) {
+    for (tag, result) in completions {
+        let Some(entry) = shared.pending.lock().expect("pending lock").remove(&tag) else {
+            continue;
+        };
+        let body = match result {
+            Ok(resp) => response_body(resp, entry.timing),
+            Err(e) => Body::Error(WireError::from(&e)),
+        };
+        let mut buf = shared.pool.get();
+        Frame::new(entry.request_id, body).encode_into(&mut buf);
+        shared.reactors[entry.reactor].inject(Cmd::Reply {
+            conn: entry.conn,
+            clear: Some(entry.request_id),
+            buf,
+        });
+        // The quota unit releases only after the response is queued for
+        // the wire — exactly-one-response pairs with exactly-one-release.
+        drop(entry.guard);
+    }
 }
 
 fn response_body(resp: InferenceResponse, timing: bool) -> Body {
@@ -287,96 +381,438 @@ fn response_body(resp: InferenceResponse, timing: bool) -> Body {
     }
 }
 
-fn read_loop(
+// ---------------------------------------------------------------------
+// Reactor
+// ---------------------------------------------------------------------
+
+/// A response (or reject) queued on a connection, partially written.
+struct OutBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+/// Timer payload encoding: `(conn_id << 1) | kind`.
+const TIMER_IDLE: u64 = 0;
+const TIMER_GRACE: u64 = 1;
+
+struct Conn {
+    stream: TcpStream,
+    decoder: StreamDecoder,
+    out: VecDeque<OutBuf>,
+    /// Request ids submitted on this connection and not yet answered.
+    inflight: HashSet<u64>,
+    last_activity: Instant,
+    idle_timer: Option<TimerKey>,
+    grace_timer: Option<TimerKey>,
+    /// EOF, fatal decode error, or hard read error: stop reading, but
+    /// keep the connection until in-flight responses have shipped.
+    read_closed: bool,
+    /// The interest set currently registered with the poller.
+    interest: (bool, bool),
+}
+
+impl Conn {
+    fn desired_interest(&self) -> (bool, bool) {
+        (!self.read_closed, !self.out.is_empty())
+    }
+}
+
+/// Upper bound on `read()` rounds per readable event, so one firehose
+/// connection cannot starve its reactor siblings (level-triggered
+/// readiness re-reports leftover bytes on the next wakeup).
+const MAX_READS_PER_WAKE: usize = 16;
+
+/// Response buffers coalesced into one `write_vectored` syscall.
+const MAX_IOV: usize = 64;
+
+fn reactor_loop(
     shared: &Arc<Shared>,
-    mut stream: TcpStream,
-    writer_tx: &mpsc::Sender<Vec<u8>>,
-    pending: &PendingMap,
-    routed_tx: &mpsc::Sender<(u64, Result<InferenceResponse, RuntimeError>)>,
+    idx: usize,
+    mut poller: Poller,
+    completions: &mpsc::Sender<(u64, Result<InferenceResponse, RuntimeError>)>,
 ) {
-    let mut buf: Vec<u8> = Vec::with_capacity(4096);
-    let mut chunk = [0u8; 16 * 1024];
-    let mut last_activity = Instant::now();
-    let mut drain_deadline: Option<Instant> = None;
+    let handle = Arc::clone(&shared.reactors[idx]);
+    let mut conns: HashMap<u64, Conn> = HashMap::new();
+    let mut wheel = TimerWheel::new();
+    let mut events = Vec::new();
+    let mut cmds: Vec<Cmd> = Vec::new();
+    let mut expired: Vec<u64> = Vec::new();
+    let mut touched: Vec<u64> = Vec::new();
+
     loop {
-        // Frame everything already buffered.
-        loop {
-            match try_decode(&buf, shared.config.max_frame) {
-                Ok(Some((frame, consumed))) => {
-                    buf.drain(..consumed);
-                    last_activity = Instant::now();
-                    handle_frame(shared, frame, writer_tx, pending, routed_tx);
-                }
-                Ok(None) => break,
-                Err(e) => {
-                    // The byte stream cannot be re-synchronized after a
-                    // framing error: answer typed, then hang up.
-                    let wire = match e {
-                        DecodeError::FrameTooLarge { len, max } => {
-                            WireError::FrameTooLarge { len, max }
-                        }
-                        other => WireError::BadRequest {
-                            detail: other.to_string(),
-                        },
-                    };
-                    let _ = writer_tx.send(Frame::new(0, Body::Error(wire)).encode());
-                    return;
-                }
-            }
+        let now = Instant::now();
+        let mut timeout = wheel.timeout_from(now);
+        if shared.draining.load(Ordering::Acquire) {
+            // Bound the sleep while draining so the exit condition below
+            // is re-evaluated even if a wakeup is lost.
+            let cap = shared.config.read_tick;
+            timeout = Some(timeout.map_or(cap, |t| t.min(cap)));
         }
-        // Once draining and out of in-flight work, linger for a bounded
-        // grace window: frames that race the drain ack still get typed
-        // `Draining` rejects instead of a slammed socket, while a peer
-        // that never hangs up cannot stall shutdown forever.
-        if shared.draining.load(Ordering::Acquire)
-            && pending.lock().expect("pending lock").is_empty()
+        let _ = poller.wait(&mut events, timeout);
+
+        // Cross-thread commands (new connections, responses, drain).
         {
-            let deadline =
-                *drain_deadline.get_or_insert_with(|| Instant::now() + shared.config.drain_grace);
-            if Instant::now() >= deadline {
-                return;
-            }
+            let mut queue = handle.queue.lock().expect("reactor queue");
+            std::mem::swap(&mut *queue, &mut cmds);
         }
-        match stream.read(&mut chunk) {
-            Ok(0) => return, // EOF
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // Housekeeping tick.
-                if last_activity.elapsed() > shared.config.idle_timeout
-                    && pending.lock().expect("pending lock").is_empty()
-                {
-                    return;
+        for cmd in cmds.drain(..) {
+            match cmd {
+                Cmd::Conn(stream) => {
+                    adopt_conn(shared, &poller, &mut conns, &mut wheel, stream);
+                }
+                Cmd::Reply { conn, clear, buf } => {
+                    let Some(c) = conns.get_mut(&conn) else {
+                        // The connection died while the request was in
+                        // flight; recycle the buffer and move on.
+                        shared.pool.put(buf);
+                        continue;
+                    };
+                    if let Some(id) = clear {
+                        c.inflight.remove(&id);
+                    }
+                    c.out.push_back(OutBuf { buf, pos: 0 });
+                    touch(&mut touched, conn);
+                }
+                Cmd::Drain => {
+                    // Grace timers for already-idle connections; busy
+                    // ones arm theirs when their last response ships.
+                    for (&id, c) in conns.iter_mut() {
+                        if c.inflight.is_empty() && c.grace_timer.is_none() {
+                            c.grace_timer = Some(wheel.insert(
+                                Instant::now() + shared.config.drain_grace,
+                                (id << 1) | TIMER_GRACE,
+                            ));
+                        }
+                    }
                 }
             }
-            Err(_) => return,
+        }
+
+        // Socket readiness.
+        for ev in &events {
+            let conn_id = ev.token.0 as u64;
+            let Some(conn) = conns.get_mut(&conn_id) else {
+                continue;
+            };
+            if ev.readable || ev.closed {
+                handle_readable(shared, idx, conn_id, completions, conn);
+            }
+            touch(&mut touched, conn_id);
+        }
+
+        // Expired timers.
+        let now = Instant::now();
+        expired.clear();
+        wheel.pop_expired(now, &mut expired);
+        for &data in &expired {
+            let conn_id = data >> 1;
+            let kind = data & 1;
+            let Some(conn) = conns.get_mut(&conn_id) else {
+                continue;
+            };
+            if kind == TIMER_GRACE {
+                // Drain grace over: the lingering connection closes even
+                // if the peer never hangs up.
+                close_conn(shared, &poller, &mut conns, &mut wheel, conn_id);
+                continue;
+            }
+            // Idle timer: re-arm lazily against actual last activity so
+            // per-frame traffic never touches the wheel.
+            let due = conn.last_activity + shared.config.idle_timeout;
+            if now < due {
+                conn.idle_timer = Some(wheel.insert(due, (conn_id << 1) | TIMER_IDLE));
+            } else if conn.inflight.is_empty() {
+                conn.idle_timer = None;
+                close_conn(shared, &poller, &mut conns, &mut wheel, conn_id);
+            } else {
+                conn.idle_timer = Some(wheel.insert(
+                    now + shared.config.idle_timeout,
+                    (conn_id << 1) | TIMER_IDLE,
+                ));
+            }
+        }
+
+        // Flush, re-arm, and close touched connections exactly once per
+        // wakeup — this is where pipelined responses coalesce into a
+        // single vectored write.
+        for &conn_id in &touched {
+            finalize_conn(shared, &poller, &mut conns, &mut wheel, conn_id);
+        }
+        touched.clear();
+
+        // Exit: draining, the acceptor can deal no more connections,
+        // every owned connection is gone, and nothing is queued.
+        if shared.draining.load(Ordering::Acquire)
+            && shared.acceptor_done.load(Ordering::Acquire)
+            && conns.is_empty()
+            && handle.queue.lock().expect("reactor queue").is_empty()
+        {
+            break;
         }
     }
 }
 
+fn touch(touched: &mut Vec<u64>, conn_id: u64) {
+    if touched.last() != Some(&conn_id) && !touched.contains(&conn_id) {
+        touched.push(conn_id);
+    }
+}
+
+fn adopt_conn(
+    shared: &Arc<Shared>,
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    wheel: &mut TimerWheel,
+    stream: TcpStream,
+) {
+    let conn_id = shared.next_conn_id.fetch_add(1, Ordering::AcqRel);
+    if stream.set_nonblocking(true).is_err() {
+        shared.connections.fetch_sub(1, Ordering::AcqRel);
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    if poller
+        .register(
+            stream.as_raw_fd(),
+            Token(conn_id as usize),
+            Interest::READABLE,
+        )
+        .is_err()
+    {
+        shared.connections.fetch_sub(1, Ordering::AcqRel);
+        return;
+    }
+    let now = Instant::now();
+    let idle_timer = Some(wheel.insert(
+        now + shared.config.idle_timeout,
+        (conn_id << 1) | TIMER_IDLE,
+    ));
+    let grace_timer = shared.draining.load(Ordering::Acquire).then(|| {
+        wheel.insert(
+            now + shared.config.drain_grace,
+            (conn_id << 1) | TIMER_GRACE,
+        )
+    });
+    conns.insert(
+        conn_id,
+        Conn {
+            stream,
+            decoder: StreamDecoder::new(shared.config.max_frame),
+            out: VecDeque::new(),
+            inflight: HashSet::new(),
+            last_activity: now,
+            idle_timer,
+            grace_timer,
+            read_closed: false,
+            interest: (true, false),
+        },
+    );
+}
+
+fn close_conn(
+    shared: &Arc<Shared>,
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    wheel: &mut TimerWheel,
+    conn_id: u64,
+) {
+    let Some(conn) = conns.remove(&conn_id) else {
+        return;
+    };
+    if let Some(key) = conn.idle_timer {
+        wheel.cancel(key);
+    }
+    if let Some(key) = conn.grace_timer {
+        wheel.cancel(key);
+    }
+    let _ = poller.deregister(conn.stream.as_raw_fd());
+    for ob in conn.out {
+        shared.pool.put(ob.buf);
+    }
+    shared.connections.fetch_sub(1, Ordering::AcqRel);
+    // Pending entries for this connection's in-flight requests stay in
+    // the table: the pump still routes their completions (the reactor
+    // recycles the buffers) and releases their quota guards.
+}
+
+/// Post-processing for a connection something happened to this wakeup:
+/// flush the output queue, arm the drain grace timer if the connection
+/// just went idle while draining, close if finished, and reconcile the
+/// poller interest set.
+fn finalize_conn(
+    shared: &Arc<Shared>,
+    poller: &Poller,
+    conns: &mut HashMap<u64, Conn>,
+    wheel: &mut TimerWheel,
+    conn_id: u64,
+) {
+    let Some(conn) = conns.get_mut(&conn_id) else {
+        return;
+    };
+    conn.decoder.shrink();
+    if flush_out(conn, &shared.pool).is_err() {
+        close_conn(shared, poller, conns, wheel, conn_id);
+        return;
+    }
+    if conn.read_closed && conn.inflight.is_empty() && conn.out.is_empty() {
+        close_conn(shared, poller, conns, wheel, conn_id);
+        return;
+    }
+    if shared.draining.load(Ordering::Acquire)
+        && conn.inflight.is_empty()
+        && conn.grace_timer.is_none()
+    {
+        conn.grace_timer = Some(wheel.insert(
+            Instant::now() + shared.config.drain_grace,
+            (conn_id << 1) | TIMER_GRACE,
+        ));
+    }
+    let desired = conn.desired_interest();
+    if desired != conn.interest {
+        let interest = Interest {
+            readable: desired.0,
+            writable: desired.1,
+        };
+        if poller
+            .reregister(conn.stream.as_raw_fd(), Token(conn_id as usize), interest)
+            .is_err()
+        {
+            close_conn(shared, poller, conns, wheel, conn_id);
+            return;
+        }
+        conn.interest = desired;
+    }
+}
+
+/// Drains the output queue with vectored writes until empty or the
+/// socket pushes back.
+///
+/// # Errors
+/// Hard socket errors; the caller closes the connection.
+fn flush_out(conn: &mut Conn, pool: &BufPool) -> io::Result<()> {
+    while !conn.out.is_empty() {
+        let mut iov: [IoSlice<'_>; MAX_IOV] = std::array::from_fn(|_| IoSlice::new(&[]));
+        let mut n_iov = 0;
+        for ob in conn.out.iter().take(MAX_IOV) {
+            iov[n_iov] = IoSlice::new(&ob.buf[ob.pos..]);
+            n_iov += 1;
+        }
+        let written = match conn.stream.write_vectored(&iov[..n_iov]) {
+            Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+            Ok(n) => n,
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        let mut left = written;
+        while left > 0 {
+            let front = conn.out.front_mut().expect("wrote past output queue");
+            let remaining = front.buf.len() - front.pos;
+            if left >= remaining {
+                left -= remaining;
+                let ob = conn.out.pop_front().expect("front exists");
+                pool.put(ob.buf);
+            } else {
+                front.pos += left;
+                left = 0;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads and decodes everything the socket has, dispatching each frame.
+fn handle_readable(
+    shared: &Arc<Shared>,
+    idx: usize,
+    conn_id: u64,
+    completions: &mpsc::Sender<(u64, Result<InferenceResponse, RuntimeError>)>,
+    conn: &mut Conn,
+) {
+    if conn.read_closed {
+        return;
+    }
+    let mut rounds = 0;
+    loop {
+        match conn.decoder.read_from(&mut conn.stream) {
+            Ok(0) => {
+                conn.read_closed = true;
+                break;
+            }
+            Ok(_) => loop {
+                match conn.decoder.next_frame() {
+                    Ok(Some(frame)) => {
+                        conn.last_activity = Instant::now();
+                        handle_frame(shared, idx, conn_id, completions, conn, frame);
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        // The byte stream cannot be re-synchronized after
+                        // a framing error: answer typed, stop reading,
+                        // and close once queued responses have shipped.
+                        let wire = match e {
+                            DecodeError::FrameTooLarge { len, max } => {
+                                WireError::FrameTooLarge { len, max }
+                            }
+                            other => WireError::BadRequest {
+                                detail: other.to_string(),
+                            },
+                        };
+                        enqueue_reply(shared, conn, Frame::new(0, Body::Error(wire)));
+                        conn.read_closed = true;
+                        return;
+                    }
+                }
+            },
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                // Hard read error: the write side will surface it too if
+                // the socket is truly dead; ship what we still owe.
+                conn.read_closed = true;
+                break;
+            }
+        }
+        rounds += 1;
+        if rounds >= MAX_READS_PER_WAKE {
+            break;
+        }
+    }
+    // Release the ring before the next connection in this wakeup batch
+    // allocates its own: N readable sockets then share one recycled read
+    // chunk instead of holding N live at once.
+    conn.decoder.shrink();
+}
+
+/// Encodes `frame` into a pooled buffer on `conn`'s output queue.
+fn enqueue_reply(shared: &Arc<Shared>, conn: &mut Conn, frame: Frame) {
+    let mut buf = shared.pool.get();
+    frame.encode_into(&mut buf);
+    conn.out.push_back(OutBuf { buf, pos: 0 });
+}
+
 fn handle_frame(
     shared: &Arc<Shared>,
+    idx: usize,
+    conn_id: u64,
+    completions: &mpsc::Sender<(u64, Result<InferenceResponse, RuntimeError>)>,
+    conn: &mut Conn,
     frame: Frame,
-    writer_tx: &mpsc::Sender<Vec<u8>>,
-    pending: &PendingMap,
-    routed_tx: &mpsc::Sender<(u64, Result<InferenceResponse, RuntimeError>)>,
 ) {
     let request_id = frame.request_id;
     let model_id = frame.model_id;
     let deadline =
         (frame.deadline_micros > 0).then(|| Duration::from_micros(frame.deadline_micros));
-    let reply = |body: Body| {
+    let reply = |conn: &mut Conn, body: Body| {
         let mut f = Frame::new(request_id, body);
         f.model_id = model_id;
-        let _ = writer_tx.send(f.encode());
+        enqueue_reply(shared, conn, f);
     };
     let draining = shared.draining.load(Ordering::Acquire);
     match frame.body {
         Body::Infer { tensor } | Body::InferTiming { tensor } if draining => {
             let _ = tensor;
-            reply(Body::Error(WireError::Draining));
+            reply(conn, Body::Error(WireError::Draining));
         }
         body @ (Body::Infer { .. } | Body::InferTiming { .. }) => {
             let (tensor, timing) = match body {
@@ -384,51 +820,58 @@ fn handle_frame(
                 Body::InferTiming { tensor } => (tensor, true),
                 _ => unreachable!("matched above"),
             };
+            if conn.inflight.contains(&request_id) {
+                reply(
+                    conn,
+                    Body::Error(WireError::BadRequest {
+                        detail: format!("request id {request_id} is already in flight"),
+                    }),
+                );
+                return;
+            }
             // Register the pending entry *before* submitting: a worker
             // may complete the request (and the pump look it up) before
-            // submit() even returns.
-            {
-                let mut map = pending.lock().expect("pending lock");
-                if map.contains_key(&request_id) {
-                    drop(map);
-                    reply(Body::Error(WireError::BadRequest {
-                        detail: format!("request id {request_id} is already in flight"),
-                    }));
-                    return;
-                }
-                map.insert(
+            // submit() even returns. Tags are server-unique, so request
+            // ids only need to be unique per connection.
+            let tag = shared.next_tag.fetch_add(1, Ordering::AcqRel);
+            conn.inflight.insert(request_id);
+            shared.pending.lock().expect("pending lock").insert(
+                tag,
+                PendingEntry {
+                    reactor: idx,
+                    conn: conn_id,
                     request_id,
-                    Pending {
-                        timing,
-                        guard: None,
-                    },
-                );
-            }
+                    timing,
+                    guard: None,
+                },
+            );
             match shared
                 .registry
-                .submit(model_id, tensor, deadline, routed_tx.clone(), request_id)
+                .submit(model_id, tensor, deadline, completions.clone(), tag)
             {
                 Ok(guard) => {
                     // Park the quota unit with the pending entry; if the
                     // pump already shipped the response, the entry is
                     // gone and the guard releases right here.
-                    if let Some(entry) = pending.lock().expect("pending lock").get_mut(&request_id)
+                    if let Some(entry) = shared.pending.lock().expect("pending lock").get_mut(&tag)
                     {
                         entry.guard = Some(guard);
                     }
                 }
                 Err(e) => {
-                    pending.lock().expect("pending lock").remove(&request_id);
-                    reply(Body::Error(e));
+                    shared.pending.lock().expect("pending lock").remove(&tag);
+                    conn.inflight.remove(&request_id);
+                    reply(conn, Body::Error(e));
                 }
             }
         }
         Body::LoadModel(req) => {
             if draining {
-                reply(Body::Error(WireError::Draining));
+                reply(conn, Body::Error(WireError::Draining));
                 return;
             }
-            let writer_tx = writer_tx.clone();
+            let handle = Arc::clone(&shared.reactors[idx]);
+            let pool = Arc::clone(&shared.pool);
             shared.registry.load(
                 req,
                 Box::new(move |result| {
@@ -440,12 +883,19 @@ fn handle_frame(
                         },
                         Err(e) => Body::Error(e),
                     };
-                    let _ = writer_tx.send(Frame::new(request_id, body).encode());
+                    let mut buf = pool.get();
+                    Frame::new(request_id, body).encode_into(&mut buf);
+                    handle.inject(Cmd::Reply {
+                        conn: conn_id,
+                        clear: None,
+                        buf,
+                    });
                 }),
             );
         }
         Body::UnloadModel => {
-            let writer_tx = writer_tx.clone();
+            let handle = Arc::clone(&shared.reactors[idx]);
+            let pool = Arc::clone(&shared.pool);
             shared.registry.unload(
                 model_id,
                 Box::new(move |result| {
@@ -453,27 +903,37 @@ fn handle_frame(
                         Ok(()) => Body::Unloaded,
                         Err(e) => Body::Error(e),
                     };
-                    let _ = writer_tx.send(Frame::new(request_id, body).encode());
+                    let mut buf = pool.get();
+                    Frame::new(request_id, body).encode_into(&mut buf);
+                    handle.inject(Cmd::Reply {
+                        conn: conn_id,
+                        clear: None,
+                        buf,
+                    });
                 }),
             );
         }
-        Body::ListModels => reply(Body::ModelList(shared.registry.list())),
+        Body::ListModels => reply(conn, Body::ModelList(shared.registry.list())),
         Body::Stats => {
             let mut stats = shared.registry.stats();
             stats.connections = shared.connections.load(Ordering::Acquire) as u32;
-            reply(Body::StatsReply(stats));
+            stats.peak_connections = shared.peak_connections.load(Ordering::Acquire) as u32;
+            reply(conn, Body::StatsReply(stats));
         }
-        Body::Ping { payload } => reply(Body::Pong { payload }),
+        Body::Ping { payload } => reply(conn, Body::Pong { payload }),
         Body::Drain => {
             // Flip the server *before* the ack is enqueued: a client
             // that has received the ack is then guaranteed that all its
             // later work — on any connection — gets typed rejects.
             shared.signal_drain();
-            reply(Body::Draining);
+            reply(conn, Body::Draining);
         }
         // A client sending response opcodes is confused; tell it so.
-        _ => reply(Body::Error(WireError::BadRequest {
-            detail: format!("opcode {:#04x} is not a request", frame.body.opcode() as u8),
-        })),
+        _ => reply(
+            conn,
+            Body::Error(WireError::BadRequest {
+                detail: format!("opcode {:#04x} is not a request", frame.body.opcode() as u8),
+            }),
+        ),
     }
 }

@@ -10,7 +10,7 @@
 use hybriddnn_model::{Shape, Tensor};
 use hybriddnn_server::protocol::{
     try_decode, Body, DecodeError, Frame, LoadRequest, ModelInfo, ModelState, OutputBody,
-    StatsBody, TimingBody, WireError, HEADER_LEN, MAX_PAYLOAD,
+    StatsBody, StreamDecoder, TimingBody, WireError, HEADER_LEN, MAX_PAYLOAD,
 };
 use proptest::prelude::*;
 
@@ -138,32 +138,37 @@ fn model_info_strategy() -> impl Strategy<Value = ModelInfo> {
 
 fn stats_strategy() -> impl Strategy<Value = StatsBody> {
     (
-        (any::<u32>(), any::<u32>()),
+        (any::<u32>(), any::<u32>(), any::<u32>()),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
         (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        any::<u64>(),
     )
-        .prop_map(|((models, connections), a, b, c, d)| StatsBody {
-            models,
-            connections,
-            submitted: a.0,
-            completed: a.1,
-            failed: a.2,
-            expired: a.3,
-            rejected: b.0,
-            batches: b.1,
-            retries: b.2,
-            restarts: b.3,
-            quarantines: c.0,
-            faults_injected: c.1,
-            faults_observed: c.2,
-            degraded_served: c.3,
-            healthy_workers: d.0,
-            latency_p50_nanos: d.1,
-            latency_p95_nanos: d.2,
-            latency_p99_nanos: d.3,
-        })
+        .prop_map(
+            |((models, connections, peak_connections), a, b, c, d, e)| StatsBody {
+                models,
+                connections,
+                peak_connections,
+                submitted: a.0,
+                completed: a.1,
+                failed: a.2,
+                expired: a.3,
+                rejected: b.0,
+                batches: b.1,
+                batched_dispatches: b.2,
+                retries: b.3,
+                restarts: c.0,
+                quarantines: c.1,
+                faults_injected: c.2,
+                faults_observed: c.3,
+                degraded_served: d.0,
+                healthy_workers: d.1,
+                latency_p50_nanos: d.2,
+                latency_p95_nanos: d.3,
+                latency_p99_nanos: e,
+            },
+        )
 }
 
 fn body_strategy() -> impl Strategy<Value = Body> {
@@ -338,5 +343,123 @@ proptest! {
             }
             other => prop_assert!(false, "expected FrameTooLarge, got {:?}", other),
         }
+    }
+
+    /// Incremental decoding is split-invariant: feeding a frame to the
+    /// `StreamDecoder` in two chunks cut at *every* byte boundary
+    /// yields the same frame (as re-encoded bytes) as the one-shot
+    /// decoder, with nothing half-framed at any step.
+    #[test]
+    fn stream_decoder_matches_oneshot_at_every_split(frame in frame_strategy()) {
+        let bytes = frame.encode();
+        let (oneshot, consumed) = try_decode(&bytes, MAX_PAYLOAD)
+            .expect("valid frame")
+            .expect("complete frame");
+        prop_assert_eq!(consumed, bytes.len());
+        let want = oneshot.encode();
+        for cut in 0..=bytes.len() {
+            let mut dec = StreamDecoder::new(MAX_PAYLOAD);
+            dec.extend(&bytes[..cut]);
+            if cut < bytes.len() {
+                // The partial prefix must never produce a frame.
+                prop_assert!(dec.next_frame().expect("prefix is not an error").is_none());
+            }
+            dec.extend(&bytes[cut..]);
+            let got = dec.next_frame()
+                .expect("whole frame decodes")
+                .expect("whole frame is complete");
+            prop_assert_eq!(&got.encode(), &want, "split at byte {}", cut);
+            prop_assert_eq!(dec.buffered(), 0);
+        }
+    }
+
+    /// A pipelined stream fed in arbitrary random chunkings decodes to
+    /// the same frame sequence as one-shot decoding of the whole
+    /// buffer, regardless of how the reads were fragmented.
+    #[test]
+    fn stream_decoder_reassembles_arbitrary_chunkings(
+        frames in proptest::collection::vec(frame_strategy(), 1..4),
+        cuts in proptest::collection::vec(1usize..64, 0..12),
+    ) {
+        let mut bytes = Vec::new();
+        for f in &frames {
+            f.encode_into(&mut bytes);
+        }
+        // One-shot reference sequence.
+        let mut want = Vec::new();
+        let mut off = 0;
+        while let Some((f, n)) = try_decode(&bytes[off..], MAX_PAYLOAD).expect("valid stream") {
+            want.push(f.encode());
+            off += n;
+        }
+        prop_assert_eq!(want.len(), frames.len());
+        // Incremental: cut the stream into the given chunk sizes (the
+        // tail goes in one final push), decoding after every push.
+        let mut dec = StreamDecoder::new(MAX_PAYLOAD);
+        let mut got = Vec::new();
+        let mut off = 0;
+        for &cut in &cuts {
+            let end = (off + cut).min(bytes.len());
+            dec.extend(&bytes[off..end]);
+            off = end;
+            while let Some(f) = dec.next_frame().expect("valid chunked stream") {
+                got.push(f.encode());
+            }
+        }
+        dec.extend(&bytes[off..]);
+        while let Some(f) = dec.next_frame().expect("valid chunked stream") {
+            got.push(f.encode());
+        }
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    /// Garbage mid-stream: a valid frame followed by corrupt bytes
+    /// decodes the good frame, then yields a typed error — never a
+    /// panic, and never a bogus extra frame — however the stream is
+    /// chunked.
+    #[test]
+    fn stream_decoder_garbage_is_typed_mid_stream(
+        frame in frame_strategy(),
+        garbage in proptest::collection::vec(any::<u8>(), HEADER_LEN..96),
+        chunk in 1usize..48,
+    ) {
+        // Force the garbage header to be invalid: a version no build
+        // speaks (0xffff) can never decode as a frame start.
+        let mut garbage = garbage;
+        garbage[0] = 0xff;
+        garbage[1] = 0xff;
+        let mut bytes = frame.encode();
+        let good = bytes.clone();
+        bytes.extend_from_slice(&garbage);
+
+        let mut dec = StreamDecoder::new(MAX_PAYLOAD);
+        let mut decoded = Vec::new();
+        let mut saw_error = false;
+        let mut off = 0;
+        while off < bytes.len() {
+            let end = (off + chunk).min(bytes.len());
+            dec.extend(&bytes[off..end]);
+            off = end;
+            loop {
+                match dec.next_frame() {
+                    Ok(Some(f)) => decoded.push(f.encode()),
+                    Ok(None) => break,
+                    Err(DecodeError::BadVersion { got }) => {
+                        prop_assert_eq!(got, 0xffff);
+                        saw_error = true;
+                        break;
+                    }
+                    Err(other) => {
+                        prop_assert!(false, "expected BadVersion, got {:?}", other);
+                    }
+                }
+            }
+            if saw_error {
+                break;
+            }
+        }
+        prop_assert!(saw_error, "garbage header must surface as a typed error");
+        prop_assert_eq!(decoded, vec![good]);
     }
 }

@@ -87,14 +87,17 @@ echo "==> serve-bench --fault-rate 0.01 smoke test"
     --fault-rate 0.01 --retries 8 | grep "fault tolerance"
 
 # Network-serving smoke test: serve-net on an ephemeral port, the
-# net_throughput load generator driving pipelined INFER + STATS over a
-# real socket, then a wire-protocol DRAIN. Asserts nonzero throughput
-# (the load generator exits nonzero if it serves nothing) and a clean
-# server shutdown (bounded wait on the server PID).
-echo "==> serve-net + net_throughput smoke test"
+# net_throughput load generator driving 256 concurrent pipelined
+# connections over real sockets, then a wire-protocol DRAIN. Asserts
+# nonzero throughput (the load generator exits nonzero if it serves
+# nothing), that the reactor multiplexes every connection on a fixed
+# thread pool (thread count must not scale with connections:
+# main + acceptor + 2 io + pump + batcher + 2 workers = 8, asserted
+# with slack at 12), and a clean server shutdown (bounded PID wait).
+echo "==> serve-net + net_throughput 256-connection smoke test"
 serve_log="$(mktemp)"
 ./target/release/hybriddnn serve-net tiny-cnn vu9p --port 0 --workers 2 \
-    > "$serve_log" 2>&1 &
+    --io-threads 2 --max-conns 512 > "$serve_log" 2>&1 &
 serve_pid=$!
 addr=""
 for _ in $(seq 1 100); do
@@ -108,6 +111,15 @@ if [ -z "$addr" ]; then
     kill "$serve_pid" 2>/dev/null || true
     exit 1
 fi
+./target/release/net_throughput --addr "$addr" --requests 2000 --conns 256
+nthreads=$(awk '/^Threads:/ {print $2}' "/proc/$serve_pid/status")
+if [ "$nthreads" -gt 12 ]; then
+    echo "serve-net running $nthreads threads for 256 connections" \
+         "(thread-per-connection regression?)" >&2
+    kill "$serve_pid" 2>/dev/null || true
+    exit 1
+fi
+echo "    server threads under 256-connection load: $nthreads"
 ./target/release/net_throughput --addr "$addr" --requests 300 --drain
 for _ in $(seq 1 100); do
     kill -0 "$serve_pid" 2>/dev/null || break
